@@ -1,0 +1,24 @@
+//! Regenerate Table I: execution time and profiling overhead for SPA and
+//! IPA across the JVM98-analog suite and the JBB2005 analog.
+
+use nativeprof_bench::{measure_jbb_throughput, measure_overheads, render_table1};
+use workloads::{jvm98_suite, ProblemSize};
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u32>().ok())
+        .map(ProblemSize)
+        .unwrap_or(ProblemSize::S100);
+    eprintln!("measuring at problem size {} …", size.0);
+    let rows: Vec<_> = jvm98_suite()
+        .iter()
+        .map(|w| {
+            eprintln!("  {} (original / SPA / IPA)", w.name());
+            measure_overheads(w.name(), size)
+        })
+        .collect();
+    eprintln!("  jbb (original / SPA / IPA)");
+    let jbb = measure_jbb_throughput(ProblemSize(size.0.max(10) / 10));
+    print!("{}", render_table1(&rows, jbb));
+}

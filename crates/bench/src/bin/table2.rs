@@ -1,0 +1,23 @@
+//! Regenerate Table II: profiling statistics (percentage of native
+//! execution time, JNI calls, native method calls) reported by IPA.
+
+use nativeprof_bench::{all_names, measure_profile, render_table2};
+use workloads::ProblemSize;
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u32>().ok())
+        .map(ProblemSize)
+        .unwrap_or(ProblemSize::S100);
+    eprintln!("measuring at problem size {} …", size.0);
+    let rows: Vec<_> = all_names()
+        .into_iter()
+        .map(|name| {
+            eprintln!("  {name} (IPA)");
+            let s = if name == "jbb" { ProblemSize(size.0.max(10) / 10) } else { size };
+            measure_profile(name, s)
+        })
+        .collect();
+    print!("{}", render_table2(&rows));
+}

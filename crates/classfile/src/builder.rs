@@ -1,0 +1,698 @@
+//! Fluent assembler for classes and method bodies.
+//!
+//! [`ClassBuilder`] collects fields and methods; [`MethodBuilder`] assembles
+//! a body instruction by instruction with forward-referencing [`Label`]s,
+//! then validates it and computes `max_stack`/`max_locals` automatically.
+//!
+//! ```
+//! use jvmsim_classfile::builder::ClassBuilder;
+//! use jvmsim_classfile::flags::MethodFlags;
+//!
+//! # fn main() -> Result<(), jvmsim_classfile::ClassfileError> {
+//! let mut cb = ClassBuilder::new("demo/Abs");
+//! let mut m = cb.method("abs", "(I)I", MethodFlags::STATIC);
+//! let nonneg = m.new_label();
+//! m.iload(0)
+//!     .iconst(0)
+//!     .if_icmp(jvmsim_classfile::insn::Cond::Ge, nonneg)
+//!     .iload(0)
+//!     .ineg()
+//!     .ireturn();
+//! m.bind(nonneg);
+//! m.iload(0).ireturn();
+//! m.finish()?;
+//! let class = cb.finish()?;
+//! assert_eq!(class.find_method("abs", "(I)I").unwrap().code.as_ref().unwrap().max_stack, 2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::class::{ClassFile, Code, ExceptionHandler, FieldInfo, MethodInfo};
+use crate::error::ClassfileError;
+use crate::flags::{FieldFlags, MethodFlags};
+use crate::insn::{ArrayKind, Cond, Insn, InsnIndex};
+use crate::ty::MethodDescriptor;
+use crate::validate::{validate_code, CodeFacts};
+
+/// A forward-referencing jump target inside one method body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(u32);
+
+/// Builds one [`ClassFile`].
+#[derive(Debug)]
+pub struct ClassBuilder {
+    class: ClassFile,
+}
+
+impl ClassBuilder {
+    /// Start a class with the given internal name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ClassBuilder {
+            class: ClassFile::new(name),
+        }
+    }
+
+    /// Internal name of the class under construction.
+    pub fn name(&self) -> &str {
+        self.class.name()
+    }
+
+    /// Set the superclass.
+    pub fn extends(&mut self, super_name: impl Into<String>) -> &mut Self {
+        self.class.set_super_name(super_name);
+        self
+    }
+
+    /// Declare a field.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad descriptor or duplicate name.
+    pub fn field(
+        &mut self,
+        name: &str,
+        descriptor: &str,
+        flags: FieldFlags,
+    ) -> Result<&mut Self, ClassfileError> {
+        self.class.add_field(FieldInfo::new(name, descriptor, flags)?)?;
+        Ok(self)
+    }
+
+    /// Declare a `native` method (no body).
+    ///
+    /// # Errors
+    ///
+    /// Fails on a bad descriptor or duplicate signature.
+    pub fn native_method(
+        &mut self,
+        name: &str,
+        descriptor: &str,
+        flags: MethodFlags,
+    ) -> Result<&mut Self, ClassfileError> {
+        self.class
+            .add_method(MethodInfo::new_native(name, descriptor, flags)?)?;
+        Ok(self)
+    }
+
+    /// Start assembling a bytecode method. Call [`MethodBuilder::finish`] to
+    /// attach it to the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `descriptor` is not a valid method descriptor — builder
+    /// call sites pass literals, so this is a programming error, not input.
+    pub fn method<'a>(
+        &'a mut self,
+        name: &str,
+        descriptor: &str,
+        flags: MethodFlags,
+    ) -> MethodBuilder<'a> {
+        let desc: MethodDescriptor = descriptor
+            .parse()
+            .unwrap_or_else(|e| panic!("bad method descriptor {descriptor:?}: {e}"));
+        let arg_slots =
+            desc.param_slots() + usize::from(!flags.contains(MethodFlags::STATIC));
+        MethodBuilder {
+            cb: self,
+            name: name.to_owned(),
+            descriptor: descriptor.to_owned(),
+            flags,
+            insns: Vec::new(),
+            labels: Vec::new(),
+            fixup_pcs: Vec::new(),
+            handlers: Vec::new(),
+            max_local: arg_slots as u16,
+        }
+    }
+
+    /// Finish, validate and return the class.
+    ///
+    /// # Errors
+    ///
+    /// Returns any [`ClassfileError`] from [`crate::validate::validate_class`].
+    pub fn finish(self) -> Result<ClassFile, ClassfileError> {
+        crate::validate::validate_class(&self.class)?;
+        Ok(self.class)
+    }
+}
+
+/// Assembles one method body. Produced by [`ClassBuilder::method`].
+#[derive(Debug)]
+pub struct MethodBuilder<'a> {
+    cb: &'a mut ClassBuilder,
+    name: String,
+    descriptor: String,
+    flags: MethodFlags,
+    insns: Vec<Insn>,
+    /// `labels[i]` = pc bound for label i.
+    labels: Vec<Option<InsnIndex>>,
+    /// Instructions whose branch targets are label ids awaiting resolution.
+    fixup_pcs: Vec<InsnIndex>,
+    /// Exception regions with label endpoints.
+    handlers: Vec<(Label, Label, Label, Option<String>)>,
+    max_local: u16,
+}
+
+macro_rules! simple_emitters {
+    ($($(#[$doc:meta])* $fn_name:ident => $insn:expr;)+) => {
+        $(
+            $(#[$doc])*
+            pub fn $fn_name(&mut self) -> &mut Self {
+                self.emit($insn)
+            }
+        )+
+    };
+}
+
+impl<'a> MethodBuilder<'a> {
+    /// Append a raw instruction.
+    pub fn emit(&mut self, insn: Insn) -> &mut Self {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Current instruction count (the pc the next emitted instruction gets).
+    pub fn pc(&self) -> InsnIndex {
+        self.insns.len() as InsnIndex
+    }
+
+    /// Allocate a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.labels.len() as u32);
+        self.labels.push(None);
+        l
+    }
+
+    /// Bind `label` to the next instruction's pc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (a builder-usage bug).
+    pub fn bind(&mut self, label: Label) -> &mut Self {
+        let pc = self.pc();
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(pc);
+        self
+    }
+
+    fn emit_branch(&mut self, insn: Insn) -> &mut Self {
+        self.fixup_pcs.push(self.pc());
+        self.emit(insn)
+    }
+
+    fn touch(&mut self, slot: u16) {
+        // Saturate: slot u16::MAX then fails validation ("local slot out of
+        // range") instead of overflowing.
+        self.max_local = self.max_local.max(slot.saturating_add(1));
+    }
+
+    // --- constants ---
+
+    /// Push an int constant.
+    pub fn iconst(&mut self, v: i64) -> &mut Self {
+        self.emit(Insn::IConst(v))
+    }
+
+    /// Push a float constant.
+    pub fn fconst(&mut self, v: f64) -> &mut Self {
+        self.emit(Insn::FConst(v))
+    }
+
+    /// Push a string constant (interned in the pool).
+    pub fn ldc_str(&mut self, s: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_utf8(s);
+        self.emit(Insn::Ldc(idx))
+    }
+
+    // --- locals ---
+
+    /// Push int from a local slot.
+    pub fn iload(&mut self, slot: u16) -> &mut Self {
+        self.touch(slot);
+        self.emit(Insn::ILoad(slot))
+    }
+
+    /// Push float from a local slot.
+    pub fn fload(&mut self, slot: u16) -> &mut Self {
+        self.touch(slot);
+        self.emit(Insn::FLoad(slot))
+    }
+
+    /// Push reference from a local slot.
+    pub fn aload(&mut self, slot: u16) -> &mut Self {
+        self.touch(slot);
+        self.emit(Insn::ALoad(slot))
+    }
+
+    /// Pop int into a local slot.
+    pub fn istore(&mut self, slot: u16) -> &mut Self {
+        self.touch(slot);
+        self.emit(Insn::IStore(slot))
+    }
+
+    /// Pop float into a local slot.
+    pub fn fstore(&mut self, slot: u16) -> &mut Self {
+        self.touch(slot);
+        self.emit(Insn::FStore(slot))
+    }
+
+    /// Pop reference into a local slot.
+    pub fn astore(&mut self, slot: u16) -> &mut Self {
+        self.touch(slot);
+        self.emit(Insn::AStore(slot))
+    }
+
+    /// Add `delta` to the int in a local slot.
+    pub fn iinc(&mut self, slot: u16, delta: i32) -> &mut Self {
+        self.touch(slot);
+        self.emit(Insn::IInc { local: slot, delta })
+    }
+
+    simple_emitters! {
+        /// Push `null`.
+        aconst_null => Insn::AConstNull;
+        /// Discard top of stack.
+        pop => Insn::Pop;
+        /// Duplicate top of stack.
+        dup => Insn::Dup;
+        /// Swap the top two values.
+        swap => Insn::Swap;
+        /// Int add.
+        iadd => Insn::IAdd;
+        /// Int subtract.
+        isub => Insn::ISub;
+        /// Int multiply.
+        imul => Insn::IMul;
+        /// Int divide.
+        idiv => Insn::IDiv;
+        /// Int remainder.
+        irem => Insn::IRem;
+        /// Int negate.
+        ineg => Insn::INeg;
+        /// Shift left.
+        ishl => Insn::IShl;
+        /// Arithmetic shift right.
+        ishr => Insn::IShr;
+        /// Logical shift right.
+        iushr => Insn::IUShr;
+        /// Bitwise and.
+        iand => Insn::IAnd;
+        /// Bitwise or.
+        ior => Insn::IOr;
+        /// Bitwise xor.
+        ixor => Insn::IXor;
+        /// Float add.
+        fadd => Insn::FAdd;
+        /// Float subtract.
+        fsub => Insn::FSub;
+        /// Float multiply.
+        fmul => Insn::FMul;
+        /// Float divide.
+        fdiv => Insn::FDiv;
+        /// Float negate.
+        fneg => Insn::FNeg;
+        /// Int → float.
+        i2f => Insn::I2F;
+        /// Float → int.
+        f2i => Insn::F2I;
+        /// Float compare (-1/0/1).
+        fcmp => Insn::FCmp;
+        /// Return void.
+        ret_void => Insn::Return;
+        /// Return int.
+        ireturn => Insn::IReturn;
+        /// Return float.
+        freturn => Insn::FReturn;
+        /// Return reference.
+        areturn => Insn::AReturn;
+        /// Pop index+arrayref, push int element.
+        iaload => Insn::IALoad;
+        /// Pop value+index+arrayref, store int element.
+        iastore => Insn::IAStore;
+        /// Pop index+arrayref, push float element.
+        faload => Insn::FALoad;
+        /// Pop value+index+arrayref, store float element.
+        fastore => Insn::FAStore;
+        /// Pop index+arrayref, push reference element.
+        aaload => Insn::AALoad;
+        /// Pop value+index+arrayref, store reference element.
+        aastore => Insn::AAStore;
+        /// Pop arrayref, push length.
+        arraylength => Insn::ArrayLength;
+        /// Throw the reference on top of stack.
+        athrow => Insn::AThrow;
+        /// No operation.
+        nop => Insn::Nop;
+    }
+
+    // --- control flow ---
+
+    /// Unconditional jump.
+    pub fn goto(&mut self, l: Label) -> &mut Self {
+        self.emit_branch(Insn::Goto(l.0))
+    }
+
+    /// Jump if the popped int satisfies `cond` versus zero.
+    pub fn if_(&mut self, cond: Cond, l: Label) -> &mut Self {
+        self.emit_branch(Insn::If(cond, l.0))
+    }
+
+    /// Jump if `lhs cond rhs` over the two popped ints.
+    pub fn if_icmp(&mut self, cond: Cond, l: Label) -> &mut Self {
+        self.emit_branch(Insn::IfICmp(cond, l.0))
+    }
+
+    /// Jump if the popped reference is null.
+    pub fn ifnull(&mut self, l: Label) -> &mut Self {
+        self.emit_branch(Insn::IfNull(l.0))
+    }
+
+    /// Jump if the popped reference is non-null.
+    pub fn ifnonnull(&mut self, l: Label) -> &mut Self {
+        self.emit_branch(Insn::IfNonNull(l.0))
+    }
+
+    /// Table switch over the popped int.
+    pub fn tableswitch(&mut self, low: i64, targets: &[Label], default: Label) -> &mut Self {
+        self.emit_branch(Insn::TableSwitch {
+            low,
+            targets: targets.iter().map(|l| l.0).collect(),
+            default: default.0,
+        })
+    }
+
+    // --- calls, fields, objects ---
+
+    /// Call a static method.
+    pub fn invokestatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_method_ref(class, name, descriptor);
+        self.emit(Insn::InvokeStatic(idx))
+    }
+
+    /// Call an instance method.
+    pub fn invokevirtual(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_method_ref(class, name, descriptor);
+        self.emit(Insn::InvokeVirtual(idx))
+    }
+
+    /// Allocate an instance of `class`.
+    pub fn new_obj(&mut self, class: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_class(class);
+        self.emit(Insn::New(idx))
+    }
+
+    /// Push an instance field.
+    pub fn getfield(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_field_ref(class, name, descriptor);
+        self.emit(Insn::GetField(idx))
+    }
+
+    /// Store into an instance field.
+    pub fn putfield(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_field_ref(class, name, descriptor);
+        self.emit(Insn::PutField(idx))
+    }
+
+    /// Push a static field.
+    pub fn getstatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_field_ref(class, name, descriptor);
+        self.emit(Insn::GetStatic(idx))
+    }
+
+    /// Store into a static field.
+    pub fn putstatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
+        let idx = self.cb.class.pool.intern_field_ref(class, name, descriptor);
+        self.emit(Insn::PutStatic(idx))
+    }
+
+    /// Allocate an array of `kind` with the popped length.
+    pub fn newarray(&mut self, kind: ArrayKind) -> &mut Self {
+        self.emit(Insn::NewArray(kind))
+    }
+
+    /// Declare an exception-table region: exceptions raised in
+    /// `start..end` matching `catch_class` (`None` = catch-all / `finally`)
+    /// transfer to `handler`.
+    pub fn try_region(
+        &mut self,
+        start: Label,
+        end: Label,
+        handler: Label,
+        catch_class: Option<&str>,
+    ) -> &mut Self {
+        self.handlers
+            .push((start, end, handler, catch_class.map(str::to_owned)));
+        self
+    }
+
+    /// Resolve labels, validate, compute `max_stack`, and attach the method
+    /// to the class.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unbound labels, duplicate signatures, or any structural
+    /// problem found by the validator.
+    pub fn finish(self) -> Result<CodeFacts, ClassfileError> {
+        let MethodBuilder {
+            cb,
+            name,
+            descriptor,
+            flags,
+            mut insns,
+            labels,
+            fixup_pcs,
+            handlers,
+            max_local,
+        } = self;
+        // Resolve label ids in branch instructions to bound pcs.
+        let resolved: Vec<Option<InsnIndex>> = labels;
+        let mut unbound: Option<u32> = None;
+        for pc in fixup_pcs {
+            insns[pc as usize].map_targets(|label_id| {
+                match resolved.get(label_id as usize).copied().flatten() {
+                    Some(target) => target,
+                    None => {
+                        unbound = Some(label_id);
+                        0
+                    }
+                }
+            });
+        }
+        if let Some(id) = unbound {
+            return Err(ClassfileError::Invalid(format!(
+                "{name}.{descriptor}: label Label({id}) used but never bound"
+            )));
+        }
+        let mut exception_table = Vec::with_capacity(handlers.len());
+        for (s, e, h, catch) in handlers {
+            let lookup = |l: Label| -> Result<InsnIndex, ClassfileError> {
+                resolved[l.0 as usize].ok_or_else(|| {
+                    ClassfileError::Invalid(format!(
+                        "{name}.{descriptor}: exception-region label {l:?} never bound"
+                    ))
+                })
+            };
+            exception_table.push(ExceptionHandler {
+                start: lookup(s)?,
+                end: lookup(e)?,
+                handler: lookup(h)?,
+                catch_class: catch,
+            });
+        }
+        let mut code = Code {
+            max_stack: 0,
+            max_locals: max_local,
+            insns,
+            exception_table,
+        };
+        let probe = MethodInfo::new(name.clone(), &descriptor, flags, code.clone())?;
+        let facts = validate_code(&cb.class.pool, &probe, &code)?;
+        code.max_stack = facts.max_stack;
+        cb.class
+            .add_method(MethodInfo::new(name, &descriptor, flags, code)?)?;
+        Ok(facts)
+    }
+}
+
+/// Convenience: build a class whose single static method `name()` has the
+/// given body — used pervasively in tests.
+///
+/// # Errors
+///
+/// Propagates builder errors.
+pub fn single_method_class(
+    class_name: &str,
+    method_name: &str,
+    descriptor: &str,
+    build: impl FnOnce(&mut MethodBuilder<'_>),
+) -> Result<ClassFile, ClassfileError> {
+    let mut cb = ClassBuilder::new(class_name);
+    let mut mb = cb.method(method_name, descriptor, MethodFlags::STATIC | MethodFlags::PUBLIC);
+    build(&mut mb);
+    mb.finish()?;
+    cb.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_method() {
+        let class = single_method_class("t/A", "two", "()I", |m| {
+            m.iconst(1).iconst(1).iadd().ireturn();
+        })
+        .unwrap();
+        let m = class.find_method("two", "()I").unwrap();
+        let code = m.code.as_ref().unwrap();
+        assert_eq!(code.max_stack, 2);
+        assert_eq!(code.max_locals, 0);
+        assert_eq!(code.insns.len(), 4);
+    }
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let class = single_method_class("t/A", "countdown", "(I)I", |m| {
+            let top = m.new_label();
+            let done = m.new_label();
+            m.bind(top);
+            m.iload(0).if_(Cond::Le, done);
+            m.iinc(0, -1).goto(top);
+            m.bind(done);
+            m.iload(0).ireturn();
+        })
+        .unwrap();
+        let code = class
+            .find_method("countdown", "(I)I")
+            .unwrap()
+            .code
+            .as_ref()
+            .unwrap();
+        // goto must point back at pc 0, the If forward at the bound pc.
+        assert_eq!(code.insns[3], Insn::Goto(0));
+        assert!(matches!(code.insns[1], Insn::If(Cond::Le, t) if t == 4));
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut cb = ClassBuilder::new("t/A");
+        let mut m = cb.method("bad", "()V", MethodFlags::STATIC);
+        let l = m.new_label();
+        m.goto(l);
+        let err = m.finish().unwrap_err();
+        assert!(err.to_string().contains("never bound"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut cb = ClassBuilder::new("t/A");
+        let mut m = cb.method("bad", "()V", MethodFlags::STATIC);
+        let l = m.new_label();
+        m.bind(l);
+        m.bind(l);
+    }
+
+    #[test]
+    fn max_locals_covers_args_and_temps() {
+        let class = single_method_class("t/A", "f", "(II)I", |m| {
+            m.iload(0).iload(1).iadd().istore(5).iload(5).ireturn();
+        })
+        .unwrap();
+        let code = class.find_method("f", "(II)I").unwrap().code.as_ref().unwrap();
+        assert_eq!(code.max_locals, 6);
+    }
+
+    #[test]
+    fn instance_method_gets_this_slot() {
+        let mut cb = ClassBuilder::new("t/A");
+        let mut m = cb.method("g", "()V", MethodFlags::PUBLIC);
+        m.ret_void();
+        m.finish().unwrap();
+        let class = cb.finish().unwrap();
+        let code = class.find_method("g", "()V").unwrap().code.as_ref().unwrap();
+        assert_eq!(code.max_locals, 1);
+    }
+
+    #[test]
+    fn try_region_resolves() {
+        let class = single_method_class("t/A", "f", "()V", |m| {
+            let start = m.new_label();
+            let end = m.new_label();
+            let handler = m.new_label();
+            m.bind(start);
+            m.invokestatic("t/B", "risky", "()V");
+            m.bind(end);
+            m.ret_void();
+            m.bind(handler);
+            m.athrow();
+            m.try_region(start, end, handler, None);
+        })
+        .unwrap();
+        let code = class.find_method("f", "()V").unwrap().code.as_ref().unwrap();
+        assert_eq!(code.exception_table.len(), 1);
+        let h = &code.exception_table[0];
+        assert_eq!((h.start, h.end, h.handler), (0, 1, 2));
+        assert_eq!(h.catch_class, None);
+    }
+
+    #[test]
+    fn invalid_body_rejected_at_finish() {
+        let mut cb = ClassBuilder::new("t/A");
+        let mut m = cb.method("bad", "()I", MethodFlags::STATIC);
+        m.ret_void(); // wrong return kind
+        assert!(m.finish().is_err());
+    }
+
+    #[test]
+    fn pool_interning_through_builder() {
+        let class = single_method_class("t/A", "f", "()V", |m| {
+            m.invokestatic("x/Y", "g", "()V");
+            m.invokestatic("x/Y", "g", "()V");
+            m.ret_void();
+        })
+        .unwrap();
+        let code = class.find_method("f", "()V").unwrap().code.as_ref().unwrap();
+        assert_eq!(code.insns[0], code.insns[1]);
+    }
+
+    #[test]
+    fn native_and_field_declarations() {
+        let mut cb = ClassBuilder::new("t/A");
+        cb.field("hits", "I", FieldFlags::STATIC)
+            .unwrap()
+            .native_method("read", "()I", MethodFlags::PUBLIC)
+            .unwrap();
+        let class = cb.finish().unwrap();
+        assert!(class.has_native_methods());
+        assert!(class.find_field("hits").is_some());
+    }
+
+    #[test]
+    fn tableswitch_labels_resolve() {
+        let class = single_method_class("t/A", "pick", "(I)I", |m| {
+            let c0 = m.new_label();
+            let c1 = m.new_label();
+            let def = m.new_label();
+            m.iload(0).tableswitch(0, &[c0, c1], def);
+            m.bind(c0);
+            m.iconst(100).ireturn();
+            m.bind(c1);
+            m.iconst(200).ireturn();
+            m.bind(def);
+            m.iconst(-1).ireturn();
+        })
+        .unwrap();
+        let code = class.find_method("pick", "(I)I").unwrap().code.as_ref().unwrap();
+        match &code.insns[1] {
+            Insn::TableSwitch {
+                targets, default, ..
+            } => {
+                assert_eq!(targets, &vec![2, 4]);
+                assert_eq!(*default, 6);
+            }
+            other => panic!("expected tableswitch, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,430 @@
+//! Class, method and field structures.
+
+use std::fmt;
+
+use crate::constpool::ConstantPool;
+use crate::error::ClassfileError;
+use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
+use crate::insn::{Insn, InsnIndex};
+use crate::ty::{MethodDescriptor, Type};
+
+/// Name of the root class every class ultimately extends.
+pub const OBJECT_CLASS: &str = "java/lang/Object";
+
+/// Name of the conventional class-initializer method, run once when a class
+/// is first used (this is where `System.loadLibrary` calls typically live,
+/// as §II-A of the paper notes).
+pub const CLINIT: &str = "<clinit>";
+
+/// One entry in a method's exception table.
+///
+/// If an exception is thrown while the program counter is in
+/// `start..end` (instruction indices, end exclusive) and the thrown class
+/// matches `catch_class` (or `catch_class` is `None`, a catch-all — how
+/// `finally` is encoded), control transfers to `handler` with the exception
+/// reference as the sole stack operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExceptionHandler {
+    /// First covered instruction index.
+    pub start: InsnIndex,
+    /// One past the last covered instruction index.
+    pub end: InsnIndex,
+    /// Handler entry point.
+    pub handler: InsnIndex,
+    /// Class of exceptions to catch; `None` catches everything.
+    pub catch_class: Option<String>,
+}
+
+/// The bytecode body of a non-native, non-abstract method.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Code {
+    /// Maximum operand-stack depth, as computed by the validator.
+    pub max_stack: u16,
+    /// Number of local-variable slots (parameters included).
+    pub max_locals: u16,
+    /// The instructions.
+    pub insns: Vec<Insn>,
+    /// Exception table, searched in order.
+    pub exception_table: Vec<ExceptionHandler>,
+}
+
+/// A method declaration, with bytecode unless it is `native`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodInfo {
+    name: String,
+    descriptor: MethodDescriptor,
+    descriptor_string: String,
+    /// Access flags.
+    pub flags: MethodFlags,
+    /// Body; `None` exactly when [`MethodFlags::NATIVE`] is set.
+    pub code: Option<Code>,
+}
+
+impl MethodInfo {
+    /// Construct a bytecode method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadDescriptor`] if `descriptor` does not
+    /// parse, or [`ClassfileError::Invalid`] if `flags` contains `NATIVE`.
+    pub fn new(
+        name: impl Into<String>,
+        descriptor: &str,
+        flags: MethodFlags,
+        code: Code,
+    ) -> Result<Self, ClassfileError> {
+        if flags.contains(MethodFlags::NATIVE) {
+            return Err(ClassfileError::Invalid(
+                "a native method cannot have a bytecode body".into(),
+            ));
+        }
+        Ok(MethodInfo {
+            name: name.into(),
+            descriptor: descriptor.parse()?,
+            descriptor_string: descriptor.to_owned(),
+            flags,
+            code: Some(code),
+        })
+    }
+
+    /// Construct a `native` method (no body; resolved against a native
+    /// library at link time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadDescriptor`] if `descriptor` does not
+    /// parse.
+    pub fn new_native(
+        name: impl Into<String>,
+        descriptor: &str,
+        flags: MethodFlags,
+    ) -> Result<Self, ClassfileError> {
+        Ok(MethodInfo {
+            name: name.into(),
+            descriptor: descriptor.parse()?,
+            descriptor_string: descriptor.to_owned(),
+            flags: flags.with(MethodFlags::NATIVE),
+            code: None,
+        })
+    }
+
+    /// Method name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the method (used by the prefixing transform).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Parsed descriptor.
+    pub fn descriptor(&self) -> &MethodDescriptor {
+        &self.descriptor
+    }
+
+    /// Descriptor string as written, e.g. `(I[F)V`.
+    pub fn descriptor_string(&self) -> &str {
+        &self.descriptor_string
+    }
+
+    /// The paper's `m.isNative()`.
+    pub fn is_native(&self) -> bool {
+        self.flags.contains(MethodFlags::NATIVE)
+    }
+
+    /// Does the method have a `this` receiver?
+    pub fn is_static(&self) -> bool {
+        self.flags.contains(MethodFlags::STATIC)
+    }
+
+    /// Total argument slots including the receiver for instance methods.
+    pub fn arg_slots(&self) -> usize {
+        self.descriptor.param_slots() + usize::from(!self.is_static())
+    }
+
+    /// `name + descriptor`, the key a class resolves members by.
+    pub fn signature(&self) -> String {
+        format!("{}{}", self.name, self.descriptor_string)
+    }
+}
+
+impl fmt::Display for MethodInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}{}", self.flags, self.name, self.descriptor_string)
+    }
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldInfo {
+    name: String,
+    ty: Type,
+    /// Access flags.
+    pub flags: FieldFlags,
+}
+
+impl FieldInfo {
+    /// Construct a field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadDescriptor`] if `descriptor` does not
+    /// parse as a type.
+    pub fn new(
+        name: impl Into<String>,
+        descriptor: &str,
+        flags: FieldFlags,
+    ) -> Result<Self, ClassfileError> {
+        Ok(FieldInfo {
+            name: name.into(),
+            ty: descriptor.parse()?,
+            flags,
+        })
+    }
+
+    /// Field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Field type.
+    pub fn ty(&self) -> &Type {
+        &self.ty
+    }
+
+    /// Is this a per-class (static) field?
+    pub fn is_static(&self) -> bool {
+        self.flags.contains(FieldFlags::STATIC)
+    }
+}
+
+/// A complete class: name, superclass, constant pool, fields, methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassFile {
+    name: String,
+    super_name: Option<String>,
+    /// Access flags.
+    pub flags: ClassFlags,
+    /// The class's constant pool.
+    pub pool: ConstantPool,
+    fields: Vec<FieldInfo>,
+    methods: Vec<MethodInfo>,
+}
+
+impl ClassFile {
+    /// Create an empty class extending [`OBJECT_CLASS`].
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let super_name = if name == OBJECT_CLASS {
+            None
+        } else {
+            Some(OBJECT_CLASS.to_owned())
+        };
+        ClassFile {
+            name,
+            super_name,
+            flags: ClassFlags::PUBLIC,
+            pool: ConstantPool::new(),
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Internal class name, e.g. `spec/jvm98/Compress`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Superclass name; `None` only for `java/lang/Object` itself.
+    pub fn super_name(&self) -> Option<&str> {
+        self.super_name.as_deref()
+    }
+
+    /// Set the superclass.
+    pub fn set_super_name(&mut self, name: impl Into<String>) {
+        self.super_name = Some(name.into());
+    }
+
+    /// Declared fields.
+    pub fn fields(&self) -> &[FieldInfo] {
+        &self.fields
+    }
+
+    /// Declared methods.
+    pub fn methods(&self) -> &[MethodInfo] {
+        &self.methods
+    }
+
+    /// Mutable access to the methods (used by bytecode transforms).
+    pub fn methods_mut(&mut self) -> &mut Vec<MethodInfo> {
+        &mut self.methods
+    }
+
+    /// Add a field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::Duplicate`] on a duplicate field name.
+    pub fn add_field(&mut self, field: FieldInfo) -> Result<(), ClassfileError> {
+        if self.fields.iter().any(|f| f.name() == field.name()) {
+            return Err(ClassfileError::Duplicate(format!(
+                "field {} in class {}",
+                field.name(),
+                self.name
+            )));
+        }
+        self.fields.push(field);
+        Ok(())
+    }
+
+    /// Add a method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::Duplicate`] if a method with the same name
+    /// and descriptor already exists.
+    pub fn add_method(&mut self, method: MethodInfo) -> Result<(), ClassfileError> {
+        if self
+            .methods
+            .iter()
+            .any(|m| m.name() == method.name() && m.descriptor_string() == method.descriptor_string())
+        {
+            return Err(ClassfileError::Duplicate(format!(
+                "method {} in class {}",
+                method.signature(),
+                self.name
+            )));
+        }
+        self.methods.push(method);
+        Ok(())
+    }
+
+    /// Look up a method by name and descriptor.
+    pub fn find_method(&self, name: &str, descriptor: &str) -> Option<&MethodInfo> {
+        self.methods
+            .iter()
+            .find(|m| m.name() == name && m.descriptor_string() == descriptor)
+    }
+
+    /// Look up a field by name.
+    pub fn find_field(&self, name: &str) -> Option<&FieldInfo> {
+        self.fields.iter().find(|f| f.name() == name)
+    }
+
+    /// Does the class declare any `native` method? (The dynamic
+    /// instrumentation path uses this to decide whether a loaded class needs
+    /// the wrapper transform at all.)
+    pub fn has_native_methods(&self) -> bool {
+        self.methods.iter().any(MethodInfo::is_native)
+    }
+}
+
+impl fmt::Display for ClassFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "class {} extends {} ({} fields, {} methods)",
+            self.name,
+            self.super_name.as_deref().unwrap_or("<root>"),
+            self.fields.len(),
+            self.methods.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_code() -> Code {
+        Code {
+            max_stack: 1,
+            max_locals: 0,
+            insns: vec![Insn::Return],
+            exception_table: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn method_properties() {
+        let m = MethodInfo::new("run", "(I)I", MethodFlags::STATIC, simple_code()).unwrap();
+        assert_eq!(m.name(), "run");
+        assert!(!m.is_native());
+        assert!(m.is_static());
+        assert_eq!(m.arg_slots(), 1);
+        assert_eq!(m.signature(), "run(I)I");
+        assert!(m.code.is_some());
+    }
+
+    #[test]
+    fn instance_method_has_receiver_slot() {
+        let m = MethodInfo::new("f", "(II)V", MethodFlags::PUBLIC, simple_code()).unwrap();
+        assert_eq!(m.arg_slots(), 3);
+    }
+
+    #[test]
+    fn native_method_has_no_code() {
+        let m = MethodInfo::new_native("read", "()I", MethodFlags::EMPTY).unwrap();
+        assert!(m.is_native());
+        assert!(m.code.is_none());
+        assert!(m.flags.contains(MethodFlags::NATIVE));
+    }
+
+    #[test]
+    fn native_with_body_rejected() {
+        let err = MethodInfo::new("x", "()V", MethodFlags::NATIVE, simple_code()).unwrap_err();
+        assert!(matches!(err, ClassfileError::Invalid(_)));
+    }
+
+    #[test]
+    fn bad_descriptor_rejected() {
+        assert!(MethodInfo::new_native("x", "(", MethodFlags::EMPTY).is_err());
+        assert!(FieldInfo::new("f", "Q", FieldFlags::EMPTY).is_err());
+    }
+
+    #[test]
+    fn class_member_lookup() {
+        let mut c = ClassFile::new("a/B");
+        c.add_method(MethodInfo::new_native("n", "()V", MethodFlags::EMPTY).unwrap())
+            .unwrap();
+        c.add_field(FieldInfo::new("count", "I", FieldFlags::STATIC).unwrap())
+            .unwrap();
+        assert!(c.find_method("n", "()V").is_some());
+        assert!(c.find_method("n", "(I)V").is_none());
+        assert!(c.find_field("count").unwrap().is_static());
+        assert!(c.has_native_methods());
+        assert_eq!(c.super_name(), Some(OBJECT_CLASS));
+    }
+
+    #[test]
+    fn object_root_has_no_super() {
+        let c = ClassFile::new(OBJECT_CLASS);
+        assert_eq!(c.super_name(), None);
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut c = ClassFile::new("a/B");
+        let m = MethodInfo::new_native("n", "()V", MethodFlags::EMPTY).unwrap();
+        c.add_method(m.clone()).unwrap();
+        assert!(matches!(
+            c.add_method(m),
+            Err(ClassfileError::Duplicate(_))
+        ));
+        // Overloads are fine.
+        c.add_method(MethodInfo::new_native("n", "(I)V", MethodFlags::EMPTY).unwrap())
+            .unwrap();
+        let f = FieldInfo::new("x", "I", FieldFlags::EMPTY).unwrap();
+        c.add_field(f.clone()).unwrap();
+        assert!(matches!(c.add_field(f), Err(ClassfileError::Duplicate(_))));
+    }
+
+    #[test]
+    fn display() {
+        let c = ClassFile::new("a/B");
+        assert_eq!(c.to_string(), "class a/B extends java/lang/Object (0 fields, 0 methods)");
+        let m = MethodInfo::new_native("n", "()V", MethodFlags::PUBLIC).unwrap();
+        assert_eq!(m.to_string(), "public native n()V");
+    }
+}

@@ -1,0 +1,823 @@
+//! Binary serialization of class files.
+//!
+//! The paper's static-instrumentation pipeline works on *files*: it reads
+//! `.class` files (individual or archived in `rt.jar`), rewrites them, and
+//! writes them back for the JVM to pick up via `-Xbootclasspath/p:`. This
+//! module defines the analogous on-disk format for the simulator so that
+//! the instrumentation tool in `jvmsim-instr` is a real
+//! bytes-in/bytes-out transformer rather than an in-memory shortcut.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  u32  0x4A564D53 ("JVMS")
+//! version u16 1
+//! flags  u16
+//! name   str            (u16 length + UTF-8 bytes)
+//! super  u8 + str       (0 = none)
+//! pool   u16 count, then tagged entries
+//! fields u16 count, then (str name, str descriptor, u16 flags)
+//! methods u16 count, then (str name, str descriptor, u16 flags, u8 has_code
+//!          [+ code: u16 max_stack, u16 max_locals, u32 n, insns,
+//!             u16 handlers, (u32 start, u32 end, u32 handler, u8 + str)])
+//! ```
+
+use crate::class::{ClassFile, Code, ExceptionHandler, FieldInfo, MethodInfo};
+use crate::constpool::{Constant, ConstantPool, CpIndex};
+use crate::error::ClassfileError;
+use crate::flags::{ClassFlags, FieldFlags, MethodFlags};
+use crate::insn::{ArrayKind, Cond, Insn};
+
+/// File magic: `"JVMS"`.
+pub const MAGIC: u32 = 0x4A56_4D53;
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+// ---------------------------------------------------------------- writing
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        assert!(bytes.len() <= u16::MAX as usize, "string too long for format");
+        self.u16(bytes.len() as u16);
+        self.buf.extend_from_slice(bytes);
+    }
+    fn opt_str(&mut self, s: Option<&str>) {
+        match s {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.str(s);
+            }
+        }
+    }
+}
+
+fn cond_code(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Gt => 4,
+        Cond::Le => 5,
+    }
+}
+
+fn array_kind_code(k: ArrayKind) -> u8 {
+    match k {
+        ArrayKind::Int => 0,
+        ArrayKind::Float => 1,
+        ArrayKind::Ref => 2,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn write_insn(w: &mut Writer, insn: &Insn) {
+    use Insn::*;
+    match insn {
+        Nop => w.u8(0x00),
+        IConst(v) => {
+            w.u8(0x01);
+            w.i64(*v);
+        }
+        FConst(v) => {
+            w.u8(0x02);
+            w.f64(*v);
+        }
+        AConstNull => w.u8(0x03),
+        Ldc(i) => {
+            w.u8(0x04);
+            w.u16(i.0);
+        }
+        ILoad(s) => {
+            w.u8(0x05);
+            w.u16(*s);
+        }
+        FLoad(s) => {
+            w.u8(0x06);
+            w.u16(*s);
+        }
+        ALoad(s) => {
+            w.u8(0x07);
+            w.u16(*s);
+        }
+        IStore(s) => {
+            w.u8(0x08);
+            w.u16(*s);
+        }
+        FStore(s) => {
+            w.u8(0x09);
+            w.u16(*s);
+        }
+        AStore(s) => {
+            w.u8(0x0A);
+            w.u16(*s);
+        }
+        Pop => w.u8(0x0B),
+        Dup => w.u8(0x0C),
+        Swap => w.u8(0x0D),
+        IAdd => w.u8(0x10),
+        ISub => w.u8(0x11),
+        IMul => w.u8(0x12),
+        IDiv => w.u8(0x13),
+        IRem => w.u8(0x14),
+        INeg => w.u8(0x15),
+        IShl => w.u8(0x16),
+        IShr => w.u8(0x17),
+        IUShr => w.u8(0x18),
+        IAnd => w.u8(0x19),
+        IOr => w.u8(0x1A),
+        IXor => w.u8(0x1B),
+        IInc { local, delta } => {
+            w.u8(0x1C);
+            w.u16(*local);
+            w.i32(*delta);
+        }
+        FAdd => w.u8(0x20),
+        FSub => w.u8(0x21),
+        FMul => w.u8(0x22),
+        FDiv => w.u8(0x23),
+        FNeg => w.u8(0x24),
+        I2F => w.u8(0x25),
+        F2I => w.u8(0x26),
+        FCmp => w.u8(0x27),
+        Goto(t) => {
+            w.u8(0x30);
+            w.u32(*t);
+        }
+        If(c, t) => {
+            w.u8(0x31);
+            w.u8(cond_code(*c));
+            w.u32(*t);
+        }
+        IfICmp(c, t) => {
+            w.u8(0x32);
+            w.u8(cond_code(*c));
+            w.u32(*t);
+        }
+        IfNull(t) => {
+            w.u8(0x33);
+            w.u32(*t);
+        }
+        IfNonNull(t) => {
+            w.u8(0x34);
+            w.u32(*t);
+        }
+        TableSwitch {
+            low,
+            targets,
+            default,
+        } => {
+            w.u8(0x35);
+            w.i64(*low);
+            w.u32(targets.len() as u32);
+            for t in targets {
+                w.u32(*t);
+            }
+            w.u32(*default);
+        }
+        InvokeStatic(i) => {
+            w.u8(0x40);
+            w.u16(i.0);
+        }
+        InvokeVirtual(i) => {
+            w.u8(0x41);
+            w.u16(i.0);
+        }
+        Return => w.u8(0x42),
+        IReturn => w.u8(0x43),
+        FReturn => w.u8(0x44),
+        AReturn => w.u8(0x45),
+        New(i) => {
+            w.u8(0x50);
+            w.u16(i.0);
+        }
+        GetField(i) => {
+            w.u8(0x51);
+            w.u16(i.0);
+        }
+        PutField(i) => {
+            w.u8(0x52);
+            w.u16(i.0);
+        }
+        GetStatic(i) => {
+            w.u8(0x53);
+            w.u16(i.0);
+        }
+        PutStatic(i) => {
+            w.u8(0x54);
+            w.u16(i.0);
+        }
+        NewArray(k) => {
+            w.u8(0x55);
+            w.u8(array_kind_code(*k));
+        }
+        IALoad => w.u8(0x56),
+        IAStore => w.u8(0x57),
+        FALoad => w.u8(0x58),
+        FAStore => w.u8(0x59),
+        AALoad => w.u8(0x5A),
+        AAStore => w.u8(0x5B),
+        ArrayLength => w.u8(0x5C),
+        AThrow => w.u8(0x60),
+    }
+}
+
+/// Serialize a class to bytes.
+///
+/// # Panics
+///
+/// Panics if a count exceeds the format's `u16`/`u32` ranges (more than
+/// 65 535 fields, methods, or exception handlers in one class) — silently
+/// truncating would produce an undetectably corrupt file.
+pub fn encode(class: &ClassFile) -> Vec<u8> {
+    assert!(
+        class.fields().len() <= u16::MAX as usize,
+        "too many fields to encode"
+    );
+    assert!(
+        class.methods().len() <= u16::MAX as usize,
+        "too many methods to encode"
+    );
+    for m in class.methods() {
+        if let Some(code) = &m.code {
+            assert!(
+                code.exception_table.len() <= u16::MAX as usize,
+                "too many exception handlers to encode"
+            );
+            assert!(
+                code.insns.len() <= u32::MAX as usize,
+                "too many instructions to encode"
+            );
+        }
+    }
+    let mut w = Writer { buf: Vec::new() };
+    w.u32(MAGIC);
+    w.u16(VERSION);
+    w.u16(class.flags.bits());
+    w.str(class.name());
+    w.opt_str(class.super_name());
+    // Constant pool.
+    let entries = class.pool.entries();
+    w.u16(entries.len() as u16);
+    for e in entries {
+        match e {
+            Constant::Utf8(s) => {
+                w.u8(0);
+                w.str(s);
+            }
+            Constant::Class { name } => {
+                w.u8(1);
+                w.u16(name.0);
+            }
+            Constant::MethodRef {
+                class,
+                name,
+                descriptor,
+            } => {
+                w.u8(2);
+                w.u16(class.0);
+                w.u16(name.0);
+                w.u16(descriptor.0);
+            }
+            Constant::FieldRef {
+                class,
+                name,
+                descriptor,
+            } => {
+                w.u8(3);
+                w.u16(class.0);
+                w.u16(name.0);
+                w.u16(descriptor.0);
+            }
+        }
+    }
+    // Fields.
+    w.u16(class.fields().len() as u16);
+    for f in class.fields() {
+        w.str(f.name());
+        w.str(&f.ty().to_string());
+        w.u16(f.flags.bits());
+    }
+    // Methods.
+    w.u16(class.methods().len() as u16);
+    for m in class.methods() {
+        w.str(m.name());
+        w.str(m.descriptor_string());
+        w.u16(m.flags.bits());
+        match &m.code {
+            None => w.u8(0),
+            Some(code) => {
+                w.u8(1);
+                w.u16(code.max_stack);
+                w.u16(code.max_locals);
+                w.u32(code.insns.len() as u32);
+                for insn in &code.insns {
+                    write_insn(&mut w, insn);
+                }
+                w.u16(code.exception_table.len() as u16);
+                for h in &code.exception_table {
+                    w.u32(h.start);
+                    w.u32(h.end);
+                    w.u32(h.handler);
+                    w.opt_str(h.catch_class.as_deref());
+                }
+            }
+        }
+    }
+    w.buf
+}
+
+// ---------------------------------------------------------------- reading
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ClassfileError> {
+        if self.pos + n > self.data.len() {
+            return Err(ClassfileError::BadFormat(format!(
+                "truncated at offset {} (wanted {n} bytes of {})",
+                self.pos,
+                self.data.len()
+            )));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, ClassfileError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ClassfileError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ClassfileError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i32(&mut self) -> Result<i32, ClassfileError> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, ClassfileError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ClassfileError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+    fn str(&mut self) -> Result<String, ClassfileError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| ClassfileError::BadFormat(format!("invalid UTF-8 string: {e}")))
+    }
+    fn opt_str(&mut self) -> Result<Option<String>, ClassfileError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.str()?)),
+            other => Err(ClassfileError::BadFormat(format!(
+                "bad optional-string tag {other}"
+            ))),
+        }
+    }
+    fn cond(&mut self) -> Result<Cond, ClassfileError> {
+        Ok(match self.u8()? {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Ge,
+            4 => Cond::Gt,
+            5 => Cond::Le,
+            other => {
+                return Err(ClassfileError::BadFormat(format!(
+                    "bad condition code {other}"
+                )))
+            }
+        })
+    }
+    fn array_kind(&mut self) -> Result<ArrayKind, ClassfileError> {
+        Ok(match self.u8()? {
+            0 => ArrayKind::Int,
+            1 => ArrayKind::Float,
+            2 => ArrayKind::Ref,
+            other => {
+                return Err(ClassfileError::BadFormat(format!(
+                    "bad array kind {other}"
+                )))
+            }
+        })
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn read_insn(r: &mut Reader<'_>) -> Result<Insn, ClassfileError> {
+    use Insn::*;
+    let op = r.u8()?;
+    Ok(match op {
+        0x00 => Nop,
+        0x01 => IConst(r.i64()?),
+        0x02 => FConst(r.f64()?),
+        0x03 => AConstNull,
+        0x04 => Ldc(CpIndex(r.u16()?)),
+        0x05 => ILoad(r.u16()?),
+        0x06 => FLoad(r.u16()?),
+        0x07 => ALoad(r.u16()?),
+        0x08 => IStore(r.u16()?),
+        0x09 => FStore(r.u16()?),
+        0x0A => AStore(r.u16()?),
+        0x0B => Pop,
+        0x0C => Dup,
+        0x0D => Swap,
+        0x10 => IAdd,
+        0x11 => ISub,
+        0x12 => IMul,
+        0x13 => IDiv,
+        0x14 => IRem,
+        0x15 => INeg,
+        0x16 => IShl,
+        0x17 => IShr,
+        0x18 => IUShr,
+        0x19 => IAnd,
+        0x1A => IOr,
+        0x1B => IXor,
+        0x1C => IInc {
+            local: r.u16()?,
+            delta: r.i32()?,
+        },
+        0x20 => FAdd,
+        0x21 => FSub,
+        0x22 => FMul,
+        0x23 => FDiv,
+        0x24 => FNeg,
+        0x25 => I2F,
+        0x26 => F2I,
+        0x27 => FCmp,
+        0x30 => Goto(r.u32()?),
+        0x31 => {
+            let c = r.cond()?;
+            If(c, r.u32()?)
+        }
+        0x32 => {
+            let c = r.cond()?;
+            IfICmp(c, r.u32()?)
+        }
+        0x33 => IfNull(r.u32()?),
+        0x34 => IfNonNull(r.u32()?),
+        0x35 => {
+            let low = r.i64()?;
+            let n = r.u32()? as usize;
+            let mut targets = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                targets.push(r.u32()?);
+            }
+            let default = r.u32()?;
+            TableSwitch {
+                low,
+                targets,
+                default,
+            }
+        }
+        0x40 => InvokeStatic(CpIndex(r.u16()?)),
+        0x41 => InvokeVirtual(CpIndex(r.u16()?)),
+        0x42 => Return,
+        0x43 => IReturn,
+        0x44 => FReturn,
+        0x45 => AReturn,
+        0x50 => New(CpIndex(r.u16()?)),
+        0x51 => GetField(CpIndex(r.u16()?)),
+        0x52 => PutField(CpIndex(r.u16()?)),
+        0x53 => GetStatic(CpIndex(r.u16()?)),
+        0x54 => PutStatic(CpIndex(r.u16()?)),
+        0x55 => NewArray(r.array_kind()?),
+        0x56 => IALoad,
+        0x57 => IAStore,
+        0x58 => FALoad,
+        0x59 => FAStore,
+        0x5A => AALoad,
+        0x5B => AAStore,
+        0x5C => ArrayLength,
+        0x60 => AThrow,
+        other => {
+            return Err(ClassfileError::BadFormat(format!(
+                "unknown opcode 0x{other:02X}"
+            )))
+        }
+    })
+}
+
+/// Deserialize a class from bytes.
+///
+/// # Errors
+///
+/// Returns [`ClassfileError::BadFormat`] on magic/version mismatch,
+/// truncation, or any malformed record. The decoded class is *not*
+/// re-validated here; run [`crate::validate::validate_class`] before
+/// executing untrusted input.
+pub fn decode(data: &[u8]) -> Result<ClassFile, ClassfileError> {
+    let mut r = Reader { data, pos: 0 };
+    let magic = r.u32()?;
+    if magic != MAGIC {
+        return Err(ClassfileError::BadFormat(format!(
+            "bad magic 0x{magic:08X} (expected 0x{MAGIC:08X})"
+        )));
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(ClassfileError::BadFormat(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let flags_bits = r.u16()?;
+    let flags = ClassFlags::from_bits(flags_bits).ok_or_else(|| {
+        ClassfileError::BadFormat(format!("bad class flags 0x{flags_bits:04X}"))
+    })?;
+    let name = r.str()?;
+    let super_name = r.opt_str()?;
+
+    let mut class = ClassFile::new(name);
+    class.flags = flags;
+    if let Some(s) = super_name { class.set_super_name(s) }
+
+    let mut pool = ConstantPool::new();
+    let pool_len = r.u16()?;
+    for _ in 0..pool_len {
+        let tag = r.u8()?;
+        let entry = match tag {
+            0 => Constant::Utf8(r.str()?),
+            1 => Constant::Class {
+                name: CpIndex(r.u16()?),
+            },
+            2 => Constant::MethodRef {
+                class: CpIndex(r.u16()?),
+                name: CpIndex(r.u16()?),
+                descriptor: CpIndex(r.u16()?),
+            },
+            3 => Constant::FieldRef {
+                class: CpIndex(r.u16()?),
+                name: CpIndex(r.u16()?),
+                descriptor: CpIndex(r.u16()?),
+            },
+            other => {
+                return Err(ClassfileError::BadFormat(format!(
+                    "unknown constant tag {other}"
+                )))
+            }
+        };
+        pool.push_raw(entry);
+    }
+    class.pool = pool;
+
+    let field_count = r.u16()?;
+    for _ in 0..field_count {
+        let fname = r.str()?;
+        let fdesc = r.str()?;
+        let bits = r.u16()?;
+        let fflags = FieldFlags::from_bits(bits).ok_or_else(|| {
+            ClassfileError::BadFormat(format!("bad field flags 0x{bits:04X}"))
+        })?;
+        class.add_field(FieldInfo::new(fname, &fdesc, fflags)?)?;
+    }
+
+    let method_count = r.u16()?;
+    for _ in 0..method_count {
+        let mname = r.str()?;
+        let mdesc = r.str()?;
+        let bits = r.u16()?;
+        let mflags = MethodFlags::from_bits(bits).ok_or_else(|| {
+            ClassfileError::BadFormat(format!("bad method flags 0x{bits:04X}"))
+        })?;
+        let has_code = r.u8()?;
+        let method = match has_code {
+            0 => {
+                if !mflags.contains(MethodFlags::NATIVE) {
+                    return Err(ClassfileError::BadFormat(format!(
+                        "method {mname} has no code but is not native"
+                    )));
+                }
+                MethodInfo::new_native(mname, &mdesc, mflags)?
+            }
+            1 => {
+                if mflags.contains(MethodFlags::NATIVE) {
+                    return Err(ClassfileError::BadFormat(format!(
+                        "method {mname} is declared native but carries code"
+                    )));
+                }
+                let max_stack = r.u16()?;
+                let max_locals = r.u16()?;
+                let n = r.u32()? as usize;
+                let mut insns = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    insns.push(read_insn(&mut r)?);
+                }
+                let handler_count = r.u16()?;
+                let mut exception_table = Vec::with_capacity(handler_count as usize);
+                for _ in 0..handler_count {
+                    exception_table.push(ExceptionHandler {
+                        start: r.u32()?,
+                        end: r.u32()?,
+                        handler: r.u32()?,
+                        catch_class: r.opt_str()?,
+                    });
+                }
+                MethodInfo::new(
+                    mname,
+                    &mdesc,
+                    mflags,
+                    Code {
+                        max_stack,
+                        max_locals,
+                        insns,
+                        exception_table,
+                    },
+                )?
+            }
+            other => {
+                return Err(ClassfileError::BadFormat(format!(
+                    "bad has-code tag {other}"
+                )))
+            }
+        };
+        class.add_method(method)?;
+    }
+
+    if r.pos != r.data.len() {
+        return Err(ClassfileError::BadFormat(format!(
+            "{} trailing bytes after class record",
+            r.data.len() - r.pos
+        )));
+    }
+    Ok(class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{single_method_class, ClassBuilder};
+    use crate::insn::Cond;
+
+    fn sample_class() -> ClassFile {
+        let mut cb = ClassBuilder::new("pkg/Sample");
+        cb.field("hits", "I", FieldFlags::STATIC).unwrap();
+        cb.native_method("nat", "(I)I", MethodFlags::PUBLIC).unwrap();
+        let mut m = cb.method("loop", "(I)I", MethodFlags::STATIC);
+        let top = m.new_label();
+        let done = m.new_label();
+        m.bind(top);
+        m.iload(0).if_(Cond::Le, done);
+        m.iload(0).invokestatic("pkg/Sample", "nat", "(I)I").pop();
+        m.iinc(0, -1).goto(top);
+        m.bind(done);
+        m.iload(0).ireturn();
+        m.finish().unwrap();
+        cb.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_class() {
+        let class = sample_class();
+        let bytes = encode(&class);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(class, decoded);
+    }
+
+    #[test]
+    fn round_trip_every_instruction() {
+        // A method exercising every opcode keeps the codec honest.
+        let class = single_method_class("t/All", "all", "(IF)V", |m| {
+            let l = m.new_label();
+            let l2 = m.new_label();
+            let l3 = m.new_label();
+            let start = m.new_label();
+            let end = m.new_label();
+            let handler = m.new_label();
+            m.bind(start);
+            m.nop();
+            m.iconst(5).istore(2);
+            m.fconst(1.5).fstore(3);
+            m.aconst_null().astore(4);
+            m.ldc_str("hello").astore(4);
+            m.iload(2).iload(2).iadd().istore(2);
+            m.iload(2).iload(2).isub().istore(2);
+            m.bind(end);
+            m.iload(2).pop();
+            m.iload(2).iload(2).dup().pop().swap().imul().iload(2).iand().istore(2);
+            m.iload(2).iconst(1).ior().iconst(1).ixor().iconst(1).ishl().istore(2);
+            m.iload(2).iconst(1).ishr().iconst(1).iushr().istore(2);
+            m.iload(2).iconst(2).idiv().iconst(2).irem().ineg().istore(2);
+            m.iinc(2, 7);
+            m.fload(3).fload(3).fadd().fload(3).fsub().fload(3).fmul().fstore(3);
+            m.fload(3).fload(3).fdiv().fneg().fstore(3);
+            m.iload(2).i2f().f2i().istore(2);
+            m.fload(3).fload(3).fcmp().istore(2);
+            m.iload(2).if_(Cond::Ne, l);
+            m.bind(l);
+            m.iload(2).iload(2).if_icmp(Cond::Lt, l2);
+            m.bind(l2);
+            m.aload(4).ifnull(l3);
+            m.bind(l3);
+            let l4 = m.new_label();
+            m.aload(4).ifnonnull(l4);
+            m.bind(l4);
+            m.iconst(3).newarray(ArrayKind::Int).astore(5);
+            m.aload(5).iconst(0).iconst(9).iastore();
+            m.aload(5).iconst(0).iaload().pop();
+            m.iconst(3).newarray(ArrayKind::Float).astore(6);
+            m.aload(6).iconst(0).fconst(2.0).fastore();
+            m.aload(6).iconst(0).faload().pop();
+            m.iconst(3).newarray(ArrayKind::Ref).astore(7);
+            m.aload(7).iconst(0).aconst_null().aastore();
+            m.aload(7).iconst(0).aaload().pop();
+            m.aload(7).arraylength().pop();
+            m.new_obj("t/Obj").astore(4);
+            m.aload(4).getfield("t/Obj", "f", "I").pop();
+            m.aload(4).iconst(1).putfield("t/Obj", "f", "I");
+            m.getstatic("t/Obj", "s", "F").pop();
+            m.fconst(0.0).putstatic("t/Obj", "s", "F");
+            m.invokestatic("t/Obj", "sm", "()V");
+            m.aload(4).invokevirtual("t/Obj", "vm", "()V");
+            let c0 = m.new_label();
+            let def = m.new_label();
+            m.iload(2).tableswitch(0, &[c0], def);
+            m.bind(c0);
+            m.ret_void();
+            m.bind(def);
+            m.ret_void();
+            m.bind(handler);
+            m.athrow();
+            m.try_region(start, end, handler, Some("t/Err"));
+        });
+        let class = class.unwrap();
+        let bytes = encode(&class);
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(class, decoded);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let class = sample_class();
+        let mut bytes = encode(&class);
+        bytes[0] ^= 0xFF;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let class = sample_class();
+        let mut bytes = encode(&class);
+        bytes[4] = 99;
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("unsupported version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let class = sample_class();
+        let bytes = encode(&class);
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let class = sample_class();
+        let mut bytes = encode(&class);
+        bytes.push(0);
+        let err = decode(&bytes).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn decoded_class_revalidates() {
+        let class = sample_class();
+        let decoded = decode(&encode(&class)).unwrap();
+        crate::validate::validate_class(&decoded).unwrap();
+    }
+}

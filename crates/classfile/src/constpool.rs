@@ -1,0 +1,357 @@
+//! The per-class constant pool.
+//!
+//! Instructions never embed strings or symbolic references directly; they
+//! carry a [`CpIndex`] into the class's pool, exactly as on the JVM. The
+//! pool interns entries, so repeated references to the same method cost one
+//! slot.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::ClassfileError;
+
+/// Index of an entry in a class's constant pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CpIndex(pub u16);
+
+impl fmt::Display for CpIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// One constant-pool entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Constant {
+    /// A UTF-8 string used for names and descriptors (and `Ldc` string
+    /// constants).
+    Utf8(String),
+    /// A symbolic reference to a class, by name entry.
+    Class {
+        /// Pool index of the class name (`Utf8`).
+        name: CpIndex,
+    },
+    /// A symbolic reference to a method.
+    MethodRef {
+        /// Pool index of the owning class (`Class`).
+        class: CpIndex,
+        /// Pool index of the method name (`Utf8`).
+        name: CpIndex,
+        /// Pool index of the method descriptor (`Utf8`).
+        descriptor: CpIndex,
+    },
+    /// A symbolic reference to a field.
+    FieldRef {
+        /// Pool index of the owning class (`Class`).
+        class: CpIndex,
+        /// Pool index of the field name (`Utf8`).
+        name: CpIndex,
+        /// Pool index of the field type descriptor (`Utf8`).
+        descriptor: CpIndex,
+    },
+}
+
+/// A resolved (string-level) method reference, as returned by
+/// [`ConstantPool::method_ref`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodRef {
+    /// Internal name of the owning class, e.g. `spec/jvm98/Compress`.
+    pub class: String,
+    /// Method name.
+    pub name: String,
+    /// Method descriptor string, e.g. `(I)V`.
+    pub descriptor: String,
+}
+
+impl fmt::Display for MethodRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}{}", self.class, self.name, self.descriptor)
+    }
+}
+
+/// A resolved (string-level) field reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldRef {
+    /// Internal name of the owning class.
+    pub class: String,
+    /// Field name.
+    pub name: String,
+    /// Field type descriptor string.
+    pub descriptor: String,
+}
+
+impl fmt::Display for FieldRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}:{}", self.class, self.name, self.descriptor)
+    }
+}
+
+/// An interning constant pool.
+///
+/// ```
+/// use jvmsim_classfile::constpool::ConstantPool;
+///
+/// # fn main() -> Result<(), jvmsim_classfile::ClassfileError> {
+/// let mut pool = ConstantPool::new();
+/// let m = pool.intern_method_ref("a/B", "run", "()V");
+/// assert_eq!(pool.intern_method_ref("a/B", "run", "()V"), m); // interned
+/// assert_eq!(pool.method_ref(m)?.to_string(), "a/B.run()V");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConstantPool {
+    entries: Vec<Constant>,
+    intern: HashMap<Constant, CpIndex>,
+}
+
+impl PartialEq for ConstantPool {
+    fn eq(&self, other: &Self) -> bool {
+        // The intern map is a cache over `entries`; equality is by content.
+        self.entries == other.entries
+    }
+}
+
+impl Eq for ConstantPool {}
+
+impl ConstantPool {
+    /// Create an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the pool empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in index order.
+    pub fn entries(&self) -> &[Constant] {
+        &self.entries
+    }
+
+    /// Fetch the entry at `idx`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadConstant`] if `idx` is out of range.
+    pub fn get(&self, idx: CpIndex) -> Result<&Constant, ClassfileError> {
+        self.entries
+            .get(idx.0 as usize)
+            .ok_or_else(|| ClassfileError::BadConstant(format!("{idx} out of range")))
+    }
+
+    fn push(&mut self, c: Constant) -> CpIndex {
+        if let Some(&idx) = self.intern.get(&c) {
+            return idx;
+        }
+        let idx = CpIndex(u16::try_from(self.entries.len()).expect("constant pool overflow"));
+        self.entries.push(c.clone());
+        self.intern.insert(c, idx);
+        idx
+    }
+
+    /// Intern a UTF-8 entry.
+    pub fn intern_utf8(&mut self, s: impl Into<String>) -> CpIndex {
+        self.push(Constant::Utf8(s.into()))
+    }
+
+    /// Intern a class reference by internal name.
+    pub fn intern_class(&mut self, name: impl Into<String>) -> CpIndex {
+        let name = self.intern_utf8(name);
+        self.push(Constant::Class { name })
+    }
+
+    /// Intern a method reference.
+    pub fn intern_method_ref(
+        &mut self,
+        class: impl Into<String>,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+    ) -> CpIndex {
+        let class = self.intern_class(class);
+        let name = self.intern_utf8(name);
+        let descriptor = self.intern_utf8(descriptor);
+        self.push(Constant::MethodRef {
+            class,
+            name,
+            descriptor,
+        })
+    }
+
+    /// Intern a field reference.
+    pub fn intern_field_ref(
+        &mut self,
+        class: impl Into<String>,
+        name: impl Into<String>,
+        descriptor: impl Into<String>,
+    ) -> CpIndex {
+        let class = self.intern_class(class);
+        let name = self.intern_utf8(name);
+        let descriptor = self.intern_utf8(descriptor);
+        self.push(Constant::FieldRef {
+            class,
+            name,
+            descriptor,
+        })
+    }
+
+    /// Read a UTF-8 entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadConstant`] if `idx` is out of range or
+    /// does not refer to a `Utf8` entry.
+    pub fn utf8(&self, idx: CpIndex) -> Result<&str, ClassfileError> {
+        match self.get(idx)? {
+            Constant::Utf8(s) => Ok(s),
+            other => Err(ClassfileError::BadConstant(format!(
+                "{idx} is {other:?}, expected Utf8"
+            ))),
+        }
+    }
+
+    /// Resolve a `Class` entry to its name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadConstant`] on a non-`Class` entry.
+    pub fn class_name(&self, idx: CpIndex) -> Result<&str, ClassfileError> {
+        match self.get(idx)? {
+            Constant::Class { name } => self.utf8(*name),
+            other => Err(ClassfileError::BadConstant(format!(
+                "{idx} is {other:?}, expected Class"
+            ))),
+        }
+    }
+
+    /// Resolve a `MethodRef` entry to strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadConstant`] on a non-`MethodRef` entry.
+    pub fn method_ref(&self, idx: CpIndex) -> Result<MethodRef, ClassfileError> {
+        match self.get(idx)? {
+            Constant::MethodRef {
+                class,
+                name,
+                descriptor,
+            } => Ok(MethodRef {
+                class: self.class_name(*class)?.to_owned(),
+                name: self.utf8(*name)?.to_owned(),
+                descriptor: self.utf8(*descriptor)?.to_owned(),
+            }),
+            other => Err(ClassfileError::BadConstant(format!(
+                "{idx} is {other:?}, expected MethodRef"
+            ))),
+        }
+    }
+
+    /// Resolve a `FieldRef` entry to strings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClassfileError::BadConstant`] on a non-`FieldRef` entry.
+    pub fn field_ref(&self, idx: CpIndex) -> Result<FieldRef, ClassfileError> {
+        match self.get(idx)? {
+            Constant::FieldRef {
+                class,
+                name,
+                descriptor,
+            } => Ok(FieldRef {
+                class: self.class_name(*class)?.to_owned(),
+                name: self.utf8(*name)?.to_owned(),
+                descriptor: self.utf8(*descriptor)?.to_owned(),
+            }),
+            other => Err(ClassfileError::BadConstant(format!(
+                "{idx} is {other:?}, expected FieldRef"
+            ))),
+        }
+    }
+
+    /// Append a raw entry without interning (used by the binary decoder,
+    /// which must preserve indices exactly).
+    pub(crate) fn push_raw(&mut self, c: Constant) -> CpIndex {
+        let idx = CpIndex(u16::try_from(self.entries.len()).expect("constant pool overflow"));
+        self.entries.push(c.clone());
+        // Keep the intern cache coherent so later interning on a decoded
+        // pool reuses existing entries (first occurrence wins).
+        self.intern.entry(c).or_insert(idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut p = ConstantPool::new();
+        let a = p.intern_utf8("hello");
+        let b = p.intern_utf8("hello");
+        let c = p.intern_utf8("world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn method_ref_round_trip() {
+        let mut p = ConstantPool::new();
+        let m = p.intern_method_ref("x/Y", "frob", "(IF)I");
+        let r = p.method_ref(m).unwrap();
+        assert_eq!(r.class, "x/Y");
+        assert_eq!(r.name, "frob");
+        assert_eq!(r.descriptor, "(IF)I");
+        assert_eq!(r.to_string(), "x/Y.frob(IF)I");
+    }
+
+    #[test]
+    fn field_ref_round_trip() {
+        let mut p = ConstantPool::new();
+        let fr = p.intern_field_ref("x/Y", "count", "I");
+        let r = p.field_ref(fr).unwrap();
+        assert_eq!(r.to_string(), "x/Y.count:I");
+    }
+
+    #[test]
+    fn shared_substructure_is_interned() {
+        let mut p = ConstantPool::new();
+        let m1 = p.intern_method_ref("x/Y", "a", "()V");
+        let m2 = p.intern_method_ref("x/Y", "b", "()V");
+        assert_ne!(m1, m2);
+        // x/Y Utf8 + Class + "a" + "b" + "()V" + 2 method refs = 7 entries.
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn kind_mismatch_is_an_error() {
+        let mut p = ConstantPool::new();
+        let u = p.intern_utf8("zzz");
+        assert!(p.method_ref(u).is_err());
+        assert!(p.class_name(u).is_err());
+        let c = p.intern_class("a/B");
+        assert!(p.utf8(c).is_err());
+        assert!(p.field_ref(c).is_err());
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let p = ConstantPool::new();
+        assert!(p.get(CpIndex(0)).is_err());
+        assert!(p.utf8(CpIndex(3)).is_err());
+    }
+
+    #[test]
+    fn class_name_resolution() {
+        let mut p = ConstantPool::new();
+        let c = p.intern_class("java/lang/Object");
+        assert_eq!(p.class_name(c).unwrap(), "java/lang/Object");
+    }
+}

@@ -1,0 +1,140 @@
+//! Human-readable disassembly of classes.
+//!
+//! Produces `javap`-style listings. The instrumentation tool's `--dump`
+//! mode and several tests use this to inspect transform output (e.g. to see
+//! the generated native-method wrapper of the paper's Fig. 2).
+
+use std::fmt::Write as _;
+
+use crate::class::ClassFile;
+use crate::constpool::Constant;
+use crate::insn::Insn;
+
+/// Render a full class listing.
+pub fn disassemble(class: &ClassFile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "class {} extends {} [{}]",
+        class.name(),
+        class.super_name().unwrap_or("<root>"),
+        class.flags
+    );
+    for f in class.fields() {
+        let _ = writeln!(out, "  field {} {} : {}", f.flags, f.name(), f.ty());
+    }
+    for m in class.methods() {
+        let _ = writeln!(out, "  method {m} {{");
+        if let Some(code) = &m.code {
+            let _ = writeln!(
+                out,
+                "    // max_stack={} max_locals={}",
+                code.max_stack, code.max_locals
+            );
+            for (pc, insn) in code.insns.iter().enumerate() {
+                let _ = writeln!(out, "    {pc:>4}: {}", render_insn(class, insn));
+            }
+            for h in &code.exception_table {
+                let _ = writeln!(
+                    out,
+                    "    // try [{}, {}) -> @{} catch {}",
+                    h.start,
+                    h.end,
+                    h.handler,
+                    h.catch_class.as_deref().unwrap_or("<any>")
+                );
+            }
+        } else {
+            let _ = writeln!(out, "    // native");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    out
+}
+
+/// Render one instruction, resolving pool operands to symbols.
+pub fn render_insn(class: &ClassFile, insn: &Insn) -> String {
+    let pool = &class.pool;
+    match insn {
+        Insn::Ldc(i) => match pool.get(*i) {
+            Ok(Constant::Utf8(s)) => format!("ldc {s:?}"),
+            _ => format!("ldc {i} <dangling>"),
+        },
+        Insn::InvokeStatic(i) => match pool.method_ref(*i) {
+            Ok(m) => format!("invokestatic {m}"),
+            Err(_) => format!("invokestatic {i} <dangling>"),
+        },
+        Insn::InvokeVirtual(i) => match pool.method_ref(*i) {
+            Ok(m) => format!("invokevirtual {m}"),
+            Err(_) => format!("invokevirtual {i} <dangling>"),
+        },
+        Insn::New(i) => match pool.class_name(*i) {
+            Ok(c) => format!("new {c}"),
+            Err(_) => format!("new {i} <dangling>"),
+        },
+        Insn::GetField(i) | Insn::PutField(i) | Insn::GetStatic(i) | Insn::PutStatic(i) => {
+            let op = insn.mnemonic();
+            match pool.field_ref(*i) {
+                Ok(f) => format!("{op} {f}"),
+                Err(_) => format!("{op} {i} <dangling>"),
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClassBuilder;
+    use crate::flags::{FieldFlags, MethodFlags};
+
+    #[test]
+    fn listing_contains_symbols() {
+        let mut cb = ClassBuilder::new("pkg/Demo");
+        cb.field("n", "I", FieldFlags::STATIC).unwrap();
+        cb.native_method("nat", "()V", MethodFlags::PUBLIC).unwrap();
+        let mut m = cb.method("run", "()V", MethodFlags::STATIC);
+        m.ldc_str("msg")
+            .pop()
+            .invokestatic("pkg/Demo", "nat", "()V")
+            .ret_void();
+        m.finish().unwrap();
+        let class = cb.finish().unwrap();
+        let text = disassemble(&class);
+        assert!(text.contains("class pkg/Demo extends java/lang/Object"));
+        assert!(text.contains("field static n : I"));
+        assert!(text.contains("// native"));
+        assert!(text.contains("ldc \"msg\""));
+        assert!(text.contains("invokestatic pkg/Demo.nat()V"));
+        assert!(text.contains("max_stack=1"));
+    }
+
+    #[test]
+    fn dangling_pool_refs_render_without_panicking() {
+        use crate::class::{Code, MethodInfo};
+        use crate::constpool::CpIndex;
+        let class = ClassFile::new("x/Y");
+        let rendered = render_insn(&class, &Insn::InvokeStatic(CpIndex(9)));
+        assert!(rendered.contains("<dangling>"));
+        // Whole-class render with a method whose pool refs dangle.
+        let mut c2 = ClassFile::new("x/Z");
+        c2.add_method(
+            MethodInfo::new(
+                "m",
+                "()V",
+                MethodFlags::STATIC,
+                Code {
+                    max_stack: 1,
+                    max_locals: 0,
+                    insns: vec![Insn::Ldc(CpIndex(5)), Insn::Pop, Insn::Return],
+                    exception_table: vec![],
+                },
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let text = disassemble(&c2);
+        assert!(text.contains("<dangling>"));
+    }
+}

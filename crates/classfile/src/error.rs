@@ -1,0 +1,56 @@
+//! Error type for classfile construction, encoding and validation.
+
+use std::fmt;
+
+/// Errors produced while building, parsing, encoding or validating class
+/// files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClassfileError {
+    /// A type or method descriptor string was malformed.
+    BadDescriptor(String),
+    /// A constant-pool index was out of range or referred to the wrong kind
+    /// of entry.
+    BadConstant(String),
+    /// Binary classfile data could not be decoded.
+    BadFormat(String),
+    /// Structural validation failed (bad branch target, stack underflow,
+    /// inconsistent merge, missing code, ...).
+    Invalid(String),
+    /// A duplicate member (method or field with the same name + descriptor)
+    /// was declared.
+    Duplicate(String),
+}
+
+impl fmt::Display for ClassfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClassfileError::BadDescriptor(m) => write!(f, "bad descriptor: {m}"),
+            ClassfileError::BadConstant(m) => write!(f, "bad constant reference: {m}"),
+            ClassfileError::BadFormat(m) => write!(f, "malformed classfile data: {m}"),
+            ClassfileError::Invalid(m) => write!(f, "invalid class: {m}"),
+            ClassfileError::Duplicate(m) => write!(f, "duplicate member: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClassfileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = ClassfileError::BadDescriptor("x".into());
+        assert_eq!(e.to_string(), "bad descriptor: x");
+        let e = ClassfileError::Invalid("stack underflow at pc 3".into());
+        assert!(e.to_string().contains("stack underflow"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<ClassfileError>();
+    }
+}

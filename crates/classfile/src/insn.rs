@@ -1,0 +1,512 @@
+//! The bytecode instruction set.
+//!
+//! A JVM-flavoured stack machine over three runtime kinds: 64-bit ints,
+//! 64-bit floats and references. Branch operands are **instruction indices**
+//! (not byte offsets) — the binary format stores one instruction per record,
+//! which keeps transforms like the paper's native-wrapper injection free of
+//! offset-patching bugs while preserving the structure the instrumentation
+//! cares about.
+
+use std::fmt;
+
+use crate::constpool::CpIndex;
+
+/// Comparison condition for `If*` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Greater than or equal.
+    Ge,
+    /// Greater than.
+    Gt,
+    /// Less than or equal.
+    Le,
+}
+
+impl Cond {
+    /// Evaluate the condition over a comparison result (`lhs - rhs` sign).
+    pub fn eval(self, ordering: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Cond::Eq => ordering == Equal,
+            Cond::Ne => ordering != Equal,
+            Cond::Lt => ordering == Less,
+            Cond::Ge => ordering != Less,
+            Cond::Gt => ordering == Greater,
+            Cond::Le => ordering != Greater,
+        }
+    }
+
+    /// Mnemonic suffix (`eq`, `ne`, ...).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Element kind for `NewArray` and typed array access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArrayKind {
+    /// `long[]`-equivalent.
+    Int,
+    /// `double[]`-equivalent.
+    Float,
+    /// `Object[]`-equivalent.
+    Ref,
+}
+
+impl fmt::Display for ArrayKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArrayKind::Int => "int",
+            ArrayKind::Float => "float",
+            ArrayKind::Ref => "ref",
+        })
+    }
+}
+
+/// A branch target: the index of an instruction within the same method body.
+pub type InsnIndex = u32;
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Insn {
+    /// Do nothing.
+    Nop,
+    /// Push an integer constant.
+    IConst(i64),
+    /// Push a float constant.
+    FConst(f64),
+    /// Push `null`.
+    AConstNull,
+    /// Push the string constant at the pool index (a `Utf8` entry); at
+    /// runtime this materialises an interned string object.
+    Ldc(CpIndex),
+
+    /// Push int from local slot.
+    ILoad(u16),
+    /// Push float from local slot.
+    FLoad(u16),
+    /// Push reference from local slot.
+    ALoad(u16),
+    /// Pop int into local slot.
+    IStore(u16),
+    /// Pop float into local slot.
+    FStore(u16),
+    /// Pop reference into local slot.
+    AStore(u16),
+
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the two top stack values.
+    Swap,
+
+    /// Int add.
+    IAdd,
+    /// Int subtract.
+    ISub,
+    /// Int multiply.
+    IMul,
+    /// Int divide (throws `java/lang/ArithmeticException` on zero divisor).
+    IDiv,
+    /// Int remainder (throws on zero divisor).
+    IRem,
+    /// Int negate.
+    INeg,
+    /// Shift left.
+    IShl,
+    /// Arithmetic shift right.
+    IShr,
+    /// Logical shift right.
+    IUShr,
+    /// Bitwise and.
+    IAnd,
+    /// Bitwise or.
+    IOr,
+    /// Bitwise xor.
+    IXor,
+    /// Add `delta` to the int in a local slot without touching the stack.
+    IInc {
+        /// Local slot to increment.
+        local: u16,
+        /// Signed amount to add.
+        delta: i32,
+    },
+
+    /// Float add.
+    FAdd,
+    /// Float subtract.
+    FSub,
+    /// Float multiply.
+    FMul,
+    /// Float divide (IEEE semantics; no exception).
+    FDiv,
+    /// Float negate.
+    FNeg,
+    /// Int → float.
+    I2F,
+    /// Float → int (truncating; saturates at the int range like the JVM).
+    F2I,
+    /// Compare two floats, pushing -1/0/1 (NaN compares as 1, like `fcmpg`).
+    FCmp,
+
+    /// Unconditional jump.
+    Goto(InsnIndex),
+    /// Pop an int, jump if it satisfies `cond` versus zero.
+    If(Cond, InsnIndex),
+    /// Pop two ints (`..., lhs, rhs`), jump if `lhs cond rhs`.
+    IfICmp(Cond, InsnIndex),
+    /// Pop a reference, jump if null.
+    IfNull(InsnIndex),
+    /// Pop a reference, jump if non-null.
+    IfNonNull(InsnIndex),
+    /// Pop an int `k`; jump to `targets[k - low]`, or `default` if out of
+    /// range.
+    TableSwitch {
+        /// Value matching `targets[0]`.
+        low: i64,
+        /// Jump table.
+        targets: Vec<InsnIndex>,
+        /// Target when the key is outside `low..low + targets.len()`.
+        default: InsnIndex,
+    },
+
+    /// Call a static method (pool `MethodRef`). Arguments are popped
+    /// right-to-left; a non-void result is pushed.
+    InvokeStatic(CpIndex),
+    /// Call an instance method: as `InvokeStatic`, plus a receiver popped
+    /// below the arguments (throws `java/lang/NullPointerException` on a
+    /// null receiver). Dispatch is by the receiver's dynamic class.
+    InvokeVirtual(CpIndex),
+    /// Return void.
+    Return,
+    /// Return the int on top of stack.
+    IReturn,
+    /// Return the float on top of stack.
+    FReturn,
+    /// Return the reference on top of stack.
+    AReturn,
+
+    /// Allocate an instance of the pool `Class`, pushing the reference.
+    /// Fields start zeroed/null.
+    New(CpIndex),
+    /// Pop a receiver, push the named instance field (pool `FieldRef`).
+    GetField(CpIndex),
+    /// Pop value then receiver, store into the named instance field.
+    PutField(CpIndex),
+    /// Push the named static field.
+    GetStatic(CpIndex),
+    /// Pop into the named static field.
+    PutStatic(CpIndex),
+
+    /// Pop a length, allocate an array of that kind, push the reference.
+    /// Throws `java/lang/NegativeArraySizeException` on negative length.
+    NewArray(ArrayKind),
+    /// Pop index then arrayref, push the int element.
+    IALoad,
+    /// Pop value, index, arrayref; store the int element.
+    IAStore,
+    /// Pop index then arrayref, push the float element.
+    FALoad,
+    /// Pop value, index, arrayref; store the float element.
+    FAStore,
+    /// Pop index then arrayref, push the reference element.
+    AALoad,
+    /// Pop value, index, arrayref; store the reference element.
+    AAStore,
+    /// Pop an arrayref, push its length.
+    ArrayLength,
+
+    /// Pop a reference and throw it as an exception. Unwinds frames until an
+    /// exception-table entry catches it; uncaught exceptions terminate the
+    /// thread.
+    AThrow,
+}
+
+impl Insn {
+    /// Branch targets of this instruction, if any.
+    pub fn branch_targets(&self) -> Vec<InsnIndex> {
+        match self {
+            Insn::Goto(t)
+            | Insn::If(_, t)
+            | Insn::IfICmp(_, t)
+            | Insn::IfNull(t)
+            | Insn::IfNonNull(t) => vec![*t],
+            Insn::TableSwitch {
+                targets, default, ..
+            } => {
+                let mut out = targets.clone();
+                out.push(*default);
+                out
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Can control flow continue to the next instruction after this one?
+    pub fn falls_through(&self) -> bool {
+        !matches!(
+            self,
+            Insn::Goto(_)
+                | Insn::TableSwitch { .. }
+                | Insn::Return
+                | Insn::IReturn
+                | Insn::FReturn
+                | Insn::AReturn
+                | Insn::AThrow
+        )
+    }
+
+    /// Is this a method-terminating return?
+    pub fn is_return(&self) -> bool {
+        matches!(
+            self,
+            Insn::Return | Insn::IReturn | Insn::FReturn | Insn::AReturn
+        )
+    }
+
+    /// Is this a method invocation?
+    pub fn is_invoke(&self) -> bool {
+        matches!(self, Insn::InvokeStatic(_) | Insn::InvokeVirtual(_))
+    }
+
+    /// Rewrite every branch target through `f` — used when a transform
+    /// inserts or removes instructions.
+    pub fn map_targets(&mut self, mut f: impl FnMut(InsnIndex) -> InsnIndex) {
+        match self {
+            Insn::Goto(t)
+            | Insn::If(_, t)
+            | Insn::IfICmp(_, t)
+            | Insn::IfNull(t)
+            | Insn::IfNonNull(t) => *t = f(*t),
+            Insn::TableSwitch {
+                targets, default, ..
+            } => {
+                for t in targets.iter_mut() {
+                    *t = f(*t);
+                }
+                *default = f(*default);
+            }
+            _ => {}
+        }
+    }
+
+    /// Assembly mnemonic (without operands).
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Insn::Nop => "nop",
+            Insn::IConst(_) => "iconst",
+            Insn::FConst(_) => "fconst",
+            Insn::AConstNull => "aconst_null",
+            Insn::Ldc(_) => "ldc",
+            Insn::ILoad(_) => "iload",
+            Insn::FLoad(_) => "fload",
+            Insn::ALoad(_) => "aload",
+            Insn::IStore(_) => "istore",
+            Insn::FStore(_) => "fstore",
+            Insn::AStore(_) => "astore",
+            Insn::Pop => "pop",
+            Insn::Dup => "dup",
+            Insn::Swap => "swap",
+            Insn::IAdd => "iadd",
+            Insn::ISub => "isub",
+            Insn::IMul => "imul",
+            Insn::IDiv => "idiv",
+            Insn::IRem => "irem",
+            Insn::INeg => "ineg",
+            Insn::IShl => "ishl",
+            Insn::IShr => "ishr",
+            Insn::IUShr => "iushr",
+            Insn::IAnd => "iand",
+            Insn::IOr => "ior",
+            Insn::IXor => "ixor",
+            Insn::IInc { .. } => "iinc",
+            Insn::FAdd => "fadd",
+            Insn::FSub => "fsub",
+            Insn::FMul => "fmul",
+            Insn::FDiv => "fdiv",
+            Insn::FNeg => "fneg",
+            Insn::I2F => "i2f",
+            Insn::F2I => "f2i",
+            Insn::FCmp => "fcmp",
+            Insn::Goto(_) => "goto",
+            Insn::If(..) => "if",
+            Insn::IfICmp(..) => "if_icmp",
+            Insn::IfNull(_) => "ifnull",
+            Insn::IfNonNull(_) => "ifnonnull",
+            Insn::TableSwitch { .. } => "tableswitch",
+            Insn::InvokeStatic(_) => "invokestatic",
+            Insn::InvokeVirtual(_) => "invokevirtual",
+            Insn::Return => "return",
+            Insn::IReturn => "ireturn",
+            Insn::FReturn => "freturn",
+            Insn::AReturn => "areturn",
+            Insn::New(_) => "new",
+            Insn::GetField(_) => "getfield",
+            Insn::PutField(_) => "putfield",
+            Insn::GetStatic(_) => "getstatic",
+            Insn::PutStatic(_) => "putstatic",
+            Insn::NewArray(_) => "newarray",
+            Insn::IALoad => "iaload",
+            Insn::IAStore => "iastore",
+            Insn::FALoad => "faload",
+            Insn::FAStore => "fastore",
+            Insn::AALoad => "aaload",
+            Insn::AAStore => "aastore",
+            Insn::ArrayLength => "arraylength",
+            Insn::AThrow => "athrow",
+        }
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Insn::IConst(v) => write!(f, "iconst {v}"),
+            Insn::FConst(v) => write!(f, "fconst {v}"),
+            Insn::Ldc(i) => write!(f, "ldc {i}"),
+            Insn::ILoad(s) => write!(f, "iload {s}"),
+            Insn::FLoad(s) => write!(f, "fload {s}"),
+            Insn::ALoad(s) => write!(f, "aload {s}"),
+            Insn::IStore(s) => write!(f, "istore {s}"),
+            Insn::FStore(s) => write!(f, "fstore {s}"),
+            Insn::AStore(s) => write!(f, "astore {s}"),
+            Insn::IInc { local, delta } => write!(f, "iinc {local} {delta:+}"),
+            Insn::Goto(t) => write!(f, "goto @{t}"),
+            Insn::If(c, t) => write!(f, "if{c} @{t}"),
+            Insn::IfICmp(c, t) => write!(f, "if_icmp{c} @{t}"),
+            Insn::IfNull(t) => write!(f, "ifnull @{t}"),
+            Insn::IfNonNull(t) => write!(f, "ifnonnull @{t}"),
+            Insn::TableSwitch {
+                low,
+                targets,
+                default,
+            } => {
+                write!(f, "tableswitch low={low} [")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "@{t}")?;
+                }
+                write!(f, "] default=@{default}")
+            }
+            Insn::InvokeStatic(i) => write!(f, "invokestatic {i}"),
+            Insn::InvokeVirtual(i) => write!(f, "invokevirtual {i}"),
+            Insn::New(i) => write!(f, "new {i}"),
+            Insn::GetField(i) => write!(f, "getfield {i}"),
+            Insn::PutField(i) => write!(f, "putfield {i}"),
+            Insn::GetStatic(i) => write!(f, "getstatic {i}"),
+            Insn::PutStatic(i) => write!(f, "putstatic {i}"),
+            Insn::NewArray(k) => write!(f, "newarray {k}"),
+            other => f.write_str(other.mnemonic()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval() {
+        use std::cmp::Ordering::*;
+        assert!(Cond::Eq.eval(Equal));
+        assert!(!Cond::Eq.eval(Less));
+        assert!(Cond::Ne.eval(Greater));
+        assert!(Cond::Lt.eval(Less));
+        assert!(!Cond::Lt.eval(Equal));
+        assert!(Cond::Ge.eval(Equal));
+        assert!(Cond::Ge.eval(Greater));
+        assert!(Cond::Gt.eval(Greater));
+        assert!(!Cond::Gt.eval(Equal));
+        assert!(Cond::Le.eval(Less));
+        assert!(Cond::Le.eval(Equal));
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Insn::Goto(7).branch_targets(), vec![7]);
+        assert_eq!(Insn::If(Cond::Eq, 3).branch_targets(), vec![3]);
+        assert!(Insn::IAdd.branch_targets().is_empty());
+        let ts = Insn::TableSwitch {
+            low: 0,
+            targets: vec![1, 2],
+            default: 9,
+        };
+        assert_eq!(ts.branch_targets(), vec![1, 2, 9]);
+    }
+
+    #[test]
+    fn fall_through() {
+        assert!(Insn::IAdd.falls_through());
+        assert!(Insn::If(Cond::Eq, 0).falls_through());
+        assert!(!Insn::Goto(0).falls_through());
+        assert!(!Insn::Return.falls_through());
+        assert!(!Insn::AThrow.falls_through());
+        assert!(!Insn::TableSwitch {
+            low: 0,
+            targets: vec![],
+            default: 0
+        }
+        .falls_through());
+    }
+
+    #[test]
+    fn map_targets_rewrites_all() {
+        let mut i = Insn::TableSwitch {
+            low: 0,
+            targets: vec![1, 2],
+            default: 3,
+        };
+        i.map_targets(|t| t + 10);
+        assert_eq!(i.branch_targets(), vec![11, 12, 13]);
+        let mut g = Insn::Goto(5);
+        g.map_targets(|t| t + 1);
+        assert_eq!(g, Insn::Goto(6));
+        let mut a = Insn::IAdd;
+        a.map_targets(|_| panic!("no targets to map"));
+        assert_eq!(a, Insn::IAdd);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Insn::Return.is_return());
+        assert!(Insn::IReturn.is_return());
+        assert!(!Insn::Goto(0).is_return());
+        assert!(Insn::InvokeStatic(CpIndex(0)).is_invoke());
+        assert!(Insn::InvokeVirtual(CpIndex(0)).is_invoke());
+        assert!(!Insn::IAdd.is_invoke());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Insn::IConst(-3).to_string(), "iconst -3");
+        assert_eq!(Insn::IfICmp(Cond::Lt, 4).to_string(), "if_icmplt @4");
+        assert_eq!(
+            Insn::IInc { local: 2, delta: -1 }.to_string(),
+            "iinc 2 -1"
+        );
+        assert_eq!(Insn::NewArray(ArrayKind::Int).to_string(), "newarray int");
+        assert_eq!(Insn::IAdd.to_string(), "iadd");
+    }
+}

@@ -1,0 +1,55 @@
+//! # jvmsim-classfile — bytecode ISA and class model
+//!
+//! The class-file substrate of the jvmsim simulated JVM: value
+//! [types][ty] and descriptors, an interning [constant pool][constpool],
+//! a JVM-flavoured [instruction set][insn], [class/method/field
+//! structures][class], a fluent [assembler][builder], a textual
+//! [assembly language][jasm], a dataflow [validator][validate], a binary
+//! [codec], and a [disassembler][dis].
+//!
+//! Everything downstream builds on this crate: the VM interprets
+//! [`ClassFile`]s, the instrumentation library transforms their serialized
+//! form, and the workloads assemble them.
+//!
+//! ```
+//! use jvmsim_classfile::builder::ClassBuilder;
+//! use jvmsim_classfile::flags::MethodFlags;
+//! use jvmsim_classfile::codec;
+//!
+//! # fn main() -> Result<(), jvmsim_classfile::ClassfileError> {
+//! let mut cb = ClassBuilder::new("demo/Main");
+//! let mut m = cb.method("main", "()I", MethodFlags::STATIC);
+//! m.iconst(40).iconst(2).iadd().ireturn();
+//! m.finish()?;
+//! let class = cb.finish()?;
+//!
+//! // Classes round-trip through the binary format the instrumentation
+//! // pipeline operates on.
+//! let bytes = codec::encode(&class);
+//! assert_eq!(codec::decode(&bytes)?, class);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod class;
+pub mod codec;
+pub mod constpool;
+pub mod dis;
+mod error;
+pub mod flags;
+pub mod insn;
+pub mod jasm;
+pub mod ty;
+pub mod validate;
+
+pub use class::{ClassFile, Code, ExceptionHandler, FieldInfo, MethodInfo, CLINIT, OBJECT_CLASS};
+pub use constpool::{ConstantPool, CpIndex, FieldRef, MethodRef};
+pub use error::ClassfileError;
+pub use flags::{ClassFlags, FieldFlags, MethodFlags};
+pub use insn::{ArrayKind, Cond, Insn, InsnIndex};
+pub use ty::{MethodDescriptor, ReturnType, Type};
+

@@ -1,0 +1,314 @@
+//! Value types and method descriptors.
+//!
+//! The simulated JVM is a stack machine over three value kinds — 64-bit
+//! integers, 64-bit floats and object references — plus `void` for return
+//! types. Method descriptors use a compact JVM-flavoured grammar:
+//!
+//! * `I` — integer, `F` — float, `V` — void (return position only)
+//! * `Lpkg/Class;` — reference to an instance of a class
+//! * `[I`, `[F`, `[Lpkg/Class;` — arrays (arrays of arrays are written `[[I`)
+//! * a descriptor is `(` *param types* `)` *return type*, e.g. `(I[I)Lq/R;`
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ClassfileError;
+
+/// A value type as it appears in descriptors and field declarations.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer (`I`).
+    Int,
+    /// 64-bit IEEE-754 float (`F`).
+    Float,
+    /// Reference to an instance of the named class (`Lname;`).
+    Object(String),
+    /// Array with the given element type (`[elem`).
+    Array(Box<Type>),
+}
+
+impl Type {
+    /// Object type for a class name.
+    pub fn object(name: impl Into<String>) -> Self {
+        Type::Object(name.into())
+    }
+
+    /// Array of this type.
+    pub fn array_of(self) -> Self {
+        Type::Array(Box::new(self))
+    }
+
+    /// Is this type stored as a reference at runtime?
+    pub fn is_reference(&self) -> bool {
+        matches!(self, Type::Object(_) | Type::Array(_))
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Type::Int => out.push('I'),
+            Type::Float => out.push('F'),
+            Type::Object(name) => {
+                out.push('L');
+                out.push_str(name);
+                out.push(';');
+            }
+            Type::Array(elem) => {
+                out.push('[');
+                elem.write(out);
+            }
+        }
+    }
+
+    fn parse(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Type, ClassfileError> {
+        match chars.next() {
+            Some('I') => Ok(Type::Int),
+            Some('F') => Ok(Type::Float),
+            Some('L') => {
+                let mut name = String::new();
+                for c in chars.by_ref() {
+                    if c == ';' {
+                        if name.is_empty() {
+                            return Err(ClassfileError::BadDescriptor(
+                                "empty class name in descriptor".into(),
+                            ));
+                        }
+                        return Ok(Type::Object(name));
+                    }
+                    name.push(c);
+                }
+                Err(ClassfileError::BadDescriptor(
+                    "unterminated class name in descriptor".into(),
+                ))
+            }
+            Some('[') => Ok(Type::Array(Box::new(Type::parse(chars)?))),
+            other => Err(ClassfileError::BadDescriptor(format!(
+                "unexpected character {other:?} in descriptor"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+impl FromStr for Type {
+    type Err = ClassfileError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars().peekable();
+        let ty = Type::parse(&mut chars)?;
+        if chars.next().is_some() {
+            return Err(ClassfileError::BadDescriptor(format!(
+                "trailing characters in type descriptor {s:?}"
+            )));
+        }
+        Ok(ty)
+    }
+}
+
+/// Return type of a method: a [`Type`] or void.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum ReturnType {
+    /// The method returns no value (`V`).
+    #[default]
+    Void,
+    /// The method returns a value of this type.
+    Value(Type),
+}
+
+impl ReturnType {
+    /// Does the method push a value when it returns?
+    pub fn is_value(&self) -> bool {
+        matches!(self, ReturnType::Value(_))
+    }
+}
+
+impl fmt::Display for ReturnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReturnType::Void => f.write_str("V"),
+            ReturnType::Value(t) => t.fmt(f),
+        }
+    }
+}
+
+/// A parsed method descriptor: parameter types and return type.
+///
+/// ```
+/// use jvmsim_classfile::ty::{MethodDescriptor, Type, ReturnType};
+///
+/// # fn main() -> Result<(), jvmsim_classfile::ClassfileError> {
+/// let d: MethodDescriptor = "(I[F)Ljava/lang/String;".parse()?;
+/// assert_eq!(d.params().len(), 2);
+/// assert_eq!(d.params()[1], Type::Float.array_of());
+/// assert!(d.return_type().is_value());
+/// assert_eq!(d.to_string(), "(I[F)Ljava/lang/String;");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodDescriptor {
+    params: Vec<Type>,
+    ret: ReturnType,
+}
+
+impl MethodDescriptor {
+    /// Construct from parts.
+    pub fn new(params: Vec<Type>, ret: ReturnType) -> Self {
+        MethodDescriptor { params, ret }
+    }
+
+    /// Descriptor `()V`.
+    pub fn void() -> Self {
+        MethodDescriptor {
+            params: Vec::new(),
+            ret: ReturnType::Void,
+        }
+    }
+
+    /// Parameter types, in declaration order.
+    pub fn params(&self) -> &[Type] {
+        &self.params
+    }
+
+    /// Return type.
+    pub fn return_type(&self) -> &ReturnType {
+        &self.ret
+    }
+
+    /// Number of local-variable slots the parameters occupy (all value kinds
+    /// take one slot in this VM), not counting a `this` receiver.
+    pub fn param_slots(&self) -> usize {
+        self.params.len()
+    }
+}
+
+impl fmt::Display for MethodDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::from("(");
+        for p in &self.params {
+            p.write(&mut s);
+        }
+        s.push(')');
+        f.write_str(&s)?;
+        self.ret.fmt(f)
+    }
+}
+
+impl FromStr for MethodDescriptor {
+    type Err = ClassfileError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut chars = s.chars().peekable();
+        if chars.next() != Some('(') {
+            return Err(ClassfileError::BadDescriptor(format!(
+                "method descriptor {s:?} must start with '('"
+            )));
+        }
+        let mut params = Vec::new();
+        loop {
+            match chars.peek() {
+                Some(')') => {
+                    chars.next();
+                    break;
+                }
+                Some(_) => params.push(Type::parse(&mut chars)?),
+                None => {
+                    return Err(ClassfileError::BadDescriptor(format!(
+                        "method descriptor {s:?} missing ')'"
+                    )))
+                }
+            }
+        }
+        let ret = match chars.peek() {
+            Some('V') => {
+                chars.next();
+                ReturnType::Void
+            }
+            Some(_) => ReturnType::Value(Type::parse(&mut chars)?),
+            None => {
+                return Err(ClassfileError::BadDescriptor(format!(
+                    "method descriptor {s:?} missing return type"
+                )))
+            }
+        };
+        if chars.next().is_some() {
+            return Err(ClassfileError::BadDescriptor(format!(
+                "trailing characters in method descriptor {s:?}"
+            )));
+        }
+        Ok(MethodDescriptor { params, ret })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        for s in ["I", "F", "Lfoo/Bar;", "[I", "[[F", "[Lx/Y;"] {
+            let t: Type = s.parse().unwrap();
+            assert_eq!(t.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn reference_kinds() {
+        assert!(!Type::Int.is_reference());
+        assert!(!Type::Float.is_reference());
+        assert!(Type::object("a/B").is_reference());
+        assert!(Type::Int.array_of().is_reference());
+    }
+
+    #[test]
+    fn descriptor_round_trip() {
+        for s in [
+            "()V",
+            "(I)I",
+            "(IF)F",
+            "(Lfoo/Bar;[I)Lbaz/Qux;",
+            "([[F)V",
+            "(IIIIIIII)I",
+        ] {
+            let d: MethodDescriptor = s.parse().unwrap();
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn descriptor_parts() {
+        let d: MethodDescriptor = "(I[F)Lq/R;".parse().unwrap();
+        assert_eq!(d.params().len(), 2);
+        assert_eq!(d.params()[0], Type::Int);
+        assert_eq!(d.params()[1], Type::Float.array_of());
+        assert_eq!(
+            *d.return_type(),
+            ReturnType::Value(Type::object("q/R")),
+        );
+        assert_eq!(d.param_slots(), 2);
+    }
+
+    #[test]
+    fn void_descriptor_constructor() {
+        assert_eq!(MethodDescriptor::void().to_string(), "()V");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("".parse::<MethodDescriptor>().is_err());
+        assert!("I".parse::<MethodDescriptor>().is_err());
+        assert!("()".parse::<MethodDescriptor>().is_err());
+        assert!("(I".parse::<MethodDescriptor>().is_err());
+        assert!("(L;)V".parse::<MethodDescriptor>().is_err());
+        assert!("(Lfoo)V".parse::<MethodDescriptor>().is_err());
+        assert!("()Vx".parse::<MethodDescriptor>().is_err());
+        assert!("(X)V".parse::<MethodDescriptor>().is_err());
+        assert!("II".parse::<Type>().is_err());
+    }
+}

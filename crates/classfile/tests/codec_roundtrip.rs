@@ -1,0 +1,207 @@
+//! Property tests: the binary codec round-trips arbitrary class structures
+//! bit-exactly, and the assembler + validator agree with the codec.
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{
+    codec, ArrayKind, ClassFile, Code, Cond, CpIndex, ExceptionHandler, Insn, MethodFlags,
+    MethodInfo,
+};
+use proptest::prelude::*;
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Gt),
+        Just(Cond::Le),
+    ]
+}
+
+fn arb_array_kind() -> impl Strategy<Value = ArrayKind> {
+    prop_oneof![
+        Just(ArrayKind::Int),
+        Just(ArrayKind::Float),
+        Just(ArrayKind::Ref),
+    ]
+}
+
+/// Arbitrary instructions (structurally arbitrary: the codec must
+/// round-trip anything, valid or not).
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        any::<i64>().prop_map(Insn::IConst),
+        // NaN breaks PartialEq-based comparison; use finite floats.
+        (-1.0e15f64..1.0e15).prop_map(Insn::FConst),
+        Just(Insn::AConstNull),
+        (0u16..64).prop_map(|i| Insn::Ldc(CpIndex(i))),
+        (0u16..256).prop_map(Insn::ILoad),
+        (0u16..256).prop_map(Insn::FLoad),
+        (0u16..256).prop_map(Insn::ALoad),
+        (0u16..256).prop_map(Insn::IStore),
+        (0u16..256).prop_map(Insn::FStore),
+        (0u16..256).prop_map(Insn::AStore),
+        Just(Insn::Pop),
+        Just(Insn::Dup),
+        Just(Insn::Swap),
+        Just(Insn::IAdd),
+        Just(Insn::ISub),
+        Just(Insn::IMul),
+        Just(Insn::IDiv),
+        Just(Insn::IRem),
+        Just(Insn::INeg),
+        Just(Insn::IShl),
+        Just(Insn::IShr),
+        Just(Insn::IUShr),
+        Just(Insn::IAnd),
+        Just(Insn::IOr),
+        Just(Insn::IXor),
+        ((0u16..256), any::<i32>()).prop_map(|(local, delta)| Insn::IInc { local, delta }),
+        Just(Insn::FAdd),
+        Just(Insn::FSub),
+        Just(Insn::FMul),
+        Just(Insn::FDiv),
+        Just(Insn::FNeg),
+        Just(Insn::I2F),
+        Just(Insn::F2I),
+        Just(Insn::FCmp),
+        (0u32..10_000).prop_map(Insn::Goto),
+        (arb_cond(), 0u32..10_000).prop_map(|(c, t)| Insn::If(c, t)),
+        (arb_cond(), 0u32..10_000).prop_map(|(c, t)| Insn::IfICmp(c, t)),
+        (0u32..10_000).prop_map(Insn::IfNull),
+        (0u32..10_000).prop_map(Insn::IfNonNull),
+        (any::<i64>(), prop::collection::vec(0u32..10_000, 0..8), 0u32..10_000)
+            .prop_map(|(low, targets, default)| Insn::TableSwitch { low, targets, default }),
+        (0u16..64).prop_map(|i| Insn::InvokeStatic(CpIndex(i))),
+        (0u16..64).prop_map(|i| Insn::InvokeVirtual(CpIndex(i))),
+        Just(Insn::Return),
+        Just(Insn::IReturn),
+        Just(Insn::FReturn),
+        Just(Insn::AReturn),
+        (0u16..64).prop_map(|i| Insn::New(CpIndex(i))),
+        (0u16..64).prop_map(|i| Insn::GetField(CpIndex(i))),
+        (0u16..64).prop_map(|i| Insn::PutField(CpIndex(i))),
+        (0u16..64).prop_map(|i| Insn::GetStatic(CpIndex(i))),
+        (0u16..64).prop_map(|i| Insn::PutStatic(CpIndex(i))),
+        arb_array_kind().prop_map(Insn::NewArray),
+        Just(Insn::IALoad),
+        Just(Insn::IAStore),
+        Just(Insn::FALoad),
+        Just(Insn::FAStore),
+        Just(Insn::AALoad),
+        Just(Insn::AAStore),
+        Just(Insn::ArrayLength),
+        Just(Insn::AThrow),
+    ]
+}
+
+fn arb_class_name() -> impl Strategy<Value = String> {
+    "[a-z]{1,8}(/[A-Za-z][A-Za-z0-9_]{0,10}){1,3}"
+}
+
+fn arb_class() -> impl Strategy<Value = ClassFile> {
+    (
+        arb_class_name(),
+        prop::collection::vec(arb_insn(), 1..60),
+        prop::collection::vec(
+            ((0u32..50), (0u32..50), (0u32..50), prop::option::of(arb_class_name())),
+            0..4,
+        ),
+        prop::collection::vec(("[a-z]{1,10}", "[ -~]{0,30}", "\\(\\)V|\\(I\\)I|\\(IF\\)F"), 0..6),
+    )
+        .prop_map(|(name, insns, handlers, pool_seed)| {
+            let mut class = ClassFile::new(name);
+            // Populate the pool with entries the instruction operands can
+            // (dangling-ly) reference; the codec must not care.
+            for (cls, mname, desc) in &pool_seed {
+                class.pool.intern_method_ref(cls.clone(), mname.clone(), desc.clone());
+                class.pool.intern_field_ref(cls.clone(), mname.clone(), "I");
+                class.pool.intern_utf8(desc.clone());
+            }
+            let exception_table = handlers
+                .into_iter()
+                .map(|(start, end, handler, catch_class)| ExceptionHandler {
+                    start,
+                    end: end.max(start + 1),
+                    handler,
+                    catch_class,
+                })
+                .collect();
+            let code = Code {
+                max_stack: 40,
+                max_locals: 300,
+                insns,
+                exception_table,
+            };
+            class
+                .add_method(
+                    MethodInfo::new("body", "()V", MethodFlags::STATIC, code).unwrap(),
+                )
+                .unwrap();
+            class
+                .add_method(
+                    MethodInfo::new_native("nat", "(IF)I", MethodFlags::PUBLIC).unwrap(),
+                )
+                .unwrap();
+            class
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn codec_round_trips_arbitrary_classes(class in arb_class()) {
+        let bytes = codec::encode(&class);
+        let decoded = codec::decode(&bytes).expect("decode");
+        prop_assert_eq!(&decoded, &class);
+        // Re-encoding is byte-stable (canonical form).
+        prop_assert_eq!(codec::encode(&decoded), bytes);
+    }
+
+    #[test]
+    fn truncated_input_never_panics(class in arb_class(), cut in 0usize..5_000) {
+        let bytes = codec::encode(&class);
+        let cut = cut.min(bytes.len());
+        // Must return an error (or succeed only for the full length),
+        // never panic.
+        let result = codec::decode(&bytes[..cut]);
+        if cut < bytes.len() {
+            prop_assert!(result.is_err());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_never_panics(class in arb_class(), pos in 0usize..5_000, flip in 1u8..=255) {
+        let mut bytes = codec::encode(&class);
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        // Any outcome is fine except a panic; if it decodes, it must
+        // re-encode without panicking too.
+        if let Ok(decoded) = codec::decode(&bytes) {
+            let _ = codec::encode(&decoded);
+        }
+    }
+
+    #[test]
+    fn builder_output_always_validates_and_round_trips(
+        consts in prop::collection::vec(-1000i64..1000, 1..20),
+    ) {
+        // Straight-line code from the builder must validate and survive
+        // the codec.
+        let mut cb = ClassBuilder::new("p/Sum");
+        let mut m = cb.method("sum", "()I", MethodFlags::STATIC);
+        m.iconst(0);
+        for c in &consts {
+            m.iconst(*c).iadd();
+        }
+        m.ireturn();
+        m.finish().expect("valid");
+        let class = cb.finish().expect("valid class");
+        let decoded = codec::decode(&codec::encode(&class)).expect("round trip");
+        jvmsim_classfile::validate::validate_class(&decoded).expect("still valid");
+        prop_assert_eq!(decoded, class);
+    }
+}

@@ -1,0 +1,77 @@
+//! # nativeprof — measuring the native-code contribution of Java workloads
+//!
+//! The primary contribution of *"A Quantitative Evaluation of the
+//! Contribution of Native Code to Java Workloads"* (Binder, Hulaas, Moret;
+//! IISWC 2006), reproduced on the `jvmsim` simulated JVM:
+//!
+//! * [`SpaAgent`] — the Simple Profiling Agent (§III, Fig. 1): JVMTI
+//!   `MethodEntry`/`MethodExit` events + a reified boolean stack. Portable
+//!   but catastrophically slow, because those events disable the JIT.
+//! * [`IpaAgent`] — the Improved Profiling Agent (§IV, Fig. 3): static
+//!   bytecode instrumentation of native methods (Fig. 2), JVMTI 1.1 native
+//!   method prefixing, and interception of all 90 JNI `Call*Method*`
+//!   functions. Moderate overhead (0–20 % in the paper's Table I), because
+//!   measurement code runs only at bytecode↔native transitions.
+//! * [`ChainProfiler`] — the §VII "future work" extension: mixed
+//!   Java/native call chains.
+//! * [`SamplingProfiler`] — the §VI related-work baseline: a `tprof`-style
+//!   timer sampler (cheap, approximate, system-specific, and structurally
+//!   unable to count JNI calls).
+//!
+//! Both agents report a [`NativeProfile`] — the per-benchmark row of the
+//! paper's Table II: % native execution time, intercepted JNI calls, and
+//! native method invocations.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use jvmsim_classfile::builder::ClassBuilder;
+//! use jvmsim_classfile::MethodFlags;
+//! use jvmsim_instr::Archive;
+//! use jvmsim_vm::{NativeLibrary, Value, Vm};
+//! use nativeprof::IpaAgent;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // An app with one native method.
+//! let mut cb = ClassBuilder::new("app/Main");
+//! cb.native_method("work", "()V", MethodFlags::STATIC)?;
+//! let mut m = cb.method("main", "()V", MethodFlags::STATIC);
+//! m.invokestatic("app/Main", "work", "()V").ret_void();
+//! m.finish()?;
+//! let mut archive = Archive::new();
+//! archive.insert_class(&cb.finish()?)?;
+//! let mut lib = NativeLibrary::new("app");
+//! lib.register_method("app/Main", "work", |env, _| {
+//!     env.work(10_000);
+//!     Ok(Value::Null)
+//! });
+//!
+//! // Instrument statically, attach IPA, run, report.
+//! let ipa = IpaAgent::new();
+//! ipa.instrument_archive(&mut archive)?;
+//! let mut vm = Vm::new();
+//! vm.add_archive(archive);
+//! vm.register_native_library(lib, true);
+//! jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn jvmsim_jvmti::Agent>)?;
+//! vm.run("app/Main", "main", "()V", vec![])?;
+//!
+//! let profile = ipa.report();
+//! assert_eq!(profile.native_method_calls, 1);
+//! assert!(profile.percent_native() > 50.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chains;
+pub mod ipa;
+pub mod sampling;
+pub mod spa;
+pub mod stats;
+
+pub use chains::{CallChain, ChainProfiler, Frame};
+pub use sampling::{SamplingEstimate, SamplingProfiler};
+pub use ipa::{Compensation, InstrumentationMode, IpaAgent, IpaConfig};
+pub use spa::SpaAgent;
+pub use stats::{Meter, NativeProfile, Side, TimeSplit};

@@ -1,0 +1,166 @@
+//! Accounting-fidelity regressions from code review: thread entries are
+//! observed through the JNI launcher path, so IPA attributes pure-Java
+//! threads and pre-first-native preludes correctly.
+
+use std::sync::Arc;
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{Cond, MethodFlags};
+use jvmsim_instr::Archive;
+use jvmsim_jvmti::Agent;
+use jvmsim_vm::{builtins, NativeLibrary, Value, Vm};
+use nativeprof::IpaAgent;
+
+const ST: MethodFlags = MethodFlags::PUBLIC.with(MethodFlags::STATIC);
+
+fn burn_loop(m: &mut jvmsim_classfile::builder::MethodBuilder<'_>, slot: u16) {
+    let top = m.new_label();
+    let done = m.new_label();
+    m.bind(top);
+    m.iload(slot).if_(Cond::Le, done);
+    m.iinc(slot, -1).goto(top);
+    m.bind(done);
+}
+
+#[test]
+fn pure_java_spawned_thread_is_not_counted_as_native() {
+    // A worker that never touches native code: its split must be almost
+    // entirely bytecode. Before the JNI-launcher routing, IPA's initial
+    // `inNative = true` never flipped and the whole thread counted native.
+    let mut cb = ClassBuilder::new("acc/Pure");
+    let mut m = cb.method("worker", "(I)V", ST);
+    burn_loop(&mut m, 0);
+    m.ret_void();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "(I)I", ST);
+    m.ldc_str("w").ldc_str("acc/Pure").ldc_str("worker").iconst(20_000);
+    m.invokestatic(
+        "java/lang/Threads",
+        "start",
+        "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V",
+    );
+    m.iconst(0).ireturn();
+    m.finish().unwrap();
+
+    let mut archive = Archive::new();
+    for (name, bytes) in builtins::boot_archive() {
+        archive.insert_bytes(name, bytes).unwrap();
+    }
+    archive.insert_class(&cb.finish().unwrap()).unwrap();
+    let ipa = IpaAgent::new();
+    ipa.instrument_archive(&mut archive).unwrap();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(builtins::libjava(), true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("acc/Pure", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    assert!(outcome.main.is_ok());
+
+    let report = ipa.report();
+    assert_eq!(report.threads.len(), 2, "{report}");
+    // The worker is the larger thread; find it by total.
+    let worker = report
+        .threads
+        .iter()
+        .map(|(_, s)| s)
+        .max_by_key(|s| s.total())
+        .unwrap();
+    let pct = worker.percent_native();
+    assert!(
+        pct < 10.0,
+        "pure-Java worker must be almost all bytecode, got {pct:.1}% native\n{report}"
+    );
+}
+
+#[test]
+fn primordial_prelude_is_attributed_not_dropped() {
+    // Long bytecode prelude, then a single native call at the very end.
+    // The launcher-path N2J at t≈0 creates the thread context immediately,
+    // so the prelude is banked as bytecode instead of vanishing.
+    let mut cb = ClassBuilder::new("acc/Tail");
+    cb.native_method("tick", "()V", ST).unwrap();
+    let mut m = cb.method("main", "(I)I", ST);
+    m.iconst(50_000).istore(1);
+    burn_loop(&mut m, 1);
+    m.invokestatic("acc/Tail", "tick", "()V");
+    m.iconst(0).ireturn();
+    m.finish().unwrap();
+    let mut lib = NativeLibrary::new("acc");
+    lib.register_method("acc/Tail", "tick", |env, _| {
+        env.work(100);
+        Ok(Value::Null)
+    });
+
+    let mut archive = Archive::new();
+    archive.insert_class(&cb.finish().unwrap()).unwrap();
+    let ipa = IpaAgent::new();
+    ipa.instrument_archive(&mut archive).unwrap();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("acc/Tail", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    assert!(outcome.main.is_ok());
+
+    let report = ipa.report();
+    // The prelude is ≥ 150k cycles of bytecode (50k iterations × 3 insns);
+    // it must appear in the report.
+    assert!(
+        report.total.bytecode > 100_000,
+        "prelude bytecode must be banked: {report}"
+    );
+    assert!(
+        report.percent_native() < 5.0,
+        "one tiny native call at the end: {report}"
+    );
+    // And the accounting covers nearly all of the thread's cycles.
+    let covered = report.total.total() as f64 / outcome.total_cycles as f64;
+    assert!(
+        covered > 0.9,
+        "measured {:.1}% of actual cycles\n{report}",
+        covered * 100.0
+    );
+}
+
+#[test]
+fn rerunning_the_same_vm_does_not_double_count() {
+    // thread_end removes the TLS context, so a second run() on the same VM
+    // (warmup + measurement) banks only its own cycles.
+    let mut cb = ClassBuilder::new("acc/Twice");
+    cb.native_method("nat", "()V", ST).unwrap();
+    let mut m = cb.method("main", "(I)I", ST);
+    m.iconst(5_000).istore(1);
+    burn_loop(&mut m, 1);
+    m.invokestatic("acc/Twice", "nat", "()V");
+    m.iconst(0).ireturn();
+    m.finish().unwrap();
+    let mut lib = NativeLibrary::new("acc2");
+    lib.register_method("acc/Twice", "nat", |env, _| {
+        env.work(500);
+        Ok(Value::Null)
+    });
+
+    let mut archive = Archive::new();
+    archive.insert_class(&cb.finish().unwrap()).unwrap();
+    let ipa = IpaAgent::new();
+    ipa.instrument_archive(&mut archive).unwrap();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+
+    vm.run("acc/Twice", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    let after_one = ipa.report().total.total();
+    vm.run("acc/Twice", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    let after_two = ipa.report().total.total();
+    // The second run adds its own (JIT-warm, so much smaller) cycles —
+    // NOT a replay of run 1's banked split, which is what the stale
+    // context used to produce (after_two ≈ 2×after_one even with a warm
+    // JIT, because run 1's total was re-absorbed wholesale).
+    assert!(
+        after_two < after_one * 2,
+        "double-counting: run1 {after_one}, run1+2 {after_two}"
+    );
+    assert!(after_two > after_one, "second run must be measured");
+    assert_eq!(ipa.report().threads.len(), 2, "one row per main-run");
+}

@@ -1,0 +1,125 @@
+//! `jinstr` — the static instrumentation command-line tool.
+//!
+//! The paper's tool "processes individual class files or archives of class
+//! files" ahead of time (§IV); this is that tool for jvmsim archives:
+//!
+//! ```sh
+//! jinstr instrument <in.jvma> <out.jvma> [--prefix P] [--bridge C]
+//! jinstr dump <archive.jvma> [class]      # disassemble
+//! jinstr list <archive.jvma>              # table of contents
+//! ```
+
+use std::process::ExitCode;
+
+use jvmsim_classfile::{codec, dis};
+use jvmsim_instr::{Archive, NativeWrapperTransform, WrapperConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  jinstr instrument <in.jvma> <out.jvma> [--prefix P] [--bridge C]\n  jinstr dump <archive.jvma> [class]\n  jinstr list <archive.jvma>"
+    );
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Archive, String> {
+    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    Archive::from_bytes(&data).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let result = match command {
+        "instrument" => instrument(&args[1..]),
+        "dump" => dump(&args[1..]),
+        "list" => list(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("jinstr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn instrument(args: &[String]) -> Result<(), String> {
+    let (mut positional, mut prefix, mut bridge) = (Vec::new(), None, None);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--prefix" => prefix = Some(it.next().ok_or("--prefix needs a value")?.clone()),
+            "--bridge" => bridge = Some(it.next().ok_or("--bridge needs a value")?.clone()),
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [input, output] = positional.as_slice() else {
+        return Err("instrument needs <in.jvma> <out.jvma>".into());
+    };
+    let mut config = WrapperConfig::default();
+    if let Some(p) = prefix {
+        config.prefix = p;
+    }
+    if let Some(b) = bridge {
+        config.skip_classes.insert(b.clone());
+        config.bridge_class = b;
+    }
+    let transform = NativeWrapperTransform::with_config(config.clone());
+    let mut archive = load(input)?;
+    let report = archive.instrument(&transform).map_err(|e| e.to_string())?;
+    std::fs::write(output, archive.to_bytes()).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "{}: {} classes seen, {} instrumented, {} native methods wrapped (prefix {:?})",
+        output, report.classes_seen, report.classes_instrumented, report.methods_touched,
+        config.prefix
+    );
+    println!("remember to register the prefix and the bridge natives in the VM");
+    Ok(())
+}
+
+fn dump(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("dump needs <archive.jvma>".into());
+    };
+    let archive = load(path)?;
+    let filter = args.get(1);
+    let mut shown = 0;
+    for (name, bytes) in archive.iter() {
+        if filter.is_some_and(|f| f != name) {
+            continue;
+        }
+        let class = codec::decode(bytes).map_err(|e| format!("{name}: {e}"))?;
+        print!("{}", dis::disassemble(&class));
+        shown += 1;
+    }
+    if shown == 0 {
+        return Err(match filter {
+            Some(f) => format!("class {f} not found"),
+            None => "archive is empty".into(),
+        });
+    }
+    Ok(())
+}
+
+fn list(args: &[String]) -> Result<(), String> {
+    let Some(path) = args.first() else {
+        return Err("list needs <archive.jvma>".into());
+    };
+    let archive = load(path)?;
+    println!("{} classes:", archive.len());
+    for (name, bytes) in archive.iter() {
+        let class = codec::decode(bytes).map_err(|e| format!("{name}: {e}"))?;
+        let natives = class.methods().iter().filter(|m| m.is_native()).count();
+        println!(
+            "  {:<40} {:>6} bytes  {:>2} methods  {:>2} native",
+            name,
+            bytes.len(),
+            class.methods().len(),
+            natives
+        );
+    }
+    Ok(())
+}

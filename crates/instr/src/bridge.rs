@@ -1,0 +1,58 @@
+//! The agent bridge class.
+//!
+//! §IV: "In order to enable native method wrappers to call these transition
+//! routines from bytecode, we created a Java class corresponding to IPA
+//! which declares the four corresponding static methods as native (this
+//! special class is excluded from instrumentation)."
+//!
+//! [`bridge_class`] generates that class; the agent supplies the native
+//! library implementing the four symbols.
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{ClassFile, ClassFlags, MethodFlags};
+
+/// The four transition routine names, in canonical order.
+pub const TRANSITION_METHODS: [&str; 4] = ["J2N_Begin", "J2N_End", "N2J_Begin", "N2J_End"];
+
+/// Generate the bridge class: `name` declaring the four static native
+/// transition methods.
+///
+/// # Panics
+///
+/// Panics only on internal assembly failure (inputs are static).
+pub fn bridge_class(name: &str) -> ClassFile {
+    let mut cb = ClassBuilder::new(name);
+    for m in TRANSITION_METHODS {
+        cb.native_method(m, "()V", MethodFlags::PUBLIC | MethodFlags::STATIC)
+            .expect("bridge native declaration");
+    }
+    let mut class = cb.finish().expect("bridge class");
+    class.flags |= ClassFlags::SYNTHETIC;
+    class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declares_all_four_transitions_as_native() {
+        let c = bridge_class("nativeprof/IPA");
+        assert_eq!(c.name(), "nativeprof/IPA");
+        for m in TRANSITION_METHODS {
+            let mi = c.find_method(m, "()V").unwrap_or_else(|| panic!("{m}"));
+            assert!(mi.is_native());
+            assert!(mi.is_static());
+        }
+        assert!(c.flags.contains(ClassFlags::SYNTHETIC));
+    }
+
+    #[test]
+    fn bridge_survives_the_wrapper_transform_untouched() {
+        use crate::native_wrapper::NativeWrapperTransform;
+        use crate::transform::ClassTransform;
+        let mut c = bridge_class(crate::native_wrapper::DEFAULT_BRIDGE);
+        let stats = NativeWrapperTransform::new().apply(&mut c).unwrap();
+        assert!(!stats.changed);
+    }
+}

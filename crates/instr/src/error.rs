@@ -1,0 +1,67 @@
+//! Instrumentation errors.
+
+use std::fmt;
+
+use jvmsim_classfile::ClassfileError;
+
+/// Errors raised by instrumentation transforms and archive processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum InstrError {
+    /// The input classfile failed to decode or re-validate.
+    Classfile(ClassfileError),
+    /// A transform could not be applied to a class.
+    Transform {
+        /// Class being transformed.
+        class: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Archive-level format problem.
+    Archive(String),
+}
+
+impl fmt::Display for InstrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrError::Classfile(e) => write!(f, "classfile error: {e}"),
+            InstrError::Transform { class, reason } => {
+                write!(f, "cannot transform {class}: {reason}")
+            }
+            InstrError::Archive(m) => write!(f, "archive error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InstrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InstrError::Classfile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClassfileError> for InstrError {
+    fn from(e: ClassfileError) -> Self {
+        InstrError::Classfile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = InstrError::from(ClassfileError::BadFormat("x".into()));
+        assert!(e.to_string().contains("classfile error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = InstrError::Transform {
+            class: "a/B".into(),
+            reason: "because".into(),
+        };
+        assert_eq!(e.to_string(), "cannot transform a/B: because");
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,379 @@
+//! The paper's Fig. 2 transform: wrap every `native` method in a pure-Java
+//! wrapper that brackets it with `J2N_Begin()` / `J2N_End()`.
+//!
+//! For a declaration `native int foo(int a)` the transform produces:
+//!
+//! ```text
+//! int foo(int a) {                 // synthetic wrapper, same signature
+//!     IPA.J2N_Begin();
+//!     try {
+//!         return $$nativeprof$$foo(a);
+//!     } finally {
+//!         IPA.J2N_End();
+//!     }
+//! }
+//! native int $$nativeprof$$foo(int a);   // renamed original
+//! ```
+//!
+//! The renamed method still resolves against the unmodified native library
+//! because the VM retries resolution with registered prefixes stripped
+//! (JVMTI 1.1 *native method prefixing*, §II-B). The `finally` clause is
+//! encoded as a catch-all exception-table entry so `J2N_End()` also runs
+//! when the native method throws.
+
+use std::collections::HashSet;
+
+use jvmsim_classfile::{
+    validate, ClassFile, Code, ExceptionHandler, Insn, MethodFlags, MethodInfo, ReturnType, Type,
+};
+
+use crate::error::InstrError;
+use crate::transform::{ClassTransform, TransformStats};
+
+/// Default prefix prepended to renamed native methods. Chosen, as the paper
+/// requires, so it "should not occur in any method name".
+pub const DEFAULT_PREFIX: &str = "$$nativeprof$$";
+
+/// Default bridge class whose static methods the wrappers call.
+pub const DEFAULT_BRIDGE: &str = "nativeprof/IPA";
+
+/// Configuration for [`NativeWrapperTransform`].
+#[derive(Debug, Clone)]
+pub struct WrapperConfig {
+    /// Prefix for renamed native methods (must be announced to the VM via
+    /// `register_native_prefix`).
+    pub prefix: String,
+    /// Class declaring the static transition methods.
+    pub bridge_class: String,
+    /// Name of the begin-transition method (descriptor `()V`).
+    pub begin_method: String,
+    /// Name of the end-transition method (descriptor `()V`).
+    pub end_method: String,
+    /// Classes that must never be instrumented (the bridge class itself,
+    /// per §IV: "this special class is excluded from instrumentation").
+    pub skip_classes: HashSet<String>,
+}
+
+impl Default for WrapperConfig {
+    fn default() -> Self {
+        let mut skip = HashSet::new();
+        skip.insert(DEFAULT_BRIDGE.to_owned());
+        WrapperConfig {
+            prefix: DEFAULT_PREFIX.to_owned(),
+            bridge_class: DEFAULT_BRIDGE.to_owned(),
+            begin_method: "J2N_Begin".to_owned(),
+            end_method: "J2N_End".to_owned(),
+            skip_classes: skip,
+        }
+    }
+}
+
+/// The native-method wrapper transform (Fig. 2 of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct NativeWrapperTransform {
+    config: WrapperConfig,
+}
+
+impl NativeWrapperTransform {
+    /// Transform with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Transform with an explicit configuration.
+    pub fn with_config(config: WrapperConfig) -> Self {
+        NativeWrapperTransform { config }
+    }
+
+    /// The configured prefix (to register with the VM).
+    pub fn prefix(&self) -> &str {
+        &self.config.prefix
+    }
+
+    /// Build the wrapper body for a native method.
+    fn build_wrapper(
+        &self,
+        class: &mut ClassFile,
+        original: &MethodInfo,
+        prefixed_name: &str,
+    ) -> Result<MethodInfo, InstrError> {
+        let class_name = class.name().to_owned();
+        let pool = &mut class.pool;
+        let begin_ref = pool.intern_method_ref(
+            self.config.bridge_class.clone(),
+            self.config.begin_method.clone(),
+            "()V",
+        );
+        let end_ref = pool.intern_method_ref(
+            self.config.bridge_class.clone(),
+            self.config.end_method.clone(),
+            "()V",
+        );
+        let target_ref = pool.intern_method_ref(
+            class_name,
+            prefixed_name.to_owned(),
+            original.descriptor_string().to_owned(),
+        );
+
+        let is_static = original.is_static();
+        let mut insns: Vec<Insn> = Vec::new();
+        // 0: J2N_Begin()
+        insns.push(Insn::InvokeStatic(begin_ref));
+        let try_start = insns.len() as u32;
+        // Load receiver + arguments.
+        let mut slot: u16 = 0;
+        if !is_static {
+            insns.push(Insn::ALoad(slot));
+            slot += 1;
+        }
+        for p in original.descriptor().params() {
+            insns.push(match p {
+                Type::Int => Insn::ILoad(slot),
+                Type::Float => Insn::FLoad(slot),
+                Type::Object(_) | Type::Array(_) => Insn::ALoad(slot),
+            });
+            slot += 1;
+        }
+        // Invoke the renamed native method.
+        insns.push(if is_static {
+            Insn::InvokeStatic(target_ref)
+        } else {
+            Insn::InvokeVirtual(target_ref)
+        });
+        let try_end = insns.len() as u32; // exclusive; covers the invoke
+        // Normal path: J2N_End(); return result.
+        insns.push(Insn::InvokeStatic(end_ref));
+        insns.push(match original.descriptor().return_type() {
+            ReturnType::Void => Insn::Return,
+            ReturnType::Value(Type::Int) => Insn::IReturn,
+            ReturnType::Value(Type::Float) => Insn::FReturn,
+            ReturnType::Value(Type::Object(_) | Type::Array(_)) => Insn::AReturn,
+        });
+        // Exceptional path ("finally"): J2N_End(); rethrow.
+        let handler = insns.len() as u32;
+        insns.push(Insn::InvokeStatic(end_ref));
+        insns.push(Insn::AThrow);
+
+        let code = Code {
+            max_stack: 0, // computed below
+            max_locals: slot.max(1),
+            insns,
+            exception_table: vec![ExceptionHandler {
+                start: try_start,
+                end: try_end,
+                handler,
+                catch_class: None,
+            }],
+        };
+        let wrapper_flags = original
+            .flags
+            .without(MethodFlags::NATIVE)
+            .with(MethodFlags::SYNTHETIC);
+        let mut wrapper = MethodInfo::new(
+            original.name(),
+            original.descriptor_string(),
+            wrapper_flags,
+            code,
+        )?;
+        // Fill in the true max_stack.
+        let facts = validate::validate_code(
+            &class.pool,
+            &wrapper,
+            wrapper.code.as_ref().expect("wrapper has code"),
+        )?;
+        if let Some(code) = wrapper.code.as_mut() {
+            code.max_stack = facts.max_stack;
+        }
+        Ok(wrapper)
+    }
+}
+
+
+impl ClassTransform for NativeWrapperTransform {
+    fn name(&self) -> &str {
+        "native-wrapper"
+    }
+
+    fn apply(&self, class: &mut ClassFile) -> Result<TransformStats, InstrError> {
+        if self.config.skip_classes.contains(class.name()) {
+            return Ok(TransformStats::default());
+        }
+        // Collect candidate native methods first (index-stable pass).
+        let candidates: Vec<usize> = class
+            .methods()
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                m.is_native()
+                    && !m.name().starts_with(&self.config.prefix)
+                    && !m.flags.contains(MethodFlags::SYNTHETIC)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            return Ok(TransformStats::default());
+        }
+        let mut wrapped = 0;
+        for idx in candidates {
+            let original = class.methods()[idx].clone();
+            let prefixed = format!("{}{}", self.config.prefix, original.name());
+            if class
+                .find_method(&prefixed, original.descriptor_string())
+                .is_some()
+            {
+                // Already instrumented (idempotence under re-runs).
+                continue;
+            }
+            let wrapper = self.build_wrapper(class, &original, &prefixed)?;
+            // Rename the native original, then add the wrapper under the
+            // old name.
+            class.methods_mut()[idx].set_name(prefixed);
+            class.add_method(wrapper)?;
+            wrapped += 1;
+        }
+        Ok(TransformStats {
+            changed: wrapped > 0,
+            methods_touched: wrapped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvmsim_classfile::builder::ClassBuilder;
+
+    fn native_class() -> ClassFile {
+        let mut cb = ClassBuilder::new("t/N");
+        cb.native_method("readBlock", "([II)I", MethodFlags::PUBLIC | MethodFlags::STATIC)
+            .unwrap();
+        cb.native_method("render", "(F)F", MethodFlags::PUBLIC)
+            .unwrap();
+        let mut m = cb.method("plain", "()V", MethodFlags::STATIC);
+        m.ret_void();
+        m.finish().unwrap();
+        cb.finish().unwrap()
+    }
+
+    #[test]
+    fn wraps_static_and_instance_natives() {
+        let mut class = native_class();
+        let t = NativeWrapperTransform::new();
+        let stats = t.apply(&mut class).unwrap();
+        assert!(stats.changed);
+        assert_eq!(stats.methods_touched, 2);
+        // Renamed natives exist…
+        let renamed = class
+            .find_method("$$nativeprof$$readBlock", "([II)I")
+            .expect("renamed native");
+        assert!(renamed.is_native());
+        // …and the wrappers carry the public name, minus NATIVE.
+        let wrapper = class.find_method("readBlock", "([II)I").expect("wrapper");
+        assert!(!wrapper.is_native());
+        assert!(wrapper.flags.contains(MethodFlags::SYNTHETIC));
+        assert!(wrapper.flags.contains(MethodFlags::STATIC));
+        // Instance wrapper keeps instance-ness.
+        let iw = class.find_method("render", "(F)F").unwrap();
+        assert!(!iw.is_static());
+        // Whole class still validates.
+        validate::validate_class(&class).unwrap();
+    }
+
+    #[test]
+    fn wrapper_structure_matches_fig2() {
+        let mut class = native_class();
+        NativeWrapperTransform::new().apply(&mut class).unwrap();
+        let wrapper = class.find_method("readBlock", "([II)I").unwrap();
+        let code = wrapper.code.as_ref().unwrap();
+        // Begin, aload, iload, invoke, end, ireturn, end, athrow.
+        assert_eq!(code.insns.len(), 8);
+        assert!(matches!(code.insns[0], Insn::InvokeStatic(_)));
+        assert!(matches!(code.insns[3], Insn::InvokeStatic(_)));
+        assert!(matches!(code.insns[5], Insn::IReturn));
+        assert!(matches!(code.insns[7], Insn::AThrow));
+        assert_eq!(code.exception_table.len(), 1);
+        let h = &code.exception_table[0];
+        assert_eq!(h.catch_class, None, "finally is a catch-all");
+        assert!(h.start <= 3 && h.end == 4 && h.handler == 6);
+        // Pool symbols point at the bridge.
+        let listing = jvmsim_classfile::dis::disassemble(&class);
+        assert!(listing.contains("nativeprof/IPA.J2N_Begin()V"), "{listing}");
+        assert!(listing.contains("nativeprof/IPA.J2N_End()V"));
+    }
+
+    #[test]
+    fn idempotent_under_reapplication() {
+        let mut class = native_class();
+        let t = NativeWrapperTransform::new();
+        t.apply(&mut class).unwrap();
+        let once = class.clone();
+        let stats = t.apply(&mut class).unwrap();
+        assert!(!stats.changed);
+        assert_eq!(class, once);
+    }
+
+    #[test]
+    fn bridge_class_is_skipped() {
+        let mut cb = ClassBuilder::new(DEFAULT_BRIDGE);
+        cb.native_method("J2N_Begin", "()V", MethodFlags::STATIC)
+            .unwrap();
+        let mut bridge = cb.finish().unwrap();
+        let stats = NativeWrapperTransform::new().apply(&mut bridge).unwrap();
+        assert!(!stats.changed, "bridge must not wrap its own natives");
+    }
+
+    #[test]
+    fn class_without_natives_is_untouched() {
+        let mut cb = ClassBuilder::new("t/Plain");
+        let mut m = cb.method("f", "()V", MethodFlags::STATIC);
+        m.ret_void();
+        m.finish().unwrap();
+        let mut class = cb.finish().unwrap();
+        let before = class.clone();
+        let stats = NativeWrapperTransform::new().apply(&mut class).unwrap();
+        assert!(!stats.changed);
+        assert_eq!(class, before);
+    }
+
+    #[test]
+    fn custom_prefix_and_bridge() {
+        let mut cfg = WrapperConfig::default();
+        cfg.prefix = "_p_".into();
+        cfg.bridge_class = "my/Bridge".into();
+        cfg.begin_method = "in".into();
+        cfg.end_method = "out".into();
+        cfg.skip_classes.insert("my/Bridge".into());
+        let t = NativeWrapperTransform::with_config(cfg);
+        assert_eq!(t.prefix(), "_p_");
+        let mut class = native_class();
+        t.apply(&mut class).unwrap();
+        assert!(class.find_method("_p_readBlock", "([II)I").is_some());
+        let listing = jvmsim_classfile::dis::disassemble(&class);
+        assert!(listing.contains("my/Bridge.in()V"));
+        assert!(listing.contains("my/Bridge.out()V"));
+    }
+
+    #[test]
+    fn void_and_reference_returns() {
+        let mut cb = ClassBuilder::new("t/V");
+        cb.native_method("fire", "()V", MethodFlags::STATIC).unwrap();
+        cb.native_method("name", "()Ljava/lang/String;", MethodFlags::STATIC)
+            .unwrap();
+        let mut class = cb.finish().unwrap();
+        NativeWrapperTransform::new().apply(&mut class).unwrap();
+        let vw = class.find_method("fire", "()V").unwrap();
+        assert!(matches!(
+            vw.code.as_ref().unwrap().insns[3],
+            Insn::Return
+        ));
+        let rw = class.find_method("name", "()Ljava/lang/String;").unwrap();
+        assert!(rw
+            .code
+            .as_ref()
+            .unwrap()
+            .insns
+            .iter()
+            .any(|i| matches!(i, Insn::AReturn)));
+        validate::validate_class(&class).unwrap();
+    }
+}

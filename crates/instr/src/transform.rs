@@ -1,0 +1,241 @@
+//! The transform framework: composable class rewrites over decoded trees or
+//! raw bytes, in the style of ASM's visitor pipelines.
+
+use jvmsim_classfile::{codec, validate, ClassFile};
+
+use crate::error::InstrError;
+
+/// Outcome of applying a transform to one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransformStats {
+    /// Did the transform change the class at all?
+    pub changed: bool,
+    /// Number of methods the transform touched (wrapped, renamed, hooked…).
+    pub methods_touched: usize,
+}
+
+impl TransformStats {
+    /// Merge another stats record into this one.
+    pub fn absorb(&mut self, other: TransformStats) {
+        self.changed |= other.changed;
+        self.methods_touched += other.methods_touched;
+    }
+}
+
+/// A class-to-class rewrite.
+///
+/// Implementations must produce classes that still pass
+/// [`jvmsim_classfile::validate::validate_class`]; the byte-level driver
+/// re-validates and fails loudly otherwise.
+pub trait ClassTransform {
+    /// Short human-readable name for reports.
+    fn name(&self) -> &str;
+
+    /// Rewrite `class` in place, returning what happened.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InstrError`] when the class cannot be rewritten.
+    fn apply(&self, class: &mut ClassFile) -> Result<TransformStats, InstrError>;
+}
+
+/// Apply a transform to serialized classfile bytes: decode → rewrite →
+/// validate → encode. Returns `None` when the transform left the class
+/// unchanged (so callers can keep the original bytes — the fast path the
+/// paper's tool takes for classes without native methods).
+///
+/// # Errors
+///
+/// Returns [`InstrError`] on decode failure, transform failure, or if the
+/// transform produced an invalid class.
+pub fn apply_to_bytes(
+    transform: &dyn ClassTransform,
+    bytes: &[u8],
+) -> Result<Option<Vec<u8>>, InstrError> {
+    let mut class = codec::decode(bytes)?;
+    let stats = transform.apply(&mut class)?;
+    if !stats.changed {
+        return Ok(None);
+    }
+    validate::validate_class(&class).map_err(|e| InstrError::Transform {
+        class: class.name().to_owned(),
+        reason: format!("transform {} produced an invalid class: {e}", transform.name()),
+    })?;
+    Ok(Some(codec::encode(&class)))
+}
+
+/// A sequential pipeline of transforms.
+#[derive(Default)]
+pub struct Pipeline {
+    transforms: Vec<Box<dyn ClassTransform>>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field(
+                "transforms",
+                &self.transforms.iter().map(|t| t.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+impl Pipeline {
+    /// Empty pipeline (identity).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage.
+    #[must_use]
+    pub fn with(mut self, t: impl ClassTransform + 'static) -> Self {
+        self.transforms.push(Box::new(t));
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Is the pipeline empty?
+    pub fn is_empty(&self) -> bool {
+        self.transforms.is_empty()
+    }
+}
+
+impl ClassTransform for Pipeline {
+    fn name(&self) -> &str {
+        "pipeline"
+    }
+
+    fn apply(&self, class: &mut ClassFile) -> Result<TransformStats, InstrError> {
+        let mut stats = TransformStats::default();
+        for t in &self.transforms {
+            stats.absorb(t.apply(class)?);
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvmsim_classfile::builder::single_method_class;
+
+    struct Rename(String);
+    impl ClassTransform for Rename {
+        fn name(&self) -> &str {
+            "rename-method"
+        }
+        fn apply(&self, class: &mut ClassFile) -> Result<TransformStats, InstrError> {
+            let mut touched = 0;
+            for m in class.methods_mut() {
+                if m.name() == "old" {
+                    m.set_name(self.0.clone());
+                    touched += 1;
+                }
+            }
+            Ok(TransformStats {
+                changed: touched > 0,
+                methods_touched: touched,
+            })
+        }
+    }
+
+    fn sample_bytes() -> Vec<u8> {
+        let class = single_method_class("t/S", "old", "()I", |m| {
+            m.iconst(3).ireturn();
+        })
+        .unwrap();
+        codec::encode(&class)
+    }
+
+    #[test]
+    fn bytes_round_trip_when_changed() {
+        let out = apply_to_bytes(&Rename("new".into()), &sample_bytes())
+            .unwrap()
+            .expect("changed");
+        let class = codec::decode(&out).unwrap();
+        assert!(class.find_method("new", "()I").is_some());
+        assert!(class.find_method("old", "()I").is_none());
+    }
+
+    #[test]
+    fn unchanged_class_returns_none() {
+        let out = apply_to_bytes(&Rename("whatever".into()), &{
+            let class = single_method_class("t/S", "other", "()I", |m| {
+                m.iconst(3).ireturn();
+            })
+            .unwrap();
+            codec::encode(&class)
+        })
+        .unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn corrupt_bytes_error() {
+        assert!(matches!(
+            apply_to_bytes(&Rename("x".into()), &[1, 2, 3]),
+            Err(InstrError::Classfile(_))
+        ));
+    }
+
+    #[test]
+    fn pipeline_applies_in_order() {
+        let p = Pipeline::new()
+            .with(Rename("mid".into()))
+            .with(RenameFrom("mid", "final"));
+        let mut class = codec::decode(&sample_bytes()).unwrap();
+        let stats = p.apply(&mut class).unwrap();
+        assert!(stats.changed);
+        assert_eq!(stats.methods_touched, 2);
+        assert!(class.find_method("final", "()I").is_some());
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    struct RenameFrom(&'static str, &'static str);
+    impl ClassTransform for RenameFrom {
+        fn name(&self) -> &str {
+            "rename-from"
+        }
+        fn apply(&self, class: &mut ClassFile) -> Result<TransformStats, InstrError> {
+            let mut touched = 0;
+            for m in class.methods_mut() {
+                if m.name() == self.0 {
+                    m.set_name(self.1);
+                    touched += 1;
+                }
+            }
+            Ok(TransformStats {
+                changed: touched > 0,
+                methods_touched: touched,
+            })
+        }
+    }
+
+    #[test]
+    fn invalid_output_is_rejected() {
+        struct Corrupt;
+        impl ClassTransform for Corrupt {
+            fn name(&self) -> &str {
+                "corrupt"
+            }
+            fn apply(&self, class: &mut ClassFile) -> Result<TransformStats, InstrError> {
+                // Break the method body: declare native while keeping code.
+                for m in class.methods_mut() {
+                    m.flags |= jvmsim_classfile::MethodFlags::NATIVE;
+                }
+                Ok(TransformStats {
+                    changed: true,
+                    methods_touched: 1,
+                })
+            }
+        }
+        let err = apply_to_bytes(&Corrupt, &sample_bytes()).unwrap_err();
+        assert!(matches!(err, InstrError::Transform { .. }), "{err}");
+    }
+}

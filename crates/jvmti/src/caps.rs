@@ -1,0 +1,169 @@
+//! Capabilities and event kinds — the JVMTI permission model.
+//!
+//! A JVMTI agent must *request capabilities* before it may enable the
+//! corresponding events or use the corresponding functions. The subset here
+//! is exactly what the paper's two agents need: SPA requests and enables
+//! the method-entry/exit events (fatally for performance — enabling them
+//! disables the JIT); IPA requests native-method prefixing and JNI
+//! function interception instead.
+
+use std::fmt;
+
+/// Requestable capabilities (JVMTI `jvmtiCapabilities` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    /// Receive `MethodEntry` events. **Enabling the event suppresses JIT
+    /// compilation** for the run (§III) — the documented HotSpot
+    /// behaviour; requesting the capability alone does not.
+    pub can_generate_method_entry_events: bool,
+    /// Receive `MethodExit` events (same JIT consequence when enabled).
+    pub can_generate_method_exit_events: bool,
+    /// Use `SetNativeMethodPrefix` (JVMTI 1.1, §II-B).
+    pub can_set_native_method_prefix: bool,
+    /// Replace entries of the JNI function table (§II-B "JNI Function
+    /// Interception").
+    pub can_intercept_jni_calls: bool,
+    /// Receive `ClassFileLoadHook` events (dynamic instrumentation path).
+    pub can_generate_class_file_load_hook: bool,
+}
+
+impl Capabilities {
+    /// No capabilities.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// What SPA requests (Fig. 1): method entry/exit events.
+    pub fn spa() -> Self {
+        Capabilities {
+            can_generate_method_entry_events: true,
+            can_generate_method_exit_events: true,
+            ..Self::default()
+        }
+    }
+
+    /// What IPA requests (Fig. 3): prefixing + JNI interception, **not**
+    /// method events.
+    pub fn ipa() -> Self {
+        Capabilities {
+            can_set_native_method_prefix: true,
+            can_intercept_jni_calls: true,
+            ..Self::default()
+        }
+    }
+
+    /// Union of two capability sets.
+    #[must_use]
+    pub fn with(self, other: Capabilities) -> Capabilities {
+        Capabilities {
+            can_generate_method_entry_events: self.can_generate_method_entry_events
+                || other.can_generate_method_entry_events,
+            can_generate_method_exit_events: self.can_generate_method_exit_events
+                || other.can_generate_method_exit_events,
+            can_set_native_method_prefix: self.can_set_native_method_prefix
+                || other.can_set_native_method_prefix,
+            can_intercept_jni_calls: self.can_intercept_jni_calls
+                || other.can_intercept_jni_calls,
+            can_generate_class_file_load_hook: self.can_generate_class_file_load_hook
+                || other.can_generate_class_file_load_hook,
+        }
+    }
+}
+
+/// Enableable event kinds (JVMTI `jvmtiEvent` analog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventType {
+    /// New thread, before its initial method (not sent for the primordial
+    /// thread — the wart §III works around).
+    ThreadStart,
+    /// Thread finished its initial method.
+    ThreadEnd,
+    /// Method entered (bytecode or native). Requires
+    /// [`Capabilities::can_generate_method_entry_events`].
+    MethodEntry,
+    /// Method exited, by return or exception. Requires
+    /// [`Capabilities::can_generate_method_exit_events`].
+    MethodExit,
+    /// VM terminating; no events follow.
+    VmDeath,
+    /// Classfile about to be linked; agent may rewrite it. Requires
+    /// [`Capabilities::can_generate_class_file_load_hook`].
+    ClassFileLoadHook,
+}
+
+impl EventType {
+    /// All event kinds.
+    pub const ALL: [EventType; 6] = [
+        EventType::ThreadStart,
+        EventType::ThreadEnd,
+        EventType::MethodEntry,
+        EventType::MethodExit,
+        EventType::VmDeath,
+        EventType::ClassFileLoadHook,
+    ];
+
+    /// The capability gate for this event, if any.
+    pub fn required_capability(self, caps: Capabilities) -> bool {
+        match self {
+            EventType::MethodEntry => caps.can_generate_method_entry_events,
+            EventType::MethodExit => caps.can_generate_method_exit_events,
+            EventType::ClassFileLoadHook => caps.can_generate_class_file_load_hook,
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventType::ThreadStart => "ThreadStart",
+            EventType::ThreadEnd => "ThreadEnd",
+            EventType::MethodEntry => "MethodEntry",
+            EventType::MethodExit => "MethodExit",
+            EventType::VmDeath => "VMDeath",
+            EventType::ClassFileLoadHook => "ClassFileLoadHook",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        let spa = Capabilities::spa();
+        assert!(spa.can_generate_method_entry_events);
+        assert!(spa.can_generate_method_exit_events);
+        assert!(!spa.can_set_native_method_prefix);
+        let ipa = Capabilities::ipa();
+        assert!(!ipa.can_generate_method_entry_events);
+        assert!(ipa.can_set_native_method_prefix);
+        assert!(ipa.can_intercept_jni_calls);
+    }
+
+    #[test]
+    fn union() {
+        let u = Capabilities::spa().with(Capabilities::ipa());
+        assert!(u.can_generate_method_entry_events);
+        assert!(u.can_intercept_jni_calls);
+    }
+
+    #[test]
+    fn event_capability_gates() {
+        let none = Capabilities::none();
+        assert!(EventType::ThreadStart.required_capability(none));
+        assert!(EventType::VmDeath.required_capability(none));
+        assert!(!EventType::MethodEntry.required_capability(none));
+        assert!(!EventType::MethodExit.required_capability(none));
+        assert!(!EventType::ClassFileLoadHook.required_capability(none));
+        assert!(EventType::MethodEntry.required_capability(Capabilities::spa()));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(EventType::VmDeath.to_string(), "VMDeath");
+        assert_eq!(EventType::MethodEntry.to_string(), "MethodEntry");
+    }
+}

@@ -1,0 +1,299 @@
+//! The agent environment, agent trait, and attach protocol.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use jvmsim_pcl::{Pcl, Timestamp};
+use jvmsim_vm::cost::CostModel;
+use jvmsim_vm::jni::{JniCallKey, JniEntryFn};
+use jvmsim_vm::{EventMask, MethodView, NativeLibrary, ThreadId, Vm, VmEventSink};
+
+use crate::caps::{Capabilities, EventType};
+use crate::error::JvmtiError;
+use crate::monitor::RawMonitor;
+use crate::tls::ThreadLocalStorage;
+
+/// A JVMTI environment — the handle an agent keeps after load.
+///
+/// Cheap to clone; provides cycle-charged access to PCL timestamps,
+/// thread-local storage and raw monitors, mirroring the services the
+/// paper's C agents get from the real JVMTI + PCL.
+#[derive(Clone)]
+pub struct JvmtiEnv {
+    pcl: Pcl,
+    costs: Arc<CostModel>,
+    granted: Arc<RwLock<Capabilities>>,
+}
+
+impl std::fmt::Debug for JvmtiEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JvmtiEnv")
+            .field("granted", &*self.granted.read())
+            .finish()
+    }
+}
+
+impl JvmtiEnv {
+    fn new(pcl: Pcl, costs: Arc<CostModel>) -> Self {
+        JvmtiEnv {
+            pcl,
+            costs,
+            granted: Arc::new(RwLock::new(Capabilities::none())),
+        }
+    }
+
+    /// The cost model in force (agents charge themselves honestly with it).
+    pub fn costs(&self) -> &CostModel {
+        &self.costs
+    }
+
+    /// Capabilities granted so far.
+    pub fn capabilities(&self) -> Capabilities {
+        *self.granted.read()
+    }
+
+    /// Charge `cycles` of agent work to `thread`'s clock.
+    pub fn charge(&self, thread: ThreadId, cycles: u64) {
+        if let Some(id) = self.pcl.clock_id(thread.index()) {
+            self.pcl.charge(id, cycles);
+        }
+    }
+
+    /// Read `thread`'s cycle counter — `PCL.getTimestamp(Thread)` — charging
+    /// the read cost first (the read itself takes time, and that time is
+    /// visible to the next read, exactly like a real `rdtsc` pair).
+    pub fn timestamp(&self, thread: ThreadId) -> Timestamp {
+        match self.pcl.clock_id(thread.index()) {
+            Some(id) => {
+                self.pcl.charge(id, self.costs.timestamp_read);
+                self.pcl.timestamp(id)
+            }
+            None => Timestamp::default(),
+        }
+    }
+
+    /// Read `thread`'s counter without charging (harness-side inspection).
+    pub fn timestamp_unaccounted(&self, thread: ThreadId) -> Timestamp {
+        self.pcl
+            .clock_id(thread.index())
+            .map(|id| self.pcl.timestamp(id))
+            .unwrap_or_default()
+    }
+
+    /// Allocate a thread-local storage map for agent data.
+    pub fn create_tls<T>(&self) -> ThreadLocalStorage<T> {
+        ThreadLocalStorage::new(self.clone())
+    }
+
+    /// Create a raw monitor protecting `initial`.
+    pub fn create_raw_monitor<T>(&self, name: &str, initial: T) -> RawMonitor<T> {
+        RawMonitor::new(name.to_owned(), self.clone(), initial)
+    }
+}
+
+/// The `Agent_OnLoad` context: configuration that is only legal while the
+/// agent is being attached.
+pub struct AgentHost<'vm> {
+    vm: &'vm mut Vm,
+    env: JvmtiEnv,
+    enabled: HashSet<EventType>,
+}
+
+impl<'vm> AgentHost<'vm> {
+    /// The environment handle to keep for the agent's lifetime.
+    pub fn env(&self) -> JvmtiEnv {
+        self.env.clone()
+    }
+
+    /// `AddCapabilities`.
+    pub fn add_capabilities(&mut self, caps: Capabilities) {
+        let mut g = self.env.granted.write();
+        *g = g.with(caps);
+    }
+
+    /// `SetEventNotificationMode(JVMTI_ENABLE, event)`.
+    ///
+    /// # Errors
+    ///
+    /// [`JvmtiError::MustPossessCapability`] if the event's gating
+    /// capability was not requested.
+    pub fn enable_event(&mut self, event: EventType) -> Result<(), JvmtiError> {
+        if !event.required_capability(self.env.capabilities()) {
+            return Err(JvmtiError::MustPossessCapability(format!(
+                "event {event} requires a capability that was not requested"
+            )));
+        }
+        self.enabled.insert(event);
+        Ok(())
+    }
+
+    /// `SetNativeMethodPrefix` (JVMTI 1.1).
+    ///
+    /// # Errors
+    ///
+    /// [`JvmtiError::MustPossessCapability`] without
+    /// `can_set_native_method_prefix`; [`JvmtiError::IllegalArgument`] for
+    /// an empty prefix.
+    pub fn set_native_method_prefix(&mut self, prefix: &str) -> Result<(), JvmtiError> {
+        if !self.env.capabilities().can_set_native_method_prefix {
+            return Err(JvmtiError::MustPossessCapability(
+                "can_set_native_method_prefix".into(),
+            ));
+        }
+        if prefix.is_empty() {
+            return Err(JvmtiError::IllegalArgument("empty native method prefix".into()));
+        }
+        self.vm.register_native_prefix(prefix);
+        Ok(())
+    }
+
+    /// Replace each of the 90 JNI `Call*Method*` functions through `wrap`
+    /// (§II-B "JNI Function Interception"): `wrap` receives the function's
+    /// identity and its current implementation and returns the replacement.
+    ///
+    /// # Errors
+    ///
+    /// [`JvmtiError::MustPossessCapability`] without
+    /// `can_intercept_jni_calls`.
+    pub fn intercept_jni_functions(
+        &mut self,
+        wrap: impl Fn(JniCallKey, JniEntryFn) -> JniEntryFn,
+    ) -> Result<(), JvmtiError> {
+        if !self.env.capabilities().can_intercept_jni_calls {
+            return Err(JvmtiError::MustPossessCapability(
+                "can_intercept_jni_calls".into(),
+            ));
+        }
+        self.vm.jni_table_mut().intercept_all(wrap);
+        Ok(())
+    }
+
+    /// `AddToBootstrapClassLoaderSearch` — the `-Xbootclasspath/p:` analog
+    /// used to feed statically instrumented classes (including the rewritten
+    /// `rt.jar`) to the VM.
+    pub fn append_to_bootstrap_class_path<I>(&mut self, entries: I)
+    where
+        I: IntoIterator<Item = (String, Vec<u8>)>,
+    {
+        self.vm.add_archive(entries);
+    }
+
+    /// Load the agent's own native library (e.g. the IPA bridge
+    /// implementation) into the VM, immediately visible to resolution.
+    pub fn load_agent_native_library(&mut self, lib: NativeLibrary) {
+        self.vm.register_native_library(lib, true);
+    }
+
+    /// Escape hatch to the VM during `OnLoad` (used by tests and the
+    /// harness; real agents should not need it).
+    pub fn vm(&mut self) -> &mut Vm {
+        self.vm
+    }
+}
+
+/// A JVMTI agent. `on_load` is `Agent_OnLoad`; the event callbacks mirror
+/// the JVMTI event set. Only events the agent enabled during `on_load` are
+/// delivered.
+pub trait Agent: Send + Sync + 'static {
+    /// Agent initialization: request capabilities, enable events, install
+    /// interceptors, stash the [`JvmtiEnv`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`JvmtiError`] aborts the attach.
+    fn on_load(&self, host: &mut AgentHost<'_>) -> Result<(), JvmtiError>;
+
+    /// `ThreadStart`.
+    fn thread_start(&self, _thread: ThreadId) {}
+    /// `ThreadEnd`.
+    fn thread_end(&self, _thread: ThreadId) {}
+    /// `MethodEntry`.
+    fn method_entry(&self, _thread: ThreadId, _method: MethodView<'_>) {}
+    /// `MethodExit`.
+    fn method_exit(&self, _thread: ThreadId, _method: MethodView<'_>, _via_exception: bool) {}
+    /// `VMDeath`.
+    fn vm_death(&self) {}
+    /// `ClassFileLoadHook`: return replacement bytes to rewrite the class.
+    fn class_file_load_hook(&self, _class_name: &str, _bytes: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// Adapter delivering VM events to the agent, filtered by what it enabled.
+struct AgentSink {
+    agent: Arc<dyn Agent>,
+    enabled: HashSet<EventType>,
+}
+
+impl VmEventSink for AgentSink {
+    fn thread_start(&self, thread: ThreadId) {
+        if self.enabled.contains(&EventType::ThreadStart) {
+            self.agent.thread_start(thread);
+        }
+    }
+    fn thread_end(&self, thread: ThreadId) {
+        if self.enabled.contains(&EventType::ThreadEnd) {
+            self.agent.thread_end(thread);
+        }
+    }
+    fn vm_death(&self) {
+        if self.enabled.contains(&EventType::VmDeath) {
+            self.agent.vm_death();
+        }
+    }
+    fn method_entry(&self, thread: ThreadId, method: MethodView<'_>) {
+        if self.enabled.contains(&EventType::MethodEntry) {
+            self.agent.method_entry(thread, method);
+        }
+    }
+    fn method_exit(&self, thread: ThreadId, method: MethodView<'_>, via_exception: bool) {
+        if self.enabled.contains(&EventType::MethodExit) {
+            self.agent.method_exit(thread, method, via_exception);
+        }
+    }
+    fn class_file_load(&self, class_name: &str, bytes: &[u8]) -> Option<Vec<u8>> {
+        if self.enabled.contains(&EventType::ClassFileLoadHook) {
+            self.agent.class_file_load_hook(class_name, bytes)
+        } else {
+            None
+        }
+    }
+}
+
+/// Attach `agent` to `vm`: run `Agent_OnLoad`, install the event sink, and
+/// set the VM event mask. If the agent enabled `MethodEntry`/`MethodExit`,
+/// the mask disables JIT compilation — the cost the paper's SPA pays.
+///
+/// # Errors
+///
+/// Propagates any [`JvmtiError`] from the agent's `on_load`.
+pub fn attach(vm: &mut Vm, agent: Arc<dyn Agent>) -> Result<JvmtiEnv, JvmtiError> {
+    if vm.has_event_sink() {
+        // A second agent would silently displace the first's sink while its
+        // prefixes, interceptors and bridge library stayed installed.
+        return Err(JvmtiError::IllegalArgument(
+            "an agent is already attached to this VM".into(),
+        ));
+    }
+    let env = JvmtiEnv::new(vm.pcl(), Arc::new(vm.cost().clone()));
+    let mut host = AgentHost {
+        vm,
+        env: env.clone(),
+        enabled: HashSet::new(),
+    };
+    agent.on_load(&mut host)?;
+    let enabled = host.enabled;
+    let mask = EventMask {
+        thread_events: enabled.contains(&EventType::ThreadStart)
+            || enabled.contains(&EventType::ThreadEnd),
+        method_events: enabled.contains(&EventType::MethodEntry)
+            || enabled.contains(&EventType::MethodExit),
+        vm_death: enabled.contains(&EventType::VmDeath),
+        class_file_load_hook: enabled.contains(&EventType::ClassFileLoadHook),
+    };
+    vm.set_event_sink(Arc::new(AgentSink { agent, enabled }));
+    vm.set_event_mask(mask);
+    Ok(env)
+}

@@ -1,0 +1,45 @@
+//! JVMTI error codes.
+
+use std::fmt;
+
+/// Errors returned by JVMTI-analog functions (`jvmtiError` analog).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JvmtiError {
+    /// The required capability was not requested
+    /// (`JVMTI_ERROR_MUST_POSSESS_CAPABILITY`).
+    MustPossessCapability(String),
+    /// The prefix string is unusable (`JVMTI_ERROR_ILLEGAL_ARGUMENT`).
+    IllegalArgument(String),
+    /// Operation is only valid during agent load (`OnLoad` phase).
+    WrongPhase(String),
+}
+
+impl fmt::Display for JvmtiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JvmtiError::MustPossessCapability(c) => {
+                write!(f, "must possess capability: {c}")
+            }
+            JvmtiError::IllegalArgument(m) => write!(f, "illegal argument: {m}"),
+            JvmtiError::WrongPhase(m) => write!(f, "wrong phase: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JvmtiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            JvmtiError::MustPossessCapability("x".into()).to_string(),
+            "must possess capability: x"
+        );
+        assert!(JvmtiError::IllegalArgument("p".into()).to_string().contains("illegal"));
+        assert!(JvmtiError::WrongPhase("late".into()).to_string().contains("phase"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Raw monitors (§II-B c).
+//!
+//! "A raw monitor is a synchronization aid. We use a raw monitor to
+//! synchronize access to global data, i.e., the overall profiling
+//! statistics, which are updated upon thread termination."
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard};
+
+use jvmsim_vm::ThreadId;
+
+use crate::env::JvmtiEnv;
+
+/// A JVMTI raw monitor protecting a value of type `T`.
+///
+/// Entering charges the raw-monitor cost to the entering thread's clock, so
+/// agent synchronization appears in the measured cycle counts.
+pub struct RawMonitor<T> {
+    name: String,
+    env: JvmtiEnv,
+    data: Arc<Mutex<T>>,
+}
+
+impl<T> std::fmt::Debug for RawMonitor<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawMonitor").field("name", &self.name).finish()
+    }
+}
+
+impl<T> Clone for RawMonitor<T> {
+    fn clone(&self) -> Self {
+        RawMonitor {
+            name: self.name.clone(),
+            env: self.env.clone(),
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T> RawMonitor<T> {
+    pub(crate) fn new(name: String, env: JvmtiEnv, initial: T) -> Self {
+        RawMonitor {
+            name,
+            env,
+            data: Arc::new(Mutex::new(initial)),
+        }
+    }
+
+    /// Monitor name (diagnostics).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `RawMonitorEnter` on behalf of `thread`; the guard is
+    /// `RawMonitorExit`.
+    pub fn enter(&self, thread: ThreadId) -> MutexGuard<'_, T> {
+        self.env.charge(thread, self.env.costs().raw_monitor);
+        self.data.lock()
+    }
+
+    /// Lock without charging any thread — for post-run report extraction,
+    /// when no benchmark thread is executing.
+    pub fn enter_unaccounted(&self) -> MutexGuard<'_, T> {
+        self.data.lock()
+    }
+}

@@ -1,0 +1,96 @@
+//! Thread-local storage for agents (§II-B b).
+//!
+//! "Thread-local storage allows to associate a datastructure with each
+//! thread. Our profiling agents keep the profiling statistics for each
+//! thread in thread-local storage, which enables efficient update without
+//! synchronization needs."
+//!
+//! Every access charges the configured TLS cost to the accessing thread's
+//! cycle clock, so agent bookkeeping shows up in the measurements exactly
+//! as the real JVMTI `GetThreadLocalStorage` calls would.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use jvmsim_vm::ThreadId;
+
+use crate::env::JvmtiEnv;
+
+/// A per-thread map from [`ThreadId`] to an agent datastructure.
+///
+/// Values are `Arc<T>`; agents use interior mutability inside `T` (cells,
+/// atomics or locks), matching how a C agent treats the raw pointer JVMTI
+/// hands back.
+pub struct ThreadLocalStorage<T> {
+    env: JvmtiEnv,
+    map: RwLock<HashMap<ThreadId, Arc<T>>>,
+}
+
+impl<T> std::fmt::Debug for ThreadLocalStorage<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadLocalStorage")
+            .field("threads", &self.map.read().len())
+            .finish()
+    }
+}
+
+impl<T> ThreadLocalStorage<T> {
+    pub(crate) fn new(env: JvmtiEnv) -> Self {
+        ThreadLocalStorage {
+            env,
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// `SetThreadLocalStorage`: associate `value` with `thread`.
+    pub fn put(&self, thread: ThreadId, value: Arc<T>) {
+        self.env.charge(thread, self.env.costs().tls_access);
+        self.map.write().insert(thread, value);
+    }
+
+    /// `GetThreadLocalStorage`: fetch `thread`'s value, if set.
+    pub fn get(&self, thread: ThreadId) -> Option<Arc<T>> {
+        self.env.charge(thread, self.env.costs().tls_access);
+        self.map.read().get(&thread).cloned()
+    }
+
+    /// The paper's `GetThreadLocalStorage` helper: fetch, allocating on
+    /// demand — required because the JVMTI "does not signal the
+    /// ThreadStart event for the bootstrapping thread" (§III).
+    pub fn get_or_insert_with(&self, thread: ThreadId, make: impl FnOnce() -> T) -> Arc<T> {
+        if let Some(v) = self.get(thread) {
+            return v;
+        }
+        let v = Arc::new(make());
+        self.put(thread, Arc::clone(&v));
+        v
+    }
+
+    /// Remove and return `thread`'s value (used at `ThreadEnd`).
+    pub fn remove(&self, thread: ThreadId) -> Option<Arc<T>> {
+        self.env.charge(thread, self.env.costs().tls_access);
+        self.map.write().remove(&thread)
+    }
+
+    /// Snapshot of all live entries (e.g. at `VMDeath`, to fold in threads
+    /// that never terminated).
+    pub fn entries(&self) -> Vec<(ThreadId, Arc<T>)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(&t, v)| (t, Arc::clone(v)))
+            .collect()
+    }
+
+    /// Number of threads with storage.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Is the storage empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}

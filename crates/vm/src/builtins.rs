@@ -1,0 +1,461 @@
+//! The bootstrap class library — the simulator's `rt.jar` plus `libjava`.
+//!
+//! The paper stresses that "many functions of the JDK are implemented in
+//! native code" (§I); that is where much of a real workload's native time
+//! comes from. This module provides the analogous substrate:
+//!
+//! * [`boot_archive`] — classfile bytes for `java/lang/System`,
+//!   `java/lang/Math`, `java/lang/String`, `java/lang/Threads` and
+//!   `java/io/FileIO`, declaring `native` methods exactly like the JDK's
+//!   core classes do. Because it is an *archive of bytes*, the static
+//!   instrumentation tool can rewrite it the same way the paper's tool
+//!   rewrites `rt.jar`.
+//! * [`libjava`] — the native library implementing those methods, with
+//!   calibrated cycle costs.
+//!
+//! Install both with [`install`] (or feed the archive through an
+//! instrumenter first).
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{codec, MethodFlags};
+
+use crate::jni::{JniEnv, JniResult, NativeLibrary};
+use crate::value::Value;
+use crate::vm::Vm;
+
+/// `Ljava/lang/String;` shorthand used in descriptors below.
+const S: &str = "Ljava/lang/String;";
+
+/// Build the bootstrap classfile archive (name → serialized bytes).
+///
+/// # Panics
+///
+/// Panics only on internal assembly errors (the archive is static).
+pub fn boot_archive() -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut push = |class: jvmsim_classfile::ClassFile| {
+        out.push((class.name().to_owned(), codec::encode(&class)));
+    };
+
+    // ---- java/lang/System -------------------------------------------
+    let mut system = ClassBuilder::new("java/lang/System");
+    let st = MethodFlags::PUBLIC | MethodFlags::STATIC;
+    system
+        .native_method("arraycopy", "([II[III)V", st)
+        .unwrap()
+        .native_method("arraycopyF", "([FI[FII)V", st)
+        .unwrap()
+        .native_method("nanoTime", "()I", st)
+        .unwrap()
+        .native_method("currentTimeMillis", "()I", st)
+        .unwrap()
+        .native_method("loadLibrary", &format!("({S})V"), st)
+        .unwrap();
+    push(system.finish().unwrap());
+
+    // ---- java/lang/Math ---------------------------------------------
+    // Mixed class: cheap helpers in bytecode (the JDK's are too), the
+    // transcendental functions native.
+    let mut math = ClassBuilder::new("java/lang/Math");
+    math.native_method("sqrt", "(F)F", st)
+        .unwrap()
+        .native_method("sin", "(F)F", st)
+        .unwrap()
+        .native_method("cos", "(F)F", st)
+        .unwrap()
+        .native_method("log", "(F)F", st)
+        .unwrap()
+        .native_method("exp", "(F)F", st)
+        .unwrap()
+        .native_method("pow", "(FF)F", st)
+        .unwrap();
+    {
+        let mut m = math.method("abs", "(I)I", st);
+        let nonneg = m.new_label();
+        m.iload(0).iconst(0).if_icmp(jvmsim_classfile::Cond::Ge, nonneg);
+        m.iload(0).ineg().ireturn();
+        m.bind(nonneg);
+        m.iload(0).ireturn();
+        m.finish().unwrap();
+    }
+    {
+        let mut m = math.method("max", "(II)I", st);
+        let first = m.new_label();
+        m.iload(0).iload(1).if_icmp(jvmsim_classfile::Cond::Ge, first);
+        m.iload(1).ireturn();
+        m.bind(first);
+        m.iload(0).ireturn();
+        m.finish().unwrap();
+    }
+    {
+        let mut m = math.method("min", "(II)I", st);
+        let first = m.new_label();
+        m.iload(0).iload(1).if_icmp(jvmsim_classfile::Cond::Le, first);
+        m.iload(1).ireturn();
+        m.bind(first);
+        m.iload(0).ireturn();
+        m.finish().unwrap();
+    }
+    push(math.finish().unwrap());
+
+    // ---- java/lang/String -------------------------------------------
+    // Static helpers over the VM's string objects; `intern` and the
+    // character-level operations are native, as in the JDK.
+    let mut string = ClassBuilder::new("java/lang/String");
+    string
+        .native_method("length", &format!("({S})I"), st)
+        .unwrap()
+        .native_method("charAt", &format!("({S}I)I"), st)
+        .unwrap()
+        .native_method("concat", &format!("({S}{S}){S}"), st)
+        .unwrap()
+        .native_method("hashCode", &format!("({S})I"), st)
+        .unwrap()
+        .native_method("equals", &format!("({S}{S})I"), st)
+        .unwrap()
+        .native_method("substring", &format!("({S}II){S}"), st)
+        .unwrap()
+        .native_method("intern", &format!("({S}){S}"), st)
+        .unwrap()
+        .native_method("valueOf", &format!("(I){S}"), st)
+        .unwrap();
+    push(string.finish().unwrap());
+
+    // ---- java/lang/Threads ------------------------------------------
+    let mut threads = ClassBuilder::new("java/lang/Threads");
+    threads
+        .native_method("start", &format!("({S}{S}{S}I)V"), st)
+        .unwrap();
+    push(threads.finish().unwrap());
+
+    // ---- java/io/FileIO ---------------------------------------------
+    let mut fileio = ClassBuilder::new("java/io/FileIO");
+    fileio
+        .native_method("open", &format!("({S})I"), st)
+        .unwrap()
+        .native_method("read", "(I[II)I", st)
+        .unwrap()
+        .native_method("write", "(I[II)I", st)
+        .unwrap()
+        .native_method("close", "(I)V", st)
+        .unwrap();
+    push(fileio.finish().unwrap());
+
+    out
+}
+
+fn string_arg(env: &mut JniEnv<'_>, args: &[Value], i: usize) -> Result<String, crate::JThrow> {
+    match args.get(i).copied().and_then(Value::as_ref_opt) {
+        Some(r) => env
+            .get_string(r)
+            .ok_or_else(|| env.throw_new("java/lang/InternalError", "argument is not a string")),
+        None => Err(env.throw_new("java/lang/NullPointerException", "null string argument")),
+    }
+}
+
+fn jhash(s: &str) -> i64 {
+    s.bytes().fold(0i64, |h, b| h.wrapping_mul(31).wrapping_add(i64::from(b)))
+}
+
+fn arraycopy_impl(env: &mut JniEnv<'_>, args: &[Value], float: bool) -> JniResult {
+    let (src, src_pos, dst, dst_pos, len) = (
+        args[0], args[1].as_int(), args[2], args[3].as_int(), args[4].as_int(),
+    );
+    let (src, dst) = match (src.as_ref_opt(), dst.as_ref_opt()) {
+        (Some(s), Some(d)) => (s, d),
+        _ => return Err(env.throw_new("java/lang/NullPointerException", "null array in arraycopy")),
+    };
+    if src_pos < 0 || dst_pos < 0 || len < 0 {
+        return Err(env.throw_new(
+            "java/lang/ArrayIndexOutOfBoundsException",
+            "negative arraycopy range",
+        ));
+    }
+    let (sp, dp, n) = (src_pos as usize, dst_pos as usize, len as usize);
+    env.work(20 + (n as u64) / 2);
+    use crate::heap::HeapObject;
+    // Copy out then in (src and dst may alias).
+    let copied = if float {
+        let data: Option<Vec<f64>> = match env.vm().heap().get(src) {
+            HeapObject::FloatArray(v) if sp + n <= v.len() => Some(v[sp..sp + n].to_vec()),
+            _ => None,
+        };
+        match data {
+            None => false,
+            Some(data) => match env.vm().heap_mut().get_mut(dst) {
+                HeapObject::FloatArray(v) if dp + n <= v.len() => {
+                    v[dp..dp + n].copy_from_slice(&data);
+                    true
+                }
+                _ => false,
+            },
+        }
+    } else {
+        let data: Option<Vec<i64>> = match env.vm().heap().get(src) {
+            HeapObject::IntArray(v) if sp + n <= v.len() => Some(v[sp..sp + n].to_vec()),
+            _ => None,
+        };
+        match data {
+            None => false,
+            Some(data) => match env.vm().heap_mut().get_mut(dst) {
+                HeapObject::IntArray(v) if dp + n <= v.len() => {
+                    v[dp..dp + n].copy_from_slice(&data);
+                    true
+                }
+                _ => false,
+            },
+        }
+    };
+    if !copied {
+        return Err(env.throw_new(
+            "java/lang/ArrayIndexOutOfBoundsException",
+            "bad arraycopy range",
+        ));
+    }
+    Ok(Value::Null)
+}
+
+/// Build the `libjava` native library implementing [`boot_archive`]'s
+/// native methods.
+pub fn libjava() -> NativeLibrary {
+    let mut lib = NativeLibrary::new("java");
+
+    // ---- System ------------------------------------------------------
+    lib.register_method("java/lang/System", "arraycopy", |env, args| {
+        arraycopy_impl(env, args, false)
+    });
+    lib.register_method("java/lang/System", "arraycopyF", |env, args| {
+        arraycopy_impl(env, args, true)
+    });
+    lib.register_method("java/lang/System", "nanoTime", |env, _args| {
+        env.work(30);
+        let cycles = env.thread_cycles();
+        Ok(Value::Int(cycles as i64))
+    });
+    lib.register_method("java/lang/System", "currentTimeMillis", |env, _args| {
+        env.work(60);
+        let cycles = env.thread_cycles();
+        Ok(Value::Int((cycles / 2_660_000) as i64))
+    });
+    lib.register_method("java/lang/System", "loadLibrary", |env, args| {
+        let name = string_arg(env, args, 0)?;
+        env.work(5_000); // dlopen is not cheap
+        match env.vm().load_native_library(&name) {
+            Ok(()) => Ok(Value::Null),
+            Err(e) => Err(env.throw_new("java/lang/UnsatisfiedLinkError", &e.to_string())),
+        }
+    });
+
+    // ---- Math --------------------------------------------------------
+    macro_rules! math1 {
+        ($name:literal, $cycles:expr, $f:expr) => {
+            lib.register_method("java/lang/Math", $name, move |env, args| {
+                env.work($cycles);
+                let x = args[0].as_float();
+                #[allow(clippy::redundant_closure_call)]
+                Ok(Value::Float(($f)(x)))
+            });
+        };
+    }
+    math1!("sqrt", 40, f64::sqrt);
+    math1!("sin", 60, f64::sin);
+    math1!("cos", 60, f64::cos);
+    math1!("log", 70, f64::ln);
+    math1!("exp", 70, f64::exp);
+    lib.register_method("java/lang/Math", "pow", |env, args| {
+        env.work(90);
+        Ok(Value::Float(args[0].as_float().powf(args[1].as_float())))
+    });
+
+    // ---- String ------------------------------------------------------
+    lib.register_method("java/lang/String", "length", |env, args| {
+        let s = string_arg(env, args, 0)?;
+        env.work(15);
+        Ok(Value::Int(s.len() as i64))
+    });
+    lib.register_method("java/lang/String", "charAt", |env, args| {
+        let s = string_arg(env, args, 0)?;
+        let i = args[1].as_int();
+        env.work(60);
+        match usize::try_from(i).ok().and_then(|i| s.as_bytes().get(i)) {
+            Some(&b) => Ok(Value::Int(i64::from(b))),
+            None => Err(env.throw_new(
+                "java/lang/ArrayIndexOutOfBoundsException",
+                &format!("charAt({i})"),
+            )),
+        }
+    });
+    lib.register_method("java/lang/String", "concat", |env, args| {
+        let a = string_arg(env, args, 0)?;
+        let b = string_arg(env, args, 1)?;
+        env.work(30 + (a.len() + b.len()) as u64 / 4);
+        let r = env.vm().heap_mut().alloc_string(format!("{a}{b}"));
+        env.vm().stats.allocations += 1;
+        Ok(Value::Ref(r))
+    });
+    lib.register_method("java/lang/String", "hashCode", |env, args| {
+        let s = string_arg(env, args, 0)?;
+        env.work(10 + s.len() as u64);
+        Ok(Value::Int(jhash(&s)))
+    });
+    lib.register_method("java/lang/String", "equals", |env, args| {
+        let a = string_arg(env, args, 0)?;
+        let b = string_arg(env, args, 1)?;
+        env.work(10 + a.len().min(b.len()) as u64 / 2);
+        Ok(Value::Int(i64::from(a == b)))
+    });
+    lib.register_method("java/lang/String", "substring", |env, args| {
+        let s = string_arg(env, args, 0)?;
+        let (from, to) = (args[1].as_int(), args[2].as_int());
+        env.work(25);
+        let (f, t) = (from.max(0) as usize, to.max(0) as usize);
+        if f > t || t > s.len() {
+            return Err(env.throw_new(
+                "java/lang/ArrayIndexOutOfBoundsException",
+                &format!("substring({from}, {to})"),
+            ));
+        }
+        let sub = s[f..t].to_owned();
+        let r = env.vm().heap_mut().alloc_string(sub);
+        env.vm().stats.allocations += 1;
+        Ok(Value::Ref(r))
+    });
+    lib.register_method("java/lang/String", "intern", |env, args| {
+        let s = string_arg(env, args, 0)?;
+        env.work(40 + s.len() as u64 / 2);
+        let r = env.new_string(&s);
+        Ok(Value::Ref(r))
+    });
+    lib.register_method("java/lang/String", "valueOf", |env, args| {
+        let v = args[0].as_int();
+        env.work(35);
+        let r = env.vm().heap_mut().alloc_string(v.to_string());
+        env.vm().stats.allocations += 1;
+        Ok(Value::Ref(r))
+    });
+
+    // ---- Threads -----------------------------------------------------
+    lib.register_method("java/lang/Threads", "start", |env, args| {
+        let name = string_arg(env, args, 0)?;
+        let class = string_arg(env, args, 1)?;
+        let method = string_arg(env, args, 2)?;
+        let arg = args[3];
+        env.work(2_000); // thread creation is expensive
+        env.spawn_thread(&name, &class, &method, "(I)V", vec![arg]);
+        Ok(Value::Null)
+    });
+
+    // ---- FileIO ------------------------------------------------------
+    // Simulated files: `open` hashes the name to a seed; `read` produces
+    // deterministic pseudo-random bytes and burns I/O-sized cycle counts.
+    lib.register_method("java/io/FileIO", "open", |env, args| {
+        let name = string_arg(env, args, 0)?;
+        env.work(1_500);
+        Ok(Value::Int(jhash(&name) & 0x7FFF_FFFF))
+    });
+    lib.register_method("java/io/FileIO", "read", |env, args| {
+        let fd = args[0].as_int();
+        let buf = match args[1].as_ref_opt() {
+            Some(b) => b,
+            None => return Err(env.throw_new("java/lang/NullPointerException", "null buffer")),
+        };
+        let len = args[2].as_int().max(0) as usize;
+        let cap = env.array_len(buf).unwrap_or(0);
+        let n = len.min(cap);
+        env.work(200 + 2 * n as u64);
+        // xorshift over the fd for deterministic "file contents".
+        let mut state = (fd as u64) | 1;
+        for i in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            env.set_int_element(buf, i, (state & 0xFF) as i64)?;
+        }
+        Ok(Value::Int(n as i64))
+    });
+    lib.register_method("java/io/FileIO", "write", |env, args| {
+        let _fd = args[0].as_int();
+        if args[1].as_ref_opt().is_none() {
+            return Err(env.throw_new("java/lang/NullPointerException", "null buffer"));
+        }
+        let len = args[2].as_int().max(0) as usize;
+        env.work(200 + 2 * len as u64);
+        Ok(Value::Int(len as i64))
+    });
+    lib.register_method("java/io/FileIO", "close", |env, _args| {
+        env.work(300);
+        Ok(Value::Null)
+    });
+
+    lib
+}
+
+/// Install the bootstrap archive and `libjava` (auto-loaded) into a VM.
+pub fn install(vm: &mut Vm) {
+    vm.add_archive(boot_archive());
+    vm.register_native_library(libjava(), true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_contains_core_classes() {
+        let archive = boot_archive();
+        let names: Vec<&str> = archive.iter().map(|(n, _)| n.as_str()).collect();
+        for expected in [
+            "java/lang/System",
+            "java/lang/Math",
+            "java/lang/String",
+            "java/lang/Threads",
+            "java/io/FileIO",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+        // Every classfile decodes and validates.
+        for (name, bytes) in &archive {
+            let class = codec::decode(bytes).unwrap_or_else(|e| panic!("{name}: {e}"));
+            jvmsim_classfile::validate::validate_class(&class)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn archive_declares_native_methods() {
+        let archive = boot_archive();
+        let (_, bytes) = archive
+            .iter()
+            .find(|(n, _)| n == "java/lang/Math")
+            .unwrap();
+        let math = codec::decode(bytes).unwrap();
+        assert!(math.find_method("sqrt", "(F)F").unwrap().is_native());
+        // ... and bytecode ones next to them.
+        assert!(!math.find_method("abs", "(I)I").unwrap().is_native());
+    }
+
+    #[test]
+    fn libjava_exports_every_declared_native() {
+        let lib = libjava();
+        let archive = boot_archive();
+        for (name, bytes) in &archive {
+            let class = codec::decode(bytes).unwrap();
+            for m in class.methods() {
+                if m.is_native() {
+                    let symbol = crate::jni::mangle(name, m.name());
+                    assert!(
+                        lib.lookup(&symbol).is_some(),
+                        "libjava missing {symbol}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jhash_is_stable() {
+        assert_eq!(jhash(""), 0);
+        assert_eq!(jhash("a"), 97);
+        assert_eq!(jhash("ab"), 97 * 31 + 98);
+    }
+}

@@ -1,0 +1,148 @@
+//! The cycle cost model.
+//!
+//! Every action the VM takes charges virtual cycles to the running thread's
+//! PCL clock. The constants below are calibrated so that the *structure* of
+//! the paper's Table I emerges: JIT-compiled bytecode is roughly an order of
+//! magnitude faster than interpreted bytecode, JVMTI event dispatch is two
+//! to three orders of magnitude more expensive than an ordinary call, and
+//! transition bookkeeping (TLS access, cycle-counter reads) sits in between.
+//!
+//! The absolute values are expressed in cycles of the paper's 2.66 GHz
+//! Pentium 4 and are deliberately round; EXPERIMENTS.md discusses their
+//! provenance and sensitivity.
+
+/// Cycle costs for VM actions. Construct with [`CostModel::default`] and
+/// adjust fields as needed (all fields are public plain data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cycles per interpreted bytecode instruction.
+    pub interp_insn: u64,
+    /// Cycles per JIT-compiled bytecode instruction.
+    pub jit_insn: u64,
+    /// Method invocations before the JIT compiles a method (HotSpot server
+    /// mode compiles hot methods quickly; the simulator promotes at this
+    /// count).
+    pub jit_threshold: u32,
+    /// Backward branches executed in one activation before the method is
+    /// compiled mid-run — the on-stack-replacement analog, so long-running
+    /// loops do not stay interpreted forever.
+    pub osr_backedge_threshold: u32,
+    /// Extra cycles per method invocation when the callee is interpreted.
+    pub call_overhead_interp: u64,
+    /// Extra cycles per method invocation when the callee is compiled.
+    pub call_overhead_jit: u64,
+    /// Cycles to allocate an object.
+    pub alloc_object: u64,
+    /// Base cycles to allocate an array.
+    pub alloc_array_base: u64,
+    /// Additional cycles per 8 array elements (zeroing).
+    pub alloc_array_per_8: u64,
+    /// Cycles for the J2N linkage: locating and entering a bound native
+    /// method (argument marshalling, stack handoff).
+    pub native_dispatch: u64,
+    /// Cycles for an N2J call through a JNI `Call<Type>Method` function
+    /// (argument conversion, frame setup — the expensive JNI path).
+    pub jni_invoke: u64,
+    /// Cycles to deliver one JVMTI event to an agent callback. Dominates
+    /// SPA's overhead; JVMTI events leave compiled code, build a JNI
+    /// environment and call into the agent library.
+    pub event_dispatch: u64,
+    /// Cycles for one thread-local-storage access from agent code.
+    pub tls_access: u64,
+    /// Cycles to read the per-thread cycle counter through PCL.
+    pub timestamp_read: u64,
+    /// Cycles to enter+exit a JVMTI raw monitor.
+    pub raw_monitor: u64,
+    /// Cycles of pure agent arithmetic/bookkeeping per event or transition
+    /// (counter updates, reified-stack push/pop).
+    pub agent_logic: u64,
+    /// Cycles to take one timer sample (signal delivery + PC-to-module map
+    /// lookup) for `tprof`-style sampling profilers.
+    pub sample_dispatch: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            interp_insn: 8,
+            jit_insn: 1,
+            jit_threshold: 100,
+            osr_backedge_threshold: 1_000,
+            call_overhead_interp: 30,
+            call_overhead_jit: 4,
+            alloc_object: 80,
+            alloc_array_base: 80,
+            alloc_array_per_8: 1,
+            native_dispatch: 120,
+            jni_invoke: 250,
+            event_dispatch: 1_200,
+            tls_access: 25,
+            timestamp_read: 40,
+            raw_monitor: 100,
+            agent_logic: 15,
+            sample_dispatch: 400,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cycles for one instruction, by compilation state.
+    pub fn insn(&self, compiled: bool) -> u64 {
+        if compiled {
+            self.jit_insn
+        } else {
+            self.interp_insn
+        }
+    }
+
+    /// Cycles of invocation overhead, by compilation state of the callee.
+    pub fn call_overhead(&self, compiled: bool) -> u64 {
+        if compiled {
+            self.call_overhead_jit
+        } else {
+            self.call_overhead_interp
+        }
+    }
+
+    /// Cycles to allocate an array of `len` elements.
+    pub fn alloc_array(&self, len: usize) -> u64 {
+        self.alloc_array_base + (len as u64 / 8) * self.alloc_array_per_8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jit_is_much_cheaper_than_interp() {
+        let c = CostModel::default();
+        assert!(c.interp_insn >= 4 * c.jit_insn);
+        assert!(c.call_overhead_interp > c.call_overhead_jit);
+    }
+
+    #[test]
+    fn event_dispatch_dominates_transitions() {
+        // The ordering that makes SPA catastrophic and IPA cheap.
+        let c = CostModel::default();
+        assert!(c.event_dispatch > 2 * c.jni_invoke);
+        assert!(c.event_dispatch > 2 * c.native_dispatch);
+        assert!(c.jni_invoke > c.timestamp_read);
+    }
+
+    #[test]
+    fn selectors() {
+        let c = CostModel::default();
+        assert_eq!(c.insn(true), c.jit_insn);
+        assert_eq!(c.insn(false), c.interp_insn);
+        assert_eq!(c.call_overhead(true), c.call_overhead_jit);
+        assert_eq!(c.call_overhead(false), c.call_overhead_interp);
+    }
+
+    #[test]
+    fn array_cost_scales_with_length() {
+        let c = CostModel::default();
+        assert_eq!(c.alloc_array(0), c.alloc_array_base);
+        assert!(c.alloc_array(1024) > c.alloc_array(8));
+    }
+}

@@ -1,0 +1,108 @@
+//! VM-level errors (distinct from in-program Java exceptions).
+
+use std::fmt;
+
+use jvmsim_classfile::ClassfileError;
+
+/// Fatal VM errors: linkage problems, missing classes, malformed input.
+///
+/// In-program exceptional control flow (a thrown `java/lang/Exception`) is
+/// *not* an error — it is modelled by [`crate::JThrow`] and handled
+/// by exception tables. `VmError` is for conditions where the machine
+/// itself cannot proceed, mirroring the JVM's `LinkageError` family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VmError {
+    /// No classfile for the requested name on the classpath.
+    ClassNotFound(String),
+    /// The classfile bytes failed to decode or validate.
+    ClassFormat {
+        /// Class being defined.
+        class: String,
+        /// Underlying classfile error.
+        cause: ClassfileError,
+    },
+    /// Method lookup failed.
+    MethodNotFound {
+        /// Class searched.
+        class: String,
+        /// `name + descriptor` looked for.
+        signature: String,
+    },
+    /// Field lookup failed.
+    FieldNotFound {
+        /// Class searched.
+        class: String,
+        /// Field name looked for.
+        field: String,
+    },
+    /// A `native` method could not be bound to any loaded native library
+    /// (even after prefix retry).
+    UnsatisfiedLink {
+        /// Declaring class.
+        class: String,
+        /// Method name as declared.
+        method: String,
+        /// Mangled symbols that were tried, in order.
+        tried: Vec<String>,
+    },
+    /// A class's superclass chain is missing or cyclic.
+    BadHierarchy(String),
+    /// The main thread's entry method was unsuitable (wrong flags/signature).
+    BadEntryPoint(String),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::ClassNotFound(c) => write!(f, "class not found: {c}"),
+            VmError::ClassFormat { class, cause } => {
+                write!(f, "malformed class {class}: {cause}")
+            }
+            VmError::MethodNotFound { class, signature } => {
+                write!(f, "method not found: {class}.{signature}")
+            }
+            VmError::FieldNotFound { class, field } => {
+                write!(f, "field not found: {class}.{field}")
+            }
+            VmError::UnsatisfiedLink {
+                class,
+                method,
+                tried,
+            } => write!(
+                f,
+                "unsatisfied link: {class}.{method} (tried symbols: {})",
+                tried.join(", ")
+            ),
+            VmError::BadHierarchy(c) => write!(f, "bad class hierarchy at {c}"),
+            VmError::BadEntryPoint(m) => write!(f, "bad entry point: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            VmError::ClassNotFound("a/B".into()).to_string(),
+            "class not found: a/B"
+        );
+        let e = VmError::UnsatisfiedLink {
+            class: "a/B".into(),
+            method: "nat".into(),
+            tried: vec!["Java_a_B_nat".into()],
+        };
+        assert!(e.to_string().contains("Java_a_B_nat"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<VmError>();
+    }
+}

@@ -1,0 +1,151 @@
+//! Low-level VM event hooks.
+//!
+//! The VM exposes raw hook points; the `jvmsim-jvmti` crate layers the
+//! JVMTI-shaped API (capabilities, environments, TLS, raw monitors) on top.
+//! Keeping the trait here breaks the dependency cycle: the VM knows only
+//! about an abstract sink, never about agents.
+
+use std::fmt;
+
+use crate::klass::MethodId;
+
+/// Identifier of a VM (green) thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub(crate) u32);
+
+impl ThreadId {
+    /// Raw index of this thread in the VM's thread table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread#{}", self.0)
+    }
+}
+
+/// Lightweight view of a method passed to event callbacks — the analogue of
+/// the JVMTI `jmethodID` plus the metadata the paper's agents query
+/// (`m.isNative()`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MethodView<'a> {
+    /// Stable method identifier.
+    pub id: MethodId,
+    /// Declaring class's internal name.
+    pub class_name: &'a str,
+    /// Method name.
+    pub name: &'a str,
+    /// Method descriptor string.
+    pub descriptor: &'a str,
+    /// The paper's `m.isNative()`.
+    pub is_native: bool,
+}
+
+/// Which event categories the VM should dispatch.
+///
+/// Mirrors JVMTI event enabling. **Enabling method entry/exit events
+/// disables JIT compilation** for the lifetime of the setting — the
+/// documented HotSpot behaviour that makes SPA's overhead catastrophic
+/// (§III of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EventMask {
+    /// `ThreadStart` / `ThreadEnd`.
+    pub thread_events: bool,
+    /// `MethodEntry` / `MethodExit` (forces interpreted-only execution).
+    pub method_events: bool,
+    /// `VMDeath`.
+    pub vm_death: bool,
+    /// `ClassFileLoadHook` (lets the sink rewrite classfile bytes before
+    /// they are linked — the dynamic-instrumentation path of §IV).
+    pub class_file_load_hook: bool,
+}
+
+impl EventMask {
+    /// All events off.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Every event on (what SPA needs).
+    pub fn all() -> Self {
+        EventMask {
+            thread_events: true,
+            method_events: true,
+            vm_death: true,
+            class_file_load_hook: true,
+        }
+    }
+}
+
+/// Receiver of VM events. All methods have empty defaults so sinks override
+/// only what they enable.
+///
+/// Callbacks take `&self`: agents keep their state behind interior
+/// mutability, exactly like a C JVMTI agent keeps globals behind raw
+/// monitors. Callbacks must not re-enter the VM.
+pub trait VmEventSink: Send + Sync {
+    /// A new thread is about to execute its initial method.
+    fn thread_start(&self, _thread: ThreadId) {}
+    /// A thread finished its initial method (normally or exceptionally).
+    fn thread_end(&self, _thread: ThreadId) {}
+    /// The VM is terminating; no events follow.
+    fn vm_death(&self) {}
+    /// `thread` is entering `method` (bytecode *or* native).
+    fn method_entry(&self, _thread: ThreadId, _method: MethodView<'_>) {}
+    /// `thread` is leaving `method`, by return or by exception.
+    fn method_exit(&self, _thread: ThreadId, _method: MethodView<'_>, _via_exception: bool) {}
+    /// A classfile is about to be linked; return replacement bytes to
+    /// rewrite it (dynamic instrumentation), or `None` to keep it.
+    fn class_file_load(&self, _class_name: &str, _bytes: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// A sink that ignores every event (useful as a baseline and in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl VmEventSink for NullSink {}
+
+/// Receiver of timer samples (the system-specific profiling interface
+/// `tprof`-style samplers use — §VI of the paper).
+///
+/// Unlike [`VmEventSink`], this is **not** a portable JVMTI facility: a
+/// real sampler hooks OS timer signals and compares the PC against a map of
+/// loaded code modules. The simulator models it as a periodic callback
+/// carrying only what such a sampler can actually see: which thread was
+/// running and whether the sampled "PC" was inside a native library.
+pub trait SampleSink: Send + Sync {
+    /// One timer tick on `thread`; `in_native` is true when the sample hit
+    /// native-library code.
+    fn sample(&self, thread: ThreadId, in_native: bool);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks() {
+        assert_eq!(EventMask::none(), EventMask::default());
+        let all = EventMask::all();
+        assert!(all.thread_events && all.method_events && all.vm_death);
+        assert!(all.class_file_load_hook);
+    }
+
+    #[test]
+    fn null_sink_defaults() {
+        let s = NullSink;
+        s.thread_start(ThreadId(0));
+        s.vm_death();
+        assert_eq!(s.class_file_load("a/B", &[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn thread_id_display() {
+        assert_eq!(ThreadId(4).to_string(), "thread#4");
+        assert_eq!(ThreadId(4).index(), 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! The object heap.
+//!
+//! A growing arena of objects (no collector — workload runs are bounded and
+//! the paper's metrics are time-based, not space-based; DESIGN.md records
+//! this substitution). Arrays are kind-specialised; strings are a dedicated
+//! variant with an intern table backing `Ldc`.
+
+use std::collections::HashMap;
+
+use crate::klass::ClassId;
+use crate::value::{ObjRef, Value};
+
+/// One heap cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapObject {
+    /// A class instance with its field slots.
+    Instance {
+        /// Dynamic class of the instance.
+        class: ClassId,
+        /// Field slots, laid out per the class's field layout.
+        fields: Vec<Value>,
+    },
+    /// `long[]`-equivalent.
+    IntArray(Vec<i64>),
+    /// `double[]`-equivalent.
+    FloatArray(Vec<f64>),
+    /// `Object[]`-equivalent.
+    RefArray(Vec<Value>),
+    /// An immutable string.
+    Str(String),
+}
+
+impl HeapObject {
+    /// Array length, if this is an array.
+    pub fn array_len(&self) -> Option<usize> {
+        match self {
+            HeapObject::IntArray(v) => Some(v.len()),
+            HeapObject::FloatArray(v) => Some(v.len()),
+            HeapObject::RefArray(v) => Some(v.len()),
+            _ => None,
+        }
+    }
+}
+
+/// The VM heap.
+#[derive(Debug, Default)]
+pub struct Heap {
+    objects: Vec<HeapObject>,
+    strings: HashMap<String, ObjRef>,
+}
+
+impl Heap {
+    /// Create an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live objects (nothing is ever freed).
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Is the heap empty?
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    fn push(&mut self, obj: HeapObject) -> ObjRef {
+        let r = ObjRef(u32::try_from(self.objects.len()).expect("heap exhausted"));
+        self.objects.push(obj);
+        r
+    }
+
+    /// Allocate an instance of `class` with `nfields` zeroed slots.
+    ///
+    /// The caller (the interpreter) provides the correct default per slot;
+    /// slots start as `Null` here and are overwritten immediately.
+    pub fn alloc_instance(&mut self, class: ClassId, field_defaults: Vec<Value>) -> ObjRef {
+        self.push(HeapObject::Instance {
+            class,
+            fields: field_defaults,
+        })
+    }
+
+    /// Allocate an int array of `len` zeros.
+    pub fn alloc_int_array(&mut self, len: usize) -> ObjRef {
+        self.push(HeapObject::IntArray(vec![0; len]))
+    }
+
+    /// Allocate a float array of `len` zeros.
+    pub fn alloc_float_array(&mut self, len: usize) -> ObjRef {
+        self.push(HeapObject::FloatArray(vec![0.0; len]))
+    }
+
+    /// Allocate a reference array of `len` nulls.
+    pub fn alloc_ref_array(&mut self, len: usize) -> ObjRef {
+        self.push(HeapObject::RefArray(vec![Value::Null; len]))
+    }
+
+    /// Allocate a (non-interned) string.
+    pub fn alloc_string(&mut self, s: impl Into<String>) -> ObjRef {
+        self.push(HeapObject::Str(s.into()))
+    }
+
+    /// Intern a string: repeated calls with equal content return the same
+    /// reference (the behaviour `Ldc` relies on).
+    pub fn intern_string(&mut self, s: &str) -> ObjRef {
+        if let Some(&r) = self.strings.get(s) {
+            return r;
+        }
+        let r = self.push(HeapObject::Str(s.to_owned()));
+        self.strings.insert(s.to_owned(), r);
+        r
+    }
+
+    /// Borrow an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling reference — references are only created by this
+    /// heap and nothing is freed, so that is a VM bug.
+    pub fn get(&self, r: ObjRef) -> &HeapObject {
+        &self.objects[r.index()]
+    }
+
+    /// Mutably borrow an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling reference (see [`Heap::get`]).
+    pub fn get_mut(&mut self, r: ObjRef) -> &mut HeapObject {
+        &mut self.objects[r.index()]
+    }
+
+    /// Read a string object's content, if `r` is a string.
+    pub fn as_str(&self, r: ObjRef) -> Option<&str> {
+        match self.get(r) {
+            HeapObject::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_read_arrays() {
+        let mut h = Heap::new();
+        let a = h.alloc_int_array(4);
+        let b = h.alloc_float_array(2);
+        let c = h.alloc_ref_array(3);
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.get(a).array_len(), Some(4));
+        assert_eq!(h.get(b).array_len(), Some(2));
+        assert_eq!(h.get(c).array_len(), Some(3));
+        match h.get_mut(a) {
+            HeapObject::IntArray(v) => v[2] = 9,
+            _ => unreachable!(),
+        }
+        match h.get(a) {
+            HeapObject::IntArray(v) => assert_eq!(v[2], 9),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn instances_have_independent_fields() {
+        let mut h = Heap::new();
+        let class = ClassId::for_test(0);
+        let x = h.alloc_instance(class, vec![Value::Int(0)]);
+        let y = h.alloc_instance(class, vec![Value::Int(0)]);
+        match h.get_mut(x) {
+            HeapObject::Instance { fields, .. } => fields[0] = Value::Int(5),
+            _ => unreachable!(),
+        }
+        match h.get(y) {
+            HeapObject::Instance { fields, .. } => assert_eq!(fields[0], Value::Int(0)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn string_interning() {
+        let mut h = Heap::new();
+        let a = h.intern_string("x");
+        let b = h.intern_string("x");
+        let c = h.intern_string("y");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(h.as_str(a), Some("x"));
+        // Non-interned allocation is distinct even for equal content.
+        let d = h.alloc_string("x");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn as_str_on_non_string_is_none() {
+        let mut h = Heap::new();
+        let a = h.alloc_int_array(1);
+        assert_eq!(h.as_str(a), None);
+        assert_eq!(h.get(a).array_len(), Some(1));
+        let s = h.alloc_string("z");
+        assert_eq!(h.get(s).array_len(), None);
+    }
+}

@@ -1,0 +1,362 @@
+//! The JNI method-invocation function table.
+//!
+//! The JNI exposes `Call<Type>Method`, `CallStatic<Type>Method` and
+//! `CallNonvirtual<Type>Method`, each in three parameter-passing styles
+//! (varargs, `va_list`, argument array) and ten return types — the
+//! **3 × 3 × 10 = 90 functions** the paper's IPA intercepts (§IV).
+//!
+//! The table is the interception point: JVMTI lets a tool replace entries
+//! ([`JniFunctionTable::intercept_all`]), and IPA installs wrappers that
+//! bracket the original function with `N2J_Begin()` / `N2J_End()`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use jvmsim_classfile::ReturnType;
+
+use crate::jni::JniEnv;
+use crate::throw::JThrow;
+use crate::value::Value;
+
+/// Dispatch kind of a JNI invocation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// `Call<Type>Method…` — virtual dispatch on the receiver.
+    Virtual,
+    /// `CallNonvirtual<Type>Method…` — dispatch to the named class.
+    Nonvirtual,
+    /// `CallStatic<Type>Method…` — no receiver.
+    Static,
+}
+
+impl CallKind {
+    /// All three kinds.
+    pub const ALL: [CallKind; 3] = [CallKind::Virtual, CallKind::Nonvirtual, CallKind::Static];
+
+    fn name_part(self) -> &'static str {
+        match self {
+            CallKind::Virtual => "",
+            CallKind::Nonvirtual => "Nonvirtual",
+            CallKind::Static => "Static",
+        }
+    }
+}
+
+/// Parameter-passing style of a JNI invocation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamStyle {
+    /// `…Method(env, obj, id, ...)` — C varargs.
+    Varargs,
+    /// `…MethodV(env, obj, id, va_list)`.
+    VaList,
+    /// `…MethodA(env, obj, id, jvalue*)`.
+    Array,
+}
+
+impl ParamStyle {
+    /// All three styles.
+    pub const ALL: [ParamStyle; 3] = [ParamStyle::Varargs, ParamStyle::VaList, ParamStyle::Array];
+
+    fn suffix(self) -> &'static str {
+        match self {
+            ParamStyle::Varargs => "",
+            ParamStyle::VaList => "V",
+            ParamStyle::Array => "A",
+        }
+    }
+}
+
+/// Return type selecting one of the ten JNI invocation function families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JniRetType {
+    /// `jobject`.
+    Object,
+    /// `jboolean`.
+    Boolean,
+    /// `jbyte`.
+    Byte,
+    /// `jchar`.
+    Char,
+    /// `jshort`.
+    Short,
+    /// `jint`.
+    Int,
+    /// `jlong`.
+    Long,
+    /// `jfloat`.
+    Float,
+    /// `jdouble`.
+    Double,
+    /// `void`.
+    Void,
+}
+
+impl JniRetType {
+    /// All ten return types.
+    pub const ALL: [JniRetType; 10] = [
+        JniRetType::Object,
+        JniRetType::Boolean,
+        JniRetType::Byte,
+        JniRetType::Char,
+        JniRetType::Short,
+        JniRetType::Int,
+        JniRetType::Long,
+        JniRetType::Float,
+        JniRetType::Double,
+        JniRetType::Void,
+    ];
+
+    fn name_part(self) -> &'static str {
+        match self {
+            JniRetType::Object => "Object",
+            JniRetType::Boolean => "Boolean",
+            JniRetType::Byte => "Byte",
+            JniRetType::Char => "Char",
+            JniRetType::Short => "Short",
+            JniRetType::Int => "Int",
+            JniRetType::Long => "Long",
+            JniRetType::Float => "Float",
+            JniRetType::Double => "Double",
+            JniRetType::Void => "Void",
+        }
+    }
+
+    /// Does a method with this declared return type match this JNI family?
+    /// (All JVM integral types travel as `Int` in this VM; `Float`/`Double`
+    /// as `Float`; references as `Object`.)
+    pub fn matches(self, ret: &ReturnType) -> bool {
+        use jvmsim_classfile::Type;
+        match (self, ret) {
+            (JniRetType::Void, ReturnType::Void) => true,
+            (JniRetType::Object, ReturnType::Value(Type::Object(_) | Type::Array(_))) => true,
+            (
+                JniRetType::Boolean
+                | JniRetType::Byte
+                | JniRetType::Char
+                | JniRetType::Short
+                | JniRetType::Int
+                | JniRetType::Long,
+                ReturnType::Value(Type::Int),
+            ) => true,
+            (JniRetType::Float | JniRetType::Double, ReturnType::Value(Type::Float)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Identity of one of the 90 JNI invocation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JniCallKey {
+    /// Dispatch kind.
+    pub kind: CallKind,
+    /// Parameter-passing style.
+    pub style: ParamStyle,
+    /// Return-type family.
+    pub ret: JniRetType,
+}
+
+impl JniCallKey {
+    /// The C-level function name, e.g. `CallStaticIntMethodA`.
+    pub fn function_name(self) -> String {
+        format!(
+            "Call{}{}Method{}",
+            self.kind.name_part(),
+            self.ret.name_part(),
+            self.style.suffix()
+        )
+    }
+
+    /// Enumerate all 90 keys.
+    pub fn all() -> impl Iterator<Item = JniCallKey> {
+        CallKind::ALL.into_iter().flat_map(|kind| {
+            ParamStyle::ALL.into_iter().flat_map(move |style| {
+                JniRetType::ALL
+                    .into_iter()
+                    .map(move |ret| JniCallKey { kind, style, ret })
+            })
+        })
+    }
+
+    fn slot(self) -> usize {
+        let k = match self.kind {
+            CallKind::Virtual => 0,
+            CallKind::Nonvirtual => 1,
+            CallKind::Static => 2,
+        };
+        let s = match self.style {
+            ParamStyle::Varargs => 0,
+            ParamStyle::VaList => 1,
+            ParamStyle::Array => 2,
+        };
+        let r = JniRetType::ALL.iter().position(|&x| x == self.ret).unwrap();
+        (k * 3 + s) * 10 + r
+    }
+}
+
+impl fmt::Display for JniCallKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.function_name())
+    }
+}
+
+/// The target of a JNI invocation, as native code names it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JniCallSpec {
+    /// Which function was used.
+    pub key: JniCallKey,
+    /// Class to resolve against (receiver's class is still consulted for
+    /// [`CallKind::Virtual`]).
+    pub class: String,
+    /// Method name.
+    pub name: String,
+    /// Method descriptor.
+    pub descriptor: String,
+    /// Receiver, for non-static kinds.
+    pub receiver: Option<Value>,
+    /// Arguments in declaration order.
+    pub args: Vec<Value>,
+}
+
+/// Signature of a table entry.
+pub type JniEntryFn =
+    Arc<dyn Fn(&mut JniEnv<'_>, &JniCallSpec) -> Result<Value, JThrow> + Send + Sync>;
+
+/// The mutable table of 90 invocation functions.
+pub struct JniFunctionTable {
+    entries: Vec<JniEntryFn>,
+}
+
+impl fmt::Debug for JniFunctionTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JniFunctionTable")
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl JniFunctionTable {
+    /// Number of invocation functions (3 kinds × 3 styles × 10 types).
+    pub const SIZE: usize = 90;
+
+    /// Build the default table: every entry performs the actual invocation
+    /// via [`JniEnv::invoke_raw`].
+    pub fn new() -> Self {
+        let default: JniEntryFn = Arc::new(|env, spec| env.invoke_raw(spec));
+        JniFunctionTable {
+            entries: (0..Self::SIZE).map(|_| Arc::clone(&default)).collect(),
+        }
+    }
+
+    /// Fetch the entry for `key`.
+    pub fn get(&self, key: JniCallKey) -> JniEntryFn {
+        Arc::clone(&self.entries[key.slot()])
+    }
+
+    /// Replace the entry for `key`.
+    pub fn set(&mut self, key: JniCallKey, f: JniEntryFn) {
+        self.entries[key.slot()] = f;
+    }
+
+    /// Wrap every entry: `wrap` receives each key and its current entry and
+    /// returns the replacement — how IPA registers its 90 wrappers.
+    pub fn intercept_all(&mut self, wrap: impl Fn(JniCallKey, JniEntryFn) -> JniEntryFn) {
+        for key in JniCallKey::all() {
+            let original = self.get(key);
+            self.entries[key.slot()] = wrap(key, original);
+        }
+    }
+}
+
+impl Default for JniFunctionTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ninety_functions() {
+        assert_eq!(JniCallKey::all().count(), 90);
+        // All slots distinct and in range.
+        let mut seen = vec![false; JniFunctionTable::SIZE];
+        for k in JniCallKey::all() {
+            assert!(!seen[k.slot()], "slot collision for {k}");
+            seen[k.slot()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn function_names() {
+        let k = JniCallKey {
+            kind: CallKind::Virtual,
+            style: ParamStyle::Varargs,
+            ret: JniRetType::Int,
+        };
+        assert_eq!(k.function_name(), "CallIntMethod");
+        let k = JniCallKey {
+            kind: CallKind::Static,
+            style: ParamStyle::Array,
+            ret: JniRetType::Void,
+        };
+        assert_eq!(k.function_name(), "CallStaticVoidMethodA");
+        let k = JniCallKey {
+            kind: CallKind::Nonvirtual,
+            style: ParamStyle::VaList,
+            ret: JniRetType::Object,
+        };
+        assert_eq!(k.function_name(), "CallNonvirtualObjectMethodV");
+    }
+
+    #[test]
+    fn ret_type_matching() {
+        use jvmsim_classfile::ReturnType;
+        let void: ReturnType = ReturnType::Void;
+        let int: ReturnType = "(I)I".parse::<jvmsim_classfile::MethodDescriptor>()
+            .unwrap()
+            .return_type()
+            .clone();
+        let float: ReturnType = "()F".parse::<jvmsim_classfile::MethodDescriptor>()
+            .unwrap()
+            .return_type()
+            .clone();
+        let obj: ReturnType = "()Ljava/lang/String;"
+            .parse::<jvmsim_classfile::MethodDescriptor>()
+            .unwrap()
+            .return_type()
+            .clone();
+        assert!(JniRetType::Void.matches(&void));
+        assert!(!JniRetType::Void.matches(&int));
+        assert!(JniRetType::Int.matches(&int));
+        assert!(JniRetType::Long.matches(&int));
+        assert!(JniRetType::Boolean.matches(&int));
+        assert!(!JniRetType::Int.matches(&float));
+        assert!(JniRetType::Double.matches(&float));
+        assert!(JniRetType::Float.matches(&float));
+        assert!(JniRetType::Object.matches(&obj));
+        assert!(!JniRetType::Object.matches(&int));
+    }
+
+    #[test]
+    fn intercept_all_wraps_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut table = JniFunctionTable::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let wrapped = Arc::new(AtomicUsize::new(0));
+        {
+            let wrapped = Arc::clone(&wrapped);
+            table.intercept_all(move |_key, original| {
+                wrapped.fetch_add(1, Ordering::Relaxed);
+                let hits = Arc::clone(&hits);
+                Arc::new(move |env, spec| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    original(env, spec)
+                })
+            });
+        }
+        assert_eq!(wrapped.load(Ordering::Relaxed), 90);
+    }
+}

@@ -1,0 +1,553 @@
+//! The runtime class registry: linking, layouts and method resolution.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use jvmsim_classfile::constpool::Constant;
+use jvmsim_classfile::{ClassFile, Code, MethodInfo, Type};
+
+use crate::error::VmError;
+use crate::events::MethodView;
+use crate::value::Value;
+
+/// A pre-resolved method call site (one pool `MethodRef`), parsed once at
+/// link time so the interpreter's hot path does no string work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// Referenced class name.
+    pub class: String,
+    /// Method name.
+    pub name: String,
+    /// Method descriptor string.
+    pub descriptor: String,
+    /// Declared parameter count (receiver *not* included).
+    pub nargs: usize,
+    /// Does the callee push a result?
+    pub returns_value: bool,
+}
+
+/// A pre-resolved field reference (one pool `FieldRef`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSite {
+    /// Referenced class name.
+    pub class: String,
+    /// Field name.
+    pub name: String,
+}
+
+/// Identifier of a linked class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Raw registry index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[cfg(test)]
+    pub(crate) fn for_test(raw: u32) -> ClassId {
+        ClassId(raw)
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// Identifier of a method within a linked class — the `jmethodID` analogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MethodId {
+    /// Declaring class.
+    pub class: ClassId,
+    /// Index into the class's method list.
+    pub index: u16,
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#m{}", self.class, self.index)
+    }
+}
+
+/// One instance-field slot in an object layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldSlot {
+    /// Field name.
+    pub name: String,
+    /// Declared type (drives the zero value).
+    pub ty: Type,
+}
+
+/// A linked class.
+#[derive(Debug)]
+pub struct RuntimeClass {
+    /// This class's id.
+    pub id: ClassId,
+    /// Internal name.
+    pub name: String,
+    /// Superclass, `None` only for the root.
+    pub super_id: Option<ClassId>,
+    /// Methods, cloned out of the classfile at link time.
+    pub methods: Vec<MethodInfo>,
+    /// Instance-field layout *including inherited slots* (super first).
+    pub instance_layout: Vec<FieldSlot>,
+    /// Field name → slot in `instance_layout` (inherited names included;
+    /// shadowing resolves to the most-derived declaration).
+    pub instance_index: HashMap<String, usize>,
+    /// Static field storage for fields this class declares.
+    pub statics: Vec<Value>,
+    /// Static field name → slot in `statics`.
+    pub static_index: HashMap<String, usize>,
+    /// Method `(name, descriptor)` → index in `methods`.
+    method_index: HashMap<(String, String), u16>,
+    /// Has `<clinit>` run (or been scheduled)?
+    pub clinit_started: bool,
+    /// Per-method invocation counters (JIT profiling).
+    pub invocations: Vec<u32>,
+    /// Per-method compiled flags.
+    pub compiled: Vec<bool>,
+    /// Shared method bodies (parallel to `methods`; `None` for natives).
+    pub code: Vec<Option<Arc<Code>>>,
+    /// Pool index → pre-resolved call site, for `invokestatic`/`invokevirtual`.
+    pub callsites: HashMap<u16, CallSite>,
+    /// Pool index → pre-resolved field reference.
+    pub fieldsites: HashMap<u16, FieldSite>,
+    /// Pool index → class name, for `new`.
+    pub classrefs: HashMap<u16, String>,
+    /// Pool index → string constant, for `ldc`.
+    pub strings: HashMap<u16, String>,
+}
+
+impl RuntimeClass {
+    /// Number of instance-field slots (inherited included).
+    pub fn instance_slots(&self) -> usize {
+        self.instance_layout.len()
+    }
+
+    /// Zero values for a fresh instance.
+    pub fn field_defaults(&self) -> Vec<Value> {
+        self.instance_layout
+            .iter()
+            .map(|f| Value::default_for(&f.ty))
+            .collect()
+    }
+
+    /// Look up a declared method by name + descriptor.
+    pub fn find_method(&self, name: &str, descriptor: &str) -> Option<u16> {
+        self.method_index
+            .get(&(name.to_owned(), descriptor.to_owned()))
+            .copied()
+    }
+}
+
+/// The registry of linked classes.
+#[derive(Debug, Default)]
+pub struct ClassRegistry {
+    classes: Vec<RuntimeClass>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of linked classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Id of a linked class by name.
+    pub fn id_of(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Borrow a linked class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not issued by this registry (VM bug).
+    pub fn get(&self, id: ClassId) -> &RuntimeClass {
+        &self.classes[id.index()]
+    }
+
+    /// Mutably borrow a linked class.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id (VM bug).
+    pub fn get_mut(&mut self, id: ClassId) -> &mut RuntimeClass {
+        &mut self.classes[id.index()]
+    }
+
+    /// Borrow a method.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id (VM bug).
+    pub fn method(&self, id: MethodId) -> &MethodInfo {
+        &self.classes[id.class.index()].methods[id.index as usize]
+    }
+
+    /// Build the event-callback view of a method.
+    pub fn method_view(&self, id: MethodId) -> MethodView<'_> {
+        let class = self.get(id.class);
+        let m = &class.methods[id.index as usize];
+        MethodView {
+            id,
+            class_name: &class.name,
+            name: m.name(),
+            descriptor: m.descriptor_string(),
+            is_native: m.is_native(),
+        }
+    }
+
+    /// Link a decoded classfile. The superclass must already be linked
+    /// (callers load bottom-up).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadHierarchy`] if the superclass is missing, or a
+    /// duplicate definition of the same name.
+    pub fn define(&mut self, class: &ClassFile) -> Result<ClassId, VmError> {
+        if self.by_name.contains_key(class.name()) {
+            return Err(VmError::BadHierarchy(format!(
+                "class {} defined twice",
+                class.name()
+            )));
+        }
+        let super_id = match class.super_name() {
+            None => None,
+            Some(s) => Some(
+                self.id_of(s)
+                    .ok_or_else(|| VmError::BadHierarchy(format!(
+                        "superclass {s} of {} not linked",
+                        class.name()
+                    )))?,
+            ),
+        };
+        // Instance layout: inherited slots first, then own.
+        let (mut instance_layout, mut instance_index) = match super_id {
+            Some(sid) => {
+                let sup = self.get(sid);
+                (sup.instance_layout.clone(), sup.instance_index.clone())
+            }
+            None => (Vec::new(), HashMap::new()),
+        };
+        let mut statics = Vec::new();
+        let mut static_index = HashMap::new();
+        for f in class.fields() {
+            if f.is_static() {
+                static_index.insert(f.name().to_owned(), statics.len());
+                statics.push(Value::default_for(f.ty()));
+            } else {
+                // Shadowing: most-derived wins in the name index, but the
+                // inherited slot remains in the layout.
+                instance_index.insert(f.name().to_owned(), instance_layout.len());
+                instance_layout.push(FieldSlot {
+                    name: f.name().to_owned(),
+                    ty: f.ty().clone(),
+                });
+            }
+        }
+        let methods: Vec<MethodInfo> = class.methods().to_vec();
+        let mut method_index = HashMap::new();
+        for (i, m) in methods.iter().enumerate() {
+            method_index.insert(
+                (m.name().to_owned(), m.descriptor_string().to_owned()),
+                i as u16,
+            );
+        }
+        let code: Vec<Option<Arc<Code>>> = methods
+            .iter()
+            .map(|m| m.code.clone().map(Arc::new))
+            .collect();
+        // Pre-resolve pool entries the interpreter dereferences.
+        let mut callsites = HashMap::new();
+        let mut fieldsites = HashMap::new();
+        let mut classrefs = HashMap::new();
+        let mut strings = HashMap::new();
+        for (i, entry) in class.pool.entries().iter().enumerate() {
+            let idx = i as u16;
+            let cp = jvmsim_classfile::CpIndex(idx);
+            match entry {
+                Constant::Utf8(s) => {
+                    strings.insert(idx, s.clone());
+                }
+                Constant::Class { .. } => {
+                    if let Ok(name) = class.pool.class_name(cp) {
+                        classrefs.insert(idx, name.to_owned());
+                    }
+                }
+                Constant::MethodRef { .. } => {
+                    if let Ok(r) = class.pool.method_ref(cp) {
+                        if let Ok(desc) =
+                            r.descriptor.parse::<jvmsim_classfile::MethodDescriptor>()
+                        {
+                            callsites.insert(
+                                idx,
+                                CallSite {
+                                    class: r.class,
+                                    name: r.name,
+                                    nargs: desc.param_slots(),
+                                    returns_value: desc.return_type().is_value(),
+                                    descriptor: r.descriptor,
+                                },
+                            );
+                        }
+                    }
+                }
+                Constant::FieldRef { .. } => {
+                    if let Ok(r) = class.pool.field_ref(cp) {
+                        fieldsites.insert(
+                            idx,
+                            FieldSite {
+                                class: r.class,
+                                name: r.name,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let id = ClassId(u32::try_from(self.classes.len()).expect("too many classes"));
+        let n = methods.len();
+        self.classes.push(RuntimeClass {
+            id,
+            name: class.name().to_owned(),
+            super_id,
+            methods,
+            instance_layout,
+            instance_index,
+            statics,
+            static_index,
+            method_index,
+            clinit_started: false,
+            invocations: vec![0; n],
+            compiled: vec![false; n],
+            code,
+            callsites,
+            fieldsites,
+            classrefs,
+            strings,
+        });
+        self.by_name.insert(class.name().to_owned(), id);
+        Ok(id)
+    }
+
+    /// Resolve `(name, descriptor)` starting at `class` and walking the
+    /// superclass chain — used for both static and virtual dispatch.
+    pub fn resolve_method(
+        &self,
+        class: ClassId,
+        name: &str,
+        descriptor: &str,
+    ) -> Option<MethodId> {
+        let mut cur = Some(class);
+        while let Some(cid) = cur {
+            let rc = self.get(cid);
+            if let Some(index) = rc.find_method(name, descriptor) {
+                return Some(MethodId { class: cid, index });
+            }
+            cur = rc.super_id;
+        }
+        None
+    }
+
+    /// Resolve a static field, walking the superclass chain. Returns the
+    /// declaring class and slot.
+    pub fn resolve_static(&self, class: ClassId, field: &str) -> Option<(ClassId, usize)> {
+        let mut cur = Some(class);
+        while let Some(cid) = cur {
+            let rc = self.get(cid);
+            if let Some(&slot) = rc.static_index.get(field) {
+                return Some((cid, slot));
+            }
+            cur = rc.super_id;
+        }
+        None
+    }
+
+    /// Resolve an instance-field slot for objects whose dynamic class is
+    /// `class` (the index already folds in inheritance and shadowing).
+    pub fn resolve_instance_field(&self, class: ClassId, field: &str) -> Option<usize> {
+        self.get(class).instance_index.get(field).copied()
+    }
+
+    /// Record one invocation of `id`; returns `true` if the method is (now)
+    /// compiled. `jit_enabled = false` freezes everything interpreted —
+    /// including methods compiled earlier (HotSpot deoptimises when an agent
+    /// enables method events; we model the steady state).
+    pub fn note_invocation(&mut self, id: MethodId, threshold: u32, jit_enabled: bool) -> bool {
+        let rc = &mut self.classes[id.class.index()];
+        let i = id.index as usize;
+        let count = rc.invocations[i].saturating_add(1);
+        rc.invocations[i] = count;
+        if !jit_enabled {
+            return false;
+        }
+        if !rc.compiled[i] && count >= threshold {
+            rc.compiled[i] = true;
+        }
+        rc.compiled[i]
+    }
+
+    /// Force a method compiled (on-stack replacement promotion).
+    pub fn mark_compiled(&mut self, id: MethodId) {
+        self.classes[id.class.index()].compiled[id.index as usize] = true;
+    }
+
+    /// Is the method currently compiled (and is the JIT on)?
+    pub fn is_compiled(&self, id: MethodId, jit_enabled: bool) -> bool {
+        jit_enabled && self.classes[id.class.index()].compiled[id.index as usize]
+    }
+
+    /// Iterate over linked class names (diagnostics).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.classes.iter().map(|c| c.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvmsim_classfile::builder::ClassBuilder;
+    use jvmsim_classfile::{FieldFlags, MethodFlags, OBJECT_CLASS};
+
+    fn object_class() -> ClassFile {
+        ClassBuilder::new(OBJECT_CLASS).finish().unwrap()
+    }
+
+    fn registry_with_object() -> (ClassRegistry, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let oid = reg.define(&object_class()).unwrap();
+        (reg, oid)
+    }
+
+    fn class_ab() -> (ClassFile, ClassFile) {
+        let mut a = ClassBuilder::new("t/A");
+        a.field("x", "I", FieldFlags::EMPTY).unwrap();
+        a.field("s", "I", FieldFlags::STATIC).unwrap();
+        let mut m = a.method("id", "()I", MethodFlags::PUBLIC);
+        m.iconst(1).ireturn();
+        m.finish().unwrap();
+        let a = a.finish().unwrap();
+
+        let mut b = ClassBuilder::new("t/B");
+        b.extends("t/A");
+        b.field("y", "F", FieldFlags::EMPTY).unwrap();
+        let mut m = b.method("id", "()I", MethodFlags::PUBLIC);
+        m.iconst(2).ireturn();
+        m.finish().unwrap();
+        let b = b.finish().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn define_and_lookup() {
+        let (mut reg, _) = registry_with_object();
+        let (a, b) = class_ab();
+        let aid = reg.define(&a).unwrap();
+        let bid = reg.define(&b).unwrap();
+        assert_eq!(reg.id_of("t/A"), Some(aid));
+        assert_eq!(reg.id_of("t/B"), Some(bid));
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.get(bid).super_id, Some(aid));
+    }
+
+    #[test]
+    fn super_must_be_linked_first() {
+        let (mut reg, _) = registry_with_object();
+        let (_, b) = class_ab();
+        let err = reg.define(&b).unwrap_err();
+        assert!(matches!(err, VmError::BadHierarchy(_)));
+    }
+
+    #[test]
+    fn duplicate_definition_rejected() {
+        let (mut reg, _) = registry_with_object();
+        let (a, _) = class_ab();
+        reg.define(&a).unwrap();
+        assert!(matches!(reg.define(&a), Err(VmError::BadHierarchy(_))));
+    }
+
+    #[test]
+    fn instance_layout_includes_supers() {
+        let (mut reg, _) = registry_with_object();
+        let (a, b) = class_ab();
+        reg.define(&a).unwrap();
+        let bid = reg.define(&b).unwrap();
+        let rb = reg.get(bid);
+        assert_eq!(rb.instance_slots(), 2); // x from A, y from B
+        assert_eq!(reg.resolve_instance_field(bid, "x"), Some(0));
+        assert_eq!(reg.resolve_instance_field(bid, "y"), Some(1));
+        assert_eq!(
+            rb.field_defaults(),
+            vec![Value::Int(0), Value::Float(0.0)]
+        );
+    }
+
+    #[test]
+    fn virtual_dispatch_picks_most_derived() {
+        let (mut reg, _) = registry_with_object();
+        let (a, b) = class_ab();
+        let aid = reg.define(&a).unwrap();
+        let bid = reg.define(&b).unwrap();
+        let on_b = reg.resolve_method(bid, "id", "()I").unwrap();
+        assert_eq!(on_b.class, bid);
+        let on_a = reg.resolve_method(aid, "id", "()I").unwrap();
+        assert_eq!(on_a.class, aid);
+        // Inherited resolution: a method only on A found from B.
+        assert!(reg.resolve_method(bid, "missing", "()V").is_none());
+    }
+
+    #[test]
+    fn static_field_resolution_walks_supers() {
+        let (mut reg, _) = registry_with_object();
+        let (a, b) = class_ab();
+        let aid = reg.define(&a).unwrap();
+        let bid = reg.define(&b).unwrap();
+        assert_eq!(reg.resolve_static(bid, "s"), Some((aid, 0)));
+        assert_eq!(reg.resolve_static(bid, "nope"), None);
+    }
+
+    #[test]
+    fn jit_promotion() {
+        let (mut reg, _) = registry_with_object();
+        let (a, _) = class_ab();
+        let aid = reg.define(&a).unwrap();
+        let mid = reg.resolve_method(aid, "id", "()I").unwrap();
+        for _ in 0..9 {
+            assert!(!reg.note_invocation(mid, 10, true));
+        }
+        assert!(reg.note_invocation(mid, 10, true));
+        assert!(reg.is_compiled(mid, true));
+        // JIT off hides compiled state.
+        assert!(!reg.is_compiled(mid, false));
+        assert!(!reg.note_invocation(mid, 10, false));
+    }
+
+    #[test]
+    fn method_view_exposes_nativeness() {
+        let (mut reg, _) = registry_with_object();
+        let mut c = ClassBuilder::new("t/N");
+        c.native_method("nat", "(I)I", MethodFlags::PUBLIC).unwrap();
+        let cid = reg.define(&c.finish().unwrap()).unwrap();
+        let mid = reg.resolve_method(cid, "nat", "(I)I").unwrap();
+        let view = reg.method_view(mid);
+        assert!(view.is_native);
+        assert_eq!(view.class_name, "t/N");
+        assert_eq!(view.name, "nat");
+        assert_eq!(view.descriptor, "(I)I");
+    }
+}

@@ -1,0 +1,61 @@
+//! In-program exception control flow.
+
+use crate::value::ObjRef;
+
+/// A thrown Java exception unwinding the stack.
+///
+/// This is `Err` plumbing for *program-level* exceptions (the things
+/// `athrow` raises and exception tables catch), not a VM failure — see
+/// [`crate::error::VmError`] for those. The payload is a heap reference to
+/// the exception object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JThrow {
+    /// The exception object.
+    pub exception: ObjRef,
+}
+
+impl JThrow {
+    /// Wrap an exception object.
+    pub fn new(exception: ObjRef) -> Self {
+        JThrow { exception }
+    }
+}
+
+/// Snapshot of a thrown exception once it has escaped the VM (heap
+/// references are not meaningful to callers, so the interesting strings are
+/// extracted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExceptionInfo {
+    /// Internal name of the exception's class.
+    pub class_name: String,
+    /// Message, if one was attached.
+    pub message: Option<String>,
+}
+
+impl std::fmt::Display for ExceptionInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.message {
+            Some(m) => write!(f, "{}: {m}", self.class_name),
+            None => write!(f, "{}", self.class_name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ExceptionInfo {
+            class_name: "java/lang/ArithmeticException".into(),
+            message: Some("/ by zero".into()),
+        };
+        assert_eq!(e.to_string(), "java/lang/ArithmeticException: / by zero");
+        let e = ExceptionInfo {
+            class_name: "java/lang/Error".into(),
+            message: None,
+        };
+        assert_eq!(e.to_string(), "java/lang/Error");
+    }
+}

@@ -1,0 +1,163 @@
+//! Runtime values and heap references.
+
+use std::fmt;
+
+/// Index of an object on the VM heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjRef(pub(crate) u32);
+
+impl ObjRef {
+    /// Raw heap slot index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj@{}", self.0)
+    }
+}
+
+/// A runtime value: one operand-stack or local-variable slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE-754 float.
+    Float(f64),
+    /// Reference to a heap object.
+    Ref(ObjRef),
+    /// The null reference.
+    Null,
+}
+
+impl Value {
+    /// Extract an int.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int` — the verifier guarantees stack
+    /// kinds, so a mismatch here is a VM bug, not a program error.
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// Extract a float.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-`Float` (VM bug; see [`Value::as_int`]).
+    pub fn as_float(self) -> f64 {
+        match self {
+            Value::Float(v) => v,
+            other => panic!("expected Float, found {other:?}"),
+        }
+    }
+
+    /// Extract a reference, treating `Null` as `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an `Int`/`Float` (VM bug; see [`Value::as_int`]).
+    pub fn as_ref_opt(self) -> Option<ObjRef> {
+        match self {
+            Value::Ref(r) => Some(r),
+            Value::Null => None,
+            other => panic!("expected reference, found {other:?}"),
+        }
+    }
+
+    /// Is this `Null` or a `Ref`?
+    pub fn is_reference(self) -> bool {
+        matches!(self, Value::Ref(_) | Value::Null)
+    }
+
+    /// The default (zero) value for a declared type.
+    pub fn default_for(ty: &jvmsim_classfile::Type) -> Value {
+        use jvmsim_classfile::Type;
+        match ty {
+            Type::Int => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Object(_) | Type::Array(_) => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Ref(r) => write!(f, "{r}"),
+            Value::Null => write!(f, "null"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<ObjRef> for Value {
+    fn from(r: ObjRef) -> Self {
+        Value::Ref(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), 7);
+        assert_eq!(Value::Float(2.5).as_float(), 2.5);
+        assert_eq!(Value::Null.as_ref_opt(), None);
+        let r = ObjRef(3);
+        assert_eq!(Value::Ref(r).as_ref_opt(), Some(r));
+        assert!(Value::Null.is_reference());
+        assert!(Value::Ref(r).is_reference());
+        assert!(!Value::Int(0).is_reference());
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn kind_confusion_panics() {
+        let _ = Value::Float(1.0).as_int();
+    }
+
+    #[test]
+    fn defaults() {
+        use jvmsim_classfile::Type;
+        assert_eq!(Value::default_for(&Type::Int), Value::Int(0));
+        assert_eq!(Value::default_for(&Type::Float), Value::Float(0.0));
+        assert_eq!(Value::default_for(&Type::object("a/B")), Value::Null);
+        assert_eq!(Value::default_for(&Type::Int.array_of()), Value::Null);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(4i64), Value::Int(4));
+        assert_eq!(Value::from(0.5f64), Value::Float(0.5));
+        assert_eq!(Value::from(ObjRef(9)), Value::Ref(ObjRef(9)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Ref(ObjRef(1)).to_string(), "obj@1");
+    }
+}

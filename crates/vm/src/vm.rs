@@ -1,0 +1,904 @@
+//! The virtual machine: configuration, class loading, threads, and the run
+//! protocol.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{codec, ClassFile, FieldFlags, CLINIT};
+use jvmsim_pcl::{ClockHandle, Pcl};
+
+use crate::cost::CostModel;
+use crate::error::VmError;
+use crate::events::{EventMask, SampleSink, ThreadId, VmEventSink};
+use crate::heap::{Heap, HeapObject};
+use crate::jni::{JniFunctionTable, NativeFn, NativeLibrary};
+use crate::klass::{ClassId, ClassRegistry, MethodId};
+use crate::throw::{ExceptionInfo, JThrow};
+use crate::value::{ObjRef, Value};
+
+/// Ground-truth execution counters maintained by the VM itself.
+///
+/// Agents *measure* these quantities indirectly; the integration tests
+/// compare agent reports against this oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Bytecode instructions executed.
+    pub insns: u64,
+    /// Method invocations (bytecode + native).
+    pub invocations: u64,
+    /// Native method invocations (J2N transitions).
+    pub native_calls: u64,
+    /// Calls through the JNI invocation table (N2J transitions).
+    pub jni_upcalls: u64,
+    /// Classes linked.
+    pub classes_loaded: u64,
+    /// Objects and arrays allocated.
+    pub allocations: u64,
+    /// JVMTI-level events dispatched to the sink.
+    pub events_dispatched: u64,
+    /// Cycles the VM attributes to native code (dispatch + native work +
+    /// JNI call overhead) — the oracle for the agents' `timeNative`.
+    pub native_cycles: u64,
+    /// Timer samples delivered to an installed sampler.
+    pub samples_taken: u64,
+}
+
+/// Per-thread bookkeeping.
+#[derive(Debug)]
+pub(crate) struct ThreadInfo {
+    pub name: String,
+    pub clock: ClockHandle,
+    pub depth: usize,
+    /// Cycle count at which the next timer sample is due (when sampling).
+    pub next_sample_due: u64,
+    /// Result recorded when the thread's initial method finishes.
+    pub result: Option<Result<Value, ExceptionInfo>>,
+}
+
+/// Outcome of one thread's initial method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadOutcome {
+    /// Thread name.
+    pub name: String,
+    /// Cycles the thread consumed.
+    pub cycles: u64,
+    /// Return value or escaped exception.
+    pub result: Result<Value, ExceptionInfo>,
+}
+
+/// Outcome of [`Vm::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Result of the main thread's entry method.
+    pub main: Result<Value, ExceptionInfo>,
+    /// All threads (main first, then spawned threads in start order).
+    pub threads: Vec<ThreadOutcome>,
+    /// Sum of all thread cycle counters.
+    pub total_cycles: u64,
+    /// Ground-truth VM counters at termination.
+    pub stats: VmStats,
+}
+
+impl RunOutcome {
+    /// Total virtual seconds at the PCL clock frequency.
+    pub fn seconds(&self, pcl: &Pcl) -> f64 {
+        pcl.cycles_to_seconds(self.total_cycles)
+    }
+}
+
+struct PendingThread {
+    name: String,
+    class: String,
+    method: String,
+    descriptor: String,
+    args: Vec<Value>,
+}
+
+/// The simulated JVM.
+///
+/// ```
+/// use jvmsim_vm::Vm;
+/// use jvmsim_classfile::builder::ClassBuilder;
+/// use jvmsim_classfile::MethodFlags;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut cb = ClassBuilder::new("demo/Main");
+/// let mut m = cb.method("main", "()I", MethodFlags::STATIC);
+/// m.iconst(40).iconst(2).iadd().ireturn();
+/// m.finish()?;
+///
+/// let mut vm = Vm::new();
+/// vm.add_classfile(&cb.finish()?);
+/// let outcome = vm.run("demo/Main", "main", "()I", vec![])?;
+/// assert_eq!(outcome.main.unwrap(), jvmsim_vm::Value::Int(42));
+/// # Ok(())
+/// # }
+/// ```
+pub struct Vm {
+    cost: CostModel,
+    pcl: Pcl,
+    pub(crate) registry: ClassRegistry,
+    heap: Heap,
+    /// Classpath: class name → serialized classfile bytes.
+    classpath: HashMap<String, Vec<u8>>,
+    /// Registered (but not yet loaded) native libraries.
+    available_libraries: HashMap<String, NativeLibrary>,
+    /// Libraries made live via `load_native_library` (`System.loadLibrary`).
+    loaded_libraries: Vec<NativeLibrary>,
+    /// Cache of resolved native bindings.
+    native_bindings: HashMap<MethodId, NativeFn>,
+    /// Registered native-method name prefixes (JVMTI 1.1 prefix retry).
+    prefixes: Vec<String>,
+    sink: Option<Arc<dyn VmEventSink>>,
+    mask: EventMask,
+    /// Timer-based sampler: (interval in cycles, sink).
+    sampler: Option<(u64, Arc<dyn SampleSink>)>,
+    /// User-level JIT switch (`-Xint` analog).
+    jit_requested: bool,
+    threads: Vec<ThreadInfo>,
+    pending: VecDeque<PendingThread>,
+    jni_table: JniFunctionTable,
+    max_call_depth: usize,
+    pub(crate) stats: VmStats,
+    // Interpreter caches (pool-index → resolved target + arity + returns?).
+    pub(crate) static_call_cache: HashMap<(ClassId, u16), (MethodId, u8, bool)>,
+    pub(crate) virtual_call_cache: HashMap<(ClassId, u16, ClassId), (MethodId, u8, bool)>,
+    pub(crate) static_field_cache: HashMap<(ClassId, u16), (ClassId, usize)>,
+    pub(crate) instance_field_cache: HashMap<(ClassId, u16), usize>,
+    pub(crate) ldc_cache: HashMap<(ClassId, u16), ObjRef>,
+    pub(crate) new_class_cache: HashMap<(ClassId, u16), ClassId>,
+    vm_dead: bool,
+}
+
+impl fmt::Debug for Vm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("classes", &self.registry.len())
+            .field("threads", &self.threads.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    /// Create a VM with default costs, a fresh PCL registry, and the
+    /// built-in exception hierarchy linked.
+    pub fn new() -> Self {
+        Self::with_cost_model(CostModel::default())
+    }
+
+    /// Create a VM with an explicit cost model.
+    pub fn with_cost_model(cost: CostModel) -> Self {
+        let mut vm = Vm {
+            cost,
+            pcl: Pcl::new(),
+            registry: ClassRegistry::new(),
+            heap: Heap::new(),
+            classpath: HashMap::new(),
+            available_libraries: HashMap::new(),
+            loaded_libraries: Vec::new(),
+            native_bindings: HashMap::new(),
+            prefixes: Vec::new(),
+            sink: None,
+            mask: EventMask::none(),
+            sampler: None,
+            jit_requested: true,
+            threads: Vec::new(),
+            pending: VecDeque::new(),
+            jni_table: JniFunctionTable::new(),
+            max_call_depth: 2_000,
+            stats: VmStats::default(),
+            static_call_cache: HashMap::new(),
+            virtual_call_cache: HashMap::new(),
+            static_field_cache: HashMap::new(),
+            instance_field_cache: HashMap::new(),
+            ldc_cache: HashMap::new(),
+            new_class_cache: HashMap::new(),
+            vm_dead: false,
+        };
+        vm.bootstrap_exception_classes();
+        vm
+    }
+
+    fn bootstrap_exception_classes(&mut self) {
+        let define = |vm: &mut Vm, name: &str, superclass: Option<&str>, with_message: bool| {
+            let mut cb = ClassBuilder::new(name);
+            if let Some(s) = superclass {
+                cb.extends(s);
+            }
+            if with_message {
+                cb.field("message", "Ljava/lang/String;", FieldFlags::PUBLIC)
+                    .expect("bootstrap field");
+            }
+            let class = cb.finish().expect("bootstrap class");
+            vm.registry.define(&class).expect("bootstrap define");
+            vm.stats.classes_loaded += 1;
+        };
+        define(self, "java/lang/Object", None, false);
+        define(self, "java/lang/Throwable", Some("java/lang/Object"), true);
+        define(self, "java/lang/Error", Some("java/lang/Throwable"), false);
+        define(self, "java/lang/Exception", Some("java/lang/Throwable"), false);
+        define(
+            self,
+            "java/lang/RuntimeException",
+            Some("java/lang/Exception"),
+            false,
+        );
+        for e in [
+            "java/lang/ArithmeticException",
+            "java/lang/NullPointerException",
+            "java/lang/ArrayIndexOutOfBoundsException",
+            "java/lang/NegativeArraySizeException",
+            "java/lang/ArrayStoreException",
+            "java/lang/ClassCastException",
+            "java/lang/IllegalArgumentException",
+        ] {
+            define(self, e, Some("java/lang/RuntimeException"), false);
+        }
+        for e in [
+            "java/lang/InternalError",
+            "java/lang/StackOverflowError",
+            "java/lang/NoSuchMethodError",
+            "java/lang/NoSuchFieldError",
+            "java/lang/UnsatisfiedLinkError",
+            "java/lang/NoClassDefFoundError",
+        ] {
+            define(self, e, Some("java/lang/Error"), false);
+        }
+    }
+
+    // ------------------------------------------------------------ wiring
+
+    /// The cost model in force.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Mutate the cost model (before running).
+    pub fn cost_mut(&mut self) -> &mut CostModel {
+        &mut self.cost
+    }
+
+    /// The PCL cycle-counter registry (shared handle).
+    pub fn pcl(&self) -> Pcl {
+        self.pcl.clone()
+    }
+
+    /// Ground-truth counters.
+    pub fn stats(&self) -> VmStats {
+        self.stats
+    }
+
+    /// Borrow the heap.
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Mutably borrow the heap.
+    pub fn heap_mut(&mut self) -> &mut Heap {
+        &mut self.heap
+    }
+
+    /// Borrow the JNI function table.
+    pub fn jni_table(&self) -> &JniFunctionTable {
+        &self.jni_table
+    }
+
+    /// Mutably borrow the JNI function table (for interception).
+    pub fn jni_table_mut(&mut self) -> &mut JniFunctionTable {
+        &mut self.jni_table
+    }
+
+    /// Install the event sink (at most one, like a single JVMTI agent).
+    pub fn set_event_sink(&mut self, sink: Arc<dyn VmEventSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Is an event sink (agent) already installed?
+    pub fn has_event_sink(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Enable/disable event categories. Enabling
+    /// [`EventMask::method_events`] suppresses JIT compilation while set —
+    /// the HotSpot behaviour that ruins SPA (§III).
+    pub fn set_event_mask(&mut self, mask: EventMask) {
+        self.mask = mask;
+    }
+
+    /// Current event mask.
+    pub fn event_mask(&self) -> EventMask {
+        self.mask
+    }
+
+    /// Install a `tprof`-style timer sampler firing every `interval_cycles`
+    /// virtual cycles per thread (§VI: the system-specific alternative to
+    /// the paper's approach). Call before [`Vm::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_cycles` is zero.
+    pub fn set_sampler(&mut self, interval_cycles: u64, sink: Arc<dyn SampleSink>) {
+        assert!(interval_cycles > 0, "sampling interval must be nonzero");
+        self.sampler = Some((interval_cycles, sink));
+        for t in &mut self.threads {
+            if t.next_sample_due == u64::MAX {
+                t.next_sample_due = t.clock.cycles() + interval_cycles;
+            }
+        }
+    }
+
+    /// Sampling interval, if a sampler is installed.
+    pub(crate) fn sampler_interval(&self) -> Option<u64> {
+        self.sampler.as_ref().map(|(i, _)| *i)
+    }
+
+    /// Deliver any samples due on `thread` (`in_native` describes where the
+    /// virtual PC currently is). Charges the sample-dispatch cost per tick.
+    pub(crate) fn poll_samples(&mut self, thread: ThreadId, in_native: bool) {
+        let Some((interval, sink)) = self.sampler.clone() else {
+            return;
+        };
+        let info = &mut self.threads[thread.index()];
+        let now = info.clock.cycles();
+        if now < info.next_sample_due {
+            return;
+        }
+        // Coalesce: a real timer sampler that falls behind drops ticks
+        // rather than replaying them (sample delivery itself costs cycles,
+        // so replaying every missed tick diverges when
+        // `interval <= sample_dispatch`). Deliver a bounded burst for the
+        // elapsed span, then resynchronize the next due-point past the
+        // post-delivery clock.
+        let due = (now - info.next_sample_due) / interval + 1;
+        let ticks = due.min(16);
+        let dispatch = self.cost.sample_dispatch;
+        for _ in 0..ticks {
+            self.threads[thread.index()].clock.charge(dispatch);
+            if in_native {
+                self.stats.native_cycles += dispatch;
+            }
+            self.stats.samples_taken += 1;
+            sink.sample(thread, in_native);
+        }
+        let after = self.threads[thread.index()].clock.cycles();
+        self.threads[thread.index()].next_sample_due = after + interval;
+    }
+
+    /// Turn the JIT off entirely (the `-Xint` ablation).
+    pub fn set_jit_requested(&mut self, on: bool) {
+        self.jit_requested = on;
+    }
+
+    /// Is JIT compilation effective right now?
+    pub fn jit_enabled(&self) -> bool {
+        self.jit_requested && !self.mask.method_events
+    }
+
+    /// Register a native-method name prefix (JVMTI 1.1 `SetNativeMethodPrefix`).
+    ///
+    /// Resolution of a native method whose name starts with a registered
+    /// prefix retries with the prefix stripped — the mechanism that lets
+    /// instrumented wrappers rename native methods (§IV).
+    pub fn register_native_prefix(&mut self, prefix: impl Into<String>) {
+        self.prefixes.push(prefix.into());
+    }
+
+    /// Registered prefixes, in registration order.
+    pub fn native_prefixes(&self) -> &[String] {
+        &self.prefixes
+    }
+
+    /// Maximum Java call depth before `StackOverflowError`.
+    pub fn set_max_call_depth(&mut self, depth: usize) {
+        self.max_call_depth = depth;
+    }
+
+    // --------------------------------------------------------- classpath
+
+    /// Add serialized classfile bytes under `name` (classpath entry).
+    pub fn add_class_bytes(&mut self, name: impl Into<String>, bytes: Vec<u8>) {
+        self.classpath.insert(name.into(), bytes);
+    }
+
+    /// Add a class by encoding it onto the classpath.
+    pub fn add_classfile(&mut self, class: &ClassFile) {
+        self.add_class_bytes(class.name().to_owned(), codec::encode(class));
+    }
+
+    /// Add many `(name, bytes)` entries (an archive / jar analog).
+    pub fn add_archive<I: IntoIterator<Item = (String, Vec<u8>)>>(&mut self, entries: I) {
+        for (name, bytes) in entries {
+            self.add_class_bytes(name, bytes);
+        }
+    }
+
+    /// Register a native library; it becomes resolvable after
+    /// [`Vm::load_native_library`] (or immediately if `auto_load`).
+    pub fn register_native_library(&mut self, lib: NativeLibrary, auto_load: bool) {
+        let name = lib.name().to_owned();
+        if auto_load {
+            self.loaded_libraries.push(lib);
+        } else {
+            self.available_libraries.insert(name, lib);
+        }
+    }
+
+    /// `System.loadLibrary(name)`: make a registered library live.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::UnsatisfiedLink`] if no library of that name was
+    /// registered.
+    pub fn load_native_library(&mut self, name: &str) -> Result<(), VmError> {
+        match self.available_libraries.remove(name) {
+            Some(lib) => {
+                self.loaded_libraries.push(lib);
+                Ok(())
+            }
+            None => Err(VmError::UnsatisfiedLink {
+                class: "<loadLibrary>".into(),
+                method: name.into(),
+                tried: vec![name.into()],
+            }),
+        }
+    }
+
+    // ------------------------------------------------------------ threads
+
+    pub(crate) fn charge(&mut self, thread: ThreadId, cycles: u64) {
+        self.threads[thread.index()].clock.charge(cycles);
+    }
+
+    pub(crate) fn clock_handle(&self, thread: ThreadId) -> ClockHandle {
+        self.threads[thread.index()].clock.clone()
+    }
+
+    /// Cycles consumed so far by `thread`.
+    pub fn thread_cycles(&self, thread: ThreadId) -> u64 {
+        self.threads[thread.index()].clock.cycles()
+    }
+
+    /// Name of `thread`.
+    pub fn thread_name(&self, thread: ThreadId) -> &str {
+        &self.threads[thread.index()].name
+    }
+
+    fn create_thread(&mut self, name: &str) -> ThreadId {
+        let clock_id = self.pcl.register_thread();
+        let id = ThreadId(self.threads.len() as u32);
+        debug_assert_eq!(clock_id.index(), id.index(), "thread/clock ids aligned");
+        let next_sample_due = self.sampler.as_ref().map_or(u64::MAX, |(i, _)| *i);
+        self.threads.push(ThreadInfo {
+            name: name.to_owned(),
+            clock: self.pcl.handle(clock_id),
+            depth: 0,
+            next_sample_due,
+            result: None,
+        });
+        id
+    }
+
+    /// The primordial thread (created lazily, **without** a `ThreadStart`
+    /// event — the JVMTI wart the paper's `GetThreadLocalStorage` helper
+    /// works around).
+    pub(crate) fn ensure_main_thread(&mut self) -> ThreadId {
+        if self.threads.is_empty() {
+            self.create_thread("main");
+        }
+        ThreadId(0)
+    }
+
+    /// Queue a green thread to run `class.method(args)` after the current
+    /// thread finishes (run-to-completion scheduling; per-thread cycle
+    /// accounting is unaffected by the serialization — see DESIGN.md).
+    pub fn spawn_thread(
+        &mut self,
+        name: &str,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) {
+        self.pending.push_back(PendingThread {
+            name: name.to_owned(),
+            class: class.to_owned(),
+            method: method.to_owned(),
+            descriptor: descriptor.to_owned(),
+            args,
+        });
+    }
+
+    // ------------------------------------------------------------- events
+
+    pub(crate) fn fire_thread_start(&mut self, thread: ThreadId) {
+        if self.mask.thread_events {
+            if let Some(sink) = self.sink.clone() {
+                self.stats.events_dispatched += 1;
+                self.charge(thread, self.cost.event_dispatch);
+                sink.thread_start(thread);
+            }
+        }
+    }
+
+    pub(crate) fn fire_thread_end(&mut self, thread: ThreadId) {
+        if self.mask.thread_events {
+            if let Some(sink) = self.sink.clone() {
+                self.stats.events_dispatched += 1;
+                self.charge(thread, self.cost.event_dispatch);
+                sink.thread_end(thread);
+            }
+        }
+    }
+
+    fn fire_vm_death(&mut self) {
+        if self.vm_dead {
+            return;
+        }
+        self.vm_dead = true;
+        if self.mask.vm_death {
+            if let Some(sink) = self.sink.clone() {
+                self.stats.events_dispatched += 1;
+                sink.vm_death();
+            }
+        }
+    }
+
+    // ------------------------------------------------------ class loading
+
+    /// Link `name`, loading (and, if hooked, rewriting) its classfile bytes
+    /// and running `<clinit>`. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::ClassNotFound`] / [`VmError::ClassFormat`] /
+    /// [`VmError::BadHierarchy`] on load failures.
+    pub fn ensure_loaded(&mut self, name: &str) -> Result<ClassId, VmError> {
+        let thread = self.ensure_main_thread();
+        self.ensure_loaded_on(thread, name)
+    }
+
+    /// [`Vm::ensure_loaded`], charging `<clinit>` execution to the thread
+    /// that triggered loading (class initialization runs on the loading
+    /// thread, as on the JVM).
+    pub(crate) fn ensure_loaded_on(
+        &mut self,
+        thread: ThreadId,
+        name: &str,
+    ) -> Result<ClassId, VmError> {
+        if let Some(id) = self.registry.id_of(name) {
+            return Ok(id);
+        }
+        let bytes = self
+            .classpath
+            .get(name)
+            .cloned()
+            .ok_or_else(|| VmError::ClassNotFound(name.to_owned()))?;
+        // ClassFileLoadHook: the sink may rewrite the bytes (dynamic
+        // instrumentation, §IV).
+        let bytes = if self.mask.class_file_load_hook {
+            match self.sink.clone() {
+                Some(sink) => {
+                    self.stats.events_dispatched += 1;
+                    // Hook delivery costs like any other JVMTI event.
+                    self.charge(thread, self.cost.event_dispatch);
+                    sink.class_file_load(name, &bytes).unwrap_or(bytes)
+                }
+                None => bytes,
+            }
+        } else {
+            bytes
+        };
+        let class = codec::decode(&bytes).map_err(|cause| VmError::ClassFormat {
+            class: name.to_owned(),
+            cause,
+        })?;
+        if class.name() != name {
+            return Err(VmError::ClassFormat {
+                class: name.to_owned(),
+                cause: jvmsim_classfile::ClassfileError::Invalid(format!(
+                    "classpath entry {name} defines {}",
+                    class.name()
+                )),
+            });
+        }
+        jvmsim_classfile::validate::validate_class(&class).map_err(|cause| {
+            VmError::ClassFormat {
+                class: name.to_owned(),
+                cause,
+            }
+        })?;
+        // Link the superclass first.
+        if let Some(s) = class.super_name() {
+            self.ensure_loaded_on(thread, s)?;
+        }
+        let id = self.registry.define(&class)?;
+        self.stats.classes_loaded += 1;
+        self.run_clinit(thread, id)?;
+        Ok(id)
+    }
+
+    fn run_clinit(&mut self, thread: ThreadId, id: ClassId) -> Result<(), VmError> {
+        let mid = {
+            let rc = self.registry.get_mut(id);
+            if rc.clinit_started {
+                return Ok(());
+            }
+            rc.clinit_started = true;
+            rc.find_method(CLINIT, "()V").map(|index| MethodId { class: id, index })
+        };
+        if let Some(mid) = mid {
+            // An exception escaping <clinit> is fatal for the class; the
+            // JVM throws ExceptionInInitializerError. We surface it as a
+            // linkage error.
+            if let Err(t) = self.invoke(thread, mid, Vec::new()) {
+                let info = self.describe_exception(t);
+                return Err(VmError::ClassFormat {
+                    class: self.registry.get(id).name.clone(),
+                    cause: jvmsim_classfile::ClassfileError::Invalid(format!(
+                        "<clinit> threw {info}"
+                    )),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // --------------------------------------------------------- exceptions
+
+    /// Allocate an exception object of `class` with `message` and wrap it
+    /// for throwing. Unknown classes are defined on the fly as subclasses
+    /// of `java/lang/RuntimeException` (so agent/native code can always
+    /// throw).
+    pub fn throw_new(&mut self, thread: ThreadId, class: &str, message: &str) -> JThrow {
+        let _ = thread;
+        let id = match self.registry.id_of(class) {
+            Some(id) => id,
+            None => match self.ensure_loaded(class) {
+                Ok(id) => id,
+                Err(_) => {
+                    let mut cb = ClassBuilder::new(class);
+                    cb.extends("java/lang/RuntimeException");
+                    let synthetic = cb.finish().expect("synthetic exception class");
+                    self.stats.classes_loaded += 1;
+                    self.registry
+                        .define(&synthetic)
+                        .expect("synthetic exception define")
+                }
+            },
+        };
+        let msg_ref = self.heap.intern_string(message);
+        let defaults = self.registry.get(id).field_defaults();
+        let obj = self.heap.alloc_instance(id, defaults);
+        self.stats.allocations += 1;
+        if let Some(slot) = self.registry.resolve_instance_field(id, "message") {
+            if let HeapObject::Instance { fields, .. } = self.heap.get_mut(obj) {
+                fields[slot] = Value::Ref(msg_ref);
+            }
+        }
+        JThrow::new(obj)
+    }
+
+    /// Extract a displayable snapshot of a thrown exception.
+    pub fn describe_exception(&self, t: JThrow) -> ExceptionInfo {
+        match self.heap.get(t.exception) {
+            HeapObject::Instance { class, fields } => {
+                let rc = self.registry.get(*class);
+                let message = self
+                    .registry
+                    .resolve_instance_field(*class, "message")
+                    .and_then(|slot| fields.get(slot))
+                    .and_then(|v| match v {
+                        Value::Ref(r) => self.heap.as_str(*r).map(str::to_owned),
+                        _ => None,
+                    });
+                ExceptionInfo {
+                    class_name: rc.name.clone(),
+                    message,
+                }
+            }
+            other => ExceptionInfo {
+                class_name: format!("<non-instance throwable {other:?}>"),
+                message: None,
+            },
+        }
+    }
+
+    /// Does `sub`'s superclass chain (inclusive) contain `ancestor_name`?
+    pub fn is_subclass_of(&self, sub: ClassId, ancestor_name: &str) -> bool {
+        let mut cur = Some(sub);
+        while let Some(id) = cur {
+            let rc = self.registry.get(id);
+            if rc.name == ancestor_name {
+                return true;
+            }
+            cur = rc.super_id;
+        }
+        false
+    }
+
+    // --------------------------------------------------------------- run
+
+    /// Execute `class.method(args)` on the main thread, then any spawned
+    /// threads, then fire `VMDeath`. The canonical whole-program entry.
+    ///
+    /// Every thread's initial method is invoked **through the JNI
+    /// invocation interface**, as on a real JVM — so agents that intercept
+    /// the `Call*Method*` table observe each thread's first native→bytecode
+    /// transition, and linkage problems surface as Java-level errors
+    /// (`NoClassDefFoundError` / `NoSuchMethodError`) recorded in that
+    /// thread's outcome.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for machine-level failures; entry-point and linkage
+    /// problems are reported in the outcome, not as `VmError`. (Use
+    /// [`Vm::call_static`] for the strict-linkage variant.)
+    pub fn run(
+        &mut self,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) -> Result<RunOutcome, VmError> {
+        let main = self.ensure_main_thread();
+        let main_result = self.run_entry_via_jni(main, class, method, descriptor, args);
+        self.threads[main.index()].result = Some(main_result.clone());
+        self.fire_thread_end(main);
+
+        // Run spawned threads to completion, FIFO (they may spawn more).
+        // Each enters through the JNI interface like main; a linkage
+        // failure in one thread kills that thread (an uncaught
+        // NoClassDefFoundError), not the whole VM.
+        while let Some(p) = self.pending.pop_front() {
+            let tid = self.create_thread(&p.name);
+            self.fire_thread_start(tid);
+            let res = self.run_entry_via_jni(tid, &p.class, &p.method, &p.descriptor, p.args);
+            self.threads[tid.index()].result = Some(res);
+            self.fire_thread_end(tid);
+        }
+        self.fire_vm_death();
+
+        let threads = self
+            .threads
+            .iter()
+            .map(|t| ThreadOutcome {
+                name: t.name.clone(),
+                cycles: t.clock.cycles(),
+                result: t
+                    .result
+                    .clone()
+                    .unwrap_or(Ok(Value::Null)),
+            })
+            .collect();
+        Ok(RunOutcome {
+            main: main_result,
+            threads,
+            total_cycles: self.pcl.total_cycles(),
+            stats: self.stats,
+        })
+    }
+
+    fn run_entry(
+        &mut self,
+        thread: ThreadId,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) -> Result<Result<Value, ExceptionInfo>, VmError> {
+        let cid = self.ensure_loaded_on(thread, class)?;
+        let mid = self
+            .registry
+            .resolve_method(cid, method, descriptor)
+            .ok_or_else(|| VmError::MethodNotFound {
+                class: class.to_owned(),
+                signature: format!("{method}{descriptor}"),
+            })?;
+        if !self.registry.method(mid).is_static() {
+            return Err(VmError::BadEntryPoint(format!(
+                "{class}.{method}{descriptor} must be static"
+            )));
+        }
+        Ok(match self.invoke(thread, mid, args) {
+            Ok(v) => Ok(v),
+            Err(t) => Err(self.describe_exception(t)),
+        })
+    }
+
+    /// Invoke a thread's initial method **through the JNI invocation
+    /// interface**, as a real JVM does (the launcher calls `main` via
+    /// `CallStaticVoidMethod`; `Thread.start` enters `run()` from native
+    /// code). This is what lets IPA's intercepted `Call*Method*` wrappers
+    /// observe the native→bytecode transition at thread start — without
+    /// it, a thread that never touches native code would be accounted
+    /// 100% native (the `inNative = true` initial state would never flip).
+    fn run_entry_via_jni(
+        &mut self,
+        thread: ThreadId,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) -> Result<Value, ExceptionInfo> {
+        use crate::jni::{CallKind, JniCallKey, JniCallSpec, JniEnv, JniRetType, ParamStyle};
+        let ret = match descriptor.rsplit(')').next() {
+            Some("V") => JniRetType::Void,
+            Some("F") => JniRetType::Float,
+            Some(r) if r.starts_with('L') || r.starts_with('[') => JniRetType::Object,
+            _ => JniRetType::Int,
+        };
+        let spec = JniCallSpec {
+            key: JniCallKey {
+                kind: CallKind::Static,
+                style: ParamStyle::Varargs,
+                ret,
+            },
+            class: class.to_owned(),
+            name: method.to_owned(),
+            descriptor: descriptor.to_owned(),
+            receiver: None,
+            args,
+        };
+        let mut env = JniEnv { vm: self, thread };
+        match env.call(&spec) {
+            Ok(v) => Ok(v),
+            Err(t) => Err(self.describe_exception(t)),
+        }
+    }
+
+    /// One-off static call on the main thread — a convenience for tests and
+    /// examples that do not need the full run protocol (no `VMDeath`).
+    ///
+    /// # Errors
+    ///
+    /// [`VmError`] on linkage problems; the inner `Result` carries a Java
+    /// exception if one escaped.
+    pub fn call_static(
+        &mut self,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) -> Result<Result<Value, ExceptionInfo>, VmError> {
+        let thread = self.ensure_main_thread();
+        let _ = thread;
+        self.run_entry(ThreadId(0), class, method, descriptor, args)
+    }
+
+    pub(crate) fn depth(&self, thread: ThreadId) -> usize {
+        self.threads[thread.index()].depth
+    }
+
+    pub(crate) fn set_depth(&mut self, thread: ThreadId, depth: usize) {
+        self.threads[thread.index()].depth = depth;
+    }
+
+    pub(crate) fn sink(&self) -> Option<Arc<dyn VmEventSink>> {
+        self.sink.clone()
+    }
+
+    pub(crate) fn max_call_depth(&self) -> usize {
+        self.max_call_depth
+    }
+
+    pub(crate) fn loaded_libraries(&self) -> &[NativeLibrary] {
+        &self.loaded_libraries
+    }
+
+    pub(crate) fn native_binding(&self, mid: MethodId) -> Option<NativeFn> {
+        self.native_bindings.get(&mid).cloned()
+    }
+
+    pub(crate) fn cache_native_binding(&mut self, mid: MethodId, f: NativeFn) {
+        self.native_bindings.insert(mid, f);
+    }
+}

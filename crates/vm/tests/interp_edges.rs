@@ -1,0 +1,364 @@
+//! Interpreter edge cases: IEEE semantics, shift masking, switch bounds,
+//! aliasing arraycopy, nested handlers, inheritance, and builtin corners.
+
+use jvmsim_classfile::builder::{single_method_class, ClassBuilder};
+use jvmsim_classfile::{ArrayKind, Cond, FieldFlags, MethodFlags};
+use jvmsim_vm::{builtins, Value, Vm};
+
+const ST: MethodFlags = MethodFlags::STATIC;
+
+fn eval_i(
+    build: impl FnOnce(&mut jvmsim_classfile::builder::MethodBuilder<'_>),
+) -> Result<i64, String> {
+    let class = single_method_class("e/E", "f", "()I", build).unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&class);
+    match vm.call_static("e/E", "f", "()I", vec![]).map_err(|e| e.to_string())? {
+        Ok(Value::Int(v)) => Ok(v),
+        Ok(other) => Err(format!("{other:?}")),
+        Err(e) => Err(e.class_name),
+    }
+}
+
+#[test]
+fn fcmp_orders_nan_as_greater() {
+    // 0.0 / 0.0 = NaN; fcmp(NaN, 1.0) must push 1 (fcmpg semantics).
+    let v = eval_i(|m| {
+        m.fconst(0.0).fconst(0.0).fdiv(); // NaN
+        m.fconst(1.0).fcmp().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, 1);
+    // And symmetric: fcmp(1.0, NaN) is also 1.
+    let v = eval_i(|m| {
+        m.fconst(1.0);
+        m.fconst(0.0).fconst(0.0).fdiv();
+        m.fcmp().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn f2i_saturates_and_nan_is_zero() {
+    let v = eval_i(|m| {
+        m.fconst(1.0e300).f2i().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, i64::MAX);
+    let v = eval_i(|m| {
+        m.fconst(-1.0e300).f2i().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, i64::MIN);
+    let v = eval_i(|m| {
+        m.fconst(0.0).fconst(0.0).fdiv().f2i().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, 0);
+}
+
+#[test]
+fn shifts_mask_to_63_bits() {
+    let v = eval_i(|m| {
+        m.iconst(1).iconst(64).ishl().ireturn(); // 64 & 63 == 0
+    })
+    .unwrap();
+    assert_eq!(v, 1);
+    let v = eval_i(|m| {
+        m.iconst(-8).iconst(1).iushr().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, ((-8i64) as u64 >> 1) as i64);
+    let v = eval_i(|m| {
+        m.iconst(-8).iconst(1).ishr().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, -4);
+}
+
+#[test]
+fn integer_overflow_wraps() {
+    let v = eval_i(|m| {
+        m.iconst(i64::MAX).iconst(1).iadd().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, i64::MIN);
+    let v = eval_i(|m| {
+        m.iconst(i64::MIN).iconst(-1).idiv().ireturn();
+    })
+    .unwrap();
+    assert_eq!(v, i64::MIN, "MIN / -1 wraps instead of trapping");
+}
+
+#[test]
+fn tableswitch_bounds() {
+    let class = single_method_class("e/Sw", "pick", "(I)I", |m| {
+        let c0 = m.new_label();
+        let c1 = m.new_label();
+        let def = m.new_label();
+        m.iload(0).tableswitch(10, &[c0, c1], def);
+        m.bind(c0);
+        m.iconst(100).ireturn();
+        m.bind(c1);
+        m.iconst(101).ireturn();
+        m.bind(def);
+        m.iconst(-1).ireturn();
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&class);
+    let pick = |vm: &mut Vm, k: i64| {
+        vm.call_static("e/Sw", "pick", "(I)I", vec![Value::Int(k)])
+            .unwrap()
+            .unwrap()
+    };
+    assert_eq!(pick(&mut vm, 10), Value::Int(100));
+    assert_eq!(pick(&mut vm, 11), Value::Int(101));
+    assert_eq!(pick(&mut vm, 9), Value::Int(-1));
+    assert_eq!(pick(&mut vm, 12), Value::Int(-1));
+    assert_eq!(pick(&mut vm, i64::MIN), Value::Int(-1));
+    assert_eq!(pick(&mut vm, i64::MAX), Value::Int(-1));
+}
+
+#[test]
+fn nested_exception_handlers_inner_wins() {
+    let class = single_method_class("e/N", "f", "()I", |m| {
+        let outer_start = m.new_label();
+        let outer_end = m.new_label();
+        let outer_h = m.new_label();
+        let inner_start = m.new_label();
+        let inner_end = m.new_label();
+        let inner_h = m.new_label();
+        m.bind(outer_start);
+        m.bind(inner_start);
+        m.iconst(1).iconst(0).idiv().ireturn();
+        m.bind(inner_end);
+        m.bind(outer_end);
+        m.bind(inner_h);
+        m.pop().iconst(1).ireturn(); // inner handler
+        m.bind(outer_h);
+        m.pop().iconst(2).ireturn(); // outer handler
+        // Inner region listed first: the table is searched in order.
+        m.try_region(inner_start, inner_end, inner_h, Some("java/lang/ArithmeticException"));
+        m.try_region(outer_start, outer_end, outer_h, None);
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&class);
+    let r = vm.call_static("e/N", "f", "()I", vec![]).unwrap().unwrap();
+    assert_eq!(r, Value::Int(1), "inner (first-listed) handler must win");
+}
+
+#[test]
+fn handler_rethrow_reaches_outer_handler_in_caller() {
+    // callee: catch-all that rethrows; caller catches.
+    let mut cb = ClassBuilder::new("e/R");
+    let mut m = cb.method("callee", "()V", ST);
+    let s = m.new_label();
+    let e = m.new_label();
+    let h = m.new_label();
+    m.bind(s);
+    m.iconst(3).iconst(0).irem().pop().ret_void();
+    m.bind(e);
+    m.bind(h);
+    m.athrow();
+    m.try_region(s, e, h, None);
+    m.finish().unwrap();
+    let mut m = cb.method("caller", "()I", ST);
+    let s = m.new_label();
+    let e = m.new_label();
+    let h = m.new_label();
+    m.bind(s);
+    m.invokestatic("e/R", "callee", "()V");
+    m.iconst(0).ireturn();
+    m.bind(e);
+    m.bind(h);
+    m.pop().iconst(5).ireturn();
+    m.try_region(s, e, h, Some("java/lang/ArithmeticException"));
+    m.finish().unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&cb.finish().unwrap());
+    let r = vm.call_static("e/R", "caller", "()I", vec![]).unwrap().unwrap();
+    assert_eq!(r, Value::Int(5));
+}
+
+#[test]
+fn inherited_methods_resolve_through_super() {
+    let mut a = ClassBuilder::new("e/Base");
+    let mut m = a.method("answer", "()I", MethodFlags::PUBLIC);
+    m.iconst(42).ireturn();
+    m.finish().unwrap();
+    let a = a.finish().unwrap();
+    let b = ClassBuilder::new("e/Derived");
+    let mut b = b;
+    b.extends("e/Base");
+    let b = b.finish().unwrap();
+    let main = single_method_class("e/M", "f", "()I", |m| {
+        m.new_obj("e/Derived").invokevirtual("e/Derived", "answer", "()I");
+        m.ireturn();
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&a);
+    vm.add_classfile(&b);
+    vm.add_classfile(&main);
+    let r = vm.call_static("e/M", "f", "()I", vec![]).unwrap().unwrap();
+    assert_eq!(r, Value::Int(42));
+}
+
+#[test]
+fn field_shadowing_resolves_to_most_derived() {
+    let mut a = ClassBuilder::new("e/FA");
+    a.field("v", "I", FieldFlags::PUBLIC).unwrap();
+    let a = a.finish().unwrap();
+    let mut b = ClassBuilder::new("e/FB");
+    b.extends("e/FA");
+    b.field("v", "I", FieldFlags::PUBLIC).unwrap(); // shadows
+    let b = b.finish().unwrap();
+    let main = single_method_class("e/FM", "f", "()I", |m| {
+        m.new_obj("e/FB").astore(0);
+        m.aload(0).iconst(9).putfield("e/FB", "v", "I");
+        m.aload(0).getfield("e/FB", "v", "I").ireturn();
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&a);
+    vm.add_classfile(&b);
+    vm.add_classfile(&main);
+    let r = vm.call_static("e/FM", "f", "()I", vec![]).unwrap().unwrap();
+    assert_eq!(r, Value::Int(9));
+}
+
+#[test]
+fn clinit_exception_is_a_linkage_error() {
+    let mut cb = ClassBuilder::new("e/BadInit");
+    let mut m = cb.method("<clinit>", "()V", ST);
+    m.iconst(1).iconst(0).idiv().pop().ret_void();
+    m.finish().unwrap();
+    let mut m = cb.method("f", "()I", ST);
+    m.iconst(1).ireturn();
+    m.finish().unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&cb.finish().unwrap());
+    let err = vm.call_static("e/BadInit", "f", "()I", vec![]).unwrap_err();
+    assert!(err.to_string().contains("<clinit>"), "{err}");
+}
+
+#[test]
+fn aliasing_arraycopy_behaves_like_memmove() {
+    let class = single_method_class("e/AC", "f", "()I", |m| {
+        // a = [0,1,2,3,4,5,6,7]; arraycopy(a,0,a,1,6); return a[1]*10+a[7]
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(8).newarray(ArrayKind::Int).astore(0);
+        m.iconst(0).istore(1);
+        m.bind(top);
+        m.iload(1).iconst(8).if_icmp(Cond::Ge, done);
+        m.aload(0).iload(1).iload(1).iastore();
+        m.iinc(1, 1);
+        m.goto(top);
+        m.bind(done);
+        m.aload(0).iconst(0).aload(0).iconst(1).iconst(6);
+        m.invokestatic("java/lang/System", "arraycopy", "([II[III)V");
+        m.aload(0).iconst(1).iaload().iconst(10).imul();
+        m.aload(0).iconst(7).iaload().iadd();
+        m.ireturn();
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    builtins::install(&mut vm);
+    vm.add_classfile(&class);
+    let r = vm.call_static("e/AC", "f", "()I", vec![]).unwrap().unwrap();
+    // Copy-out-then-in semantics: a[1] = old a[0] = 0; a[7] untouched = 7.
+    assert_eq!(r, Value::Int(7));
+}
+
+#[test]
+fn string_builtin_corner_cases() {
+    let class = single_method_class("e/S", "f", "()I", |m| {
+        // substring out of range must throw; catch and return charAt of an
+        // interned concat instead.
+        let s = m.new_label();
+        let e = m.new_label();
+        let h = m.new_label();
+        m.bind(s);
+        m.ldc_str("abc").iconst(1).iconst(99);
+        m.invokestatic(
+            "java/lang/String",
+            "substring",
+            "(Ljava/lang/String;II)Ljava/lang/String;",
+        );
+        m.pop().iconst(0).ireturn();
+        m.bind(e);
+        m.bind(h);
+        m.pop();
+        m.ldc_str("ab").ldc_str("cd");
+        m.invokestatic(
+            "java/lang/String",
+            "concat",
+            "(Ljava/lang/String;Ljava/lang/String;)Ljava/lang/String;",
+        );
+        m.iconst(2);
+        m.invokestatic("java/lang/String", "charAt", "(Ljava/lang/String;I)I");
+        m.ireturn();
+        m.try_region(s, e, h, None);
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    builtins::install(&mut vm);
+    vm.add_classfile(&class);
+    let r = vm.call_static("e/S", "f", "()I", vec![]).unwrap().unwrap();
+    assert_eq!(r, Value::Int(i64::from(b'c')));
+}
+
+#[test]
+fn equals_and_hashcode_builtins() {
+    let class = single_method_class("e/Eq", "f", "()I", |m| {
+        // equals("x","x")*2 + equals("x","y") + (hash("")==0)
+        m.ldc_str("x").ldc_str("x");
+        m.invokestatic(
+            "java/lang/String",
+            "equals",
+            "(Ljava/lang/String;Ljava/lang/String;)I",
+        );
+        m.iconst(2).imul();
+        m.ldc_str("x").ldc_str("y");
+        m.invokestatic(
+            "java/lang/String",
+            "equals",
+            "(Ljava/lang/String;Ljava/lang/String;)I",
+        );
+        m.iadd();
+        m.ldc_str("");
+        m.invokestatic("java/lang/String", "hashCode", "(Ljava/lang/String;)I");
+        m.iadd();
+        m.ireturn();
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    builtins::install(&mut vm);
+    vm.add_classfile(&class);
+    let r = vm.call_static("e/Eq", "f", "()I", vec![]).unwrap().unwrap();
+    assert_eq!(r, Value::Int(2));
+}
+
+#[test]
+fn iinc_wraps_like_iadd() {
+    let class = single_method_class("e/W", "f", "(I)I", |m| {
+        m.iinc(0, i32::MAX);
+        m.iinc(0, i32::MAX);
+        m.iload(0).ireturn();
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&class);
+    let r = vm
+        .call_static("e/W", "f", "(I)I", vec![Value::Int(i64::MAX - 100)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        r,
+        Value::Int((i64::MAX - 100).wrapping_add(2 * i64::from(i32::MAX)))
+    );
+}

@@ -1,0 +1,214 @@
+//! Property test: the interpreter computes what the bytecode says.
+//!
+//! Random integer expression trees are compiled to bytecode with the
+//! assembler and evaluated both by a reference Rust evaluator and by the
+//! VM; results must agree exactly (including wrapping arithmetic and
+//! division-by-zero exceptions). Additionally, JIT state must never change
+//! results: interpreted-only and JIT-enabled runs agree.
+
+use jvmsim_classfile::builder::{ClassBuilder, MethodBuilder};
+use jvmsim_classfile::MethodFlags;
+use jvmsim_vm::{Value, Vm};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Expr {
+    Const(i64),
+    Arg(u8), // 0..3
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    Div(Box<Expr>, Box<Expr>),
+    Rem(Box<Expr>, Box<Expr>),
+    Neg(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    // if a >= b { c } else { d }
+    IfGe(Box<Expr>, Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+/// Reference semantics; `None` models a thrown ArithmeticException.
+fn eval(e: &Expr, args: &[i64; 3]) -> Option<i64> {
+    Some(match e {
+        Expr::Const(c) => *c,
+        Expr::Arg(i) => args[*i as usize % 3],
+        Expr::Add(a, b) => eval(a, args)?.wrapping_add(eval(b, args)?),
+        Expr::Sub(a, b) => eval(a, args)?.wrapping_sub(eval(b, args)?),
+        Expr::Mul(a, b) => eval(a, args)?.wrapping_mul(eval(b, args)?),
+        Expr::Div(a, b) => {
+            let (x, y) = (eval(a, args)?, eval(b, args)?);
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_div(y)
+        }
+        Expr::Rem(a, b) => {
+            let (x, y) = (eval(a, args)?, eval(b, args)?);
+            if y == 0 {
+                return None;
+            }
+            x.wrapping_rem(y)
+        }
+        Expr::Neg(a) => eval(a, args)?.wrapping_neg(),
+        Expr::And(a, b) => eval(a, args)? & eval(b, args)?,
+        Expr::Or(a, b) => eval(a, args)? | eval(b, args)?,
+        Expr::Xor(a, b) => eval(a, args)? ^ eval(b, args)?,
+        Expr::IfGe(a, b, c, d) => {
+            if eval(a, args)? >= eval(b, args)? {
+                eval(c, args)?
+            } else {
+                eval(d, args)?
+            }
+        }
+    })
+}
+
+/// Compile the expression onto the operand stack.
+fn compile(e: &Expr, m: &mut MethodBuilder<'_>) {
+    match e {
+        Expr::Const(c) => {
+            m.iconst(*c);
+        }
+        Expr::Arg(i) => {
+            m.iload(u16::from(*i % 3));
+        }
+        Expr::Add(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.iadd();
+        }
+        Expr::Sub(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.isub();
+        }
+        Expr::Mul(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.imul();
+        }
+        Expr::Div(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.idiv();
+        }
+        Expr::Rem(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.irem();
+        }
+        Expr::Neg(a) => {
+            compile(a, m);
+            m.ineg();
+        }
+        Expr::And(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.iand();
+        }
+        Expr::Or(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.ior();
+        }
+        Expr::Xor(a, b) => {
+            compile(a, m);
+            compile(b, m);
+            m.ixor();
+        }
+        Expr::IfGe(a, b, c, d) => {
+            let else_l = m.new_label();
+            let end_l = m.new_label();
+            compile(a, m);
+            compile(b, m);
+            m.if_icmp(jvmsim_classfile::Cond::Lt, else_l);
+            compile(c, m);
+            m.goto(end_l);
+            m.bind(else_l);
+            compile(d, m);
+            m.bind(end_l);
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Expr::Const),
+        (0u8..3).prop_map(Expr::Arg),
+    ];
+    leaf.prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Add(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Sub(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Mul(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Div(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Rem(a.into(), b.into())),
+            inner.clone().prop_map(|a| Expr::Neg(a.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::And(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Or(a.into(), b.into())),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Xor(a.into(), b.into())),
+            (inner.clone(), inner.clone(), inner.clone(), inner)
+                .prop_map(|(a, b, c, d)| Expr::IfGe(a.into(), b.into(), c.into(), d.into())),
+        ]
+    })
+}
+
+fn run_in_vm(expr: &Expr, args: [i64; 3], jit: bool) -> Result<i64, String> {
+    let mut cb = ClassBuilder::new("pt/Expr");
+    let mut m = cb.method("eval", "(III)I", MethodFlags::STATIC);
+    compile(expr, &mut m);
+    m.ireturn();
+    m.finish().map_err(|e| e.to_string())?;
+    let class = cb.finish().map_err(|e| e.to_string())?;
+    let mut vm = Vm::new();
+    vm.set_jit_requested(jit);
+    vm.add_classfile(&class);
+    let result = vm
+        .call_static(
+            "pt/Expr",
+            "eval",
+            "(III)I",
+            args.iter().map(|&a| Value::Int(a)).collect(),
+        )
+        .map_err(|e| e.to_string())?;
+    match result {
+        Ok(Value::Int(v)) => Ok(v),
+        Ok(other) => Err(format!("non-int result {other:?}")),
+        Err(info) => Err(info.class_name),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn interpreter_matches_reference_semantics(
+        expr in arb_expr(),
+        a in -100i64..100,
+        b in -100i64..100,
+        c in -100i64..100,
+    ) {
+        let args = [a, b, c];
+        let expected = eval(&expr, &args);
+        let got = run_in_vm(&expr, args, true);
+        match (expected, got) {
+            (Some(v), Ok(w)) => prop_assert_eq!(v, w),
+            (None, Err(class)) => {
+                prop_assert_eq!(class, "java/lang/ArithmeticException".to_owned());
+            }
+            (exp, got) => prop_assert!(false, "mismatch: expected {:?}, got {:?}", exp, got),
+        }
+    }
+
+    #[test]
+    fn jit_never_changes_results(
+        expr in arb_expr(),
+        a in -100i64..100,
+    ) {
+        let args = [a, a ^ 3, a.wrapping_mul(7)];
+        let jit = run_in_vm(&expr, args, true);
+        let interp = run_in_vm(&expr, args, false);
+        prop_assert_eq!(jit, interp);
+    }
+}

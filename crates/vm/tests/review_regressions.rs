@@ -1,0 +1,226 @@
+//! Regression tests for defects found in code review: sampler termination,
+//! JNI arity safety, clinit thread attribution, call-kind/static mismatch,
+//! thread-local linkage failures, and shadowed-field resolution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jvmsim_classfile::builder::{single_method_class, ClassBuilder};
+use jvmsim_classfile::{Cond, FieldFlags, MethodFlags};
+use jvmsim_vm::events::SampleSink;
+use jvmsim_vm::jni::{JniRetType, ParamStyle};
+use jvmsim_vm::{builtins, NativeLibrary, ThreadId, Value, Vm};
+
+const ST: MethodFlags = MethodFlags::STATIC;
+
+struct CountSink(AtomicU64);
+impl SampleSink for CountSink {
+    fn sample(&self, _t: ThreadId, _n: bool) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn sampler_terminates_when_interval_is_below_dispatch_cost() {
+    // interval (50) < sample_dispatch (400): every delivered sample pushes
+    // the clock past several further due-points; the poll must still
+    // terminate (it samples against a snapshot of the clock).
+    let class = single_method_class("r/S", "main", "()I", |m| {
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(2_000).istore(0);
+        m.bind(top);
+        m.iload(0).if_(Cond::Le, done);
+        m.iinc(0, -1).goto(top);
+        m.bind(done);
+        m.iconst(0).ireturn();
+    })
+    .unwrap();
+    let sink = Arc::new(CountSink(AtomicU64::new(0)));
+    let mut vm = Vm::new();
+    vm.add_classfile(&class);
+    vm.set_sampler(50, Arc::clone(&sink) as Arc<dyn SampleSink>);
+    let outcome = vm.run("r/S", "main", "()I", vec![]).unwrap();
+    assert!(outcome.main.is_ok());
+    assert!(sink.0.load(Ordering::Relaxed) > 0);
+    assert_eq!(outcome.stats.samples_taken, sink.0.load(Ordering::Relaxed));
+}
+
+#[test]
+fn jni_arity_mismatch_is_a_java_error_not_a_panic() {
+    let mut cb = ClassBuilder::new("r/A");
+    cb.native_method("go", "()V", ST).unwrap();
+    let mut m = cb.method("target", "()I", ST);
+    m.iconst(1).ireturn();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "()V", ST);
+    m.invokestatic("r/A", "go", "()V").ret_void();
+    m.finish().unwrap();
+    let mut lib = NativeLibrary::new("r");
+    lib.register_method("r/A", "go", |env, _| {
+        // Two args against a zero-arg method.
+        env.call_static(
+            JniRetType::Int,
+            ParamStyle::Varargs,
+            "r/A",
+            "target",
+            "()I",
+            &[Value::Int(1), Value::Int(2)],
+        )?;
+        Ok(Value::Null)
+    });
+    let mut vm = Vm::new();
+    vm.add_classfile(&cb.finish().unwrap());
+    vm.register_native_library(lib, true);
+    let err = vm.call_static("r/A", "main", "()V", vec![]).unwrap().unwrap_err();
+    assert_eq!(err.class_name, "java/lang/InternalError");
+    assert!(err.message.unwrap().contains("expected 0"));
+}
+
+#[test]
+fn clinit_cycles_charge_the_loading_thread() {
+    // Worker thread is the first user of r/Lazy (heavy <clinit>); its
+    // cycles must land on the worker's clock, not main's.
+    let mut lazy = ClassBuilder::new("r/Lazy");
+    lazy.field("seed", "I", FieldFlags::STATIC).unwrap();
+    let mut m = lazy.method("<clinit>", "()V", ST);
+    let top = m.new_label();
+    let done = m.new_label();
+    m.iconst(50_000).istore(0);
+    m.bind(top);
+    m.iload(0).if_(Cond::Le, done);
+    m.iinc(0, -1).goto(top);
+    m.bind(done);
+    m.iconst(7).putstatic("r/Lazy", "seed", "I");
+    m.ret_void();
+    m.finish().unwrap();
+    let lazy = lazy.finish().unwrap();
+
+    let mut cb = ClassBuilder::new("r/Main");
+    let mut m = cb.method("worker", "(I)V", ST);
+    m.getstatic("r/Lazy", "seed", "I").pop().ret_void();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "()V", ST);
+    m.ldc_str("w").ldc_str("r/Main").ldc_str("worker").iconst(0);
+    m.invokestatic(
+        "java/lang/Threads",
+        "start",
+        "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V",
+    );
+    m.ret_void();
+    m.finish().unwrap();
+
+    let mut vm = Vm::new();
+    builtins::install(&mut vm);
+    vm.add_classfile(&lazy);
+    vm.add_classfile(&cb.finish().unwrap());
+    let outcome = vm.run("r/Main", "main", "()V", vec![]).unwrap();
+    assert_eq!(outcome.threads.len(), 2);
+    let main_cycles = outcome.threads[0].cycles;
+    let worker_cycles = outcome.threads[1].cycles;
+    assert!(
+        worker_cycles > main_cycles,
+        "clinit (~400k cycles) must be on the worker: main {main_cycles}, worker {worker_cycles}"
+    );
+}
+
+#[test]
+fn invokestatic_of_instance_method_throws() {
+    let mut cb = ClassBuilder::new("r/K");
+    let mut m = cb.method("inst", "()I", MethodFlags::PUBLIC); // instance!
+    m.iconst(1).ireturn();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "()I", ST);
+    m.invokestatic("r/K", "inst", "()I").ireturn();
+    m.finish().unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&cb.finish().unwrap());
+    let err = vm.call_static("r/K", "main", "()I", vec![]).unwrap().unwrap_err();
+    assert_eq!(err.class_name, "java/lang/NoSuchMethodError");
+    assert!(err.message.unwrap().contains("invokestatic of instance method"));
+}
+
+#[test]
+fn invokevirtual_of_static_method_throws() {
+    let mut cb = ClassBuilder::new("r/V");
+    let mut m = cb.method("stat", "()I", ST);
+    m.iconst(1).ireturn();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "()I", ST);
+    m.new_obj("r/V").invokevirtual("r/V", "stat", "()I").ireturn();
+    m.finish().unwrap();
+    let mut vm = Vm::new();
+    vm.add_classfile(&cb.finish().unwrap());
+    let err = vm.call_static("r/V", "main", "()I", vec![]).unwrap().unwrap_err();
+    assert_eq!(err.class_name, "java/lang/NoSuchMethodError");
+    assert!(err.message.unwrap().contains("invokevirtual of static method"));
+}
+
+#[test]
+fn spawned_thread_linkage_error_is_thread_local() {
+    let class = single_method_class("r/T", "main", "()I", |m| {
+        m.ldc_str("bad").ldc_str("no/Such").ldc_str("run").iconst(0);
+        m.invokestatic(
+            "java/lang/Threads",
+            "start",
+            "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V",
+        );
+        m.iconst(42).ireturn();
+    })
+    .unwrap();
+    let mut vm = Vm::new();
+    builtins::install(&mut vm);
+    vm.add_classfile(&class);
+    let outcome = vm.run("r/T", "main", "()I", vec![]).unwrap();
+    // Main's result survives; the bad thread records its failure.
+    assert_eq!(outcome.main.unwrap(), Value::Int(42));
+    assert_eq!(outcome.threads.len(), 2);
+    let bad = outcome.threads[1].result.as_ref().unwrap_err();
+    assert_eq!(bad.class_name, "java/lang/NoClassDefFoundError");
+}
+
+#[test]
+fn superclass_methods_keep_their_own_shadowed_field() {
+    // Super declares x and inc() { this.x += 1 } referencing Super.x;
+    // Sub shadows x. inc() on a Sub must mutate Super's slot, and Sub's
+    // own accessor must see Sub's slot untouched.
+    let mut sup = ClassBuilder::new("r/Super");
+    sup.field("x", "I", FieldFlags::PUBLIC).unwrap();
+    let mut m = sup.method("inc", "()V", MethodFlags::PUBLIC);
+    m.aload(0);
+    m.aload(0).getfield("r/Super", "x", "I").iconst(1).iadd();
+    m.putfield("r/Super", "x", "I");
+    m.ret_void();
+    m.finish().unwrap();
+    let mut m = sup.method("superX", "()I", MethodFlags::PUBLIC);
+    m.aload(0).getfield("r/Super", "x", "I").ireturn();
+    m.finish().unwrap();
+    let sup = sup.finish().unwrap();
+
+    let mut sub = ClassBuilder::new("r/Sub");
+    sub.extends("r/Super");
+    sub.field("x", "I", FieldFlags::PUBLIC).unwrap(); // shadow
+    let mut m = sub.method("subX", "()I", MethodFlags::PUBLIC);
+    m.aload(0).getfield("r/Sub", "x", "I").ireturn();
+    m.finish().unwrap();
+    let sub = sub.finish().unwrap();
+
+    let main = single_method_class("r/M", "main", "()I", |m| {
+        m.new_obj("r/Sub").astore(0);
+        // inc() twice through the inherited method.
+        m.aload(0).invokevirtual("r/Sub", "inc", "()V");
+        m.aload(0).invokevirtual("r/Sub", "inc", "()V");
+        // result = superX * 10 + subX  → 2 * 10 + 0 = 20
+        m.aload(0).invokevirtual("r/Sub", "superX", "()I").iconst(10).imul();
+        m.aload(0).invokevirtual("r/Sub", "subX", "()I").iadd();
+        m.ireturn();
+    })
+    .unwrap();
+
+    let mut vm = Vm::new();
+    vm.add_classfile(&sup);
+    vm.add_classfile(&sub);
+    vm.add_classfile(&main);
+    let r = vm.call_static("r/M", "main", "()I", vec![]).unwrap().unwrap();
+    assert_eq!(r, Value::Int(20), "Super.inc must touch Super.x, not Sub.x");
+}

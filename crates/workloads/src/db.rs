@@ -1,0 +1,306 @@
+//! `db` — in-memory database (SPEC JVM98 `_209_db` analog).
+//!
+//! Loads a table of records, then executes a deterministic stream of
+//! lookup / insert / scan / sort operations over parallel arrays. The
+//! methods are *large* (whole binary searches and sort passes inline), so
+//! method-call density is the lowest in the suite — which is why the paper
+//! measures db's smallest SPA overhead (1 527 %) — and almost everything is
+//! bytecode: db has the suite's lowest native share (0.84 %). The only
+//! native work is the initial bulk load and `System.arraycopy` on inserts.
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{ArrayKind, Cond, MethodFlags};
+use jvmsim_vm::NativeLibrary;
+
+use crate::{Workload, WorkloadProgram};
+
+const CLASS: &str = "spec/jvm98/Db";
+const ST: MethodFlags = MethodFlags::PUBLIC.with(MethodFlags::STATIC);
+const TABLE: i64 = 2048;
+
+/// The `db` workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Db;
+
+#[allow(clippy::too_many_lines)]
+fn build_class() -> jvmsim_classfile::ClassFile {
+    let mut cb = ClassBuilder::new(CLASS);
+
+    // nextRand(state) — xorshift step, pure bytecode.
+    {
+        let mut m = cb.method("nextRand", "(I)I", ST);
+        m.iload(0).iload(0).iconst(13).ishl().ixor().istore(0);
+        m.iload(0).iload(0).iconst(7).iushr().ixor().istore(0);
+        m.iload(0).iload(0).iconst(17).ishl().ixor().istore(0);
+        m.iload(0).ireturn();
+        m.finish().unwrap();
+    }
+
+    // lookup(keys, n, key) — full binary search, inline (big method).
+    {
+        let mut m = cb.method("lookup", "([III)I", ST);
+        // locals: 0 keys, 1 n, 2 key, 3 lo, 4 hi, 5 mid, 6 v
+        let top = m.new_label();
+        let done = m.new_label();
+        let go_right = m.new_label();
+        let found = m.new_label();
+        m.iconst(0).istore(3);
+        m.iload(1).iconst(1).isub().istore(4);
+        m.bind(top);
+        m.iload(3).iload(4).if_icmp(Cond::Gt, done);
+        m.iload(3).iload(4).iadd().iconst(1).iushr().istore(5);
+        m.aload(0).iload(5).iaload().istore(6);
+        m.iload(6).iload(2).if_icmp(Cond::Eq, found);
+        m.iload(6).iload(2).if_icmp(Cond::Lt, go_right);
+        m.iload(5).iconst(1).isub().istore(4);
+        m.goto(top);
+        m.bind(go_right);
+        m.iload(5).iconst(1).iadd().istore(3);
+        m.goto(top);
+        m.bind(found);
+        m.iload(5).ireturn();
+        m.bind(done);
+        m.iload(3).ineg().iconst(1).isub().ireturn();
+        m.finish().unwrap();
+    }
+
+    // checkRow(vals, i) — periodic integrity probe inside scans (small
+    // method; db stays the least call-dense workload).
+    {
+        let mut m = cb.method("checkRow", "([II)I", ST);
+        m.aload(0).iload(1).iaload().iconst(5).imul();
+        m.iconst(16777215).iand().ireturn();
+        m.finish().unwrap();
+    }
+
+    // scan(vals, from, len) — range aggregation, inline.
+    {
+        let mut m = cb.method("scan", "([III)I", ST);
+        // locals: 0 vals, 1 from, 2 len, 3 i, 4 acc, 5 end
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iload(1).iload(2).iadd().istore(5);
+        m.iload(1).istore(3);
+        m.iconst(0).istore(4);
+        let no_check = m.new_label();
+        m.bind(top);
+        m.iload(3).iload(5).if_icmp(Cond::Ge, done);
+        m.iload(4).aload(0).iload(3).iaload().iadd();
+        m.iconst(16777215).iand().istore(4);
+        // every 16th row: integrity probe (method call)
+        m.iload(3).iconst(15).iand().iconst(0).if_icmp(Cond::Ne, no_check);
+        m.iload(4).aload(0).iload(3).invokestatic(CLASS, "checkRow", "([II)I");
+        m.iadd().iconst(16777215).iand().istore(4);
+        m.bind(no_check);
+        m.iinc(3, 1);
+        m.goto(top);
+        m.bind(done);
+        m.iload(4).ireturn();
+        m.finish().unwrap();
+    }
+
+    // sortPass(keys, vals, n, gap) — one shell-sort pass, inline.
+    {
+        let mut m = cb.method("sortPass", "([I[III)I", ST);
+        // locals: 0 keys, 1 vals, 2 n, 3 gap, 4 i, 5 j, 6 k, 7 v, 8 moves
+        let outer = m.new_label();
+        let outer_done = m.new_label();
+        let inner = m.new_label();
+        let inner_done = m.new_label();
+        m.iload(3).istore(4);
+        m.iconst(0).istore(8);
+        m.bind(outer);
+        m.iload(4).iload(2).if_icmp(Cond::Ge, outer_done);
+        m.aload(0).iload(4).iaload().istore(6);
+        m.aload(1).iload(4).iaload().istore(7);
+        m.iload(4).istore(5);
+        m.bind(inner);
+        m.iload(5).iload(3).if_icmp(Cond::Lt, inner_done);
+        m.aload(0).iload(5).iload(3).isub().iaload().iload(6);
+        m.if_icmp(Cond::Le, inner_done);
+        m.aload(0).iload(5);
+        m.aload(0).iload(5).iload(3).isub().iaload();
+        m.iastore();
+        m.aload(1).iload(5);
+        m.aload(1).iload(5).iload(3).isub().iaload();
+        m.iastore();
+        m.iinc(8, 1);
+        m.iload(5).iload(3).isub().istore(5);
+        m.goto(inner);
+        m.bind(inner_done);
+        m.aload(0).iload(5).iload(6).iastore();
+        m.aload(1).iload(5).iload(7).iastore();
+        m.iinc(4, 1);
+        m.goto(outer);
+        m.bind(outer_done);
+        m.iload(8).ireturn();
+        m.finish().unwrap();
+    }
+
+    // shellSort(keys, vals, n) — gap sequence driver.
+    {
+        let mut m = cb.method("shellSort", "([I[II)I", ST);
+        // locals: 0 keys, 1 vals, 2 n, 3 gap, 4 moves
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iload(2).iconst(2).idiv().istore(3);
+        m.iconst(0).istore(4);
+        m.bind(top);
+        m.iload(3).iconst(0).if_icmp(Cond::Le, done);
+        m.iload(4);
+        m.aload(0).aload(1).iload(2).iload(3);
+        m.invokestatic(CLASS, "sortPass", "([I[III)I");
+        m.iadd().istore(4);
+        m.iload(3).iconst(2).idiv().istore(3);
+        m.goto(top);
+        m.bind(done);
+        m.iload(4).ireturn();
+        m.finish().unwrap();
+    }
+
+    // main(size) -> checksum
+    {
+        let mut m = cb.method("main", "(I)I", ST);
+        // locals: 0 size, 1 ops, 2 keys, 3 vals, 4 n, 5 checksum,
+        //         6 op, 7 rng, 8 kind, 9 tmp, 10 fd, 11 idx
+        let at_least = m.new_label();
+        let load_top = m.new_label();
+        let load_done = m.new_label();
+        let op_top = m.new_label();
+        let op_done = m.new_label();
+        let k_lookup = m.new_label();
+        let k_insert = m.new_label();
+        let k_scan = m.new_label();
+        let k_sort = m.new_label();
+        let after = m.new_label();
+        let skip_sort = m.new_label();
+        let no_insert = m.new_label();
+
+        // ops = max(1, size * 70)
+        m.iload(0).iconst(70).imul().istore(1);
+        m.iload(1).iconst(1).if_icmp(Cond::Ge, at_least);
+        m.iconst(1).istore(1);
+        m.bind(at_least);
+        let tbl = TABLE;
+        m.iconst(tbl).newarray(ArrayKind::Int).astore(2);
+        m.iconst(tbl).newarray(ArrayKind::Int).astore(3);
+        // Bulk load from the native file layer.
+        m.ldc_str("db.table");
+        m.invokestatic("java/io/FileIO", "open", "(Ljava/lang/String;)I");
+        m.istore(10);
+        m.iload(10).aload(2).iconst(tbl);
+        m.invokestatic("java/io/FileIO", "read", "(I[II)I").pop();
+        m.iload(10).aload(3).iconst(tbl);
+        m.invokestatic("java/io/FileIO", "read", "(I[II)I").pop();
+        m.iload(10).invokestatic("java/io/FileIO", "close", "(I)V");
+        // Sort once so lookups work, then run the op stream.
+        m.aload(2).aload(3).iconst(tbl).invokestatic(CLASS, "shellSort", "([I[II)I").pop();
+        m.iconst(0).istore(5);
+        m.iconst(12345).istore(7);
+        m.iconst(0).istore(6);
+        // touch load counter loop (warms key distribution deterministically)
+        m.iconst(0).istore(9);
+        m.bind(load_top);
+        m.iload(9).iconst(0).if_icmp(Cond::Le, load_done);
+        m.iinc(9, -1);
+        m.goto(load_top);
+        m.bind(load_done);
+
+        m.bind(op_top);
+        m.iload(6).iload(1).if_icmp(Cond::Ge, op_done);
+        // Periodic re-sort: every 1024th op runs a full shell sort.
+        let not_sort_tick = m.new_label();
+        m.iload(6).iconst(1023).iand().iconst(512).if_icmp(Cond::Ne, not_sort_tick);
+        m.goto(k_sort);
+        m.bind(not_sort_tick);
+        m.iload(7).invokestatic(CLASS, "nextRand", "(I)I").istore(7);
+        // kind = (rng >>> 8) & 3 (kind 3 is a second scan flavour)
+        m.iload(7).iconst(8).iushr().iconst(3).iand().istore(8);
+        m.iload(8).tableswitch(0, &[k_lookup, k_insert, k_scan], k_scan);
+
+        m.bind(k_lookup);
+        m.aload(2).iconst(tbl).iload(7).iconst(65535).iand();
+        m.invokestatic(CLASS, "lookup", "([III)I");
+        m.istore(9);
+        m.goto(after);
+
+        m.bind(k_insert);
+        // overwrite-insert: find slot, shift a small window with native
+        // arraycopy, place key.
+        m.aload(2).iconst(tbl).iload(7).iconst(65535).iand();
+        m.invokestatic(CLASS, "lookup", "([III)I");
+        m.istore(11);
+        m.iload(11).iconst(0).if_icmp(Cond::Ge, no_insert);
+        m.iload(11).ineg().iconst(1).isub().istore(11);
+        m.bind(no_insert);
+        // clamp idx to [0, TABLE-65)
+        m.iload(11).iconst(tbl - 65).irem().istore(11);
+        m.iload(11).iconst(0).if_icmp(Cond::Ge, skip_sort); // reuse label? no
+        m.iload(11).ineg().istore(11);
+        m.bind(skip_sort);
+        m.aload(2).iload(11).aload(2).iload(11).iconst(1).iadd().iconst(64);
+        m.invokestatic("java/lang/System", "arraycopy", "([II[III)V");
+        m.aload(2).iload(11).iload(7).iconst(65535).iand().iastore();
+        m.iload(11).istore(9);
+        m.goto(after);
+
+        m.bind(k_scan);
+        m.aload(3).iload(7).iconst(1023).iand().iconst(768);
+        m.invokestatic(CLASS, "scan", "([III)I");
+        m.istore(9);
+        m.goto(after);
+
+        m.bind(k_sort);
+        m.aload(2).aload(3).iconst(tbl).invokestatic(CLASS, "shellSort", "([I[II)I");
+        m.istore(9);
+        m.goto(after);
+
+        m.bind(after);
+        m.iload(5).iconst(31).imul().iload(9).iadd();
+        m.iconst(16777215).iand().istore(5);
+        m.iinc(6, 1);
+        m.goto(op_top);
+        m.bind(op_done);
+        m.iload(5).ireturn();
+        m.finish().unwrap();
+    }
+    cb.finish().unwrap()
+}
+
+impl Workload for Db {
+    fn name(&self) -> &'static str {
+        "db"
+    }
+
+    fn program(&self) -> WorkloadProgram {
+        WorkloadProgram {
+            classes: vec![build_class()],
+            libraries: vec![NativeLibrary::new("db")],
+            entry_class: CLASS.to_owned(),
+            entry_method: "main".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_reference, ProblemSize};
+
+    #[test]
+    fn deterministic() {
+        let (c1, _) = run_reference(&Db, ProblemSize::S1);
+        let (c2, _) = run_reference(&Db, ProblemSize::S1);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn lowest_native_share_and_coarse_methods() {
+        let (_, outcome) = run_reference(&Db, ProblemSize::S100);
+        let pct = 100.0 * outcome.stats.native_cycles as f64 / outcome.total_cycles as f64;
+        assert!(pct < 4.0, "db must be almost pure bytecode: {pct:.2}%");
+        // Coarse methods: average work per invocation is large.
+        let per_call = outcome.total_cycles / outcome.stats.invocations.max(1);
+        assert!(per_call > 100, "db methods must be coarse: {per_call} cy/call");
+    }
+}

@@ -1,0 +1,212 @@
+//! `jack` — parser generator (SPEC JVM98 `_228_jack` analog).
+//!
+//! Jack reads its grammar input **character by character through a native
+//! reader** — the behaviour that gives the real benchmark the suite's
+//! highest native method call count (5 M over 15 runs) and highest native
+//! share (20.26 %). Between characters, a tokenizer state machine and
+//! periodic grammar-closure computation run in bytecode.
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{ArrayKind, Cond, MethodFlags};
+use jvmsim_vm::jni::{JniRetType, ParamStyle};
+use jvmsim_vm::{NativeLibrary, Value};
+
+use crate::{Workload, WorkloadProgram};
+
+const CLASS: &str = "spec/jvm98/Jack";
+const ST: MethodFlags = MethodFlags::PUBLIC.with(MethodFlags::STATIC);
+
+/// The `jack` workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jack;
+
+#[allow(clippy::too_many_lines)]
+fn build_class() -> jvmsim_classfile::ClassFile {
+    let mut cb = ClassBuilder::new(CLASS);
+    cb.native_method("readChar", "(I)I", ST).unwrap();
+
+    // onToken(n) — JNI upcall target from the native reader.
+    {
+        let mut m = cb.method("onToken", "(I)I", ST);
+        m.iload(0).iconst(5).ishl().iload(0).ixor().ireturn();
+        m.finish().unwrap();
+    }
+
+    // step(state, ch) — tokenizer automaton transition (moderate method).
+    {
+        let mut m = cb.method("step", "(II)I", ST);
+        // next = (state * 5 + class(ch)) % 19 with a small decision tree
+        let ws = m.new_label();
+        let letter = m.new_label();
+        let done = m.new_label();
+        m.iload(1).iconst(32).if_icmp(Cond::Le, ws);
+        m.iload(1).iconst(64).if_icmp(Cond::Ge, letter);
+        m.iload(0).iconst(5).imul().iconst(2).iadd().istore(2);
+        m.goto(done);
+        m.bind(ws);
+        m.iload(0).iconst(5).imul().istore(2);
+        m.goto(done);
+        m.bind(letter);
+        m.iload(0).iconst(5).imul().iconst(1).iadd().istore(2);
+        m.bind(done);
+        m.iload(2).iconst(19).irem().ireturn();
+        m.finish().unwrap();
+    }
+
+    // mergeCell(a, b) — one closure cell merge (called on a sparse subset
+    // of cells; the closure pass remains a coarse method overall).
+    {
+        let mut m = cb.method("mergeCell", "(II)I", ST);
+        m.iload(0).iload(1).iconst(2).ishr().ixor().ireturn();
+        m.finish().unwrap();
+    }
+
+    // closure(sets, n) — grammar first/follow closure pass (big method).
+    {
+        let mut m = cb.method("closure", "([II)I", ST);
+        // locals: 0 sets, 1 n, 2 changed, 3 i, 4 j, 5 tmp
+        let outer = m.new_label();
+        let outer_done = m.new_label();
+        let inner = m.new_label();
+        let inner_done = m.new_label();
+        let no_change = m.new_label();
+        m.iconst(0).istore(2);
+        m.iconst(0).istore(3);
+        m.bind(outer);
+        m.iload(3).iload(1).if_icmp(Cond::Ge, outer_done);
+        m.iconst(0).istore(4);
+        m.bind(inner);
+        m.iload(4).iload(1).if_icmp(Cond::Ge, inner_done);
+        // sets[i] |= sets[j] when j divides into i's band
+        m.aload(0).iload(3).iaload();
+        m.aload(0).iload(4).iaload().iconst(1).ishr().ior().istore(5);
+        // every 16th cell goes through the merge helper
+        let plain = m.new_label();
+        m.iload(4).iconst(15).iand().iconst(0).if_icmp(Cond::Ne, plain);
+        m.iload(5).aload(0).iload(4).iaload();
+        m.invokestatic(CLASS, "mergeCell", "(II)I").istore(5);
+        m.bind(plain);
+        m.iload(5).aload(0).iload(3).iaload().if_icmp(Cond::Eq, no_change);
+        m.aload(0).iload(3).iload(5).iastore();
+        m.iinc(2, 1);
+        m.bind(no_change);
+        m.iinc(4, 1);
+        m.goto(inner);
+        m.bind(inner_done);
+        m.iinc(3, 1);
+        m.goto(outer);
+        m.bind(outer_done);
+        m.iload(2).ireturn();
+        m.finish().unwrap();
+    }
+
+    // main(size) -> checksum
+    {
+        let mut m = cb.method("main", "(I)I", ST);
+        // locals: 0 size, 1 chars, 2 state, 3 checksum, 4 i, 5 ch,
+        //         6 sets, 7 tokens
+        let at_least = m.new_label();
+        let top = m.new_label();
+        let done = m.new_label();
+        let no_reduce = m.new_label();
+        // chars = max(1, size * 220)
+        m.iload(0).iconst(220).imul().istore(1);
+        m.iload(1).iconst(1).if_icmp(Cond::Ge, at_least);
+        m.iconst(1).istore(1);
+        m.bind(at_least);
+        m.iconst(48).newarray(ArrayKind::Int).astore(6);
+        m.iconst(0).istore(2);
+        m.iconst(0).istore(3);
+        m.iconst(0).istore(7);
+        m.iconst(0).istore(4);
+        m.bind(top);
+        m.iload(4).iload(1).if_icmp(Cond::Ge, done);
+        // ch = readChar(i)     [native, per character!]
+        m.iload(4).invokestatic(CLASS, "readChar", "(I)I").istore(5);
+        // state = step(state, ch)
+        m.iload(2).iload(5).invokestatic(CLASS, "step", "(II)I").istore(2);
+        // seed the grammar sets from the live state
+        m.aload(6).iload(2).iconst(47).iand().iconst(19).irem();
+        m.iload(5).iastore();
+        // every 48 chars: a token completes; run a closure pass
+        m.iload(4).iconst(48).irem().iconst(47).if_icmp(Cond::Ne, no_reduce);
+        m.iinc(7, 1);
+        m.iload(3).iconst(31).imul();
+        m.aload(6).iconst(48).invokestatic(CLASS, "closure", "([II)I");
+        m.iadd().iconst(16777215).iand().istore(3);
+        m.bind(no_reduce);
+        m.iload(3).iload(5).iadd().iconst(16777215).iand().istore(3);
+        m.iinc(4, 1);
+        m.goto(top);
+        m.bind(done);
+        m.iload(3).iload(7).iconst(7).ishl().ixor().ireturn();
+        m.finish().unwrap();
+    }
+    cb.finish().unwrap()
+}
+
+fn build_library() -> NativeLibrary {
+    let mut lib = NativeLibrary::new("jack");
+    lib.register_method(CLASS, "readChar", move |env, args| {
+        // One character of buffered native input: the reader refills and
+        // decodes from its internal buffer.
+        env.work(290);
+        let i = args[0].as_int();
+        let mut x = (i.wrapping_mul(1103515245).wrapping_add(12345) >> 8) & 0x7F;
+        if x < 32 {
+            x += 32;
+        }
+        // Every 2048 characters the reader reports progress via JNI.
+        if i > 0 && i % 512 == 0 {
+            let r = env.call_static(
+                JniRetType::Int,
+                ParamStyle::VaList,
+                CLASS,
+                "onToken",
+                "(I)I",
+                &[Value::Int(i)],
+            )?;
+            x ^= r.as_int() & 0xF;
+        }
+        Ok(Value::Int(x))
+    });
+    lib
+}
+
+impl Workload for Jack {
+    fn name(&self) -> &'static str {
+        "jack"
+    }
+
+    fn program(&self) -> WorkloadProgram {
+        WorkloadProgram {
+            classes: vec![build_class()],
+            libraries: vec![build_library()],
+            entry_class: CLASS.to_owned(),
+            entry_method: "main".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_reference, ProblemSize};
+
+    #[test]
+    fn deterministic() {
+        let (c1, _) = run_reference(&Jack, ProblemSize::S1);
+        let (c2, _) = run_reference(&Jack, ProblemSize::S1);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn highest_native_call_count_in_suite() {
+        let (_, outcome) = run_reference(&Jack, ProblemSize::S100);
+        // One native call per character.
+        assert_eq!(outcome.stats.native_calls, 22_000);
+        assert!(outcome.stats.jni_upcalls >= 9);
+        let pct = 100.0 * outcome.stats.native_cycles as f64 / outcome.total_cycles as f64;
+        assert!(pct > 10.0 && pct < 40.0, "native share {pct:.2}%");
+    }
+}

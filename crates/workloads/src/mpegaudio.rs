@@ -1,0 +1,162 @@
+//! `mpegaudio` — audio frame decoder (SPEC JVM98 `_222_mpegaudio` analog).
+//!
+//! Per frame: read a coded block through native I/O, derive filter
+//! coefficients with native `Math` transcendentals (the JDK's `sin`/`cos`
+//! are native), then run the polyphase filter bank in pure-float bytecode
+//! with a small per-sample helper method. Numeric bytecode dominates, so
+//! the native share is tiny (paper: 0.95 %).
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{ArrayKind, Cond, MethodFlags};
+use jvmsim_vm::NativeLibrary;
+
+use crate::{Workload, WorkloadProgram};
+
+const CLASS: &str = "spec/jvm98/MpegAudio";
+const ST: MethodFlags = MethodFlags::PUBLIC.with(MethodFlags::STATIC);
+
+/// The `mpegaudio` workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MpegAudio;
+
+#[allow(clippy::too_many_lines)]
+fn build_class() -> jvmsim_classfile::ClassFile {
+    let mut cb = ClassBuilder::new(CLASS);
+
+    // filterStep(sample, coeff) — the per-sample float helper.
+    {
+        let mut m = cb.method("filterStep", "(FF)F", ST);
+        m.fload(0).fload(1).fmul();
+        m.fload(0).fconst(0.5).fmul().fadd();
+        m.fload(1).fsub();
+        m.freturn();
+        m.finish().unwrap();
+    }
+
+    // window(x) — second small float helper.
+    {
+        let mut m = cb.method("window", "(F)F", ST);
+        m.fload(0).fload(0).fmul().fconst(0.159).fmul();
+        m.fload(0).fadd();
+        m.freturn();
+        m.finish().unwrap();
+    }
+
+    // decodeBand(buf, n, coeff) -> energy: per-sample helper calls.
+    {
+        let mut m = cb.method("decodeBand", "([IIF)F", ST);
+        // locals: 0 buf, 1 n, 2 coeff(F), 3 i, 4 acc(F), 5 s(F)
+        let top = m.new_label();
+        let done = m.new_label();
+        m.iconst(0).istore(3);
+        m.fconst(0.0).fstore(4);
+        m.bind(top);
+        m.iload(3).iload(1).if_icmp(Cond::Ge, done);
+        // s = (float) buf[i]
+        m.aload(0).iload(3).iaload().i2f().fstore(5);
+        // acc += window(filterStep(s, coeff))
+        m.fload(4);
+        m.fload(5).fload(2).invokestatic(CLASS, "filterStep", "(FF)F");
+        m.invokestatic(CLASS, "window", "(F)F");
+        m.fadd().fstore(4);
+        m.iinc(3, 1);
+        m.goto(top);
+        m.bind(done);
+        m.fload(4).freturn();
+        m.finish().unwrap();
+    }
+
+    // main(size) -> checksum
+    {
+        let mut m = cb.method("main", "(I)I", ST);
+        // locals: 0 size, 1 frames, 2 fd, 3 buf, 4 f, 5 coeff(F),
+        //         6 e(F), 7 checksum, 8 band
+        let at_least = m.new_label();
+        let top = m.new_label();
+        let done = m.new_label();
+        let band_top = m.new_label();
+        let band_done = m.new_label();
+        // frames = max(1, size)
+        m.iload(0).istore(1);
+        m.iload(1).iconst(1).if_icmp(Cond::Ge, at_least);
+        m.iconst(1).istore(1);
+        m.bind(at_least);
+        m.ldc_str("audio.mp3");
+        m.invokestatic("java/io/FileIO", "open", "(Ljava/lang/String;)I");
+        m.istore(2);
+        m.iconst(1024).newarray(ArrayKind::Int).astore(3);
+        m.iconst(0).istore(7);
+        m.iconst(0).istore(4);
+        m.bind(top);
+        m.iload(4).iload(1).if_icmp(Cond::Ge, done);
+        // read coded frame (native)
+        m.iload(2).aload(3).iconst(512);
+        m.invokestatic("java/io/FileIO", "read", "(I[II)I").pop();
+        // three sub-bands
+        m.iconst(0).istore(8);
+        m.bind(band_top);
+        m.iload(8).iconst(3).if_icmp(Cond::Ge, band_done);
+        // coeff = cos(f * 0.1 + band) + sin(band * 0.2)   [2 natives]
+        m.iload(4).i2f().fconst(0.1).fmul();
+        m.iload(8).i2f().fadd();
+        m.invokestatic("java/lang/Math", "cos", "(F)F");
+        m.iload(8).i2f().fconst(0.2).fmul();
+        m.invokestatic("java/lang/Math", "sin", "(F)F");
+        m.fadd().fstore(5);
+        // two filter passes over the frame
+        m.aload(3).iconst(512).fload(5).invokestatic(CLASS, "decodeBand", "([IIF)F");
+        m.aload(3).iconst(512).fload(5).fconst(1.5).fadd();
+        m.invokestatic(CLASS, "decodeBand", "([IIF)F");
+        m.fadd().fstore(6);
+        // checksum = (checksum * 31 + (int) e) & 0xFFFFFF
+        m.iload(7).iconst(31).imul();
+        m.fload(6).f2i().iadd();
+        m.iconst(16777215).iand().istore(7);
+        m.iinc(8, 1);
+        m.goto(band_top);
+        m.bind(band_done);
+        m.iinc(4, 1);
+        m.goto(top);
+        m.bind(done);
+        m.iload(2).invokestatic("java/io/FileIO", "close", "(I)V");
+        m.iload(7).ireturn();
+        m.finish().unwrap();
+    }
+    cb.finish().unwrap()
+}
+
+impl Workload for MpegAudio {
+    fn name(&self) -> &'static str {
+        "mpegaudio"
+    }
+
+    fn program(&self) -> WorkloadProgram {
+        WorkloadProgram {
+            classes: vec![build_class()],
+            libraries: vec![NativeLibrary::new("mpegaudio")],
+            entry_class: CLASS.to_owned(),
+            entry_method: "main".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_reference, ProblemSize};
+
+    #[test]
+    fn deterministic() {
+        let (c1, _) = run_reference(&MpegAudio, ProblemSize::S1);
+        let (c2, _) = run_reference(&MpegAudio, ProblemSize::S1);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn tiny_native_share() {
+        let (_, outcome) = run_reference(&MpegAudio, ProblemSize::S100);
+        let pct = 100.0 * outcome.stats.native_cycles as f64 / outcome.total_cycles as f64;
+        assert!(pct < 6.0, "mpegaudio is numeric bytecode: {pct:.2}%");
+        assert!(outcome.stats.native_calls > 100);
+    }
+}

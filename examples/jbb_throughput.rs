@@ -1,0 +1,63 @@
+//! The SPEC JBB2005-analog evaluation: run the warehouse sequence 1, 2, 3,
+//! 4 and report throughput (transactions per virtual second) for the
+//! uninstrumented VM, SPA and IPA — the paper's Table I bottom row.
+//!
+//! ```sh
+//! cargo run --release --example jbb_throughput [size]
+//! ```
+
+use jnativeprof::harness::{run, throughput_overhead_percent, AgentChoice, HarnessRun};
+use workloads::{by_name, jbb, ProblemSize};
+
+fn main() {
+    let size = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .map_or(ProblemSize::S10, ProblemSize);
+    let workload = by_name("jbb").unwrap();
+    println!(
+        "JBB2005 analog: warehouse sequence {:?} ({} threads), {} transactions per warehouse\n",
+        jbb::WAREHOUSE_SEQUENCE,
+        jbb::TOTAL_WAREHOUSES,
+        size.0 * 20,
+    );
+
+    let tx = |r: &HarnessRun| r.checksum.max(0) as u64;
+
+    let base = run(workload.as_ref(), size, AgentChoice::None);
+    let base_thr = base.throughput(tx(&base));
+    println!("  original: {base_thr:>12.1} tx/s");
+
+    let spa = run(workload.as_ref(), size, AgentChoice::Spa);
+    let spa_thr = spa.throughput(tx(&spa));
+    println!(
+        "  SPA:      {spa_thr:>12.1} tx/s  (overhead {:.2}%)",
+        throughput_overhead_percent(base_thr, spa_thr)
+    );
+
+    let ipa = run(workload.as_ref(), size, AgentChoice::ipa());
+    let ipa_thr = ipa.throughput(tx(&ipa));
+    println!(
+        "  IPA:      {ipa_thr:>12.1} tx/s  (overhead {:.2}%)",
+        throughput_overhead_percent(base_thr, ipa_thr)
+    );
+
+    let profile = ipa.profile.unwrap();
+    println!(
+        "\nIPA profile: {:.2}% native — {} JNI calls vs {} native method calls",
+        profile.percent_native(),
+        profile.jni_calls,
+        profile.native_method_calls
+    );
+    println!("(JBB is the one workload where JNI upcalls rival native calls: every");
+    println!(" committed transaction is logged natively, and the logger audits and");
+    println!(" validates back through the JNI invocation interface.)");
+    for t in &ipa.outcome.threads {
+        println!(
+            "  thread {:<10} {:>12} cycles  {:?}",
+            t.name,
+            t.cycles,
+            t.result.as_ref().map(|_| "ok").map_err(ToString::to_string)
+        );
+    }
+}

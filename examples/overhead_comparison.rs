@@ -1,0 +1,55 @@
+//! One row of the paper's Table I, live: run a workload three times —
+//! uninstrumented, under SPA, and under IPA — and compare.
+//!
+//! ```sh
+//! cargo run --release --example overhead_comparison [workload] [size]
+//! ```
+//!
+//! Demonstrates the paper's central contrast: SPA's `MethodEntry`/
+//! `MethodExit` events disable the JIT and cost thousands of percent, while
+//! IPA's transition-only measurement costs a few percent.
+
+use jnativeprof::harness::{overhead_percent, run, AgentChoice};
+use workloads::{by_name, ProblemSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map_or("mtrt", String::as_str);
+    let size = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .map_or(ProblemSize::S100, ProblemSize);
+
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload {name:?}");
+        std::process::exit(1);
+    };
+
+    println!("benchmark `{name}`, problem size {}:", size.0);
+    let base = run(workload.as_ref(), size, AgentChoice::None);
+    println!("  original: {:.4} s", base.seconds);
+
+    let spa = run(workload.as_ref(), size, AgentChoice::Spa);
+    assert_eq!(base.checksum, spa.checksum, "SPA must not change behaviour");
+    println!(
+        "  SPA:      {:.4} s  ({:+.2}% — events disabled the JIT)",
+        spa.seconds,
+        overhead_percent(&base, &spa)
+    );
+
+    let ipa = run(workload.as_ref(), size, AgentChoice::ipa());
+    assert_eq!(base.checksum, ipa.checksum, "IPA must not change behaviour");
+    println!(
+        "  IPA:      {:.4} s  ({:+.2}% — measurement only at transitions)",
+        ipa.seconds,
+        overhead_percent(&base, &ipa)
+    );
+
+    let profile = ipa.profile.unwrap();
+    println!(
+        "\nIPA profile: {:.2}% native, {} native method calls, {} JNI calls",
+        profile.percent_native(),
+        profile.native_method_calls,
+        profile.jni_calls
+    );
+}

@@ -1,0 +1,41 @@
+//! Quickstart: measure how much of a Java workload's CPU time is spent in
+//! native code.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload] [size]
+//! ```
+//!
+//! Builds the chosen benchmark (default: `javac` at size 100), statically
+//! instruments every class — application and "JDK" alike — with the IPA
+//! wrapper transform, attaches the IPA agent, runs the program, and prints
+//! the paper's Table II quantities: % native execution, intercepted JNI
+//! calls, and native method invocations.
+
+use jnativeprof::harness::{run, AgentChoice};
+use workloads::{by_name, ProblemSize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map_or("javac", String::as_str);
+    let size = args
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .map_or(ProblemSize::S100, ProblemSize);
+
+    let Some(workload) = by_name(name) else {
+        eprintln!("unknown workload {name:?}; try compress, jess, db, javac, mpegaudio, mtrt, jack, jbb");
+        std::process::exit(1);
+    };
+
+    println!("profiling `{name}` at problem size {} with IPA …\n", size.0);
+    let result = run(workload.as_ref(), size, AgentChoice::ipa());
+    let profile = result.profile.expect("IPA attached");
+
+    println!("{profile}");
+    println!("virtual execution time: {:.4} s (at 2.66 GHz)", result.seconds);
+    println!("checksum: {}", result.checksum);
+    println!(
+        "\nground truth (VM oracle): {} native calls, {} JNI upcalls",
+        result.outcome.stats.native_calls, result.outcome.stats.jni_upcalls
+    );
+}

@@ -1,0 +1,123 @@
+//! `jasm` — assemble and run jvmsim assembly files.
+//!
+//! ```sh
+//! jasm build <in.jasm> <out.jvma>            # assemble to an archive
+//! jasm run <in.jasm> <class> <method> [int…] # assemble + execute
+//! jasm profile <in.jasm> <class> <method> [int…]  # … under IPA
+//! ```
+//!
+//! `run`/`profile` load the bootstrap library (`java/lang/*`, `java/io/*`)
+//! so assembly programs can call the native JDK analogs; the entry method
+//! must be static and take only integer parameters.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use jnativeprof::classfile::jasm;
+use jnativeprof::instr::Archive;
+use jnativeprof::vm::{builtins, Value, Vm};
+use jvmsim_jvmti::Agent;
+use nativeprof::IpaAgent;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  jasm build <in.jasm> <out.jvma>\n  jasm run <in.jasm> <class> <method> [int args…]\n  jasm profile <in.jasm> <class> <method> [int args…]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("run") => execute(&args[1..], false),
+        Some("profile") => execute(&args[1..], true),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("jasm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn assemble(path: &str) -> Result<Vec<jnativeprof::classfile::ClassFile>, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    jasm::parse(&source).map_err(|e| e.to_string())
+}
+
+fn build(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err("build needs <in.jasm> <out.jvma>".into());
+    };
+    let classes = assemble(input)?;
+    let mut archive = Archive::new();
+    for class in &classes {
+        archive.insert_class(class).map_err(|e| e.to_string())?;
+    }
+    std::fs::write(output, archive.to_bytes()).map_err(|e| format!("{output}: {e}"))?;
+    println!("{output}: {} classes assembled", classes.len());
+    Ok(())
+}
+
+fn execute(args: &[String], profile: bool) -> Result<(), String> {
+    let [input, class, method, int_args @ ..] = args else {
+        return Err("run needs <in.jasm> <class> <method> [int args…]".into());
+    };
+    let classes = assemble(input)?;
+    let values: Vec<Value> = int_args
+        .iter()
+        .map(|a| a.parse::<i64>().map(Value::Int).map_err(|e| format!("{a}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let descriptor = format!("({})I", "I".repeat(values.len()));
+
+    let mut vm = Vm::new();
+    let ipa = if profile {
+        let mut archive = Archive::new();
+        for (name, bytes) in builtins::boot_archive() {
+            archive.insert_bytes(name, bytes).map_err(|e| e.to_string())?;
+        }
+        for c in &classes {
+            archive.insert_class(c).map_err(|e| e.to_string())?;
+        }
+        let ipa = IpaAgent::new();
+        ipa.instrument_archive(&mut archive).map_err(|e| e.to_string())?;
+        vm.add_archive(archive);
+        vm.register_native_library(builtins::libjava(), true);
+        jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
+            .map_err(|e| e.to_string())?;
+        Some(ipa)
+    } else {
+        builtins::install(&mut vm);
+        for c in &classes {
+            vm.add_classfile(c);
+        }
+        None
+    };
+
+    let pcl = vm.pcl();
+    let outcome = vm
+        .run(class, method, &descriptor, values)
+        .map_err(|e| e.to_string())?;
+    let failed = match &outcome.main {
+        Ok(v) => {
+            println!("result: {v}");
+            None
+        }
+        Err(e) => Some(format!("uncaught exception: {e}")),
+    };
+    println!(
+        "cycles: {}  (virtual {:.6} s)   invocations: {}   native calls: {}",
+        outcome.total_cycles,
+        pcl.cycles_to_seconds(outcome.total_cycles),
+        outcome.stats.invocations,
+        outcome.stats.native_calls
+    );
+    if let Some(ipa) = ipa {
+        print!("{}", ipa.report());
+    }
+    // Exit nonzero on an uncaught exception, like `java` does.
+    failed.map_or(Ok(()), Err)
+}

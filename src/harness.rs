@@ -1,0 +1,263 @@
+//! The experiment harness: run any workload under no agent, SPA, or IPA,
+//! and collect the quantities the paper's Tables I and II report.
+
+use std::sync::Arc;
+
+use jvmsim_instr::Archive;
+use jvmsim_jvmti::Agent;
+use jvmsim_pcl::Pcl;
+use jvmsim_vm::{builtins, RunOutcome, Value, Vm};
+use nativeprof::{IpaAgent, IpaConfig, NativeProfile, SpaAgent};
+use workloads::{ProblemSize, Workload, WorkloadProgram};
+
+/// Which profiling agent (if any) to attach.
+#[derive(Debug, Clone, Default)]
+pub enum AgentChoice {
+    /// No profiling — the "time original" baseline of Table I.
+    #[default]
+    None,
+    /// The Simple Profiling Agent (§III).
+    Spa,
+    /// The Improved Profiling Agent (§IV) with the given configuration.
+    Ipa(IpaConfig),
+}
+
+impl AgentChoice {
+    /// Default IPA (static instrumentation, compensation on).
+    pub fn ipa() -> Self {
+        AgentChoice::Ipa(IpaConfig::default())
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AgentChoice::None => "original",
+            AgentChoice::Spa => "SPA",
+            AgentChoice::Ipa(_) => "IPA",
+        }
+    }
+}
+
+/// Result of one harness run.
+#[derive(Debug)]
+pub struct HarnessRun {
+    /// Workload name.
+    pub workload: String,
+    /// Agent label (`original` / `SPA` / `IPA`).
+    pub agent: &'static str,
+    /// Raw VM outcome (per-thread cycles, ground-truth stats).
+    pub outcome: RunOutcome,
+    /// The agent's profile, if one was attached.
+    pub profile: Option<NativeProfile>,
+    /// Virtual wall-clock seconds (total cycles at the PCL clock rate).
+    pub seconds: f64,
+    /// The workload checksum (for behavioural-equivalence checks).
+    pub checksum: i64,
+    /// The PCL registry of the run (for cycle→second conversions).
+    pub pcl: Pcl,
+}
+
+impl HarnessRun {
+    /// JBB-style throughput: `units` completed per virtual second.
+    pub fn throughput(&self, units: u64) -> f64 {
+        if self.seconds > 0.0 {
+            units as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+fn encode_program_archive(program: &WorkloadProgram) -> Archive {
+    let mut archive = Archive::new();
+    for (name, bytes) in builtins::boot_archive() {
+        archive.insert_bytes(name, bytes).expect("unique boot class");
+    }
+    for class in &program.classes {
+        archive.insert_class(class).expect("unique app class");
+    }
+    archive
+}
+
+/// Run `workload` at `size` under `agent`.
+///
+/// For [`AgentChoice::Ipa`] in static mode this performs the paper's full
+/// pipeline: the application archive **and** the bootstrap library (the
+/// `rt.jar` analog) are rewritten by the native-wrapper transform before
+/// the VM starts, and the wrapper prefix is announced via JVMTI.
+///
+/// # Panics
+///
+/// Panics on linkage errors or escaped exceptions — harness programs are
+/// expected to be self-contained (failure injection is tested at the VM
+/// layer).
+pub fn run(workload: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> HarnessRun {
+    let program = workload.program();
+    let mut vm = Vm::new();
+    let label = agent.label();
+
+    let profile_source: Option<ProfileSource> = match agent {
+        AgentChoice::None => {
+            vm.add_archive(encode_program_archive(&program));
+            None
+        }
+        AgentChoice::Spa => {
+            vm.add_archive(encode_program_archive(&program));
+            let spa = SpaAgent::new();
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>)
+                .expect("SPA attach");
+            Some(ProfileSource::Spa(spa))
+        }
+        AgentChoice::Ipa(config) => {
+            let ipa = IpaAgent::with_config(config.clone());
+            let mut archive = encode_program_archive(&program);
+            if config.mode == nativeprof::InstrumentationMode::Static {
+                ipa.instrument_archive(&mut archive).expect("instrumentation");
+            }
+            vm.add_archive(archive);
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
+                .expect("IPA attach");
+            Some(ProfileSource::Ipa(ipa))
+        }
+    };
+    // Native libraries: the JDK's plus the workload's.
+    vm.register_native_library(builtins::libjava(), true);
+    for lib in &program.libraries {
+        vm.register_native_library(lib.clone(), true);
+    }
+
+    let pcl = vm.pcl();
+    let outcome = vm
+        .run(
+            &program.entry_class,
+            &program.entry_method,
+            "(I)I",
+            vec![Value::Int(i64::from(size.0))],
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+    let checksum = match &outcome.main {
+        Ok(Value::Int(v)) => *v,
+        other => panic!("{}: unexpected result {other:?}", workload.name()),
+    };
+    let seconds = pcl.cycles_to_seconds(outcome.total_cycles);
+    let profile = profile_source.map(|p| match p {
+        ProfileSource::Spa(a) => a.report(),
+        ProfileSource::Ipa(a) => a.report(),
+    });
+    HarnessRun {
+        workload: workload.name().to_owned(),
+        agent: label,
+        outcome,
+        profile,
+        seconds,
+        checksum,
+        pcl,
+    }
+}
+
+enum ProfileSource {
+    Spa(Arc<SpaAgent>),
+    Ipa(Arc<IpaAgent>),
+}
+
+/// Overhead of `with` relative to `baseline`, as the paper computes it:
+/// `(time_with / time_without − 1) × 100`.
+pub fn overhead_percent(baseline: &HarnessRun, with: &HarnessRun) -> f64 {
+    if baseline.seconds == 0.0 {
+        return 0.0;
+    }
+    (with.seconds / baseline.seconds - 1.0) * 100.0
+}
+
+/// Throughput overhead for JBB: `(ops_without / ops_with − 1) × 100`.
+/// A zero profiled throughput is a total collapse: reported as infinite
+/// overhead, not zero.
+pub fn throughput_overhead_percent(baseline: f64, with: f64) -> f64 {
+    if with == 0.0 {
+        return f64::INFINITY;
+    }
+    (baseline / with - 1.0) * 100.0
+}
+
+/// Geometric mean of a slice (used for the JVM98 summary row).
+///
+/// Inputs must be positive (they are times or overhead factors); a
+/// non-positive value is a caller bug and yields `NaN` rather than a
+/// silently collapsed mean.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    if values.iter().any(|&v| v <= 0.0) {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::by_name;
+
+    #[test]
+    fn geometric_mean_basics() {
+        assert_eq!(geometric_mean(&[]), 0.0);
+        assert!((geometric_mean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        // Non-positive input is a caller bug: surfaced as NaN.
+        assert!(geometric_mean(&[0.0, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn overhead_math_matches_the_paper_formulas() {
+        // (time_with / time_without − 1) × 100
+        let mk = |seconds: f64| HarnessRun {
+            workload: "x".into(),
+            agent: "original",
+            outcome: {
+                let mut vm = jvmsim_vm::Vm::new();
+                vm.add_classfile(
+                    &jvmsim_classfile::builder::single_method_class(
+                        "h/T",
+                        "f",
+                        "()I",
+                        |m| {
+                            m.iconst(0).ireturn();
+                        },
+                    )
+                    .unwrap(),
+                );
+                vm.run("h/T", "f", "()I", vec![]).unwrap()
+            },
+            profile: None,
+            seconds,
+            checksum: 0,
+            pcl: jvmsim_pcl::Pcl::new(),
+        };
+        let base = mk(2.0);
+        let with = mk(3.0);
+        assert!((overhead_percent(&base, &with) - 50.0).abs() < 1e-9);
+        // Throughput overhead: (ops_without / ops_with − 1) × 100.
+        assert!((throughput_overhead_percent(7251.0, 66.4) - 10_820.18).abs() < 1.0);
+        assert_eq!(throughput_overhead_percent(1.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn agent_choice_labels() {
+        assert_eq!(AgentChoice::None.label(), "original");
+        assert_eq!(AgentChoice::Spa.label(), "SPA");
+        assert_eq!(AgentChoice::ipa().label(), "IPA");
+    }
+
+    #[test]
+    fn jbb_throughput_computation() {
+        let w = by_name("jbb").unwrap();
+        let r = run(w.as_ref(), workloads::ProblemSize(1), AgentChoice::None);
+        let tx = r.checksum.max(0) as u64;
+        assert!(tx > 0);
+        let thr = r.throughput(tx);
+        assert!(thr > 0.0);
+        assert!((thr - tx as f64 / r.seconds).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,37 @@
+//! # jnativeprof — native-code contribution profiling for Java workloads
+//!
+//! A full reproduction of *"A Quantitative Evaluation of the Contribution
+//! of Native Code to Java Workloads"* (Binder, Hulaas, Moret; IISWC 2006)
+//! as a Rust workspace. This umbrella crate re-exports every layer and adds
+//! the [experiment harness][harness]:
+//!
+//! * [`classfile`] — bytecode ISA, class model, assembler, validator, codec
+//! * [`instr`] — ASM-analog instrumentation (the Fig. 2 wrapper transform)
+//! * [`vm`] — the simulated JVM (interpreter, JIT model, JNI, green threads)
+//! * [`pcl`] — per-thread cycle counters (the PCL analog)
+//! * [`jvmti`] — the tool interface (events, capabilities, TLS, monitors)
+//! * [`nativeprof`] — the paper's SPA and IPA agents
+//! * [`workloads`] — the JVM98/JBB2005-like benchmark suite
+//!
+//! ```
+//! use jnativeprof::harness::{run, AgentChoice};
+//! use jnativeprof::workloads::{by_name, ProblemSize};
+//!
+//! let workload = by_name("mtrt").unwrap();
+//! let result = run(workload.as_ref(), ProblemSize::S1, AgentChoice::ipa());
+//! let profile = result.profile.unwrap();
+//! assert!(profile.percent_native() < 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use jvmsim_classfile as classfile;
+pub use jvmsim_instr as instr;
+pub use jvmsim_jvmti as jvmti;
+pub use jvmsim_pcl as pcl;
+pub use jvmsim_vm as vm;
+pub use nativeprof;
+pub use workloads;

@@ -1,0 +1,207 @@
+//! Failure-injection integration tests: exceptions crossing instrumented
+//! boundaries, broken linkage, misconfigured prefixes, and re-running
+//! instrumentation.
+
+use std::sync::Arc;
+
+use jnativeprof::classfile::builder::ClassBuilder;
+use jnativeprof::classfile::MethodFlags;
+use jnativeprof::instr::{Archive, NativeWrapperTransform};
+use jnativeprof::vm::{NativeLibrary, Value, Vm};
+use jvmsim_jvmti::Agent;
+use nativeprof::IpaAgent;
+
+const ST: MethodFlags = MethodFlags::PUBLIC.with(MethodFlags::STATIC);
+
+fn throwing_program() -> (jnativeprof::classfile::ClassFile, NativeLibrary) {
+    let mut cb = ClassBuilder::new("fi/App");
+    cb.native_method("risky", "(I)I", ST).unwrap();
+    let mut m = cb.method("main", "(I)I", ST);
+    // try { return risky(x); } catch (RuntimeException) { return -1; }
+    let start = m.new_label();
+    let end = m.new_label();
+    let handler = m.new_label();
+    m.bind(start);
+    m.iload(0).invokestatic("fi/App", "risky", "(I)I").ireturn();
+    m.bind(end);
+    m.bind(handler);
+    m.pop().iconst(-1).ireturn();
+    m.try_region(start, end, handler, Some("java/lang/RuntimeException"));
+    m.finish().unwrap();
+    let mut lib = NativeLibrary::new("fi");
+    lib.register_method("fi/App", "risky", |env, args| {
+        let x = args[0].as_int();
+        env.work(500);
+        if x < 0 {
+            Err(env.throw_new("java/lang/IllegalArgumentException", "negative"))
+        } else {
+            Ok(Value::Int(x * 2))
+        }
+    });
+    (cb.finish().unwrap(), lib)
+}
+
+fn instrumented_vm_with_ipa() -> (Vm, Arc<IpaAgent>, NativeLibrary) {
+    let (class, lib) = throwing_program();
+    let mut archive = Archive::new();
+    archive.insert_class(&class).unwrap();
+    let ipa = IpaAgent::new();
+    ipa.instrument_archive(&mut archive).unwrap();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    (vm, ipa, lib)
+}
+
+#[test]
+fn exception_crosses_instrumented_wrapper_into_java_handler() {
+    let (mut vm, ipa, lib) = instrumented_vm_with_ipa();
+    vm.register_native_library(lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    // Normal path first, then the throwing path.
+    let ok = vm
+        .call_static("fi/App", "main", "(I)I", vec![Value::Int(21)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(ok, Value::Int(42));
+    let caught = vm
+        .call_static("fi/App", "main", "(I)I", vec![Value::Int(-7)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(caught, Value::Int(-1), "handler must see the native throw");
+    // Both calls were metered: two J2N transitions, no stuck in_native
+    // state (the finally-encoded J2N_End ran on the exceptional path too).
+    let report = ipa.report();
+    assert_eq!(report.native_method_calls, 2);
+}
+
+#[test]
+fn missing_native_library_is_a_java_linkage_error_even_when_instrumented() {
+    let (mut vm, ipa, _lib) = instrumented_vm_with_ipa();
+    // Do NOT register the app library: the prefixed native cannot bind.
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    let err = vm
+        .call_static("fi/App", "main", "(I)I", vec![Value::Int(1)])
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err.class_name, "java/lang/UnsatisfiedLinkError");
+    // The symbol list must show the prefix retry was attempted.
+    assert!(err.message.unwrap().contains("Java_fi_App_risky"));
+}
+
+#[test]
+fn unregistered_prefix_breaks_resolution() {
+    // Instrument, but attach no agent (so no prefix is registered): the
+    // renamed native cannot resolve — the failure mode native method
+    // prefixing exists to prevent.
+    let (class, lib) = throwing_program();
+    let mut archive = Archive::new();
+    archive.insert_class(&class).unwrap();
+    archive.instrument(&NativeWrapperTransform::new()).unwrap();
+    // The wrappers also need the bridge class + library; provide stubs so
+    // resolution proceeds to the renamed native itself.
+    archive
+        .insert_class(&jnativeprof::instr::bridge_class(
+            jnativeprof::instr::DEFAULT_BRIDGE,
+        ))
+        .unwrap();
+    let mut bridge_lib = NativeLibrary::new("stub-bridge");
+    for m in jnativeprof::instr::bridge::TRANSITION_METHODS {
+        bridge_lib.register_method(jnativeprof::instr::DEFAULT_BRIDGE, m, |_e, _a| {
+            Ok(Value::Null)
+        });
+    }
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(lib, true);
+    vm.register_native_library(bridge_lib, true);
+    let err = vm
+        .call_static("fi/App", "main", "(I)I", vec![Value::Int(1)])
+        .unwrap()
+        .unwrap_err();
+    assert_eq!(err.class_name, "java/lang/UnsatisfiedLinkError");
+
+    // Registering the right prefix fixes it.
+    let (class, lib) = throwing_program();
+    let mut archive = Archive::new();
+    archive.insert_class(&class).unwrap();
+    archive.instrument(&NativeWrapperTransform::new()).unwrap();
+    archive
+        .insert_class(&jnativeprof::instr::bridge_class(
+            jnativeprof::instr::DEFAULT_BRIDGE,
+        ))
+        .unwrap();
+    let mut bridge_lib = NativeLibrary::new("stub-bridge");
+    for m in jnativeprof::instr::bridge::TRANSITION_METHODS {
+        bridge_lib.register_method(jnativeprof::instr::DEFAULT_BRIDGE, m, |_e, _a| {
+            Ok(Value::Null)
+        });
+    }
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(lib, true);
+    vm.register_native_library(bridge_lib, true);
+    vm.register_native_prefix(jnativeprof::instr::DEFAULT_PREFIX);
+    let ok = vm
+        .call_static("fi/App", "main", "(I)I", vec![Value::Int(21)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(ok, Value::Int(42));
+}
+
+#[test]
+fn double_instrumentation_is_idempotent_end_to_end() {
+    let (class, lib) = throwing_program();
+    let mut archive = Archive::new();
+    archive.insert_class(&class).unwrap();
+    let t = NativeWrapperTransform::new();
+    let first = archive.instrument(&t).unwrap();
+    assert_eq!(first.classes_instrumented, 1);
+    let second = archive.instrument(&t).unwrap();
+    assert_eq!(second.classes_instrumented, 0, "second pass must be a no-op");
+
+    let ipa = IpaAgent::new();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    let ok = vm
+        .call_static("fi/App", "main", "(I)I", vec![Value::Int(4)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(ok, Value::Int(8));
+    assert_eq!(ipa.report().native_method_calls, 1, "exactly one wrapper layer");
+}
+
+#[test]
+fn uncaught_native_exception_terminates_thread_and_unwinds_agent_state() {
+    let (class, lib) = throwing_program();
+    // Strip the handler: rebuild main without a try region.
+    let mut cb = ClassBuilder::new("fi/Bare");
+    cb.native_method("risky", "(I)I", ST).unwrap();
+    let mut m = cb.method("main", "(I)I", ST);
+    m.iload(0).invokestatic("fi/Bare", "risky", "(I)I").ireturn();
+    m.finish().unwrap();
+    let bare = cb.finish().unwrap();
+    let mut bare_lib = NativeLibrary::new("fibare");
+    bare_lib.register_method("fi/Bare", "risky", |env, _| {
+        Err(env.throw_new("java/lang/IllegalArgumentException", "always"))
+    });
+    let _ = (class, lib);
+
+    let mut archive = Archive::new();
+    archive.insert_class(&bare).unwrap();
+    let ipa = IpaAgent::new();
+    ipa.instrument_archive(&mut archive).unwrap();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(bare_lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("fi/Bare", "main", "(I)I", vec![Value::Int(1)]).unwrap();
+    let err = outcome.main.unwrap_err();
+    assert_eq!(err.class_name, "java/lang/IllegalArgumentException");
+    // ThreadEnd still fired and the profile is coherent.
+    let report = ipa.report();
+    assert_eq!(report.native_method_calls, 1);
+    assert_eq!(report.threads.len(), 1);
+    assert!(report.total.total() > 0);
+}

@@ -1,0 +1,230 @@
+//! Full-pipeline integration tests: workload → (instrumentation) → agent →
+//! report, with the paper's Table I / Table II *shape* as acceptance bands
+//! (see DESIGN.md §5).
+//!
+//! Run at reduced problem sizes so `cargo test` stays fast; the `table1` /
+//! `table2` binaries run the full S100 evaluation.
+
+use jnativeprof::harness::{overhead_percent, run, AgentChoice};
+use workloads::{by_name, jvm98_suite, ProblemSize};
+
+const SIZE: ProblemSize = ProblemSize(20);
+
+#[test]
+fn spa_overhead_is_catastrophic_on_every_workload() {
+    for w in jvm98_suite() {
+        let base = run(w.as_ref(), ProblemSize(5), AgentChoice::None);
+        let spa = run(w.as_ref(), ProblemSize(5), AgentChoice::Spa);
+        let ovh = overhead_percent(&base, &spa);
+        // db's one-time bulk sort dilutes its overhead at this reduced
+        // size; at S100 it measures ~1200% (see the `table1` binary).
+        let floor = if w.name() == "db" { 250.0 } else { 1_000.0 };
+        assert!(
+            ovh > floor,
+            "{}: SPA overhead must exceed {floor}%, got {ovh:.0}%",
+            w.name()
+        );
+        assert_eq!(base.checksum, spa.checksum, "{}", w.name());
+    }
+}
+
+#[test]
+fn ipa_overhead_is_moderate_on_every_workload() {
+    for w in jvm98_suite() {
+        let base = run(w.as_ref(), SIZE, AgentChoice::None);
+        let ipa = run(w.as_ref(), SIZE, AgentChoice::ipa());
+        let ovh = overhead_percent(&base, &ipa);
+        assert!(
+            ovh < 30.0,
+            "{}: IPA overhead must stay moderate, got {ovh:.2}%",
+            w.name()
+        );
+        assert!(ovh > -5.0, "{}: negative overhead is nonsense: {ovh:.2}%", w.name());
+        assert_eq!(base.checksum, ipa.checksum, "{}", w.name());
+    }
+}
+
+#[test]
+fn mtrt_has_the_worst_spa_overhead() {
+    // "mtrt … is the most object-oriented benchmark in the SPEC JVM98
+    // suite" — the paper's Table I shows it suffering most under SPA.
+    let mut worst: Option<(String, f64)> = None;
+    let mut mtrt_ovh = 0.0;
+    for w in jvm98_suite() {
+        let base = run(w.as_ref(), ProblemSize(5), AgentChoice::None);
+        let spa = run(w.as_ref(), ProblemSize(5), AgentChoice::Spa);
+        let ovh = overhead_percent(&base, &spa);
+        if w.name() == "mtrt" {
+            mtrt_ovh = ovh;
+        }
+        if worst.as_ref().is_none_or(|(_, o)| ovh > *o) {
+            worst = Some((w.name().to_owned(), ovh));
+        }
+    }
+    let (name, ovh) = worst.unwrap();
+    assert_eq!(name, "mtrt", "worst SPA overhead must be mtrt ({ovh:.0}% vs mtrt {mtrt_ovh:.0}%)");
+}
+
+#[test]
+fn db_has_the_mildest_spa_overhead() {
+    let mut best: Option<(String, f64)> = None;
+    for w in jvm98_suite() {
+        let base = run(w.as_ref(), ProblemSize(5), AgentChoice::None);
+        let spa = run(w.as_ref(), ProblemSize(5), AgentChoice::Spa);
+        let ovh = overhead_percent(&base, &spa);
+        if best.as_ref().is_none_or(|(_, o)| ovh < *o) {
+            best = Some((w.name().to_owned(), ovh));
+        }
+    }
+    let (name, _) = best.unwrap();
+    assert!(
+        name == "db" || name == "jack",
+        "the coarsest-method workloads (db/jack) must suffer least, got {name}"
+    );
+}
+
+#[test]
+fn native_share_bands_match_table2() {
+    // < 21% everywhere; the jack/javac group high, the compress/db/
+    // mpegaudio/mtrt group below ~6%.
+    let expectations = [
+        ("compress", 1.0, 9.0),
+        ("jess", 1.0, 9.0),
+        ("db", 0.1, 3.0),
+        ("javac", 8.0, 25.0),
+        ("mpegaudio", 0.3, 4.0),
+        ("mtrt", 0.3, 5.0),
+        ("jack", 12.0, 30.0),
+    ];
+    for (name, lo, hi) in expectations {
+        let w = by_name(name).unwrap();
+        let result = run(w.as_ref(), SIZE, AgentChoice::ipa());
+        let pct = result.profile.unwrap().percent_native();
+        assert!(
+            pct > lo && pct < hi,
+            "{name}: native share {pct:.2}% outside [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn all_measured_native_shares_stay_under_the_paper_ceiling() {
+    // The paper's headline conclusion: "the execution time spent in native
+    // code is within 20% for all benchmarks" (we allow a small margin for
+    // the scaled workloads).
+    for w in jvm98_suite() {
+        let result = run(w.as_ref(), SIZE, AgentChoice::ipa());
+        let pct = result.profile.unwrap().percent_native();
+        assert!(pct < 25.0, "{}: {pct:.2}%", w.name());
+    }
+}
+
+#[test]
+fn ipa_counts_match_the_vm_oracle_exactly() {
+    // Instrumentation must preserve the program's transition structure:
+    // IPA's counted J2N/N2J transitions equal the *uninstrumented* VM's
+    // ground-truth counters.
+    for name in ["compress", "jess", "javac", "jack", "mtrt"] {
+        let w = by_name(name).unwrap();
+        let base = run(w.as_ref(), SIZE, AgentChoice::None);
+        let ipa = run(w.as_ref(), SIZE, AgentChoice::ipa());
+        let profile = ipa.profile.unwrap();
+        assert_eq!(
+            profile.native_method_calls, base.outcome.stats.native_calls,
+            "{name}: native-call count drift"
+        );
+        assert_eq!(
+            profile.jni_calls, base.outcome.stats.jni_upcalls,
+            "{name}: JNI-call count drift"
+        );
+    }
+}
+
+#[test]
+fn ipa_native_share_tracks_the_vm_oracle() {
+    for name in ["javac", "jack", "compress"] {
+        let w = by_name(name).unwrap();
+        let base = run(w.as_ref(), SIZE, AgentChoice::None);
+        let oracle_pct =
+            100.0 * base.outcome.stats.native_cycles as f64 / base.outcome.total_cycles as f64;
+        let ipa = run(w.as_ref(), SIZE, AgentChoice::ipa());
+        let measured = ipa.profile.unwrap().percent_native();
+        let diff = (measured - oracle_pct).abs();
+        assert!(
+            diff < 6.0,
+            "{name}: IPA measured {measured:.2}% vs oracle {oracle_pct:.2}% (Δ{diff:.2})"
+        );
+    }
+}
+
+#[test]
+fn spa_perturbation_deflates_native_share() {
+    // SPA's interpreted-only run inflates bytecode time ~8×, so its
+    // native-share estimate is systematically *below* IPA's — the
+    // "serious measurement perturbation" of §V-A.
+    let w = by_name("jack").unwrap();
+    let spa = run(w.as_ref(), ProblemSize(5), AgentChoice::Spa);
+    let ipa = run(w.as_ref(), ProblemSize(5), AgentChoice::ipa());
+    let spa_pct = spa.profile.unwrap().percent_native();
+    let ipa_pct = ipa.profile.unwrap().percent_native();
+    assert!(
+        spa_pct < ipa_pct / 2.0,
+        "SPA {spa_pct:.2}% should be far below IPA {ipa_pct:.2}%"
+    );
+}
+
+#[test]
+fn jbb_jni_calls_rival_native_calls() {
+    // Unique to JBB2005 in Table II: its JNI-call count dwarfs the other
+    // workloads'.
+    let w = by_name("jbb").unwrap();
+    let result = run(w.as_ref(), ProblemSize(5), AgentChoice::ipa());
+    let profile = result.profile.unwrap();
+    assert!(
+        profile.jni_calls > profile.native_method_calls,
+        "jbb: {} JNI vs {} native",
+        profile.jni_calls,
+        profile.native_method_calls
+    );
+    // And every other workload has far fewer JNI calls than jbb.
+    for name in ["compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"] {
+        let other = run(by_name(name).unwrap().as_ref(), ProblemSize(5), AgentChoice::ipa());
+        assert!(
+            other.profile.unwrap().jni_calls < profile.jni_calls,
+            "{name} must have fewer JNI calls than jbb"
+        );
+    }
+}
+
+#[test]
+fn native_call_count_ordering_matches_table2() {
+    // jack > javac > db > mpegaudio > mtrt, compress lowest band.
+    let count = |name: &str| {
+        run(by_name(name).unwrap().as_ref(), SIZE, AgentChoice::ipa())
+            .profile
+            .unwrap()
+            .native_method_calls
+    };
+    let jack = count("jack");
+    let javac = count("javac");
+    let db = count("db");
+    let mpeg = count("mpegaudio");
+    let mtrt = count("mtrt");
+    let compress = count("compress");
+    assert!(jack > javac, "jack {jack} > javac {javac}");
+    assert!(javac > db, "javac {javac} > db {db}");
+    assert!(db > mpeg, "db {db} > mpegaudio {mpeg}");
+    assert!(mpeg > mtrt, "mpegaudio {mpeg} > mtrt {mtrt}");
+    assert!(compress < db, "compress {compress} in the low band");
+}
+
+#[test]
+fn per_thread_breakdown_covers_all_jbb_threads() {
+    let w = by_name("jbb").unwrap();
+    let result = run(w.as_ref(), ProblemSize(2), AgentChoice::ipa());
+    let profile = result.profile.unwrap();
+    // main + 10 warehouse threads, each with a recorded split.
+    assert_eq!(profile.threads.len(), 11);
+    let total: u64 = profile.threads.iter().map(|(_, s)| s.total()).sum();
+    assert_eq!(total, profile.total.total(), "per-thread splits sum to total");
+}

