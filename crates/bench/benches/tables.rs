@@ -33,21 +33,27 @@ fn bench_table1(c: &mut Criterion) {
             (ProblemSize::S10, ProblemSize::S1)
         };
         let workload = by_name(name).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new(name, "original"),
-            &size,
-            |b, &s| b.iter(|| run(workload.as_ref(), s, AgentChoice::None).outcome.total_cycles),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(name, "SPA"),
-            &spa_size,
-            |b, &s| b.iter(|| run(workload.as_ref(), s, AgentChoice::Spa).outcome.total_cycles),
-        );
-        group.bench_with_input(
-            BenchmarkId::new(name, "IPA"),
-            &size,
-            |b, &s| b.iter(|| run(workload.as_ref(), s, AgentChoice::ipa()).outcome.total_cycles),
-        );
+        group.bench_with_input(BenchmarkId::new(name, "original"), &size, |b, &s| {
+            b.iter(|| {
+                run(workload.as_ref(), s, AgentChoice::None)
+                    .outcome
+                    .total_cycles
+            })
+        });
+        group.bench_with_input(BenchmarkId::new(name, "SPA"), &spa_size, |b, &s| {
+            b.iter(|| {
+                run(workload.as_ref(), s, AgentChoice::Spa)
+                    .outcome
+                    .total_cycles
+            })
+        });
+        group.bench_with_input(BenchmarkId::new(name, "IPA"), &size, |b, &s| {
+            b.iter(|| {
+                run(workload.as_ref(), s, AgentChoice::ipa())
+                    .outcome
+                    .total_cycles
+            })
+        });
     }
     group.finish();
 }
@@ -58,7 +64,11 @@ fn bench_table2(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(300));
     group.measurement_time(Duration::from_millis(1200));
     for name in nativeprof_bench::all_names() {
-        let size = if name == "jbb" { ProblemSize(2) } else { ProblemSize::S10 };
+        let size = if name == "jbb" {
+            ProblemSize(2)
+        } else {
+            ProblemSize::S10
+        };
         let workload = by_name(name).unwrap();
         group.bench_function(BenchmarkId::from_parameter(name), |b| {
             b.iter(|| {

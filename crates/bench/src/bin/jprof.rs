@@ -1,0 +1,210 @@
+//! `jprof` — the profiling suite driver and trace exporter.
+//!
+//! ```text
+//! jprof trace --workload compress --agent ipa --out trace.json
+//!             [--size N] [--capacity N] [--flame out.folded]
+//!             [--events-csv events.csv]
+//! jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
+//! jprof list
+//! ```
+//!
+//! `trace` runs one workload under IPA with a transition recorder
+//! attached and exports Chrome `trace_event` JSON (open in Perfetto or
+//! `chrome://tracing`), optionally also collapsed flamegraph stacks and a
+//! raw event CSV. `suite` runs the full workload × agent matrix on
+//! `--jobs` worker threads and writes the Table I / Table II artifacts;
+//! any job count produces byte-identical artifacts.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use jnativeprof::harness::{self, AgentChoice};
+use jvmsim_trace::{chrome, csv, flame, TraceRecorder};
+use jvmsim_vm::{TraceEventKind, TraceSink};
+use nativeprof_bench::{
+    render_table1, render_table2, run_suite, table1_artifact, table2_artifact, SuiteConfig,
+};
+use workloads::{by_name, jvm98_suite, ProblemSize};
+
+const USAGE: &str = "\
+usage:
+  jprof trace --workload NAME --agent ipa [--size N] [--capacity N]
+              [--out trace.json] [--flame out.folded] [--events-csv FILE]
+  jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
+  jprof list
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("suite") => cmd_suite(&args[1..]),
+        Some("list") => cmd_list(),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        _ => Err(USAGE.to_owned()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("jprof: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs only.
+struct Flags<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String], allowed: &[&str]) -> Result<Self, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(key) = it.next() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown argument {key:?}\n{USAGE}"));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("{key} needs a value\n{USAGE}"))?;
+            pairs.push((key.as_str(), value.as_str()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&'a str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        self.get(key)
+            .map(|v| v.parse().map_err(|_| format!("bad value for {key}: {v:?}")))
+            .transpose()
+    }
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), String> {
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--workload",
+            "--agent",
+            "--size",
+            "--capacity",
+            "--out",
+            "--flame",
+            "--events-csv",
+        ],
+    )?;
+    let name = flags.get("--workload").ok_or("trace needs --workload")?;
+    let workload = by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    match flags.get("--agent").unwrap_or("ipa") {
+        "ipa" => {}
+        other => {
+            return Err(format!(
+                "only --agent ipa records transitions (got {other:?}); \
+                 SPA disables the JIT and emits no J2N/N2J probes"
+            ))
+        }
+    }
+    let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
+    // One full-size run can exceed the library default; give jprof traces
+    // a deep buffer unless told otherwise.
+    let capacity: usize = flags.get_parsed("--capacity")?.unwrap_or(1 << 20);
+
+    let recorder = TraceRecorder::new(capacity);
+    eprintln!("tracing {name} at size {} under IPA …", size.0);
+    let run = harness::run_traced(
+        workload.as_ref(),
+        size,
+        AgentChoice::ipa(),
+        Some(Arc::clone(&recorder) as Arc<dyn TraceSink>),
+    );
+    let profile = run.profile.as_ref().expect("IPA attached");
+    let snapshot = recorder.snapshot();
+
+    // The stream and the aggregates are two views of the same probes;
+    // refuse to emit an artifact that contradicts the Table II counters.
+    let j2n = snapshot.count(TraceEventKind::J2nBegin);
+    let n2j = snapshot.count(TraceEventKind::N2jBegin);
+    if j2n != profile.native_method_calls || n2j != profile.jni_calls {
+        return Err(format!(
+            "trace/profile mismatch: {j2n} J2N vs {} native method calls, \
+             {n2j} N2J vs {} JNI calls",
+            profile.native_method_calls, profile.jni_calls
+        ));
+    }
+    eprintln!(
+        "  {} events recorded, {} dropped ({} J2N, {} N2J, {:.2}% native)",
+        snapshot.recorded(),
+        snapshot.dropped(),
+        j2n,
+        n2j,
+        profile.percent_native(),
+    );
+
+    let out = flags.get("--out").unwrap_or("trace.json");
+    write_file(
+        out,
+        &chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz()),
+    )?;
+    eprintln!("  wrote {out}");
+    if let Some(path) = flags.get("--flame") {
+        write_file(path, &flame::collapsed_stacks(&snapshot))?;
+        eprintln!("  wrote {path}");
+    }
+    if let Some(path) = flags.get("--events-csv") {
+        write_file(path, &csv::events_csv(&snapshot))?;
+        eprintln!("  wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["--jobs", "--size", "--out-dir", "--json"])?;
+    let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
+    let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
+    let json = matches!(flags.get("--json"), Some("true") | Some("1"));
+    let config = SuiteConfig::with_size(size).jobs(jobs);
+    eprintln!(
+        "running the workload × agent matrix at size {} on {} worker(s) …",
+        size.0, config.jobs
+    );
+    let suite = run_suite(config);
+    print!("{}", render_table1(&suite.table1, suite.jbb));
+    println!();
+    print!("{}", render_table2(&suite.table2));
+    if let Some(dir) = flags.get("--out-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        let t1 = table1_artifact(&suite.table1, suite.jbb);
+        let t2 = table2_artifact(&suite.table2);
+        write_file(&format!("{dir}/table1.csv"), &t1.to_csv())?;
+        write_file(&format!("{dir}/table2.csv"), &t2.to_csv())?;
+        if json {
+            write_file(&format!("{dir}/table1.json"), &t1.to_json())?;
+            write_file(&format!("{dir}/table2.json"), &t2.to_json())?;
+        }
+        eprintln!("wrote Table I/II artifacts under {dir}/");
+    }
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    for w in jvm98_suite() {
+        println!("{}", w.name());
+    }
+    println!("jbb");
+    Ok(())
+}

@@ -6,16 +6,11 @@
 //! characterization: sampling is cheaper but approximate, and produces no
 //! JNI / native-method call counts at all.
 
-
 use jnativeprof::harness::{run, AgentChoice};
 use nativeprof::SamplingProfiler;
 use workloads::{by_name, prepare_vm, ProblemSize, Workload};
 
-fn run_with_sampler(
-    workload: &dyn Workload,
-    size: ProblemSize,
-    interval: u64,
-) -> (f64, u64, u64) {
+fn run_with_sampler(workload: &dyn Workload, size: ProblemSize, interval: u64) -> (f64, u64, u64) {
     let program = workload.program();
     let mut vm = prepare_vm(&program);
     let sampler = SamplingProfiler::new();
@@ -50,7 +45,15 @@ fn main() {
         "{:<12} {:>10} | {:>28} | {:>28} | {:>12}",
         "benchmark", "IPA %nat", "sampling@10k: %nat (ovh)", "sampling@100k: %nat (ovh)", "IPA ovh"
     );
-    for name in ["compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"] {
+    for name in [
+        "compress",
+        "jess",
+        "db",
+        "javac",
+        "mpegaudio",
+        "mtrt",
+        "jack",
+    ] {
         let workload = by_name(name).unwrap();
         let base = run(workload.as_ref(), size, AgentChoice::None);
         let ipa = run(workload.as_ref(), size, AgentChoice::ipa());

@@ -42,7 +42,10 @@ fn run_cycles(workload: &dyn Workload, size: ProblemSize, cost: &CostModel, spa:
 
 fn main() {
     let size = ProblemSize(10);
-    println!("SPA overhead (%) under cost-model perturbation, size {}:", size.0);
+    println!(
+        "SPA overhead (%) under cost-model perturbation, size {}:",
+        size.0
+    );
     println!(
         "{:<26} {:>14} {:>14} {:>16}",
         "configuration", "mtrt SPA ovh", "db SPA ovh", "mtrt/db ratio"
@@ -58,9 +61,11 @@ fn main() {
         ("both low (300, 4)", 300, 4),
         ("both high (2400, 16)", 2_400, 16),
     ] {
-        let mut cost = CostModel::default();
-        cost.event_dispatch = event_dispatch;
-        cost.interp_insn = interp_insn;
+        let cost = CostModel {
+            event_dispatch,
+            interp_insn,
+            ..CostModel::default()
+        };
         let ovh = |w: &dyn Workload| {
             let base = run_cycles(w, size, &cost, false) as f64;
             let spa = run_cycles(w, size, &cost, true) as f64;

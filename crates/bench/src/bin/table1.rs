@@ -1,8 +1,12 @@
 //! Regenerate Table I: execution time and profiling overhead for SPA and
 //! IPA across the JVM98-analog suite and the JBB2005 analog.
+//!
+//! Usage: `table1 [SIZE] [JOBS]` — runs the full matrix through the
+//! parallel suite driver (sequential by default; the output is
+//! byte-identical for any job count).
 
-use nativeprof_bench::{measure_jbb_throughput, measure_overheads, render_table1};
-use workloads::{jvm98_suite, ProblemSize};
+use nativeprof_bench::{render_table1, run_suite, SuiteConfig};
+use workloads::ProblemSize;
 
 fn main() {
     let size = std::env::args()
@@ -10,15 +14,11 @@ fn main() {
         .and_then(|s| s.parse::<u32>().ok())
         .map(ProblemSize)
         .unwrap_or(ProblemSize::S100);
-    eprintln!("measuring at problem size {} …", size.0);
-    let rows: Vec<_> = jvm98_suite()
-        .iter()
-        .map(|w| {
-            eprintln!("  {} (original / SPA / IPA)", w.name());
-            measure_overheads(w.name(), size)
-        })
-        .collect();
-    eprintln!("  jbb (original / SPA / IPA)");
-    let jbb = measure_jbb_throughput(ProblemSize(size.0.max(10) / 10));
-    print!("{}", render_table1(&rows, jbb));
+    let jobs = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+    eprintln!("measuring at problem size {} on {jobs} worker(s) …", size.0);
+    let suite = run_suite(SuiteConfig::with_size(size).jobs(jobs));
+    print!("{}", render_table1(&suite.table1, suite.jbb));
 }

@@ -1,7 +1,11 @@
 //! Regenerate Table II: profiling statistics (percentage of native
 //! execution time, JNI calls, native method calls) reported by IPA.
+//!
+//! Usage: `table2 [SIZE] [JOBS]` — runs the full matrix through the
+//! parallel suite driver (sequential by default; the output is
+//! byte-identical for any job count).
 
-use nativeprof_bench::{all_names, measure_profile, render_table2};
+use nativeprof_bench::{render_table2, run_suite, SuiteConfig};
 use workloads::ProblemSize;
 
 fn main() {
@@ -10,14 +14,11 @@ fn main() {
         .and_then(|s| s.parse::<u32>().ok())
         .map(ProblemSize)
         .unwrap_or(ProblemSize::S100);
-    eprintln!("measuring at problem size {} …", size.0);
-    let rows: Vec<_> = all_names()
-        .into_iter()
-        .map(|name| {
-            eprintln!("  {name} (IPA)");
-            let s = if name == "jbb" { ProblemSize(size.0.max(10) / 10) } else { size };
-            measure_profile(name, s)
-        })
-        .collect();
-    print!("{}", render_table2(&rows));
+    let jobs = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(1);
+    eprintln!("measuring at problem size {} on {jobs} worker(s) …", size.0);
+    let suite = run_suite(SuiteConfig::with_size(size).jobs(jobs));
+    print!("{}", render_table2(&suite.table2));
 }

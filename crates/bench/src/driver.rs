@@ -1,0 +1,330 @@
+//! The parallel suite driver behind `jprof suite` and the table binaries.
+//!
+//! The workload × agent matrix (8 workloads × {original, SPA, IPA} = 24
+//! cells) is embarrassingly parallel: every cell is one self-contained,
+//! deterministic simulator run (its own `Vm`, own PCL registry, own green
+//! threads). Worker OS threads pull cells from a shared index counter and
+//! run them; results are stored by cell index and assembled in a fixed
+//! order afterwards. Because each run is deterministic and cells share no
+//! state, the assembled tables are **byte-identical** for any job count —
+//! `--jobs 4` reproduces the sequential output exactly (a property the
+//! test suite pins down).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use jnativeprof::harness::{self, throughput_overhead_percent, AgentChoice};
+use jvmsim_trace::csv::Table;
+use workloads::{by_name, jvm98_suite, ProblemSize};
+
+use crate::{MeasuredOverheadRow, MeasuredProfileRow};
+
+/// Agent column of the matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AgentCol {
+    Original,
+    Spa,
+    Ipa,
+}
+
+impl AgentCol {
+    const ALL: [AgentCol; 3] = [AgentCol::Original, AgentCol::Spa, AgentCol::Ipa];
+
+    fn choice(self) -> AgentChoice {
+        match self {
+            AgentCol::Original => AgentChoice::None,
+            AgentCol::Spa => AgentChoice::Spa,
+            AgentCol::Ipa => AgentChoice::ipa(),
+        }
+    }
+}
+
+/// Suite configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Worker OS threads (≥ 1; 1 = the plain sequential loop).
+    pub jobs: usize,
+    /// Problem size for the JVM98-analog workloads.
+    pub size: ProblemSize,
+    /// Problem size for the JBB throughput analog (heavier per unit; the
+    /// binaries historically run it at a tenth of the JVM98 size).
+    pub jbb_size: ProblemSize,
+}
+
+impl SuiteConfig {
+    /// Sequential suite at `size`, with the conventional JBB scaling.
+    pub fn with_size(size: ProblemSize) -> Self {
+        SuiteConfig {
+            jobs: 1,
+            size,
+            jbb_size: ProblemSize(size.0.max(10) / 10),
+        }
+    }
+
+    /// Same configuration with `jobs` workers.
+    pub fn jobs(self, jobs: usize) -> Self {
+        SuiteConfig {
+            jobs: jobs.max(1),
+            ..self
+        }
+    }
+}
+
+/// Everything the two tables need from one (workload, agent) cell.
+#[derive(Debug, Clone)]
+struct CellOutcome {
+    seconds: f64,
+    checksum: i64,
+    /// `(percent_native, jni_calls, native_method_calls)` when IPA ran.
+    profile: Option<(f64, u64, u64)>,
+}
+
+/// One cell of the matrix.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    workload: &'static str,
+    agent: AgentCol,
+    size: ProblemSize,
+}
+
+/// The assembled suite results (Table I rows, the JBB throughput tuple,
+/// Table II rows).
+#[derive(Debug, Clone)]
+pub struct SuiteResult {
+    /// Table I rows, JVM98 order.
+    pub table1: Vec<MeasuredOverheadRow>,
+    /// `(orig, spa, ipa, overhead_spa_pct, overhead_ipa_pct)` throughput.
+    pub jbb: (f64, f64, f64, f64, f64),
+    /// Table II rows, Table II order (JVM98 then `jbb`).
+    pub table2: Vec<MeasuredProfileRow>,
+}
+
+fn run_cell(cell: Cell) -> CellOutcome {
+    let workload =
+        by_name(cell.workload).unwrap_or_else(|| panic!("unknown workload {}", cell.workload));
+    let run = harness::run(workload.as_ref(), cell.size, cell.agent.choice());
+    CellOutcome {
+        seconds: run.seconds,
+        checksum: run.checksum,
+        profile: run
+            .profile
+            .filter(|_| cell.agent == AgentCol::Ipa)
+            .map(|p| (p.percent_native(), p.jni_calls, p.native_method_calls)),
+    }
+}
+
+/// Overhead from two virtual-second readings, the paper's formula.
+fn overhead_pct(base: f64, with: f64) -> f64 {
+    if base == 0.0 {
+        0.0
+    } else {
+        (with / base - 1.0) * 100.0
+    }
+}
+
+/// Run the full workload × agent matrix with `config.jobs` workers.
+///
+/// # Panics
+///
+/// Panics if any cell panics (workload failure), or if an agent changed a
+/// workload's observable behaviour (checksum mismatch).
+pub fn run_suite(config: SuiteConfig) -> SuiteResult {
+    let jvm98: Vec<&'static str> = jvm98_suite().iter().map(|w| w.name()).collect();
+    let mut cells: Vec<Cell> = Vec::new();
+    for &workload in &jvm98 {
+        for agent in AgentCol::ALL {
+            cells.push(Cell {
+                workload,
+                agent,
+                size: config.size,
+            });
+        }
+    }
+    for agent in AgentCol::ALL {
+        cells.push(Cell {
+            workload: "jbb",
+            agent,
+            size: config.jbb_size,
+        });
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CellOutcome>>> = Mutex::new(vec![None; cells.len()]);
+    let workers = config.jobs.max(1).min(cells.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                let outcome = run_cell(*cell);
+                results.lock().expect("cell results poisoned")[i] = Some(outcome);
+            });
+        }
+    });
+    let results = results.into_inner().expect("cell results poisoned");
+    let outcome = |workload: &str, agent: AgentCol| -> &CellOutcome {
+        let i = cells
+            .iter()
+            .position(|c| c.workload == workload && c.agent == agent)
+            .expect("cell in matrix");
+        results[i].as_ref().expect("cell completed")
+    };
+
+    let mut table1 = Vec::new();
+    for &name in &jvm98 {
+        let base = outcome(name, AgentCol::Original);
+        let spa = outcome(name, AgentCol::Spa);
+        let ipa = outcome(name, AgentCol::Ipa);
+        assert_eq!(base.checksum, spa.checksum, "{name}: SPA changed behaviour");
+        assert_eq!(base.checksum, ipa.checksum, "{name}: IPA changed behaviour");
+        table1.push(MeasuredOverheadRow {
+            name: name.to_owned(),
+            time_original_s: base.seconds,
+            time_spa_s: spa.seconds,
+            time_ipa_s: ipa.seconds,
+            overhead_spa_pct: overhead_pct(base.seconds, spa.seconds),
+            overhead_ipa_pct: overhead_pct(base.seconds, ipa.seconds),
+        });
+    }
+
+    let throughput = |o: &CellOutcome| {
+        if o.seconds > 0.0 {
+            o.checksum.max(0) as f64 / o.seconds
+        } else {
+            0.0
+        }
+    };
+    let (b, s, i) = (
+        throughput(outcome("jbb", AgentCol::Original)),
+        throughput(outcome("jbb", AgentCol::Spa)),
+        throughput(outcome("jbb", AgentCol::Ipa)),
+    );
+    let jbb = (
+        b,
+        s,
+        i,
+        throughput_overhead_percent(b, s),
+        throughput_overhead_percent(b, i),
+    );
+
+    let mut table2 = Vec::new();
+    for name in jvm98.iter().copied().chain(["jbb"]) {
+        let (pct_native, jni_calls, native_method_calls) = outcome(name, AgentCol::Ipa)
+            .profile
+            .expect("IPA cell has a profile");
+        table2.push(MeasuredProfileRow {
+            name: name.to_owned(),
+            pct_native,
+            jni_calls,
+            native_method_calls,
+        });
+    }
+
+    SuiteResult {
+        table1,
+        jbb,
+        table2,
+    }
+}
+
+/// Table I quantities as a [`Table`] (render with `to_csv()`/`to_json()`).
+/// Floats use fixed six-decimal formatting so the artifact is
+/// byte-reproducible.
+pub fn table1_artifact(rows: &[MeasuredOverheadRow], jbb: (f64, f64, f64, f64, f64)) -> Table {
+    let mut t = Table::new([
+        "benchmark",
+        "time_original_s",
+        "time_spa_s",
+        "time_ipa_s",
+        "overhead_spa_pct",
+        "overhead_ipa_pct",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.name.clone(),
+            format!("{:.6}", r.time_original_s),
+            format!("{:.6}", r.time_spa_s),
+            format!("{:.6}", r.time_ipa_s),
+            format!("{:.6}", r.overhead_spa_pct),
+            format!("{:.6}", r.overhead_ipa_pct),
+        ]);
+    }
+    let (b, s, i, ovh_s, ovh_i) = jbb;
+    t.push_row([
+        "jbb_throughput_ops".to_owned(),
+        format!("{b:.6}"),
+        format!("{s:.6}"),
+        format!("{i:.6}"),
+        format!("{ovh_s:.6}"),
+        format!("{ovh_i:.6}"),
+    ]);
+    t
+}
+
+/// Table II quantities as a [`Table`].
+pub fn table2_artifact(rows: &[MeasuredProfileRow]) -> Table {
+    let mut t = Table::new([
+        "benchmark",
+        "pct_native",
+        "jni_calls",
+        "native_method_calls",
+    ]);
+    for r in rows {
+        t.push_row([
+            r.name.clone(),
+            format!("{:.6}", r.pct_native),
+            r.jni_calls.to_string(),
+            r.native_method_calls.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_formula_matches_the_paper() {
+        assert!((overhead_pct(2.0, 3.0) - 50.0).abs() < 1e-12);
+        assert_eq!(overhead_pct(0.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn config_defaults_scale_jbb() {
+        let c = SuiteConfig::with_size(ProblemSize::S100);
+        assert_eq!(c.jobs, 1);
+        assert_eq!(c.jbb_size, ProblemSize(10));
+        assert_eq!(c.jobs(4).jobs, 4);
+        // Tiny sizes floor at the JBB minimum scale.
+        assert_eq!(
+            SuiteConfig::with_size(ProblemSize::S1).jbb_size,
+            ProblemSize(1)
+        );
+    }
+
+    #[test]
+    fn artifact_shapes() {
+        let rows = vec![MeasuredOverheadRow {
+            name: "compress".into(),
+            time_original_s: 1.0,
+            time_spa_s: 2.0,
+            time_ipa_s: 1.1,
+            overhead_spa_pct: 100.0,
+            overhead_ipa_pct: 10.0,
+        }];
+        let t1 = table1_artifact(&rows, (5.0, 1.0, 4.0, 400.0, 25.0));
+        assert_eq!(t1.len(), 2); // one row + the jbb throughput row
+        assert!(t1.to_csv().starts_with("benchmark,time_original_s"));
+        let t2 = table2_artifact(&[MeasuredProfileRow {
+            name: "compress".into(),
+            pct_native: 4.54,
+            jni_calls: 3,
+            native_method_calls: 7,
+        }]);
+        assert_eq!(
+            t2.to_csv(),
+            "benchmark,pct_native,jni_calls,native_method_calls\ncompress,4.540000,3,7\n"
+        );
+    }
+}

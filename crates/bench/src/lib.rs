@@ -10,6 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
+
+pub use driver::{run_suite, table1_artifact, table2_artifact, SuiteConfig, SuiteResult};
+
 use jnativeprof::harness::{
     self, overhead_percent, throughput_overhead_percent, AgentChoice, HarnessRun,
 };
@@ -30,13 +34,48 @@ pub struct PaperTable1Row {
 
 /// Table I of the paper (JVM98 rows).
 pub const PAPER_TABLE1: [PaperTable1Row; 7] = [
-    PaperTable1Row { name: "compress", time_original_s: 5.74, overhead_spa_pct: 7_667.60, overhead_ipa_pct: 11.15 },
-    PaperTable1Row { name: "jess", time_original_s: 1.49, overhead_spa_pct: 15_819.46, overhead_ipa_pct: 2.68 },
-    PaperTable1Row { name: "db", time_original_s: 14.25, overhead_spa_pct: 1_527.23, overhead_ipa_pct: 0.70 },
-    PaperTable1Row { name: "javac", time_original_s: 3.80, overhead_spa_pct: 5_813.95, overhead_ipa_pct: 13.68 },
-    PaperTable1Row { name: "mpegaudio", time_original_s: 2.54, overhead_spa_pct: 9_801.57, overhead_ipa_pct: 4.33 },
-    PaperTable1Row { name: "mtrt", time_original_s: 1.16, overhead_spa_pct: 41_775.00, overhead_ipa_pct: 0.00 },
-    PaperTable1Row { name: "jack", time_original_s: 3.47, overhead_spa_pct: 3_448.13, overhead_ipa_pct: 20.17 },
+    PaperTable1Row {
+        name: "compress",
+        time_original_s: 5.74,
+        overhead_spa_pct: 7_667.60,
+        overhead_ipa_pct: 11.15,
+    },
+    PaperTable1Row {
+        name: "jess",
+        time_original_s: 1.49,
+        overhead_spa_pct: 15_819.46,
+        overhead_ipa_pct: 2.68,
+    },
+    PaperTable1Row {
+        name: "db",
+        time_original_s: 14.25,
+        overhead_spa_pct: 1_527.23,
+        overhead_ipa_pct: 0.70,
+    },
+    PaperTable1Row {
+        name: "javac",
+        time_original_s: 3.80,
+        overhead_spa_pct: 5_813.95,
+        overhead_ipa_pct: 13.68,
+    },
+    PaperTable1Row {
+        name: "mpegaudio",
+        time_original_s: 2.54,
+        overhead_spa_pct: 9_801.57,
+        overhead_ipa_pct: 4.33,
+    },
+    PaperTable1Row {
+        name: "mtrt",
+        time_original_s: 1.16,
+        overhead_spa_pct: 41_775.00,
+        overhead_ipa_pct: 0.00,
+    },
+    PaperTable1Row {
+        name: "jack",
+        time_original_s: 3.47,
+        overhead_spa_pct: 3_448.13,
+        overhead_ipa_pct: 20.17,
+    },
 ];
 
 /// Paper Table I JBB2005 row: throughput 7 251 ops/s original, 66.4 under
@@ -58,14 +97,54 @@ pub struct PaperTable2Row {
 
 /// Table II of the paper.
 pub const PAPER_TABLE2: [PaperTable2Row; 8] = [
-    PaperTable2Row { name: "compress", pct_native: 4.54, jni_calls: 1_538, native_method_calls: 45_858 },
-    PaperTable2Row { name: "jess", pct_native: 5.38, jni_calls: 918, native_method_calls: 492_762 },
-    PaperTable2Row { name: "db", pct_native: 0.84, jni_calls: 512, native_method_calls: 595_849 },
-    PaperTable2Row { name: "javac", pct_native: 16.82, jni_calls: 25_633, native_method_calls: 3_701_694 },
-    PaperTable2Row { name: "mpegaudio", pct_native: 0.95, jni_calls: 571, native_method_calls: 106_117 },
-    PaperTable2Row { name: "mtrt", pct_native: 1.62, jni_calls: 513, native_method_calls: 73_357 },
-    PaperTable2Row { name: "jack", pct_native: 20.26, jni_calls: 1_308, native_method_calls: 4_991_615 },
-    PaperTable2Row { name: "JBB2005", pct_native: 12.19, jni_calls: 770_123, native_method_calls: 199_879 },
+    PaperTable2Row {
+        name: "compress",
+        pct_native: 4.54,
+        jni_calls: 1_538,
+        native_method_calls: 45_858,
+    },
+    PaperTable2Row {
+        name: "jess",
+        pct_native: 5.38,
+        jni_calls: 918,
+        native_method_calls: 492_762,
+    },
+    PaperTable2Row {
+        name: "db",
+        pct_native: 0.84,
+        jni_calls: 512,
+        native_method_calls: 595_849,
+    },
+    PaperTable2Row {
+        name: "javac",
+        pct_native: 16.82,
+        jni_calls: 25_633,
+        native_method_calls: 3_701_694,
+    },
+    PaperTable2Row {
+        name: "mpegaudio",
+        pct_native: 0.95,
+        jni_calls: 571,
+        native_method_calls: 106_117,
+    },
+    PaperTable2Row {
+        name: "mtrt",
+        pct_native: 1.62,
+        jni_calls: 513,
+        native_method_calls: 73_357,
+    },
+    PaperTable2Row {
+        name: "jack",
+        pct_native: 20.26,
+        jni_calls: 1_308,
+        native_method_calls: 4_991_615,
+    },
+    PaperTable2Row {
+        name: "JBB2005",
+        pct_native: 12.19,
+        jni_calls: 770_123,
+        native_method_calls: 199_879,
+    },
 ];
 
 /// One measured Table I row.
@@ -167,8 +246,14 @@ pub fn render_table1(rows: &[MeasuredOverheadRow], jbb: (f64, f64, f64, f64, f64
     let _ = writeln!(
         out,
         "{:<12} {:>12} {:>12} {:>12} {:>14} {:>12} || paper: {:>12} {:>10}",
-        "benchmark", "time orig[s]", "time SPA[s]", "time IPA[s]", "overhead SPA", "overhead IPA",
-        "ovh SPA", "ovh IPA"
+        "benchmark",
+        "time orig[s]",
+        "time SPA[s]",
+        "time IPA[s]",
+        "overhead SPA",
+        "overhead IPA",
+        "ovh SPA",
+        "ovh IPA"
     );
     for row in rows {
         let paper = PAPER_TABLE1.iter().find(|p| p.name == row.name);
@@ -217,10 +302,20 @@ pub fn render_table2(rows: &[MeasuredProfileRow]) -> String {
     let _ = writeln!(
         out,
         "{:<12} {:>15} {:>12} {:>20} || paper: {:>10} {:>12} {:>14}",
-        "benchmark", "% native exec", "JNI calls", "native method calls", "% native", "JNI", "native calls"
+        "benchmark",
+        "% native exec",
+        "JNI calls",
+        "native method calls",
+        "% native",
+        "JNI",
+        "native calls"
     );
     for row in rows {
-        let paper_name = if row.name == "jbb" { "JBB2005" } else { row.name.as_str() };
+        let paper_name = if row.name == "jbb" {
+            "JBB2005"
+        } else {
+            row.name.as_str()
+        };
         let paper = PAPER_TABLE2.iter().find(|p| p.name == paper_name);
         let _ = writeln!(
             out,

@@ -1,0 +1,63 @@
+//! The acceptance property of the parallel driver: `jprof suite --jobs 4`
+//! must reproduce the sequential Table I/II artifacts **byte for byte**.
+//! Every cell is a self-contained deterministic simulator and assembly
+//! order is fixed, so the job count can only change wall-clock time.
+
+use nativeprof_bench::{
+    render_table1, render_table2, run_suite, table1_artifact, table2_artifact, SuiteConfig,
+};
+use workloads::ProblemSize;
+
+#[test]
+fn parallel_suite_is_byte_identical_to_sequential() {
+    let sequential = run_suite(SuiteConfig::with_size(ProblemSize::S1));
+    let parallel = run_suite(SuiteConfig::with_size(ProblemSize::S1).jobs(4));
+
+    let t1_seq = table1_artifact(&sequential.table1, sequential.jbb);
+    let t1_par = table1_artifact(&parallel.table1, parallel.jbb);
+    assert_eq!(t1_seq.to_csv(), t1_par.to_csv());
+    assert_eq!(t1_seq.to_json(), t1_par.to_json());
+
+    let t2_seq = table2_artifact(&sequential.table2);
+    let t2_par = table2_artifact(&parallel.table2);
+    assert_eq!(t2_seq.to_csv(), t2_par.to_csv());
+    assert_eq!(t2_seq.to_json(), t2_par.to_json());
+
+    // The human-readable renderings follow from the same rows.
+    assert_eq!(
+        render_table1(&sequential.table1, sequential.jbb),
+        render_table1(&parallel.table1, parallel.jbb)
+    );
+    assert_eq!(
+        render_table2(&sequential.table2),
+        render_table2(&parallel.table2)
+    );
+}
+
+#[test]
+fn driver_matches_the_sequential_measurement_functions() {
+    // The driver replaced the sequential per-workload loops; its rows must
+    // agree exactly with the original single-measurement API.
+    let suite = run_suite(SuiteConfig::with_size(ProblemSize::S1));
+    let direct = nativeprof_bench::measure_overheads("compress", ProblemSize::S1);
+    let row = suite
+        .table1
+        .iter()
+        .find(|r| r.name == "compress")
+        .expect("compress row");
+    assert_eq!(row.time_original_s, direct.time_original_s);
+    assert_eq!(row.time_spa_s, direct.time_spa_s);
+    assert_eq!(row.time_ipa_s, direct.time_ipa_s);
+    assert_eq!(row.overhead_spa_pct, direct.overhead_spa_pct);
+    assert_eq!(row.overhead_ipa_pct, direct.overhead_ipa_pct);
+
+    let profile = nativeprof_bench::measure_profile("db", ProblemSize::S1);
+    let row2 = suite
+        .table2
+        .iter()
+        .find(|r| r.name == "db")
+        .expect("db row");
+    assert_eq!(row2.pct_native, profile.pct_native);
+    assert_eq!(row2.jni_calls, profile.jni_calls);
+    assert_eq!(row2.native_method_calls, profile.native_method_calls);
+}

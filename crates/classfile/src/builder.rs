@@ -74,7 +74,8 @@ impl ClassBuilder {
         descriptor: &str,
         flags: FieldFlags,
     ) -> Result<&mut Self, ClassfileError> {
-        self.class.add_field(FieldInfo::new(name, descriptor, flags)?)?;
+        self.class
+            .add_field(FieldInfo::new(name, descriptor, flags)?)?;
         Ok(self)
     }
 
@@ -110,8 +111,7 @@ impl ClassBuilder {
         let desc: MethodDescriptor = descriptor
             .parse()
             .unwrap_or_else(|e| panic!("bad method descriptor {descriptor:?}: {e}"));
-        let arg_slots =
-            desc.param_slots() + usize::from(!flags.contains(MethodFlags::STATIC));
+        let arg_slots = desc.param_slots() + usize::from(!flags.contains(MethodFlags::STATIC));
         MethodBuilder {
             cb: self,
             name: name.to_owned(),
@@ -386,13 +386,21 @@ impl<'a> MethodBuilder<'a> {
 
     /// Call a static method.
     pub fn invokestatic(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.class.pool.intern_method_ref(class, name, descriptor);
+        let idx = self
+            .cb
+            .class
+            .pool
+            .intern_method_ref(class, name, descriptor);
         self.emit(Insn::InvokeStatic(idx))
     }
 
     /// Call an instance method.
     pub fn invokevirtual(&mut self, class: &str, name: &str, descriptor: &str) -> &mut Self {
-        let idx = self.cb.class.pool.intern_method_ref(class, name, descriptor);
+        let idx = self
+            .cb
+            .class
+            .pool
+            .intern_method_ref(class, name, descriptor);
         self.emit(Insn::InvokeVirtual(idx))
     }
 
@@ -528,7 +536,11 @@ pub fn single_method_class(
     build: impl FnOnce(&mut MethodBuilder<'_>),
 ) -> Result<ClassFile, ClassfileError> {
     let mut cb = ClassBuilder::new(class_name);
-    let mut mb = cb.method(method_name, descriptor, MethodFlags::STATIC | MethodFlags::PUBLIC);
+    let mut mb = cb.method(
+        method_name,
+        descriptor,
+        MethodFlags::STATIC | MethodFlags::PUBLIC,
+    );
     build(&mut mb);
     mb.finish()?;
     cb.finish()
@@ -600,7 +612,12 @@ mod tests {
             m.iload(0).iload(1).iadd().istore(5).iload(5).ireturn();
         })
         .unwrap();
-        let code = class.find_method("f", "(II)I").unwrap().code.as_ref().unwrap();
+        let code = class
+            .find_method("f", "(II)I")
+            .unwrap()
+            .code
+            .as_ref()
+            .unwrap();
         assert_eq!(code.max_locals, 6);
     }
 
@@ -611,7 +628,12 @@ mod tests {
         m.ret_void();
         m.finish().unwrap();
         let class = cb.finish().unwrap();
-        let code = class.find_method("g", "()V").unwrap().code.as_ref().unwrap();
+        let code = class
+            .find_method("g", "()V")
+            .unwrap()
+            .code
+            .as_ref()
+            .unwrap();
         assert_eq!(code.max_locals, 1);
     }
 
@@ -630,7 +652,12 @@ mod tests {
             m.try_region(start, end, handler, None);
         })
         .unwrap();
-        let code = class.find_method("f", "()V").unwrap().code.as_ref().unwrap();
+        let code = class
+            .find_method("f", "()V")
+            .unwrap()
+            .code
+            .as_ref()
+            .unwrap();
         assert_eq!(code.exception_table.len(), 1);
         let h = &code.exception_table[0];
         assert_eq!((h.start, h.end, h.handler), (0, 1, 2));
@@ -653,7 +680,12 @@ mod tests {
             m.ret_void();
         })
         .unwrap();
-        let code = class.find_method("f", "()V").unwrap().code.as_ref().unwrap();
+        let code = class
+            .find_method("f", "()V")
+            .unwrap()
+            .code
+            .as_ref()
+            .unwrap();
         assert_eq!(code.insns[0], code.insns[1]);
     }
 
@@ -684,7 +716,12 @@ mod tests {
             m.iconst(-1).ireturn();
         })
         .unwrap();
-        let code = class.find_method("pick", "(I)I").unwrap().code.as_ref().unwrap();
+        let code = class
+            .find_method("pick", "(I)I")
+            .unwrap()
+            .code
+            .as_ref()
+            .unwrap();
         match &code.insns[1] {
             Insn::TableSwitch {
                 targets, default, ..

@@ -285,11 +285,9 @@ impl ClassFile {
     /// Returns [`ClassfileError::Duplicate`] if a method with the same name
     /// and descriptor already exists.
     pub fn add_method(&mut self, method: MethodInfo) -> Result<(), ClassfileError> {
-        if self
-            .methods
-            .iter()
-            .any(|m| m.name() == method.name() && m.descriptor_string() == method.descriptor_string())
-        {
+        if self.methods.iter().any(|m| {
+            m.name() == method.name() && m.descriptor_string() == method.descriptor_string()
+        }) {
             return Err(ClassfileError::Duplicate(format!(
                 "method {} in class {}",
                 method.signature(),
@@ -408,10 +406,7 @@ mod tests {
         let mut c = ClassFile::new("a/B");
         let m = MethodInfo::new_native("n", "()V", MethodFlags::EMPTY).unwrap();
         c.add_method(m.clone()).unwrap();
-        assert!(matches!(
-            c.add_method(m),
-            Err(ClassfileError::Duplicate(_))
-        ));
+        assert!(matches!(c.add_method(m), Err(ClassfileError::Duplicate(_))));
         // Overloads are fine.
         c.add_method(MethodInfo::new_native("n", "(I)V", MethodFlags::EMPTY).unwrap())
             .unwrap();
@@ -423,7 +418,10 @@ mod tests {
     #[test]
     fn display() {
         let c = ClassFile::new("a/B");
-        assert_eq!(c.to_string(), "class a/B extends java/lang/Object (0 fields, 0 methods)");
+        assert_eq!(
+            c.to_string(),
+            "class a/B extends java/lang/Object (0 fields, 0 methods)"
+        );
         let m = MethodInfo::new_native("n", "()V", MethodFlags::PUBLIC).unwrap();
         assert_eq!(m.to_string(), "public native n()V");
     }

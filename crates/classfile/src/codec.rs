@@ -60,7 +60,10 @@ impl Writer {
     }
     fn str(&mut self, s: &str) {
         let bytes = s.as_bytes();
-        assert!(bytes.len() <= u16::MAX as usize, "string too long for format");
+        assert!(
+            bytes.len() <= u16::MAX as usize,
+            "string too long for format"
+        );
         self.u16(bytes.len() as u16);
         self.buf.extend_from_slice(bytes);
     }
@@ -426,11 +429,7 @@ impl<'a> Reader<'a> {
             0 => ArrayKind::Int,
             1 => ArrayKind::Float,
             2 => ArrayKind::Ref,
-            other => {
-                return Err(ClassfileError::BadFormat(format!(
-                    "bad array kind {other}"
-                )))
-            }
+            other => return Err(ClassfileError::BadFormat(format!("bad array kind {other}"))),
         })
     }
 }
@@ -554,15 +553,16 @@ pub fn decode(data: &[u8]) -> Result<ClassFile, ClassfileError> {
         )));
     }
     let flags_bits = r.u16()?;
-    let flags = ClassFlags::from_bits(flags_bits).ok_or_else(|| {
-        ClassfileError::BadFormat(format!("bad class flags 0x{flags_bits:04X}"))
-    })?;
+    let flags = ClassFlags::from_bits(flags_bits)
+        .ok_or_else(|| ClassfileError::BadFormat(format!("bad class flags 0x{flags_bits:04X}")))?;
     let name = r.str()?;
     let super_name = r.opt_str()?;
 
     let mut class = ClassFile::new(name);
     class.flags = flags;
-    if let Some(s) = super_name { class.set_super_name(s) }
+    if let Some(s) = super_name {
+        class.set_super_name(s)
+    }
 
     let mut pool = ConstantPool::new();
     let pool_len = r.u16()?;
@@ -598,9 +598,8 @@ pub fn decode(data: &[u8]) -> Result<ClassFile, ClassfileError> {
         let fname = r.str()?;
         let fdesc = r.str()?;
         let bits = r.u16()?;
-        let fflags = FieldFlags::from_bits(bits).ok_or_else(|| {
-            ClassfileError::BadFormat(format!("bad field flags 0x{bits:04X}"))
-        })?;
+        let fflags = FieldFlags::from_bits(bits)
+            .ok_or_else(|| ClassfileError::BadFormat(format!("bad field flags 0x{bits:04X}")))?;
         class.add_field(FieldInfo::new(fname, &fdesc, fflags)?)?;
     }
 
@@ -609,9 +608,8 @@ pub fn decode(data: &[u8]) -> Result<ClassFile, ClassfileError> {
         let mname = r.str()?;
         let mdesc = r.str()?;
         let bits = r.u16()?;
-        let mflags = MethodFlags::from_bits(bits).ok_or_else(|| {
-            ClassfileError::BadFormat(format!("bad method flags 0x{bits:04X}"))
-        })?;
+        let mflags = MethodFlags::from_bits(bits)
+            .ok_or_else(|| ClassfileError::BadFormat(format!("bad method flags 0x{bits:04X}")))?;
         let has_code = r.u8()?;
         let method = match has_code {
             0 => {
@@ -684,7 +682,8 @@ mod tests {
     fn sample_class() -> ClassFile {
         let mut cb = ClassBuilder::new("pkg/Sample");
         cb.field("hits", "I", FieldFlags::STATIC).unwrap();
-        cb.native_method("nat", "(I)I", MethodFlags::PUBLIC).unwrap();
+        cb.native_method("nat", "(I)I", MethodFlags::PUBLIC)
+            .unwrap();
         let mut m = cb.method("loop", "(I)I", MethodFlags::STATIC);
         let top = m.new_label();
         let done = m.new_label();
@@ -726,12 +725,40 @@ mod tests {
             m.iload(2).iload(2).isub().istore(2);
             m.bind(end);
             m.iload(2).pop();
-            m.iload(2).iload(2).dup().pop().swap().imul().iload(2).iand().istore(2);
-            m.iload(2).iconst(1).ior().iconst(1).ixor().iconst(1).ishl().istore(2);
+            m.iload(2)
+                .iload(2)
+                .dup()
+                .pop()
+                .swap()
+                .imul()
+                .iload(2)
+                .iand()
+                .istore(2);
+            m.iload(2)
+                .iconst(1)
+                .ior()
+                .iconst(1)
+                .ixor()
+                .iconst(1)
+                .ishl()
+                .istore(2);
             m.iload(2).iconst(1).ishr().iconst(1).iushr().istore(2);
-            m.iload(2).iconst(2).idiv().iconst(2).irem().ineg().istore(2);
+            m.iload(2)
+                .iconst(2)
+                .idiv()
+                .iconst(2)
+                .irem()
+                .ineg()
+                .istore(2);
             m.iinc(2, 7);
-            m.fload(3).fload(3).fadd().fload(3).fsub().fload(3).fmul().fstore(3);
+            m.fload(3)
+                .fload(3)
+                .fadd()
+                .fload(3)
+                .fsub()
+                .fload(3)
+                .fmul()
+                .fstore(3);
             m.fload(3).fload(3).fdiv().fneg().fstore(3);
             m.iload(2).i2f().f2i().istore(2);
             m.fload(3).fload(3).fcmp().istore(2);

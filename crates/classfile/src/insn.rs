@@ -503,7 +503,11 @@ mod tests {
         assert_eq!(Insn::IConst(-3).to_string(), "iconst -3");
         assert_eq!(Insn::IfICmp(Cond::Lt, 4).to_string(), "if_icmplt @4");
         assert_eq!(
-            Insn::IInc { local: 2, delta: -1 }.to_string(),
+            Insn::IInc {
+                local: 2,
+                delta: -1
+            }
+            .to_string(),
             "iinc 2 -1"
         );
         assert_eq!(Insn::NewArray(ArrayKind::Int).to_string(), "newarray int");

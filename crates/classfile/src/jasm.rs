@@ -167,16 +167,14 @@ fn parse_class_body(cb: &mut ClassBuilder, lines: &mut Lines) -> Result<(), Clas
                 let [flag_words @ .., name, descriptor] = rest else {
                     return Err(err(line_no, "native method needs `[flags] name (desc)R`"));
                 };
-                let flags =
-                    parse_method_flags(flag_words).map_err(|m| err(line_no, m))?;
+                let flags = parse_method_flags(flag_words).map_err(|m| err(line_no, m))?;
                 cb.native_method(name, descriptor, flags)?;
             }
             ["method", rest @ ..] => {
                 let [flag_words @ .., name, descriptor, "{"] = rest else {
                     return Err(err(line_no, "method needs `[flags] name (desc)R {`"));
                 };
-                let flags =
-                    parse_method_flags(flag_words).map_err(|m| err(line_no, m))?;
+                let flags = parse_method_flags(flag_words).map_err(|m| err(line_no, m))?;
                 let mut mb = cb.method(name, descriptor, flags);
                 parse_method_body(&mut mb, lines)?;
                 mb.finish()?;
@@ -184,7 +182,9 @@ fn parse_class_body(cb: &mut ClassBuilder, lines: &mut Lines) -> Result<(), Clas
             _ => return Err(err(line_no, format!("unexpected class item {line:?}"))),
         }
     }
-    Err(ClassfileError::Invalid("jasm: unterminated class body".into()))
+    Err(ClassfileError::Invalid(
+        "jasm: unterminated class body".into(),
+    ))
 }
 
 struct LabelTable {
@@ -352,8 +352,8 @@ fn parse_method_body(mb: &mut MethodBuilder<'_>, lines: &mut Lines) -> Result<()
             }
             "iload" | "fload" | "aload" | "istore" | "fstore" | "astore" => {
                 need(1)?;
-                let slot = u16::try_from(int_arg(0)?)
-                    .map_err(|_| err(line_no, "slot out of range"))?;
+                let slot =
+                    u16::try_from(int_arg(0)?).map_err(|_| err(line_no, "slot out of range"))?;
                 match *op {
                     "iload" => mb.iload(slot),
                     "fload" => mb.fload(slot),
@@ -365,10 +365,10 @@ fn parse_method_body(mb: &mut MethodBuilder<'_>, lines: &mut Lines) -> Result<()
             }
             "iinc" => {
                 need(2)?;
-                let slot = u16::try_from(int_arg(0)?)
-                    .map_err(|_| err(line_no, "slot out of range"))?;
-                let delta = i32::try_from(int_arg(1)?)
-                    .map_err(|_| err(line_no, "delta out of range"))?;
+                let slot =
+                    u16::try_from(int_arg(0)?).map_err(|_| err(line_no, "slot out of range"))?;
+                let delta =
+                    i32::try_from(int_arg(1)?).map_err(|_| err(line_no, "delta out of range"))?;
                 mb.iinc(slot, delta);
             }
             "goto" => {
@@ -411,10 +411,8 @@ fn parse_method_body(mb: &mut MethodBuilder<'_>, lines: &mut Lines) -> Result<()
                     .iter()
                     .position(|&w| w == "]")
                     .ok_or_else(|| err(line_no, "tableswitch: missing `]`"))?;
-                let targets: Vec<Label> = args[2..close]
-                    .iter()
-                    .map(|w| labels.get(mb, w))
-                    .collect();
+                let targets: Vec<Label> =
+                    args[2..close].iter().map(|w| labels.get(mb, w)).collect();
                 let default = args
                     .get(close + 1)
                     .ok_or_else(|| err(line_no, "tableswitch: missing default"))?;
@@ -467,7 +465,9 @@ fn parse_method_body(mb: &mut MethodBuilder<'_>, lines: &mut Lines) -> Result<()
             other => return Err(err(line_no, format!("unknown mnemonic {other:?}"))),
         }
     }
-    Err(ClassfileError::Invalid("jasm: unterminated method body".into()))
+    Err(ClassfileError::Invalid(
+        "jasm: unterminated method body".into(),
+    ))
 }
 
 #[cfg(test)]
@@ -566,10 +566,19 @@ mod tests {
     #[test]
     fn errors_carry_line_numbers() {
         let cases = [
-            ("class a/A {\n  method static f ()V {\n    frobnicate\n  }\n}", "line 3"),
+            (
+                "class a/A {\n  method static f ()V {\n    frobnicate\n  }\n}",
+                "line 3",
+            ),
             ("class a/A {\n  bogus item\n}", "line 2"),
-            ("class a/A {\n  method static f ()V {\n    iconst x\n  }\n}", "line 3"),
-            ("class a/A {\n  method static f ()V {\n    goto\n  }\n}", "line 3"),
+            (
+                "class a/A {\n  method static f ()V {\n    iconst x\n  }\n}",
+                "line 3",
+            ),
+            (
+                "class a/A {\n  method static f ()V {\n    goto\n  }\n}",
+                "line 3",
+            ),
             ("banana", "line 1"),
         ];
         for (src, needle) in cases {
@@ -586,11 +595,9 @@ mod tests {
 
     #[test]
     fn duplicate_label_rejected() {
-        let e = parse(
-            "class a/A {\n  method static f ()V {\n  x:\n  x:\n    return\n  }\n}",
-        )
-        .unwrap_err()
-        .to_string();
+        let e = parse("class a/A {\n  method static f ()V {\n  x:\n  x:\n    return\n  }\n}")
+            .unwrap_err()
+            .to_string();
         assert!(e.contains("bound twice"), "{e}");
     }
 

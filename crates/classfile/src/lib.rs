@@ -52,4 +52,3 @@ pub use error::ClassfileError;
 pub use flags::{ClassFlags, FieldFlags, MethodFlags};
 pub use insn::{ArrayKind, Cond, Insn, InsnIndex};
 pub use ty::{MethodDescriptor, ReturnType, Type};
-

@@ -287,10 +287,7 @@ mod tests {
         assert_eq!(d.params().len(), 2);
         assert_eq!(d.params()[0], Type::Int);
         assert_eq!(d.params()[1], Type::Float.array_of());
-        assert_eq!(
-            *d.return_type(),
-            ReturnType::Value(Type::object("q/R")),
-        );
+        assert_eq!(*d.return_type(), ReturnType::Value(Type::object("q/R")),);
         assert_eq!(d.param_slots(), 2);
     }
 

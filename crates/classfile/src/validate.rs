@@ -451,9 +451,8 @@ pub fn validate_code(
     };
     sim.run()?;
     Ok(CodeFacts {
-        max_stack: u16::try_from(sim.max_stack).map_err(|_| {
-            ClassfileError::Invalid(format!("{}: stack too deep", method.name()))
-        })?,
+        max_stack: u16::try_from(sim.max_stack)
+            .map_err(|_| ClassfileError::Invalid(format!("{}: stack too deep", method.name())))?,
         max_local_used: sim.max_local as u16,
     })
 }
@@ -547,12 +546,7 @@ mod tests {
         let facts = check(
             "()I",
             0,
-            vec![
-                Insn::IConst(1),
-                Insn::IConst(2),
-                Insn::IAdd,
-                Insn::IReturn,
-            ],
+            vec![Insn::IConst(1), Insn::IConst(2), Insn::IAdd, Insn::IReturn],
         )
         .unwrap();
         assert_eq!(facts.max_stack, 2);
@@ -566,12 +560,7 @@ mod tests {
 
     #[test]
     fn kind_mismatch_rejected() {
-        let err = check(
-            "()V",
-            0,
-            vec![Insn::IConst(1), Insn::FNeg, Insn::Return],
-        )
-        .unwrap_err();
+        let err = check("()V", 0, vec![Insn::IConst(1), Insn::FNeg, Insn::Return]).unwrap_err();
         assert!(err.to_string().contains("expected Float"), "{err}");
     }
 
@@ -600,11 +589,11 @@ mod tests {
             "(I)V",
             1,
             vec![
-                Insn::ILoad(0),               // 0
-                Insn::If(Cond::Eq, 3),        // 1: eq -> 3 (empty stack)
-                Insn::IConst(7),              // 2: push
-                Insn::Nop,                    // 3: merge point, depth 0 vs 1
-                Insn::Return,                 // 4
+                Insn::ILoad(0),        // 0
+                Insn::If(Cond::Eq, 3), // 1: eq -> 3 (empty stack)
+                Insn::IConst(7),       // 2: push
+                Insn::Nop,             // 3: merge point, depth 0 vs 1
+                Insn::Return,          // 4
             ],
         )
         .unwrap_err();
@@ -617,12 +606,12 @@ mod tests {
             "(I)I",
             1,
             vec![
-                Insn::ILoad(0),            // 0
-                Insn::If(Cond::Eq, 4),     // 1
-                Insn::IConst(1),           // 2
-                Insn::Goto(5),             // 3
-                Insn::IConst(2),           // 4
-                Insn::IReturn,             // 5 (merge, depth 1)
+                Insn::ILoad(0),        // 0
+                Insn::If(Cond::Eq, 4), // 1
+                Insn::IConst(1),       // 2
+                Insn::Goto(5),         // 3
+                Insn::IConst(2),       // 4
+                Insn::IReturn,         // 5 (merge, depth 1)
             ],
         )
         .unwrap();
@@ -635,11 +624,14 @@ mod tests {
             "(I)V",
             1,
             vec![
-                Insn::ILoad(0),               // 0
-                Insn::If(Cond::Le, 4),        // 1
-                Insn::IInc { local: 0, delta: -1 }, // 2
-                Insn::Goto(0),                // 3
-                Insn::Return,                 // 4
+                Insn::ILoad(0),        // 0
+                Insn::If(Cond::Le, 4), // 1
+                Insn::IInc {
+                    local: 0,
+                    delta: -1,
+                }, // 2
+                Insn::Goto(0),         // 3
+                Insn::Return,          // 4
             ],
         )
         .unwrap();
@@ -653,12 +645,7 @@ mod tests {
         assert!(err.to_string().contains("void return"), "{err}");
         let err = check("()V", 0, vec![Insn::IConst(0), Insn::IReturn]).unwrap_err();
         assert!(err.to_string().contains("does not match"), "{err}");
-        let err = check(
-            "()F",
-            0,
-            vec![Insn::IConst(0), Insn::IReturn],
-        )
-        .unwrap_err();
+        let err = check("()F", 0, vec![Insn::IConst(0), Insn::IReturn]).unwrap_err();
         assert!(err.to_string().contains("does not match"), "{err}");
     }
 
@@ -715,7 +702,12 @@ mod tests {
         let facts = check_with(
             "()V",
             0,
-            vec![Insn::AConstNull, Insn::InvokeStatic(m), Insn::Pop, Insn::Return],
+            vec![
+                Insn::AConstNull,
+                Insn::InvokeStatic(m),
+                Insn::Pop,
+                Insn::Return,
+            ],
             vec![],
             &pool,
         )
@@ -785,7 +777,10 @@ mod tests {
         let err = check(
             "()V",
             0,
-            vec![Insn::InvokeStatic(crate::constpool::CpIndex(3)), Insn::Return],
+            vec![
+                Insn::InvokeStatic(crate::constpool::CpIndex(3)),
+                Insn::Return,
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, ClassfileError::Invalid(_)), "{err}");
@@ -873,11 +868,11 @@ mod tests {
                     default: 6,
                 }, // 1
                 Insn::IConst(10), // 2
-                Insn::IReturn,    // 3
+                Insn::IReturn,  // 3
                 Insn::IConst(20), // 4
-                Insn::IReturn,    // 5
-                Insn::IConst(0),  // 6
-                Insn::IReturn,    // 7
+                Insn::IReturn,  // 5
+                Insn::IConst(0), // 6
+                Insn::IReturn,  // 7
             ],
         )
         .unwrap();

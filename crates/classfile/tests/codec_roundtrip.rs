@@ -72,8 +72,16 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         (arb_cond(), 0u32..10_000).prop_map(|(c, t)| Insn::IfICmp(c, t)),
         (0u32..10_000).prop_map(Insn::IfNull),
         (0u32..10_000).prop_map(Insn::IfNonNull),
-        (any::<i64>(), prop::collection::vec(0u32..10_000, 0..8), 0u32..10_000)
-            .prop_map(|(low, targets, default)| Insn::TableSwitch { low, targets, default }),
+        (
+            any::<i64>(),
+            prop::collection::vec(0u32..10_000, 0..8),
+            0u32..10_000
+        )
+            .prop_map(|(low, targets, default)| Insn::TableSwitch {
+                low,
+                targets,
+                default
+            }),
         (0u16..64).prop_map(|i| Insn::InvokeStatic(CpIndex(i))),
         (0u16..64).prop_map(|i| Insn::InvokeVirtual(CpIndex(i))),
         Just(Insn::Return),
@@ -106,17 +114,27 @@ fn arb_class() -> impl Strategy<Value = ClassFile> {
         arb_class_name(),
         prop::collection::vec(arb_insn(), 1..60),
         prop::collection::vec(
-            ((0u32..50), (0u32..50), (0u32..50), prop::option::of(arb_class_name())),
+            (
+                (0u32..50),
+                (0u32..50),
+                (0u32..50),
+                prop::option::of(arb_class_name()),
+            ),
             0..4,
         ),
-        prop::collection::vec(("[a-z]{1,10}", "[ -~]{0,30}", "\\(\\)V|\\(I\\)I|\\(IF\\)F"), 0..6),
+        prop::collection::vec(
+            ("[a-z]{1,10}", "[ -~]{0,30}", "\\(\\)V|\\(I\\)I|\\(IF\\)F"),
+            0..6,
+        ),
     )
         .prop_map(|(name, insns, handlers, pool_seed)| {
             let mut class = ClassFile::new(name);
             // Populate the pool with entries the instruction operands can
             // (dangling-ly) reference; the codec must not care.
             for (cls, mname, desc) in &pool_seed {
-                class.pool.intern_method_ref(cls.clone(), mname.clone(), desc.clone());
+                class
+                    .pool
+                    .intern_method_ref(cls.clone(), mname.clone(), desc.clone());
                 class.pool.intern_field_ref(cls.clone(), mname.clone(), "I");
                 class.pool.intern_utf8(desc.clone());
             }
@@ -136,14 +154,10 @@ fn arb_class() -> impl Strategy<Value = ClassFile> {
                 exception_table,
             };
             class
-                .add_method(
-                    MethodInfo::new("body", "()V", MethodFlags::STATIC, code).unwrap(),
-                )
+                .add_method(MethodInfo::new("body", "()V", MethodFlags::STATIC, code).unwrap())
                 .unwrap();
             class
-                .add_method(
-                    MethodInfo::new_native("nat", "(IF)I", MethodFlags::PUBLIC).unwrap(),
-                )
+                .add_method(MethodInfo::new_native("nat", "(IF)I", MethodFlags::PUBLIC).unwrap())
                 .unwrap();
             class
         })

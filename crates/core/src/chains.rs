@@ -18,8 +18,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use jvmsim_jvmti::{
-    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor,
-    ThreadLocalStorage,
+    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor, ThreadLocalStorage,
 };
 use jvmsim_vm::{MethodView, ThreadId};
 
@@ -76,7 +75,13 @@ impl CallChain {
 impl fmt::Display for CallChain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (i, frame) in self.frames.iter().enumerate() {
-            writeln!(f, "{:indent$}{} {frame}", "", if i == 0 { "at" } else { "↳" }, indent = i)?;
+            writeln!(
+                f,
+                "{:indent$}{} {frame}",
+                "",
+                if i == 0 { "at" } else { "↳" },
+                indent = i
+            )?;
         }
         Ok(())
     }
@@ -166,7 +171,8 @@ impl Agent for ChainProfiler {
                     max_watched_hits: self.max_watched_hits,
                     ..ChainState::default()
                 },
-            )).expect("attached twice");
+            ))
+            .expect("attached twice");
         self.env.set(env).expect("attached twice");
         Ok(())
     }
@@ -280,10 +286,7 @@ mod tests {
                 &[args[0]],
             )
         });
-        let profiler = ChainProfiler::new(
-            vec![("c/M".to_owned(), "callback".to_owned())],
-            10,
-        );
+        let profiler = ChainProfiler::new(vec![("c/M".to_owned(), "callback".to_owned())], 10);
         let mut vm = Vm::new();
         vm.add_classfile(&cb.finish().unwrap());
         vm.register_native_library(lib, true);
@@ -324,10 +327,7 @@ mod tests {
         m.bind(done);
         m.ret_void();
         m.finish().unwrap();
-        let profiler = ChainProfiler::new(
-            vec![("c/Loop".to_owned(), "leaf".to_owned())],
-            3,
-        );
+        let profiler = ChainProfiler::new(vec![("c/Loop".to_owned(), "leaf".to_owned())], 3);
         let mut vm = Vm::new();
         vm.add_classfile(&cb.finish().unwrap());
         jvmsim_jvmti::attach(&mut vm, Arc::clone(&profiler) as Arc<dyn Agent>).unwrap();

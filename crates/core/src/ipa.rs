@@ -26,11 +26,10 @@ use parking_lot::Mutex;
 
 use jvmsim_instr::{bridge_class, NativeWrapperTransform, WrapperConfig};
 use jvmsim_jvmti::{
-    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor,
-    ThreadLocalStorage,
+    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor, ThreadLocalStorage,
 };
 use jvmsim_vm::cost::CostModel;
-use jvmsim_vm::{NativeLibrary, ThreadId, Value};
+use jvmsim_vm::{NativeLibrary, ThreadId, TraceEventKind, TraceSink, Value};
 
 use crate::stats::{Meter, NativeProfile, Side, TimeSplit};
 
@@ -154,6 +153,11 @@ pub struct IpaAgent {
     /// Classes the dynamic `ClassFileLoadHook` failed to instrument (left
     /// uninstrumented; their native calls escape the J2N count).
     instrumentation_failures: AtomicU64,
+    /// Transition-trace sink (adopted from the VM at attach, or set
+    /// explicitly before attach). Events reuse the timestamp the probe
+    /// already read for banking, so tracing adds no charged cycles and
+    /// leaves the Table I/II quantities untouched.
+    trace: OnceLock<Arc<dyn TraceSink>>,
 }
 
 impl std::fmt::Debug for IpaAgent {
@@ -183,7 +187,20 @@ impl IpaAgent {
             jni_calls: AtomicU64::new(0),
             native_method_calls: AtomicU64::new(0),
             instrumentation_failures: AtomicU64::new(0),
+            trace: OnceLock::new(),
         })
+    }
+
+    /// Install a transition-trace sink (before attach; later calls are
+    /// ignored, first-set wins — matching the VM's single-tracer model).
+    pub fn set_trace_sink(&self, trace: Arc<dyn TraceSink>) {
+        let _ = self.trace.set(trace);
+    }
+
+    fn trace_record(&self, thread: ThreadId, kind: TraceEventKind, now: jvmsim_pcl::Timestamp) {
+        if let Some(trace) = self.trace.get() {
+            trace.record(thread, kind, now.cycles(), None);
+        }
     }
 
     /// The static-instrumentation step (paper: "we resort to static
@@ -233,6 +250,7 @@ impl IpaAgent {
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);
+        self.trace_record(thread, TraceEventKind::J2nBegin, now);
         tc.meter.bank(Side::Bytecode, now, self.comp().j2n_begin);
         tc.in_native = true;
         env.charge(thread, env.costs().agent_logic);
@@ -244,6 +262,7 @@ impl IpaAgent {
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);
+        self.trace_record(thread, TraceEventKind::J2nEnd, now);
         tc.meter.bank(Side::Native, now, self.comp().j2n_end);
         tc.in_native = false;
         env.charge(thread, env.costs().agent_logic);
@@ -257,6 +276,7 @@ impl IpaAgent {
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);
+        self.trace_record(thread, TraceEventKind::N2jBegin, now);
         tc.meter.bank(Side::Native, now, self.comp().n2j_begin);
         tc.in_native = false;
         env.charge(thread, env.costs().agent_logic);
@@ -269,6 +289,7 @@ impl IpaAgent {
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);
+        self.trace_record(thread, TraceEventKind::N2jEnd, now);
         tc.meter.bank(Side::Bytecode, now, self.comp().n2j_end);
         tc.in_native = true;
         env.charge(thread, env.costs().agent_logic);
@@ -293,10 +314,26 @@ impl IpaAgent {
                 Ok(Value::Null)
             }
         }
-        lib.register_method(&class, "J2N_Begin", probe(self.weak.clone(), IpaAgent::j2n_begin));
-        lib.register_method(&class, "J2N_End", probe(self.weak.clone(), IpaAgent::j2n_end));
-        lib.register_method(&class, "N2J_Begin", probe(self.weak.clone(), IpaAgent::n2j_begin));
-        lib.register_method(&class, "N2J_End", probe(self.weak.clone(), IpaAgent::n2j_end));
+        lib.register_method(
+            &class,
+            "J2N_Begin",
+            probe(self.weak.clone(), IpaAgent::j2n_begin),
+        );
+        lib.register_method(
+            &class,
+            "J2N_End",
+            probe(self.weak.clone(), IpaAgent::j2n_end),
+        );
+        lib.register_method(
+            &class,
+            "N2J_Begin",
+            probe(self.weak.clone(), IpaAgent::n2j_begin),
+        );
+        lib.register_method(
+            &class,
+            "N2J_End",
+            probe(self.weak.clone(), IpaAgent::n2j_end),
+        );
         lib
     }
 
@@ -324,6 +361,12 @@ impl IpaAgent {
 
 impl Agent for IpaAgent {
     fn on_load(&self, host: &mut AgentHost<'_>) -> Result<(), JvmtiError> {
+        // Adopt the VM's trace sink so one `Vm::set_trace_sink` before
+        // attach wires both VM-level and agent-level events to one
+        // recorder. An explicitly-set sink (set_trace_sink) wins.
+        if let Some(trace) = host.vm().trace_sink() {
+            let _ = self.trace.set(trace);
+        }
         let mut caps = Capabilities::ipa();
         if self.config.mode == InstrumentationMode::Dynamic {
             caps.can_generate_class_file_load_hook = true;
@@ -369,10 +412,10 @@ impl Agent for IpaAgent {
             Compensation::off()
         };
         self.comp.set(comp).expect("IPA attached twice");
-        self.tls
-            .set(env.create_tls()).expect("IPA attached twice");
+        self.tls.set(env.create_tls()).expect("IPA attached twice");
         self.totals
-            .set(env.create_raw_monitor("IPA totals", IpaTotals::default())).expect("IPA attached twice");
+            .set(env.create_raw_monitor("IPA totals", IpaTotals::default()))
+            .expect("IPA attached twice");
         self.env.set(env).expect("IPA attached twice");
         Ok(())
     }
@@ -446,7 +489,8 @@ impl Agent for IpaAgent {
                 // The class loads uninstrumented: its native calls will be
                 // invisible to the J2N count. Surface it via the counter so
                 // reports can be distrusted rather than silently wrong.
-                self.instrumentation_failures.fetch_add(1, Ordering::Relaxed);
+                self.instrumentation_failures
+                    .fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -459,11 +503,12 @@ mod tests {
     use jvmsim_classfile::builder::ClassBuilder;
     use jvmsim_classfile::MethodFlags;
     use jvmsim_instr::Archive;
-    use jvmsim_vm::{Vm};
+    use jvmsim_vm::Vm;
 
     fn mixed_archive() -> (Archive, NativeLibrary) {
         let mut cb = ClassBuilder::new("p/Mix");
-        cb.native_method("spin", "(I)V", MethodFlags::STATIC).unwrap();
+        cb.native_method("spin", "(I)V", MethodFlags::STATIC)
+            .unwrap();
         let mut m = cb.method("burn", "(I)I", MethodFlags::STATIC);
         let top = m.new_label();
         let done = m.new_label();
@@ -558,7 +603,12 @@ mod tests {
         let b = no_comp.report();
         // Without compensation the wrapper overhead is attributed to the
         // measured spans, so the uncompensated totals are strictly larger.
-        assert!(b.total.total() > a.total.total(), "{} vs {}", b.total.total(), a.total.total());
+        assert!(
+            b.total.total() > a.total.total(),
+            "{} vs {}",
+            b.total.total(),
+            a.total.total()
+        );
     }
 
     #[test]
@@ -585,7 +635,8 @@ mod tests {
     fn n2j_interception_counts_jni_calls() {
         // A native method that upcalls into Java through the JNI table.
         let mut cb = ClassBuilder::new("p/Up");
-        cb.native_method("viaJni", "(I)I", MethodFlags::STATIC).unwrap();
+        cb.native_method("viaJni", "(I)I", MethodFlags::STATIC)
+            .unwrap();
         let mut m = cb.method("callback", "(I)I", MethodFlags::STATIC);
         m.iload(0).iconst(1).iadd().ireturn();
         m.finish().unwrap();
@@ -623,7 +674,8 @@ mod tests {
     #[test]
     fn exception_through_wrapper_still_banks_native_time() {
         let mut cb = ClassBuilder::new("p/Boom");
-        cb.native_method("boom", "()V", MethodFlags::STATIC).unwrap();
+        cb.native_method("boom", "()V", MethodFlags::STATIC)
+            .unwrap();
         let mut m = cb.method("main", "()I", MethodFlags::STATIC);
         let start = m.new_label();
         let end = m.new_label();

@@ -71,7 +71,7 @@ pub mod spa;
 pub mod stats;
 
 pub use chains::{CallChain, ChainProfiler, Frame};
-pub use sampling::{SamplingEstimate, SamplingProfiler};
 pub use ipa::{Compensation, InstrumentationMode, IpaAgent, IpaConfig};
+pub use sampling::{SamplingEstimate, SamplingProfiler};
 pub use spa::SpaAgent;
 pub use stats::{Meter, NativeProfile, Side, TimeSplit};

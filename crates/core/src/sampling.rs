@@ -150,7 +150,9 @@ mod tests {
         m.bind(top);
         m.iload(0).if_(Cond::Le, done);
         // ~10k bytecode cycles, then ~10k native cycles.
-        m.iconst(2_000).invokestatic("s/Half", "burnJava", "(I)I").pop();
+        m.iconst(2_000)
+            .invokestatic("s/Half", "burnJava", "(I)I")
+            .pop();
         m.invokestatic("s/Half", "burnNative", "()V");
         m.iinc(0, -1).goto(top);
         m.bind(done);
@@ -181,9 +183,12 @@ mod tests {
     #[test]
     fn estimate_tracks_the_oracle() {
         let (estimate, outcome) = run_sampled(1_000);
-        assert!(estimate.total() > 500, "enough samples: {}", estimate.total());
-        let oracle =
-            100.0 * outcome.stats.native_cycles as f64 / outcome.total_cycles as f64;
+        assert!(
+            estimate.total() > 500,
+            "enough samples: {}",
+            estimate.total()
+        );
+        let oracle = 100.0 * outcome.stats.native_cycles as f64 / outcome.total_cycles as f64;
         let est = estimate.percent_native();
         assert!(
             (est - oracle).abs() < 8.0,
@@ -221,7 +226,8 @@ mod tests {
         vm.register_native_library(lib, true);
         let sampler = SamplingProfiler::new();
         sampler.install(&mut vm, 1_000);
-        vm.run("s/Half", "main", "(I)I", vec![Value::Int(100)]).unwrap();
+        vm.run("s/Half", "main", "(I)I", vec![Value::Int(100)])
+            .unwrap();
         let total = sampler.estimate();
         let per_thread = sampler.per_thread();
         let sum_native: u64 = per_thread.iter().map(|(_, e)| e.native_samples).sum();

@@ -17,8 +17,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use jvmsim_jvmti::{
-    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor,
-    ThreadLocalStorage,
+    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor, ThreadLocalStorage,
 };
 use jvmsim_vm::{MethodView, ThreadId};
 
@@ -115,10 +114,10 @@ impl Agent for SpaAgent {
         host.enable_event(EventType::MethodExit)?;
         host.enable_event(EventType::VmDeath)?;
         let env = host.env();
-        self.tls
-            .set(env.create_tls()).expect("SPA attached twice");
+        self.tls.set(env.create_tls()).expect("SPA attached twice");
         self.totals
-            .set(env.create_raw_monitor("SPA totals", SpaTotals::default())).expect("SPA attached twice");
+            .set(env.create_raw_monitor("SPA totals", SpaTotals::default()))
+            .expect("SPA attached twice");
         self.env.set(env).expect("SPA attached twice");
         Ok(())
     }
@@ -141,7 +140,8 @@ impl Agent for SpaAgent {
         let is_native_caller = tc.stack.last().copied().unwrap_or(true);
         if is_native_m != is_native_caller {
             let now = env.timestamp(thread);
-            tc.meter.bank(Side::from_is_native(is_native_caller), now, 0);
+            tc.meter
+                .bank(Side::from_is_native(is_native_caller), now, 0);
         }
         tc.stack.push(is_native_m);
         env.charge(thread, env.costs().agent_logic);
@@ -217,7 +217,8 @@ mod tests {
     fn mixed_program() -> (jvmsim_classfile::ClassFile, NativeLibrary) {
         // main: burn bytecode, then call a native that burns native cycles.
         let mut cb = ClassBuilder::new("p/Mix");
-        cb.native_method("spin", "(I)V", MethodFlags::STATIC).unwrap();
+        cb.native_method("spin", "(I)V", MethodFlags::STATIC)
+            .unwrap();
         let mut m = cb.method("burn", "(I)I", MethodFlags::STATIC);
         let top = m.new_label();
         let done = m.new_label();
@@ -232,7 +233,9 @@ mod tests {
         let mut m = cb.method("main", "()I", MethodFlags::STATIC);
         m.iconst(5_000).invokestatic("p/Mix", "burn", "(I)I").pop();
         m.iconst(0).invokestatic("p/Mix", "spin", "(I)V");
-        m.iconst(5_000).invokestatic("p/Mix", "burn", "(I)I").ireturn();
+        m.iconst(5_000)
+            .invokestatic("p/Mix", "burn", "(I)I")
+            .ireturn();
         m.finish().unwrap();
         let mut lib = NativeLibrary::new("mix");
         lib.register_method("p/Mix", "spin", |env, _args| {
@@ -289,7 +292,8 @@ mod tests {
         // A native method that throws; the wrapper-free SPA still balances
         // its reified stack because MethodExit fires on exception too.
         let mut cb = ClassBuilder::new("p/Thr");
-        cb.native_method("boom", "()V", MethodFlags::STATIC).unwrap();
+        cb.native_method("boom", "()V", MethodFlags::STATIC)
+            .unwrap();
         let mut m = cb.method("main", "()I", MethodFlags::STATIC);
         let start = m.new_label();
         let end = m.new_label();

@@ -33,7 +33,10 @@ fn pure_java_spawned_thread_is_not_counted_as_native() {
     m.ret_void();
     m.finish().unwrap();
     let mut m = cb.method("main", "(I)I", ST);
-    m.ldc_str("w").ldc_str("acc/Pure").ldc_str("worker").iconst(20_000);
+    m.ldc_str("w")
+        .ldc_str("acc/Pure")
+        .ldc_str("worker")
+        .iconst(20_000);
     m.invokestatic(
         "java/lang/Threads",
         "start",
@@ -53,7 +56,9 @@ fn pure_java_spawned_thread_is_not_counted_as_native() {
     vm.add_archive(archive);
     vm.register_native_library(builtins::libjava(), true);
     jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
-    let outcome = vm.run("acc/Pure", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    let outcome = vm
+        .run("acc/Pure", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
     assert!(outcome.main.is_ok());
 
     let report = ipa.report();
@@ -99,7 +104,9 @@ fn primordial_prelude_is_attributed_not_dropped() {
     vm.add_archive(archive);
     vm.register_native_library(lib, true);
     jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
-    let outcome = vm.run("acc/Tail", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    let outcome = vm
+        .run("acc/Tail", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
     assert!(outcome.main.is_ok());
 
     let report = ipa.report();
@@ -149,9 +156,11 @@ fn rerunning_the_same_vm_does_not_double_count() {
     vm.register_native_library(lib, true);
     jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
 
-    vm.run("acc/Twice", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    vm.run("acc/Twice", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
     let after_one = ipa.report().total.total();
-    vm.run("acc/Twice", "main", "(I)I", vec![Value::Int(0)]).unwrap();
+    vm.run("acc/Twice", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
     let after_two = ipa.report().total.total();
     // The second run adds its own (JIT-warm, so much smaller) cycles —
     // NOT a replay of run 1's banked split, which is what the stale

@@ -112,7 +112,10 @@ impl Archive {
     ///
     /// Propagates the first [`InstrError`]; the archive is left in its
     /// pre-call state in that case.
-    pub fn instrument(&mut self, transform: &dyn ClassTransform) -> Result<ArchiveReport, InstrError> {
+    pub fn instrument(
+        &mut self,
+        transform: &dyn ClassTransform,
+    ) -> Result<ArchiveReport, InstrError> {
         let mut report = ArchiveReport::default();
         // Stage replacements per index so a mid-archive failure leaves the
         // archive untouched, without cloning every unchanged entry.

@@ -73,7 +73,10 @@ fn instrument(args: &[String]) -> Result<(), String> {
     std::fs::write(output, archive.to_bytes()).map_err(|e| format!("{output}: {e}"))?;
     println!(
         "{}: {} classes seen, {} instrumented, {} native methods wrapped (prefix {:?})",
-        output, report.classes_seen, report.classes_instrumented, report.methods_touched,
+        output,
+        report.classes_seen,
+        report.classes_instrumented,
+        report.methods_touched,
         config.prefix
     );
     println!("remember to register the prefix and the bridge natives in the VM");

@@ -141,7 +141,7 @@ impl NativeWrapperTransform {
             Insn::InvokeVirtual(target_ref)
         });
         let try_end = insns.len() as u32; // exclusive; covers the invoke
-        // Normal path: J2N_End(); return result.
+                                          // Normal path: J2N_End(); return result.
         insns.push(Insn::InvokeStatic(end_ref));
         insns.push(match original.descriptor().return_type() {
             ReturnType::Void => Insn::Return,
@@ -187,7 +187,6 @@ impl NativeWrapperTransform {
         Ok(wrapper)
     }
 }
-
 
 impl ClassTransform for NativeWrapperTransform {
     fn name(&self) -> &str {
@@ -245,8 +244,12 @@ mod tests {
 
     fn native_class() -> ClassFile {
         let mut cb = ClassBuilder::new("t/N");
-        cb.native_method("readBlock", "([II)I", MethodFlags::PUBLIC | MethodFlags::STATIC)
-            .unwrap();
+        cb.native_method(
+            "readBlock",
+            "([II)I",
+            MethodFlags::PUBLIC | MethodFlags::STATIC,
+        )
+        .unwrap();
         cb.native_method("render", "(F)F", MethodFlags::PUBLIC)
             .unwrap();
         let mut m = cb.method("plain", "()V", MethodFlags::STATIC);
@@ -337,11 +340,13 @@ mod tests {
 
     #[test]
     fn custom_prefix_and_bridge() {
-        let mut cfg = WrapperConfig::default();
-        cfg.prefix = "_p_".into();
-        cfg.bridge_class = "my/Bridge".into();
-        cfg.begin_method = "in".into();
-        cfg.end_method = "out".into();
+        let mut cfg = WrapperConfig {
+            prefix: "_p_".into(),
+            bridge_class: "my/Bridge".into(),
+            begin_method: "in".into(),
+            end_method: "out".into(),
+            ..WrapperConfig::default()
+        };
         cfg.skip_classes.insert("my/Bridge".into());
         let t = NativeWrapperTransform::with_config(cfg);
         assert_eq!(t.prefix(), "_p_");
@@ -356,16 +361,14 @@ mod tests {
     #[test]
     fn void_and_reference_returns() {
         let mut cb = ClassBuilder::new("t/V");
-        cb.native_method("fire", "()V", MethodFlags::STATIC).unwrap();
+        cb.native_method("fire", "()V", MethodFlags::STATIC)
+            .unwrap();
         cb.native_method("name", "()Ljava/lang/String;", MethodFlags::STATIC)
             .unwrap();
         let mut class = cb.finish().unwrap();
         NativeWrapperTransform::new().apply(&mut class).unwrap();
         let vw = class.find_method("fire", "()V").unwrap();
-        assert!(matches!(
-            vw.code.as_ref().unwrap().insns[3],
-            Insn::Return
-        ));
+        assert!(matches!(vw.code.as_ref().unwrap().insns[3], Insn::Return));
         let rw = class.find_method("name", "()Ljava/lang/String;").unwrap();
         assert!(rw
             .code

@@ -59,7 +59,10 @@ pub fn apply_to_bytes(
     }
     validate::validate_class(&class).map_err(|e| InstrError::Transform {
         class: class.name().to_owned(),
-        reason: format!("transform {} produced an invalid class: {e}", transform.name()),
+        reason: format!(
+            "transform {} produced an invalid class: {e}",
+            transform.name()
+        ),
     })?;
     Ok(Some(codec::encode(&class)))
 }

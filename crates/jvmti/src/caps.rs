@@ -62,8 +62,7 @@ impl Capabilities {
                 || other.can_generate_method_exit_events,
             can_set_native_method_prefix: self.can_set_native_method_prefix
                 || other.can_set_native_method_prefix,
-            can_intercept_jni_calls: self.can_intercept_jni_calls
-                || other.can_intercept_jni_calls,
+            can_intercept_jni_calls: self.can_intercept_jni_calls || other.can_intercept_jni_calls,
             can_generate_class_file_load_hook: self.can_generate_class_file_load_hook
                 || other.can_generate_class_file_load_hook,
         }

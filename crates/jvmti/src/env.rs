@@ -143,7 +143,9 @@ impl<'vm> AgentHost<'vm> {
             ));
         }
         if prefix.is_empty() {
-            return Err(JvmtiError::IllegalArgument("empty native method prefix".into()));
+            return Err(JvmtiError::IllegalArgument(
+                "empty native method prefix".into(),
+            ));
         }
         self.vm.register_native_prefix(prefix);
         Ok(())

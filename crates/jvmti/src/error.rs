@@ -39,7 +39,11 @@ mod tests {
             JvmtiError::MustPossessCapability("x".into()).to_string(),
             "must possess capability: x"
         );
-        assert!(JvmtiError::IllegalArgument("p".into()).to_string().contains("illegal"));
-        assert!(JvmtiError::WrongPhase("late".into()).to_string().contains("phase"));
+        assert!(JvmtiError::IllegalArgument("p".into())
+            .to_string()
+            .contains("illegal"));
+        assert!(JvmtiError::WrongPhase("late".into())
+            .to_string()
+            .contains("phase"));
     }
 }

@@ -24,7 +24,9 @@ pub struct RawMonitor<T> {
 
 impl<T> std::fmt::Debug for RawMonitor<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RawMonitor").field("name", &self.name).finish()
+        f.debug_struct("RawMonitor")
+            .field("name", &self.name)
+            .finish()
     }
 }
 

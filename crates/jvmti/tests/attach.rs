@@ -183,7 +183,10 @@ fn tls_and_monitor_charge_the_acting_thread() {
             *mon.enter(thread) += 1;
             let t1 = env.timestamp(thread);
             let after = env.timestamp_unaccounted(thread);
-            assert!(after.cycles() > before.cycles(), "agent work must cost cycles");
+            assert!(
+                after.cycles() > before.cycles(),
+                "agent work must cost cycles"
+            );
             assert!(t1.cycles() <= after.cycles());
             self.observed.fetch_add(1, Ordering::Relaxed);
         }
@@ -211,7 +214,9 @@ fn tls_lifecycle() {
     let env = attach(&mut vm, Arc::new(Noop)).unwrap();
     // Force thread 0 to exist so charging has a clock.
     vm.add_classfile(&trivial_class());
-    vm.call_static("t/M", "main", "()V", vec![]).unwrap().unwrap();
+    vm.call_static("t/M", "main", "()V", vec![])
+        .unwrap()
+        .unwrap();
 
     let tls = env.create_tls::<Vec<u64>>();
     let t0 = ThreadId_from_index_for_test();
@@ -260,18 +265,16 @@ fn bootstrap_classpath_and_agent_library() {
         fn on_load(&self, host: &mut AgentHost<'_>) -> Result<(), JvmtiError> {
             // Prepend an "instrumented" class and a native library.
             let class = single_method_class("boot/Injected", "f", "()I", |m| {
-                m.iconst(5).invokestatic("boot/Injected", "nat", "(I)I").ireturn();
+                m.iconst(5)
+                    .invokestatic("boot/Injected", "nat", "(I)I")
+                    .ireturn();
             })
             .unwrap();
             let mut with_native = class.clone();
             with_native
                 .add_method(
-                    jvmsim_classfile::MethodInfo::new_native(
-                        "nat",
-                        "(I)I",
-                        MethodFlags::STATIC,
-                    )
-                    .unwrap(),
+                    jvmsim_classfile::MethodInfo::new_native("nat", "(I)I", MethodFlags::STATIC)
+                        .unwrap(),
                 )
                 .unwrap();
             host.append_to_bootstrap_class_path(vec![(

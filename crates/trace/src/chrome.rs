@@ -1,0 +1,177 @@
+//! Chrome `trace_event` JSON export (Perfetto / `chrome://tracing`).
+//!
+//! The event stream maps onto the trace-event phases directly:
+//!
+//! * `J2nBegin` opens a `native` duration slice (`ph: "B"`) on the thread's
+//!   track; `J2nEnd` closes it (`ph: "E"`). `N2jBegin`/`N2jEnd` do the same
+//!   for nested `bytecode` slices. Because the wrapper/interceptor pairs
+//!   are properly nested per thread, the B/E stream forms a well-formed
+//!   stack; events dropped at buffer saturation can truncate the tail,
+//!   which the viewers tolerate (slices are auto-closed at trace end).
+//! * `MethodCompile` and `ThreadStart`/`ThreadEnd` become thread-scoped
+//!   instants (`ph: "i"`).
+//! * Each thread also gets a `thread_name` metadata record.
+//!
+//! Timestamps are microseconds of *virtual* time: PCL cycles divided by
+//! the clock rate (the paper's 2.66 GHz by default), emitted with
+//! nanosecond precision (three decimals).
+
+use std::fmt::Write as _;
+
+use jvmsim_vm::TraceEventKind;
+
+use crate::{TraceEvent, TraceSnapshot};
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cycles_to_us(cycles: u64, clock_hz: u64) -> f64 {
+    cycles as f64 * 1.0e6 / clock_hz as f64
+}
+
+fn method_label(event: &TraceEvent) -> String {
+    match event.method {
+        Some(m) => format!("compile class{}.m{}", m.class.index(), m.index),
+        None => "compile".to_owned(),
+    }
+}
+
+fn push_event(out: &mut String, event: &TraceEvent, clock_hz: u64) {
+    let ts = cycles_to_us(event.cycles, clock_hz);
+    let tid = event.thread;
+    let record = match event.kind {
+        TraceEventKind::J2nBegin => format!(
+            r#"{{"name":"native","cat":"transition","ph":"B","ts":{ts:.3},"pid":1,"tid":{tid}}}"#
+        ),
+        TraceEventKind::N2jBegin => format!(
+            r#"{{"name":"bytecode","cat":"transition","ph":"B","ts":{ts:.3},"pid":1,"tid":{tid}}}"#
+        ),
+        TraceEventKind::J2nEnd | TraceEventKind::N2jEnd => {
+            format!(r#"{{"ph":"E","ts":{ts:.3},"pid":1,"tid":{tid}}}"#)
+        }
+        TraceEventKind::MethodCompile => format!(
+            r#"{{"name":"{}","cat":"jit","ph":"i","s":"t","ts":{ts:.3},"pid":1,"tid":{tid}}}"#,
+            json_escape(&method_label(event))
+        ),
+        TraceEventKind::ThreadStart | TraceEventKind::ThreadEnd => format!(
+            r#"{{"name":"{}","cat":"thread","ph":"i","s":"t","ts":{ts:.3},"pid":1,"tid":{tid}}}"#,
+            event.kind.label()
+        ),
+    };
+    out.push_str(&record);
+}
+
+/// Render `snapshot` as a Chrome `trace_event` JSON object.
+///
+/// `clock_hz` is the PCL clock rate used to convert cycle stamps to
+/// microseconds (pass `pcl.clock_hz()`). Event counts and drop totals are
+/// included under `"otherData"` so a saturated trace is self-describing.
+pub fn chrome_trace_json(snapshot: &TraceSnapshot, clock_hz: u64) -> String {
+    assert!(clock_hz > 0, "clock frequency must be nonzero");
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for thread in &snapshot.threads {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"thread#{}"}}}}"#,
+            thread.thread, thread.thread
+        );
+    }
+    for thread in &snapshot.threads {
+        for event in &thread.events {
+            sep(&mut out);
+            push_event(&mut out, event, clock_hz);
+        }
+    }
+    out.push_str("\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{");
+    let _ = write!(out, "\"clock_hz\":{clock_hz}");
+    for kind in [
+        TraceEventKind::J2nBegin,
+        TraceEventKind::J2nEnd,
+        TraceEventKind::N2jBegin,
+        TraceEventKind::N2jEnd,
+        TraceEventKind::MethodCompile,
+        TraceEventKind::ThreadStart,
+        TraceEventKind::ThreadEnd,
+    ] {
+        let _ = write!(out, ",\"{}\":{}", kind.label(), snapshot.count(kind));
+    }
+    let _ = write!(
+        out,
+        ",\"recorded\":{},\"dropped\":{}}}}}",
+        snapshot.recorded(),
+        snapshot.dropped()
+    );
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecorder;
+    use jvmsim_vm::{ThreadId, TraceSink};
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let r = TraceRecorder::new(16);
+        let t0 = ThreadId::from_index(0);
+        r.record(t0, TraceEventKind::ThreadStart, 0, None);
+        r.record(t0, TraceEventKind::N2jBegin, 100, None);
+        r.record(t0, TraceEventKind::J2nBegin, 250, None);
+        r.record(t0, TraceEventKind::J2nEnd, 400, None);
+        r.record(t0, TraceEventKind::N2jEnd, 500, None);
+        r.record(t0, TraceEventKind::ThreadEnd, 600, None);
+        r.snapshot()
+    }
+
+    #[test]
+    fn balanced_begin_end_pairs() {
+        let json = chrome_trace_json(&sample_snapshot(), 2_660_000_000);
+        let begins = json.matches("\"ph\":\"B\"").count();
+        let ends = json.matches("\"ph\":\"E\"").count();
+        assert_eq!(begins, 2);
+        assert_eq!(ends, 2);
+        assert!(json.contains("\"name\":\"native\""));
+        assert!(json.contains("\"name\":\"bytecode\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"n2j_begin\":1"));
+        assert!(json.contains("\"dropped\":0"));
+    }
+
+    #[test]
+    fn timestamps_convert_at_clock_rate() {
+        // 1 GHz: 1000 cycles = 1 µs.
+        let json = chrome_trace_json(&sample_snapshot(), 1_000_000_000);
+        assert!(json.contains("\"ts\":0.100"), "{json}");
+        assert!(json.contains("\"ts\":0.600"), "{json}");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -72,7 +72,9 @@ pub fn boot_archive() -> Vec<(String, Vec<u8>)> {
     {
         let mut m = math.method("abs", "(I)I", st);
         let nonneg = m.new_label();
-        m.iload(0).iconst(0).if_icmp(jvmsim_classfile::Cond::Ge, nonneg);
+        m.iload(0)
+            .iconst(0)
+            .if_icmp(jvmsim_classfile::Cond::Ge, nonneg);
         m.iload(0).ineg().ireturn();
         m.bind(nonneg);
         m.iload(0).ireturn();
@@ -81,7 +83,9 @@ pub fn boot_archive() -> Vec<(String, Vec<u8>)> {
     {
         let mut m = math.method("max", "(II)I", st);
         let first = m.new_label();
-        m.iload(0).iload(1).if_icmp(jvmsim_classfile::Cond::Ge, first);
+        m.iload(0)
+            .iload(1)
+            .if_icmp(jvmsim_classfile::Cond::Ge, first);
         m.iload(1).ireturn();
         m.bind(first);
         m.iload(0).ireturn();
@@ -90,7 +94,9 @@ pub fn boot_archive() -> Vec<(String, Vec<u8>)> {
     {
         let mut m = math.method("min", "(II)I", st);
         let first = m.new_label();
-        m.iload(0).iload(1).if_icmp(jvmsim_classfile::Cond::Le, first);
+        m.iload(0)
+            .iload(1)
+            .if_icmp(jvmsim_classfile::Cond::Le, first);
         m.iload(1).ireturn();
         m.bind(first);
         m.iload(0).ireturn();
@@ -154,12 +160,17 @@ fn string_arg(env: &mut JniEnv<'_>, args: &[Value], i: usize) -> Result<String, 
 }
 
 fn jhash(s: &str) -> i64 {
-    s.bytes().fold(0i64, |h, b| h.wrapping_mul(31).wrapping_add(i64::from(b)))
+    s.bytes()
+        .fold(0i64, |h, b| h.wrapping_mul(31).wrapping_add(i64::from(b)))
 }
 
 fn arraycopy_impl(env: &mut JniEnv<'_>, args: &[Value], float: bool) -> JniResult {
     let (src, src_pos, dst, dst_pos, len) = (
-        args[0], args[1].as_int(), args[2], args[3].as_int(), args[4].as_int(),
+        args[0],
+        args[1].as_int(),
+        args[2],
+        args[3].as_int(),
+        args[4].as_int(),
     );
     let (src, dst) = match (src.as_ref_opt(), dst.as_ref_opt()) {
         (Some(s), Some(d)) => (s, d),
@@ -424,10 +435,7 @@ mod tests {
     #[test]
     fn archive_declares_native_methods() {
         let archive = boot_archive();
-        let (_, bytes) = archive
-            .iter()
-            .find(|(n, _)| n == "java/lang/Math")
-            .unwrap();
+        let (_, bytes) = archive.iter().find(|(n, _)| n == "java/lang/Math").unwrap();
         let math = codec::decode(bytes).unwrap();
         assert!(math.find_method("sqrt", "(F)F").unwrap().is_native());
         // ... and bytecode ones next to them.
@@ -443,10 +451,7 @@ mod tests {
             for m in class.methods() {
                 if m.is_native() {
                     let symbol = crate::jni::mangle(name, m.name());
-                    assert!(
-                        lib.lookup(&symbol).is_some(),
-                        "libjava missing {symbol}"
-                    );
+                    assert!(lib.lookup(&symbol).is_some(), "libjava missing {symbol}");
                 }
             }
         }

@@ -18,6 +18,12 @@ impl ThreadId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Construct from a raw index. The VM assigns real ids; this exists so
+    /// sinks and their tests can synthesize events without a running VM.
+    pub fn from_index(index: usize) -> Self {
+        ThreadId(index as u32)
+    }
 }
 
 impl fmt::Display for ThreadId {
@@ -109,6 +115,78 @@ pub struct NullSink;
 
 impl VmEventSink for NullSink {}
 
+/// Category of a transition-trace event.
+///
+/// `J2nBegin`/`N2jBegin` mark the starts of the spans the paper's IPA banks
+/// time into; their `*End` counterparts close the spans. `MethodCompile`
+/// marks a method's interpreted→compiled promotion (threshold or OSR), and
+/// `ThreadStart`/`ThreadEnd` bracket each thread's lifetime — including the
+/// primordial thread, which JVMTI itself never announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEventKind {
+    /// Bytecode → native transition (wrapper's `J2N_Begin`).
+    J2nBegin,
+    /// Return from native back into the wrapper (`J2N_End`).
+    J2nEnd,
+    /// Native → bytecode transition (intercepted `Call*Method*` entry).
+    N2jBegin,
+    /// The intercepted JNI call returned (`N2J_End`).
+    N2jEnd,
+    /// A method became JIT-compiled (invocation threshold or OSR).
+    MethodCompile,
+    /// A VM thread began executing its initial method.
+    ThreadStart,
+    /// A VM thread finished its initial method.
+    ThreadEnd,
+}
+
+impl TraceEventKind {
+    /// Number of distinct kinds (for per-kind counter arrays).
+    pub const COUNT: usize = 7;
+
+    /// Dense index of this kind in `[0, COUNT)`.
+    pub fn index(self) -> usize {
+        match self {
+            TraceEventKind::J2nBegin => 0,
+            TraceEventKind::J2nEnd => 1,
+            TraceEventKind::N2jBegin => 2,
+            TraceEventKind::N2jEnd => 3,
+            TraceEventKind::MethodCompile => 4,
+            TraceEventKind::ThreadStart => 5,
+            TraceEventKind::ThreadEnd => 6,
+        }
+    }
+
+    /// Short stable label (used by the exporters).
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceEventKind::J2nBegin => "j2n_begin",
+            TraceEventKind::J2nEnd => "j2n_end",
+            TraceEventKind::N2jBegin => "n2j_begin",
+            TraceEventKind::N2jEnd => "n2j_end",
+            TraceEventKind::MethodCompile => "method_compile",
+            TraceEventKind::ThreadStart => "thread_start",
+            TraceEventKind::ThreadEnd => "thread_end",
+        }
+    }
+}
+
+/// Receiver of transition-trace events.
+///
+/// Like [`VmEventSink`] this trait lives in the VM crate so higher layers
+/// (the `jvmsim-trace` recorder, agents) can plug in without a dependency
+/// cycle. Implementations must be cheap and lock-light: `record` is called
+/// from transition probes whose cost the agents deliberately keep off the
+/// measured spans, and it must never re-enter the VM.
+///
+/// `cycles` is the emitting thread's PCL virtual-clock reading at the
+/// event; successive events on one thread therefore carry non-decreasing
+/// `cycles`. `method` is set only for [`TraceEventKind::MethodCompile`].
+pub trait TraceSink: Send + Sync {
+    /// Record one event.
+    fn record(&self, thread: ThreadId, kind: TraceEventKind, cycles: u64, method: Option<MethodId>);
+}
+
 /// Receiver of timer samples (the system-specific profiling interface
 /// `tprof`-style samplers use — §VI of the paper).
 ///
@@ -141,6 +219,28 @@ mod tests {
         s.thread_start(ThreadId(0));
         s.vm_death();
         assert_eq!(s.class_file_load("a/B", &[1, 2, 3]), None);
+    }
+
+    #[test]
+    fn trace_kind_indices_are_dense_and_labels_unique() {
+        use TraceEventKind::*;
+        let kinds = [
+            J2nBegin,
+            J2nEnd,
+            N2jBegin,
+            N2jEnd,
+            MethodCompile,
+            ThreadStart,
+            ThreadEnd,
+        ];
+        assert_eq!(kinds.len(), TraceEventKind::COUNT);
+        let mut seen_idx = [false; TraceEventKind::COUNT];
+        let mut labels = std::collections::HashSet::new();
+        for k in kinds {
+            assert!(!seen_idx[k.index()], "duplicate index for {k:?}");
+            seen_idx[k.index()] = true;
+            assert!(labels.insert(k.label()), "duplicate label for {k:?}");
+        }
     }
 
     #[test]

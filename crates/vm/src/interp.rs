@@ -65,9 +65,21 @@ impl Vm {
         let result = if is_native {
             self.invoke_native(thread, mid, &args)
         } else {
+            let jit_enabled = self.jit_enabled();
+            // Trace the interpreted→compiled promotion. The pre-check runs
+            // only with a tracer installed, keeping the untraced hot path
+            // identical.
+            let was_compiled = self.trace_enabled() && self.registry.is_compiled(mid, jit_enabled);
             let compiled =
                 self.registry
-                    .note_invocation(mid, self.cost().jit_threshold, self.jit_enabled());
+                    .note_invocation(mid, self.cost().jit_threshold, jit_enabled);
+            if self.trace_enabled() && compiled && !was_compiled {
+                self.trace_emit(
+                    thread,
+                    crate::events::TraceEventKind::MethodCompile,
+                    Some(mid),
+                );
+            }
             self.charge(thread, self.cost().call_overhead(compiled));
             self.execute(thread, mid, compiled, args)
         };
@@ -131,10 +143,7 @@ impl Vm {
         Err(self.throw_new(
             thread,
             "java/lang/UnsatisfiedLinkError",
-            &format!(
-                "{class_name}.{method_name} (tried {})",
-                tried.join(", ")
-            ),
+            &format!("{class_name}.{method_name} (tried {})", tried.join(", ")),
         ))
     }
 
@@ -248,14 +257,9 @@ impl Vm {
         self.invoke(thread, mid, args)
     }
 
-    fn ensure_loaded_or_throw(
-        &mut self,
-        thread: ThreadId,
-        class: &str,
-    ) -> Result<ClassId, JThrow> {
-        self.ensure_loaded_on(thread, class).map_err(|e| {
-            self.throw_new(thread, "java/lang/NoClassDefFoundError", &e.to_string())
-        })
+    fn ensure_loaded_or_throw(&mut self, thread: ThreadId, class: &str) -> Result<ClassId, JThrow> {
+        self.ensure_loaded_on(thread, class)
+            .map_err(|e| self.throw_new(thread, "java/lang/NoClassDefFoundError", &e.to_string()))
     }
 
     fn resolve_or_throw(
@@ -475,6 +479,11 @@ impl Vm {
                         osr_pending = false;
                         insn_cost = jit_insn;
                         self.registry.mark_compiled(mid);
+                        self.trace_emit(
+                            thread,
+                            crate::events::TraceEventKind::MethodCompile,
+                            Some(mid),
+                        );
                     }
                 }
                 pc = target;
@@ -548,8 +557,15 @@ impl Vm {
                     let n = stack.len();
                     stack.swap(n - 1, n - 2);
                 }
-                Insn::IAdd | Insn::ISub | Insn::IMul | Insn::IShl | Insn::IShr
-                | Insn::IUShr | Insn::IAnd | Insn::IOr | Insn::IXor => {
+                Insn::IAdd
+                | Insn::ISub
+                | Insn::IMul
+                | Insn::IShl
+                | Insn::IShr
+                | Insn::IUShr
+                | Insn::IAnd
+                | Insn::IOr
+                | Insn::IXor => {
                     let b = stack.pop().expect("verified").as_int();
                     let a = stack.pop().expect("verified").as_int();
                     let r = match insn {
@@ -789,10 +805,7 @@ impl Vm {
                 Insn::NewArray(kind) => {
                     let len = stack.pop().expect("verified").as_int();
                     if len < 0 {
-                        jthrow!(
-                            "java/lang/NegativeArraySizeException",
-                            &format!("{len}")
-                        );
+                        jthrow!("java/lang/NegativeArraySizeException", &format!("{len}"));
                     }
                     let len = len as usize;
                     clock.charge(self.cost().alloc_array(len));
@@ -821,18 +834,13 @@ impl Vm {
                     }
                     let i = index as usize;
                     let loaded = match (insn, self.heap().get(arr)) {
-                        (Insn::IALoad, HeapObject::IntArray(v)) => {
-                            v.get(i).map(|&x| Value::Int(x))
-                        }
+                        (Insn::IALoad, HeapObject::IntArray(v)) => v.get(i).map(|&x| Value::Int(x)),
                         (Insn::FALoad, HeapObject::FloatArray(v)) => {
                             v.get(i).map(|&x| Value::Float(x))
                         }
                         (Insn::AALoad, HeapObject::RefArray(v)) => v.get(i).copied(),
                         _ => {
-                            jthrow!(
-                                "java/lang/InternalError",
-                                "array load kind mismatch"
-                            );
+                            jthrow!("java/lang/InternalError", "array load kind mismatch");
                         }
                     };
                     match loaded {
@@ -905,10 +913,7 @@ impl Vm {
                             );
                         }
                         StoreOutcome::KindMismatch => {
-                            jthrow!(
-                                "java/lang/ArrayStoreException",
-                                "array store kind mismatch"
-                            );
+                            jthrow!("java/lang/ArrayStoreException", "array store kind mismatch");
                         }
                     }
                 }
@@ -923,10 +928,7 @@ impl Vm {
                     match self.heap().get(arr).array_len() {
                         Some(n) => stack.push(Value::Int(n as i64)),
                         None => {
-                            jthrow!(
-                                "java/lang/InternalError",
-                                "arraylength of a non-array"
-                            );
+                            jthrow!("java/lang/InternalError", "arraylength of a non-array");
                         }
                     }
                 }

@@ -15,12 +15,14 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use crate::events::ThreadId;
 use crate::throw::JThrow;
 use crate::value::{ObjRef, Value};
 use crate::vm::Vm;
-use crate::events::ThreadId;
 
-pub use table::{CallKind, JniCallKey, JniCallSpec, JniEntryFn, JniFunctionTable, JniRetType, ParamStyle};
+pub use table::{
+    CallKind, JniCallKey, JniCallSpec, JniEntryFn, JniFunctionTable, JniRetType, ParamStyle,
+};
 
 /// Result of a native method or JNI call.
 pub type JniResult = Result<Value, JThrow>;
@@ -140,7 +142,9 @@ pub struct JniEnv<'a> {
 
 impl fmt::Debug for JniEnv<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("JniEnv").field("thread", &self.thread).finish()
+        f.debug_struct("JniEnv")
+            .field("thread", &self.thread)
+            .finish()
     }
 }
 
@@ -221,6 +225,7 @@ impl<'a> JniEnv<'a> {
     /// # Errors
     ///
     /// See [`JniEnv::call`].
+    #[allow(clippy::too_many_arguments)]
     pub fn call_virtual(
         &mut self,
         ret: JniRetType,
@@ -287,7 +292,13 @@ impl<'a> JniEnv<'a> {
             crate::heap::HeapObject::IntArray(v) => v.get(index).copied().ok_or(()),
             _ => Err(()),
         }
-        .map_err(|()| self.vm.throw_new(self.thread, "java/lang/InternalError", "bad array access from native code"))
+        .map_err(|()| {
+            self.vm.throw_new(
+                self.thread,
+                "java/lang/InternalError",
+                "bad array access from native code",
+            )
+        })
     }
 
     /// Write an int-array element.
@@ -302,11 +313,10 @@ impl<'a> JniEnv<'a> {
         value: i64,
     ) -> Result<(), JThrow> {
         let ok = match self.vm.heap_mut().get_mut(array) {
-            crate::heap::HeapObject::IntArray(v)
-                if index < v.len() => {
-                    v[index] = value;
-                    true
-                }
+            crate::heap::HeapObject::IntArray(v) if index < v.len() => {
+                v[index] = value;
+                true
+            }
             _ => false,
         };
         if ok {
@@ -339,7 +349,14 @@ impl<'a> JniEnv<'a> {
 
     /// Queue a new VM thread running `class.method(args)`; it executes when
     /// the current thread finishes (run-to-completion green threading).
-    pub fn spawn_thread(&mut self, name: &str, class: &str, method: &str, descriptor: &str, args: Vec<Value>) {
+    pub fn spawn_thread(
+        &mut self,
+        name: &str,
+        class: &str,
+        method: &str,
+        descriptor: &str,
+        args: Vec<Value>,
+    ) {
         self.vm.spawn_thread(name, class, method, descriptor, args);
     }
 }

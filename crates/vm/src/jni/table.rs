@@ -126,21 +126,27 @@ impl JniRetType {
     /// as `Float`; references as `Object`.)
     pub fn matches(self, ret: &ReturnType) -> bool {
         use jvmsim_classfile::Type;
-        match (self, ret) {
-            (JniRetType::Void, ReturnType::Void) => true,
-            (JniRetType::Object, ReturnType::Value(Type::Object(_) | Type::Array(_))) => true,
-            (
-                JniRetType::Boolean
-                | JniRetType::Byte
-                | JniRetType::Char
-                | JniRetType::Short
-                | JniRetType::Int
-                | JniRetType::Long,
-                ReturnType::Value(Type::Int),
-            ) => true,
-            (JniRetType::Float | JniRetType::Double, ReturnType::Value(Type::Float)) => true,
-            _ => false,
-        }
+        matches!(
+            (self, ret),
+            (JniRetType::Void, ReturnType::Void)
+                | (
+                    JniRetType::Object,
+                    ReturnType::Value(Type::Object(_) | Type::Array(_))
+                )
+                | (
+                    JniRetType::Boolean
+                        | JniRetType::Byte
+                        | JniRetType::Char
+                        | JniRetType::Short
+                        | JniRetType::Int
+                        | JniRetType::Long,
+                    ReturnType::Value(Type::Int),
+                )
+                | (
+                    JniRetType::Float | JniRetType::Double,
+                    ReturnType::Value(Type::Float)
+                )
+        )
     }
 }
 
@@ -281,7 +287,7 @@ mod tests {
     fn ninety_functions() {
         assert_eq!(JniCallKey::all().count(), 90);
         // All slots distinct and in range.
-        let mut seen = vec![false; JniFunctionTable::SIZE];
+        let mut seen = [false; JniFunctionTable::SIZE];
         for k in JniCallKey::all() {
             assert!(!seen[k.slot()], "slot collision for {k}");
             seen[k.slot()] = true;
@@ -315,11 +321,13 @@ mod tests {
     fn ret_type_matching() {
         use jvmsim_classfile::ReturnType;
         let void: ReturnType = ReturnType::Void;
-        let int: ReturnType = "(I)I".parse::<jvmsim_classfile::MethodDescriptor>()
+        let int: ReturnType = "(I)I"
+            .parse::<jvmsim_classfile::MethodDescriptor>()
             .unwrap()
             .return_type()
             .clone();
-        let float: ReturnType = "()F".parse::<jvmsim_classfile::MethodDescriptor>()
+        let float: ReturnType = "()F"
+            .parse::<jvmsim_classfile::MethodDescriptor>()
             .unwrap()
             .return_type()
             .clone();

@@ -228,13 +228,9 @@ impl ClassRegistry {
         }
         let super_id = match class.super_name() {
             None => None,
-            Some(s) => Some(
-                self.id_of(s)
-                    .ok_or_else(|| VmError::BadHierarchy(format!(
-                        "superclass {s} of {} not linked",
-                        class.name()
-                    )))?,
-            ),
+            Some(s) => Some(self.id_of(s).ok_or_else(|| {
+                VmError::BadHierarchy(format!("superclass {s} of {} not linked", class.name()))
+            })?),
         };
         // Instance layout: inherited slots first, then own.
         let (mut instance_layout, mut instance_index) = match super_id {
@@ -291,8 +287,7 @@ impl ClassRegistry {
                 }
                 Constant::MethodRef { .. } => {
                     if let Ok(r) = class.pool.method_ref(cp) {
-                        if let Ok(desc) =
-                            r.descriptor.parse::<jvmsim_classfile::MethodDescriptor>()
+                        if let Ok(desc) = r.descriptor.parse::<jvmsim_classfile::MethodDescriptor>()
                         {
                             callsites.insert(
                                 idx,
@@ -347,12 +342,7 @@ impl ClassRegistry {
 
     /// Resolve `(name, descriptor)` starting at `class` and walking the
     /// superclass chain — used for both static and virtual dispatch.
-    pub fn resolve_method(
-        &self,
-        class: ClassId,
-        name: &str,
-        descriptor: &str,
-    ) -> Option<MethodId> {
+    pub fn resolve_method(&self, class: ClassId, name: &str, descriptor: &str) -> Option<MethodId> {
         let mut cur = Some(class);
         while let Some(cid) = cur {
             let rc = self.get(cid);
@@ -491,10 +481,7 @@ mod tests {
         assert_eq!(rb.instance_slots(), 2); // x from A, y from B
         assert_eq!(reg.resolve_instance_field(bid, "x"), Some(0));
         assert_eq!(reg.resolve_instance_field(bid, "y"), Some(1));
-        assert_eq!(
-            rb.field_defaults(),
-            vec![Value::Int(0), Value::Float(0.0)]
-        );
+        assert_eq!(rb.field_defaults(), vec![Value::Int(0), Value::Float(0.0)]);
     }
 
     #[test]

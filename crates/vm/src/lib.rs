@@ -59,7 +59,9 @@ mod vm;
 
 pub use cost::CostModel;
 pub use error::VmError;
-pub use events::{EventMask, MethodView, NullSink, ThreadId, VmEventSink};
+pub use events::{
+    EventMask, MethodView, NullSink, ThreadId, TraceEventKind, TraceSink, VmEventSink,
+};
 pub use jni::{JniEnv, NativeLibrary};
 pub use klass::{ClassId, MethodId};
 pub use throw::{ExceptionInfo, JThrow};

@@ -11,7 +11,7 @@ use jvmsim_pcl::{ClockHandle, Pcl};
 
 use crate::cost::CostModel;
 use crate::error::VmError;
-use crate::events::{EventMask, SampleSink, ThreadId, VmEventSink};
+use crate::events::{EventMask, SampleSink, ThreadId, TraceEventKind, TraceSink, VmEventSink};
 use crate::heap::{Heap, HeapObject};
 use crate::jni::{JniFunctionTable, NativeFn, NativeLibrary};
 use crate::klass::{ClassId, ClassRegistry, MethodId};
@@ -132,6 +132,10 @@ pub struct Vm {
     /// Registered native-method name prefixes (JVMTI 1.1 prefix retry).
     prefixes: Vec<String>,
     sink: Option<Arc<dyn VmEventSink>>,
+    /// Transition-trace recorder (orthogonal to the JVMTI event mask; no
+    /// cycles are charged for trace emission, so tracing never perturbs
+    /// the quantities being measured).
+    trace: Option<Arc<dyn TraceSink>>,
     mask: EventMask,
     /// Timer-based sampler: (interval in cycles, sink).
     sampler: Option<(u64, Arc<dyn SampleSink>)>,
@@ -188,6 +192,7 @@ impl Vm {
             native_bindings: HashMap::new(),
             prefixes: Vec::new(),
             sink: None,
+            trace: None,
             mask: EventMask::none(),
             sampler: None,
             jit_requested: true,
@@ -225,7 +230,12 @@ impl Vm {
         define(self, "java/lang/Object", None, false);
         define(self, "java/lang/Throwable", Some("java/lang/Object"), true);
         define(self, "java/lang/Error", Some("java/lang/Throwable"), false);
-        define(self, "java/lang/Exception", Some("java/lang/Throwable"), false);
+        define(
+            self,
+            "java/lang/Exception",
+            Some("java/lang/Throwable"),
+            false,
+        );
         define(
             self,
             "java/lang/RuntimeException",
@@ -305,6 +315,38 @@ impl Vm {
     /// Is an event sink (agent) already installed?
     pub fn has_event_sink(&self) -> bool {
         self.sink.is_some()
+    }
+
+    /// Install a transition-trace sink. Unlike the JVMTI event sink this
+    /// is free: emission charges no cycles (the recorder models an
+    /// out-of-band ring write, not agent logic), so attaching a tracer
+    /// does not change any measured quantity.
+    pub fn set_trace_sink(&mut self, trace: Arc<dyn TraceSink>) {
+        self.trace = Some(trace);
+    }
+
+    /// The installed trace sink, if any (agents emitting their own trace
+    /// events — IPA's transition probes — fetch it from here at attach).
+    pub fn trace_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        self.trace.clone()
+    }
+
+    /// Emit a trace event stamped with `thread`'s current virtual clock.
+    pub(crate) fn trace_emit(
+        &self,
+        thread: ThreadId,
+        kind: TraceEventKind,
+        method: Option<MethodId>,
+    ) {
+        if let Some(trace) = &self.trace {
+            let cycles = self.threads[thread.index()].clock.cycles();
+            trace.record(thread, kind, cycles, method);
+        }
+    }
+
+    /// Is a trace sink installed? (Lets hot paths skip transition checks.)
+    pub(crate) fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
     }
 
     /// Enable/disable event categories. Enabling
@@ -633,7 +675,8 @@ impl Vm {
                 return Ok(());
             }
             rc.clinit_started = true;
-            rc.find_method(CLINIT, "()V").map(|index| MethodId { class: id, index })
+            rc.find_method(CLINIT, "()V")
+                .map(|index| MethodId { class: id, index })
         };
         if let Some(mid) = mid {
             // An exception escaping <clinit> is fatal for the class; the
@@ -750,9 +793,13 @@ impl Vm {
         args: Vec<Value>,
     ) -> Result<RunOutcome, VmError> {
         let main = self.ensure_main_thread();
+        // The primordial thread gets no JVMTI ThreadStart, but the trace
+        // records it so every thread's timeline has a start marker.
+        self.trace_emit(main, TraceEventKind::ThreadStart, None);
         let main_result = self.run_entry_via_jni(main, class, method, descriptor, args);
         self.threads[main.index()].result = Some(main_result.clone());
         self.fire_thread_end(main);
+        self.trace_emit(main, TraceEventKind::ThreadEnd, None);
 
         // Run spawned threads to completion, FIFO (they may spawn more).
         // Each enters through the JNI interface like main; a linkage
@@ -761,9 +808,11 @@ impl Vm {
         while let Some(p) = self.pending.pop_front() {
             let tid = self.create_thread(&p.name);
             self.fire_thread_start(tid);
+            self.trace_emit(tid, TraceEventKind::ThreadStart, None);
             let res = self.run_entry_via_jni(tid, &p.class, &p.method, &p.descriptor, p.args);
             self.threads[tid.index()].result = Some(res);
             self.fire_thread_end(tid);
+            self.trace_emit(tid, TraceEventKind::ThreadEnd, None);
         }
         self.fire_vm_death();
 
@@ -773,10 +822,7 @@ impl Vm {
             .map(|t| ThreadOutcome {
                 name: t.name.clone(),
                 cycles: t.clock.cycles(),
-                result: t
-                    .result
-                    .clone()
-                    .unwrap_or(Ok(Value::Null)),
+                result: t.result.clone().unwrap_or(Ok(Value::Null)),
             })
             .collect();
         Ok(RunOutcome {

@@ -13,7 +13,10 @@ fn eval_i(
     let class = single_method_class("e/E", "f", "()I", build).unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&class);
-    match vm.call_static("e/E", "f", "()I", vec![]).map_err(|e| e.to_string())? {
+    match vm
+        .call_static("e/E", "f", "()I", vec![])
+        .map_err(|e| e.to_string())?
+    {
         Ok(Value::Int(v)) => Ok(v),
         Ok(other) => Err(format!("{other:?}")),
         Err(e) => Err(e.class_name),
@@ -139,8 +142,13 @@ fn nested_exception_handlers_inner_wins() {
         m.pop().iconst(1).ireturn(); // inner handler
         m.bind(outer_h);
         m.pop().iconst(2).ireturn(); // outer handler
-        // Inner region listed first: the table is searched in order.
-        m.try_region(inner_start, inner_end, inner_h, Some("java/lang/ArithmeticException"));
+                                     // Inner region listed first: the table is searched in order.
+        m.try_region(
+            inner_start,
+            inner_end,
+            inner_h,
+            Some("java/lang/ArithmeticException"),
+        );
         m.try_region(outer_start, outer_end, outer_h, None);
     })
     .unwrap();
@@ -179,7 +187,10 @@ fn handler_rethrow_reaches_outer_handler_in_caller() {
     m.finish().unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
-    let r = vm.call_static("e/R", "caller", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("e/R", "caller", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(5));
 }
 
@@ -195,7 +206,8 @@ fn inherited_methods_resolve_through_super() {
     b.extends("e/Base");
     let b = b.finish().unwrap();
     let main = single_method_class("e/M", "f", "()I", |m| {
-        m.new_obj("e/Derived").invokevirtual("e/Derived", "answer", "()I");
+        m.new_obj("e/Derived")
+            .invokevirtual("e/Derived", "answer", "()I");
         m.ireturn();
     })
     .unwrap();

@@ -72,7 +72,10 @@ fn jni_arity_mismatch_is_a_java_error_not_a_panic() {
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
     vm.register_native_library(lib, true);
-    let err = vm.call_static("r/A", "main", "()V", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("r/A", "main", "()V", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/InternalError");
     assert!(err.message.unwrap().contains("expected 0"));
 }
@@ -135,9 +138,15 @@ fn invokestatic_of_instance_method_throws() {
     m.finish().unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
-    let err = vm.call_static("r/K", "main", "()I", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("r/K", "main", "()I", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/NoSuchMethodError");
-    assert!(err.message.unwrap().contains("invokestatic of instance method"));
+    assert!(err
+        .message
+        .unwrap()
+        .contains("invokestatic of instance method"));
 }
 
 #[test]
@@ -147,13 +156,21 @@ fn invokevirtual_of_static_method_throws() {
     m.iconst(1).ireturn();
     m.finish().unwrap();
     let mut m = cb.method("main", "()I", ST);
-    m.new_obj("r/V").invokevirtual("r/V", "stat", "()I").ireturn();
+    m.new_obj("r/V")
+        .invokevirtual("r/V", "stat", "()I")
+        .ireturn();
     m.finish().unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
-    let err = vm.call_static("r/V", "main", "()I", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("r/V", "main", "()I", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/NoSuchMethodError");
-    assert!(err.message.unwrap().contains("invokevirtual of static method"));
+    assert!(err
+        .message
+        .unwrap()
+        .contains("invokevirtual of static method"));
 }
 
 #[test]
@@ -211,7 +228,10 @@ fn superclass_methods_keep_their_own_shadowed_field() {
         m.aload(0).invokevirtual("r/Sub", "inc", "()V");
         m.aload(0).invokevirtual("r/Sub", "inc", "()V");
         // result = superX * 10 + subX  → 2 * 10 + 0 = 20
-        m.aload(0).invokevirtual("r/Sub", "superX", "()I").iconst(10).imul();
+        m.aload(0)
+            .invokevirtual("r/Sub", "superX", "()I")
+            .iconst(10)
+            .imul();
         m.aload(0).invokevirtual("r/Sub", "subX", "()I").iadd();
         m.ireturn();
     })
@@ -221,6 +241,9 @@ fn superclass_methods_keep_their_own_shadowed_field() {
     vm.add_classfile(&sup);
     vm.add_classfile(&sub);
     vm.add_classfile(&main);
-    let r = vm.call_static("r/M", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("r/M", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(20), "Super.inc must touch Super.x, not Sub.x");
 }

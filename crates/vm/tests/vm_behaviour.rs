@@ -62,7 +62,10 @@ fn division_by_zero_throws_and_is_catchable() {
     .unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&class);
-    let r = vm.call_static("t/Div", "f", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/Div", "f", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(-7));
 }
 
@@ -100,7 +103,10 @@ fn catch_matches_superclasses_but_not_siblings() {
     .unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&class);
-    let r = vm.call_static("t/Super", "f", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/Super", "f", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(42));
 
     // Same throw with an ArithmeticException handler: escapes.
@@ -151,7 +157,10 @@ fn finally_style_catch_all_runs_on_throw() {
 
     let mut vm = Vm::new();
     vm.add_classfile(&class);
-    let err = vm.call_static("t/Fin", "f", "()V", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("t/Fin", "f", "()V", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/ArithmeticException");
     let count = vm
         .call_static("t/Fin", "cleanups", "()I", vec![])
@@ -172,7 +181,11 @@ fn objects_fields_and_virtual_dispatch() {
     let mut b = ClassBuilder::new("t/B");
     b.extends("t/A");
     let mut m = b.method("get", "()I", MethodFlags::PUBLIC);
-    m.aload(0).getfield("t/A", "v", "I").iconst(100).iadd().ireturn();
+    m.aload(0)
+        .getfield("t/A", "v", "I")
+        .iconst(100)
+        .iadd()
+        .ireturn();
     m.finish().unwrap();
     let b = b.finish().unwrap();
 
@@ -192,7 +205,10 @@ fn objects_fields_and_virtual_dispatch() {
     vm.add_classfile(&a);
     vm.add_classfile(&b);
     vm.add_classfile(&main);
-    let r = vm.call_static("t/Main", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/Main", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(103));
 }
 
@@ -218,7 +234,10 @@ fn arrays_bounds_and_kinds() {
     .unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&class);
-    let err = vm.call_static("t/Oob", "f", "()I", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("t/Oob", "f", "()I", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/ArrayIndexOutOfBoundsException");
 
     // Negative size
@@ -231,7 +250,10 @@ fn arrays_bounds_and_kinds() {
     .unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&class);
-    let err = vm.call_static("t/Neg", "f", "()I", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("t/Neg", "f", "()I", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/NegativeArraySizeException");
 }
 
@@ -250,11 +272,15 @@ fn clinit_runs_once_before_first_use() {
     let mut vm = Vm::new();
     vm.add_classfile(&class);
     assert_eq!(
-        vm.call_static("t/Init", "get", "()I", vec![]).unwrap().unwrap(),
+        vm.call_static("t/Init", "get", "()I", vec![])
+            .unwrap()
+            .unwrap(),
         Value::Int(1)
     );
     assert_eq!(
-        vm.call_static("t/Init", "get", "()I", vec![]).unwrap().unwrap(),
+        vm.call_static("t/Init", "get", "()I", vec![])
+            .unwrap()
+            .unwrap(),
         Value::Int(1),
         "clinit must not run twice"
     );
@@ -293,12 +319,17 @@ fn native_method_resolution_and_execution() {
     let mut cb = ClassBuilder::new("t/Nat");
     cb.native_method("twice", "(I)I", ST).unwrap();
     let mut m = cb.method("main", "()I", ST);
-    m.iconst(21).invokestatic("t/Nat", "twice", "(I)I").ireturn();
+    m.iconst(21)
+        .invokestatic("t/Nat", "twice", "(I)I")
+        .ireturn();
     m.finish().unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
     vm.register_native_library(native_lib(), true);
-    let r = vm.call_static("t/Nat", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/Nat", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(42));
     assert_eq!(vm.stats().native_calls, 1);
     assert!(vm.stats().native_cycles >= 100);
@@ -309,12 +340,17 @@ fn missing_native_library_throws_unsatisfied_link() {
     let mut cb = ClassBuilder::new("t/Nat");
     cb.native_method("twice", "(I)I", ST).unwrap();
     let mut m = cb.method("main", "()I", ST);
-    m.iconst(21).invokestatic("t/Nat", "twice", "(I)I").ireturn();
+    m.iconst(21)
+        .invokestatic("t/Nat", "twice", "(I)I")
+        .ireturn();
     m.finish().unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
     // No library registered.
-    let err = vm.call_static("t/Nat", "main", "()I", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("t/Nat", "main", "()I", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/UnsatisfiedLinkError");
     assert!(err.message.unwrap().contains("Java_t_Nat_twice"));
 }
@@ -335,7 +371,10 @@ fn native_prefix_retry_binds_renamed_method() {
     vm.register_native_library(native_lib(), true);
 
     // Without the prefix registered: link error.
-    let err = vm.call_static("t/Nat", "main", "()I", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("t/Nat", "main", "()I", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/UnsatisfiedLinkError");
 
     // With the prefix registered: resolution retries without the prefix.
@@ -350,7 +389,10 @@ fn native_prefix_retry_binds_renamed_method() {
     vm.add_classfile(&cb.finish().unwrap());
     vm.register_native_library(native_lib(), true);
     vm.register_native_prefix("$$ipa$$");
-    let r = vm.call_static("t/Nat", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/Nat", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(42));
 }
 
@@ -372,12 +414,20 @@ fn native_exception_propagates_to_java_handler() {
     m.bind(end);
     m.bind(handler);
     m.pop().iconst(9).ireturn();
-    m.try_region(start, end, handler, Some("java/lang/IllegalArgumentException"));
+    m.try_region(
+        start,
+        end,
+        handler,
+        Some("java/lang/IllegalArgumentException"),
+    );
     m.finish().unwrap();
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
     vm.register_native_library(lib, true);
-    let r = vm.call_static("t/T", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/T", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(9));
 }
 
@@ -409,7 +459,10 @@ fn native_code_calls_java_through_jni_table() {
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
     vm.register_native_library(lib, true);
-    let r = vm.call_static("t/U", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/U", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(15));
     assert_eq!(vm.stats().jni_upcalls, 1);
 }
@@ -439,7 +492,10 @@ fn jni_return_family_mismatch_is_detected() {
     let mut vm = Vm::new();
     vm.add_classfile(&cb.finish().unwrap());
     vm.register_native_library(lib, true);
-    let err = vm.call_static("t/U", "main", "()I", vec![]).unwrap().unwrap_err();
+    let err = vm
+        .call_static("t/U", "main", "()I", vec![])
+        .unwrap()
+        .unwrap_err();
     assert_eq!(err.class_name, "java/lang/InternalError");
     assert!(err.message.unwrap().contains("CallStaticFloatMethodA"));
 }
@@ -480,7 +536,10 @@ fn jni_table_interception_sees_upcalls() {
             })
         });
     }
-    let r = vm.call_static("t/U", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/U", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(3));
     assert_eq!(hits.load(Ordering::Relaxed), 1);
 }
@@ -660,10 +719,24 @@ fn spawned_threads_run_with_events_and_own_clocks() {
     m.ret_void();
     m.finish().unwrap();
     let mut m = cb.method("main", "()V", ST);
-    m.ldc_str("w1").ldc_str("t/Th").ldc_str("worker").iconst(1000);
-    m.invokestatic("java/lang/Threads", "start", "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V");
-    m.ldc_str("w2").ldc_str("t/Th").ldc_str("worker").iconst(2000);
-    m.invokestatic("java/lang/Threads", "start", "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V");
+    m.ldc_str("w1")
+        .ldc_str("t/Th")
+        .ldc_str("worker")
+        .iconst(1000);
+    m.invokestatic(
+        "java/lang/Threads",
+        "start",
+        "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V",
+    );
+    m.ldc_str("w2")
+        .ldc_str("t/Th")
+        .ldc_str("worker")
+        .iconst(2000);
+    m.invokestatic(
+        "java/lang/Threads",
+        "start",
+        "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V",
+    );
     m.ret_void();
     m.finish().unwrap();
 
@@ -721,7 +794,10 @@ fn class_file_load_hook_can_rewrite_classes() {
         class_file_load_hook: true,
         ..EventMask::none()
     });
-    let r = vm.call_static("t/Hooked", "f", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/Hooked", "f", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(7));
 }
 
@@ -752,7 +828,9 @@ fn builtin_string_and_io_natives_work() {
     m.ldc_str("x");
     m.invokestatic("java/io/FileIO", "open", "(Ljava/lang/String;)I");
     m.istore(0);
-    m.iconst(8).newarray(jvmsim_classfile::ArrayKind::Int).astore(1);
+    m.iconst(8)
+        .newarray(jvmsim_classfile::ArrayKind::Int)
+        .astore(1);
     m.iload(0).aload(1).iconst(8);
     m.invokestatic("java/io/FileIO", "read", "(I[II)I");
     m.iadd().ireturn();
@@ -760,7 +838,10 @@ fn builtin_string_and_io_natives_work() {
     let mut vm = Vm::new();
     builtins::install(&mut vm);
     vm.add_classfile(&cb.finish().unwrap());
-    let r = vm.call_static("t/B", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/B", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(5 + 8));
     assert!(vm.stats().native_calls >= 3);
 }
@@ -786,7 +867,10 @@ fn builtin_loadlibrary_gates_resolution() {
     builtins::install(&mut vm);
     vm.add_classfile(&cb.finish().unwrap());
     vm.register_native_library(mylib, false); // NOT auto-loaded
-    let r = vm.call_static("t/L", "main", "()I", vec![]).unwrap().unwrap();
+    let r = vm
+        .call_static("t/L", "main", "()I", vec![])
+        .unwrap()
+        .unwrap();
     assert_eq!(r, Value::Int(123));
 }
 

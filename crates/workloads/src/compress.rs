@@ -60,7 +60,10 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         // cur = buf[i]
         m.aload(0).iload(3).iaload().istore(6);
         // code = hash(prev, cur)
-        m.iload(4).iload(6).invokestatic(CLASS, "hash", "(II)I").istore(7);
+        m.iload(4)
+            .iload(6)
+            .invokestatic(CLASS, "hash", "(II)I")
+            .istore(7);
         // if table[code] == cur -> hit else store + emit
         m.aload(2).iload(7).iaload().iload(6).if_icmp(Cond::Eq, hit);
         m.aload(2).iload(7).iload(6).iastore();
@@ -93,8 +96,12 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.ldc_str("compress.in");
         m.invokestatic("java/io/FileIO", "open", "(Ljava/lang/String;)I");
         m.istore(2);
-        m.iconst(4096).newarray(jvmsim_classfile::ArrayKind::Int).astore(3);
-        m.iconst(4096).newarray(jvmsim_classfile::ArrayKind::Int).astore(4);
+        m.iconst(4096)
+            .newarray(jvmsim_classfile::ArrayKind::Int)
+            .astore(3);
+        m.iconst(4096)
+            .newarray(jvmsim_classfile::ArrayKind::Int)
+            .astore(4);
         m.iconst(0).istore(5);
         m.iconst(0).istore(6);
         m.bind(top);
@@ -105,10 +112,16 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.istore(7);
         // checksum = checksum * 31 + compress(buf, n, table)   (pass 1)
         m.iload(5).iconst(31).imul();
-        m.aload(3).iload(7).aload(4).invokestatic(CLASS, "compress", "([II[I)I");
+        m.aload(3)
+            .iload(7)
+            .aload(4)
+            .invokestatic(CLASS, "compress", "([II[I)I");
         m.iadd();
         // + compress(buf, n, table)                             (pass 2)
-        m.aload(3).iload(7).aload(4).invokestatic(CLASS, "compress", "([II[I)I");
+        m.aload(3)
+            .iload(7)
+            .aload(4)
+            .invokestatic(CLASS, "compress", "([II[I)I");
         m.iadd();
         // + crc32(buf, n)                                       (native)
         m.aload(3).iload(7).invokestatic(CLASS, "crc32", "([II)I");

@@ -88,8 +88,15 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iload(4).aload(0).iload(3).iaload().iadd();
         m.iconst(16777215).iand().istore(4);
         // every 16th row: integrity probe (method call)
-        m.iload(3).iconst(15).iand().iconst(0).if_icmp(Cond::Ne, no_check);
-        m.iload(4).aload(0).iload(3).invokestatic(CLASS, "checkRow", "([II)I");
+        m.iload(3)
+            .iconst(15)
+            .iand()
+            .iconst(0)
+            .if_icmp(Cond::Ne, no_check);
+        m.iload(4)
+            .aload(0)
+            .iload(3)
+            .invokestatic(CLASS, "checkRow", "([II)I");
         m.iadd().iconst(16777215).iand().istore(4);
         m.bind(no_check);
         m.iinc(3, 1);
@@ -194,7 +201,11 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.invokestatic("java/io/FileIO", "read", "(I[II)I").pop();
         m.iload(10).invokestatic("java/io/FileIO", "close", "(I)V");
         // Sort once so lookups work, then run the op stream.
-        m.aload(2).aload(3).iconst(tbl).invokestatic(CLASS, "shellSort", "([I[II)I").pop();
+        m.aload(2)
+            .aload(3)
+            .iconst(tbl)
+            .invokestatic(CLASS, "shellSort", "([I[II)I")
+            .pop();
         m.iconst(0).istore(5);
         m.iconst(12345).istore(7);
         m.iconst(0).istore(6);
@@ -210,13 +221,18 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iload(6).iload(1).if_icmp(Cond::Ge, op_done);
         // Periodic re-sort: every 1024th op runs a full shell sort.
         let not_sort_tick = m.new_label();
-        m.iload(6).iconst(1023).iand().iconst(512).if_icmp(Cond::Ne, not_sort_tick);
+        m.iload(6)
+            .iconst(1023)
+            .iand()
+            .iconst(512)
+            .if_icmp(Cond::Ne, not_sort_tick);
         m.goto(k_sort);
         m.bind(not_sort_tick);
         m.iload(7).invokestatic(CLASS, "nextRand", "(I)I").istore(7);
         // kind = (rng >>> 8) & 3 (kind 3 is a second scan flavour)
         m.iload(7).iconst(8).iushr().iconst(3).iand().istore(8);
-        m.iload(8).tableswitch(0, &[k_lookup, k_insert, k_scan], k_scan);
+        m.iload(8)
+            .tableswitch(0, &[k_lookup, k_insert, k_scan], k_scan);
 
         m.bind(k_lookup);
         m.aload(2).iconst(tbl).iload(7).iconst(65535).iand();
@@ -238,7 +254,13 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iload(11).iconst(0).if_icmp(Cond::Ge, skip_sort); // reuse label? no
         m.iload(11).ineg().istore(11);
         m.bind(skip_sort);
-        m.aload(2).iload(11).aload(2).iload(11).iconst(1).iadd().iconst(64);
+        m.aload(2)
+            .iload(11)
+            .aload(2)
+            .iload(11)
+            .iconst(1)
+            .iadd()
+            .iconst(64);
         m.invokestatic("java/lang/System", "arraycopy", "([II[III)V");
         m.aload(2).iload(11).iload(7).iconst(65535).iand().iastore();
         m.iload(11).istore(9);
@@ -251,7 +273,10 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.goto(after);
 
         m.bind(k_sort);
-        m.aload(2).aload(3).iconst(tbl).invokestatic(CLASS, "shellSort", "([I[II)I");
+        m.aload(2)
+            .aload(3)
+            .iconst(tbl)
+            .invokestatic(CLASS, "shellSort", "([I[II)I");
         m.istore(9);
         m.goto(after);
 
@@ -301,6 +326,9 @@ mod tests {
         assert!(pct < 4.0, "db must be almost pure bytecode: {pct:.2}%");
         // Coarse methods: average work per invocation is large.
         let per_call = outcome.total_cycles / outcome.stats.invocations.max(1);
-        assert!(per_call > 100, "db methods must be coarse: {per_call} cy/call");
+        assert!(
+            per_call > 100,
+            "db methods must be coarse: {per_call} cy/call"
+        );
     }
 }

@@ -79,14 +79,28 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iload(4).iload(1).if_icmp(Cond::Ge, inner_done);
         // sets[i] |= sets[j] when j divides into i's band
         m.aload(0).iload(3).iaload();
-        m.aload(0).iload(4).iaload().iconst(1).ishr().ior().istore(5);
+        m.aload(0)
+            .iload(4)
+            .iaload()
+            .iconst(1)
+            .ishr()
+            .ior()
+            .istore(5);
         // every 16th cell goes through the merge helper
         let plain = m.new_label();
-        m.iload(4).iconst(15).iand().iconst(0).if_icmp(Cond::Ne, plain);
+        m.iload(4)
+            .iconst(15)
+            .iand()
+            .iconst(0)
+            .if_icmp(Cond::Ne, plain);
         m.iload(5).aload(0).iload(4).iaload();
         m.invokestatic(CLASS, "mergeCell", "(II)I").istore(5);
         m.bind(plain);
-        m.iload(5).aload(0).iload(3).iaload().if_icmp(Cond::Eq, no_change);
+        m.iload(5)
+            .aload(0)
+            .iload(3)
+            .iaload()
+            .if_icmp(Cond::Eq, no_change);
         m.aload(0).iload(3).iload(5).iastore();
         m.iinc(2, 1);
         m.bind(no_change);
@@ -124,15 +138,24 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         // ch = readChar(i)     [native, per character!]
         m.iload(4).invokestatic(CLASS, "readChar", "(I)I").istore(5);
         // state = step(state, ch)
-        m.iload(2).iload(5).invokestatic(CLASS, "step", "(II)I").istore(2);
+        m.iload(2)
+            .iload(5)
+            .invokestatic(CLASS, "step", "(II)I")
+            .istore(2);
         // seed the grammar sets from the live state
         m.aload(6).iload(2).iconst(47).iand().iconst(19).irem();
         m.iload(5).iastore();
         // every 48 chars: a token completes; run a closure pass
-        m.iload(4).iconst(48).irem().iconst(47).if_icmp(Cond::Ne, no_reduce);
+        m.iload(4)
+            .iconst(48)
+            .irem()
+            .iconst(47)
+            .if_icmp(Cond::Ne, no_reduce);
         m.iinc(7, 1);
         m.iload(3).iconst(31).imul();
-        m.aload(6).iconst(48).invokestatic(CLASS, "closure", "([II)I");
+        m.aload(6)
+            .iconst(48)
+            .invokestatic(CLASS, "closure", "([II)I");
         m.iadd().iconst(16777215).iand().istore(3);
         m.bind(no_reduce);
         m.iload(3).iload(5).iadd().iconst(16777215).iand().istore(3);

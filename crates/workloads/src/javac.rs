@@ -45,8 +45,16 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         let mut m = cb.method("classify", "(I)I", ST);
         let ident = m.new_label();
         let digit = m.new_label();
-        m.iload(0).iconst(96).iand().iconst(0).if_icmp(Cond::Ne, ident);
-        m.iload(0).iconst(15).iand().iconst(9).if_icmp(Cond::Le, digit);
+        m.iload(0)
+            .iconst(96)
+            .iand()
+            .iconst(0)
+            .if_icmp(Cond::Ne, ident);
+        m.iload(0)
+            .iconst(15)
+            .iand()
+            .iconst(9)
+            .if_icmp(Cond::Le, digit);
         m.iconst(2).ireturn(); // punct
         m.bind(ident);
         m.iconst(0).ireturn();
@@ -72,7 +80,11 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iload(3).iload(1).if_icmp(Cond::Ge, done);
         // ch = charAt(src, i) on even positions [native JDK]; odd positions
         // come from the scanner's lookahead buffer (pure bytecode).
-        m.iload(3).iconst(1).iand().iconst(1).if_icmp(Cond::Eq, fast_path);
+        m.iload(3)
+            .iconst(1)
+            .iand()
+            .iconst(1)
+            .if_icmp(Cond::Eq, fast_path);
         m.aload(0).iload(3);
         m.invokestatic("java/lang/String", "charAt", &format!("({S}I)I"));
         m.istore(4);
@@ -83,9 +95,15 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iload(4).invokestatic(CLASS, "classify", "(I)I").istore(5);
         // identifiers (kind 0) intern natively every 8th char
         m.iload(5).iconst(0).if_icmp(Cond::Ne, not_ident);
-        m.iload(3).iconst(7).iand().iconst(0).if_icmp(Cond::Ne, not_ident);
+        m.iload(3)
+            .iconst(7)
+            .iand()
+            .iconst(0)
+            .if_icmp(Cond::Ne, not_ident);
         m.aload(2).iload(6).iconst(511).iand();
-        m.iload(4).iload(3).invokestatic(CLASS, "internIdent", "(II)I");
+        m.iload(4)
+            .iload(3)
+            .invokestatic(CLASS, "internIdent", "(II)I");
         m.iastore();
         m.iinc(6, 1);
         m.goto(stored);
@@ -113,9 +131,21 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iconst(1).iand().iconst(1).if_icmp(Cond::Eq, deep);
         m.bind(leaf);
         m.aload(0).iload(1).iconst(511).iand().iaload();
-        m.iload(1).iconst(1).iadd().imul().iconst(8388607).iand().ireturn();
+        m.iload(1)
+            .iconst(1)
+            .iadd()
+            .imul()
+            .iconst(8388607)
+            .iand()
+            .ireturn();
         m.bind(deep);
-        m.aload(0).iload(1).iconst(1).isub().iload(2).iconst(1).isub();
+        m.aload(0)
+            .iload(1)
+            .iconst(1)
+            .isub()
+            .iload(2)
+            .iconst(1)
+            .isub();
         m.invokestatic(CLASS, "parseTerm", "([III)I");
         m.iconst(16777213).iand().ireturn();
         m.finish().unwrap();
@@ -124,7 +154,10 @@ fn build_class() -> jvmsim_classfile::ClassFile {
     {
         let mut m = cb.method("parseTerm", "([III)I", ST);
         let done = m.new_label();
-        m.aload(0).iload(1).iload(2).invokestatic(CLASS, "parseFactor", "([III)I");
+        m.aload(0)
+            .iload(1)
+            .iload(2)
+            .invokestatic(CLASS, "parseFactor", "([III)I");
         m.istore(3);
         m.iload(1).iconst(2).if_icmp(Cond::Le, done);
         m.iload(3);
@@ -146,7 +179,10 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.bind(top);
         m.iload(3).iload(1).if_icmp(Cond::Ge, done);
         m.iload(2);
-        m.aload(0).iload(3).iconst(9).invokestatic(CLASS, "parseTerm", "([III)I");
+        m.aload(0)
+            .iload(3)
+            .iconst(9)
+            .invokestatic(CLASS, "parseTerm", "([III)I");
         m.iadd().iconst(16777215).iand().istore(2);
         // emit: bump the static instruction counter
         m.getstatic(CLASS, "emitted", "I").iconst(3).iadd();
@@ -184,7 +220,13 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.bind(q_top);
         m.iload(4).iconst(24).if_icmp(Cond::Ge, q_done);
         m.iload(2);
-        m.aload(0).iload(3).iload(4).iadd().iconst(511).iand().iaload();
+        m.aload(0)
+            .iload(3)
+            .iload(4)
+            .iadd()
+            .iconst(511)
+            .iand()
+            .iaload();
         m.invokestatic(CLASS, "fold", "(II)I").istore(2);
         m.iinc(4, 1);
         m.goto(q_top);
@@ -233,16 +275,29 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iconst(0).istore(4);
         m.bind(top);
         m.iload(4).iload(1).if_icmp(Cond::Ge, done);
-        m.iload(4).invokestatic(CLASS, "buildSource", &format!("(I){S}")).astore(5);
-        m.aload(5).invokestatic("java/lang/String", "length", &format!("({S})I")).istore(6);
-        m.aload(5).iload(6).aload(2).invokestatic(CLASS, "scanUnit", &format!("({S}I[I)I"));
+        m.iload(4)
+            .invokestatic(CLASS, "buildSource", &format!("(I){S}"))
+            .astore(5);
+        m.aload(5)
+            .invokestatic("java/lang/String", "length", &format!("({S})I"))
+            .istore(6);
+        m.aload(5)
+            .iload(6)
+            .aload(2)
+            .invokestatic(CLASS, "scanUnit", &format!("({S}I[I)I"));
         m.istore(7);
         m.iload(3).iconst(31).imul();
-        m.aload(2).iload(7).invokestatic(CLASS, "parseExpr", "([II)I");
+        m.aload(2)
+            .iload(7)
+            .invokestatic(CLASS, "parseExpr", "([II)I");
         m.iadd();
-        m.aload(2).iload(7).invokestatic(CLASS, "optimize", "([II)I");
+        m.aload(2)
+            .iload(7)
+            .invokestatic(CLASS, "optimize", "([II)I");
         m.iadd();
-        m.aload(2).iload(7).invokestatic(CLASS, "optimize", "([II)I");
+        m.aload(2)
+            .iload(7)
+            .invokestatic(CLASS, "optimize", "([II)I");
         m.iadd().iconst(16777215).iand().istore(3);
         m.iinc(4, 1);
         m.goto(top);

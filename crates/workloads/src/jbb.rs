@@ -47,7 +47,12 @@ fn build_class() -> jvmsim_classfile::ClassFile {
     }
     {
         let mut m = cb.method("validateCallback", "(I)I", ST);
-        m.iload(0).iconst(3).imul().iconst(16777215).iand().ireturn();
+        m.iload(0)
+            .iconst(3)
+            .imul()
+            .iconst(16777215)
+            .iand()
+            .ireturn();
         m.finish().unwrap();
     }
 
@@ -74,7 +79,14 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iconst(0).istore(4);
         m.bind(top);
         m.iload(3).iconst(10).if_icmp(Cond::Ge, done);
-        m.iload(2).iload(3).iconst(97).imul().iadd().iconst(511).iand().istore(5);
+        m.iload(2)
+            .iload(3)
+            .iconst(97)
+            .imul()
+            .iadd()
+            .iconst(511)
+            .iand()
+            .istore(5);
         m.aload(0).iload(5);
         m.aload(0).iload(5).iaload().iconst(1).isub();
         m.iastore();
@@ -93,12 +105,19 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         // locals: 0 balances, 1 rng, 2 slot, 3 v
         m.iload(1).iconst(255).iand().istore(2);
         m.aload(0).iload(2);
-        m.aload(0).iload(2).iaload().iload(1).iconst(1023).iand().iadd();
+        m.aload(0)
+            .iload(2)
+            .iaload()
+            .iload(1)
+            .iconst(1023)
+            .iand()
+            .iadd();
         m.iastore();
         m.aload(0).iload(2).iaload().istore(3);
         // receipt string via the native JDK path (result object unused,
         // as in a real fire-and-forget receipt)
-        m.iload(3).invokestatic("java/lang/String", "valueOf", &format!("(I){S}"));
+        m.iload(3)
+            .invokestatic("java/lang/String", "valueOf", &format!("(I){S}"));
         m.pop();
         m.iload(3).iload(2).iadd().ireturn();
         m.finish().unwrap();
@@ -153,7 +172,9 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iconst(0).istore(3);
         m.bind(top);
         m.iload(2).iconst(512).if_icmp(Cond::Ge, done);
-        m.aload(0).iload(2).invokestatic(CLASS, "stockBelow", "([II)I");
+        m.aload(0)
+            .iload(2)
+            .invokestatic(CLASS, "stockBelow", "([II)I");
         m.iconst(0).if_icmp(Cond::Le, above);
         m.iinc(3, 1);
         m.bind(above);
@@ -193,35 +214,58 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.tableswitch(0, &[k_new, k_pay, k_status, k_delivery], k_stock);
 
         m.bind(k_new);
-        m.aload(1).aload(2).iload(5).invokestatic(CLASS, "newOrder", "([I[II)I");
+        m.aload(1)
+            .aload(2)
+            .iload(5)
+            .invokestatic(CLASS, "newOrder", "([I[II)I");
         m.istore(7);
         m.goto(after);
 
         m.bind(k_pay);
-        m.aload(3).iload(5).invokestatic(CLASS, "payment", "([II)I").istore(7);
+        m.aload(3)
+            .iload(5)
+            .invokestatic(CLASS, "payment", "([II)I")
+            .istore(7);
         m.goto(after);
 
         m.bind(k_status);
-        m.aload(2).iload(5).invokestatic(CLASS, "orderStatus", "([II)I").istore(7);
+        m.aload(2)
+            .iload(5)
+            .invokestatic(CLASS, "orderStatus", "([II)I")
+            .istore(7);
         m.goto(after);
 
         m.bind(k_delivery);
         // delivery: drain 8 orders
-        m.aload(2).iload(5).invokestatic(CLASS, "orderStatus", "([II)I");
-        m.aload(1).iload(5).invokestatic(CLASS, "stockLevel", "([II)I");
+        m.aload(2)
+            .iload(5)
+            .invokestatic(CLASS, "orderStatus", "([II)I");
+        m.aload(1)
+            .iload(5)
+            .invokestatic(CLASS, "stockLevel", "([II)I");
         m.iadd().istore(7);
         m.goto(after);
 
         m.bind(k_stock);
-        m.aload(1).iload(5).invokestatic(CLASS, "stockLevel", "([II)I").istore(7);
+        m.aload(1)
+            .iload(5)
+            .invokestatic(CLASS, "stockLevel", "([II)I")
+            .istore(7);
         m.goto(after);
 
         m.bind(after);
         // Every committed transaction is logged natively; the logger
         // audits and validates through the JNI invocation interface.
-        m.iload(7).iload(4).invokestatic(CLASS, "logTransaction", "(II)I").pop();
+        m.iload(7)
+            .iload(4)
+            .invokestatic(CLASS, "logTransaction", "(II)I")
+            .pop();
         // checksum and committed counter (static, thread-accumulated)
-        m.getstatic(CLASS, "checksum", "I").iconst(31).imul().iload(7).iadd();
+        m.getstatic(CLASS, "checksum", "I")
+            .iconst(31)
+            .imul()
+            .iload(7)
+            .iadd();
         m.iconst(16777215).iand().putstatic(CLASS, "checksum", "I");
         m.getstatic(CLASS, "committed", "I").iconst(1).iadd();
         m.putstatic(CLASS, "committed", "I");
@@ -252,12 +296,11 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.iconst(0).istore(3);
         m.bind(w_top);
         m.iload(3).iload(2).if_icmp(Cond::Ge, w_done);
-        m.ldc_str("warehouse").ldc_str(CLASS).ldc_str("warehouse").iload(1);
-        m.invokestatic(
-            "java/lang/Threads",
-            "start",
-            &format!("({S}{S}{S}I)V"),
-        );
+        m.ldc_str("warehouse")
+            .ldc_str(CLASS)
+            .ldc_str("warehouse")
+            .iload(1);
+        m.invokestatic("java/lang/Threads", "start", &format!("({S}{S}{S}I)V"));
         m.iinc(3, 1);
         m.goto(w_top);
         m.bind(w_done);
@@ -336,7 +379,7 @@ mod tests {
         // adds two ordinary JDK natives, so upcalls ≥ native calls — the
         // inversion unique to JBB in the paper's Table II.
         assert!(
-        outcome.stats.jni_upcalls >= outcome.stats.native_calls,
+            outcome.stats.jni_upcalls >= outcome.stats.native_calls,
             "jni {} vs native {}",
             outcome.stats.jni_upcalls,
             outcome.stats.native_calls

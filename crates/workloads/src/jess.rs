@@ -120,13 +120,22 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.bind(fact_top);
         m.iload(6).iconst(96).if_icmp(Cond::Ge, fact_done);
         m.aload(2).iload(6).iaload().istore(7);
-        m.iload(7).iload(8).invokestatic(CLASS, "matchFact", "(II)I");
+        m.iload(7)
+            .iload(8)
+            .invokestatic(CLASS, "matchFact", "(II)I");
         m.if_(Cond::Eq, no_match);
         // fire: facts[f] = fire(fact); checksum update
         m.aload(2).iload(6);
         m.iload(7).invokestatic(CLASS, "fire", "(I)I");
         m.iastore();
-        m.iload(3).iconst(31).imul().aload(2).iload(6).iaload().iadd().istore(3);
+        m.iload(3)
+            .iconst(31)
+            .imul()
+            .aload(2)
+            .iload(6)
+            .iaload()
+            .iadd()
+            .istore(3);
         m.bind(no_match);
         m.iinc(6, 6);
         m.goto(fact_top);

@@ -77,7 +77,10 @@ impl std::fmt::Debug for WorkloadProgram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WorkloadProgram")
             .field("classes", &self.classes.len())
-            .field("entry", &format!("{}.{}", self.entry_class, self.entry_method))
+            .field(
+                "entry",
+                &format!("{}.{}", self.entry_class, self.entry_method),
+            )
             .finish()
     }
 }
@@ -174,7 +177,15 @@ mod tests {
         let names: Vec<&str> = jvm98_suite().iter().map(|w| w.name()).collect();
         assert_eq!(
             names,
-            vec!["compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"]
+            vec![
+                "compress",
+                "jess",
+                "db",
+                "javac",
+                "mpegaudio",
+                "mtrt",
+                "jack"
+            ]
         );
     }
 

@@ -56,7 +56,9 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.aload(0).iload(3).iaload().i2f().fstore(5);
         // acc += window(filterStep(s, coeff))
         m.fload(4);
-        m.fload(5).fload(2).invokestatic(CLASS, "filterStep", "(FF)F");
+        m.fload(5)
+            .fload(2)
+            .invokestatic(CLASS, "filterStep", "(FF)F");
         m.invokestatic(CLASS, "window", "(F)F");
         m.fadd().fstore(4);
         m.iinc(3, 1);
@@ -104,7 +106,10 @@ fn build_class() -> jvmsim_classfile::ClassFile {
         m.invokestatic("java/lang/Math", "sin", "(F)F");
         m.fadd().fstore(5);
         // two filter passes over the frame
-        m.aload(3).iconst(512).fload(5).invokestatic(CLASS, "decodeBand", "([IIF)F");
+        m.aload(3)
+            .iconst(512)
+            .fload(5)
+            .invokestatic(CLASS, "decodeBand", "([IIF)F");
         m.aload(3).iconst(512).fload(5).fconst(1.5).fadd();
         m.invokestatic(CLASS, "decodeBand", "([IIF)F");
         m.fadd().fstore(6);

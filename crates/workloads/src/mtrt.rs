@@ -83,7 +83,9 @@ fn build_vec() -> jvmsim_classfile::ClassFile {
     // len2() — squared length.
     {
         let mut m = cb.method("len2", "()F", INST);
-        m.aload(0).aload(0).invokevirtual(VEC, "dot", &format!("(L{VEC};)F"));
+        m.aload(0)
+            .aload(0)
+            .invokevirtual(VEC, "dot", &format!("(L{VEC};)F"));
         m.freturn();
         m.finish().unwrap();
     }
@@ -92,27 +94,36 @@ fn build_vec() -> jvmsim_classfile::ClassFile {
 
 fn build_sphere() -> jvmsim_classfile::ClassFile {
     let mut cb = ClassBuilder::new(SPHERE);
-    cb.field("center", &format!("L{VEC};"), FieldFlags::PUBLIC).unwrap();
+    cb.field("center", &format!("L{VEC};"), FieldFlags::PUBLIC)
+        .unwrap();
     cb.field("radius2", "F", FieldFlags::PUBLIC).unwrap();
     // intersect(origin, dir, tmp) -> 1 if hit (tiny-method cascade).
     {
-        let mut m = cb.method(
-            "intersect",
-            &format!("(L{VEC};L{VEC};L{VEC};)I"),
-            INST,
-        );
+        let mut m = cb.method("intersect", &format!("(L{VEC};L{VEC};L{VEC};)I"), INST);
         // locals: 0 this, 1 origin, 2 dir, 3 tmp, 4 b(F), 5 c(F)
         let miss = m.new_label();
         // tmp = center - origin
-        m.aload(3).aload(0).getfield(SPHERE, "center", &format!("L{VEC};"));
-        m.aload(1).invokevirtual(VEC, "subInto", &format!("(L{VEC};L{VEC};)V"));
+        m.aload(3)
+            .aload(0)
+            .getfield(SPHERE, "center", &format!("L{VEC};"));
+        m.aload(1)
+            .invokevirtual(VEC, "subInto", &format!("(L{VEC};L{VEC};)V"));
         // b = tmp . dir
-        m.aload(3).aload(2).invokevirtual(VEC, "dot", &format!("(L{VEC};)F")).fstore(4);
+        m.aload(3)
+            .aload(2)
+            .invokevirtual(VEC, "dot", &format!("(L{VEC};)F"))
+            .fstore(4);
         // c = tmp.len2() - radius2
         m.aload(3).invokevirtual(VEC, "len2", "()F");
         m.aload(0).getfield(SPHERE, "radius2", "F").fsub().fstore(5);
         // hit iff b*b - c > 0
-        m.fload(4).fload(4).fmul().fload(5).fsub().fconst(0.0).fcmp();
+        m.fload(4)
+            .fload(4)
+            .fmul()
+            .fload(5)
+            .fsub()
+            .fconst(0.0)
+            .fcmp();
         m.if_(Cond::Le, miss);
         m.iconst(1).ireturn();
         m.bind(miss);
@@ -155,16 +166,25 @@ fn build_main() -> jvmsim_classfile::ClassFile {
         m.iconst(1).istore(1);
         m.bind(at_least);
         // scene: 8 spheres
-        m.iconst(8).newarray(jvmsim_classfile::ArrayKind::Ref).astore(2);
+        m.iconst(8)
+            .newarray(jvmsim_classfile::ArrayKind::Ref)
+            .astore(2);
         m.iconst(0).istore(8);
         m.bind(build_top);
         m.iload(8).iconst(8).if_icmp(Cond::Ge, build_done);
         m.new_obj(SPHERE).astore(10);
-        m.aload(10).new_obj(VEC).putfield(SPHERE, "center", &format!("L{VEC};"));
+        m.aload(10)
+            .new_obj(VEC)
+            .putfield(SPHERE, "center", &format!("L{VEC};"));
         m.aload(10).getfield(SPHERE, "center", &format!("L{VEC};"));
         m.iload(8).i2f().iload(8).iconst(3).imul().i2f().fconst(2.0);
         m.invokevirtual(VEC, "set", "(FFF)V");
-        m.aload(10).iload(8).iconst(1).iadd().i2f().putfield(SPHERE, "radius2", "F");
+        m.aload(10)
+            .iload(8)
+            .iconst(1)
+            .iadd()
+            .i2f()
+            .putfield(SPHERE, "radius2", "F");
         m.aload(2).iload(8).aload(10).aastore();
         m.iinc(8, 1);
         m.goto(build_top);
@@ -184,7 +204,14 @@ fn build_main() -> jvmsim_classfile::ClassFile {
         m.invokevirtual(VEC, "set", "(FFF)V");
         m.aload(4);
         m.iload(6).iconst(7).iand().i2f().fconst(0.125).fmul();
-        m.iload(6).iconst(3).ishr().iconst(7).iand().i2f().fconst(0.125).fmul();
+        m.iload(6)
+            .iconst(3)
+            .ishr()
+            .iconst(7)
+            .iand()
+            .i2f()
+            .fconst(0.125)
+            .fmul();
         m.fconst(1.0);
         m.invokevirtual(VEC, "set", "(FFF)V");
         // hits = 0; for each sphere: intersect
@@ -194,11 +221,7 @@ fn build_main() -> jvmsim_classfile::ClassFile {
         m.iload(8).iconst(8).if_icmp(Cond::Ge, sph_done);
         m.aload(2).iload(8).aaload();
         m.aload(3).aload(4).aload(5);
-        m.invokevirtual(
-            SPHERE,
-            "intersect",
-            &format!("(L{VEC};L{VEC};L{VEC};)I"),
-        );
+        m.invokevirtual(SPHERE, "intersect", &format!("(L{VEC};L{VEC};L{VEC};)I"));
         m.if_(Cond::Eq, no_hit);
         m.iinc(7, 1);
         m.bind(no_hit);
@@ -206,9 +229,18 @@ fn build_main() -> jvmsim_classfile::ClassFile {
         m.goto(sph_top);
         m.bind(sph_done);
         // every 8th ray with hits: native texture noise
-        m.iload(6).iconst(7).iand().iconst(0).if_icmp(Cond::Ne, no_noise);
+        m.iload(6)
+            .iconst(7)
+            .iand()
+            .iconst(0)
+            .if_icmp(Cond::Ne, no_noise);
         m.iload(7).iconst(0).if_icmp(Cond::Le, no_noise);
-        m.iload(9).iload(6).i2f().invokestatic(CLASS, "noise", "(F)F").f2i().iadd();
+        m.iload(9)
+            .iload(6)
+            .i2f()
+            .invokestatic(CLASS, "noise", "(F)F")
+            .f2i()
+            .iadd();
         m.iconst(16777215).iand().istore(9);
         m.bind(no_noise);
         m.iload(9).iconst(31).imul().iload(7).iadd();

@@ -35,13 +35,18 @@ fn build_program() -> (jnativeprof::classfile::ClassFile, NativeLibrary) {
     // alternating implementation types.
     {
         let mut m = cb.method("transform", "(I)I", ST);
-        m.iload(0).iconst(3).imul().invokestatic("demo/Codec", "encode", "(I)I");
+        m.iload(0)
+            .iconst(3)
+            .imul()
+            .invokestatic("demo/Codec", "encode", "(I)I");
         m.ireturn();
         m.finish().unwrap();
     }
     {
         let mut m = cb.method("main", "(I)I", ST);
-        m.iload(0).invokestatic("demo/Codec", "transform", "(I)I").ireturn();
+        m.iload(0)
+            .invokestatic("demo/Codec", "transform", "(I)I")
+            .ireturn();
         m.finish().unwrap();
     }
     let mut lib = NativeLibrary::new("codec");
@@ -61,10 +66,7 @@ fn build_program() -> (jnativeprof::classfile::ClassFile, NativeLibrary) {
 
 fn main() {
     let (class, lib) = build_program();
-    let profiler = ChainProfiler::new(
-        vec![("demo/Codec".to_owned(), "quantize".to_owned())],
-        8,
-    );
+    let profiler = ChainProfiler::new(vec![("demo/Codec".to_owned(), "quantize".to_owned())], 8);
 
     let mut vm = Vm::new();
     vm.add_classfile(&class);

@@ -23,7 +23,9 @@ fn main() {
         .map_or(ProblemSize::S100, ProblemSize);
 
     let Some(workload) = by_name(name) else {
-        eprintln!("unknown workload {name:?}; try compress, jess, db, javac, mpegaudio, mtrt, jack, jbb");
+        eprintln!(
+            "unknown workload {name:?}; try compress, jess, db, javac, mpegaudio, mtrt, jack, jbb"
+        );
         std::process::exit(1);
     };
 
@@ -32,7 +34,10 @@ fn main() {
     let profile = result.profile.expect("IPA attached");
 
     println!("{profile}");
-    println!("virtual execution time: {:.4} s (at 2.66 GHz)", result.seconds);
+    println!(
+        "virtual execution time: {:.4} s (at 2.66 GHz)",
+        result.seconds
+    );
     println!("checksum: {}", result.checksum);
     println!(
         "\nground truth (VM oracle): {} native calls, {} JNI upcalls",

@@ -69,7 +69,11 @@ fn execute(args: &[String], profile: bool) -> Result<(), String> {
     let classes = assemble(input)?;
     let values: Vec<Value> = int_args
         .iter()
-        .map(|a| a.parse::<i64>().map(Value::Int).map_err(|e| format!("{a}: {e}")))
+        .map(|a| {
+            a.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|e| format!("{a}: {e}"))
+        })
         .collect::<Result<_, _>>()?;
     let descriptor = format!("({})I", "I".repeat(values.len()));
 
@@ -77,13 +81,16 @@ fn execute(args: &[String], profile: bool) -> Result<(), String> {
     let ipa = if profile {
         let mut archive = Archive::new();
         for (name, bytes) in builtins::boot_archive() {
-            archive.insert_bytes(name, bytes).map_err(|e| e.to_string())?;
+            archive
+                .insert_bytes(name, bytes)
+                .map_err(|e| e.to_string())?;
         }
         for c in &classes {
             archive.insert_class(c).map_err(|e| e.to_string())?;
         }
         let ipa = IpaAgent::new();
-        ipa.instrument_archive(&mut archive).map_err(|e| e.to_string())?;
+        ipa.instrument_archive(&mut archive)
+            .map_err(|e| e.to_string())?;
         vm.add_archive(archive);
         vm.register_native_library(builtins::libjava(), true);
         jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)

@@ -6,7 +6,7 @@ use std::sync::Arc;
 use jvmsim_instr::Archive;
 use jvmsim_jvmti::Agent;
 use jvmsim_pcl::Pcl;
-use jvmsim_vm::{builtins, RunOutcome, Value, Vm};
+use jvmsim_vm::{builtins, RunOutcome, TraceSink, Value, Vm};
 use nativeprof::{IpaAgent, IpaConfig, NativeProfile, SpaAgent};
 use workloads::{ProblemSize, Workload, WorkloadProgram};
 
@@ -71,7 +71,9 @@ impl HarnessRun {
 fn encode_program_archive(program: &WorkloadProgram) -> Archive {
     let mut archive = Archive::new();
     for (name, bytes) in builtins::boot_archive() {
-        archive.insert_bytes(name, bytes).expect("unique boot class");
+        archive
+            .insert_bytes(name, bytes)
+            .expect("unique boot class");
     }
     for class in &program.classes {
         archive.insert_class(class).expect("unique app class");
@@ -92,8 +94,29 @@ fn encode_program_archive(program: &WorkloadProgram) -> Archive {
 /// expected to be self-contained (failure injection is tested at the VM
 /// layer).
 pub fn run(workload: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> HarnessRun {
+    run_traced(workload, size, agent, None)
+}
+
+/// [`run`], with an optional transition-trace sink installed before the
+/// agent attaches (so IPA's probes adopt it and J2N/N2J events land in the
+/// same recorder as the VM's thread/compile events). Tracing charges no
+/// cycles: a traced run's Table I/II quantities are identical to an
+/// untraced one's.
+///
+/// # Panics
+///
+/// As [`run`].
+pub fn run_traced(
+    workload: &dyn Workload,
+    size: ProblemSize,
+    agent: AgentChoice,
+    trace: Option<Arc<dyn TraceSink>>,
+) -> HarnessRun {
     let program = workload.program();
     let mut vm = Vm::new();
+    if let Some(trace) = trace {
+        vm.set_trace_sink(trace);
+    }
     let label = agent.label();
 
     let profile_source: Option<ProfileSource> = match agent {
@@ -104,19 +127,18 @@ pub fn run(workload: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> Ha
         AgentChoice::Spa => {
             vm.add_archive(encode_program_archive(&program));
             let spa = SpaAgent::new();
-            jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>)
-                .expect("SPA attach");
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>).expect("SPA attach");
             Some(ProfileSource::Spa(spa))
         }
         AgentChoice::Ipa(config) => {
             let ipa = IpaAgent::with_config(config.clone());
             let mut archive = encode_program_archive(&program);
             if config.mode == nativeprof::InstrumentationMode::Static {
-                ipa.instrument_archive(&mut archive).expect("instrumentation");
+                ipa.instrument_archive(&mut archive)
+                    .expect("instrumentation");
             }
             vm.add_archive(archive);
-            jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
-                .expect("IPA attach");
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).expect("IPA attach");
             Some(ProfileSource::Ipa(ipa))
         }
     };
@@ -218,14 +240,9 @@ mod tests {
             outcome: {
                 let mut vm = jvmsim_vm::Vm::new();
                 vm.add_classfile(
-                    &jvmsim_classfile::builder::single_method_class(
-                        "h/T",
-                        "f",
-                        "()I",
-                        |m| {
-                            m.iconst(0).ireturn();
-                        },
-                    )
+                    &jvmsim_classfile::builder::single_method_class("h/T", "f", "()I", |m| {
+                        m.iconst(0).ireturn();
+                    })
                     .unwrap(),
                 );
                 vm.run("h/T", "f", "()I", vec![]).unwrap()

@@ -8,7 +8,14 @@ use nativeprof::{InstrumentationMode, IpaConfig};
 use workloads::{by_name, ProblemSize};
 
 const ALL: [&str; 8] = [
-    "compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack", "jbb",
+    "compress",
+    "jess",
+    "db",
+    "javac",
+    "mpegaudio",
+    "mtrt",
+    "jack",
+    "jbb",
 ];
 
 #[test]
@@ -40,7 +47,10 @@ fn checksums_identical_across_all_agent_configurations() {
         assert_eq!(base, spa, "{name}: SPA changed behaviour");
         assert_eq!(base, ipa_static, "{name}: static IPA changed behaviour");
         assert_eq!(base, ipa_dynamic, "{name}: dynamic IPA changed behaviour");
-        assert_eq!(base, ipa_uncompensated, "{name}: compensation is stats-only");
+        assert_eq!(
+            base, ipa_uncompensated,
+            "{name}: compensation is stats-only"
+        );
     }
 }
 

@@ -157,7 +157,10 @@ fn double_instrumentation_is_idempotent_end_to_end() {
     let first = archive.instrument(&t).unwrap();
     assert_eq!(first.classes_instrumented, 1);
     let second = archive.instrument(&t).unwrap();
-    assert_eq!(second.classes_instrumented, 0, "second pass must be a no-op");
+    assert_eq!(
+        second.classes_instrumented, 0,
+        "second pass must be a no-op"
+    );
 
     let ipa = IpaAgent::new();
     let mut vm = Vm::new();
@@ -169,7 +172,11 @@ fn double_instrumentation_is_idempotent_end_to_end() {
         .unwrap()
         .unwrap();
     assert_eq!(ok, Value::Int(8));
-    assert_eq!(ipa.report().native_method_calls, 1, "exactly one wrapper layer");
+    assert_eq!(
+        ipa.report().native_method_calls,
+        1,
+        "exactly one wrapper layer"
+    );
 }
 
 #[test]
@@ -179,7 +186,9 @@ fn uncaught_native_exception_terminates_thread_and_unwinds_agent_state() {
     let mut cb = ClassBuilder::new("fi/Bare");
     cb.native_method("risky", "(I)I", ST).unwrap();
     let mut m = cb.method("main", "(I)I", ST);
-    m.iload(0).invokestatic("fi/Bare", "risky", "(I)I").ireturn();
+    m.iload(0)
+        .invokestatic("fi/Bare", "risky", "(I)I")
+        .ireturn();
     m.finish().unwrap();
     let bare = cb.finish().unwrap();
     let mut bare_lib = NativeLibrary::new("fibare");
@@ -196,7 +205,9 @@ fn uncaught_native_exception_terminates_thread_and_unwinds_agent_state() {
     vm.add_archive(archive);
     vm.register_native_library(bare_lib, true);
     jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
-    let outcome = vm.run("fi/Bare", "main", "(I)I", vec![Value::Int(1)]).unwrap();
+    let outcome = vm
+        .run("fi/Bare", "main", "(I)I", vec![Value::Int(1)])
+        .unwrap();
     let err = outcome.main.unwrap_err();
     assert_eq!(err.class_name, "java/lang/IllegalArgumentException");
     // ThreadEnd still fired and the profile is coherent.

@@ -39,7 +39,11 @@ fn ipa_overhead_is_moderate_on_every_workload() {
             "{}: IPA overhead must stay moderate, got {ovh:.2}%",
             w.name()
         );
-        assert!(ovh > -5.0, "{}: negative overhead is nonsense: {ovh:.2}%", w.name());
+        assert!(
+            ovh > -5.0,
+            "{}: negative overhead is nonsense: {ovh:.2}%",
+            w.name()
+        );
         assert_eq!(base.checksum, ipa.checksum, "{}", w.name());
     }
 }
@@ -62,7 +66,10 @@ fn mtrt_has_the_worst_spa_overhead() {
         }
     }
     let (name, ovh) = worst.unwrap();
-    assert_eq!(name, "mtrt", "worst SPA overhead must be mtrt ({ovh:.0}% vs mtrt {mtrt_ovh:.0}%)");
+    assert_eq!(
+        name, "mtrt",
+        "worst SPA overhead must be mtrt ({ovh:.0}% vs mtrt {mtrt_ovh:.0}%)"
+    );
 }
 
 #[test]
@@ -187,8 +194,20 @@ fn jbb_jni_calls_rival_native_calls() {
         profile.native_method_calls
     );
     // And every other workload has far fewer JNI calls than jbb.
-    for name in ["compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"] {
-        let other = run(by_name(name).unwrap().as_ref(), ProblemSize(5), AgentChoice::ipa());
+    for name in [
+        "compress",
+        "jess",
+        "db",
+        "javac",
+        "mpegaudio",
+        "mtrt",
+        "jack",
+    ] {
+        let other = run(
+            by_name(name).unwrap().as_ref(),
+            ProblemSize(5),
+            AgentChoice::ipa(),
+        );
         assert!(
             other.profile.unwrap().jni_calls < profile.jni_calls,
             "{name} must have fewer JNI calls than jbb"
@@ -226,5 +245,9 @@ fn per_thread_breakdown_covers_all_jbb_threads() {
     // main + 10 warehouse threads, each with a recorded split.
     assert_eq!(profile.threads.len(), 11);
     let total: u64 = profile.threads.iter().map(|(_, s)| s.total()).sum();
-    assert_eq!(total, profile.total.total(), "per-thread splits sum to total");
+    assert_eq!(
+        total,
+        profile.total.total(),
+        "per-thread splits sum to total"
+    );
 }

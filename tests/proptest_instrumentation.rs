@@ -51,13 +51,15 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         prop::option::of(0u8..12),
         0u16..2_000,
     )
-        .prop_map(|(params, returns_float, calls, native_throws_on, work)| Scenario {
-            params,
-            returns_float,
-            calls,
-            native_throws_on,
-            work,
-        })
+        .prop_map(
+            |(params, returns_float, calls, native_throws_on, work)| Scenario {
+                params,
+                returns_float,
+                calls,
+                native_throws_on,
+                work,
+            },
+        )
 }
 
 fn descriptor(s: &Scenario) -> String {
@@ -86,7 +88,9 @@ fn build(s: &Scenario) -> (jnativeprof::classfile::ClassFile, NativeLibrary) {
     m.iconst(0).istore(1); // acc
     m.iconst(0).istore(2); // i
     m.bind(loop_top);
-    m.iload(2).iconst(i64::from(s.calls)).if_icmp(jnativeprof::classfile::Cond::Ge, loop_done);
+    m.iload(2)
+        .iconst(i64::from(s.calls))
+        .if_icmp(jnativeprof::classfile::Cond::Ge, loop_done);
     m.bind(start);
     for (k, p) in s.params.iter().enumerate() {
         match p {

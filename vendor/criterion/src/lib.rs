@@ -1,0 +1,216 @@
+//! Offline shim for the `criterion` API subset this workspace's benches
+//! use. The build container cannot reach crates.io, so the real criterion
+//! cannot be fetched; this crate keeps `cargo bench --features bench`
+//! working with plain wall-clock timing loops and text output instead of
+//! criterion's statistics and HTML reports.
+//!
+//! Supported surface: [`Criterion::benchmark_group`], group knobs
+//! (`sample_size`, `warm_up_time`, `measurement_time`), `bench_function` /
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`], [`black_box`],
+//! and the `criterion_group!` / `criterion_main!` macros.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque identity function preventing the optimizer from deleting a
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Names a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the benchmark closure; runs the timing loop.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, warm-up first, then `sample_size` samples (stopping
+    /// early once `measurement_time` is spent).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+        }
+        let measure_start = Instant::now();
+        for i in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if i > 0 && measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Untimed warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Soft cap on total measurement duration per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        self.report(&id.to_string(), &samples);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    fn report(&self, id: &str, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort();
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let median = sorted[sorted.len() / 2];
+        println!(
+            "{}/{id:<40} mean {mean:>12.3?}  median {median:>12.3?}  ({} samples)",
+            self.name,
+            samples.len(),
+        );
+    }
+
+    /// End the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group with default timing configuration.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions under one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(50));
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs >= 3, "timed loop must run at least sample_size times");
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter("only").to_string(), "only");
+    }
+}

@@ -1,0 +1,43 @@
+//! `prop::collection` — collection strategies.
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec<S::Value>` with a length drawn from a range.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.clone().sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size_range)`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec size range");
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_distribution_covers_range() {
+        let s = vec(0u8..5, 0..3);
+        let mut rng = TestRng::from_seed(9);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[s.sample(&mut rng).len()] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

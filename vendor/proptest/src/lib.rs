@@ -1,0 +1,262 @@
+//! Offline shim for the `proptest` API subset this workspace uses.
+//!
+//! The build container has no access to crates.io, so the real `proptest`
+//! cannot be fetched. This crate re-implements the pieces the workspace's
+//! property tests rely on — the [`Strategy`](strategy::Strategy) trait with
+//! `prop_map`/`prop_recursive`, range/tuple/`Just`/`any` strategies, a
+//! regex-subset string generator, `prop::collection::vec`,
+//! `prop::option::of`, and the `proptest!`/`prop_oneof!`/`prop_assert*`
+//! macros — on top of a small deterministic RNG.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the assertion message instead of being minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so runs are reproducible across machines; set
+//!   `PROPTEST_SHIM_SEED` to explore a different sequence.
+//! * Only the strategy combinators listed above exist.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod string;
+pub mod test_runner;
+
+pub mod strategy;
+
+pub use test_runner::TestRng;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Types a value can be drawn from with [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, sign-symmetric; NaN/inf would break PartialEq-based tests.
+        rng.unit_f64() * 2.0e18 - 1.0e18
+    }
+}
+
+/// Strategy producing unconstrained values of `T` (`any::<T>()`).
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary + std::fmt::Debug> strategy::Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary + std::fmt::Debug>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// What the prelude of real proptest exports (the subset used here).
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::{any, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy::Just;
+        pub use crate::string;
+    }
+}
+
+/// Build a [`strategy::Union`] choosing uniformly between the listed
+/// strategies (the weighted form of real proptest is not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body (panics; no shrinking in the shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    let _ = __case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -50i64..50, b in 3u8..9, c in 1u8..=4) {
+            prop_assert!((-50..50).contains(&a));
+            prop_assert!((3..9).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn recursive_trees_are_bounded(
+            t in prop_oneof![(-9i64..9).prop_map(Tree::Leaf)].prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(a.into(), b.into()))
+            })
+        ) {
+            prop_assert!(depth(&t) <= 4);
+        }
+
+        #[test]
+        fn regex_subset_generates_matching_shapes(
+            name in "[a-z]{2,4}(/[A-Z][a-z]{0,3}){1,2}",
+            desc in "\\(\\)V|\\(I\\)I",
+        ) {
+            let parts: Vec<&str> = name.split('/').collect();
+            prop_assert!(parts.len() >= 2 && parts.len() <= 3, "{name}");
+            prop_assert!((2..=4).contains(&parts[0].len()), "{name}");
+            prop_assert!(desc == "()V" || desc == "(I)I", "{desc}");
+        }
+
+        #[test]
+        fn option_of_produces_both(o in prop::option::of(0u8..200)) {
+            if let Some(v) = o { prop_assert!(v < 200); }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = crate::TestRng::for_test("x");
+        let mut b = crate::TestRng::for_test("x");
+        let mut c = crate::TestRng::for_test("y");
+        let (va, vb, vc) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn union_covers_all_arms() {
+        let s = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::for_test("union");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

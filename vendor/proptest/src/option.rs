@@ -1,0 +1,48 @@
+//! `prop::option` — strategies over `Option<T>`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `None` half the time, `Some(inner)` otherwise.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(self.inner.sample(rng))
+        }
+    }
+}
+
+/// `prop::option::of(strategy)`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_variants_occur() {
+        let s = of(0u8..10);
+        let mut rng = TestRng::from_seed(17);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..100 {
+            match s.sample(&mut rng) {
+                Some(v) => {
+                    assert!(v < 10);
+                    some = true;
+                }
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+}

@@ -1,0 +1,270 @@
+//! Regex-subset string generation backing `impl Strategy for &'static str`.
+//!
+//! Supported syntax: literal characters, `\x` escapes (the escaped character
+//! becomes a literal), character classes `[a-z0-9_]` / `[ -~]` with ranges,
+//! groups `(...)`, alternation `|`, and the quantifiers `{m}`, `{m,n}`, `?`,
+//! `*`, `+` (`*`/`+` are capped at 4 repetitions to keep outputs bounded).
+//! Anything else — anchors, `.`, negated classes, backreferences — is
+//! rejected with a panic so a test using an unsupported pattern fails
+//! loudly rather than generating non-matching strings.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One concatenated alternative chosen uniformly.
+    Alt(Vec<Vec<(Node, u32, u32)>>),
+    Lit(char),
+    /// Closed unicode-scalar ranges; one is picked weighted by width.
+    Class(Vec<(char, char)>),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    pattern: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn fail(&self, why: &str) -> ! {
+        panic!("proptest shim: unsupported regex {:?}: {why}", self.pattern)
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut alts = vec![self.parse_concat()];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            alts.push(self.parse_concat());
+        }
+        Node::Alt(alts)
+    }
+
+    fn parse_concat(&mut self) -> Vec<(Node, u32, u32)> {
+        let mut out = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            self.chars.next();
+            let atom = match c {
+                '(' => {
+                    let inner = self.parse_alt();
+                    if self.chars.next() != Some(')') {
+                        self.fail("unclosed group");
+                    }
+                    inner
+                }
+                '[' => self.parse_class(),
+                '\\' => match self.chars.next() {
+                    Some(esc) => Node::Lit(esc),
+                    None => self.fail("dangling backslash"),
+                },
+                '.' | '^' | '$' | '*' | '+' | '?' | '{' => {
+                    self.fail("metacharacter outside supported subset")
+                }
+                lit => Node::Lit(lit),
+            };
+            let (lo, hi) = self.parse_quantifier();
+            out.push((atom, lo, hi));
+        }
+        out
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges = Vec::new();
+        loop {
+            let c = match self.chars.next() {
+                Some(']') => break,
+                Some('\\') => self
+                    .chars
+                    .next()
+                    .unwrap_or_else(|| self.fail("dangling backslash in class")),
+                Some('^') if ranges.is_empty() => self.fail("negated class"),
+                Some(c) => c,
+                None => self.fail("unclosed character class"),
+            };
+            if self.chars.peek() == Some(&'-') {
+                self.chars.next();
+                match self.chars.next() {
+                    Some(']') => {
+                        // Trailing `-` is a literal, as in `[a-z-]`.
+                        ranges.push((c, c));
+                        ranges.push(('-', '-'));
+                        break;
+                    }
+                    Some(hi) if hi >= c => ranges.push((c, hi)),
+                    Some(_) => self.fail("descending class range"),
+                    None => self.fail("unclosed character class"),
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            self.fail("empty character class");
+        }
+        Node::Class(ranges)
+    }
+
+    fn parse_quantifier(&mut self) -> (u32, u32) {
+        match self.chars.peek() {
+            Some('?') => {
+                self.chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                self.chars.next();
+                (0, 4)
+            }
+            Some('+') => {
+                self.chars.next();
+                (1, 4)
+            }
+            Some('{') => {
+                self.chars.next();
+                let mut lo = String::new();
+                let mut hi = String::new();
+                let mut cur = &mut lo;
+                let mut saw_comma = false;
+                loop {
+                    match self.chars.next() {
+                        Some('}') => break,
+                        Some(',') if !saw_comma => {
+                            saw_comma = true;
+                            cur = &mut hi;
+                        }
+                        Some(d) if d.is_ascii_digit() => cur.push(d),
+                        _ => self.fail("malformed {m,n} quantifier"),
+                    }
+                }
+                let lo: u32 = lo.parse().unwrap_or_else(|_| self.fail("bad repeat count"));
+                let hi = if !saw_comma {
+                    lo
+                } else {
+                    hi.parse().unwrap_or_else(|_| self.fail("bad repeat count"))
+                };
+                if hi < lo {
+                    self.fail("inverted {m,n} quantifier");
+                }
+                (lo, hi)
+            }
+            _ => (1, 1),
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Node {
+    let mut p = Parser {
+        chars: pattern.chars().peekable(),
+        pattern,
+    };
+    let node = p.parse_alt();
+    if p.chars.next().is_some() {
+        p.fail("unbalanced ')'");
+    }
+    node
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(alts) => {
+            let seq = &alts[rng.below(alts.len() as u64) as usize];
+            for (atom, lo, hi) in seq {
+                let n = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+                for _ in 0..n {
+                    emit(atom, rng, out);
+                }
+            }
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(a, b)| u64::from(b as u32 - a as u32) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(a, b) in ranges {
+                let width = u64::from(b as u32 - a as u32) + 1;
+                if pick < width {
+                    let cp = a as u32 + pick as u32;
+                    out.push(char::from_u32(cp).unwrap_or(a));
+                    return;
+                }
+                pick -= width;
+            }
+            unreachable!("class pick out of range");
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let ast = parse(pattern);
+    let mut out = String::new();
+    emit(&ast, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_n(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::for_test(pattern);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_quantifier_bounds() {
+        for s in gen_n("[a-z]{1,8}", 200) {
+            assert!((1..=8).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for s in gen_n("[ -~]{0,30}", 200) {
+            assert!(s.len() <= 30, "{s:?}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_repeats_and_mixed_classes() {
+        for s in gen_n("[a-z]{1,8}(/[A-Za-z][A-Za-z0-9_]{0,10}){1,3}", 200) {
+            let parts: Vec<&str> = s.split('/').collect();
+            assert!((2..=4).contains(&parts.len()), "{s:?}");
+            for part in &parts[1..] {
+                assert!(part.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+                assert!(part.len() <= 11, "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn alternation_of_escaped_literals() {
+        let alts = ["()V", "(I)I", "(IF)F"];
+        let mut seen = [false; 3];
+        for s in gen_n("\\(\\)V|\\(I\\)I|\\(IF\\)F", 100) {
+            let i = alts.iter().position(|a| *a == s).expect("unexpected alt");
+            seen[i] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+
+    #[test]
+    fn optional_star_plus() {
+        for s in gen_n("ab?c*d+", 200) {
+            assert!(s.starts_with('a'), "{s:?}");
+            assert!(s.ends_with('d'), "{s:?}");
+            assert!(s.len() <= 1 + 1 + 4 + 4, "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn unsupported_dot_rejected() {
+        let mut rng = TestRng::from_seed(1);
+        generate("a.c", &mut rng);
+    }
+}
