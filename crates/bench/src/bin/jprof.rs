@@ -5,6 +5,7 @@
 //!             [--size N] [--capacity N] [--flame out.folded]
 //!             [--events-csv events.csv]
 //! jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
+//! jprof chaos [--seeds N] [--jobs N] [--size N]
 //! jprof list
 //! ```
 //!
@@ -13,7 +14,10 @@
 //! `chrome://tracing`), optionally also collapsed flamegraph stacks and a
 //! raw event CSV. `suite` runs the full workload × agent matrix on
 //! `--jobs` worker threads and writes the Table I / Table II artifacts;
-//! any job count produces byte-identical artifacts.
+//! any job count produces byte-identical artifacts. `chaos` re-runs the
+//! matrix under `--seeds` deterministic fault schedules and fails only if
+//! an accounting invariant breaks — injected failures are expected and
+//! reported.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -22,7 +26,8 @@ use jnativeprof::harness::{self, AgentChoice};
 use jvmsim_trace::{chrome, csv, flame, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use nativeprof_bench::{
-    render_table1, render_table2, run_suite, table1_artifact, table2_artifact, SuiteConfig,
+    render_table1, render_table2, run_chaos, run_suite, table1_artifact, table2_artifact,
+    SuiteConfig,
 };
 use workloads::{by_name, jvm98_suite, ProblemSize};
 
@@ -31,6 +36,7 @@ usage:
   jprof trace --workload NAME --agent ipa [--size N] [--capacity N]
               [--out trace.json] [--flame out.folded] [--events-csv FILE]
   jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
+  jprof chaos [--seeds N] [--jobs N] [--size N]
   jprof list
 ";
 
@@ -39,6 +45,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("trace") => cmd_trace(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
@@ -156,10 +163,9 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     );
 
     let out = flags.get("--out").unwrap_or("trace.json");
-    write_file(
-        out,
-        &chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz()),
-    )?;
+    let json = chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz())
+        .map_err(|e| format!("exporting {out}: {e}"))?;
+    write_file(out, &json)?;
     eprintln!("  wrote {out}");
     if let Some(path) = flags.get("--flame") {
         write_file(path, &flame::collapsed_stacks(&snapshot))?;
@@ -186,6 +192,9 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
     print!("{}", render_table1(&suite.table1, suite.jbb));
     println!();
     print!("{}", render_table2(&suite.table2));
+    for failure in &suite.failures {
+        eprintln!("quarantined cell: {failure}");
+    }
     if let Some(dir) = flags.get("--out-dir") {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
         let t1 = table1_artifact(&suite.table1, suite.jbb);
@@ -198,7 +207,35 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         }
         eprintln!("wrote Table I/II artifacts under {dir}/");
     }
+    if !suite.failures.is_empty() {
+        return Err(format!(
+            "{} cell(s) quarantined (tables assembled from the rest)",
+            suite.failures.len()
+        ));
+    }
     Ok(())
+}
+
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["--seeds", "--jobs", "--size"])?;
+    let seeds: u64 = flags.get_parsed("--seeds")?.unwrap_or(8);
+    let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
+    let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(1));
+    let config = SuiteConfig::with_size(size).jobs(jobs);
+    eprintln!(
+        "chaos: running the matrix under {seeds} fault schedule(s) at size {} on {} worker(s) …",
+        size.0, config.jobs
+    );
+    let report = run_chaos(config, seeds);
+    print!("{}", report.render());
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} accounting invariant violation(s) under fault injection",
+            report.violations.len()
+        ))
+    }
 }
 
 fn cmd_list() -> Result<(), String> {

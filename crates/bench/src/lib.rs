@@ -12,7 +12,10 @@
 
 pub mod driver;
 
-pub use driver::{run_suite, table1_artifact, table2_artifact, SuiteConfig, SuiteResult};
+pub use driver::{
+    run_chaos, run_suite, run_suite_with_workloads, table1_artifact, table2_artifact, CellFailure,
+    CellFailureKind, ChaosReport, ChaosSpec, SuiteConfig, SuiteResult,
+};
 
 use jnativeprof::harness::{
     self, overhead_percent, throughput_overhead_percent, AgentChoice, HarnessRun,

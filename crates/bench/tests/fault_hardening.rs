@@ -1,0 +1,134 @@
+//! Graceful-degradation acceptance tests for the hardened suite driver:
+//!
+//! * a deliberately panicking workload is *quarantined* — its cells turn
+//!   into explicit failure records while every other cell completes and
+//!   the assembled artifacts are byte-identical to a run without it;
+//! * the hardening machinery itself (timeouts, retries, unwind isolation)
+//!   perturbs nothing: a hardened run's artifacts equal a plain run's;
+//! * a present-but-disabled fault injector changes no measurement;
+//! * the chaos driver is deterministic (same seeds → same report, any
+//!   job count) and every accounting invariant holds under injection.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jnativeprof::harness::{self, AgentChoice};
+use jvmsim_faults::FaultInjector;
+use nativeprof_bench::{
+    run_chaos, run_suite, run_suite_with_workloads, table1_artifact, table2_artifact,
+    CellFailureKind, SuiteConfig,
+};
+use workloads::{by_name, jvm98_suite, ProblemSize};
+
+fn jvm98_names() -> Vec<&'static str> {
+    jvm98_suite().iter().map(|w| w.name()).collect()
+}
+
+#[test]
+fn crashy_workload_is_quarantined_without_touching_other_rows() {
+    let config = SuiteConfig::with_size(ProblemSize::S1).jobs(4);
+    let baseline = run_suite(config);
+    assert!(baseline.failures.is_empty(), "{:?}", baseline.failures);
+
+    // Append the deliberately panicking workload: 3 extra cells, all of
+    // which must fail, while the original 24 complete untouched.
+    let mut names = jvm98_names();
+    names.push("crashy");
+    let with_crashy = run_suite_with_workloads(config, &names);
+
+    assert_eq!(with_crashy.failures.len(), 3, "{:?}", with_crashy.failures);
+    for failure in &with_crashy.failures {
+        assert_eq!(failure.workload, "crashy");
+        assert!(
+            matches!(&failure.kind, CellFailureKind::Panicked(m) if m.contains("deliberate")),
+            "{failure}"
+        );
+    }
+    // The crashy row is absent; every real row survives byte-for-byte.
+    assert_eq!(
+        table1_artifact(&baseline.table1, baseline.jbb).to_csv(),
+        table1_artifact(&with_crashy.table1, with_crashy.jbb).to_csv()
+    );
+    assert_eq!(
+        table2_artifact(&baseline.table2).to_csv(),
+        table2_artifact(&with_crashy.table2).to_csv()
+    );
+}
+
+#[test]
+fn crashy_cells_retry_the_configured_number_of_times() {
+    let config = SuiteConfig::with_size(ProblemSize::S1).retries(2);
+    let with_crashy = run_suite_with_workloads(config, &["crashy"]);
+    // 3 crashy cells + 3 jbb cells; crashy fails after 1 + 2 retries.
+    let crashy: Vec<_> = with_crashy
+        .failures
+        .iter()
+        .filter(|f| f.workload == "crashy")
+        .collect();
+    assert_eq!(crashy.len(), 3);
+    for failure in crashy {
+        assert_eq!(failure.attempts, 3, "{failure}");
+    }
+}
+
+#[test]
+fn hardening_machinery_is_invisible_on_the_measurement_path() {
+    // Soft timeout + retries move every cell onto its own thread behind
+    // catch_unwind; none of that may perturb a single byte of output.
+    let plain = run_suite(SuiteConfig::with_size(ProblemSize::S1));
+    let hardened = run_suite(
+        SuiteConfig::with_size(ProblemSize::S1)
+            .jobs(2)
+            .soft_timeout(Duration::from_secs(300))
+            .retries(1),
+    );
+    assert!(hardened.failures.is_empty(), "{:?}", hardened.failures);
+    assert_eq!(
+        table1_artifact(&plain.table1, plain.jbb).to_csv(),
+        table1_artifact(&hardened.table1, hardened.jbb).to_csv()
+    );
+    assert_eq!(
+        table2_artifact(&plain.table2).to_csv(),
+        table2_artifact(&hardened.table2).to_csv()
+    );
+}
+
+#[test]
+fn disabled_injector_changes_no_measurement() {
+    // The fault plane is always compiled in; with injection disabled the
+    // hooks must be measurement-invisible — identical cycles, checksum,
+    // and Table II counters.
+    let workload = by_name("compress").expect("workload");
+    let bare = harness::run(workload.as_ref(), ProblemSize::S1, AgentChoice::ipa());
+    let plumbed = harness::try_run_traced(
+        workload.as_ref(),
+        ProblemSize::S1,
+        AgentChoice::ipa(),
+        None,
+        Some(Arc::new(FaultInjector::disabled())),
+    )
+    .expect("run");
+    assert_eq!(bare.seconds, plumbed.seconds);
+    assert_eq!(bare.checksum, plumbed.checksum);
+    let (a, b) = (bare.profile.unwrap(), plumbed.profile.unwrap());
+    assert_eq!(a.native_method_calls, b.native_method_calls);
+    assert_eq!(a.jni_calls, b.jni_calls);
+    assert_eq!(a.total.native, b.total.native);
+    assert_eq!(a.total.bytecode, b.total.bytecode);
+}
+
+#[test]
+fn chaos_holds_invariants_and_is_deterministic() {
+    let config = SuiteConfig::with_size(ProblemSize::S1).jobs(4);
+    let first = run_chaos(config, 2);
+    assert!(first.passed(), "{}", first.render());
+    assert_eq!(first.cells, 48);
+    assert!(first.injected() > 0, "chaos injected nothing");
+    assert!(
+        !first.failures.is_empty(),
+        "chaos rates should fell at least one cell"
+    );
+    // Deterministic under re-run and under a different job count.
+    let second = run_chaos(config.jobs(1), 2);
+    assert_eq!(first.render(), second.render());
+}

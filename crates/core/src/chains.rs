@@ -135,24 +135,22 @@ impl ChainProfiler {
             .get_or_insert_with(thread, || Mutex::new(Vec::with_capacity(64)))
     }
 
-    /// The deepest chain observed anywhere.
+    /// The deepest chain observed anywhere (empty if the profiler was
+    /// never attached — reporting degrades, it does not panic).
     pub fn deepest_chain(&self) -> CallChain {
-        self.state
-            .get()
-            .expect("used before attach")
-            .enter_unaccounted()
-            .deepest
-            .clone()
+        match self.state.get() {
+            Some(state) => state.enter_unaccounted().deepest.clone(),
+            None => CallChain::default(),
+        }
     }
 
-    /// Snapshots taken at watched-method activations.
+    /// Snapshots taken at watched-method activations (empty if never
+    /// attached).
     pub fn watched_chains(&self) -> Vec<CallChain> {
-        self.state
-            .get()
-            .expect("used before attach")
-            .enter_unaccounted()
-            .watched_hits
-            .clone()
+        match self.state.get() {
+            Some(state) => state.enter_unaccounted().watched_hits.clone(),
+            None => Vec::new(),
+        }
     }
 }
 

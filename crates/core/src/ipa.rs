@@ -344,12 +344,16 @@ impl IpaAgent {
     }
 
     /// Final statistics (Fig. 3's `VMDeath` printout): the Table II row.
+    ///
+    /// An agent that was never attached (e.g. a run that failed before
+    /// `Agent_OnLoad`) reports an empty profile rather than panicking —
+    /// the suite driver must be able to assemble partial results from
+    /// quarantined cells.
     pub fn report(&self) -> NativeProfile {
-        let totals = self
-            .totals
-            .get()
-            .expect("IPA used before attach")
-            .enter_unaccounted();
+        let Some(totals) = self.totals.get() else {
+            return NativeProfile::default();
+        };
+        let totals = totals.enter_unaccounted();
         NativeProfile {
             total: totals.split,
             jni_calls: self.jni_calls.load(Ordering::Relaxed),

@@ -90,12 +90,14 @@ impl SpaAgent {
     }
 
     /// Final statistics (what Fig. 1's `VMDeath` prints).
+    ///
+    /// Reports an empty profile (instead of panicking) if the agent was
+    /// never attached, so partial suite assembly stays survivable.
     pub fn report(&self) -> NativeProfile {
-        let totals = self
-            .totals
-            .get()
-            .expect("SPA used before attach")
-            .enter_unaccounted();
+        let Some(totals) = self.totals.get() else {
+            return NativeProfile::default();
+        };
+        let totals = totals.enter_unaccounted();
         NativeProfile {
             total: totals.split,
             jni_calls: 0, // SPA cannot attribute entries to JNI upcalls

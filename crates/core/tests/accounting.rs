@@ -1,17 +1,48 @@
 //! Accounting-fidelity regressions from code review: thread entries are
 //! observed through the JNI launcher path, so IPA attributes pure-Java
-//! threads and pre-first-native preludes correctly.
+//! threads and pre-first-native preludes correctly — plus the exception
+//! invariants: every J2N/N2J transition balances per thread when natives
+//! unwind, whether the exception is thrown by the native itself or forced
+//! by the deterministic fault plane.
 
 use std::sync::Arc;
 
 use jvmsim_classfile::builder::ClassBuilder;
 use jvmsim_classfile::{Cond, MethodFlags};
+use jvmsim_faults::{FaultInjector, FaultPlan, FaultSite, TransitionKind, TransitionLedger, PPM};
 use jvmsim_instr::Archive;
 use jvmsim_jvmti::Agent;
-use jvmsim_vm::{builtins, NativeLibrary, Value, Vm};
-use nativeprof::IpaAgent;
+use jvmsim_vm::{
+    builtins, MethodId, NativeLibrary, ThreadId, TraceEventKind, TraceSink, Value, Vm,
+};
+use nativeprof::{IpaAgent, SpaAgent};
 
 const ST: MethodFlags = MethodFlags::PUBLIC.with(MethodFlags::STATIC);
+
+/// Shadow-accounting sink: mirrors the IPA probes' J2N/N2J trace events
+/// into a [`TransitionLedger`], independent of the agent's own counters.
+struct LedgerSink(Arc<TransitionLedger>);
+
+impl TraceSink for LedgerSink {
+    fn record(
+        &self,
+        thread: ThreadId,
+        kind: TraceEventKind,
+        _cycles: u64,
+        _method: Option<MethodId>,
+    ) {
+        let transition = match kind {
+            TraceEventKind::J2nBegin => Some(TransitionKind::J2nBegin),
+            TraceEventKind::J2nEnd => Some(TransitionKind::J2nEnd),
+            TraceEventKind::N2jBegin => Some(TransitionKind::N2jBegin),
+            TraceEventKind::N2jEnd => Some(TransitionKind::N2jEnd),
+            _ => None,
+        };
+        if let Some(transition) = transition {
+            self.0.record(thread.index(), transition);
+        }
+    }
+}
 
 fn burn_loop(m: &mut jvmsim_classfile::builder::MethodBuilder<'_>, slot: u16) {
     let top = m.new_label();
@@ -172,4 +203,216 @@ fn rerunning_the_same_vm_does_not_double_count() {
     );
     assert!(after_two > after_one, "second run must be measured");
     assert_eq!(ipa.report().threads.len(), 2, "one row per main-run");
+}
+
+/// Build `main(I)I` as a loop of `count` calls to `class.native_name()V`,
+/// each wrapped in a catch-all handler that increments local 2; the
+/// checksum is the number of caught exceptions.
+fn catching_caller(cb: &mut ClassBuilder, class: &str, native_name: &str, count: i64) {
+    let mut m = cb.method("main", "(I)I", ST);
+    m.iconst(count).istore(1).iconst(0).istore(2);
+    let top = m.new_label();
+    let done = m.new_label();
+    m.bind(top);
+    m.iload(1).if_(Cond::Le, done);
+    let start = m.new_label();
+    let end = m.new_label();
+    let after = m.new_label();
+    let handler = m.new_label();
+    m.bind(start);
+    m.invokestatic(class, native_name, "()V");
+    m.goto(after);
+    m.bind(end);
+    m.bind(handler);
+    m.pop().iinc(2, 1);
+    m.bind(after);
+    m.iinc(1, -1).goto(top);
+    m.bind(done);
+    m.iload(2).ireturn();
+    m.try_region(start, end, handler, None);
+    m.finish().unwrap();
+}
+
+fn ipa_vm_with_ledger(
+    cb: ClassBuilder,
+    lib: NativeLibrary,
+    faults: Option<Arc<FaultInjector>>,
+) -> (Vm, Arc<IpaAgent>, Arc<TransitionLedger>) {
+    let mut archive = Archive::new();
+    archive.insert_class(&cb.finish().unwrap()).unwrap();
+    let ipa = IpaAgent::new();
+    ipa.instrument_archive(&mut archive).unwrap();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    let ledger = Arc::new(TransitionLedger::new());
+    vm.set_trace_sink(Arc::new(LedgerSink(Arc::clone(&ledger))));
+    if let Some(faults) = faults {
+        vm.set_fault_injector(faults);
+    }
+    vm.register_native_library(lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    (vm, ipa, ledger)
+}
+
+#[test]
+fn j2n_unwind_balances_transitions_and_native_time() {
+    // A native that works exactly 7 000 cycles, then throws. Five calls,
+    // all caught in Java: the wrapper's finally must close every J2N span
+    // and the banked native time must match the hand-computed oracle.
+    const WORK: u64 = 7_000;
+    const CALLS: i64 = 5;
+    let mut cb = ClassBuilder::new("exc/Boom");
+    cb.native_method("boom", "()V", ST).unwrap();
+    catching_caller(&mut cb, "exc/Boom", "boom", CALLS);
+    let mut lib = NativeLibrary::new("excboom");
+    lib.register_method("exc/Boom", "boom", move |env, _| {
+        env.work(WORK);
+        Err(env.throw_new("java/lang/RuntimeException", "bang"))
+    });
+
+    let (mut vm, ipa, ledger) = ipa_vm_with_ledger(cb, lib, None);
+    let outcome = vm
+        .run("exc/Boom", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
+    assert_eq!(
+        outcome.main.unwrap(),
+        Value::Int(CALLS),
+        "all throws caught"
+    );
+
+    let totals = ledger.check().expect("transitions balanced");
+    assert_eq!(totals.j2n_begins, CALLS as u64);
+    assert_eq!(totals.j2n_ends, CALLS as u64);
+
+    let report = ipa.report();
+    assert_eq!(report.native_method_calls, CALLS as u64);
+    let oracle = WORK * CALLS as u64;
+    assert!(
+        report.total.native >= oracle && report.total.native <= oracle + 20_000,
+        "native time {} vs oracle {oracle} (+dispatch slack)\n{report}",
+        report.total.native
+    );
+}
+
+#[test]
+fn n2j_unwind_through_upcall_keeps_nesting_balanced() {
+    // main → nat1 (J2N) → Java callback via JNI (N2J) → nat2 (J2N) which
+    // throws: the exception unwinds through a native frame, a Java frame,
+    // and another native frame. Every Begin on both directions must still
+    // be matched and the per-thread nesting depth must return to zero.
+    let mut cb = ClassBuilder::new("exc/Deep");
+    cb.native_method("outer", "()V", ST).unwrap();
+    cb.native_method("inner", "()V", ST).unwrap();
+    let mut m = cb.method("callback", "()V", ST);
+    m.invokestatic("exc/Deep", "inner", "()V");
+    m.ret_void();
+    m.finish().unwrap();
+    catching_caller(&mut cb, "exc/Deep", "outer", 1);
+    let mut lib = NativeLibrary::new("excdeep");
+    lib.register_method("exc/Deep", "outer", |env, _| {
+        env.work(300);
+        env.call_static(
+            jvmsim_vm::jni::JniRetType::Void,
+            jvmsim_vm::jni::ParamStyle::Varargs,
+            "exc/Deep",
+            "callback",
+            "()V",
+            &[],
+        )?;
+        Ok(Value::Null)
+    });
+    lib.register_method("exc/Deep", "inner", |env, _| {
+        env.work(200);
+        Err(env.throw_new("java/lang/IllegalStateException", "deep bang"))
+    });
+
+    let (mut vm, ipa, ledger) = ipa_vm_with_ledger(cb, lib, None);
+    let outcome = vm
+        .run("exc/Deep", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
+    assert_eq!(outcome.main.unwrap(), Value::Int(1), "caught in main");
+
+    let totals = ledger.check().expect("transitions balanced");
+    assert_eq!(totals.j2n_begins, 2, "outer + inner");
+    assert_eq!(totals.j2n_ends, 2);
+    // One JNI upcall + the thread-entry launcher call.
+    assert_eq!(totals.n2j_begins, 2);
+    assert_eq!(totals.n2j_ends, 2);
+
+    let report = ipa.report();
+    assert_eq!(report.native_method_calls, 2, "{report}");
+    assert_eq!(report.jni_calls, 2, "{report}");
+}
+
+#[test]
+fn injected_unwind_on_every_native_call_stays_balanced() {
+    // Fault plane at rate 1.0: *every* application native call unwinds
+    // with an injected exception the instant it returns. The wrapper
+    // must close every J2N span and IPA's count must equal the ledger's.
+    const CALLS: i64 = 8;
+    let mut cb = ClassBuilder::new("exc/Inj");
+    cb.native_method("tick", "()V", ST).unwrap();
+    catching_caller(&mut cb, "exc/Inj", "tick", CALLS);
+    let mut lib = NativeLibrary::new("excinj");
+    lib.register_method("exc/Inj", "tick", |env, _| {
+        env.work(100);
+        Ok(Value::Null)
+    });
+
+    let plan = FaultPlan::new(42).with_rate(FaultSite::NativeUnwind, PPM);
+    let injector = Arc::new(FaultInjector::new(plan));
+    let (mut vm, ipa, ledger) = ipa_vm_with_ledger(cb, lib, Some(Arc::clone(&injector)));
+    let outcome = vm
+        .run("exc/Inj", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
+    // Every call unwound — and every unwind was caught.
+    assert_eq!(outcome.main.unwrap(), Value::Int(CALLS));
+    assert_eq!(injector.injected(FaultSite::NativeUnwind), CALLS as u64);
+
+    let totals = ledger
+        .check()
+        .expect("transitions balanced under injection");
+    assert_eq!(totals.j2n_begins, CALLS as u64);
+    assert_eq!(totals.j2n_ends, CALLS as u64);
+    assert_eq!(ipa.report().native_method_calls, CALLS as u64);
+}
+
+#[test]
+fn spa_stack_stays_balanced_under_injected_faults() {
+    // SPA's entry/exit stack discipline must survive forced unwinds out
+    // of native methods: MethodExit fires via_exception, the per-thread
+    // stack pops to empty, and the report still covers the run.
+    const CALLS: i64 = 6;
+    let mut cb = ClassBuilder::new("exc/Spa");
+    cb.native_method("tick", "()V", ST).unwrap();
+    catching_caller(&mut cb, "exc/Spa", "tick", CALLS);
+    let mut lib = NativeLibrary::new("excspa");
+    lib.register_method("exc/Spa", "tick", |env, _| {
+        env.work(4_000);
+        Ok(Value::Null)
+    });
+
+    let mut archive = Archive::new();
+    archive.insert_class(&cb.finish().unwrap()).unwrap();
+    let spa = SpaAgent::new();
+    let mut vm = Vm::new();
+    vm.add_archive(archive);
+    vm.set_fault_injector(Arc::new(FaultInjector::new(
+        FaultPlan::new(7).with_rate(FaultSite::NativeUnwind, PPM),
+    )));
+    vm.register_native_library(lib, true);
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>).unwrap();
+    let outcome = vm
+        .run("exc/Spa", "main", "(I)I", vec![Value::Int(0)])
+        .unwrap();
+    assert_eq!(outcome.main.unwrap(), Value::Int(CALLS));
+
+    let report = spa.report();
+    // All native work banked on the native side despite every call
+    // exiting exceptionally.
+    assert!(
+        report.total.native >= 4_000 * CALLS as u64,
+        "native work must be banked: {report}"
+    );
+    assert!(report.total.bytecode > 0, "{report}");
 }

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use jvmsim_faults::{FaultInjector, FaultSite};
 use jvmsim_pcl::{Pcl, Timestamp};
 use jvmsim_vm::cost::CostModel;
 use jvmsim_vm::jni::{JniCallKey, JniEntryFn};
@@ -25,6 +26,10 @@ pub struct JvmtiEnv {
     pcl: Pcl,
     costs: Arc<CostModel>,
     granted: Arc<RwLock<Capabilities>>,
+    /// The VM's fault-injection plane (disabled unless a chaos run armed
+    /// it): timestamp reads are where per-thread clock anomalies surface
+    /// to agents.
+    faults: Arc<FaultInjector>,
 }
 
 impl std::fmt::Debug for JvmtiEnv {
@@ -36,11 +41,12 @@ impl std::fmt::Debug for JvmtiEnv {
 }
 
 impl JvmtiEnv {
-    fn new(pcl: Pcl, costs: Arc<CostModel>) -> Self {
+    fn new(pcl: Pcl, costs: Arc<CostModel>, faults: Arc<FaultInjector>) -> Self {
         JvmtiEnv {
             pcl,
             costs,
             granted: Arc::new(RwLock::new(Capabilities::none())),
+            faults,
         }
     }
 
@@ -68,7 +74,15 @@ impl JvmtiEnv {
         match self.pcl.clock_id(thread.index()) {
             Some(id) => {
                 self.pcl.charge(id, self.costs.timestamp_read);
-                self.pcl.timestamp(id)
+                let ts = self.pcl.timestamp(id);
+                // Fault plane: a clock step-back anomaly — this reading
+                // observes an instant *earlier* than the previous one.
+                // Agent meters must saturate such intervals to zero, not
+                // underflow (pinned by the chaos invariant checks).
+                if let Some(entropy) = self.faults.inject(FaultSite::ClockStepBack) {
+                    return ts.rewound(entropy % 5_000 + 1);
+                }
+                ts
             }
             None => Timestamp::default(),
         }
@@ -184,7 +198,13 @@ impl<'vm> AgentHost<'vm> {
 
     /// Load the agent's own native library (e.g. the IPA bridge
     /// implementation) into the VM, immediately visible to resolution.
-    pub fn load_agent_native_library(&mut self, lib: NativeLibrary) {
+    ///
+    /// Agent libraries are exempted from fault injection: their natives
+    /// are measurement infrastructure (real JVMTI agent code runs outside
+    /// the Java exception machinery), so the fault plane perturbs only
+    /// application and JDK natives.
+    pub fn load_agent_native_library(&mut self, mut lib: NativeLibrary) {
+        lib.exempt_from_faults();
         self.vm.register_native_library(lib, true);
     }
 
@@ -279,7 +299,7 @@ pub fn attach(vm: &mut Vm, agent: Arc<dyn Agent>) -> Result<JvmtiEnv, JvmtiError
             "an agent is already attached to this VM".into(),
         ));
     }
-    let env = JvmtiEnv::new(vm.pcl(), Arc::new(vm.cost().clone()));
+    let env = JvmtiEnv::new(vm.pcl(), Arc::new(vm.cost().clone()), vm.fault_injector());
     let mut host = AgentHost {
         vm,
         env: env.clone(),

@@ -87,6 +87,14 @@ impl Timestamp {
     pub fn cycles_since(self, earlier: Timestamp) -> u64 {
         self.0.saturating_sub(earlier.0)
     }
+
+    /// This reading moved `delta` cycles into the past (saturating at
+    /// zero). Used by the fault-injection plane to model a clock
+    /// step-back anomaly: consumers must treat a timestamp earlier than
+    /// the previous reading as a zero-length interval, never underflow.
+    pub fn rewound(self, delta: u64) -> Timestamp {
+        Timestamp(self.0.saturating_sub(delta))
+    }
 }
 
 impl fmt::Display for Timestamp {

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 
 use jvmsim_vm::TraceEventKind;
 
-use crate::{TraceEvent, TraceSnapshot};
+use crate::{ExportError, TraceEvent, TraceSnapshot};
 
 /// Escape a string for inclusion in a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -82,8 +82,15 @@ fn push_event(out: &mut String, event: &TraceEvent, clock_hz: u64) {
 /// `clock_hz` is the PCL clock rate used to convert cycle stamps to
 /// microseconds (pass `pcl.clock_hz()`). Event counts and drop totals are
 /// included under `"otherData"` so a saturated trace is self-describing.
-pub fn chrome_trace_json(snapshot: &TraceSnapshot, clock_hz: u64) -> String {
-    assert!(clock_hz > 0, "clock frequency must be nonzero");
+///
+/// # Errors
+///
+/// [`ExportError::ZeroClockRate`] if `clock_hz` is zero (previously a
+/// panic; exporters must degrade to recordable errors).
+pub fn chrome_trace_json(snapshot: &TraceSnapshot, clock_hz: u64) -> Result<String, ExportError> {
+    if clock_hz == 0 {
+        return Err(ExportError::ZeroClockRate);
+    }
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -126,7 +133,7 @@ pub fn chrome_trace_json(snapshot: &TraceSnapshot, clock_hz: u64) -> String {
         snapshot.dropped()
     );
     out.push('\n');
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -148,8 +155,16 @@ mod tests {
     }
 
     #[test]
+    fn zero_clock_rate_is_a_typed_error_not_a_panic() {
+        assert_eq!(
+            chrome_trace_json(&sample_snapshot(), 0),
+            Err(ExportError::ZeroClockRate)
+        );
+    }
+
+    #[test]
     fn balanced_begin_end_pairs() {
-        let json = chrome_trace_json(&sample_snapshot(), 2_660_000_000);
+        let json = chrome_trace_json(&sample_snapshot(), 2_660_000_000).expect("clock rate");
         let begins = json.matches("\"ph\":\"B\"").count();
         let ends = json.matches("\"ph\":\"E\"").count();
         assert_eq!(begins, 2);
@@ -164,7 +179,7 @@ mod tests {
     #[test]
     fn timestamps_convert_at_clock_rate() {
         // 1 GHz: 1000 cycles = 1 µs.
-        let json = chrome_trace_json(&sample_snapshot(), 1_000_000_000);
+        let json = chrome_trace_json(&sample_snapshot(), 1_000_000_000).expect("clock rate");
         assert!(json.contains("\"ts\":0.100"), "{json}");
         assert!(json.contains("\"ts\":0.600"), "{json}");
     }

@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 
 use crate::chrome::json_escape;
-use crate::TraceSnapshot;
+use crate::{ExportError, TraceSnapshot};
 
 /// Quote a field per RFC 4180 when it contains a delimiter, quote or
 /// newline; otherwise pass it through.
@@ -41,15 +41,35 @@ impl Table {
     ///
     /// # Panics
     ///
-    /// Panics if the row width differs from the header width.
+    /// Panics if the row width differs from the header width. Callers
+    /// assembling rows from untrusted or partial data should use
+    /// [`Table::try_push_row`] instead.
     pub fn push_row<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        self.try_push_row(row)
+            .unwrap_or_else(|e| panic!("row width must match header width: {e}"));
+    }
+
+    /// Append one row, rejecting width mismatches as a typed error instead
+    /// of panicking (the degradation path the suite driver uses when
+    /// assembling artifacts from partially failed runs).
+    ///
+    /// # Errors
+    ///
+    /// [`ExportError::RaggedRow`] if the row width differs from the header
+    /// width; the table is left unchanged.
+    pub fn try_push_row<S: Into<String>>(
+        &mut self,
+        row: impl IntoIterator<Item = S>,
+    ) -> Result<(), ExportError> {
         let row: Vec<String> = row.into_iter().map(Into::into).collect();
-        assert_eq!(
-            row.len(),
-            self.headers.len(),
-            "row width must match header width"
-        );
+        if row.len() != self.headers.len() {
+            return Err(ExportError::RaggedRow {
+                expected: self.headers.len(),
+                got: row.len(),
+            });
+        }
         self.rows.push(row);
+        Ok(())
     }
 
     /// Number of data rows.
@@ -153,6 +173,21 @@ mod tests {
     fn ragged_rows_rejected() {
         let mut t = Table::new(["a", "b"]);
         t.push_row(["only-one"]);
+    }
+
+    #[test]
+    fn try_push_row_reports_ragged_rows_without_panicking() {
+        let mut t = Table::new(["a", "b"]);
+        assert_eq!(
+            t.try_push_row(["only-one"]),
+            Err(ExportError::RaggedRow {
+                expected: 2,
+                got: 1
+            })
+        );
+        assert!(t.is_empty(), "failed push must leave the table unchanged");
+        assert_eq!(t.try_push_row(["x", "y"]), Ok(()));
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

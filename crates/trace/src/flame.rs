@@ -112,6 +112,20 @@ mod tests {
     }
 
     #[test]
+    fn clock_step_back_anomalies_never_underflow_weights() {
+        // A fault-injected clock step-back can present a non-monotonic
+        // cycle stream; spans moving backwards must weigh zero, not wrap.
+        let r = TraceRecorder::new(16);
+        let t = ThreadId::from_index(0);
+        r.record(t, TraceEventKind::ThreadStart, 0, None);
+        r.record(t, TraceEventKind::N2jBegin, 500, None);
+        r.record(t, TraceEventKind::N2jEnd, 300, None); // stepped back
+        r.record(t, TraceEventKind::ThreadEnd, 400, None);
+        let out = collapsed_stacks(&r.snapshot());
+        assert_eq!(out, "thread#0;native 600\n");
+    }
+
+    #[test]
     fn threads_keep_separate_roots() {
         let r = TraceRecorder::new(16);
         for i in 0..2usize {

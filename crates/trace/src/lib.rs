@@ -49,7 +49,8 @@
 //! let snapshot = recorder.snapshot();
 //! assert_eq!(snapshot.recorded(), 2);
 //! assert_eq!(snapshot.dropped(), 0);
-//! let json = jvmsim_trace::chrome::chrome_trace_json(&snapshot, 2_660_000_000);
+//! let json = jvmsim_trace::chrome::chrome_trace_json(&snapshot, 2_660_000_000)
+//!     .expect("nonzero clock rate");
 //! assert!(json.contains("traceEvents"));
 //! ```
 
@@ -65,7 +66,44 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
+use jvmsim_faults::{FaultInjector, FaultSite};
 use jvmsim_vm::{MethodId, ThreadId, TraceEventKind, TraceSink};
+
+/// Typed error taxonomy for the export paths (replacing the panicking
+/// `assert!`s the exporters used to contain). Exporters are the last hop
+/// before artifacts leave the toolchain, so a failure here must surface as
+/// a recordable error the CLI can turn into an exit code — never a panic
+/// that takes a suite run down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExportError {
+    /// A cycle→time conversion was requested with a zero clock frequency.
+    ZeroClockRate,
+    /// A table row did not match the header width.
+    RaggedRow {
+        /// Number of header columns.
+        expected: usize,
+        /// Number of fields in the offending row.
+        got: usize,
+    },
+    /// An artifact write failed (I/O error, or the fault plane's
+    /// exporter-write site firing during a chaos run).
+    Write(String),
+}
+
+impl std::fmt::Display for ExportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportError::ZeroClockRate => write!(f, "clock frequency must be nonzero"),
+            ExportError::RaggedRow { expected, got } => {
+                write!(f, "row width {got} does not match header width {expected}")
+            }
+            ExportError::Write(what) => write!(f, "artifact write failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportError {}
 
 /// Default per-thread buffer capacity (events). At ~32 bytes per slot this
 /// is ≈2 MiB per thread, enough for the scaled-down JVM98 runs; pass a
@@ -125,6 +163,10 @@ pub struct TraceRecorder {
     capacity: usize,
     threads: RwLock<Vec<Arc<ThreadRing>>>,
     counts: [AtomicU64; TraceEventKind::COUNT],
+    /// Fault plane (disabled by default): the trace-saturation site forces
+    /// an append to be dropped as if the ring were full, exercising the
+    /// `recorded + dropped == appended` ledger under adversity.
+    faults: Arc<FaultInjector>,
 }
 
 impl std::fmt::Debug for TraceRecorder {
@@ -144,11 +186,24 @@ impl TraceRecorder {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Arc<Self> {
+        Self::with_injector(capacity, Arc::new(FaultInjector::disabled()))
+    }
+
+    /// Create a recorder whose appends additionally consult `faults` at
+    /// the [`FaultSite::TraceSaturation`] site: an injected fault forces
+    /// the event to be dropped (counted, not stored), exactly as if the
+    /// ring were saturated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_injector(capacity: usize, faults: Arc<FaultInjector>) -> Arc<Self> {
         assert!(capacity > 0, "trace buffer capacity must be nonzero");
         Arc::new(TraceRecorder {
             capacity: capacity.next_power_of_two(),
             threads: RwLock::new(Vec::new()),
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            faults,
         })
     }
 
@@ -218,7 +273,15 @@ impl TraceSink for TraceRecorder {
         method: Option<MethodId>,
     ) {
         self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
-        self.ring(thread.index()).push(TraceEvent {
+        let ring = self.ring(thread.index());
+        // Fault plane: a forced drop counts as an append that never landed
+        // in a slot — indistinguishable from genuine ring saturation, and
+        // accounted identically by the snapshot ledger.
+        if self.faults.inject(FaultSite::TraceSaturation).is_some() {
+            ring.appended.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        ring.push(TraceEvent {
             thread: thread.index() as u32,
             kind,
             cycles,
@@ -351,6 +414,45 @@ mod tests {
         assert_eq!(merged[0].cycles, 20);
         assert_eq!((merged[1].cycles, merged[1].thread), (50, 0));
         assert_eq!((merged[2].cycles, merged[2].thread), (50, 1));
+    }
+
+    #[test]
+    fn forced_saturation_faults_stay_accounted() {
+        use jvmsim_faults::{FaultPlan, PPM};
+        // Every append is forced to drop: the ledger must still balance
+        // and the per-kind counts must stay exact.
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new(11).with_rate(FaultSite::TraceSaturation, PPM),
+        ));
+        let r = TraceRecorder::with_injector(8, Arc::clone(&inj));
+        for i in 0..20 {
+            ev(&r, 0, TraceEventKind::J2nBegin, i);
+        }
+        let snap = r.snapshot();
+        let t = &snap.threads[0];
+        assert_eq!(t.events.len(), 0);
+        assert_eq!(t.appended, 20);
+        assert_eq!(t.dropped, 20);
+        assert_eq!(snap.recorded() + snap.dropped(), snap.appended());
+        assert_eq!(snap.count(TraceEventKind::J2nBegin), 20);
+        assert_eq!(inj.injected(FaultSite::TraceSaturation), 20);
+    }
+
+    #[test]
+    fn partial_saturation_faults_keep_ledger_balanced() {
+        use jvmsim_faults::FaultPlan;
+        let inj = Arc::new(FaultInjector::new(
+            FaultPlan::new(5).with_rate(FaultSite::TraceSaturation, 300_000),
+        ));
+        let r = TraceRecorder::with_injector(64, inj);
+        for i in 0..50 {
+            ev(&r, 0, TraceEventKind::N2jBegin, i);
+        }
+        let snap = r.snapshot();
+        assert!(snap.dropped() > 0, "rate high enough to force drops");
+        assert!(snap.recorded() > 0, "not everything dropped");
+        assert_eq!(snap.recorded() + snap.dropped(), snap.appended());
+        assert_eq!(snap.count(TraceEventKind::N2jBegin), 50);
     }
 
     #[test]

@@ -271,7 +271,8 @@ proptest! {
     ) {
         let recorder = TraceRecorder::new(capacity);
         replay(&recorder, &stream);
-        let json = chrome::chrome_trace_json(&recorder.snapshot(), 2_660_000_000);
+        let json =
+            chrome::chrome_trace_json(&recorder.snapshot(), 2_660_000_000).expect("clock rate");
         prop_assert!(JsonCheck::ok(&json), "malformed JSON: {json}");
     }
 }

@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use jvmsim_classfile::{ArrayKind, Code, Insn};
+use jvmsim_faults::FaultSite;
 
 use crate::events::ThreadId;
 use crate::heap::HeapObject;
@@ -105,17 +106,45 @@ impl Vm {
         let dispatch = self.cost().native_dispatch;
         self.charge(thread, dispatch);
         self.stats.native_cycles += dispatch;
-        let f = self.resolve_native(thread, mid)?;
+        let (f, fault_exempt) = self.resolve_native(thread, mid)?;
+        // Fault plane: a clock stall on the native dispatch path — the
+        // native call takes anomalously long, visible to the agents as a
+        // large J2N interval. Accounting must absorb it, not diverge.
+        // Agent bridge natives are exempt: faults target application and
+        // JDK natives, never the measurement infrastructure itself.
+        if !fault_exempt {
+            if let Some(entropy) = self.fault(FaultSite::ClockStall) {
+                let stall = entropy % 50_000 + 1;
+                self.charge(thread, stall);
+                self.stats.native_cycles += stall;
+            }
+        }
         let mut env = JniEnv { vm: self, thread };
-        f(&mut env, args)
+        let result = f(&mut env, args);
+        // Fault plane: force an exception to unwind out of this native
+        // frame at the instant it would have returned normally — the
+        // abnormal path the paper's try/finally wrapper (§IV) must keep
+        // balanced (J2N_End still fires on the exceptional exit).
+        if !fault_exempt && result.is_ok() && self.fault(FaultSite::NativeUnwind).is_some() {
+            return Err(self.throw_new(
+                thread,
+                "jvmsim/faults/InjectedNativeUnwind",
+                "fault plane: forced unwind out of native method",
+            ));
+        }
+        result
     }
 
     /// Bind a native method to a library symbol, honouring the JVMTI 1.1
     /// prefix-retry rule: if direct resolution fails and the method name
     /// starts with a registered prefix, retry with the prefix stripped.
-    fn resolve_native(&mut self, thread: ThreadId, mid: MethodId) -> Result<NativeFn, JThrow> {
-        if let Some(f) = self.native_binding(mid) {
-            return Ok(f);
+    fn resolve_native(
+        &mut self,
+        thread: ThreadId,
+        mid: MethodId,
+    ) -> Result<(NativeFn, bool), JThrow> {
+        if let Some(binding) = self.native_binding(mid) {
+            return Ok(binding);
         }
         let (class_name, method_name) = {
             let rc = self.registry.get(mid.class);
@@ -134,8 +163,9 @@ impl Vm {
         for symbol in candidates {
             for lib in self.loaded_libraries() {
                 if let Some(f) = lib.lookup(&symbol) {
-                    self.cache_native_binding(mid, f.clone());
-                    return Ok(f);
+                    let fault_exempt = lib.is_fault_exempt();
+                    self.cache_native_binding(mid, f.clone(), fault_exempt);
+                    return Ok((f, fault_exempt));
                 }
             }
             tried.push(symbol);
@@ -463,6 +493,10 @@ impl Vm {
         let mut backedges: u32 = 0;
         // Timer sampling: poll every few instructions (cheap when off).
         let sampling = self.sampler_interval().is_some();
+        // The fault plane shares the poll cadence: asynchronous thread
+        // death fires at the same safepoints a timer sample would.
+        let fault_polls = self.faults_enabled();
+        let polling = sampling || fault_polls;
         let mut insns_since_poll: u32 = 0;
 
         let mut locals = vec![Value::Int(0); code.max_locals as usize];
@@ -515,11 +549,24 @@ impl Vm {
             let insn = &code.insns[pc as usize];
             self.stats.insns += 1;
             clock.charge(insn_cost);
-            if sampling {
+            if polling {
                 insns_since_poll += 1;
                 if insns_since_poll >= 32 {
                     insns_since_poll = 0;
-                    self.poll_samples(thread, false);
+                    if sampling {
+                        self.poll_samples(thread, false);
+                    }
+                    // Fault plane: abrupt asynchronous thread death at a
+                    // safepoint. Thrown as a normal Java error so it
+                    // unwinds through every wrapper/interceptor bracket on
+                    // the way out; an uncaught instance kills only this
+                    // thread, never the VM.
+                    if fault_polls && self.fault(FaultSite::ThreadDeath).is_some() {
+                        jthrow!(
+                            "java/lang/ThreadDeath",
+                            "fault plane: asynchronous thread death"
+                        );
+                    }
                 }
             }
             match insn {

@@ -62,6 +62,7 @@ pub fn mangle(class: &str, method: &str) -> String {
 pub struct NativeLibrary {
     name: String,
     symbols: HashMap<String, NativeFn>,
+    fault_exempt: bool,
 }
 
 impl fmt::Debug for NativeLibrary {
@@ -69,6 +70,7 @@ impl fmt::Debug for NativeLibrary {
         f.debug_struct("NativeLibrary")
             .field("name", &self.name)
             .field("symbols", &self.symbols.len())
+            .field("fault_exempt", &self.fault_exempt)
             .finish()
     }
 }
@@ -79,7 +81,24 @@ impl NativeLibrary {
         NativeLibrary {
             name: name.into(),
             symbols: HashMap::new(),
+            fault_exempt: false,
         }
+    }
+
+    /// Exempt this library's natives from fault injection. Agent bridge
+    /// libraries (the J2N/N2J probes) are measurement *infrastructure*:
+    /// real JVMTI agent code runs outside the Java exception machinery,
+    /// so the fault plane targets application and JDK natives only —
+    /// injecting an unwind into a probe would merely simulate a broken
+    /// profiler, which no accounting can (or should) survive.
+    pub fn exempt_from_faults(&mut self) -> &mut Self {
+        self.fault_exempt = true;
+        self
+    }
+
+    /// Is this library exempt from fault injection?
+    pub fn is_fault_exempt(&self) -> bool {
+        self.fault_exempt
     }
 
     /// Library name (as passed to `System.loadLibrary`).
@@ -189,7 +208,24 @@ impl<'a> JniEnv<'a> {
         // The JNI function's own marshalling is native-code time.
         self.vm.stats.native_cycles += cost;
         let entry = self.vm.jni_table().get(spec.key);
-        entry(self, spec)
+        let result = entry(self, spec);
+        // Fault plane: materialise a pending exception at the return of
+        // the (possibly intercepted) Call<Type>Method function. By this
+        // point any N2J_End bracket installed by an interceptor has
+        // already closed, so this models native code discovering a pending
+        // exception mid-transition and unwinding with it.
+        if result.is_ok()
+            && self
+                .vm
+                .fault(jvmsim_faults::FaultSite::NativePendingThrow)
+                .is_some()
+        {
+            return Err(self.throw_new(
+                "jvmsim/faults/InjectedPendingException",
+                "fault plane: pending exception at JNI call return",
+            ));
+        }
+        result
     }
 
     /// Convenience: `CallStatic<ret>Method` with the given style.

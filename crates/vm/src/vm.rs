@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use jvmsim_classfile::builder::ClassBuilder;
 use jvmsim_classfile::{codec, ClassFile, FieldFlags, CLINIT};
+use jvmsim_faults::{FaultInjector, FaultSite};
 use jvmsim_pcl::{ClockHandle, Pcl};
 
 use crate::cost::CostModel;
@@ -128,7 +129,7 @@ pub struct Vm {
     /// Libraries made live via `load_native_library` (`System.loadLibrary`).
     loaded_libraries: Vec<NativeLibrary>,
     /// Cache of resolved native bindings.
-    native_bindings: HashMap<MethodId, NativeFn>,
+    native_bindings: HashMap<MethodId, (NativeFn, bool)>,
     /// Registered native-method name prefixes (JVMTI 1.1 prefix retry).
     prefixes: Vec<String>,
     sink: Option<Arc<dyn VmEventSink>>,
@@ -145,6 +146,10 @@ pub struct Vm {
     pending: VecDeque<PendingThread>,
     jni_table: JniFunctionTable,
     max_call_depth: usize,
+    /// Deterministic fault-injection plane (disabled by default; armed by
+    /// the chaos driver). Shared so the JVMTI shim and trace recorder can
+    /// consult the same schedule.
+    faults: Arc<FaultInjector>,
     pub(crate) stats: VmStats,
     // Interpreter caches (pool-index → resolved target + arity + returns?).
     pub(crate) static_call_cache: HashMap<(ClassId, u16), (MethodId, u8, bool)>,
@@ -200,6 +205,7 @@ impl Vm {
             pending: VecDeque::new(),
             jni_table: JniFunctionTable::new(),
             max_call_depth: 2_000,
+            faults: Arc::new(FaultInjector::disabled()),
             stats: VmStats::default(),
             static_call_cache: HashMap::new(),
             virtual_call_cache: HashMap::new(),
@@ -260,6 +266,9 @@ impl Vm {
             "java/lang/NoSuchFieldError",
             "java/lang/UnsatisfiedLinkError",
             "java/lang/NoClassDefFoundError",
+            // Thrown by the fault-injection plane's asynchronous
+            // thread-death site; also what a real Thread.stop delivers.
+            "java/lang/ThreadDeath",
         ] {
             define(self, e, Some("java/lang/Error"), false);
         }
@@ -413,6 +422,29 @@ impl Vm {
         }
         let after = self.threads[thread.index()].clock.cycles();
         self.threads[thread.index()].next_sample_due = after + interval;
+    }
+
+    /// Arm the deterministic fault-injection plane. The injector is shared:
+    /// the JVMTI shim picks it up at attach time and the trace recorder can
+    /// hold a clone, so one seeded schedule drives every consumer.
+    pub fn set_fault_injector(&mut self, faults: Arc<FaultInjector>) {
+        self.faults = faults;
+    }
+
+    /// The fault injector in force (the disabled no-op one by default).
+    pub fn fault_injector(&self) -> Arc<FaultInjector> {
+        Arc::clone(&self.faults)
+    }
+
+    /// Fast path for hot-loop hooks: can any fault ever fire?
+    pub(crate) fn faults_enabled(&self) -> bool {
+        self.faults.is_enabled()
+    }
+
+    /// Consult the fault plane at `site` (see [`FaultInjector::inject`]).
+    #[inline]
+    pub(crate) fn fault(&self, site: FaultSite) -> Option<u64> {
+        self.faults.inject(site)
     }
 
     /// Turn the JIT off entirely (the `-Xint` ablation).
@@ -638,6 +670,18 @@ impl Vm {
             }
         } else {
             bytes
+        };
+        // Fault plane: hand the decoder a truncated byte stream. Any strict
+        // prefix of a well-formed classfile fails to decode (the codec
+        // consumes the stream exactly), so this degrades deterministically
+        // to a `ClassFormat` error — surfaced to Java code as a linkage
+        // error — never to a panic.
+        let bytes = match self.fault(FaultSite::ClassBytes) {
+            Some(entropy) if !bytes.is_empty() => {
+                let cut = (entropy % bytes.len() as u64) as usize;
+                bytes[..cut].to_vec()
+            }
+            _ => bytes,
         };
         let class = codec::decode(&bytes).map_err(|cause| VmError::ClassFormat {
             class: name.to_owned(),
@@ -940,11 +984,13 @@ impl Vm {
         &self.loaded_libraries
     }
 
-    pub(crate) fn native_binding(&self, mid: MethodId) -> Option<NativeFn> {
+    /// Cached binding: the function plus whether its library is exempt
+    /// from fault injection (agent instrumentation infrastructure).
+    pub(crate) fn native_binding(&self, mid: MethodId) -> Option<(NativeFn, bool)> {
         self.native_bindings.get(&mid).cloned()
     }
 
-    pub(crate) fn cache_native_binding(&mut self, mid: MethodId, f: NativeFn) {
-        self.native_bindings.insert(mid, f);
+    pub(crate) fn cache_native_binding(&mut self, mid: MethodId, f: NativeFn, fault_exempt: bool) {
+        self.native_bindings.insert(mid, (f, fault_exempt));
     }
 }

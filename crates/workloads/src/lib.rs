@@ -125,9 +125,28 @@ pub fn by_name(name: &str) -> Option<Box<dyn Workload>> {
         "mtrt" => Box::new(mtrt::Mtrt),
         "jack" => Box::new(jack::Jack),
         "jbb" => Box::new(jbb::Jbb),
+        "crashy" => Box::new(Crashy),
         _ => return None,
     };
     Some(w)
+}
+
+/// A deliberately broken workload for the suite driver's quarantine
+/// drills: [`Workload::program`] panics unconditionally. It is reachable
+/// only through [`by_name`] — never part of [`jvm98_suite`] — so the
+/// standard matrix is unaffected; appending it to a suite run exercises
+/// the driver's cell isolation without touching any real benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Crashy;
+
+impl Workload for Crashy {
+    fn name(&self) -> &'static str {
+        "crashy"
+    }
+
+    fn program(&self) -> WorkloadProgram {
+        panic!("crashy: deliberate workload failure (quarantine drill)");
+    }
 }
 
 /// Build a VM loaded with the bootstrap library and this program's classes

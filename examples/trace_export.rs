@@ -38,7 +38,7 @@ fn main() {
 
     std::fs::write(
         "trace.json",
-        chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz()),
+        chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz()).expect("clock rate"),
     )
     .expect("write trace.json");
     std::fs::write("trace.folded", flame::collapsed_stacks(&snapshot)).expect("write trace.folded");

@@ -3,12 +3,45 @@
 
 use std::sync::Arc;
 
+use jvmsim_faults::FaultInjector;
 use jvmsim_instr::Archive;
 use jvmsim_jvmti::Agent;
 use jvmsim_pcl::Pcl;
 use jvmsim_vm::{builtins, RunOutcome, TraceSink, Value, Vm};
 use nativeprof::{IpaAgent, IpaConfig, NativeProfile, SpaAgent};
 use workloads::{ProblemSize, Workload, WorkloadProgram};
+
+/// Typed failure taxonomy for a harness run — the graceful-degradation
+/// alternative to the panicking [`run`]/[`run_traced`] entry points, used
+/// by the suite driver to quarantine failing cells instead of dying.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// Static instrumentation of the archive failed.
+    Instrument(String),
+    /// The agent could not be attached.
+    Attach(String),
+    /// The VM reported a machine-level error from `run`.
+    Vm(String),
+    /// An exception escaped the workload's entry method.
+    Escaped(String),
+    /// The entry method completed but did not return an `int` checksum.
+    BadChecksum(String),
+}
+
+impl std::fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HarnessError::Instrument(e) => write!(f, "instrumentation failed: {e}"),
+            HarnessError::Attach(e) => write!(f, "agent attach failed: {e}"),
+            HarnessError::Vm(e) => write!(f, "vm error: {e}"),
+            HarnessError::Escaped(e) => write!(f, "exception escaped entry method: {e}"),
+            HarnessError::BadChecksum(e) => write!(f, "entry method returned {e}, expected int"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {}
 
 /// Which profiling agent (if any) to attach.
 #[derive(Debug, Clone, Default)]
@@ -112,10 +145,32 @@ pub fn run_traced(
     agent: AgentChoice,
     trace: Option<Arc<dyn TraceSink>>,
 ) -> HarnessRun {
+    match try_run_traced(workload, size, agent, trace, None) {
+        Ok(run) => run,
+        Err(e) => panic!("{}: {e}", workload.name()),
+    }
+}
+
+/// Fallible [`run_traced`]: every failure mode — instrumentation, attach,
+/// VM-level errors, escaped exceptions, bad checksums — comes back as a
+/// typed [`HarnessError`] instead of a panic, and an optional
+/// [`FaultInjector`] is installed on the VM **before** the JVMTI shim
+/// attaches so the VM, the shim's virtual clock, and the agents all share
+/// one deterministic fault schedule.
+pub fn try_run_traced(
+    workload: &dyn Workload,
+    size: ProblemSize,
+    agent: AgentChoice,
+    trace: Option<Arc<dyn TraceSink>>,
+    faults: Option<Arc<FaultInjector>>,
+) -> Result<HarnessRun, HarnessError> {
     let program = workload.program();
     let mut vm = Vm::new();
     if let Some(trace) = trace {
         vm.set_trace_sink(trace);
+    }
+    if let Some(faults) = faults {
+        vm.set_fault_injector(faults);
     }
     let label = agent.label();
 
@@ -127,7 +182,8 @@ pub fn run_traced(
         AgentChoice::Spa => {
             vm.add_archive(encode_program_archive(&program));
             let spa = SpaAgent::new();
-            jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>).expect("SPA attach");
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>)
+                .map_err(|e| HarnessError::Attach(format!("SPA: {e}")))?;
             Some(ProfileSource::Spa(spa))
         }
         AgentChoice::Ipa(config) => {
@@ -135,10 +191,11 @@ pub fn run_traced(
             let mut archive = encode_program_archive(&program);
             if config.mode == nativeprof::InstrumentationMode::Static {
                 ipa.instrument_archive(&mut archive)
-                    .expect("instrumentation");
+                    .map_err(|e| HarnessError::Instrument(e.to_string()))?;
             }
             vm.add_archive(archive);
-            jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).expect("IPA attach");
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
+                .map_err(|e| HarnessError::Attach(format!("IPA: {e}")))?;
             Some(ProfileSource::Ipa(ipa))
         }
     };
@@ -156,17 +213,18 @@ pub fn run_traced(
             "(I)I",
             vec![Value::Int(i64::from(size.0))],
         )
-        .unwrap_or_else(|e| panic!("{}: {e}", workload.name()));
+        .map_err(|e| HarnessError::Vm(e.to_string()))?;
     let checksum = match &outcome.main {
         Ok(Value::Int(v)) => *v,
-        other => panic!("{}: unexpected result {other:?}", workload.name()),
+        Err(escaped) => return Err(HarnessError::Escaped(escaped.to_string())),
+        other => return Err(HarnessError::BadChecksum(format!("{other:?}"))),
     };
     let seconds = pcl.cycles_to_seconds(outcome.total_cycles);
     let profile = profile_source.map(|p| match p {
         ProfileSource::Spa(a) => a.report(),
         ProfileSource::Ipa(a) => a.report(),
     });
-    HarnessRun {
+    Ok(HarnessRun {
         workload: workload.name().to_owned(),
         agent: label,
         outcome,
@@ -174,7 +232,7 @@ pub fn run_traced(
         seconds,
         checksum,
         pcl,
-    }
+    })
 }
 
 enum ProfileSource {

@@ -82,7 +82,7 @@ fn exporters_reflect_the_run() {
     let (run, snapshot) = traced_run("jess", ProblemSize::S1);
     let profile = run.profile.as_ref().expect("IPA attached");
 
-    let json = chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz());
+    let json = chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz()).expect("clock rate");
     assert!(json.contains("\"traceEvents\""));
     // The per-kind counts ride along in otherData and match the profile.
     assert!(json.contains(&format!("\"j2n_begin\":{}", profile.native_method_calls)));
