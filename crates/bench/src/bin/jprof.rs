@@ -5,7 +5,10 @@
 //!             [--size N] [--capacity N] [--flame out.folded]
 //!             [--events-csv events.csv]
 //! jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
-//! jprof chaos [--seeds N] [--jobs N] [--size N]
+//!             [--metrics PATH]
+//! jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
+//! jprof report [--jobs N] [--size N] [--format table|prom|json]
+//!              [--out FILE]
 //! jprof list
 //! ```
 //!
@@ -17,17 +20,28 @@
 //! any job count produces byte-identical artifacts. `chaos` re-runs the
 //! matrix under `--seeds` deterministic fault schedules and fails only if
 //! an accounting invariant breaks — injected failures are expected and
-//! reported.
+//! reported. `report` runs the matrix with per-cell metric registries and
+//! renders the internal overhead-attribution dashboard — per-benchmark
+//! charged cycles decomposed into workload / IPA-probe / SPA-probe /
+//! trace / harness buckets — as a human table, Prometheus text, or JSON
+//! (also byte-identical for any `--jobs`). `--metrics PATH` on `suite`
+//! and `chaos` writes the same snapshots as `PATH.prom` + `PATH.json`
+//! next to the regular artifacts.
+//!
+//! Artifacts go to stdout (or the requested files); progress and
+//! quarantine diagnostics go to stderr, so redirecting stdout always
+//! yields a clean artifact.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use jnativeprof::harness::{self, AgentChoice};
+use jvmsim_metrics::{render_json, render_prometheus, MetricsEntry};
 use jvmsim_trace::{chrome, csv, flame, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use nativeprof_bench::{
-    render_table1, render_table2, run_chaos, run_suite, table1_artifact, table2_artifact,
-    SuiteConfig,
+    render_overhead_attribution, render_table1, render_table2, run_chaos, run_suite,
+    table1_artifact, table2_artifact, SuiteConfig,
 };
 use workloads::{by_name, jvm98_suite, ProblemSize};
 
@@ -35,8 +49,9 @@ const USAGE: &str = "\
 usage:
   jprof trace --workload NAME --agent ipa [--size N] [--capacity N]
               [--out trace.json] [--flame out.folded] [--events-csv FILE]
-  jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
-  jprof chaos [--seeds N] [--jobs N] [--size N]
+  jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json] [--metrics PATH]
+  jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
+  jprof report [--jobs N] [--size N] [--format table|prom|json] [--out FILE]
   jprof list
 ";
 
@@ -46,6 +61,7 @@ fn main() -> ExitCode {
         Some("trace") => cmd_trace(&args[1..]),
         Some("suite") => cmd_suite(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
@@ -100,6 +116,14 @@ impl<'a> Flags<'a> {
 
 fn write_file(path: &str, contents: &str) -> Result<(), String> {
     std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+/// Write the metric snapshots as `PATH.prom` + `PATH.json`.
+fn write_metrics(path: &str, entries: &[MetricsEntry]) -> Result<(), String> {
+    write_file(&format!("{path}.prom"), &render_prometheus(entries))?;
+    write_file(&format!("{path}.json"), &render_json(entries))?;
+    eprintln!("wrote metric snapshots to {path}.prom and {path}.json");
+    Ok(())
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), String> {
@@ -179,7 +203,10 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["--jobs", "--size", "--out-dir", "--json"])?;
+    let flags = Flags::parse(
+        args,
+        &["--jobs", "--size", "--out-dir", "--json", "--metrics"],
+    )?;
     let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
     let json = matches!(flags.get("--json"), Some("true") | Some("1"));
@@ -207,6 +234,9 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         }
         eprintln!("wrote Table I/II artifacts under {dir}/");
     }
+    if let Some(path) = flags.get("--metrics") {
+        write_metrics(path, &suite.metrics)?;
+    }
     if !suite.failures.is_empty() {
         return Err(format!(
             "{} cell(s) quarantined (tables assembled from the rest)",
@@ -217,7 +247,7 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_chaos(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["--seeds", "--jobs", "--size"])?;
+    let flags = Flags::parse(args, &["--seeds", "--jobs", "--size", "--metrics"])?;
     let seeds: u64 = flags.get_parsed("--seeds")?.unwrap_or(8);
     let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(1));
@@ -227,7 +257,13 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
         size.0, config.jobs
     );
     let report = run_chaos(config, seeds);
-    print!("{}", report.render());
+    // The summary is a diagnostic, not an artifact: keep stdout clean so
+    // `jprof chaos > file` (or piping into a parser) never mixes the
+    // quarantine narrative into machine-read output.
+    eprint!("{}", report.render());
+    if let Some(path) = flags.get("--metrics") {
+        write_metrics(path, &report.metrics)?;
+    }
     if report.passed() {
         Ok(())
     } else {
@@ -236,6 +272,46 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
             report.violations.len()
         ))
     }
+}
+
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["--jobs", "--size", "--format", "--out"])?;
+    let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
+    let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
+    let format = flags.get("--format").unwrap_or("table");
+    let config = SuiteConfig::with_size(size).jobs(jobs);
+    eprintln!(
+        "report: running the matrix at size {} on {} worker(s) with metric registries …",
+        size.0, config.jobs
+    );
+    let suite = run_suite(config);
+    for failure in &suite.failures {
+        eprintln!("quarantined cell: {failure}");
+    }
+    let artifact = match format {
+        "table" => render_overhead_attribution(&suite.metrics),
+        "prom" => render_prometheus(&suite.metrics),
+        "json" => render_json(&suite.metrics),
+        other => {
+            return Err(format!(
+                "unknown --format {other:?} (table|prom|json)\n{USAGE}"
+            ))
+        }
+    };
+    match flags.get("--out") {
+        Some(path) => {
+            write_file(path, &artifact)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{artifact}"),
+    }
+    if !suite.failures.is_empty() {
+        return Err(format!(
+            "{} cell(s) quarantined (report assembled from the rest)",
+            suite.failures.len()
+        ));
+    }
+    Ok(())
 }
 
 fn cmd_list() -> Result<(), String> {

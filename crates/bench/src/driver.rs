@@ -40,6 +40,7 @@ use jnativeprof::harness::{self, throughput_overhead_percent, AgentChoice};
 use jvmsim_faults::{
     splitmix64, FaultInjector, FaultPlan, FaultSite, TransitionKind, TransitionLedger,
 };
+use jvmsim_metrics::{CounterId, HistogramId, MetricsEntry, MetricsRegistry, MetricsSnapshot};
 use jvmsim_trace::csv::Table;
 use jvmsim_trace::TraceRecorder;
 use jvmsim_vm::{MethodId, ThreadId, TraceEventKind, TraceSink};
@@ -71,6 +72,15 @@ impl AgentCol {
             AgentCol::Original => "original",
             AgentCol::Spa => "SPA",
             AgentCol::Ipa => "IPA",
+        }
+    }
+
+    /// Lowercase label used for metric entries (Prometheus label values).
+    fn metric_label(self) -> &'static str {
+        match self {
+            AgentCol::Original => "original",
+            AgentCol::Spa => "spa",
+            AgentCol::Ipa => "ipa",
         }
     }
 }
@@ -155,6 +165,7 @@ impl SuiteConfig {
 struct CellOutcome {
     seconds: f64,
     checksum: i64,
+    total_cycles: u64,
     /// `(percent_native, jni_calls, native_method_calls)` when IPA ran.
     profile: Option<(f64, u64, u64)>,
 }
@@ -243,6 +254,11 @@ pub struct SuiteResult {
     /// Cells that failed after all retries, with explicit reasons. Empty
     /// on a healthy run.
     pub failures: Vec<CellFailure>,
+    /// One metrics snapshot per cell, in fixed matrix order — independent
+    /// of `jobs`, so the rendered metric artifacts are byte-identical for
+    /// any worker count (quarantined cells keep whatever their last
+    /// attempt recorded).
+    pub metrics: Vec<MetricsEntry>,
 }
 
 // ---------------------------------------------------------------------
@@ -288,6 +304,9 @@ struct CellExecution {
     violations: Vec<String>,
     /// Per-site `(consulted, injected)` counts from this cell's injector.
     sites: Vec<(FaultSite, u64, u64)>,
+    /// The cell's merged metric registry (empty when the cell never ran
+    /// or timed out before reporting).
+    snapshot: MetricsSnapshot,
     attempts: u32,
 }
 
@@ -309,10 +328,16 @@ const CHAOS_TRACE_CAPACITY: usize = 1 << 14;
 /// and — in chaos mode — check the accounting invariants that must
 /// survive any injected fault.
 fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
+    // Every cell gets its own registry: cells share no metric state, so
+    // the per-cell snapshots (and anything assembled from them) are
+    // byte-identical for any worker count.
+    let metrics = MetricsRegistry::new();
+    metrics.global().incr(CounterId::CellsStarted);
     let chaos = chaos_seed.map(|seed| {
         let injector = Arc::new(FaultInjector::new(FaultPlan::chaos(seed)));
         let ledger = Arc::new(TransitionLedger::new());
         let recorder = TraceRecorder::with_injector(CHAOS_TRACE_CAPACITY, Arc::clone(&injector));
+        recorder.set_metrics(metrics.global());
         (injector, ledger, recorder)
     });
 
@@ -327,12 +352,13 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
             }) as Arc<dyn TraceSink>
         });
         let faults = chaos.as_ref().map(|(injector, _, _)| Arc::clone(injector));
-        harness::try_run_traced(
+        harness::try_run_metered(
             workload.as_ref(),
             cell.size,
             cell.agent.choice(),
             trace,
             faults,
+            Some(metrics.clone()),
         )
     }));
 
@@ -340,6 +366,7 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
         Ok(Ok(run)) => Ok(CellOutcome {
             seconds: run.seconds,
             checksum: run.checksum,
+            total_cycles: run.outcome.total_cycles,
             profile: run
                 .profile
                 .filter(|_| cell.agent == AgentCol::Ipa)
@@ -348,6 +375,15 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
         Ok(Err(e)) => Err(CellFailureKind::Harness(e.to_string())),
         Err(payload) => Err(CellFailureKind::Panicked(panic_message(payload))),
     };
+    match &result {
+        Ok(outcome) => {
+            metrics.global().incr(CounterId::CellsCompleted);
+            metrics
+                .global()
+                .observe(HistogramId::CellCycles, outcome.total_cycles);
+        }
+        Err(_) => metrics.global().incr(CounterId::CellsQuarantined),
+    }
 
     let mut violations = Vec::new();
     let mut sites = Vec::new();
@@ -394,12 +430,21 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
             ));
         }
         sites = injector.summary();
+        // The faults crate stays dependency-free: the driver feeds the
+        // injector's totals into the registry after the run instead of
+        // instrumenting the injector itself.
+        let global = metrics.global();
+        for &(_, consulted, injected) in &sites {
+            global.add(CounterId::FaultsConsulted, consulted);
+            global.add(CounterId::FaultsInjected, injected);
+        }
     }
 
     CellExecution {
         result,
         violations,
         sites,
+        snapshot: metrics.snapshot(),
         attempts: 1,
     }
 }
@@ -423,6 +468,7 @@ fn run_cell_guarded(cell: Cell, chaos_seed: Option<u64>, config: &SuiteConfig) -
                         result: Err(CellFailureKind::Harness(format!("spawn failed: {e}"))),
                         violations: Vec::new(),
                         sites: Vec::new(),
+                        snapshot: MetricsSnapshot::default(),
                         attempts: 1,
                     },
                     Ok(handle) => match rx.recv_timeout(budget) {
@@ -437,6 +483,7 @@ fn run_cell_guarded(cell: Cell, chaos_seed: Option<u64>, config: &SuiteConfig) -
                             result: Err(CellFailureKind::TimedOut),
                             violations: Vec::new(),
                             sites: Vec::new(),
+                            snapshot: MetricsSnapshot::default(),
                             attempts: 1,
                         },
                     },
@@ -502,6 +549,7 @@ fn run_matrix(config: SuiteConfig, cells: &[Cell]) -> Vec<CellExecution> {
                 result: Err(CellFailureKind::Harness("cell never ran".to_owned())),
                 violations: Vec::new(),
                 sites: Vec::new(),
+                snapshot: MetricsSnapshot::default(),
                 attempts: 0,
             })
         })
@@ -512,6 +560,7 @@ fn run_matrix(config: SuiteConfig, cells: &[Cell]) -> Vec<CellExecution> {
 /// into [`CellFailure`] records and their rows are skipped.
 fn assemble(cells: &[Cell], execs: &[CellExecution], jvm98: &[&'static str]) -> SuiteResult {
     let mut failures = Vec::new();
+    let mut metrics = Vec::with_capacity(cells.len());
     for (cell, exec) in cells.iter().zip(execs) {
         if let Err(kind) = &exec.result {
             failures.push(CellFailure {
@@ -521,6 +570,11 @@ fn assemble(cells: &[Cell], execs: &[CellExecution], jvm98: &[&'static str]) -> 
                 kind: kind.clone(),
             });
         }
+        metrics.push(MetricsEntry {
+            benchmark: cell.workload.to_owned(),
+            agent: cell.agent.metric_label().to_owned(),
+            snapshot: exec.snapshot.clone(),
+        });
     }
     let outcome = |workload: &str, agent: AgentCol| -> Option<&CellOutcome> {
         let i = cells
@@ -611,6 +665,7 @@ fn assemble(cells: &[Cell], execs: &[CellExecution], jvm98: &[&'static str]) -> 
         jbb,
         table2,
         failures,
+        metrics,
     }
 }
 
@@ -667,6 +722,10 @@ pub struct ChaosReport {
     pub degraded_exports: usize,
     /// Artifact exports that succeeded.
     pub exports: usize,
+    /// Per-cell metrics, fixed matrix order, merged across all seeds
+    /// ([`MetricsSnapshot::absorb`] is commutative and associative, so the
+    /// aggregate is independent of `jobs`).
+    pub metrics: Vec<MetricsEntry>,
 }
 
 impl ChaosReport {
@@ -730,6 +789,7 @@ pub fn run_chaos(config: SuiteConfig, seeds: u64) -> ChaosReport {
         sites: FaultSite::ALL.iter().map(|s| (s.label(), 0, 0)).collect(),
         degraded_exports: 0,
         exports: 0,
+        metrics: Vec::new(),
     };
     for seed_index in 0..seeds {
         let seed = splitmix64(0xC4A0_5EED ^ seed_index);
@@ -739,7 +799,18 @@ pub fn run_chaos(config: SuiteConfig, seeds: u64) -> ChaosReport {
         };
         let cells = build_cells(cfg, &jvm98);
         let execs = run_matrix(cfg, &cells);
-        for (cell, exec) in cells.iter().zip(&execs) {
+        if report.metrics.is_empty() {
+            report.metrics = cells
+                .iter()
+                .map(|cell| MetricsEntry {
+                    benchmark: cell.workload.to_owned(),
+                    agent: cell.agent.metric_label().to_owned(),
+                    snapshot: MetricsSnapshot::default(),
+                })
+                .collect();
+        }
+        for (i, (cell, exec)) in cells.iter().zip(&execs).enumerate() {
+            report.metrics[i].snapshot.absorb(&exec.snapshot);
             report.cells += 1;
             match &exec.result {
                 Ok(_) => report.completed += 1,

@@ -20,6 +20,7 @@ pub use driver::{
 use jnativeprof::harness::{
     self, overhead_percent, throughput_overhead_percent, AgentChoice, HarnessRun,
 };
+use jvmsim_metrics::{Bucket, MetricsEntry};
 use workloads::{by_name, jvm98_suite, ProblemSize};
 
 /// Paper reference values for Table I (JVM98 rows).
@@ -294,6 +295,57 @@ pub fn render_table1(rows: &[MeasuredOverheadRow], jbb: (f64, f64, f64, f64, f64
         "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>13.2}% {:>11.2}% || {:>11.2}% {:>9.2}%  (throughput ops/s)",
         "JBB2005", b, s, i, ovh_s, ovh_i, 10_820.18, 20.43,
     );
+    out
+}
+
+/// Render the internal overhead-attribution table: one row per suite
+/// cell, decomposing the cell's total charged cycles into the five
+/// attribution buckets, plus the overhead percentage those buckets imply
+/// (`non-workload / workload × 100`). This reproduces Table I's overhead
+/// columns from *internal* measurement — every cycle is attributed at the
+/// charge site — instead of end-to-end time subtraction.
+pub fn render_overhead_attribution(entries: &[MetricsEntry]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "OVERHEAD ATTRIBUTION: CHARGED CYCLES BY BUCKET (internal measurement)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>7} {:>11} {:>10}",
+        "benchmark",
+        "agent",
+        "total_cycles",
+        "workload",
+        "ipa_probe",
+        "spa_probe",
+        "trace",
+        "harness",
+        "overhead"
+    );
+    for e in entries {
+        let s = &e.snapshot;
+        let workload = s.bucket_cycles(Bucket::Workload);
+        let overhead_pct = if workload == 0 {
+            0.0
+        } else {
+            s.overhead_cycles() as f64 / workload as f64 * 100.0
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>7} {:>11} {:>9.2}%",
+            e.benchmark,
+            e.agent,
+            s.total_cycles(),
+            workload,
+            s.bucket_cycles(Bucket::IpaProbe),
+            s.bucket_cycles(Bucket::SpaProbe),
+            s.bucket_cycles(Bucket::Trace),
+            s.bucket_cycles(Bucket::Harness),
+            overhead_pct,
+        );
+    }
     out
 }
 

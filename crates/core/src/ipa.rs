@@ -26,7 +26,8 @@ use parking_lot::Mutex;
 
 use jvmsim_instr::{bridge_class, NativeWrapperTransform, WrapperConfig};
 use jvmsim_jvmti::{
-    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor, ThreadLocalStorage,
+    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, ProbeKind, RawMonitor,
+    ThreadLocalStorage,
 };
 use jvmsim_vm::cost::CostModel;
 use jvmsim_vm::{NativeLibrary, ThreadId, TraceEventKind, TraceSink, Value};
@@ -247,6 +248,7 @@ impl IpaAgent {
     pub fn j2n_begin(&self, thread: ThreadId) {
         self.native_method_calls.fetch_add(1, Ordering::Relaxed);
         let env = self.env().clone();
+        let _span = env.probe_span(thread, ProbeKind::Ipa);
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);
@@ -259,6 +261,7 @@ impl IpaAgent {
     /// `J2N_End()` — called in the wrapper's `finally`.
     pub fn j2n_end(&self, thread: ThreadId) {
         let env = self.env().clone();
+        let _span = env.probe_span(thread, ProbeKind::Ipa);
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);
@@ -273,6 +276,7 @@ impl IpaAgent {
     pub fn n2j_begin(&self, thread: ThreadId) {
         self.jni_calls.fetch_add(1, Ordering::Relaxed);
         let env = self.env().clone();
+        let _span = env.probe_span(thread, ProbeKind::Ipa);
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);
@@ -286,6 +290,7 @@ impl IpaAgent {
     /// call returns (or unwinds).
     pub fn n2j_end(&self, thread: ThreadId) {
         let env = self.env().clone();
+        let _span = env.probe_span(thread, ProbeKind::Ipa);
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let now = env.timestamp(thread);

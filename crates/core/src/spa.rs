@@ -17,7 +17,8 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::Mutex;
 
 use jvmsim_jvmti::{
-    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, RawMonitor, ThreadLocalStorage,
+    Agent, AgentHost, Capabilities, EventType, JvmtiEnv, JvmtiError, ProbeKind, RawMonitor,
+    ThreadLocalStorage,
 };
 use jvmsim_vm::{MethodView, ThreadId};
 
@@ -132,6 +133,7 @@ impl Agent for SpaAgent {
 
     fn method_entry(&self, thread: ThreadId, method: MethodView<'_>) {
         let env = self.env().clone();
+        let _span = env.probe_span(thread, ProbeKind::Spa);
         let tc = self.context(thread);
         let mut tc = tc.lock();
         let is_native_m = method.is_native;
@@ -151,6 +153,7 @@ impl Agent for SpaAgent {
 
     fn method_exit(&self, thread: ThreadId, method: MethodView<'_>, _via_exception: bool) {
         let env = self.env().clone();
+        let _span = env.probe_span(thread, ProbeKind::Spa);
         let tc = self.context(thread);
         let mut tc = tc.lock();
         // The reified stack tells us the implementation-type of the method

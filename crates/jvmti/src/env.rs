@@ -6,6 +6,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use jvmsim_faults::{FaultInjector, FaultSite};
+use jvmsim_metrics::{Bucket, BucketGuard, CounterId, HistogramId, MetricsRegistry, MetricsShard};
 use jvmsim_pcl::{Pcl, Timestamp};
 use jvmsim_vm::cost::CostModel;
 use jvmsim_vm::jni::{JniCallKey, JniEntryFn};
@@ -30,6 +31,9 @@ pub struct JvmtiEnv {
     /// it): timestamp reads are where per-thread clock anomalies surface
     /// to agents.
     faults: Arc<FaultInjector>,
+    /// The VM's metrics registry, if one was installed before attach —
+    /// probe spans attribute their cost through it.
+    metrics: Option<MetricsRegistry>,
 }
 
 impl std::fmt::Debug for JvmtiEnv {
@@ -41,12 +45,18 @@ impl std::fmt::Debug for JvmtiEnv {
 }
 
 impl JvmtiEnv {
-    fn new(pcl: Pcl, costs: Arc<CostModel>, faults: Arc<FaultInjector>) -> Self {
+    fn new(
+        pcl: Pcl,
+        costs: Arc<CostModel>,
+        faults: Arc<FaultInjector>,
+        metrics: Option<MetricsRegistry>,
+    ) -> Self {
         JvmtiEnv {
             pcl,
             costs,
             granted: Arc::new(RwLock::new(Capabilities::none())),
             faults,
+            metrics,
         }
     }
 
@@ -96,6 +106,33 @@ impl JvmtiEnv {
             .unwrap_or_default()
     }
 
+    /// Open a self-timing probe span on `thread`: until the returned guard
+    /// drops, every cycle the thread's clock charges is attributed to the
+    /// probe's bucket rather than the workload, and on drop the span bumps
+    /// the probe counter and records its own cycle cost in the probe-cost
+    /// histogram. A no-op (still cheap and safe) without a metrics
+    /// registry.
+    ///
+    /// This is how probe cost self-attribution works: the probe bodies do
+    /// not estimate their own overhead — the span measures it from the
+    /// same virtual clock the workload runs on.
+    pub fn probe_span(&self, thread: ThreadId, kind: ProbeKind) -> ProbeSpan {
+        let state = self.metrics.as_ref().map(|metrics| {
+            let shard = metrics.shard(thread.index());
+            let guard = shard.enter(kind.bucket());
+            let start = self.timestamp_unaccounted(thread);
+            ProbeState {
+                pcl: self.pcl.clone(),
+                thread,
+                shard,
+                kind,
+                start,
+                _guard: guard,
+            }
+        });
+        ProbeSpan { state }
+    }
+
     /// Allocate a thread-local storage map for agent data.
     pub fn create_tls<T>(&self) -> ThreadLocalStorage<T> {
         ThreadLocalStorage::new(self.clone())
@@ -104,6 +141,80 @@ impl JvmtiEnv {
     /// Create a raw monitor protecting `initial`.
     pub fn create_raw_monitor<T>(&self, name: &str, initial: T) -> RawMonitor<T> {
         RawMonitor::new(name.to_owned(), self.clone(), initial)
+    }
+}
+
+/// Which profiling approach a probe span belongs to (selects the
+/// attribution bucket, counter and cost histogram in one go).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// An IPA transition probe (J2N/N2J bracket).
+    Ipa,
+    /// An SPA probe (`MethodEntry`/`MethodExit` body).
+    Spa,
+}
+
+impl ProbeKind {
+    fn bucket(self) -> Bucket {
+        match self {
+            ProbeKind::Ipa => Bucket::IpaProbe,
+            ProbeKind::Spa => Bucket::SpaProbe,
+        }
+    }
+
+    fn counter(self) -> CounterId {
+        match self {
+            ProbeKind::Ipa => CounterId::IpaProbes,
+            ProbeKind::Spa => CounterId::SpaProbes,
+        }
+    }
+
+    fn histogram(self) -> HistogramId {
+        match self {
+            ProbeKind::Ipa => HistogramId::IpaProbeCycles,
+            ProbeKind::Spa => HistogramId::SpaProbeCycles,
+        }
+    }
+}
+
+struct ProbeState {
+    pcl: Pcl,
+    thread: ThreadId,
+    shard: Arc<MetricsShard>,
+    kind: ProbeKind,
+    start: Timestamp,
+    _guard: BucketGuard,
+}
+
+/// RAII guard for one probe activation (see [`JvmtiEnv::probe_span`]).
+/// Dropping it closes the attribution scope, counts the probe, and records
+/// the probe's measured cycle cost.
+#[must_use = "a probe span attributes cost only while it is alive"]
+pub struct ProbeSpan {
+    state: Option<ProbeState>,
+}
+
+impl std::fmt::Debug for ProbeSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProbeSpan")
+            .field("active", &self.state.is_some())
+            .finish()
+    }
+}
+
+impl Drop for ProbeSpan {
+    fn drop(&mut self) {
+        if let Some(state) = self.state.take() {
+            let end = state
+                .pcl
+                .clock_id(state.thread.index())
+                .map(|id| state.pcl.timestamp(id))
+                .unwrap_or_default();
+            state.shard.incr(state.kind.counter());
+            state
+                .shard
+                .observe(state.kind.histogram(), end.cycles_since(state.start));
+        }
     }
 }
 
@@ -299,7 +410,12 @@ pub fn attach(vm: &mut Vm, agent: Arc<dyn Agent>) -> Result<JvmtiEnv, JvmtiError
             "an agent is already attached to this VM".into(),
         ));
     }
-    let env = JvmtiEnv::new(vm.pcl(), Arc::new(vm.cost().clone()), vm.fault_injector());
+    let env = JvmtiEnv::new(
+        vm.pcl(),
+        Arc::new(vm.cost().clone()),
+        vm.fault_injector(),
+        vm.metrics(),
+    );
     let mut host = AgentHost {
         vm,
         env: env.clone(),

@@ -26,7 +26,7 @@ pub mod monitor;
 pub mod tls;
 
 pub use caps::{Capabilities, EventType};
-pub use env::{attach, Agent, AgentHost, JvmtiEnv};
+pub use env::{attach, Agent, AgentHost, JvmtiEnv, ProbeKind, ProbeSpan};
 pub use error::JvmtiError;
 pub use monitor::RawMonitor;
 pub use tls::ThreadLocalStorage;

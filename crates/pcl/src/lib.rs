@@ -33,6 +33,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use jvmsim_metrics::MetricsShard;
 use parking_lot::RwLock;
 
 /// Clock frequency of the paper's evaluation machine (Pentium 4, 2.66 GHz).
@@ -116,6 +117,11 @@ pub struct Pcl {
 #[derive(Default)]
 struct PclInner {
     clocks: RwLock<Vec<Arc<AtomicU64>>>,
+    /// Optional metric shard per clock (same index). When attached, every
+    /// charge is mirrored into the shard's current attribution bucket, so
+    /// the bucket totals sum to `total_cycles()` *exactly*. Mirroring never
+    /// charges cycles of its own.
+    shards: RwLock<Vec<Option<Arc<MetricsShard>>>>,
     clock_hz: AtomicU64,
 }
 
@@ -168,7 +174,27 @@ impl Pcl {
         let mut clocks = self.inner.clocks.write();
         let id = ThreadClockId(u32::try_from(clocks.len()).expect("too many thread clocks"));
         clocks.push(Arc::new(AtomicU64::new(0)));
+        self.inner.shards.write().push(None);
         id
+    }
+
+    /// Mirror all future charges on `id`'s clock into `shard`'s current
+    /// attribution bucket (see `jvmsim-metrics`). Handles created *after*
+    /// this call carry the shard too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not registered on this registry.
+    pub fn attach_metrics(&self, id: ThreadClockId, shard: Arc<MetricsShard>) {
+        let mut shards = self.inner.shards.write();
+        let slot = shards
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("unregistered {id}"));
+        *slot = Some(shard);
+    }
+
+    fn shard(&self, id: ThreadClockId) -> Option<Arc<MetricsShard>> {
+        self.inner.shards.read().get(id.index()).cloned().flatten()
     }
 
     fn clock(&self, id: ThreadClockId) -> Arc<AtomicU64> {
@@ -187,6 +213,9 @@ impl Pcl {
     /// registry.
     pub fn charge(&self, id: ThreadClockId, cycles: u64) {
         self.clock(id).fetch_add(cycles, Ordering::Relaxed);
+        if let Some(shard) = self.shard(id) {
+            shard.charge(cycles);
+        }
     }
 
     /// Read thread `id`'s cycle counter — the paper's
@@ -233,6 +262,7 @@ impl Pcl {
     pub fn handle(&self, id: ThreadClockId) -> ClockHandle {
         ClockHandle {
             clock: self.clock(id),
+            shard: self.shard(id),
             id,
         }
     }
@@ -242,6 +272,9 @@ impl Pcl {
 #[derive(Clone)]
 pub struct ClockHandle {
     clock: Arc<AtomicU64>,
+    /// Mirror target captured at handle creation (see
+    /// [`Pcl::attach_metrics`]); `None` keeps the charge a single atomic add.
+    shard: Option<Arc<MetricsShard>>,
     id: ThreadClockId,
 }
 
@@ -263,6 +296,15 @@ impl ClockHandle {
     /// Advance this clock by `cycles`.
     pub fn charge(&self, cycles: u64) {
         self.clock.fetch_add(cycles, Ordering::Relaxed);
+        if let Some(shard) = &self.shard {
+            shard.charge(cycles);
+        }
+    }
+
+    /// The metric shard mirrored by this handle, if one was attached
+    /// before the handle was created.
+    pub fn metrics(&self) -> Option<&Arc<MetricsShard>> {
+        self.shard.as_ref()
     }
 
     /// Current cycle count of this clock.
@@ -383,6 +425,39 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(pcl.timestamp(t).cycles(), 4_000);
+    }
+
+    #[test]
+    fn attached_shard_mirrors_every_charge() {
+        use jvmsim_metrics::Bucket;
+        let pcl = Pcl::new();
+        let t = pcl.register_thread();
+        let shard = Arc::new(MetricsShard::new());
+        pcl.attach_metrics(t, Arc::clone(&shard));
+        pcl.charge(t, 100);
+        let h = pcl.handle(t);
+        assert!(h.metrics().is_some());
+        {
+            let _g = shard.enter(Bucket::IpaProbe);
+            h.charge(40);
+        }
+        h.charge(2);
+        let snap = shard.snapshot();
+        assert_eq!(snap.bucket_cycles(Bucket::Workload), 102);
+        assert_eq!(snap.bucket_cycles(Bucket::IpaProbe), 40);
+        assert_eq!(snap.total_cycles(), pcl.total_cycles());
+    }
+
+    #[test]
+    fn unattached_thread_mirrors_nothing() {
+        let pcl = Pcl::new();
+        let a = pcl.register_thread();
+        let b = pcl.register_thread();
+        let shard = Arc::new(MetricsShard::new());
+        pcl.attach_metrics(b, Arc::clone(&shard));
+        pcl.charge(a, 50);
+        assert!(pcl.handle(a).metrics().is_none());
+        assert_eq!(shard.snapshot().total_cycles(), 0);
     }
 
     #[test]

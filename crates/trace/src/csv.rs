@@ -139,6 +139,20 @@ pub fn events_csv(snapshot: &TraceSnapshot) -> String {
             ]);
         }
     }
+    // The exporter must agree with the snapshot's own ledger — the row
+    // count is exactly [`TraceSnapshot::recorded`], and the accessors keep
+    // the saturation identity. A divergence would mean a silently wrong
+    // artifact, so it fails loudly rather than shipping.
+    assert_eq!(
+        table.len() as u64,
+        snapshot.recorded(),
+        "event rows must match the snapshot's recorded() total"
+    );
+    assert_eq!(
+        snapshot.recorded() + snapshot.dropped(),
+        snapshot.appended(),
+        "snapshot ledger out of balance"
+    );
     table.to_csv()
 }
 

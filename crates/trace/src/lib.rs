@@ -67,6 +67,7 @@ use std::sync::{Arc, OnceLock};
 use parking_lot::RwLock;
 
 use jvmsim_faults::{FaultInjector, FaultSite};
+use jvmsim_metrics::{CounterId, GaugeId, MetricsShard};
 use jvmsim_vm::{MethodId, ThreadId, TraceEventKind, TraceSink};
 
 /// Typed error taxonomy for the export paths (replacing the panicking
@@ -143,13 +144,17 @@ impl ThreadRing {
         }
     }
 
-    fn push(&self, event: TraceEvent) {
+    /// Append `event`, returning whether it landed in a slot (`false` =
+    /// dropped to saturation). `appended` counts either way, so the
+    /// overflow stays visible in the snapshot.
+    fn push(&self, event: TraceEvent) -> bool {
         let idx = self.appended.fetch_add(1, Ordering::Relaxed);
         if let Some(slot) = self.slots.get(idx as usize) {
             slot.set(event).expect("ring slot written once");
+            true
+        } else {
+            false
         }
-        // Beyond capacity the event is dropped; `appended` keeps counting,
-        // so the overflow stays visible in the snapshot.
     }
 }
 
@@ -167,6 +172,10 @@ pub struct TraceRecorder {
     /// an append to be dropped as if the ring were full, exercising the
     /// `recorded + dropped == appended` ledger under adversity.
     faults: Arc<FaultInjector>,
+    /// Metrics shard fed with append/drop counters (observation-only: the
+    /// recorder still charges no cycles, so the `trace` attribution bucket
+    /// stays zero by design).
+    metrics: OnceLock<Arc<MetricsShard>>,
 }
 
 impl std::fmt::Debug for TraceRecorder {
@@ -204,6 +213,7 @@ impl TraceRecorder {
             threads: RwLock::new(Vec::new()),
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
             faults,
+            metrics: OnceLock::new(),
         })
     }
 
@@ -215,6 +225,14 @@ impl TraceRecorder {
     /// Per-thread buffer capacity (a power of two).
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Feed append/drop counters to `shard` (typically a registry's global
+    /// shard; first call wins). Publishes the configured capacity on the
+    /// `trace_capacity` gauge immediately.
+    pub fn set_metrics(&self, shard: Arc<MetricsShard>) {
+        shard.gauge_max(GaugeId::TraceCapacity, self.capacity as u64);
+        let _ = self.metrics.set(shard);
     }
 
     /// Total appends of `kind` so far — exact even under saturation.
@@ -273,20 +291,31 @@ impl TraceSink for TraceRecorder {
         method: Option<MethodId>,
     ) {
         self.counts[kind.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(shard) = self.metrics.get() {
+            shard.incr(CounterId::TraceAppends);
+        }
         let ring = self.ring(thread.index());
         // Fault plane: a forced drop counts as an append that never landed
         // in a slot — indistinguishable from genuine ring saturation, and
         // accounted identically by the snapshot ledger.
         if self.faults.inject(FaultSite::TraceSaturation).is_some() {
             ring.appended.fetch_add(1, Ordering::Relaxed);
+            if let Some(shard) = self.metrics.get() {
+                shard.incr(CounterId::TraceDrops);
+            }
             return;
         }
-        ring.push(TraceEvent {
+        let stored = ring.push(TraceEvent {
             thread: thread.index() as u32,
             kind,
             cycles,
             method,
         });
+        if !stored {
+            if let Some(shard) = self.metrics.get() {
+                shard.incr(CounterId::TraceDrops);
+            }
+        }
     }
 }
 
@@ -453,6 +482,30 @@ mod tests {
         assert!(snap.recorded() > 0, "not everything dropped");
         assert_eq!(snap.recorded() + snap.dropped(), snap.appended());
         assert_eq!(snap.count(TraceEventKind::N2jBegin), 50);
+    }
+
+    #[test]
+    fn metrics_counters_track_appends_and_drops() {
+        use jvmsim_metrics::{CounterId, GaugeId, MetricsRegistry};
+        let reg = MetricsRegistry::new();
+        let r = TraceRecorder::new(4);
+        r.set_metrics(reg.global());
+        for i in 0..10 {
+            ev(&r, 0, TraceEventKind::J2nBegin, i);
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter(CounterId::TraceAppends), 10);
+        assert_eq!(snap.counter(CounterId::TraceDrops), 6);
+        assert_eq!(snap.gauge(GaugeId::TraceCapacity), 4);
+        // The recorder charges no cycles: the trace bucket stays zero.
+        assert_eq!(
+            snap.bucket_cycles(jvmsim_metrics::Bucket::Trace),
+            0,
+            "trace recording is out-of-band by design"
+        );
+        // The metrics ledger agrees with the snapshot's own.
+        let t = r.snapshot();
+        assert_eq!(t.recorded() + t.dropped(), t.appended());
     }
 
     #[test]

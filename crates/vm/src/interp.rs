@@ -34,6 +34,7 @@ impl Vm {
         args: Vec<Value>,
     ) -> Result<Value, JThrow> {
         self.stats.invocations += 1;
+        self.metric_incr(thread, jvmsim_metrics::CounterId::Invocations);
         let depth = self.depth(thread);
         if depth >= self.max_call_depth() {
             return Err(self.throw_new(
@@ -58,6 +59,8 @@ impl Vm {
         if method_events {
             if let Some(sink) = self.sink() {
                 self.stats.events_dispatched += 1;
+                let _agent = self.agent_scope(thread);
+                self.metric_incr(thread, jvmsim_metrics::CounterId::JvmtiEvents);
                 self.charge(thread, self.cost().event_dispatch);
                 sink.method_entry(thread, self.registry.method_view(mid));
             }
@@ -87,6 +90,8 @@ impl Vm {
         if method_events {
             if let Some(sink) = self.sink() {
                 self.stats.events_dispatched += 1;
+                let _agent = self.agent_scope(thread);
+                self.metric_incr(thread, jvmsim_metrics::CounterId::JvmtiEvents);
                 self.charge(thread, self.cost().event_dispatch);
                 sink.method_exit(thread, self.registry.method_view(mid), result.is_err());
             }
@@ -103,10 +108,20 @@ impl Vm {
         args: &[Value],
     ) -> Result<Value, JThrow> {
         self.stats.native_calls += 1;
+        self.metric_incr(thread, jvmsim_metrics::CounterId::NativeCalls);
+        // Resolve before charging so we know whether the target is agent
+        // infrastructure: dispatching into a fault-exempt (agent bridge)
+        // native is probe overhead, not workload time, and its cycles are
+        // attributed to the configured agent bucket.
+        let (f, fault_exempt) = self.resolve_native(thread, mid)?;
+        let _agent = if fault_exempt {
+            self.agent_scope(thread)
+        } else {
+            None
+        };
         let dispatch = self.cost().native_dispatch;
         self.charge(thread, dispatch);
         self.stats.native_cycles += dispatch;
-        let (f, fault_exempt) = self.resolve_native(thread, mid)?;
         // Fault plane: a clock stall on the native dispatch path — the
         // native call takes anomalously long, visible to the agents as a
         // large J2N interval. Accounting must absorb it, not diverge.
@@ -483,6 +498,7 @@ impl Vm {
             .clone()
             .expect("bytecode method has code");
         let clock = self.clock_handle(thread);
+        let shard = clock.metrics().cloned();
         let mut insn_cost = self.cost().insn(compiled);
         // On-stack replacement: a long-running interpreted activation is
         // compiled mid-run after enough backward branches.
@@ -548,6 +564,9 @@ impl Vm {
         loop {
             let insn = &code.insns[pc as usize];
             self.stats.insns += 1;
+            if let Some(shard) = &shard {
+                shard.incr(jvmsim_metrics::CounterId::InterpInsns);
+            }
             clock.charge(insn_cost);
             if polling {
                 insns_since_poll += 1;

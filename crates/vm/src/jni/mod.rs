@@ -202,9 +202,30 @@ impl<'a> JniEnv<'a> {
     /// `java/lang/InternalError` for a return-type/family mismatch or an
     /// unresolvable target.
     pub fn call(&mut self, spec: &JniCallSpec) -> JniResult {
+        self.call_in_bucket(spec, None)
+    }
+
+    /// [`JniEnv::call`], attributing the JNI invocation cost itself to
+    /// `bucket` (if metrics are on). Only the `jni_invoke` charge is
+    /// scoped: the callee runs in whatever bucket is otherwise current, so
+    /// the launcher's harness-bucket entry call does not swallow the
+    /// workload's cycles.
+    pub(crate) fn call_in_bucket(
+        &mut self,
+        spec: &JniCallSpec,
+        bucket: Option<jvmsim_metrics::Bucket>,
+    ) -> JniResult {
         self.vm.stats.jni_upcalls += 1;
+        if let Some(shard) = self.vm.thread_shard(self.thread) {
+            shard.incr(jvmsim_metrics::CounterId::JniUpcalls);
+        }
         let cost = self.vm.cost().jni_invoke;
-        self.vm.charge(self.thread, cost);
+        {
+            let _scope = bucket
+                .and_then(|b| self.vm.thread_shard(self.thread).map(|shard| (shard, b)))
+                .map(|(shard, b)| shard.enter(b));
+            self.vm.charge(self.thread, cost);
+        }
         // The JNI function's own marshalling is native-code time.
         self.vm.stats.native_cycles += cost;
         let entry = self.vm.jni_table().get(spec.key);

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use jvmsim_classfile::builder::ClassBuilder;
 use jvmsim_classfile::{codec, ClassFile, FieldFlags, CLINIT};
 use jvmsim_faults::{FaultInjector, FaultSite};
+use jvmsim_metrics::{Bucket, BucketGuard, CounterId, GaugeId, MetricsRegistry, MetricsShard};
 use jvmsim_pcl::{ClockHandle, Pcl};
 
 use crate::cost::CostModel;
@@ -150,6 +151,10 @@ pub struct Vm {
     /// the chaos driver). Shared so the JVMTI shim and trace recorder can
     /// consult the same schedule.
     faults: Arc<FaultInjector>,
+    /// Metrics registry (observation-only; attached shards mirror every
+    /// clock charge into the current attribution bucket, so enabling
+    /// metrics never changes any measured quantity).
+    metrics: Option<MetricsRegistry>,
     pub(crate) stats: VmStats,
     // Interpreter caches (pool-index → resolved target + arity + returns?).
     pub(crate) static_call_cache: HashMap<(ClassId, u16), (MethodId, u8, bool)>,
@@ -206,6 +211,7 @@ impl Vm {
             jni_table: JniFunctionTable::new(),
             max_call_depth: 2_000,
             faults: Arc::new(FaultInjector::disabled()),
+            metrics: None,
             stats: VmStats::default(),
             static_call_cache: HashMap::new(),
             virtual_call_cache: HashMap::new(),
@@ -447,6 +453,42 @@ impl Vm {
         self.faults.inject(site)
     }
 
+    /// Attach a metrics registry. Must be installed **before** any thread
+    /// is created (typically right after constructing the VM): each new
+    /// thread's clock mirrors its charges into the registry shard of the
+    /// same index, and already-created threads are not retrofitted.
+    pub fn set_metrics(&mut self, metrics: MetricsRegistry) {
+        self.metrics = Some(metrics);
+    }
+
+    /// The attached metrics registry, if any (the JVMTI shim picks it up
+    /// at agent attach so probe spans land in the same registry).
+    pub fn metrics(&self) -> Option<MetricsRegistry> {
+        self.metrics.clone()
+    }
+
+    /// The metrics shard mirroring `thread`'s clock, if metrics are on.
+    pub(crate) fn thread_shard(&self, thread: ThreadId) -> Option<Arc<MetricsShard>> {
+        self.threads[thread.index()].clock.metrics().cloned()
+    }
+
+    /// Bump a counter on `thread`'s metrics shard (no-op without metrics).
+    pub(crate) fn metric_incr(&self, thread: ThreadId, id: CounterId) {
+        if let Some(shard) = self.threads[thread.index()].clock.metrics() {
+            shard.incr(id);
+        }
+    }
+
+    /// Enter the configured agent bucket on `thread`'s shard for the
+    /// lifetime of the returned guard — scoping event-dispatch and agent
+    /// callback cycles to the attribution bucket of the attached agent
+    /// (IPA probe, SPA probe, or harness).
+    pub(crate) fn agent_scope(&self, thread: ThreadId) -> Option<BucketGuard> {
+        let registry = self.metrics.as_ref()?;
+        let shard = self.threads[thread.index()].clock.metrics()?;
+        Some(shard.enter(registry.agent_bucket()))
+    }
+
     /// Turn the JIT off entirely (the `-Xint` ablation).
     pub fn set_jit_requested(&mut self, on: bool) {
         self.jit_requested = on;
@@ -550,6 +592,15 @@ impl Vm {
         let clock_id = self.pcl.register_thread();
         let id = ThreadId(self.threads.len() as u32);
         debug_assert_eq!(clock_id.index(), id.index(), "thread/clock ids aligned");
+        // Attach the mirror shard *before* taking the clock handle: the
+        // handle captures its shard at creation time.
+        if let Some(metrics) = &self.metrics {
+            self.pcl
+                .attach_metrics(clock_id, metrics.shard(clock_id.index()));
+            metrics
+                .global()
+                .gauge_max(GaugeId::Threads, self.threads.len() as u64 + 1);
+        }
         let next_sample_due = self.sampler.as_ref().map_or(u64::MAX, |(i, _)| *i);
         self.threads.push(ThreadInfo {
             name: name.to_owned(),
@@ -597,6 +648,8 @@ impl Vm {
         if self.mask.thread_events {
             if let Some(sink) = self.sink.clone() {
                 self.stats.events_dispatched += 1;
+                let _agent = self.agent_scope(thread);
+                self.metric_incr(thread, CounterId::JvmtiEvents);
                 self.charge(thread, self.cost.event_dispatch);
                 sink.thread_start(thread);
             }
@@ -607,6 +660,8 @@ impl Vm {
         if self.mask.thread_events {
             if let Some(sink) = self.sink.clone() {
                 self.stats.events_dispatched += 1;
+                let _agent = self.agent_scope(thread);
+                self.metric_incr(thread, CounterId::JvmtiEvents);
                 self.charge(thread, self.cost.event_dispatch);
                 sink.thread_end(thread);
             }
@@ -621,6 +676,11 @@ impl Vm {
         if self.mask.vm_death {
             if let Some(sink) = self.sink.clone() {
                 self.stats.events_dispatched += 1;
+                // VMDeath is delivered after the last thread has finished,
+                // on no particular thread — count it on the global shard.
+                if let Some(metrics) = &self.metrics {
+                    metrics.global().incr(CounterId::JvmtiEvents);
+                }
                 sink.vm_death();
             }
         }
@@ -662,6 +722,8 @@ impl Vm {
             match self.sink.clone() {
                 Some(sink) => {
                     self.stats.events_dispatched += 1;
+                    let _agent = self.agent_scope(thread);
+                    self.metric_incr(thread, CounterId::JvmtiEvents);
                     // Hook delivery costs like any other JVMTI event.
                     self.charge(thread, self.cost.event_dispatch);
                     sink.class_file_load(name, &bytes).unwrap_or(bytes)
@@ -939,7 +1001,9 @@ impl Vm {
             args,
         };
         let mut env = JniEnv { vm: self, thread };
-        match env.call(&spec) {
+        // The launcher's own `CallStaticVoidMethod` marshalling is harness
+        // overhead, not workload time — attribute its cost accordingly.
+        match env.call_in_bucket(&spec, Some(Bucket::Harness)) {
             Ok(v) => Ok(v),
             Err(t) => Err(self.describe_exception(t)),
         }

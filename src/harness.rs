@@ -6,6 +6,7 @@ use std::sync::Arc;
 use jvmsim_faults::FaultInjector;
 use jvmsim_instr::Archive;
 use jvmsim_jvmti::Agent;
+use jvmsim_metrics::{Bucket, MetricsRegistry};
 use jvmsim_pcl::Pcl;
 use jvmsim_vm::{builtins, RunOutcome, TraceSink, Value, Vm};
 use nativeprof::{IpaAgent, IpaConfig, NativeProfile, SpaAgent};
@@ -67,6 +68,15 @@ impl AgentChoice {
             AgentChoice::None => "original",
             AgentChoice::Spa => "SPA",
             AgentChoice::Ipa(_) => "IPA",
+        }
+    }
+
+    /// The attribution bucket this agent's machinery charges into.
+    pub fn bucket(&self) -> Bucket {
+        match self {
+            AgentChoice::None => Bucket::Workload,
+            AgentChoice::Spa => Bucket::SpaProbe,
+            AgentChoice::Ipa(_) => Bucket::IpaProbe,
         }
     }
 }
@@ -164,8 +174,30 @@ pub fn try_run_traced(
     trace: Option<Arc<dyn TraceSink>>,
     faults: Option<Arc<FaultInjector>>,
 ) -> Result<HarnessRun, HarnessError> {
+    try_run_metered(workload, size, agent, trace, faults, None)
+}
+
+/// Fallible [`run_traced`] with an optional [`MetricsRegistry`]: when one
+/// is supplied it is installed on the VM **before any thread exists** (so
+/// every PCL clock mirrors its charges into a per-thread shard from cycle
+/// zero) and its agent bucket is declared from the [`AgentChoice`] before
+/// the agent attaches. Recording never charges cycles, so a metered run's
+/// Table I/II quantities are identical to an unmetered one's; the caller
+/// snapshots the registry after the run.
+pub fn try_run_metered(
+    workload: &dyn Workload,
+    size: ProblemSize,
+    agent: AgentChoice,
+    trace: Option<Arc<dyn TraceSink>>,
+    faults: Option<Arc<FaultInjector>>,
+    metrics: Option<MetricsRegistry>,
+) -> Result<HarnessRun, HarnessError> {
     let program = workload.program();
     let mut vm = Vm::new();
+    if let Some(metrics) = metrics {
+        metrics.set_agent_bucket(agent.bucket());
+        vm.set_metrics(metrics);
+    }
     if let Some(trace) = trace {
         vm.set_trace_sink(trace);
     }
@@ -323,6 +355,9 @@ mod tests {
         assert_eq!(AgentChoice::None.label(), "original");
         assert_eq!(AgentChoice::Spa.label(), "SPA");
         assert_eq!(AgentChoice::ipa().label(), "IPA");
+        assert_eq!(AgentChoice::None.bucket(), Bucket::Workload);
+        assert_eq!(AgentChoice::Spa.bucket(), Bucket::SpaProbe);
+        assert_eq!(AgentChoice::ipa().bucket(), Bucket::IpaProbe);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`instr`] — ASM-analog instrumentation (the Fig. 2 wrapper transform)
 //! * [`vm`] — the simulated JVM (interpreter, JIT model, JNI, green threads)
 //! * [`pcl`] — per-thread cycle counters (the PCL analog)
+//! * [`metrics`] — deterministic internal metrics with cycle attribution
 //! * [`jvmti`] — the tool interface (events, capabilities, TLS, monitors)
 //! * [`nativeprof`] — the paper's SPA and IPA agents
 //! * [`workloads`] — the JVM98/JBB2005-like benchmark suite
@@ -31,6 +32,7 @@ pub mod harness;
 pub use jvmsim_classfile as classfile;
 pub use jvmsim_instr as instr;
 pub use jvmsim_jvmti as jvmti;
+pub use jvmsim_metrics as metrics;
 pub use jvmsim_pcl as pcl;
 pub use jvmsim_vm as vm;
 pub use nativeprof;

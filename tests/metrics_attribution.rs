@@ -1,0 +1,230 @@
+//! Overhead-attribution oracle: hand-computed probe costs for tiny
+//! programs whose every JVMTI event is enumerable, pinning the metrics
+//! plane's central claims:
+//!
+//! 1. **Exactness** — the per-bucket cycle ledger sums to the PCL total
+//!    with zero tolerance: every charged cycle lands in exactly one
+//!    bucket, under SPA, IPA, and an arbitrary chaos fault schedule.
+//! 2. **Attribution** — the probe buckets equal a formula derived from
+//!    the cost model and the agents' probe bodies (TLS accesses,
+//!    timestamp reads, agent logic, event dispatch), computed
+//!    programmatically rather than hard-coded.
+//! 3. **Perturbation-freedom** — a metered run produces the same cycle
+//!    totals and checksum as an unmetered one.
+
+use std::sync::Arc;
+
+use jnativeprof::metrics::{
+    Bucket, CounterId, GaugeId, HistogramId, MetricsRegistry, MetricsSnapshot,
+};
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::MethodFlags;
+use jvmsim_faults::{FaultInjector, FaultPlan};
+use jvmsim_instr::Archive;
+use jvmsim_jvmti::Agent;
+use jvmsim_vm::cost::CostModel;
+use jvmsim_vm::{NativeLibrary, Value, Vm};
+use nativeprof::{IpaAgent, IpaConfig, SpaAgent};
+
+/// Sum over every attribution bucket.
+fn bucket_total(s: &MetricsSnapshot) -> u64 {
+    Bucket::ALL.iter().map(|&b| s.bucket_cycles(b)).sum()
+}
+
+/// A pure-bytecode program with an enumerable event schedule: `main(I)I`
+/// calls `helper(I)I` exactly three times straight-line, so an SPA run
+/// sees precisely 4 MethodEntry + 4 MethodExit events on one thread.
+fn spa_oracle_class() -> jvmsim_classfile::ClassFile {
+    let mut cb = ClassBuilder::new("o/Oracle");
+    let mut m = cb.method("helper", "(I)I", MethodFlags::STATIC);
+    m.iload(0).iconst(1).iadd().ireturn();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "(I)I", MethodFlags::STATIC);
+    m.iload(0)
+        .invokestatic("o/Oracle", "helper", "(I)I")
+        .invokestatic("o/Oracle", "helper", "(I)I")
+        .invokestatic("o/Oracle", "helper", "(I)I")
+        .ireturn();
+    m.finish().unwrap();
+    cb.finish().unwrap()
+}
+
+fn run_spa_oracle(
+    metrics: Option<MetricsRegistry>,
+    faults: Option<Arc<FaultInjector>>,
+) -> (
+    jvmsim_pcl::Pcl,
+    Result<jvmsim_vm::RunOutcome, jvmsim_vm::VmError>,
+) {
+    let spa = SpaAgent::new();
+    let mut vm = Vm::new();
+    if let Some(metrics) = metrics {
+        metrics.set_agent_bucket(Bucket::SpaProbe);
+        vm.set_metrics(metrics);
+    }
+    if let Some(faults) = faults {
+        vm.set_fault_injector(faults);
+    }
+    vm.add_classfile(&spa_oracle_class());
+    let pcl = vm.pcl();
+    jvmsim_jvmti::attach(&mut vm, spa as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("o/Oracle", "main", "(I)I", vec![Value::Int(7)]);
+    (pcl, outcome)
+}
+
+#[test]
+fn spa_probe_bucket_matches_the_hand_computed_oracle() {
+    let cost = CostModel::default();
+    let metrics = MetricsRegistry::new();
+    let (pcl, outcome) = run_spa_oracle(Some(metrics.clone()), None);
+    assert_eq!(outcome.unwrap().main.unwrap(), Value::Int(10));
+    let s = metrics.snapshot();
+
+    // Exactness: every charged cycle is in exactly one bucket.
+    assert_eq!(bucket_total(&s), pcl.total_cycles());
+    assert_eq!(s.total_cycles(), pcl.total_cycles());
+
+    // Event schedule: 4 entries + 4 exits + ThreadEnd are dispatch-charged
+    // (the primordial thread gets no JVMTI ThreadStart, as on a real JVM);
+    // VMDeath is delivered but charges nothing.
+    assert_eq!(s.counter(CounterId::SpaProbes), 8);
+    assert_eq!(s.counter(CounterId::JvmtiEvents), 10);
+    assert_eq!(s.counter(CounterId::Invocations), 4);
+    assert_eq!(s.counter(CounterId::NativeCalls), 0);
+    assert_eq!(s.counter(CounterId::JniUpcalls), 1);
+    assert_eq!(s.gauge(GaugeId::Threads), 1);
+
+    // The probe bodies, itemized from the agent source against the cost
+    // model: every body is one TLS access plus the agent-logic charge;
+    // only main's entry/exit cross a bytecode↔native boundary, so exactly
+    // two bodies pay a transition timestamp; and the very first probe
+    // lazily creates the thread context (an extra TLS write plus the
+    // meter's anchor timestamp).
+    let probe_bodies = 8 * (cost.tls_access + cost.agent_logic)
+        + 2 * cost.timestamp_read
+        + (cost.tls_access + cost.timestamp_read);
+    let hist = s.histogram(HistogramId::SpaProbeCycles);
+    assert_eq!(hist.count, 8);
+    assert_eq!(hist.sum, probe_bodies, "self-timed probe spans");
+
+    // The full SPA bucket: 9 dispatched events, the probe bodies, plus the
+    // ThreadEnd flush (TLS remove + final timestamp + totals monitor entry).
+    let thread_end = cost.tls_access + cost.timestamp_read + cost.raw_monitor;
+    let expected = 9 * cost.event_dispatch + probe_bodies + thread_end;
+    assert_eq!(s.bucket_cycles(Bucket::SpaProbe), expected);
+
+    // Nothing leaked into the other overhead buckets; the launcher's JNI
+    // entry charge is the whole harness bucket, and the workload bucket
+    // is exactly the remainder.
+    assert_eq!(s.bucket_cycles(Bucket::IpaProbe), 0);
+    assert_eq!(s.bucket_cycles(Bucket::Trace), 0);
+    assert_eq!(s.bucket_cycles(Bucket::Harness), cost.jni_invoke);
+    assert_eq!(
+        s.bucket_cycles(Bucket::Workload),
+        pcl.total_cycles() - expected - cost.jni_invoke
+    );
+}
+
+#[test]
+fn ipa_probe_bucket_matches_the_hand_computed_oracle() {
+    // One native call through the Fig. 2 wrapper: J2N_Begin/J2N_End fire
+    // once each, and the launcher's entry call is the single intercepted
+    // N2J pair — four IPA probes in total.
+    let mut cb = ClassBuilder::new("o/Nat");
+    cb.native_method("spin", "()V", MethodFlags::STATIC)
+        .unwrap();
+    let mut m = cb.method("main", "(I)I", MethodFlags::STATIC);
+    m.invokestatic("o/Nat", "spin", "()V");
+    m.iload(0).ireturn();
+    m.finish().unwrap();
+    let mut lib = NativeLibrary::new("nat");
+    lib.register_method("o/Nat", "spin", |env, _args| {
+        env.work(5_000);
+        Ok(Value::Null)
+    });
+    let mut archive = Archive::new();
+    archive.insert_class(&cb.finish().unwrap()).unwrap();
+
+    let cost = CostModel::default();
+    let ipa = IpaAgent::with_config(IpaConfig::default());
+    ipa.instrument_archive(&mut archive).unwrap();
+    let metrics = MetricsRegistry::new();
+    metrics.set_agent_bucket(Bucket::IpaProbe);
+    let mut vm = Vm::new();
+    vm.set_metrics(metrics.clone());
+    vm.add_archive(archive);
+    vm.register_native_library(lib, true);
+    let pcl = vm.pcl();
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>).unwrap();
+    let outcome = vm
+        .run("o/Nat", "main", "(I)I", vec![Value::Int(7)])
+        .unwrap();
+    assert_eq!(outcome.main.unwrap(), Value::Int(7));
+    let report = ipa.report();
+    assert_eq!(report.native_method_calls, 1);
+    assert_eq!(report.jni_calls, 1);
+
+    let s = metrics.snapshot();
+    assert_eq!(bucket_total(&s), pcl.total_cycles());
+
+    // Four probes, each body = TLS hit + timestamp read + agent logic;
+    // the first (the launcher's intercepted N2J_Begin) additionally pays
+    // the lazy context create, since the primordial thread never gets a
+    // JVMTI ThreadStart.
+    let probe_body = cost.tls_access + cost.timestamp_read + cost.agent_logic;
+    let probe_bodies = 4 * probe_body + (cost.tls_access + cost.timestamp_read);
+    assert_eq!(s.counter(CounterId::IpaProbes), 4);
+    let hist = s.histogram(HistogramId::IpaProbeCycles);
+    assert_eq!(hist.count, 4);
+    assert_eq!(hist.sum, probe_bodies, "self-timed probe spans");
+
+    // The full IPA bucket: the ThreadEnd dispatch (the only delivered
+    // event that charges — VMDeath is free), the four probe bodies, the
+    // two bridge-native dispatches (J2N_Begin/J2N_End are agent machinery,
+    // so their dispatch cost is attributed to the probe), and the
+    // ThreadEnd flush (TLS remove + timestamp + monitor).
+    let thread_end = cost.tls_access + cost.timestamp_read + cost.raw_monitor;
+    let expected = cost.event_dispatch + probe_bodies + 2 * cost.native_dispatch + thread_end;
+    assert_eq!(s.bucket_cycles(Bucket::IpaProbe), expected);
+
+    // Bridge natives count as native calls (begin + renamed spin + end).
+    assert_eq!(s.counter(CounterId::NativeCalls), 3);
+    assert_eq!(s.counter(CounterId::JniUpcalls), 1);
+    assert_eq!(s.counter(CounterId::JvmtiEvents), 2);
+    assert_eq!(s.bucket_cycles(Bucket::SpaProbe), 0);
+    assert_eq!(s.bucket_cycles(Bucket::Trace), 0);
+    assert_eq!(s.bucket_cycles(Bucket::Harness), cost.jni_invoke);
+    assert_eq!(
+        s.bucket_cycles(Bucket::Workload),
+        pcl.total_cycles() - expected - cost.jni_invoke
+    );
+}
+
+#[test]
+fn attribution_stays_exact_under_a_chaos_fault_schedule() {
+    // Under an arbitrary deterministic fault schedule the hand formulas
+    // no longer apply (faults perturb control flow), but the ledger must
+    // stay exact: buckets partition the PCL total with zero tolerance,
+    // whether or not the run survived.
+    let metrics = MetricsRegistry::new();
+    let faults = Arc::new(FaultInjector::new(FaultPlan::chaos(0xC4A0_5EED)));
+    let (pcl, outcome) = run_spa_oracle(Some(metrics.clone()), Some(faults));
+    let s = metrics.snapshot();
+    assert_eq!(
+        bucket_total(&s),
+        pcl.total_cycles(),
+        "ledger out of balance under chaos (run outcome: {outcome:?})"
+    );
+    assert_eq!(s.bucket_cycles(Bucket::Trace), 0);
+}
+
+#[test]
+fn metering_does_not_perturb_the_run() {
+    let (pcl_plain, outcome_plain) = run_spa_oracle(None, None);
+    let (pcl_metered, outcome_metered) = run_spa_oracle(Some(MetricsRegistry::new()), None);
+    assert_eq!(pcl_plain.total_cycles(), pcl_metered.total_cycles());
+    assert_eq!(
+        outcome_plain.unwrap().main.unwrap(),
+        outcome_metered.unwrap().main.unwrap()
+    );
+}
