@@ -17,10 +17,18 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jnativeprof::harness::{run, AgentChoice};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::{RunOutcome, Session};
 use jvmsim_vm::{builtins, MethodView, ThreadId, Value, Vm};
 use nativeprof::{InstrumentationMode, IpaConfig};
-use workloads::{by_name, ProblemSize};
+use workloads::{by_name, ProblemSize, Workload};
+
+fn run(w: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> RunOutcome {
+    Session::new(w, size)
+        .agent(agent)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name()))
+}
 
 fn bench_instr_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_instr");

@@ -17,8 +17,16 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jnativeprof::harness::{run, AgentChoice};
-use workloads::{by_name, ProblemSize};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::{RunOutcome, Session};
+use workloads::{by_name, ProblemSize, Workload};
+
+fn run(w: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> RunOutcome {
+    Session::new(w, size)
+        .agent(agent)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name()))
+}
 
 fn bench_table1(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1");

@@ -3,10 +3,11 @@
 //! ```text
 //! jprof trace --workload compress --agent ipa --out trace.json
 //!             [--size N] [--capacity N] [--flame out.folded]
-//!             [--events-csv events.csv]
+//!             [--events-csv events.csv] [--cache-dir DIR] [--no-cache 1]
 //! jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
-//!             [--metrics PATH]
+//!             [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
 //! jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
+//!             [--cache-dir DIR] [--no-cache 1]
 //! jprof report [--jobs N] [--size N] [--format table|prom|json]
 //!              [--out FILE]
 //! jprof list
@@ -28,16 +29,27 @@
 //! and `chaos` writes the same snapshots as `PATH.prom` + `PATH.json`
 //! next to the regular artifacts.
 //!
+//! `--cache-dir DIR` opens a content-addressed cache there: `trace`
+//! memoizes static instrumentation, `suite` and `chaos` additionally
+//! memoize completed cell rows, so a warm run is near-instant yet emits
+//! byte-identical artifacts (every hit re-verifies the stored digest;
+//! poisoned entries are quarantined and recomputed). `--no-cache 1`
+//! overrides `--cache-dir`.
+//!
 //! Artifacts go to stdout (or the requested files); progress and
 //! quarantine diagnostics go to stderr, so redirecting stdout always
-//! yields a clean artifact.
+//! yields a clean artifact. Exit codes are stable per failure class
+//! ([`HarnessError::exit_code`]): `0` success, `2` usage, `8` artifact
+//! I/O, `9` degraded run (quarantined cells / broken invariants).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use jnativeprof::harness::{self, AgentChoice};
+use jnativeprof::harness::{AgentChoice, HarnessError};
+use jnativeprof::session::Session;
+use jvmsim_cache::CacheStore;
 use jvmsim_metrics::{render_json, render_prometheus, MetricsEntry};
-use jvmsim_trace::{chrome, csv, flame, TraceRecorder};
+use jvmsim_trace::{export, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use nativeprof_bench::{
     render_overhead_attribution, render_table1, render_table2, run_chaos, run_suite,
@@ -49,8 +61,11 @@ const USAGE: &str = "\
 usage:
   jprof trace --workload NAME --agent ipa [--size N] [--capacity N]
               [--out trace.json] [--flame out.folded] [--events-csv FILE]
+              [--cache-dir DIR] [--no-cache 1]
   jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json] [--metrics PATH]
+              [--cache-dir DIR] [--no-cache 1]
   jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
+              [--cache-dir DIR] [--no-cache 1]
   jprof report [--jobs N] [--size N] [--format table|prom|json] [--out FILE]
   jprof list
 ";
@@ -67,13 +82,16 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        _ => Err(USAGE.to_owned()),
+        Some(other) => Err(HarnessError::Usage(format!(
+            "unknown subcommand {other:?}\n{USAGE}"
+        ))),
+        None => Err(HarnessError::Usage(format!("no subcommand\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("jprof: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("jprof: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -84,16 +102,18 @@ struct Flags<'a> {
 }
 
 impl<'a> Flags<'a> {
-    fn parse(args: &'a [String], allowed: &[&str]) -> Result<Self, String> {
+    fn parse(args: &'a [String], allowed: &[&str]) -> Result<Self, HarnessError> {
         let mut pairs = Vec::new();
         let mut it = args.iter();
         while let Some(key) = it.next() {
             if !allowed.contains(&key.as_str()) {
-                return Err(format!("unknown argument {key:?}\n{USAGE}"));
+                return Err(HarnessError::Usage(format!(
+                    "unknown argument {key:?}\n{USAGE}"
+                )));
             }
             let value = it
                 .next()
-                .ok_or_else(|| format!("{key} needs a value\n{USAGE}"))?;
+                .ok_or_else(|| HarnessError::Usage(format!("{key} needs a value\n{USAGE}")))?;
             pairs.push((key.as_str(), value.as_str()));
         }
         Ok(Flags { pairs })
@@ -107,26 +127,56 @@ impl<'a> Flags<'a> {
             .map(|(_, v)| *v)
     }
 
-    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+    fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, HarnessError> {
         self.get(key)
-            .map(|v| v.parse().map_err(|_| format!("bad value for {key}: {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| HarnessError::Usage(format!("bad value for {key}: {v:?}")))
+            })
+            .transpose()
+    }
+
+    fn truthy(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1"))
+    }
+
+    /// Resolve `--cache-dir`/`--no-cache` into an opened store.
+    fn cache(&self) -> Result<Option<CacheStore>, HarnessError> {
+        if self.truthy("--no-cache") {
+            return Ok(None);
+        }
+        self.get("--cache-dir")
+            .map(|dir| {
+                CacheStore::open(dir)
+                    .map_err(|e| HarnessError::Artifact(format!("opening cache {dir}: {e}")))
+            })
             .transpose()
     }
 }
 
-fn write_file(path: &str, contents: &str) -> Result<(), String> {
-    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+/// Stderr one-liner so warm/cold behaviour is visible without `--metrics`.
+fn report_cache(store: &CacheStore) {
+    let stats = store.stats();
+    eprintln!(
+        "cache: {} hit(s), {} miss(es), {} store(s), {} quarantined",
+        stats.hits, stats.misses, stats.stores, stats.quarantined
+    );
+}
+
+fn write_file(path: &str, contents: &str) -> Result<(), HarnessError> {
+    std::fs::write(path, contents)
+        .map_err(|e| HarnessError::Artifact(format!("writing {path}: {e}")))
 }
 
 /// Write the metric snapshots as `PATH.prom` + `PATH.json`.
-fn write_metrics(path: &str, entries: &[MetricsEntry]) -> Result<(), String> {
+fn write_metrics(path: &str, entries: &[MetricsEntry]) -> Result<(), HarnessError> {
     write_file(&format!("{path}.prom"), &render_prometheus(entries))?;
     write_file(&format!("{path}.json"), &render_json(entries))?;
     eprintln!("wrote metric snapshots to {path}.prom and {path}.json");
     Ok(())
 }
 
-fn cmd_trace(args: &[String]) -> Result<(), String> {
+fn cmd_trace(args: &[String]) -> Result<(), HarnessError> {
     let flags = Flags::parse(
         args,
         &[
@@ -137,45 +187,57 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             "--out",
             "--flame",
             "--events-csv",
+            "--cache-dir",
+            "--no-cache",
         ],
     )?;
-    let name = flags.get("--workload").ok_or("trace needs --workload")?;
-    let workload = by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let name = flags
+        .get("--workload")
+        .ok_or_else(|| HarnessError::Usage(format!("trace needs --workload\n{USAGE}")))?;
+    let workload =
+        by_name(name).ok_or_else(|| HarnessError::Usage(format!("unknown workload {name:?}")))?;
     match flags.get("--agent").unwrap_or("ipa") {
         "ipa" => {}
         other => {
-            return Err(format!(
+            return Err(HarnessError::Usage(format!(
                 "only --agent ipa records transitions (got {other:?}); \
                  SPA disables the JIT and emits no J2N/N2J probes"
-            ))
+            )))
         }
     }
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
     // One full-size run can exceed the library default; give jprof traces
     // a deep buffer unless told otherwise.
     let capacity: usize = flags.get_parsed("--capacity")?.unwrap_or(1 << 20);
+    let cache = flags.cache()?;
 
     let recorder = TraceRecorder::new(capacity);
     eprintln!("tracing {name} at size {} under IPA …", size.0);
-    let run = harness::run_traced(
-        workload.as_ref(),
-        size,
-        AgentChoice::ipa(),
-        Some(Arc::clone(&recorder) as Arc<dyn TraceSink>),
-    );
+    let mut session = Session::new(workload.as_ref(), size)
+        .agent(AgentChoice::ipa())
+        .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>);
+    if let Some(store) = &cache {
+        // Tracing needs the live event stream, so only instrumentation is
+        // memoized here — the run itself always executes.
+        session = session.cache(store.clone());
+    }
+    let run = session.run()?;
     let profile = run.profile.as_ref().expect("IPA attached");
     let snapshot = recorder.snapshot();
+    if let Some(store) = &cache {
+        report_cache(store);
+    }
 
     // The stream and the aggregates are two views of the same probes;
     // refuse to emit an artifact that contradicts the Table II counters.
     let j2n = snapshot.count(TraceEventKind::J2nBegin);
     let n2j = snapshot.count(TraceEventKind::N2jBegin);
     if j2n != profile.native_method_calls || n2j != profile.jni_calls {
-        return Err(format!(
+        return Err(HarnessError::Degraded(format!(
             "trace/profile mismatch: {j2n} J2N vs {} native method calls, \
              {n2j} N2J vs {} JNI calls",
             profile.native_method_calls, profile.jni_calls
-        ));
+        )));
     }
     eprintln!(
         "  {} events recorded, {} dropped ({} J2N, {} N2J, {:.2}% native)",
@@ -186,36 +248,57 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         profile.percent_native(),
     );
 
-    let out = flags.get("--out").unwrap_or("trace.json");
-    let json = chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz())
-        .map_err(|e| format!("exporting {out}: {e}"))?;
-    write_file(out, &json)?;
-    eprintln!("  wrote {out}");
-    if let Some(path) = flags.get("--flame") {
-        write_file(path, &flame::collapsed_stacks(&snapshot))?;
-        eprintln!("  wrote {path}");
-    }
-    if let Some(path) = flags.get("--events-csv") {
-        write_file(path, &csv::events_csv(&snapshot))?;
+    // One registry, one pass: each exporter writes to its configured
+    // destination (chrome always — it is the command's main artifact).
+    let chrome_out = flags.get("--out").unwrap_or("trace.json");
+    for exporter in export::registry(run.pcl.clock_hz()) {
+        let path = match exporter.name() {
+            "chrome" => Some(chrome_out),
+            "flame" => flags.get("--flame"),
+            "events-csv" => flags.get("--events-csv"),
+            _ => None,
+        };
+        let Some(path) = path else { continue };
+        let mut out = Vec::new();
+        exporter
+            .export(&snapshot, &mut out)
+            .map_err(|e| HarnessError::Artifact(format!("exporting {path}: {e}")))?;
+        std::fs::write(path, &out)
+            .map_err(|e| HarnessError::Artifact(format!("writing {path}: {e}")))?;
         eprintln!("  wrote {path}");
     }
     Ok(())
 }
 
-fn cmd_suite(args: &[String]) -> Result<(), String> {
+fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
     let flags = Flags::parse(
         args,
-        &["--jobs", "--size", "--out-dir", "--json", "--metrics"],
+        &[
+            "--jobs",
+            "--size",
+            "--out-dir",
+            "--json",
+            "--metrics",
+            "--cache-dir",
+            "--no-cache",
+        ],
     )?;
     let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
-    let json = matches!(flags.get("--json"), Some("true") | Some("1"));
-    let config = SuiteConfig::with_size(size).jobs(jobs);
+    let json = flags.truthy("--json");
+    let cache = flags.cache()?;
+    let mut config = SuiteConfig::with_size(size).jobs(jobs);
+    if let Some(store) = &cache {
+        config = config.cache(store.clone());
+    }
     eprintln!(
         "running the workload × agent matrix at size {} on {} worker(s) …",
         size.0, config.jobs
     );
     let suite = run_suite(config);
+    if let Some(store) = &cache {
+        report_cache(store);
+    }
     print!("{}", render_table1(&suite.table1, suite.jbb));
     println!();
     print!("{}", render_table2(&suite.table2));
@@ -223,7 +306,8 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         eprintln!("quarantined cell: {failure}");
     }
     if let Some(dir) = flags.get("--out-dir") {
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| HarnessError::Artifact(format!("creating {dir}: {e}")))?;
         let t1 = table1_artifact(&suite.table1, suite.jbb);
         let t2 = table2_artifact(&suite.table2);
         write_file(&format!("{dir}/table1.csv"), &t1.to_csv())?;
@@ -238,25 +322,42 @@ fn cmd_suite(args: &[String]) -> Result<(), String> {
         write_metrics(path, &suite.metrics)?;
     }
     if !suite.failures.is_empty() {
-        return Err(format!(
+        return Err(HarnessError::Degraded(format!(
             "{} cell(s) quarantined (tables assembled from the rest)",
             suite.failures.len()
-        ));
+        )));
     }
     Ok(())
 }
 
-fn cmd_chaos(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["--seeds", "--jobs", "--size", "--metrics"])?;
+fn cmd_chaos(args: &[String]) -> Result<(), HarnessError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--seeds",
+            "--jobs",
+            "--size",
+            "--metrics",
+            "--cache-dir",
+            "--no-cache",
+        ],
+    )?;
     let seeds: u64 = flags.get_parsed("--seeds")?.unwrap_or(8);
     let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(1));
-    let config = SuiteConfig::with_size(size).jobs(jobs);
+    let cache = flags.cache()?;
+    let mut config = SuiteConfig::with_size(size).jobs(jobs);
+    if let Some(store) = &cache {
+        config = config.cache(store.clone());
+    }
     eprintln!(
         "chaos: running the matrix under {seeds} fault schedule(s) at size {} on {} worker(s) …",
         size.0, config.jobs
     );
     let report = run_chaos(config, seeds);
+    if let Some(store) = &cache {
+        report_cache(store);
+    }
     // The summary is a diagnostic, not an artifact: keep stdout clean so
     // `jprof chaos > file` (or piping into a parser) never mixes the
     // quarantine narrative into machine-read output.
@@ -267,14 +368,14 @@ fn cmd_chaos(args: &[String]) -> Result<(), String> {
     if report.passed() {
         Ok(())
     } else {
-        Err(format!(
+        Err(HarnessError::Degraded(format!(
             "{} accounting invariant violation(s) under fault injection",
             report.violations.len()
-        ))
+        )))
     }
 }
 
-fn cmd_report(args: &[String]) -> Result<(), String> {
+fn cmd_report(args: &[String]) -> Result<(), HarnessError> {
     let flags = Flags::parse(args, &["--jobs", "--size", "--format", "--out"])?;
     let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
@@ -293,9 +394,9 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         "prom" => render_prometheus(&suite.metrics),
         "json" => render_json(&suite.metrics),
         other => {
-            return Err(format!(
+            return Err(HarnessError::Usage(format!(
                 "unknown --format {other:?} (table|prom|json)\n{USAGE}"
-            ))
+            )))
         }
     };
     match flags.get("--out") {
@@ -306,15 +407,15 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
         None => print!("{artifact}"),
     }
     if !suite.failures.is_empty() {
-        return Err(format!(
+        return Err(HarnessError::Degraded(format!(
             "{} cell(s) quarantined (report assembled from the rest)",
             suite.failures.len()
-        ));
+        )));
     }
     Ok(())
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), HarnessError> {
     for w in jvm98_suite() {
         println!("{}", w.name());
     }

@@ -6,7 +6,8 @@
 //! characterization: sampling is cheaper but approximate, and produces no
 //! JNI / native-method call counts at all.
 
-use jnativeprof::harness::{run, AgentChoice};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::Session;
 use nativeprof::SamplingProfiler;
 use workloads::{by_name, prepare_vm, ProblemSize, Workload};
 
@@ -55,8 +56,11 @@ fn main() {
         "jack",
     ] {
         let workload = by_name(name).unwrap();
-        let base = run(workload.as_ref(), size, AgentChoice::None);
-        let ipa = run(workload.as_ref(), size, AgentChoice::ipa());
+        let base = Session::new(workload.as_ref(), size).run().expect(name);
+        let ipa = Session::new(workload.as_ref(), size)
+            .agent(AgentChoice::ipa())
+            .run()
+            .expect(name);
         let ipa_pct = ipa.profile.as_ref().unwrap().percent_native();
         let ipa_ovh =
             100.0 * (ipa.outcome.total_cycles as f64 / base.outcome.total_cycles as f64 - 1.0);

@@ -37,6 +37,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use jnativeprof::harness::{self, throughput_overhead_percent, AgentChoice};
+use jnativeprof::session::Session;
+use jvmsim_cache::{CacheKey, CacheStore, Plane};
 use jvmsim_faults::{
     splitmix64, FaultInjector, FaultPlan, FaultSite, TransitionKind, TransitionLedger,
 };
@@ -95,7 +97,7 @@ pub struct ChaosSpec {
 }
 
 /// Suite configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SuiteConfig {
     /// Worker OS threads (≥ 1; 1 = the plain sequential loop).
     pub jobs: usize,
@@ -115,6 +117,12 @@ pub struct SuiteConfig {
     /// nothing is perturbed and artifacts are byte-identical to a build
     /// without the fault plane).
     pub chaos: Option<ChaosSpec>,
+    /// Content-addressed cache. When set, static IPA instrumentation is
+    /// memoized on the instrumentation plane and completed cell rows on
+    /// the result plane — a warm suite skips the runs entirely yet
+    /// assembles byte-identical table artifacts (runs are deterministic,
+    /// and every hit re-verifies the stored digest before it is served).
+    pub cache: Option<CacheStore>,
 }
 
 impl SuiteConfig {
@@ -127,6 +135,7 @@ impl SuiteConfig {
             soft_timeout: None,
             retries: 0,
             chaos: None,
+            cache: None,
         }
     }
 
@@ -155,6 +164,14 @@ impl SuiteConfig {
     pub fn chaos_seed(self, seed: u64) -> Self {
         SuiteConfig {
             chaos: Some(ChaosSpec { seed }),
+            ..self
+        }
+    }
+
+    /// Same configuration consulting (and filling) `store`.
+    pub fn cache(self, store: CacheStore) -> Self {
+        SuiteConfig {
+            cache: Some(store),
             ..self
         }
     }
@@ -296,6 +313,9 @@ impl TraceSink for ChaosSink {
     }
 }
 
+/// Per-site `(site, consulted, injected)` fault-schedule tally.
+type SiteTally = (FaultSite, u64, u64);
+
 /// Result of one cell attempt, including chaos-mode bookkeeping.
 struct CellExecution {
     result: Result<CellOutcome, CellFailureKind>,
@@ -303,7 +323,7 @@ struct CellExecution {
     /// Non-empty means a *bug*, not an injected fault.
     violations: Vec<String>,
     /// Per-site `(consulted, injected)` counts from this cell's injector.
-    sites: Vec<(FaultSite, u64, u64)>,
+    sites: Vec<SiteTally>,
     /// The cell's merged metric registry (empty when the cell never ran
     /// or timed out before reporting).
     snapshot: MetricsSnapshot,
@@ -324,10 +344,144 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// sizes (exercising the drop path), large enough to retain structure.
 const CHAOS_TRACE_CAPACITY: usize = 1 << 14;
 
+/// Payload layout version for memoized cell rows. Bumping it orphans old
+/// entries (their payloads stop decoding, so they are quarantined and
+/// recomputed) without touching the cache's own framing.
+const CELL_ENTRY_VERSION: u32 = 1;
+
+/// Serialize a completed cell for the result plane: everything
+/// [`assemble`] reads, exactly — floats as IEEE bits so a decoded row
+/// formats byte-identically to the live one — plus the chaos injector's
+/// per-site schedule so warm chaos reports still balance.
+fn encode_cell_entry(outcome: &CellOutcome, sites: &[SiteTally]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + sites.len() * 17);
+    out.extend_from_slice(&CELL_ENTRY_VERSION.to_le_bytes());
+    out.extend_from_slice(&outcome.seconds.to_bits().to_le_bytes());
+    out.extend_from_slice(&outcome.checksum.to_le_bytes());
+    out.extend_from_slice(&outcome.total_cycles.to_le_bytes());
+    match outcome.profile {
+        None => out.push(0),
+        Some((pct_native, jni_calls, native_method_calls)) => {
+            out.push(1);
+            out.extend_from_slice(&pct_native.to_bits().to_le_bytes());
+            out.extend_from_slice(&jni_calls.to_le_bytes());
+            out.extend_from_slice(&native_method_calls.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(sites.len() as u32).to_le_bytes());
+    for &(site, consulted, injected) in sites {
+        out.push(site.index() as u8);
+        out.extend_from_slice(&consulted.to_le_bytes());
+        out.extend_from_slice(&injected.to_le_bytes());
+    }
+    out
+}
+
+/// Strict inverse of [`encode_cell_entry`]. `None` on any malformed shape
+/// (wrong version, truncation, trailing bytes, unknown fault site) — the
+/// caller quarantines the entry and recomputes.
+fn decode_cell_entry(bytes: &[u8]) -> Option<(CellOutcome, Vec<SiteTally>)> {
+    struct Cursor<'a>(&'a [u8]);
+    impl Cursor<'_> {
+        fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+            let (head, tail) = self.0.split_at_checked(N)?;
+            self.0 = tail;
+            head.try_into().ok()
+        }
+        fn u8(&mut self) -> Option<u8> {
+            self.take::<1>().map(|b| b[0])
+        }
+        fn u32(&mut self) -> Option<u32> {
+            self.take::<4>().map(u32::from_le_bytes)
+        }
+        fn u64(&mut self) -> Option<u64> {
+            self.take::<8>().map(u64::from_le_bytes)
+        }
+    }
+    let mut c = Cursor(bytes);
+    if c.u32()? != CELL_ENTRY_VERSION {
+        return None;
+    }
+    let seconds = f64::from_bits(c.u64()?);
+    let checksum = i64::from_le_bytes(c.take::<8>()?);
+    let total_cycles = c.u64()?;
+    let profile = match c.u8()? {
+        0 => None,
+        1 => Some((f64::from_bits(c.u64()?), c.u64()?, c.u64()?)),
+        _ => return None,
+    };
+    let site_count = c.u32()? as usize;
+    let mut sites = Vec::with_capacity(site_count.min(FaultSite::COUNT));
+    for _ in 0..site_count {
+        let site = *FaultSite::ALL.get(c.u8()? as usize)?;
+        sites.push((site, c.u64()?, c.u64()?));
+    }
+    if !c.0.is_empty() {
+        return None;
+    }
+    Some((
+        CellOutcome {
+            seconds,
+            checksum,
+            total_cycles,
+            profile,
+        },
+        sites,
+    ))
+}
+
+/// Finish a warm cell: replay the memoized outcome into this cell's
+/// metric shard and merge the live injector's consultations (the cache
+/// reads themselves) into the stored fault schedule so chaos reports
+/// keep balancing.
+fn replay_cell(
+    outcome: CellOutcome,
+    stored_sites: Vec<SiteTally>,
+    chaos: Option<&Arc<FaultInjector>>,
+    metrics: &MetricsRegistry,
+) -> CellExecution {
+    let global = metrics.global();
+    global.incr(CounterId::CellsCompleted);
+    global.observe(HistogramId::CellCycles, outcome.total_cycles);
+    let mut sites = Vec::new();
+    if chaos.is_some() || !stored_sites.is_empty() {
+        let mut totals = [(0u64, 0u64); FaultSite::COUNT];
+        for &(site, consulted, injected) in &stored_sites {
+            totals[site.index()].0 += consulted;
+            totals[site.index()].1 += injected;
+        }
+        if let Some(injector) = chaos {
+            for &(site, consulted, injected) in &injector.summary() {
+                totals[site.index()].0 += consulted;
+                totals[site.index()].1 += injected;
+            }
+        }
+        sites = FaultSite::ALL
+            .iter()
+            .map(|&s| (s, totals[s.index()].0, totals[s.index()].1))
+            .collect();
+        if chaos.is_some() {
+            for &(_, consulted, injected) in &sites {
+                global.add(CounterId::FaultsConsulted, consulted);
+                global.add(CounterId::FaultsInjected, injected);
+            }
+        }
+    }
+    CellExecution {
+        result: Ok(outcome),
+        violations: Vec::new(),
+        sites,
+        snapshot: metrics.snapshot(),
+        attempts: 1,
+    }
+}
+
 /// Run one cell once: look up the workload, run it behind `catch_unwind`,
 /// and — in chaos mode — check the accounting invariants that must
-/// survive any injected fault.
-fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
+/// survive any injected fault. With a cache attached, a completed row is
+/// served from the result plane when present (skipping the run entirely)
+/// and stored there afterwards when the run was clean.
+fn execute_cell(cell: Cell, chaos_seed: Option<u64>, cache: Option<&CacheStore>) -> CellExecution {
     // Every cell gets its own registry: cells share no metric state, so
     // the per-cell snapshots (and anything assembled from them) are
     // byte-identical for any worker count.
@@ -340,26 +494,65 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
         recorder.set_metrics(metrics.global());
         (injector, ledger, recorder)
     });
+    // Per-cell scoped cache handle: hit/miss accounting lands in this
+    // cell's metric shard, and in chaos mode reads pass through this
+    // cell's injector (the cache-corrupt site).
+    let cache = cache.map(|store| {
+        let store = store.with_metrics(metrics.global());
+        match &chaos {
+            Some((injector, _, _)) => store.with_faults(Arc::clone(injector)),
+            None => store,
+        }
+    });
+    // Result-plane identity: needs the workload's program bytes, so an
+    // unknown workload has no key and falls through to the cold path,
+    // failing there with the same error as an uncached run.
+    let result_key: Option<CacheKey> = cache.as_ref().and_then(|_| {
+        let workload = by_name(cell.workload)?;
+        let mut session = Session::new(workload.as_ref(), cell.size).agent(cell.agent.choice());
+        if let Some((injector, _, _)) = &chaos {
+            session = session.faults(Arc::clone(injector));
+        }
+        Some(session.result_key())
+    });
+    if let (Some(store), Some(key)) = (&cache, &result_key) {
+        if let Some(bytes) = store.lookup(Plane::CellResult, key) {
+            match decode_cell_entry(&bytes) {
+                Some((outcome, stored_sites)) => {
+                    return replay_cell(
+                        outcome,
+                        stored_sites,
+                        chaos.as_ref().map(|(injector, _, _)| injector),
+                        &metrics,
+                    );
+                }
+                // The frame's digest verified but the payload does not
+                // decode: foreign or stale bytes under this key —
+                // quarantine them and recompute.
+                None => store.quarantine(Plane::CellResult, key),
+            }
+        }
+    }
 
     let run = catch_unwind(AssertUnwindSafe(|| {
         let workload = by_name(cell.workload).ok_or_else(|| {
             harness::HarnessError::Vm(format!("unknown workload {}", cell.workload))
         })?;
-        let trace = chaos.as_ref().map(|(_, ledger, recorder)| {
-            Arc::new(ChaosSink {
-                ledger: Arc::clone(ledger),
-                recorder: Arc::clone(recorder),
-            }) as Arc<dyn TraceSink>
-        });
-        let faults = chaos.as_ref().map(|(injector, _, _)| Arc::clone(injector));
-        harness::try_run_metered(
-            workload.as_ref(),
-            cell.size,
-            cell.agent.choice(),
-            trace,
-            faults,
-            Some(metrics.clone()),
-        )
+        let mut session = Session::new(workload.as_ref(), cell.size)
+            .agent(cell.agent.choice())
+            .metrics(metrics.clone());
+        if let Some((injector, ledger, recorder)) = &chaos {
+            session = session
+                .trace(Arc::new(ChaosSink {
+                    ledger: Arc::clone(ledger),
+                    recorder: Arc::clone(recorder),
+                }) as Arc<dyn TraceSink>)
+                .faults(Arc::clone(injector));
+        }
+        if let Some(store) = &cache {
+            session = session.cache(store.clone());
+        }
+        session.run()
     }));
 
     let result = match run {
@@ -440,6 +633,14 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>) -> CellExecution {
         }
     }
 
+    // Memoize only clean rows: failures and invariant breaks always
+    // re-run live. A failed store just means the next run pays again.
+    if let (Some(store), Some(key), Ok(outcome)) = (&cache, &result_key, &result) {
+        if violations.is_empty() {
+            let _ = store.store(Plane::CellResult, key, &encode_cell_entry(outcome, &sites));
+        }
+    }
+
     CellExecution {
         result,
         violations,
@@ -455,13 +656,16 @@ fn run_cell_guarded(cell: Cell, chaos_seed: Option<u64>, config: &SuiteConfig) -
     loop {
         attempts += 1;
         let mut exec = match config.soft_timeout {
-            None => execute_cell(cell, chaos_seed),
+            None => execute_cell(cell, chaos_seed, config.cache.as_ref()),
             Some(budget) => {
                 let (tx, rx) = mpsc::channel();
+                // The cell thread may outlive this frame (soft timeout
+                // detaches it), so it gets its own store handle.
+                let cache = config.cache.clone();
                 let spawned = std::thread::Builder::new()
                     .name(format!("cell-{}-{}", cell.workload, cell.agent.label()))
                     .spawn(move || {
-                        let _ = tx.send(execute_cell(cell, chaos_seed));
+                        let _ = tx.send(execute_cell(cell, chaos_seed, cache.as_ref()));
                     });
                 match spawned {
                     Err(e) => CellExecution {
@@ -500,7 +704,7 @@ fn run_cell_guarded(cell: Cell, chaos_seed: Option<u64>, config: &SuiteConfig) -
 // ---------------------------------------------------------------------
 // Matrix construction, parallel execution, and partial assembly.
 
-fn build_cells(config: SuiteConfig, jvm98: &[&'static str]) -> Vec<Cell> {
+fn build_cells(config: &SuiteConfig, jvm98: &[&'static str]) -> Vec<Cell> {
     let mut cells = Vec::new();
     for &workload in jvm98 {
         for agent in AgentCol::ALL {
@@ -521,7 +725,7 @@ fn build_cells(config: SuiteConfig, jvm98: &[&'static str]) -> Vec<Cell> {
     cells
 }
 
-fn run_matrix(config: SuiteConfig, cells: &[Cell]) -> Vec<CellExecution> {
+fn run_matrix(config: &SuiteConfig, cells: &[Cell]) -> Vec<CellExecution> {
     let next = AtomicUsize::new(0);
     let results: Mutex<Vec<Option<CellExecution>>> =
         Mutex::new((0..cells.len()).map(|_| None).collect());
@@ -532,7 +736,7 @@ fn run_matrix(config: SuiteConfig, cells: &[Cell]) -> Vec<CellExecution> {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(cell) = cells.get(i) else { break };
                 let chaos_seed = config.chaos.map(|c| splitmix64(c.seed ^ i as u64));
-                let exec = run_cell_guarded(*cell, chaos_seed, &config);
+                let exec = run_cell_guarded(*cell, chaos_seed, config);
                 // Poison recovery: cells are already unwind-isolated, so a
                 // poisoned store lock only means another worker died while
                 // holding it — the data itself is per-index and intact.
@@ -692,8 +896,8 @@ pub fn run_suite(config: SuiteConfig) -> SuiteResult {
 /// extend the matrix — e.g. appending the deliberately panicking `crashy`
 /// workload to exercise quarantine without touching the standard rows.
 pub fn run_suite_with_workloads(config: SuiteConfig, jvm98: &[&'static str]) -> SuiteResult {
-    let cells = build_cells(config, jvm98);
-    let execs = run_matrix(config, &cells);
+    let cells = build_cells(&config, jvm98);
+    let execs = run_matrix(&config, &cells);
     assemble(&cells, &execs, jvm98)
 }
 
@@ -795,10 +999,10 @@ pub fn run_chaos(config: SuiteConfig, seeds: u64) -> ChaosReport {
         let seed = splitmix64(0xC4A0_5EED ^ seed_index);
         let cfg = SuiteConfig {
             chaos: Some(ChaosSpec { seed }),
-            ..config
+            ..config.clone()
         };
-        let cells = build_cells(cfg, &jvm98);
-        let execs = run_matrix(cfg, &cells);
+        let cells = build_cells(&cfg, &jvm98);
+        let execs = run_matrix(&cfg, &cells);
         if report.metrics.is_empty() {
             report.metrics = cells
                 .iter()
@@ -932,10 +1136,11 @@ mod tests {
         let c = SuiteConfig::with_size(ProblemSize::S100);
         assert_eq!(c.jobs, 1);
         assert_eq!(c.jbb_size, ProblemSize(10));
-        assert_eq!(c.jobs(4).jobs, 4);
+        assert_eq!(c.clone().jobs(4).jobs, 4);
         assert!(c.soft_timeout.is_none());
         assert_eq!(c.retries, 0);
         assert!(c.chaos.is_none());
+        assert!(c.cache.is_none());
         // Tiny sizes floor at the JBB minimum scale.
         assert_eq!(
             SuiteConfig::with_size(ProblemSize::S1).jbb_size,
@@ -969,6 +1174,73 @@ mod tests {
         assert!(text.contains("crashy/IPA"), "{text}");
         assert!(text.contains("checksum mismatch"), "{text}");
         assert!(CellFailureKind::TimedOut.to_string().contains("timeout"));
+    }
+
+    #[test]
+    fn cell_entry_codec_round_trips() {
+        let with_profile = CellOutcome {
+            seconds: 1.234_567_891_2,
+            checksum: -42,
+            total_cycles: 987_654_321,
+            profile: Some((4.539_999_9, 3, 7)),
+        };
+        let sites: Vec<_> = FaultSite::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u64 * 11, i as u64 * 3))
+            .collect();
+        let bytes = encode_cell_entry(&with_profile, &sites);
+        let (decoded, decoded_sites) = decode_cell_entry(&bytes).unwrap();
+        assert_eq!(decoded.seconds.to_bits(), with_profile.seconds.to_bits());
+        assert_eq!(decoded.checksum, with_profile.checksum);
+        assert_eq!(decoded.total_cycles, with_profile.total_cycles);
+        assert_eq!(
+            decoded.profile.unwrap().0.to_bits(),
+            with_profile.profile.unwrap().0.to_bits()
+        );
+        assert_eq!(decoded_sites, sites);
+
+        let bare = CellOutcome {
+            seconds: 0.5,
+            checksum: 9,
+            total_cycles: 10,
+            profile: None,
+        };
+        let bytes = encode_cell_entry(&bare, &[]);
+        let (decoded, decoded_sites) = decode_cell_entry(&bytes).unwrap();
+        assert!(decoded.profile.is_none());
+        assert!(decoded_sites.is_empty());
+        assert_eq!(decoded.checksum, 9);
+    }
+
+    #[test]
+    fn malformed_cell_entries_rejected() {
+        let bytes = encode_cell_entry(
+            &CellOutcome {
+                seconds: 1.0,
+                checksum: 1,
+                total_cycles: 2,
+                profile: Some((1.0, 2, 3)),
+            },
+            &[(FaultSite::ALL[0], 5, 1)],
+        );
+        // Every truncation fails closed.
+        for len in 0..bytes.len() {
+            assert!(decode_cell_entry(&bytes[..len]).is_none(), "len {len}");
+        }
+        // Trailing garbage fails closed.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_cell_entry(&long).is_none());
+        // Wrong version fails closed.
+        let mut versioned = bytes.clone();
+        versioned[0] ^= 0xFF;
+        assert!(decode_cell_entry(&versioned).is_none());
+        // Unknown fault site index fails closed.
+        let mut bad_site = bytes;
+        let site_pos = 4 + 8 + 8 + 8 + 1 + 24 + 4;
+        bad_site[site_pos] = FaultSite::COUNT as u8;
+        assert!(decode_cell_entry(&bad_site).is_none());
     }
 
     #[test]

@@ -17,11 +17,19 @@ pub use driver::{
     CellFailureKind, ChaosReport, ChaosSpec, SuiteConfig, SuiteResult,
 };
 
-use jnativeprof::harness::{
-    self, overhead_percent, throughput_overhead_percent, AgentChoice, HarnessRun,
-};
+use jnativeprof::harness::{self, overhead_percent, throughput_overhead_percent, AgentChoice};
+use jnativeprof::session::{RunOutcome, Session};
 use jvmsim_metrics::{Bucket, MetricsEntry};
-use workloads::{by_name, jvm98_suite, ProblemSize};
+use workloads::{by_name, jvm98_suite, ProblemSize, Workload};
+
+/// Run `workload` under `agent`, panicking on any failure — the standard
+/// entry for the measurement paths here, which expect healthy workloads.
+fn measure(workload: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> RunOutcome {
+    match Session::new(workload, size).agent(agent).run() {
+        Ok(run) => run,
+        Err(e) => panic!("{}: {e}", workload.name()),
+    }
+}
 
 /// Paper reference values for Table I (JVM98 rows).
 #[derive(Debug, Clone, Copy)]
@@ -184,9 +192,9 @@ pub struct MeasuredProfileRow {
 /// Measure one JVM98 workload under all three configurations.
 pub fn measure_overheads(name: &str, size: ProblemSize) -> MeasuredOverheadRow {
     let workload = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-    let base = harness::run(workload.as_ref(), size, AgentChoice::None);
-    let spa = harness::run(workload.as_ref(), size, AgentChoice::Spa);
-    let ipa = harness::run(workload.as_ref(), size, AgentChoice::ipa());
+    let base = measure(workload.as_ref(), size, AgentChoice::None);
+    let spa = measure(workload.as_ref(), size, AgentChoice::Spa);
+    let ipa = measure(workload.as_ref(), size, AgentChoice::ipa());
     assert_eq!(base.checksum, spa.checksum, "{name}: SPA changed behaviour");
     assert_eq!(base.checksum, ipa.checksum, "{name}: IPA changed behaviour");
     MeasuredOverheadRow {
@@ -203,10 +211,10 @@ pub fn measure_overheads(name: &str, size: ProblemSize) -> MeasuredOverheadRow {
 /// two overhead percentages.
 pub fn measure_jbb_throughput(size: ProblemSize) -> (f64, f64, f64, f64, f64) {
     let workload = by_name("jbb").unwrap();
-    let tx = |run: &HarnessRun| run.checksum.max(0) as u64;
-    let base = harness::run(workload.as_ref(), size, AgentChoice::None);
-    let spa = harness::run(workload.as_ref(), size, AgentChoice::Spa);
-    let ipa = harness::run(workload.as_ref(), size, AgentChoice::ipa());
+    let tx = |run: &RunOutcome| run.checksum.max(0) as u64;
+    let base = measure(workload.as_ref(), size, AgentChoice::None);
+    let spa = measure(workload.as_ref(), size, AgentChoice::Spa);
+    let ipa = measure(workload.as_ref(), size, AgentChoice::ipa());
     let t_base = base.throughput(tx(&base));
     let t_spa = spa.throughput(tx(&spa));
     let t_ipa = ipa.throughput(tx(&ipa));
@@ -222,7 +230,7 @@ pub fn measure_jbb_throughput(size: ProblemSize) -> (f64, f64, f64, f64, f64) {
 /// Measure one workload's Table II row with IPA.
 pub fn measure_profile(name: &str, size: ProblemSize) -> MeasuredProfileRow {
     let workload = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-    let run = harness::run(workload.as_ref(), size, AgentChoice::ipa());
+    let run = measure(workload.as_ref(), size, AgentChoice::ipa());
     let profile = run.profile.expect("IPA attached");
     MeasuredProfileRow {
         name: name.to_owned(),

@@ -1,0 +1,178 @@
+//! Acceptance tests for the content-addressed cache (the tentpole of the
+//! jvmsim-cache PR):
+//!
+//! * a **warm** suite run — every cell served from the result plane —
+//!   produces byte-identical Table I/II artifacts to the cold run that
+//!   filled the cache, at any job count, with nonzero hit counters in the
+//!   per-cell metric snapshots;
+//! * a deliberately corrupted entry is never served: the digest check
+//!   quarantines it, the cell recomputes live, the artifacts still match
+//!   and the quarantine counter is incremented;
+//! * chaos mode under a cache keeps its determinism and its invariants.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::Session;
+use jvmsim_cache::{CacheStore, Plane};
+use jvmsim_metrics::CounterId;
+use nativeprof_bench::{run_chaos, run_suite, table1_artifact, table2_artifact, SuiteConfig};
+use workloads::{by_name, ProblemSize};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "jvmsim-cache-test-{}-{}-{}",
+        tag,
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn artifacts(suite: &nativeprof_bench::SuiteResult) -> (String, String) {
+    (
+        table1_artifact(&suite.table1, suite.jbb).to_csv(),
+        table2_artifact(&suite.table2).to_csv(),
+    )
+}
+
+/// Sum one cache counter across every per-cell metrics snapshot.
+fn cache_counter(suite: &nativeprof_bench::SuiteResult, id: CounterId) -> u64 {
+    suite.metrics.iter().map(|e| e.snapshot.counter(id)).sum()
+}
+
+#[test]
+fn warm_suite_is_byte_identical_to_cold_with_pinned_hit_counters() {
+    let store = CacheStore::open(scratch("suite")).unwrap();
+    let config = || SuiteConfig::with_size(ProblemSize::S1).cache(store.clone());
+
+    let cold = run_suite(config());
+    assert!(cold.failures.is_empty(), "{:?}", cold.failures);
+    // Cold run: nothing hits. Every consultation misses: 24 cells (7
+    // JVM98 workloads × 3 agents + jbb × 3) miss their result entry, and
+    // the 8 IPA cells also miss (then fill) the instrumentation plane.
+    assert_eq!(cache_counter(&cold, CounterId::CacheHits), 0);
+    assert_eq!(cache_counter(&cold, CounterId::CacheMisses), 24 + 8);
+
+    // Warm run, different job count: all 24 cells hit the result plane
+    // (and never reach the instrumentation plane — no session is built).
+    let warm = run_suite(config().jobs(4));
+    assert!(warm.failures.is_empty(), "{:?}", warm.failures);
+    assert_eq!(cache_counter(&warm, CounterId::CacheHits), 24);
+    assert_eq!(cache_counter(&warm, CounterId::CacheMisses), 0);
+    assert_eq!(cache_counter(&warm, CounterId::CacheQuarantined), 0);
+    assert_eq!(artifacts(&cold), artifacts(&warm), "warm ≠ cold artifacts");
+
+    // The store-level stats (cumulative over both runs) agree.
+    let stats = store.stats();
+    assert_eq!(stats.hits, 24);
+    assert_eq!(stats.misses, 24 + 8);
+    assert_eq!(stats.stores, 24 + 8, "24 rows + 8 IPA instrumentations");
+    assert!(stats.bytes_written > 0);
+    assert!(stats.bytes_read > 0);
+    assert_eq!(stats.quarantined, 0);
+}
+
+#[test]
+fn corrupted_result_entry_recomputes_and_quarantines() {
+    let store = CacheStore::open(scratch("poison")).unwrap();
+    let config = || SuiteConfig::with_size(ProblemSize::S1).cache(store.clone());
+    let cold = run_suite(config());
+    assert!(cold.failures.is_empty(), "{:?}", cold.failures);
+
+    // Flip one byte in every cell-result entry on disk.
+    let cell_dir = store.root().join("cell");
+    let mut poisoned = 0usize;
+    for entry in std::fs::read_dir(&cell_dir).unwrap() {
+        let path = entry.unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x5A;
+        std::fs::write(&path, &bytes).unwrap();
+        poisoned += 1;
+    }
+    assert_eq!(poisoned, 24, "24 memoized cells");
+
+    // The warm run must not serve a single poisoned entry: every cell
+    // verifies, quarantines, recomputes live, and re-stores — and the
+    // artifacts still match the cold run byte for byte. The intact
+    // instrumentation plane still serves its 8 entries.
+    let recomputed = run_suite(config());
+    assert!(recomputed.failures.is_empty(), "{:?}", recomputed.failures);
+    assert_eq!(cache_counter(&recomputed, CounterId::CacheHits), 8);
+    assert_eq!(cache_counter(&recomputed, CounterId::CacheQuarantined), 24);
+    assert_eq!(artifacts(&cold), artifacts(&recomputed));
+    assert_eq!(store.quarantined_files(), 24);
+
+    // The re-stored entries serve the next run.
+    let warm = run_suite(config());
+    assert_eq!(cache_counter(&warm, CounterId::CacheHits), 24);
+    assert_eq!(artifacts(&cold), artifacts(&warm));
+}
+
+#[test]
+fn cached_suite_matches_uncached_byte_for_byte() {
+    let uncached = run_suite(SuiteConfig::with_size(ProblemSize::S1));
+    let store = CacheStore::open(scratch("vs-uncached")).unwrap();
+    let cached = run_suite(SuiteConfig::with_size(ProblemSize::S1).cache(store));
+    assert_eq!(artifacts(&uncached), artifacts(&cached));
+}
+
+#[test]
+fn chaos_stays_deterministic_and_sound_under_a_cache() {
+    let baseline = run_chaos(SuiteConfig::with_size(ProblemSize::S1), 1);
+    assert!(baseline.passed(), "{}", baseline.render());
+
+    let store = CacheStore::open(scratch("chaos")).unwrap();
+    let config = || SuiteConfig::with_size(ProblemSize::S1).cache(store.clone());
+    let cold = run_chaos(config(), 1);
+    assert!(cold.passed(), "{}", cold.render());
+    let warm = run_chaos(config().jobs(4), 1);
+    assert!(warm.passed(), "{}", warm.render());
+    // Completion/failure structure is stable cold → warm (failing cells
+    // are never memoized, so they re-run and fail identically; completed
+    // cells replay their stored outcome).
+    assert_eq!(cold.completed, warm.completed);
+    assert_eq!(cold.failures.len(), warm.failures.len());
+    assert!(store.stats().hits > 0, "warm chaos must hit the cache");
+}
+
+#[test]
+fn instrumentation_plane_is_shared_across_agents_and_seeds() {
+    // One workload, same wrapper config: the second session reuses the
+    // first session's instrumented archive even though the fault plane
+    // (and hence the result identity) differs.
+    let store = CacheStore::open(scratch("instr-shared")).unwrap();
+    let w = by_name("compress").unwrap();
+    let first = Session::new(w.as_ref(), ProblemSize::S1)
+        .agent(AgentChoice::ipa())
+        .cache(store.clone())
+        .run()
+        .unwrap();
+    assert_eq!(first.instr_cache_hit, Some(false));
+    let second = Session::new(w.as_ref(), ProblemSize::S1)
+        .agent(AgentChoice::ipa())
+        .faults(Arc::new(jvmsim_faults::FaultInjector::disabled()))
+        .cache(store.clone())
+        .run()
+        .unwrap();
+    assert_eq!(second.instr_cache_hit, Some(true));
+    assert_eq!(first.checksum, second.checksum);
+    // And the two result keys still differ (fault plan is identity).
+    let k1 = Session::new(w.as_ref(), ProblemSize::S1)
+        .agent(AgentChoice::ipa())
+        .result_key();
+    let k2 = Session::new(w.as_ref(), ProblemSize::S1)
+        .agent(AgentChoice::ipa())
+        .faults(Arc::new(jvmsim_faults::FaultInjector::disabled()))
+        .result_key();
+    assert_ne!(k1, k2);
+    // Exactly one instrumentation entry exists.
+    let instr_entries = std::fs::read_dir(store.root().join(Plane::Instrumentation.dir_name()))
+        .unwrap()
+        .count();
+    assert_eq!(instr_entries, 1);
+}

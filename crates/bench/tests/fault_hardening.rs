@@ -12,7 +12,8 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use jnativeprof::harness::{self, AgentChoice};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::Session;
 use jvmsim_faults::FaultInjector;
 use nativeprof_bench::{
     run_chaos, run_suite, run_suite_with_workloads, table1_artifact, table2_artifact,
@@ -27,7 +28,7 @@ fn jvm98_names() -> Vec<&'static str> {
 #[test]
 fn crashy_workload_is_quarantined_without_touching_other_rows() {
     let config = SuiteConfig::with_size(ProblemSize::S1).jobs(4);
-    let baseline = run_suite(config);
+    let baseline = run_suite(config.clone());
     assert!(baseline.failures.is_empty(), "{:?}", baseline.failures);
 
     // Append the deliberately panicking workload: 3 extra cells, all of
@@ -99,15 +100,15 @@ fn disabled_injector_changes_no_measurement() {
     // hooks must be measurement-invisible — identical cycles, checksum,
     // and Table II counters.
     let workload = by_name("compress").expect("workload");
-    let bare = harness::run(workload.as_ref(), ProblemSize::S1, AgentChoice::ipa());
-    let plumbed = harness::try_run_traced(
-        workload.as_ref(),
-        ProblemSize::S1,
-        AgentChoice::ipa(),
-        None,
-        Some(Arc::new(FaultInjector::disabled())),
-    )
-    .expect("run");
+    let bare = Session::new(workload.as_ref(), ProblemSize::S1)
+        .agent(AgentChoice::ipa())
+        .run()
+        .expect("run");
+    let plumbed = Session::new(workload.as_ref(), ProblemSize::S1)
+        .agent(AgentChoice::ipa())
+        .faults(Arc::new(FaultInjector::disabled()))
+        .run()
+        .expect("run");
     assert_eq!(bare.seconds, plumbed.seconds);
     assert_eq!(bare.checksum, plumbed.checksum);
     let (a, b) = (bare.profile.unwrap(), plumbed.profile.unwrap());
@@ -120,7 +121,7 @@ fn disabled_injector_changes_no_measurement() {
 #[test]
 fn chaos_holds_invariants_and_is_deterministic() {
     let config = SuiteConfig::with_size(ProblemSize::S1).jobs(4);
-    let first = run_chaos(config, 2);
+    let first = run_chaos(config.clone(), 2);
     assert!(first.passed(), "{}", first.render());
     assert_eq!(first.cells, 48);
     assert!(first.injected() > 0, "chaos injected nothing");

@@ -72,11 +72,15 @@ pub enum FaultSite {
     /// Per-thread clock step-back: a timestamp read observes an earlier
     /// instant than the previous read; meters must saturate, not underflow.
     ClockStepBack,
+    /// Flip a byte of a content-addressed cache entry as it is read back;
+    /// digest verification must catch the poison, quarantine the entry and
+    /// recompute — a corrupted cache may cost time, never correctness.
+    CacheCorrupt,
 }
 
 impl FaultSite {
     /// Number of distinct sites.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every site, in a fixed order (indexing matches [`FaultSite::index`]).
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
@@ -88,6 +92,7 @@ impl FaultSite {
         FaultSite::ExporterWrite,
         FaultSite::ClockStall,
         FaultSite::ClockStepBack,
+        FaultSite::CacheCorrupt,
     ];
 
     /// Stable index of this site into rate/counter arrays.
@@ -102,6 +107,7 @@ impl FaultSite {
             FaultSite::ExporterWrite => 5,
             FaultSite::ClockStall => 6,
             FaultSite::ClockStepBack => 7,
+            FaultSite::CacheCorrupt => 8,
         }
     }
 
@@ -117,6 +123,7 @@ impl FaultSite {
             FaultSite::ExporterWrite => "exporter-write",
             FaultSite::ClockStall => "clock-stall",
             FaultSite::ClockStepBack => "clock-step-back",
+            FaultSite::CacheCorrupt => "cache-corrupt",
         }
     }
 
@@ -180,6 +187,7 @@ impl FaultPlan {
             .with_rate(FaultSite::ExporterWrite, 250_000)
             .with_rate(FaultSite::ClockStall, 10_000)
             .with_rate(FaultSite::ClockStepBack, 10_000)
+            .with_rate(FaultSite::CacheCorrupt, 150_000)
     }
 
     /// True if every rate is zero (the plan can never inject).

@@ -143,6 +143,16 @@ impl Archive {
         Ok(report)
     }
 
+    /// Content digest of the archive: the SHA-256 of its serialized form.
+    /// Entry order is part of the identity (it is part of [`to_bytes`]),
+    /// so two archives are digest-equal iff they are byte-equal on disk —
+    /// the property the content-addressed cache keys on.
+    ///
+    /// [`to_bytes`]: Archive::to_bytes
+    pub fn digest(&self) -> jvmsim_cache::Digest {
+        jvmsim_cache::Digest::of(&self.to_bytes())
+    }
+
     /// Serialize the whole archive to one binary blob.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -218,6 +228,22 @@ pub fn instrument_class_bytes(
     bytes: &[u8],
 ) -> Result<Option<Vec<u8>>, InstrError> {
     apply_to_bytes(transform, bytes)
+}
+
+/// The instrumentation-plane cache key for running the native-wrapper
+/// transform over `input` with `config`: the digest of the input archive
+/// bytes plus the wrapper configuration (and nothing else — deliberately
+/// not the workload, size, agent, or fault seed, so every suite cell and
+/// every chaos seed that instruments the same bytes shares one entry).
+pub fn instrumentation_cache_key(
+    input: &Archive,
+    config: &crate::native_wrapper::WrapperConfig,
+) -> jvmsim_cache::CacheKey {
+    let mut k = jvmsim_cache::KeyHasher::new("instr-archive");
+    k.field_str("transform", "native-wrapper");
+    k.field_digest("archive", input.digest());
+    k.field_digest("config", config.digest());
+    k.finish()
 }
 
 #[cfg(test)]
@@ -296,6 +322,45 @@ mod tests {
         assert!(a.get("t/Missing").is_none());
         let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["t/WithNat", "t/Plain"]);
+    }
+
+    #[test]
+    fn digest_is_content_identity() {
+        let a = sample_archive();
+        let b = sample_archive();
+        assert_eq!(a.digest(), b.digest());
+        let mut c = sample_archive();
+        c.instrument(&NativeWrapperTransform::new()).unwrap();
+        assert_ne!(a.digest(), c.digest(), "instrumentation changes identity");
+        // Digest pins the serialized form exactly.
+        assert_eq!(a.digest(), jvmsim_cache::Digest::of(&a.to_bytes()));
+    }
+
+    #[test]
+    fn instrumentation_cache_key_separates_inputs_and_configs() {
+        use crate::native_wrapper::WrapperConfig;
+        let a = sample_archive();
+        let cfg = WrapperConfig::default();
+        assert_eq!(
+            instrumentation_cache_key(&a, &cfg),
+            instrumentation_cache_key(&a, &cfg)
+        );
+        let other_cfg = WrapperConfig {
+            prefix: "$$other$$".into(),
+            ..Default::default()
+        };
+        assert_ne!(
+            instrumentation_cache_key(&a, &cfg),
+            instrumentation_cache_key(&a, &other_cfg)
+        );
+        let mut instrumented = sample_archive();
+        instrumented
+            .instrument(&NativeWrapperTransform::new())
+            .unwrap();
+        assert_ne!(
+            instrumentation_cache_key(&a, &cfg),
+            instrumentation_cache_key(&instrumented, &cfg)
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod error;
 pub mod native_wrapper;
 pub mod transform;
 
-pub use archive::{Archive, ArchiveReport};
+pub use archive::{instrumentation_cache_key, Archive, ArchiveReport};
 pub use bridge::bridge_class;
 pub use entry_hook::EntryHookTransform;
 pub use error::InstrError;

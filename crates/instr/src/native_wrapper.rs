@@ -68,6 +68,26 @@ impl Default for WrapperConfig {
     }
 }
 
+impl WrapperConfig {
+    /// Content digest of this configuration — a component of the
+    /// instrumentation-cache key. `skip_classes` is a [`HashSet`], so it
+    /// is absorbed in sorted order to keep the digest deterministic.
+    pub fn digest(&self) -> jvmsim_cache::Digest {
+        let mut k = jvmsim_cache::KeyHasher::new("wrapper-config");
+        k.field_str("prefix", &self.prefix);
+        k.field_str("bridge_class", &self.bridge_class);
+        k.field_str("begin_method", &self.begin_method);
+        k.field_str("end_method", &self.end_method);
+        let mut skips: Vec<&str> = self.skip_classes.iter().map(String::as_str).collect();
+        skips.sort_unstable();
+        k.field_u64("skip_classes", skips.len() as u64);
+        for s in skips {
+            k.field_str("skip", s);
+        }
+        k.finish().digest()
+    }
+}
+
 /// The native-method wrapper transform (Fig. 2 of the paper).
 #[derive(Debug, Clone, Default)]
 pub struct NativeWrapperTransform {

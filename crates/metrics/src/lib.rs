@@ -125,11 +125,19 @@ pub enum CounterId {
     CellsCompleted,
     /// Suite cells quarantined with a typed failure.
     CellsQuarantined,
+    /// Content-addressed cache lookups that verified and were served.
+    CacheHits,
+    /// Content-addressed cache lookups that found no entry.
+    CacheMisses,
+    /// Bytes moved through the content-addressed cache (reads + writes).
+    CacheBytes,
+    /// Cache entries that failed digest verification and were quarantined.
+    CacheQuarantined,
 }
 
 impl CounterId {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 18;
 
     /// Every counter, in dense-index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -147,6 +155,10 @@ impl CounterId {
         CounterId::CellsStarted,
         CounterId::CellsCompleted,
         CounterId::CellsQuarantined,
+        CounterId::CacheHits,
+        CounterId::CacheMisses,
+        CounterId::CacheBytes,
+        CounterId::CacheQuarantined,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -166,6 +178,10 @@ impl CounterId {
             CounterId::CellsStarted => 11,
             CounterId::CellsCompleted => 12,
             CounterId::CellsQuarantined => 13,
+            CounterId::CacheHits => 14,
+            CounterId::CacheMisses => 15,
+            CounterId::CacheBytes => 16,
+            CounterId::CacheQuarantined => 17,
         }
     }
 
@@ -186,6 +202,10 @@ impl CounterId {
             CounterId::CellsStarted => "cells_started",
             CounterId::CellsCompleted => "cells_completed",
             CounterId::CellsQuarantined => "cells_quarantined",
+            CounterId::CacheHits => "cache_hits",
+            CounterId::CacheMisses => "cache_misses",
+            CounterId::CacheBytes => "cache_bytes",
+            CounterId::CacheQuarantined => "cache_quarantined",
         }
     }
 }

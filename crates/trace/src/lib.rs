@@ -59,7 +59,10 @@
 
 pub mod chrome;
 pub mod csv;
+pub mod export;
 pub mod flame;
+
+pub use export::{registry, ChromeExporter, CsvExporter, FlameExporter, TraceExporter};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};

@@ -6,8 +6,9 @@
 //! cargo run --release --example jbb_throughput [size]
 //! ```
 
-use jnativeprof::harness::{run, throughput_overhead_percent, AgentChoice, HarnessRun};
-use workloads::{by_name, jbb, ProblemSize};
+use jnativeprof::harness::{throughput_overhead_percent, AgentChoice};
+use jnativeprof::session::{RunOutcome, Session};
+use workloads::{by_name, jbb, ProblemSize, Workload};
 
 fn main() {
     let size = std::env::args()
@@ -22,20 +23,23 @@ fn main() {
         size.0 * 20,
     );
 
-    let tx = |r: &HarnessRun| r.checksum.max(0) as u64;
+    let tx = |r: &RunOutcome| r.checksum.max(0) as u64;
+    let run = |w: &dyn Workload, agent: AgentChoice| {
+        Session::new(w, size).agent(agent).run().expect("jbb run")
+    };
 
-    let base = run(workload.as_ref(), size, AgentChoice::None);
+    let base = run(workload.as_ref(), AgentChoice::None);
     let base_thr = base.throughput(tx(&base));
     println!("  original: {base_thr:>12.1} tx/s");
 
-    let spa = run(workload.as_ref(), size, AgentChoice::Spa);
+    let spa = run(workload.as_ref(), AgentChoice::Spa);
     let spa_thr = spa.throughput(tx(&spa));
     println!(
         "  SPA:      {spa_thr:>12.1} tx/s  (overhead {:.2}%)",
         throughput_overhead_percent(base_thr, spa_thr)
     );
 
-    let ipa = run(workload.as_ref(), size, AgentChoice::ipa());
+    let ipa = run(workload.as_ref(), AgentChoice::ipa());
     let ipa_thr = ipa.throughput(tx(&ipa));
     println!(
         "  IPA:      {ipa_thr:>12.1} tx/s  (overhead {:.2}%)",

@@ -9,7 +9,8 @@
 //! `MethodExit` events disable the JIT and cost thousands of percent, while
 //! IPA's transition-only measurement costs a few percent.
 
-use jnativeprof::harness::{overhead_percent, run, AgentChoice};
+use jnativeprof::harness::{overhead_percent, AgentChoice};
+use jnativeprof::session::Session;
 use workloads::{by_name, ProblemSize};
 
 fn main() {
@@ -26,10 +27,16 @@ fn main() {
     };
 
     println!("benchmark `{name}`, problem size {}:", size.0);
-    let base = run(workload.as_ref(), size, AgentChoice::None);
+    let run = |agent: AgentChoice| {
+        Session::new(workload.as_ref(), size)
+            .agent(agent)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    };
+    let base = run(AgentChoice::None);
     println!("  original: {:.4} s", base.seconds);
 
-    let spa = run(workload.as_ref(), size, AgentChoice::Spa);
+    let spa = run(AgentChoice::Spa);
     assert_eq!(base.checksum, spa.checksum, "SPA must not change behaviour");
     println!(
         "  SPA:      {:.4} s  ({:+.2}% — events disabled the JIT)",
@@ -37,7 +44,7 @@ fn main() {
         overhead_percent(&base, &spa)
     );
 
-    let ipa = run(workload.as_ref(), size, AgentChoice::ipa());
+    let ipa = run(AgentChoice::ipa());
     assert_eq!(base.checksum, ipa.checksum, "IPA must not change behaviour");
     println!(
         "  IPA:      {:.4} s  ({:+.2}% — measurement only at transitions)",

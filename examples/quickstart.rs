@@ -11,7 +11,8 @@
 //! the paper's Table II quantities: % native execution, intercepted JNI
 //! calls, and native method invocations.
 
-use jnativeprof::harness::{run, AgentChoice};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::Session;
 use workloads::{by_name, ProblemSize};
 
 fn main() {
@@ -30,7 +31,10 @@ fn main() {
     };
 
     println!("profiling `{name}` at problem size {} with IPA …\n", size.0);
-    let result = run(workload.as_ref(), size, AgentChoice::ipa());
+    let result = Session::new(workload.as_ref(), size)
+        .agent(AgentChoice::ipa())
+        .run()
+        .expect("profiled run");
     let profile = result.profile.expect("IPA attached");
 
     println!("{profile}");

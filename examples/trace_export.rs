@@ -12,8 +12,9 @@
 
 use std::sync::Arc;
 
-use jnativeprof::harness::{self, AgentChoice};
-use jvmsim_trace::{chrome, csv, flame, TraceRecorder};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::Session;
+use jvmsim_trace::{export, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use workloads::{by_name, ProblemSize};
 
@@ -27,22 +28,25 @@ fn main() {
     let workload = by_name(&name).unwrap_or_else(|| panic!("unknown workload {name}"));
 
     let recorder = TraceRecorder::new(1 << 20);
-    let run = harness::run_traced(
-        workload.as_ref(),
-        size,
-        AgentChoice::ipa(),
-        Some(Arc::clone(&recorder) as Arc<dyn TraceSink>),
-    );
+    let run = Session::new(workload.as_ref(), size)
+        .agent(AgentChoice::ipa())
+        .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+        .run()
+        .expect("traced run");
     let profile = run.profile.as_ref().expect("IPA attached");
     let snapshot = recorder.snapshot();
 
-    std::fs::write(
-        "trace.json",
-        chrome::chrome_trace_json(&snapshot, run.pcl.clock_hz()).expect("clock rate"),
-    )
-    .expect("write trace.json");
-    std::fs::write("trace.folded", flame::collapsed_stacks(&snapshot)).expect("write trace.folded");
-    std::fs::write("events.csv", csv::events_csv(&snapshot)).expect("write events.csv");
+    // One pass over the exporter registry writes every artifact format.
+    for exporter in export::registry(run.pcl.clock_hz()) {
+        let path = match exporter.name() {
+            "chrome" => "trace.json".to_owned(),
+            "events-csv" => "events.csv".to_owned(),
+            _ => format!("trace.{}", exporter.extension()),
+        };
+        let mut out = Vec::new();
+        exporter.export(&snapshot, &mut out).expect("render");
+        std::fs::write(&path, &out).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    }
 
     println!(
         "{name} at size {}: {:.4} virtual seconds",

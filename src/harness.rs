@@ -1,20 +1,28 @@
 //! The experiment harness: run any workload under no agent, SPA, or IPA,
 //! and collect the quantities the paper's Tables I and II report.
+//!
+//! The run entry points live in [`crate::session`]: build a
+//! [`Session`](crate::session::Session), name the planes you want (agent,
+//! trace, faults, metrics, cache), and call `run()`. The free functions
+//! here ([`run`], [`run_traced`], [`try_run_traced`], [`try_run_metered`])
+//! are deprecated shims over that builder, kept so the historical
+//! positional API keeps compiling.
 
 use std::sync::Arc;
 
 use jvmsim_faults::FaultInjector;
-use jvmsim_instr::Archive;
-use jvmsim_jvmti::Agent;
 use jvmsim_metrics::{Bucket, MetricsRegistry};
-use jvmsim_pcl::Pcl;
-use jvmsim_vm::{builtins, RunOutcome, TraceSink, Value, Vm};
-use nativeprof::{IpaAgent, IpaConfig, NativeProfile, SpaAgent};
-use workloads::{ProblemSize, Workload, WorkloadProgram};
+use jvmsim_vm::TraceSink;
+use nativeprof::IpaConfig;
+use workloads::{ProblemSize, Workload};
+
+use crate::session::Session;
 
 /// Typed failure taxonomy for a harness run — the graceful-degradation
 /// alternative to the panicking [`run`]/[`run_traced`] entry points, used
-/// by the suite driver to quarantine failing cells instead of dying.
+/// by the suite driver to quarantine failing cells instead of dying, and
+/// by `jprof` as its single exit-code path (see
+/// [`HarnessError::exit_code`]).
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum HarnessError {
@@ -28,6 +36,35 @@ pub enum HarnessError {
     Escaped(String),
     /// The entry method completed but did not return an `int` checksum.
     BadChecksum(String),
+    /// The command line could not be understood (unknown subcommand, bad
+    /// flag, bad value). The message includes usage text.
+    Usage(String),
+    /// An artifact could not be written or rendered.
+    Artifact(String),
+    /// The run completed but degraded: cells were quarantined, invariants
+    /// broke, or two views of the same data disagreed.
+    Degraded(String),
+}
+
+impl HarnessError {
+    /// Stable process exit code for this failure class — the one `jprof`
+    /// exits with, so scripts can distinguish "you typed it wrong" (2)
+    /// from "the run degraded" (9) without parsing stderr. `0` is success
+    /// and `1` is reserved for untyped/unexpected exits, so every variant
+    /// maps to a distinct code ≥ 2.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            HarnessError::Usage(_) => 2,
+            HarnessError::Instrument(_) => 3,
+            HarnessError::Attach(_) => 4,
+            HarnessError::Vm(_) => 5,
+            HarnessError::Escaped(_) => 6,
+            HarnessError::BadChecksum(_) => 7,
+            HarnessError::Artifact(_) => 8,
+            HarnessError::Degraded(_) => 9,
+        }
+    }
 }
 
 impl std::fmt::Display for HarnessError {
@@ -38,6 +75,9 @@ impl std::fmt::Display for HarnessError {
             HarnessError::Vm(e) => write!(f, "vm error: {e}"),
             HarnessError::Escaped(e) => write!(f, "exception escaped entry method: {e}"),
             HarnessError::BadChecksum(e) => write!(f, "entry method returned {e}, expected int"),
+            HarnessError::Usage(e) => write!(f, "{e}"),
+            HarnessError::Artifact(e) => write!(f, "artifact error: {e}"),
+            HarnessError::Degraded(e) => write!(f, "{e}"),
         }
     }
 }
@@ -82,108 +122,92 @@ impl AgentChoice {
 }
 
 /// Result of one harness run.
-#[derive(Debug)]
-pub struct HarnessRun {
-    /// Workload name.
-    pub workload: String,
-    /// Agent label (`original` / `SPA` / `IPA`).
-    pub agent: &'static str,
-    /// Raw VM outcome (per-thread cycles, ground-truth stats).
-    pub outcome: RunOutcome,
-    /// The agent's profile, if one was attached.
-    pub profile: Option<NativeProfile>,
-    /// Virtual wall-clock seconds (total cycles at the PCL clock rate).
-    pub seconds: f64,
-    /// The workload checksum (for behavioural-equivalence checks).
-    pub checksum: i64,
-    /// The PCL registry of the run (for cycle→second conversions).
-    pub pcl: Pcl,
-}
-
-impl HarnessRun {
-    /// JBB-style throughput: `units` completed per virtual second.
-    pub fn throughput(&self, units: u64) -> f64 {
-        if self.seconds > 0.0 {
-            units as f64 / self.seconds
-        } else {
-            0.0
-        }
-    }
-}
-
-fn encode_program_archive(program: &WorkloadProgram) -> Archive {
-    let mut archive = Archive::new();
-    for (name, bytes) in builtins::boot_archive() {
-        archive
-            .insert_bytes(name, bytes)
-            .expect("unique boot class");
-    }
-    for class in &program.classes {
-        archive.insert_class(class).expect("unique app class");
-    }
-    archive
-}
+#[deprecated(since = "0.2.0", note = "renamed to `session::RunOutcome`")]
+pub type HarnessRun = crate::session::RunOutcome;
 
 /// Run `workload` at `size` under `agent`.
-///
-/// For [`AgentChoice::Ipa`] in static mode this performs the paper's full
-/// pipeline: the application archive **and** the bootstrap library (the
-/// `rt.jar` analog) are rewritten by the native-wrapper transform before
-/// the VM starts, and the wrapper prefix is announced via JVMTI.
 ///
 /// # Panics
 ///
 /// Panics on linkage errors or escaped exceptions — harness programs are
 /// expected to be self-contained (failure injection is tested at the VM
 /// layer).
-pub fn run(workload: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> HarnessRun {
-    run_traced(workload, size, agent, None)
-}
-
-/// [`run`], with an optional transition-trace sink installed before the
-/// agent attaches (so IPA's probes adopt it and J2N/N2J events land in the
-/// same recorder as the VM's thread/compile events). Tracing charges no
-/// cycles: a traced run's Table I/II quantities are identical to an
-/// untraced one's.
-///
-/// # Panics
-///
-/// As [`run`].
-pub fn run_traced(
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::Session::new(..).agent(..).run()`"
+)]
+pub fn run(
     workload: &dyn Workload,
     size: ProblemSize,
     agent: AgentChoice,
-    trace: Option<Arc<dyn TraceSink>>,
-) -> HarnessRun {
-    match try_run_traced(workload, size, agent, trace, None) {
+) -> crate::session::RunOutcome {
+    match Session::new(workload, size).agent(agent).run() {
         Ok(run) => run,
         Err(e) => panic!("{}: {e}", workload.name()),
     }
 }
 
-/// Fallible [`run_traced`]: every failure mode — instrumentation, attach,
-/// VM-level errors, escaped exceptions, bad checksums — comes back as a
-/// typed [`HarnessError`] instead of a panic, and an optional
-/// [`FaultInjector`] is installed on the VM **before** the JVMTI shim
-/// attaches so the VM, the shim's virtual clock, and the agents all share
-/// one deterministic fault schedule.
+/// [`run`], with an optional transition-trace sink.
+///
+/// # Panics
+///
+/// As [`run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::Session::new(..).agent(..).trace(..).run()`"
+)]
+pub fn run_traced(
+    workload: &dyn Workload,
+    size: ProblemSize,
+    agent: AgentChoice,
+    trace: Option<Arc<dyn TraceSink>>,
+) -> crate::session::RunOutcome {
+    let mut session = Session::new(workload, size).agent(agent);
+    if let Some(trace) = trace {
+        session = session.trace(trace);
+    }
+    match session.run() {
+        Ok(run) => run,
+        Err(e) => panic!("{}: {e}", workload.name()),
+    }
+}
+
+/// Fallible [`run_traced`] with an optional [`FaultInjector`].
+///
+/// # Errors
+///
+/// As [`Session::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::Session::new(..).agent(..).trace(..).faults(..).run()`"
+)]
 pub fn try_run_traced(
     workload: &dyn Workload,
     size: ProblemSize,
     agent: AgentChoice,
     trace: Option<Arc<dyn TraceSink>>,
     faults: Option<Arc<FaultInjector>>,
-) -> Result<HarnessRun, HarnessError> {
-    try_run_metered(workload, size, agent, trace, faults, None)
+) -> Result<crate::session::RunOutcome, HarnessError> {
+    let mut session = Session::new(workload, size).agent(agent);
+    if let Some(trace) = trace {
+        session = session.trace(trace);
+    }
+    if let Some(faults) = faults {
+        session = session.faults(faults);
+    }
+    session.run()
 }
 
-/// Fallible [`run_traced`] with an optional [`MetricsRegistry`]: when one
-/// is supplied it is installed on the VM **before any thread exists** (so
-/// every PCL clock mirrors its charges into a per-thread shard from cycle
-/// zero) and its agent bucket is declared from the [`AgentChoice`] before
-/// the agent attaches. Recording never charges cycles, so a metered run's
-/// Table I/II quantities are identical to an unmetered one's; the caller
-/// snapshots the registry after the run.
+/// Fallible [`run_traced`] with optional fault and metrics planes — the
+/// historical kitchen-sink entry point, superseded by the named builder.
+///
+/// # Errors
+///
+/// As [`Session::run`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `session::Session::new(..).agent(..).trace(..).faults(..).metrics(..).run()`"
+)]
 pub fn try_run_metered(
     workload: &dyn Workload,
     size: ProblemSize,
@@ -191,90 +215,26 @@ pub fn try_run_metered(
     trace: Option<Arc<dyn TraceSink>>,
     faults: Option<Arc<FaultInjector>>,
     metrics: Option<MetricsRegistry>,
-) -> Result<HarnessRun, HarnessError> {
-    let program = workload.program();
-    let mut vm = Vm::new();
-    if let Some(metrics) = metrics {
-        metrics.set_agent_bucket(agent.bucket());
-        vm.set_metrics(metrics);
-    }
+) -> Result<crate::session::RunOutcome, HarnessError> {
+    let mut session = Session::new(workload, size).agent(agent);
     if let Some(trace) = trace {
-        vm.set_trace_sink(trace);
+        session = session.trace(trace);
     }
     if let Some(faults) = faults {
-        vm.set_fault_injector(faults);
+        session = session.faults(faults);
     }
-    let label = agent.label();
-
-    let profile_source: Option<ProfileSource> = match agent {
-        AgentChoice::None => {
-            vm.add_archive(encode_program_archive(&program));
-            None
-        }
-        AgentChoice::Spa => {
-            vm.add_archive(encode_program_archive(&program));
-            let spa = SpaAgent::new();
-            jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>)
-                .map_err(|e| HarnessError::Attach(format!("SPA: {e}")))?;
-            Some(ProfileSource::Spa(spa))
-        }
-        AgentChoice::Ipa(config) => {
-            let ipa = IpaAgent::with_config(config.clone());
-            let mut archive = encode_program_archive(&program);
-            if config.mode == nativeprof::InstrumentationMode::Static {
-                ipa.instrument_archive(&mut archive)
-                    .map_err(|e| HarnessError::Instrument(e.to_string()))?;
-            }
-            vm.add_archive(archive);
-            jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
-                .map_err(|e| HarnessError::Attach(format!("IPA: {e}")))?;
-            Some(ProfileSource::Ipa(ipa))
-        }
-    };
-    // Native libraries: the JDK's plus the workload's.
-    vm.register_native_library(builtins::libjava(), true);
-    for lib in &program.libraries {
-        vm.register_native_library(lib.clone(), true);
+    if let Some(metrics) = metrics {
+        session = session.metrics(metrics);
     }
-
-    let pcl = vm.pcl();
-    let outcome = vm
-        .run(
-            &program.entry_class,
-            &program.entry_method,
-            "(I)I",
-            vec![Value::Int(i64::from(size.0))],
-        )
-        .map_err(|e| HarnessError::Vm(e.to_string()))?;
-    let checksum = match &outcome.main {
-        Ok(Value::Int(v)) => *v,
-        Err(escaped) => return Err(HarnessError::Escaped(escaped.to_string())),
-        other => return Err(HarnessError::BadChecksum(format!("{other:?}"))),
-    };
-    let seconds = pcl.cycles_to_seconds(outcome.total_cycles);
-    let profile = profile_source.map(|p| match p {
-        ProfileSource::Spa(a) => a.report(),
-        ProfileSource::Ipa(a) => a.report(),
-    });
-    Ok(HarnessRun {
-        workload: workload.name().to_owned(),
-        agent: label,
-        outcome,
-        profile,
-        seconds,
-        checksum,
-        pcl,
-    })
-}
-
-enum ProfileSource {
-    Spa(Arc<SpaAgent>),
-    Ipa(Arc<IpaAgent>),
+    session.run()
 }
 
 /// Overhead of `with` relative to `baseline`, as the paper computes it:
 /// `(time_with / time_without − 1) × 100`.
-pub fn overhead_percent(baseline: &HarnessRun, with: &HarnessRun) -> f64 {
+pub fn overhead_percent(
+    baseline: &crate::session::RunOutcome,
+    with: &crate::session::RunOutcome,
+) -> f64 {
     if baseline.seconds == 0.0 {
         return 0.0;
     }
@@ -310,6 +270,7 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::RunOutcome;
     use workloads::by_name;
 
     #[test]
@@ -324,7 +285,7 @@ mod tests {
     #[test]
     fn overhead_math_matches_the_paper_formulas() {
         // (time_with / time_without − 1) × 100
-        let mk = |seconds: f64| HarnessRun {
+        let mk = |seconds: f64| RunOutcome {
             workload: "x".into(),
             agent: "original",
             outcome: {
@@ -341,6 +302,7 @@ mod tests {
             seconds,
             checksum: 0,
             pcl: jvmsim_pcl::Pcl::new(),
+            instr_cache_hit: None,
         };
         let base = mk(2.0);
         let with = mk(3.0);
@@ -361,8 +323,30 @@ mod tests {
     }
 
     #[test]
-    fn jbb_throughput_computation() {
+    fn error_exit_codes_are_distinct_and_reserved() {
+        let variants = [
+            HarnessError::Instrument(String::new()),
+            HarnessError::Attach(String::new()),
+            HarnessError::Vm(String::new()),
+            HarnessError::Escaped(String::new()),
+            HarnessError::BadChecksum(String::new()),
+            HarnessError::Usage(String::new()),
+            HarnessError::Artifact(String::new()),
+            HarnessError::Degraded(String::new()),
+        ];
+        let mut codes: Vec<u8> = variants.iter().map(HarnessError::exit_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), variants.len(), "exit codes must be distinct");
+        // 0 = success, 1 = untyped exit: both reserved.
+        assert!(codes.iter().all(|&c| c >= 2));
+        assert_eq!(HarnessError::Usage(String::new()).exit_code(), 2);
+    }
+
+    #[test]
+    fn deprecated_shims_still_run() {
         let w = by_name("jbb").unwrap();
+        #[allow(deprecated)]
         let r = run(w.as_ref(), workloads::ProblemSize(1), AgentChoice::None);
         let tx = r.checksum.max(0) as u64;
         assert!(tx > 0);

@@ -15,11 +15,15 @@
 //! * [`workloads`] — the JVM98/JBB2005-like benchmark suite
 //!
 //! ```
-//! use jnativeprof::harness::{run, AgentChoice};
+//! use jnativeprof::harness::AgentChoice;
+//! use jnativeprof::session::Session;
 //! use jnativeprof::workloads::{by_name, ProblemSize};
 //!
 //! let workload = by_name("mtrt").unwrap();
-//! let result = run(workload.as_ref(), ProblemSize::S1, AgentChoice::ipa());
+//! let result = Session::new(workload.as_ref(), ProblemSize::S1)
+//!     .agent(AgentChoice::ipa())
+//!     .run()
+//!     .unwrap();
 //! let profile = result.profile.unwrap();
 //! assert!(profile.percent_native() < 30.0);
 //! ```
@@ -28,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod session;
 
 pub use jvmsim_classfile as classfile;
 pub use jvmsim_instr as instr;

@@ -1,0 +1,500 @@
+//! The unified run API: one [`Session`] builder instead of four stacked
+//! free functions.
+//!
+//! The harness historically grew `run` → `run_traced` → `try_run_traced`
+//! → `try_run_metered`, each adding one optional plane as a positional
+//! argument. A [`Session`] names every plane instead:
+//!
+//! ```
+//! use jnativeprof::harness::AgentChoice;
+//! use jnativeprof::session::Session;
+//! use jnativeprof::workloads::{by_name, ProblemSize};
+//!
+//! let workload = by_name("mtrt").unwrap();
+//! let run = Session::new(workload.as_ref(), ProblemSize::S1)
+//!     .agent(AgentChoice::ipa())
+//!     .run()
+//!     .unwrap();
+//! assert!(run.profile.unwrap().percent_native() < 30.0);
+//! ```
+//!
+//! A session can also carry a content-addressed [`CacheStore`]: static IPA
+//! instrumentation is then memoized on the cache's instrumentation plane
+//! (keyed by input archive bytes + wrapper configuration, so every cell
+//! and every chaos seed shares one entry), and [`Session::result_key`]
+//! derives the cell-result-plane identity the suite driver memoizes
+//! completed rows under. Every cache hit re-verifies the stored digest;
+//! a poisoned entry is quarantined and the work recomputed, so a cached
+//! session can never differ from an uncached one by a single byte.
+
+use std::sync::Arc;
+
+use jvmsim_cache::{CacheKey, CacheStore, KeyHasher, Plane};
+use jvmsim_faults::FaultInjector;
+use jvmsim_instr::{instrumentation_cache_key, Archive};
+use jvmsim_jvmti::Agent;
+use jvmsim_metrics::MetricsRegistry;
+use jvmsim_pcl::Pcl;
+use jvmsim_vm::cost::CostModel;
+use jvmsim_vm::{builtins, TraceSink, Value, Vm};
+use nativeprof::{InstrumentationMode, IpaAgent, NativeProfile, SpaAgent};
+use workloads::{ProblemSize, Workload, WorkloadProgram};
+
+use crate::harness::{AgentChoice, HarnessError};
+
+/// Result of one [`Session`] run.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Agent label (`original` / `SPA` / `IPA`).
+    pub agent: &'static str,
+    /// Raw VM outcome (per-thread cycles, ground-truth stats).
+    pub outcome: jvmsim_vm::RunOutcome,
+    /// The agent's profile, if one was attached.
+    pub profile: Option<NativeProfile>,
+    /// Virtual wall-clock seconds (total cycles at the PCL clock rate).
+    pub seconds: f64,
+    /// The workload checksum (for behavioural-equivalence checks).
+    pub checksum: i64,
+    /// The PCL registry of the run (for cycle→second conversions).
+    pub pcl: Pcl,
+    /// Whether static instrumentation was served from the session's cache:
+    /// `None` when no cache was consulted (no cache configured, or the
+    /// agent performs no static instrumentation), `Some(true)` on a
+    /// verified hit, `Some(false)` on a miss (instrumented fresh, entry
+    /// stored for the next run).
+    pub instr_cache_hit: Option<bool>,
+}
+
+impl RunOutcome {
+    /// JBB-style throughput: `units` completed per virtual second.
+    pub fn throughput(&self, units: u64) -> f64 {
+        if self.seconds > 0.0 {
+            units as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Builder for one harness run. See the [module docs][self] for the
+/// shape; every plane (agent, trace, faults, metrics, cache) is optional
+/// and named.
+#[derive(Clone)]
+pub struct Session<'w> {
+    workload: &'w dyn Workload,
+    size: ProblemSize,
+    agent: AgentChoice,
+    trace: Option<Arc<dyn TraceSink>>,
+    faults: Option<Arc<FaultInjector>>,
+    metrics: Option<MetricsRegistry>,
+    cache: Option<CacheStore>,
+}
+
+impl std::fmt::Debug for Session<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("workload", &self.workload.name())
+            .field("size", &self.size)
+            .field("agent", &self.agent.label())
+            .field("trace", &self.trace.is_some())
+            .field("faults", &self.faults.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .field("cache", &self.cache.is_some())
+            .finish()
+    }
+}
+
+impl<'w> Session<'w> {
+    /// A session for `workload` at `size`, with no agent and no optional
+    /// planes — the "time original" baseline of Table I.
+    #[must_use]
+    pub fn new(workload: &'w dyn Workload, size: ProblemSize) -> Session<'w> {
+        Session {
+            workload,
+            size,
+            agent: AgentChoice::None,
+            trace: None,
+            faults: None,
+            metrics: None,
+            cache: None,
+        }
+    }
+
+    /// Attach a profiling agent.
+    #[must_use]
+    pub fn agent(mut self, agent: AgentChoice) -> Self {
+        self.agent = agent;
+        self
+    }
+
+    /// Install a transition-trace sink before the agent attaches (so
+    /// IPA's probes adopt it and J2N/N2J events land in the same recorder
+    /// as the VM's thread/compile events). Tracing charges no cycles: a
+    /// traced run's Table I/II quantities are identical to an untraced
+    /// one's.
+    #[must_use]
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Install a deterministic fault injector on the VM **before** the
+    /// JVMTI shim attaches, so the VM, the shim's virtual clock, and the
+    /// agents all share one fault schedule.
+    #[must_use]
+    pub fn faults(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.faults = Some(injector);
+        self
+    }
+
+    /// Install a [`MetricsRegistry`] on the VM **before any thread
+    /// exists** (so every PCL clock mirrors its charges into a per-thread
+    /// shard from cycle zero). Recording never charges cycles; the caller
+    /// snapshots the registry after the run.
+    #[must_use]
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Consult `store` for memoized static instrumentation. Pass a handle
+    /// scoped with [`CacheStore::with_metrics`]/[`CacheStore::with_faults`]
+    /// to route hit/miss accounting and chaos corruption per cell.
+    #[must_use]
+    pub fn cache(mut self, store: CacheStore) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// The cell-result-plane cache key identifying this session's
+    /// deterministic outcome: a digest over the workload (name, size, and
+    /// the exact program + boot archive bytes), the agent and its full
+    /// configuration, the VM cost model, and the fault plan. Trace sinks
+    /// and metrics registries are deliberately excluded — they never
+    /// change a run's Table I/II quantities. Two sessions with equal keys
+    /// produce bit-identical [`RunOutcome`] quantities; the suite driver
+    /// memoizes completed rows under this key.
+    #[must_use]
+    pub fn result_key(&self) -> CacheKey {
+        let program = self.workload.program();
+        let archive = encode_program_archive(&program);
+        let mut k = KeyHasher::new("cell-result");
+        k.field_str("workload", self.workload.name());
+        k.field_u64("size", self.size.0 as u64);
+        k.field_str("agent", self.agent.label());
+        if let AgentChoice::Ipa(config) = &self.agent {
+            k.field_u64(
+                "ipa_mode",
+                match config.mode {
+                    InstrumentationMode::Static => 0,
+                    InstrumentationMode::Dynamic => 1,
+                },
+            );
+            k.field_u64("ipa_compensate", u64::from(config.compensate));
+            k.field_digest("wrapper", config.wrapper.digest());
+        }
+        absorb_cost_model(&mut k, &CostModel::default());
+        match &self.faults {
+            Some(injector) => {
+                let plan = injector.plan();
+                k.field_u64("fault_seed", plan.seed);
+                for (i, &rate) in plan.rates_ppm.iter().enumerate() {
+                    k.field_u64(&format!("fault_rate_{i}"), u64::from(rate));
+                }
+            }
+            None => k.field_str("faults", "none"),
+        }
+        k.field_digest("archive", archive.digest());
+        k.finish()
+    }
+
+    /// Execute the session.
+    ///
+    /// For [`AgentChoice::Ipa`] in static mode this performs the paper's
+    /// full pipeline: the application archive **and** the bootstrap
+    /// library (the `rt.jar` analog) are rewritten by the native-wrapper
+    /// transform before the VM starts, and the wrapper prefix is announced
+    /// via JVMTI. With a cache attached, the rewritten archive is served
+    /// from (or stored to) the instrumentation plane.
+    ///
+    /// # Errors
+    ///
+    /// Every failure mode — instrumentation, attach, VM-level errors,
+    /// escaped exceptions, bad checksums — comes back as a typed
+    /// [`HarnessError`].
+    pub fn run(self) -> Result<RunOutcome, HarnessError> {
+        let program = self.workload.program();
+        let mut vm = Vm::new();
+        if let Some(metrics) = &self.metrics {
+            metrics.set_agent_bucket(self.agent.bucket());
+            vm.set_metrics(metrics.clone());
+        }
+        if let Some(trace) = self.trace {
+            vm.set_trace_sink(trace);
+        }
+        if let Some(faults) = &self.faults {
+            vm.set_fault_injector(Arc::clone(faults));
+        }
+        let label = self.agent.label();
+        let mut instr_cache_hit = None;
+
+        let profile_source: Option<ProfileSource> = match self.agent {
+            AgentChoice::None => {
+                vm.add_archive(encode_program_archive(&program));
+                None
+            }
+            AgentChoice::Spa => {
+                vm.add_archive(encode_program_archive(&program));
+                let spa = SpaAgent::new();
+                jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>)
+                    .map_err(|e| HarnessError::Attach(format!("SPA: {e}")))?;
+                Some(ProfileSource::Spa(spa))
+            }
+            AgentChoice::Ipa(config) => {
+                let ipa = IpaAgent::with_config(config.clone());
+                let mut archive = encode_program_archive(&program);
+                if config.mode == InstrumentationMode::Static {
+                    match &self.cache {
+                        Some(cache) => {
+                            let key = instrumentation_cache_key(&archive, &config.wrapper);
+                            let mut served = false;
+                            if let Some(bytes) = cache.lookup(Plane::Instrumentation, &key) {
+                                // The entry's digest verified, so these are
+                                // exactly the bytes a fresh instrumentation
+                                // run stored; a decode failure can only mean
+                                // a foreign/stale payload under this key —
+                                // quarantine it and recompute.
+                                match Archive::from_bytes(&bytes) {
+                                    Ok(cached) => {
+                                        archive = cached;
+                                        served = true;
+                                    }
+                                    Err(_) => cache.quarantine(Plane::Instrumentation, &key),
+                                }
+                            }
+                            if !served {
+                                ipa.instrument_archive(&mut archive)
+                                    .map_err(|e| HarnessError::Instrument(e.to_string()))?;
+                                // A failed store only means the next run
+                                // pays instrumentation again.
+                                let _ =
+                                    cache.store(Plane::Instrumentation, &key, &archive.to_bytes());
+                            }
+                            instr_cache_hit = Some(served);
+                        }
+                        None => {
+                            ipa.instrument_archive(&mut archive)
+                                .map_err(|e| HarnessError::Instrument(e.to_string()))?;
+                        }
+                    }
+                }
+                vm.add_archive(archive);
+                jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
+                    .map_err(|e| HarnessError::Attach(format!("IPA: {e}")))?;
+                Some(ProfileSource::Ipa(ipa))
+            }
+        };
+        // Native libraries: the JDK's plus the workload's.
+        vm.register_native_library(builtins::libjava(), true);
+        for lib in &program.libraries {
+            vm.register_native_library(lib.clone(), true);
+        }
+
+        let pcl = vm.pcl();
+        let outcome = vm
+            .run(
+                &program.entry_class,
+                &program.entry_method,
+                "(I)I",
+                vec![Value::Int(i64::from(self.size.0))],
+            )
+            .map_err(|e| HarnessError::Vm(e.to_string()))?;
+        let checksum = match &outcome.main {
+            Ok(Value::Int(v)) => *v,
+            Err(escaped) => return Err(HarnessError::Escaped(escaped.to_string())),
+            other => return Err(HarnessError::BadChecksum(format!("{other:?}"))),
+        };
+        let seconds = pcl.cycles_to_seconds(outcome.total_cycles);
+        let profile = profile_source.map(|p| match p {
+            ProfileSource::Spa(a) => a.report(),
+            ProfileSource::Ipa(a) => a.report(),
+        });
+        Ok(RunOutcome {
+            workload: self.workload.name().to_owned(),
+            agent: label,
+            outcome,
+            profile,
+            seconds,
+            checksum,
+            pcl,
+            instr_cache_hit,
+        })
+    }
+}
+
+enum ProfileSource {
+    Spa(Arc<SpaAgent>),
+    Ipa(Arc<IpaAgent>),
+}
+
+/// Encode a workload program (plus the boot library) into one archive —
+/// the input to both instrumentation and the cache-key derivations.
+pub(crate) fn encode_program_archive(program: &WorkloadProgram) -> Archive {
+    let mut archive = Archive::new();
+    for (name, bytes) in builtins::boot_archive() {
+        archive
+            .insert_bytes(name, bytes)
+            .expect("unique boot class");
+    }
+    for class in &program.classes {
+        archive.insert_class(class).expect("unique app class");
+    }
+    archive
+}
+
+/// Absorb every cost-model field, in declaration order, into a key. The
+/// cost model is part of a run's identity: a recalibrated model must never
+/// serve results cached under the old one.
+fn absorb_cost_model(k: &mut KeyHasher, c: &CostModel) {
+    for (name, v) in [
+        ("interp_insn", c.interp_insn),
+        ("jit_insn", c.jit_insn),
+        ("jit_threshold", u64::from(c.jit_threshold)),
+        (
+            "osr_backedge_threshold",
+            u64::from(c.osr_backedge_threshold),
+        ),
+        ("call_overhead_interp", c.call_overhead_interp),
+        ("call_overhead_jit", c.call_overhead_jit),
+        ("alloc_object", c.alloc_object),
+        ("alloc_array_base", c.alloc_array_base),
+        ("alloc_array_per_8", c.alloc_array_per_8),
+        ("native_dispatch", c.native_dispatch),
+        ("jni_invoke", c.jni_invoke),
+        ("event_dispatch", c.event_dispatch),
+        ("tls_access", c.tls_access),
+        ("timestamp_read", c.timestamp_read),
+        ("raw_monitor", c.raw_monitor),
+        ("agent_logic", c.agent_logic),
+        ("sample_dispatch", c.sample_dispatch),
+    ] {
+        k.field_u64(name, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jvmsim_faults::FaultPlan;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use workloads::by_name;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "jnativeprof-session-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn session_matches_the_legacy_entry_points() {
+        let w = by_name("compress").unwrap();
+        let new = Session::new(w.as_ref(), ProblemSize::S1)
+            .agent(AgentChoice::ipa())
+            .run()
+            .unwrap();
+        #[allow(deprecated)]
+        let old = crate::harness::run(w.as_ref(), ProblemSize::S1, AgentChoice::ipa());
+        assert_eq!(new.checksum, old.checksum);
+        assert_eq!(new.seconds, old.seconds);
+        assert_eq!(new.outcome.total_cycles, old.outcome.total_cycles);
+        assert_eq!(new.agent, "IPA");
+        assert_eq!(new.instr_cache_hit, None, "no cache configured");
+    }
+
+    #[test]
+    fn instrumentation_cache_round_trip_is_invisible() {
+        let store = CacheStore::open(scratch("instr")).unwrap();
+        let w = by_name("compress").unwrap();
+        let run = |expect_hit: Option<bool>| {
+            let r = Session::new(w.as_ref(), ProblemSize::S1)
+                .agent(AgentChoice::ipa())
+                .cache(store.clone())
+                .run()
+                .unwrap();
+            assert_eq!(r.instr_cache_hit, expect_hit);
+            (r.checksum, r.seconds.to_bits(), r.outcome.total_cycles)
+        };
+        let cold = run(Some(false));
+        let warm = run(Some(true));
+        assert_eq!(cold, warm, "cached instrumentation changed the run");
+        assert_eq!(store.stats().hits, 1);
+        assert_eq!(store.stats().quarantined, 0);
+    }
+
+    #[test]
+    fn corrupted_instrumentation_entry_recomputes() {
+        let store = CacheStore::open(scratch("poison")).unwrap();
+        let w = by_name("compress").unwrap();
+        let session = || {
+            Session::new(w.as_ref(), ProblemSize::S1)
+                .agent(AgentChoice::ipa())
+                .cache(store.clone())
+        };
+        let cold = session().run().unwrap();
+        // Poison the single instrumentation entry on disk.
+        let dir = store.root().join("instr");
+        let entries: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(entries.len(), 1);
+        let path = entries[0].as_ref().unwrap().path();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let warm = session().run().unwrap();
+        assert_eq!(warm.instr_cache_hit, Some(false), "poison must not serve");
+        assert_eq!(warm.checksum, cold.checksum);
+        assert_eq!(warm.seconds.to_bits(), cold.seconds.to_bits());
+        assert_eq!(store.stats().quarantined, 1);
+        assert_eq!(store.quarantined_files(), 1);
+        // The recomputed entry serves the third run.
+        assert_eq!(session().run().unwrap().instr_cache_hit, Some(true));
+    }
+
+    #[test]
+    fn result_key_separates_every_identity_component() {
+        let w = by_name("compress").unwrap();
+        let base = Session::new(w.as_ref(), ProblemSize::S1).agent(AgentChoice::ipa());
+        let k = |s: &Session<'_>| s.result_key();
+        assert_eq!(k(&base), k(&base.clone()), "key is deterministic");
+        assert_ne!(
+            k(&base),
+            k(&Session::new(w.as_ref(), ProblemSize::S10).agent(AgentChoice::ipa())),
+            "size"
+        );
+        assert_ne!(k(&base), k(&base.clone().agent(AgentChoice::Spa)), "agent");
+        let other = by_name("db").unwrap();
+        assert_ne!(
+            k(&base),
+            k(&Session::new(other.as_ref(), ProblemSize::S1).agent(AgentChoice::ipa())),
+            "workload"
+        );
+        let inj = Arc::new(FaultInjector::new(FaultPlan::chaos(7)));
+        assert_ne!(k(&base), k(&base.clone().faults(inj)), "fault plan");
+        // Trace sinks and metrics never change quantities: same key.
+        let recorder = jvmsim_trace::TraceRecorder::new(64);
+        assert_eq!(
+            k(&base),
+            k(&base.clone().trace(recorder as Arc<dyn TraceSink>)),
+            "trace sink is identity-neutral"
+        );
+    }
+}

@@ -3,9 +3,17 @@
 //! under SPA, under statically instrumented IPA, and under dynamically
 //! instrumented IPA — and deterministic across repeated runs.
 
-use jnativeprof::harness::{run, AgentChoice};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::{RunOutcome, Session};
 use nativeprof::{InstrumentationMode, IpaConfig};
-use workloads::{by_name, ProblemSize};
+use workloads::{by_name, ProblemSize, Workload};
+
+fn run(w: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> RunOutcome {
+    Session::new(w, size)
+        .agent(agent)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name()))
+}
 
 const ALL: [&str; 8] = [
     "compress",

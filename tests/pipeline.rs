@@ -5,8 +5,16 @@
 //! Run at reduced problem sizes so `cargo test` stays fast; the `table1` /
 //! `table2` binaries run the full S100 evaluation.
 
-use jnativeprof::harness::{overhead_percent, run, AgentChoice};
-use workloads::{by_name, jvm98_suite, ProblemSize};
+use jnativeprof::harness::{overhead_percent, AgentChoice};
+use jnativeprof::session::{RunOutcome, Session};
+use workloads::{by_name, jvm98_suite, ProblemSize, Workload};
+
+fn run(w: &dyn Workload, size: ProblemSize, agent: AgentChoice) -> RunOutcome {
+    Session::new(w, size)
+        .agent(agent)
+        .run()
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name()))
+}
 
 const SIZE: ProblemSize = ProblemSize(20);
 

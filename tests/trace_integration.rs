@@ -5,20 +5,20 @@
 
 use std::sync::Arc;
 
-use jnativeprof::harness::{self, AgentChoice};
+use jnativeprof::harness::AgentChoice;
+use jnativeprof::session::{RunOutcome, Session};
 use jvmsim_trace::{chrome, csv, flame, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use workloads::{by_name, ProblemSize};
 
-fn traced_run(name: &str, size: ProblemSize) -> (harness::HarnessRun, jvmsim_trace::TraceSnapshot) {
+fn traced_run(name: &str, size: ProblemSize) -> (RunOutcome, jvmsim_trace::TraceSnapshot) {
     let workload = by_name(name).expect("workload exists");
     let recorder = TraceRecorder::new(1 << 20);
-    let run = harness::run_traced(
-        workload.as_ref(),
-        size,
-        AgentChoice::ipa(),
-        Some(Arc::clone(&recorder) as Arc<dyn TraceSink>),
-    );
+    let run = Session::new(workload.as_ref(), size)
+        .agent(AgentChoice::ipa())
+        .trace(Arc::clone(&recorder) as Arc<dyn TraceSink>)
+        .run()
+        .expect("traced run");
     let snapshot = recorder.snapshot();
     (run, snapshot)
 }
@@ -62,7 +62,10 @@ fn trace_counts_match_the_native_profile_exactly() {
 #[test]
 fn tracing_does_not_perturb_the_measurement() {
     let workload = by_name("db").expect("workload exists");
-    let untraced = harness::run(workload.as_ref(), ProblemSize::S10, AgentChoice::ipa());
+    let untraced = Session::new(workload.as_ref(), ProblemSize::S10)
+        .agent(AgentChoice::ipa())
+        .run()
+        .expect("untraced run");
     let (traced, _) = traced_run("db", ProblemSize::S10);
     // Virtual time and every profile aggregate are bit-identical: trace
     // emission charges zero cycles by design.
