@@ -10,6 +10,13 @@
 //!             [--cache-dir DIR] [--no-cache 1]
 //! jprof report [--jobs N] [--size N] [--format table|prom|json]
 //!              [--out FILE]
+//! jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
+//!             [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
+//! jprof client [--addr HOST:PORT] [--connections N] [--requests M]
+//!              [--seed S] [--size N] [--rows DIR] [--cache-stats 1]
+//!              [--shutdown 1]
+//! jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
+//!           [--cache-dir DIR] [--no-cache 1]
 //! jprof list
 //! ```
 //!
@@ -29,12 +36,21 @@
 //! and `chaos` writes the same snapshots as `PATH.prom` + `PATH.json`
 //! next to the regular artifacts.
 //!
+//! `serve` runs the profiling-as-a-service daemon: an admission-
+//! controlled HTTP front end whose `POST /v1/run` answers the same
+//! cell-row bytes the batch driver writes (cache-first when `--cache-dir`
+//! is shared with batch runs). `client` is the matching closed-loop
+//! deterministic load generator; its status-count summary goes to stdout
+//! and its wall-latency histograms to stderr. `run` executes a single
+//! cell and prints that same canonical row — the batch-side anchor the
+//! CI serve job `cmp`s served responses against.
+//!
 //! `--cache-dir DIR` opens a content-addressed cache there: `trace`
 //! memoizes static instrumentation, `suite` and `chaos` additionally
-//! memoize completed cell rows, so a warm run is near-instant yet emits
-//! byte-identical artifacts (every hit re-verifies the stored digest;
-//! poisoned entries are quarantined and recomputed). `--no-cache 1`
-//! overrides `--cache-dir`.
+//! memoize completed cell rows (and `serve`/`run` both planes), so a warm
+//! run is near-instant yet emits byte-identical artifacts (every hit
+//! re-verifies the stored digest; poisoned entries are quarantined and
+//! recomputed). `--no-cache 1` overrides `--cache-dir`.
 //!
 //! Artifacts go to stdout (or the requested files); progress and
 //! quarantine diagnostics go to stderr, so redirecting stdout always
@@ -44,11 +60,14 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
+use jnativeprof::cell::{cell_row_json, decode_cell_entry, encode_cell_entry, CellQuantities};
 use jnativeprof::harness::{AgentChoice, HarnessError};
-use jnativeprof::session::Session;
-use jvmsim_cache::CacheStore;
+use jnativeprof::session::{Session, SessionSpec};
+use jvmsim_cache::{CacheStore, Plane};
 use jvmsim_metrics::{render_json, render_prometheus, MetricsEntry};
+use jvmsim_serve::{chaos_drill, run_client, ClientConfig, ServeConfig, Server};
 use jvmsim_trace::{export, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use nativeprof_bench::{
@@ -67,6 +86,12 @@ usage:
   jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
               [--cache-dir DIR] [--no-cache 1]
   jprof report [--jobs N] [--size N] [--format table|prom|json] [--out FILE]
+  jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
+              [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
+  jprof client [--addr HOST:PORT] [--connections N] [--requests M] [--seed S]
+               [--size N] [--rows DIR] [--cache-stats 1] [--shutdown 1]
+  jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
+            [--cache-dir DIR] [--no-cache 1]
   jprof list
 ";
 
@@ -77,6 +102,9 @@ fn main() -> ExitCode {
         Some("suite") => cmd_suite(&args[1..]),
         Some("chaos") => cmd_chaos(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
@@ -365,12 +393,30 @@ fn cmd_chaos(args: &[String]) -> Result<(), HarnessError> {
     if let Some(path) = flags.get("--metrics") {
         write_metrics(path, &report.metrics)?;
     }
-    if report.passed() {
+    // The serve drill rides along: the transport fault sites
+    // (serve-slow-read, serve-conn-drop) fire against a live daemon and
+    // the admission ledger must still balance with no request counted
+    // twice.
+    let drill = chaos_drill(seeds)
+        .map_err(|e| HarnessError::Degraded(format!("serve drill setup failed: {e}")))?;
+    eprintln!(
+        "serve drill: {} request(s) — {} served, {} timed out, {} dropped",
+        drill.requests, drill.ok, drill.timeouts, drill.drops
+    );
+    for (site, consulted, injected) in &drill.sites {
+        if *consulted > 0 {
+            eprintln!("  {}: {injected}/{consulted} injected", site.label());
+        }
+    }
+    for violation in &drill.violations {
+        eprintln!("serve drill violation: {violation}");
+    }
+    let violations = report.violations.len() + drill.violations.len();
+    if report.passed() && drill.is_clean() {
         Ok(())
     } else {
         Err(HarnessError::Degraded(format!(
-            "{} accounting invariant violation(s) under fault injection",
-            report.violations.len()
+            "{violations} accounting invariant violation(s) under fault injection"
         )))
     }
 }
@@ -411,6 +457,145 @@ fn cmd_report(args: &[String]) -> Result<(), HarnessError> {
             "{} cell(s) quarantined (report assembled from the rest)",
             suite.failures.len()
         )));
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), HarnessError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--addr",
+            "--jobs",
+            "--queue",
+            "--deadline-ms",
+            "--metrics",
+            "--cache-dir",
+            "--no-cache",
+        ],
+    )?;
+    let config = ServeConfig {
+        addr: flags.get("--addr").unwrap_or("127.0.0.1:8126").to_owned(),
+        jobs: flags.get_parsed("--jobs")?.unwrap_or(2),
+        queue: flags.get_parsed("--queue")?.unwrap_or(16),
+        deadline: Duration::from_millis(flags.get_parsed("--deadline-ms")?.unwrap_or(30_000)),
+        cache: flags.cache()?,
+        faults: jvmsim_faults::FaultPlan::new(0),
+    };
+    let metrics_path = flags.get("--metrics");
+    let server = Server::start(config)
+        .map_err(|e| HarnessError::Artifact(format!("binding serve socket: {e}")))?;
+    eprintln!(
+        "serving on {} (POST /v1/run, GET /v1/metrics, GET /v1/cache/stats, \
+         GET /healthz; POST /v1/shutdown to drain)",
+        server.local_addr()
+    );
+    // Block until a drain is requested over HTTP, then finish in-flight
+    // work and flush the final counters.
+    let entries = server.wait();
+    eprintln!("drained; final serve counters:");
+    eprint!("{}", render_prometheus(&entries[..1]));
+    if let Some(path) = metrics_path {
+        write_metrics(path, &entries)?;
+    }
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), HarnessError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--addr",
+            "--connections",
+            "--requests",
+            "--seed",
+            "--size",
+            "--rows",
+            "--cache-stats",
+            "--shutdown",
+        ],
+    )?;
+    let config = ClientConfig {
+        addr: flags.get("--addr").unwrap_or("127.0.0.1:8126").to_owned(),
+        connections: flags.get_parsed("--connections")?.unwrap_or(2),
+        requests: flags.get_parsed("--requests")?.unwrap_or(8),
+        seed: flags.get_parsed("--seed")?.unwrap_or(0),
+        size: flags.get_parsed("--size")?.unwrap_or(1),
+        rows_dir: flags.get("--rows").map(std::path::PathBuf::from),
+        fetch_cache_stats: flags.truthy("--cache-stats"),
+        send_shutdown: flags.truthy("--shutdown"),
+    };
+    let report =
+        run_client(&config).map_err(|e| HarnessError::Artifact(format!("load run: {e}")))?;
+    // Deterministic summary on stdout; wall-clock histograms on stderr so
+    // redirected output stays reproducible.
+    print!("{}", report.render_summary());
+    eprint!("{}", report.render_latency());
+    if let Some(stats) = &report.cache_stats {
+        println!("cache-stats {stats}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), HarnessError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--workload",
+            "--agent",
+            "--size",
+            "--out",
+            "--cache-dir",
+            "--no-cache",
+        ],
+    )?;
+    let name = flags
+        .get("--workload")
+        .ok_or_else(|| HarnessError::Usage(format!("run needs --workload\n{USAGE}")))?;
+    let spec = SessionSpec::parse(
+        name,
+        flags.get("--agent").unwrap_or("original"),
+        flags.get_parsed("--size")?.unwrap_or(1),
+    )?;
+    let cache = flags.cache()?;
+    // Cache-first with the same plane and key the daemon and the suite
+    // driver use, so all three producers agree byte-for-byte on the row.
+    let row = 'row: {
+        if let Some(store) = &cache {
+            let key = spec.with_session(|s| s.result_key())?;
+            if let Some(bytes) = store.lookup(Plane::CellResult, &key) {
+                match decode_cell_entry(&bytes) {
+                    Some((cell, _sites)) => {
+                        break 'row cell_row_json(
+                            &spec.workload,
+                            spec.agent.label(),
+                            spec.size.0,
+                            &cell,
+                        )
+                    }
+                    None => store.quarantine(Plane::CellResult, &key),
+                }
+            }
+        }
+        let run = spec.with_session(|mut session| {
+            if let Some(store) = &cache {
+                session = session.cache(store.clone());
+            }
+            session.run()
+        })??;
+        let cell = CellQuantities::from_run(&run);
+        if let Some(store) = &cache {
+            let key = spec.with_session(|s| s.result_key())?;
+            let _ = store.store(Plane::CellResult, &key, &encode_cell_entry(&cell, &[]));
+        }
+        cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell)
+    };
+    if let Some(store) = &cache {
+        report_cache(store);
+    }
+    match flags.get("--out") {
+        Some(path) => write_file(path, &row)?,
+        None => print!("{row}"),
     }
     Ok(())
 }

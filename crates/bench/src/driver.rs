@@ -36,6 +36,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
+use jnativeprof::cell::{decode_cell_entry, encode_cell_entry, CellQuantities, SiteTally};
 use jnativeprof::harness::{self, throughput_overhead_percent, AgentChoice};
 use jnativeprof::session::Session;
 use jvmsim_cache::{CacheKey, CacheStore, Plane};
@@ -177,16 +178,6 @@ impl SuiteConfig {
     }
 }
 
-/// Everything the two tables need from one (workload, agent) cell.
-#[derive(Debug, Clone)]
-struct CellOutcome {
-    seconds: f64,
-    checksum: i64,
-    total_cycles: u64,
-    /// `(percent_native, jni_calls, native_method_calls)` when IPA ran.
-    profile: Option<(f64, u64, u64)>,
-}
-
 /// One cell of the matrix.
 #[derive(Debug, Clone, Copy)]
 struct Cell {
@@ -313,12 +304,9 @@ impl TraceSink for ChaosSink {
     }
 }
 
-/// Per-site `(site, consulted, injected)` fault-schedule tally.
-type SiteTally = (FaultSite, u64, u64);
-
 /// Result of one cell attempt, including chaos-mode bookkeeping.
 struct CellExecution {
-    result: Result<CellOutcome, CellFailureKind>,
+    result: Result<CellQuantities, CellFailureKind>,
     /// Invariant breaks found by the shadow accounting (chaos mode only).
     /// Non-empty means a *bug*, not an injected fault.
     violations: Vec<String>,
@@ -344,98 +332,12 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// sizes (exercising the drop path), large enough to retain structure.
 const CHAOS_TRACE_CAPACITY: usize = 1 << 14;
 
-/// Payload layout version for memoized cell rows. Bumping it orphans old
-/// entries (their payloads stop decoding, so they are quarantined and
-/// recomputed) without touching the cache's own framing.
-const CELL_ENTRY_VERSION: u32 = 1;
-
-/// Serialize a completed cell for the result plane: everything
-/// [`assemble`] reads, exactly — floats as IEEE bits so a decoded row
-/// formats byte-identically to the live one — plus the chaos injector's
-/// per-site schedule so warm chaos reports still balance.
-fn encode_cell_entry(outcome: &CellOutcome, sites: &[SiteTally]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(64 + sites.len() * 17);
-    out.extend_from_slice(&CELL_ENTRY_VERSION.to_le_bytes());
-    out.extend_from_slice(&outcome.seconds.to_bits().to_le_bytes());
-    out.extend_from_slice(&outcome.checksum.to_le_bytes());
-    out.extend_from_slice(&outcome.total_cycles.to_le_bytes());
-    match outcome.profile {
-        None => out.push(0),
-        Some((pct_native, jni_calls, native_method_calls)) => {
-            out.push(1);
-            out.extend_from_slice(&pct_native.to_bits().to_le_bytes());
-            out.extend_from_slice(&jni_calls.to_le_bytes());
-            out.extend_from_slice(&native_method_calls.to_le_bytes());
-        }
-    }
-    out.extend_from_slice(&(sites.len() as u32).to_le_bytes());
-    for &(site, consulted, injected) in sites {
-        out.push(site.index() as u8);
-        out.extend_from_slice(&consulted.to_le_bytes());
-        out.extend_from_slice(&injected.to_le_bytes());
-    }
-    out
-}
-
-/// Strict inverse of [`encode_cell_entry`]. `None` on any malformed shape
-/// (wrong version, truncation, trailing bytes, unknown fault site) — the
-/// caller quarantines the entry and recomputes.
-fn decode_cell_entry(bytes: &[u8]) -> Option<(CellOutcome, Vec<SiteTally>)> {
-    struct Cursor<'a>(&'a [u8]);
-    impl Cursor<'_> {
-        fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
-            let (head, tail) = self.0.split_at_checked(N)?;
-            self.0 = tail;
-            head.try_into().ok()
-        }
-        fn u8(&mut self) -> Option<u8> {
-            self.take::<1>().map(|b| b[0])
-        }
-        fn u32(&mut self) -> Option<u32> {
-            self.take::<4>().map(u32::from_le_bytes)
-        }
-        fn u64(&mut self) -> Option<u64> {
-            self.take::<8>().map(u64::from_le_bytes)
-        }
-    }
-    let mut c = Cursor(bytes);
-    if c.u32()? != CELL_ENTRY_VERSION {
-        return None;
-    }
-    let seconds = f64::from_bits(c.u64()?);
-    let checksum = i64::from_le_bytes(c.take::<8>()?);
-    let total_cycles = c.u64()?;
-    let profile = match c.u8()? {
-        0 => None,
-        1 => Some((f64::from_bits(c.u64()?), c.u64()?, c.u64()?)),
-        _ => return None,
-    };
-    let site_count = c.u32()? as usize;
-    let mut sites = Vec::with_capacity(site_count.min(FaultSite::COUNT));
-    for _ in 0..site_count {
-        let site = *FaultSite::ALL.get(c.u8()? as usize)?;
-        sites.push((site, c.u64()?, c.u64()?));
-    }
-    if !c.0.is_empty() {
-        return None;
-    }
-    Some((
-        CellOutcome {
-            seconds,
-            checksum,
-            total_cycles,
-            profile,
-        },
-        sites,
-    ))
-}
-
 /// Finish a warm cell: replay the memoized outcome into this cell's
 /// metric shard and merge the live injector's consultations (the cache
 /// reads themselves) into the stored fault schedule so chaos reports
 /// keep balancing.
 fn replay_cell(
-    outcome: CellOutcome,
+    outcome: CellQuantities,
     stored_sites: Vec<SiteTally>,
     chaos: Option<&Arc<FaultInjector>>,
     metrics: &MetricsRegistry,
@@ -556,15 +458,7 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>, cache: Option<&CacheStore>)
     }));
 
     let result = match run {
-        Ok(Ok(run)) => Ok(CellOutcome {
-            seconds: run.seconds,
-            checksum: run.checksum,
-            total_cycles: run.outcome.total_cycles,
-            profile: run
-                .profile
-                .filter(|_| cell.agent == AgentCol::Ipa)
-                .map(|p| (p.percent_native(), p.jni_calls, p.native_method_calls)),
-        }),
+        Ok(Ok(run)) => Ok(CellQuantities::from_run(&run)),
         Ok(Err(e)) => Err(CellFailureKind::Harness(e.to_string())),
         Err(payload) => Err(CellFailureKind::Panicked(panic_message(payload))),
     };
@@ -780,7 +674,7 @@ fn assemble(cells: &[Cell], execs: &[CellExecution], jvm98: &[&'static str]) -> 
             snapshot: exec.snapshot.clone(),
         });
     }
-    let outcome = |workload: &str, agent: AgentCol| -> Option<&CellOutcome> {
+    let outcome = |workload: &str, agent: AgentCol| -> Option<&CellQuantities> {
         let i = cells
             .iter()
             .position(|c| c.workload == workload && c.agent == agent)?;
@@ -825,7 +719,7 @@ fn assemble(cells: &[Cell], execs: &[CellExecution], jvm98: &[&'static str]) -> 
         });
     }
 
-    let throughput = |o: Option<&CellOutcome>| match o {
+    let throughput = |o: Option<&CellQuantities>| match o {
         Some(o) if o.seconds > 0.0 => o.checksum.max(0) as f64 / o.seconds,
         _ => 0.0,
     };
@@ -1174,73 +1068,6 @@ mod tests {
         assert!(text.contains("crashy/IPA"), "{text}");
         assert!(text.contains("checksum mismatch"), "{text}");
         assert!(CellFailureKind::TimedOut.to_string().contains("timeout"));
-    }
-
-    #[test]
-    fn cell_entry_codec_round_trips() {
-        let with_profile = CellOutcome {
-            seconds: 1.234_567_891_2,
-            checksum: -42,
-            total_cycles: 987_654_321,
-            profile: Some((4.539_999_9, 3, 7)),
-        };
-        let sites: Vec<_> = FaultSite::ALL
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| (s, i as u64 * 11, i as u64 * 3))
-            .collect();
-        let bytes = encode_cell_entry(&with_profile, &sites);
-        let (decoded, decoded_sites) = decode_cell_entry(&bytes).unwrap();
-        assert_eq!(decoded.seconds.to_bits(), with_profile.seconds.to_bits());
-        assert_eq!(decoded.checksum, with_profile.checksum);
-        assert_eq!(decoded.total_cycles, with_profile.total_cycles);
-        assert_eq!(
-            decoded.profile.unwrap().0.to_bits(),
-            with_profile.profile.unwrap().0.to_bits()
-        );
-        assert_eq!(decoded_sites, sites);
-
-        let bare = CellOutcome {
-            seconds: 0.5,
-            checksum: 9,
-            total_cycles: 10,
-            profile: None,
-        };
-        let bytes = encode_cell_entry(&bare, &[]);
-        let (decoded, decoded_sites) = decode_cell_entry(&bytes).unwrap();
-        assert!(decoded.profile.is_none());
-        assert!(decoded_sites.is_empty());
-        assert_eq!(decoded.checksum, 9);
-    }
-
-    #[test]
-    fn malformed_cell_entries_rejected() {
-        let bytes = encode_cell_entry(
-            &CellOutcome {
-                seconds: 1.0,
-                checksum: 1,
-                total_cycles: 2,
-                profile: Some((1.0, 2, 3)),
-            },
-            &[(FaultSite::ALL[0], 5, 1)],
-        );
-        // Every truncation fails closed.
-        for len in 0..bytes.len() {
-            assert!(decode_cell_entry(&bytes[..len]).is_none(), "len {len}");
-        }
-        // Trailing garbage fails closed.
-        let mut long = bytes.clone();
-        long.push(0);
-        assert!(decode_cell_entry(&long).is_none());
-        // Wrong version fails closed.
-        let mut versioned = bytes.clone();
-        versioned[0] ^= 0xFF;
-        assert!(decode_cell_entry(&versioned).is_none());
-        // Unknown fault site index fails closed.
-        let mut bad_site = bytes;
-        let site_pos = 4 + 8 + 8 + 8 + 1 + 24 + 4;
-        bad_site[site_pos] = FaultSite::COUNT as u8;
-        assert!(decode_cell_entry(&bad_site).is_none());
     }
 
     #[test]

@@ -76,13 +76,26 @@ pub enum FaultSite {
     /// digest verification must catch the poison, quarantine the entry and
     /// recompute — a corrupted cache may cost time, never correctness.
     CacheCorrupt,
+    /// A serve-plane client stalls mid-request: the daemon's read loop
+    /// observes a request that never completes within its deadline and must
+    /// answer `408` and close the connection, counting the request exactly
+    /// once in the admission ledger.
+    ServeSlowRead,
+    /// The connection drops just before the daemon writes its response; the
+    /// request must still be accounted (accepted + dropped) and never
+    /// double-executed or double-counted.
+    ServeConnDrop,
 }
 
 impl FaultSite {
     /// Number of distinct sites.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Every site, in a fixed order (indexing matches [`FaultSite::index`]).
+    ///
+    /// New sites are appended, never inserted: per-site decision streams are
+    /// salted by index, so appending leaves every existing schedule (and
+    /// every cached cell entry recording site tallies) untouched.
     pub const ALL: [FaultSite; FaultSite::COUNT] = [
         FaultSite::NativeUnwind,
         FaultSite::NativePendingThrow,
@@ -93,6 +106,8 @@ impl FaultSite {
         FaultSite::ClockStall,
         FaultSite::ClockStepBack,
         FaultSite::CacheCorrupt,
+        FaultSite::ServeSlowRead,
+        FaultSite::ServeConnDrop,
     ];
 
     /// Stable index of this site into rate/counter arrays.
@@ -108,6 +123,8 @@ impl FaultSite {
             FaultSite::ClockStall => 6,
             FaultSite::ClockStepBack => 7,
             FaultSite::CacheCorrupt => 8,
+            FaultSite::ServeSlowRead => 9,
+            FaultSite::ServeConnDrop => 10,
         }
     }
 
@@ -124,6 +141,8 @@ impl FaultSite {
             FaultSite::ClockStall => "clock-stall",
             FaultSite::ClockStepBack => "clock-step-back",
             FaultSite::CacheCorrupt => "cache-corrupt",
+            FaultSite::ServeSlowRead => "serve-slow-read",
+            FaultSite::ServeConnDrop => "serve-conn-drop",
         }
     }
 
@@ -188,6 +207,8 @@ impl FaultPlan {
             .with_rate(FaultSite::ClockStall, 10_000)
             .with_rate(FaultSite::ClockStepBack, 10_000)
             .with_rate(FaultSite::CacheCorrupt, 150_000)
+            .with_rate(FaultSite::ServeSlowRead, 60_000)
+            .with_rate(FaultSite::ServeConnDrop, 60_000)
     }
 
     /// True if every rate is zero (the plan can never inject).

@@ -8,56 +8,108 @@
 //! jinstr dump <archive.jvma> [class]      # disassemble
 //! jinstr list <archive.jvma>              # table of contents
 //! ```
+//!
+//! Exit codes follow the workspace's shared failure classes (`jprof` and
+//! `jasm` use the same table via `HarnessError::exit_code`): `2` for a
+//! command line or input that could not be understood, `3` for a failed
+//! instrumentation pass, `8` for an artifact that could not be read or
+//! written. This crate sits below the harness in the dependency graph,
+//! so the table is mirrored here rather than imported.
 
 use std::process::ExitCode;
 
 use jvmsim_classfile::{codec, dis};
 use jvmsim_instr::{Archive, NativeWrapperTransform, WrapperConfig};
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  jinstr instrument <in.jvma> <out.jvma> [--prefix P] [--bridge C]\n  jinstr dump <archive.jvma> [class]\n  jinstr list <archive.jvma>"
-    );
-    ExitCode::FAILURE
+const USAGE: &str = "\
+usage:
+  jinstr instrument <in.jvma> <out.jvma> [--prefix P] [--bridge C]
+  jinstr dump <archive.jvma> [class]
+  jinstr list <archive.jvma>
+";
+
+/// Local mirror of the harness failure classes this tool can hit, with
+/// the same stable exit codes.
+enum CliError {
+    /// Bad command line or un-decodable input: exit 2.
+    Usage(String),
+    /// The instrumentation pass failed: exit 3.
+    Instrument(String),
+    /// An archive could not be read or written: exit 8.
+    Artifact(String),
 }
 
-fn load(path: &str) -> Result<Archive, String> {
-    let data = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
-    Archive::from_bytes(&data).map_err(|e| format!("{path}: {e}"))
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Instrument(_) => 3,
+            CliError::Artifact(_) => 8,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            CliError::Usage(m) | CliError::Instrument(m) | CliError::Artifact(m) => m,
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Archive, CliError> {
+    let data = std::fs::read(path).map_err(|e| CliError::Artifact(format!("{path}: {e}")))?;
+    Archive::from_bytes(&data).map_err(|e| CliError::Usage(format!("{path}: {e}")))
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first().map(String::as_str) else {
-        return usage();
-    };
-    let result = match command {
-        "instrument" => instrument(&args[1..]),
-        "dump" => dump(&args[1..]),
-        "list" => list(&args[1..]),
-        _ => return usage(),
+    let result = match args.first().map(String::as_str) {
+        Some("instrument") => instrument(&args[1..]),
+        Some("dump") => dump(&args[1..]),
+        Some("list") => list(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown subcommand {other:?}\n{USAGE}"
+        ))),
+        None => Err(CliError::Usage(format!("no subcommand\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("jinstr: {e}");
-            ExitCode::FAILURE
+            eprintln!("jinstr: {}", e.message());
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn instrument(args: &[String]) -> Result<(), String> {
+fn instrument(args: &[String]) -> Result<(), CliError> {
     let (mut positional, mut prefix, mut bridge) = (Vec::new(), None, None);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--prefix" => prefix = Some(it.next().ok_or("--prefix needs a value")?.clone()),
-            "--bridge" => bridge = Some(it.next().ok_or("--bridge needs a value")?.clone()),
+            "--prefix" => {
+                prefix = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--prefix needs a value".into()))?
+                        .clone(),
+                );
+            }
+            "--bridge" => {
+                bridge = Some(
+                    it.next()
+                        .ok_or_else(|| CliError::Usage("--bridge needs a value".into()))?
+                        .clone(),
+                );
+            }
             _ => positional.push(a.clone()),
         }
     }
     let [input, output] = positional.as_slice() else {
-        return Err("instrument needs <in.jvma> <out.jvma>".into());
+        return Err(CliError::Usage(format!(
+            "instrument needs <in.jvma> <out.jvma>\n{USAGE}"
+        )));
     };
     let mut config = WrapperConfig::default();
     if let Some(p) = prefix {
@@ -69,8 +121,11 @@ fn instrument(args: &[String]) -> Result<(), String> {
     }
     let transform = NativeWrapperTransform::with_config(config.clone());
     let mut archive = load(input)?;
-    let report = archive.instrument(&transform).map_err(|e| e.to_string())?;
-    std::fs::write(output, archive.to_bytes()).map_err(|e| format!("{output}: {e}"))?;
+    let report = archive
+        .instrument(&transform)
+        .map_err(|e| CliError::Instrument(e.to_string()))?;
+    std::fs::write(output, archive.to_bytes())
+        .map_err(|e| CliError::Artifact(format!("{output}: {e}")))?;
     println!(
         "{}: {} classes seen, {} instrumented, {} native methods wrapped (prefix {:?})",
         output,
@@ -83,9 +138,11 @@ fn instrument(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn dump(args: &[String]) -> Result<(), String> {
+fn dump(args: &[String]) -> Result<(), CliError> {
     let Some(path) = args.first() else {
-        return Err("dump needs <archive.jvma>".into());
+        return Err(CliError::Usage(format!(
+            "dump needs <archive.jvma>\n{USAGE}"
+        )));
     };
     let archive = load(path)?;
     let filter = args.get(1);
@@ -94,27 +151,29 @@ fn dump(args: &[String]) -> Result<(), String> {
         if filter.is_some_and(|f| f != name) {
             continue;
         }
-        let class = codec::decode(bytes).map_err(|e| format!("{name}: {e}"))?;
+        let class = codec::decode(bytes).map_err(|e| CliError::Usage(format!("{name}: {e}")))?;
         print!("{}", dis::disassemble(&class));
         shown += 1;
     }
     if shown == 0 {
-        return Err(match filter {
+        return Err(CliError::Usage(match filter {
             Some(f) => format!("class {f} not found"),
             None => "archive is empty".into(),
-        });
+        }));
     }
     Ok(())
 }
 
-fn list(args: &[String]) -> Result<(), String> {
+fn list(args: &[String]) -> Result<(), CliError> {
     let Some(path) = args.first() else {
-        return Err("list needs <archive.jvma>".into());
+        return Err(CliError::Usage(format!(
+            "list needs <archive.jvma>\n{USAGE}"
+        )));
     };
     let archive = load(path)?;
     println!("{} classes:", archive.len());
     for (name, bytes) in archive.iter() {
-        let class = codec::decode(bytes).map_err(|e| format!("{name}: {e}"))?;
+        let class = codec::decode(bytes).map_err(|e| CliError::Usage(format!("{name}: {e}")))?;
         let natives = class.methods().iter().filter(|m| m.is_native()).count();
         println!(
             "  {:<40} {:>6} bytes  {:>2} methods  {:>2} native",

@@ -133,11 +133,26 @@ pub enum CounterId {
     CacheBytes,
     /// Cache entries that failed digest verification and were quarantined.
     CacheQuarantined,
+    /// Serve-plane requests admitted (parsed far enough to be accounted).
+    ServeAccepted,
+    /// Serve-plane requests answered successfully (2xx, including hits).
+    ServeServed,
+    /// Serve-plane requests shed with `429` because the queue was full.
+    ServeShed,
+    /// Serve-plane requests that exceeded a deadline (`408`/`504`).
+    ServeTimeout,
+    /// Serve-plane requests whose connection dropped before the response.
+    ServeDropped,
+    /// Serve-plane requests rejected with a client/server error (4xx/5xx
+    /// other than shed/timeout).
+    ServeErrors,
+    /// Serve-plane run requests answered from the cell-result cache.
+    ServeHits,
 }
 
 impl CounterId {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 25;
 
     /// Every counter, in dense-index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -159,6 +174,13 @@ impl CounterId {
         CounterId::CacheMisses,
         CounterId::CacheBytes,
         CounterId::CacheQuarantined,
+        CounterId::ServeAccepted,
+        CounterId::ServeServed,
+        CounterId::ServeShed,
+        CounterId::ServeTimeout,
+        CounterId::ServeDropped,
+        CounterId::ServeErrors,
+        CounterId::ServeHits,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -182,6 +204,13 @@ impl CounterId {
             CounterId::CacheMisses => 15,
             CounterId::CacheBytes => 16,
             CounterId::CacheQuarantined => 17,
+            CounterId::ServeAccepted => 18,
+            CounterId::ServeServed => 19,
+            CounterId::ServeShed => 20,
+            CounterId::ServeTimeout => 21,
+            CounterId::ServeDropped => 22,
+            CounterId::ServeErrors => 23,
+            CounterId::ServeHits => 24,
         }
     }
 
@@ -206,6 +235,13 @@ impl CounterId {
             CounterId::CacheMisses => "cache_misses",
             CounterId::CacheBytes => "cache_bytes",
             CounterId::CacheQuarantined => "cache_quarantined",
+            CounterId::ServeAccepted => "serve_accepted",
+            CounterId::ServeServed => "serve_served",
+            CounterId::ServeShed => "serve_shed",
+            CounterId::ServeTimeout => "serve_timeout",
+            CounterId::ServeDropped => "serve_dropped",
+            CounterId::ServeErrors => "serve_errors",
+            CounterId::ServeHits => "serve_hits",
         }
     }
 }
@@ -252,17 +288,22 @@ pub enum HistogramId {
     SpaProbeCycles,
     /// Total cycles of one suite cell.
     CellCycles,
+    /// Wall-clock latency of one serve-plane request, in microseconds.
+    /// This is the only wall-clock quantity in the registry; it exists for
+    /// operators and never feeds artifact bytes.
+    ServeLatencyMicros,
 }
 
 impl HistogramId {
     /// Number of histograms (array sizing).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every histogram, in dense-index order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
         HistogramId::IpaProbeCycles,
         HistogramId::SpaProbeCycles,
         HistogramId::CellCycles,
+        HistogramId::ServeLatencyMicros,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -271,6 +312,7 @@ impl HistogramId {
             HistogramId::IpaProbeCycles => 0,
             HistogramId::SpaProbeCycles => 1,
             HistogramId::CellCycles => 2,
+            HistogramId::ServeLatencyMicros => 3,
         }
     }
 
@@ -280,6 +322,7 @@ impl HistogramId {
             HistogramId::IpaProbeCycles => "ipa_probe_cycles",
             HistogramId::SpaProbeCycles => "spa_probe_cycles",
             HistogramId::CellCycles => "cell_cycles",
+            HistogramId::ServeLatencyMicros => "serve_latency_micros",
         }
     }
 }

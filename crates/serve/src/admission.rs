@@ -1,0 +1,209 @@
+//! The admission controller: a bounded queue between connection threads
+//! and the fixed worker pool.
+//!
+//! Connection threads never execute runs; they [`try_enqueue`] a
+//! [`Job`] and wait on its reply channel under the request deadline.
+//! A full queue sheds the request immediately (the caller answers
+//! `429 Retry-After`) — the queue is the *only* buffer, so a traffic
+//! spike costs `capacity` queued specs, never unbounded memory. On
+//! drain the queue closes: already-queued jobs still execute (finish
+//! in-flight), new arrivals are refused.
+//!
+//! [`try_enqueue`]: AdmissionQueue::try_enqueue
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+use jnativeprof::harness::HarnessError;
+use jnativeprof::session::SessionSpec;
+
+/// One queued run request.
+#[derive(Debug)]
+pub struct Job {
+    /// The validated spec to execute.
+    pub spec: SessionSpec,
+    /// Where the worker sends the rendered row (or the run failure).
+    pub reply: mpsc::Sender<Result<String, HarnessError>>,
+    /// Set by the connection thread when its deadline fires; a worker
+    /// seeing it skips execution entirely, so a request the client
+    /// already gave up on is never run (and never double-counted).
+    pub abandoned: Arc<AtomicBool>,
+}
+
+impl Job {
+    /// Has the requester given up on this job?
+    #[must_use]
+    pub fn is_abandoned(&self) -> bool {
+        self.abandoned.load(Ordering::Acquire)
+    }
+}
+
+/// Why a job was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue is at capacity: shed with `429`.
+    Full,
+    /// The server is draining: refuse with `503`.
+    Closed,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded request queue feeding the worker pool.
+pub struct AdmissionQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl AdmissionQueue {
+    /// A queue holding at most `capacity` pending jobs (floored at 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit `job`, or refuse it without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Full`] at capacity, [`AdmissionError::Closed`]
+    /// once draining began. The job is dropped either way (its reply
+    /// sender with it, which the requester observes as a disconnect).
+    pub fn try_enqueue(&self, job: Job) -> Result<(), AdmissionError> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed {
+            return Err(AdmissionError::Closed);
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(AdmissionError::Full);
+        }
+        state.jobs.push_back(job);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Block until a job is available. `None` once the queue is closed
+    /// *and* empty — the worker-pool exit signal; jobs queued before the
+    /// close still come out first (drain finishes in-flight work).
+    pub fn dequeue(&self) -> Option<Job> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(job) = state.jobs.pop_front() {
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Begin draining: refuse new jobs, wake every worker so the pool can
+    /// run down the backlog and exit.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Pending jobs (diagnostics only; racy by nature).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+
+    /// Is the queue empty right now?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::ProblemSize;
+
+    fn job() -> (Job, mpsc::Receiver<Result<String, HarnessError>>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Job {
+                spec: SessionSpec::new(
+                    "compress",
+                    jnativeprof::harness::AgentChoice::None,
+                    ProblemSize::S1,
+                ),
+                reply: tx,
+                abandoned: Arc::new(AtomicBool::new(false)),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn sheds_at_capacity_and_refuses_after_close() {
+        let q = AdmissionQueue::new(2);
+        let (a, _ra) = job();
+        let (b, _rb) = job();
+        let (c, _rc) = job();
+        q.try_enqueue(a).unwrap();
+        q.try_enqueue(b).unwrap();
+        assert_eq!(q.try_enqueue(c).unwrap_err(), AdmissionError::Full);
+        assert_eq!(q.len(), 2);
+        q.close();
+        let (d, _rd) = job();
+        assert_eq!(q.try_enqueue(d).unwrap_err(), AdmissionError::Closed);
+        // Queued-before-close jobs still drain, then the pool exit signal.
+        assert!(q.dequeue().is_some());
+        assert!(q.dequeue().is_some());
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn dequeue_blocks_until_work_or_close() {
+        let q = Arc::new(AdmissionQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let consumer = std::thread::spawn(move || {
+            let first = q2.dequeue().is_some();
+            let second = q2.dequeue().is_none();
+            (first, second)
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let (a, _ra) = job();
+        q.try_enqueue(a).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        q.close();
+        let (first, second) = consumer.join().unwrap();
+        assert!(first, "blocked dequeue must see the enqueued job");
+        assert!(second, "closed empty queue must signal exit");
+    }
+
+    #[test]
+    fn abandoned_flag_is_visible_to_workers() {
+        let (j, _r) = job();
+        assert!(!j.is_abandoned());
+        j.abandoned.store(true, Ordering::Release);
+        assert!(j.is_abandoned());
+    }
+}

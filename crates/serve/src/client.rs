@@ -1,0 +1,433 @@
+//! The closed-loop load generator (`jprof client`).
+//!
+//! Each connection thread issues its requests back-to-back over one
+//! keep-alive connection — closed-loop, so offered load is bounded by
+//! service latency and the generator can never outrun the daemon by
+//! more than `connections` in-flight requests. The request mix is a
+//! pure function of `(seed, connection, request-index)`, so two clients
+//! with the same flags offer the same specs in the same per-connection
+//! order, and the status-count summary is deterministic whenever the
+//! server is not shedding.
+//!
+//! Wall-clock latency is recorded in per-endpoint log2 histograms for
+//! operator eyes only — it never feeds artifact bytes (see DESIGN §12's
+//! determinism boundary).
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use jvmsim_faults::splitmix64;
+
+use crate::http::READ_POLL;
+use crate::spec::RunSpec;
+
+/// Workloads the generator draws from (the SPECjvm98-shaped set).
+const WORKLOADS: [&str; 8] = [
+    "compress",
+    "jess",
+    "db",
+    "javac",
+    "mpegaudio",
+    "mtrt",
+    "jack",
+    "jbb",
+];
+
+/// Agent labels the generator cycles through.
+const AGENTS: [&str; 3] = ["original", "spa", "ipa"];
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// Concurrent closed-loop connections.
+    pub connections: usize,
+    /// Requests issued per connection.
+    pub requests: usize,
+    /// Seed for the deterministic request mix.
+    pub seed: u64,
+    /// Problem size every generated run spec uses.
+    pub size: u32,
+    /// When set, each distinct `POST /v1/run` 200 body is saved here as
+    /// `run-<workload>-<agent>-<size>.json` for comparison against batch
+    /// driver rows.
+    pub rows_dir: Option<PathBuf>,
+    /// Fetch `GET /v1/cache/stats` after the run and include it in the
+    /// report.
+    pub fetch_cache_stats: bool,
+    /// Send `POST /v1/shutdown` after the run (and the stats fetch).
+    pub send_shutdown: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            addr: "127.0.0.1:8126".to_owned(),
+            connections: 2,
+            requests: 8,
+            seed: 0,
+            size: 1,
+            rows_dir: None,
+            fetch_cache_stats: false,
+            send_shutdown: false,
+        }
+    }
+}
+
+/// Per-endpoint log2 wall-latency histogram: bucket 0 holds 0µs, bucket
+/// `i >= 1` holds `[2^(i-1), 2^i)` µs — the same shape as the metrics
+/// plane's histograms.
+pub type LatencyHistogram = [u64; 65];
+
+/// What one load run observed.
+#[derive(Debug, Default)]
+pub struct ClientReport {
+    /// `(endpoint, status) -> count`, summed over all connections.
+    pub status_counts: BTreeMap<(String, u16), u64>,
+    /// Requests that died below HTTP (connect/read/write failures).
+    pub transport_errors: u64,
+    /// Per-endpoint wall-latency histograms (non-deterministic; printed
+    /// to stderr only).
+    pub latency: BTreeMap<String, LatencyHistogram>,
+    /// `GET /v1/cache/stats` body, when requested.
+    pub cache_stats: Option<String>,
+}
+
+impl ClientReport {
+    fn record(&mut self, endpoint: &str, status: u16, elapsed: Duration) {
+        *self
+            .status_counts
+            .entry((endpoint.to_owned(), status))
+            .or_insert(0) += 1;
+        let hist = self
+            .latency
+            .entry(endpoint.to_owned())
+            .or_insert([0u64; 65]);
+        hist[latency_bucket(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX))] += 1;
+    }
+
+    fn merge(&mut self, other: ClientReport) {
+        for (key, count) in other.status_counts {
+            *self.status_counts.entry(key).or_insert(0) += count;
+        }
+        self.transport_errors += other.transport_errors;
+        for (endpoint, hist) in other.latency {
+            let mine = self.latency.entry(endpoint).or_insert([0u64; 65]);
+            for (m, h) in mine.iter_mut().zip(hist.iter()) {
+                *m += h;
+            }
+        }
+    }
+
+    /// Total requests answered with `status` across all endpoints.
+    #[must_use]
+    pub fn total_with_status(&self, status: u16) -> u64 {
+        self.status_counts
+            .iter()
+            .filter(|((_, s), _)| *s == status)
+            .map(|(_, n)| n)
+            .sum()
+    }
+
+    /// The deterministic summary (stdout): one sorted line per
+    /// `(endpoint, status)` pair plus the transport-error count.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut out = String::new();
+        for ((endpoint, status), count) in &self.status_counts {
+            out.push_str(&format!("client {endpoint} {status} {count}\n"));
+        }
+        out.push_str(&format!(
+            "client transport_errors {}\n",
+            self.transport_errors
+        ));
+        out
+    }
+
+    /// The wall-latency histograms (stderr): nonzero log2 buckets per
+    /// endpoint.
+    #[must_use]
+    pub fn render_latency(&self) -> String {
+        let mut out = String::new();
+        for (endpoint, hist) in &self.latency {
+            out.push_str(&format!("latency {endpoint}:"));
+            for (i, count) in hist.iter().enumerate() {
+                if *count == 0 {
+                    continue;
+                }
+                if i == 0 {
+                    out.push_str(&format!(" [0us]={count}"));
+                } else {
+                    out.push_str(&format!(" [2^{}us,2^{i}us)={count}", i - 1));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The log2 bucket index for a microsecond latency.
+#[must_use]
+pub fn latency_bucket(micros: u64) -> usize {
+    if micros == 0 {
+        0
+    } else {
+        64 - micros.leading_zeros() as usize
+    }
+}
+
+/// The spec connection `conn` issues as its `idx`-th request, a pure
+/// function of the seed.
+#[must_use]
+pub fn pick_spec(seed: u64, conn: usize, idx: usize, size: u32) -> RunSpec {
+    let h = splitmix64(seed ^ ((conn as u64) << 32) ^ idx as u64);
+    RunSpec {
+        workload: WORKLOADS[(h % WORKLOADS.len() as u64) as usize].to_owned(),
+        agent: AGENTS[((h >> 8) % AGENTS.len() as u64) as usize].to_owned(),
+        size,
+    }
+}
+
+/// Connect, retrying until `budget` elapses — lets a client start before
+/// the daemon finishes binding (the CI serve job races them).
+///
+/// # Errors
+///
+/// The last connect error once the budget is spent.
+pub fn connect_with_retry(addr: &str, budget: Duration) -> Result<TcpStream, String> {
+    let started = Instant::now();
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if started.elapsed() < budget => {
+                let _ = e;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(format!("connect {addr}: {e}")),
+        }
+    }
+}
+
+/// Issue one request on an open keep-alive connection and read the full
+/// response.
+///
+/// # Errors
+///
+/// A description of the transport or parse failure (connection drops
+/// surface here).
+pub fn http_request(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: jvmsim\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("write: {e}"))?;
+    read_response(stream)
+}
+
+fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
+    stream
+        .set_read_timeout(Some(READ_POLL))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut buf: Vec<u8> = Vec::new();
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        fill(stream, &mut buf, deadline)?;
+    };
+    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-utf8 head".to_owned())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or("empty response")?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "bad content-length".to_owned())?;
+            }
+        }
+    }
+    let body_start = header_end + 4;
+    while buf.len() < body_start + content_length {
+        fill(stream, &mut buf, deadline)?;
+    }
+    let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
+        .map_err(|_| "non-utf8 body".to_owned())?;
+    // Anything past the body would be an unrequested pipelined response.
+    buf.truncate(body_start + content_length);
+    Ok((status, body))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>, deadline: Instant) -> Result<(), String> {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if Instant::now() >= deadline {
+            return Err("response deadline elapsed".to_owned());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-response".to_owned()),
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                return Ok(());
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+}
+
+/// Run the closed-loop load and aggregate every connection's report.
+///
+/// # Errors
+///
+/// Only setup failures (an unwritable `rows_dir`); per-request transport
+/// failures are *counted*, not fatal, so a chaos-mode daemon dropping
+/// connections cannot kill the generator.
+pub fn run_client(config: &ClientConfig) -> Result<ClientReport, String> {
+    if let Some(dir) = &config.rows_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let handles: Vec<_> = (0..config.connections.max(1))
+        .map(|conn| {
+            let config = config.clone();
+            std::thread::spawn(move || connection_loop(&config, conn))
+        })
+        .collect();
+    let mut report = ClientReport::default();
+    for handle in handles {
+        match handle.join() {
+            Ok(partial) => report.merge(partial),
+            Err(_) => report.transport_errors += 1,
+        }
+    }
+    if config.fetch_cache_stats {
+        if let Ok(mut stream) = connect_with_retry(&config.addr, Duration::from_secs(5)) {
+            if let Ok((200, body)) = http_request(&mut stream, "GET", "/v1/cache/stats", None) {
+                report.cache_stats = Some(body);
+            }
+        }
+    }
+    if config.send_shutdown {
+        if let Ok(mut stream) = connect_with_retry(&config.addr, Duration::from_secs(5)) {
+            let _ = http_request(&mut stream, "POST", "/v1/shutdown", None);
+        }
+    }
+    Ok(report)
+}
+
+fn connection_loop(config: &ClientConfig, conn: usize) -> ClientReport {
+    let mut report = ClientReport::default();
+    let mut stream = None;
+    for idx in 0..config.requests {
+        // Every 8th slot probes /healthz; the rest are run requests.
+        let h = splitmix64(config.seed ^ ((conn as u64) << 32) ^ idx as u64);
+        let (endpoint, method, body, spec) = if h % 8 == 7 {
+            ("/healthz", "GET", None, None)
+        } else {
+            let spec = pick_spec(config.seed, conn, idx, config.size);
+            ("/v1/run", "POST", Some(spec.to_json()), Some(spec))
+        };
+        let started = Instant::now();
+        // Reconnect lazily: the first request, and after any drop.
+        let s = match &mut stream {
+            Some(s) => s,
+            None => match connect_with_retry(&config.addr, Duration::from_secs(10)) {
+                Ok(s) => stream.insert(s),
+                Err(_) => {
+                    report.transport_errors += 1;
+                    continue;
+                }
+            },
+        };
+        match http_request(s, method, endpoint, body.as_deref()) {
+            Ok((status, response_body)) => {
+                report.record(endpoint, status, started.elapsed());
+                if status == 200 {
+                    if let (Some(dir), Some(spec)) = (&config.rows_dir, &spec) {
+                        let name =
+                            format!("run-{}-{}-{}.json", spec.workload, spec.agent, spec.size);
+                        let _ = std::fs::write(dir.join(name), response_body.as_bytes());
+                    }
+                } else {
+                    // Error responses close or may close; start fresh.
+                    stream = None;
+                }
+            }
+            Err(_) => {
+                report.transport_errors += 1;
+                stream = None;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_match_log2_boundaries() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 1);
+        assert_eq!(latency_bucket(2), 2);
+        assert_eq!(latency_bucket(3), 2);
+        assert_eq!(latency_bucket(4), 3);
+        assert_eq!(latency_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn spec_mix_is_deterministic() {
+        let a = pick_spec(42, 1, 3, 10);
+        let b = pick_spec(42, 1, 3, 10);
+        assert_eq!(a, b);
+        assert!(WORKLOADS.contains(&a.workload.as_str()));
+        assert!(AGENTS.contains(&a.agent.as_str()));
+        assert_eq!(a.size, 10);
+    }
+
+    #[test]
+    fn summary_renders_sorted_deterministic_lines() {
+        let mut report = ClientReport::default();
+        report.record("/v1/run", 200, Duration::from_micros(5));
+        report.record("/v1/run", 200, Duration::from_micros(9));
+        report.record("/v1/run", 429, Duration::from_micros(1));
+        report.record("/healthz", 200, Duration::from_micros(2));
+        assert_eq!(
+            report.render_summary(),
+            "client /healthz 200 1\nclient /v1/run 200 2\nclient /v1/run 429 1\nclient transport_errors 0\n"
+        );
+        let latency = report.render_latency();
+        assert!(latency.contains("latency /v1/run:"), "{latency}");
+    }
+}

@@ -1,0 +1,424 @@
+//! A minimal hand-rolled HTTP/1.1 layer: request parsing, fixed-length
+//! (chunked-free) responses, keep-alive, and read deadlines.
+//!
+//! This is deliberately the smallest slice of HTTP the daemon needs —
+//! `Content-Length` bodies only, no transfer encodings, no continuations
+//! — with every limit explicit so a hostile peer costs bounded memory:
+//! the header block is capped at [`MAX_HEADER_BYTES`] and the body at
+//! [`MAX_BODY_BYTES`], both answered with a typed [`ServeError`] rather
+//! than unbounded buffering.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Maximum size of the request line + headers.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Maximum size of a request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Poll interval for deadline/drain checks while blocked on a read.
+pub(crate) const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Typed failure taxonomy of the HTTP layer. Every variant maps onto one
+/// response status (or a silent close), so the connection loop has a
+/// single error path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The peer closed the connection before a complete request arrived
+    /// (clean close between requests is `Closed` with zero bytes read).
+    Closed,
+    /// The request could not be parsed as HTTP/1.1.
+    Malformed(String),
+    /// The header block exceeded [`MAX_HEADER_BYTES`].
+    HeadersTooLarge,
+    /// The declared body exceeded [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The read deadline elapsed before a complete request arrived.
+    ReadTimeout,
+    /// The server is draining and stops reading new requests.
+    Draining,
+    /// A transport error on the socket.
+    Io(String),
+}
+
+impl ServeError {
+    /// The response status for this error, or `None` when the connection
+    /// just closes silently (peer already gone).
+    #[must_use]
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ServeError::Closed | ServeError::Io(_) => None,
+            ServeError::Malformed(_) => Some(400),
+            ServeError::HeadersTooLarge => Some(431),
+            ServeError::BodyTooLarge => Some(413),
+            ServeError::ReadTimeout => Some(408),
+            ServeError::Draining => Some(503),
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Closed => write!(f, "connection closed"),
+            ServeError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ServeError::HeadersTooLarge => write!(f, "header block too large"),
+            ServeError::BodyTooLarge => write!(f, "request body too large"),
+            ServeError::ReadTimeout => write!(f, "read deadline elapsed"),
+            ServeError::Draining => write!(f, "server is draining"),
+            ServeError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (no query parsing; the API needs none).
+    pub path: String,
+    /// Lowercased header names with their raw values.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (lowercase), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One response. Bodies are always fixed-length (`Content-Length`), never
+/// chunked, so a client can `cmp` a saved body against a batch artifact.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// `Retry-After` seconds (load-shedding responses).
+    pub retry_after: Option<u32>,
+    /// Send `Connection: close` and drop the connection after writing.
+    pub close: bool,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            retry_after: None,
+            close: false,
+        }
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            content_type: "application/json",
+            ..Response::text(status, body)
+        }
+    }
+
+    /// Same response with `Connection: close`.
+    #[must_use]
+    pub fn closing(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
+    /// The standard reason phrase for the statuses this daemon emits.
+    #[must_use]
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize and write the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket write fails (peer gone).
+    pub fn write(&self, stream: &mut TcpStream) -> Result<(), ServeError> {
+        use std::fmt::Write as _;
+        let mut head = String::with_capacity(160);
+        let _ = write!(
+            head,
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            Response::reason(self.status)
+        );
+        let _ = write!(head, "Content-Type: {}\r\n", self.content_type);
+        let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
+        if let Some(secs) = self.retry_after {
+            let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        let _ = write!(
+            head,
+            "Connection: {}\r\n\r\n",
+            if self.close { "close" } else { "keep-alive" }
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|()| stream.write_all(&self.body))
+            .and_then(|()| stream.flush())
+            .map_err(|e| ServeError::Io(e.to_string()))
+    }
+}
+
+/// Read one request off a keep-alive connection, polling `is_draining`
+/// and the `deadline` while blocked.
+///
+/// The stream must have a read timeout of [`READ_POLL`] installed (the
+/// connection loop sets it once); each poll tick re-checks the drain flag
+/// and the per-request read deadline, so a stalled peer costs at most one
+/// tick after the deadline and a drain never waits on an idle connection.
+///
+/// # Errors
+///
+/// * [`ServeError::Closed`] — clean close before any byte of a request.
+/// * [`ServeError::Draining`] — drain began before any byte of a request.
+/// * [`ServeError::ReadTimeout`] — deadline elapsed mid-request.
+/// * [`ServeError::Malformed`] / size variants — parse failures.
+/// * [`ServeError::Io`] — transport failure.
+pub fn read_request(
+    stream: &mut TcpStream,
+    deadline: Duration,
+    is_draining: &dyn Fn() -> bool,
+) -> Result<Request, ServeError> {
+    let start = Instant::now();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Phase 1: the header block.
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(ServeError::HeadersTooLarge);
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Err(ServeError::Closed)
+                } else {
+                    Err(ServeError::Malformed("eof mid-headers".into()))
+                };
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if buf.is_empty() && is_draining() {
+                    return Err(ServeError::Draining);
+                }
+                if start.elapsed() >= deadline {
+                    return if buf.is_empty() {
+                        Err(ServeError::Closed)
+                    } else {
+                        Err(ServeError::ReadTimeout)
+                    };
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServeError::Io(e.to_string())),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| ServeError::Malformed("non-utf8 header block".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && !p.is_empty() => (m, p, v),
+        _ => {
+            return Err(ServeError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ServeError::Malformed(format!("bad version {version:?}")));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ServeError::Malformed(format!("bad header line {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ServeError::Malformed(format!("bad content-length {v:?}")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::BodyTooLarge);
+    }
+    // Phase 2: the body.
+    let body_start = header_end + 4;
+    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(ServeError::Malformed("eof mid-body".into())),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if start.elapsed() >= deadline {
+                    return Err(ServeError::ReadTimeout);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ServeError::Io(e.to_string())),
+        }
+    }
+    if body.len() > content_length {
+        // Pipelined extra bytes would desynchronise the keep-alive framing.
+        return Err(ServeError::Malformed("bytes beyond content-length".into()));
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        headers,
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, ServeError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            s.flush().unwrap();
+            // Keep the stream open briefly so the reader sees a stall, not
+            // an EOF, if it wants more bytes.
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream.set_read_timeout(Some(READ_POLL)).unwrap();
+        let got = read_request(&mut stream, Duration::from_millis(200), &|| false);
+        writer.join().unwrap();
+        got
+    }
+
+    #[test]
+    fn parses_a_request_with_body() {
+        let req = round_trip(b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/run");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn rejects_malformed_shapes() {
+        assert!(matches!(
+            round_trip(b"NONSENSE\r\n\r\n"),
+            Err(ServeError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(b"GET / HTTP/2.0\r\n\r\n"),
+            Err(ServeError::Malformed(_))
+        ));
+        assert!(matches!(
+            round_trip(b"GET / HTTP/1.1\r\nContent-Length: huge\r\n\r\n"),
+            Err(ServeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_fails_closed() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(round_trip(raw.as_bytes()), Err(ServeError::BodyTooLarge));
+    }
+
+    #[test]
+    fn stalled_body_times_out() {
+        // Declares 10 bytes, sends 2: the deadline must fire.
+        assert_eq!(
+            round_trip(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"),
+            Err(ServeError::ReadTimeout)
+        );
+    }
+
+    #[test]
+    fn error_statuses() {
+        assert_eq!(ServeError::Closed.status(), None);
+        assert_eq!(ServeError::Malformed(String::new()).status(), Some(400));
+        assert_eq!(ServeError::HeadersTooLarge.status(), Some(431));
+        assert_eq!(ServeError::BodyTooLarge.status(), Some(413));
+        assert_eq!(ServeError::ReadTimeout.status(), Some(408));
+        assert_eq!(ServeError::Draining.status(), Some(503));
+    }
+
+    #[test]
+    fn response_bytes_are_fixed_length() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let reader = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let mut out = Vec::new();
+            s.read_to_end(&mut out).unwrap();
+            out
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let mut resp = Response::json(429, "{}");
+        resp.retry_after = Some(1);
+        resp.closing().write(&mut stream).unwrap();
+        drop(stream);
+        let raw = String::from_utf8(reader.join().unwrap()).unwrap();
+        assert!(
+            raw.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{raw}"
+        );
+        assert!(raw.contains("Content-Length: 2\r\n"));
+        assert!(raw.contains("Retry-After: 1\r\n"));
+        assert!(raw.contains("Connection: close\r\n"));
+        assert!(raw.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,42 @@
+//! `jvmsim-serve`: the profiling-as-a-service daemon.
+//!
+//! A std-only, thread-per-worker HTTP/1.1 front end over the harness's
+//! `Session` run API. The moving pieces, one module each:
+//!
+//! * [`http`] — a minimal hand-rolled HTTP/1.1 layer: request parsing
+//!   with read deadlines, fixed-length keep-alive responses, and the
+//!   typed [`http::ServeError`] that maps each transport failure to a
+//!   status code.
+//! * [`spec`] — the `POST /v1/run` body: a strict flat-JSON run spec
+//!   that validates into the same [`SessionSpec`] the batch driver
+//!   executes, so a served row is byte-identical to a batch row.
+//! * [`admission`] — the bounded queue between connection threads and
+//!   the fixed worker pool; a full queue load-sheds (`429 Retry-After`)
+//!   instead of buffering without bound.
+//! * [`server`] — the daemon itself: cache-first request handling,
+//!   per-request deadlines (`504`), exactly-once outcome accounting
+//!   (`accepted == served + shed + timeout + dropped + errors`), and
+//!   graceful drain (stop accepting, finish in-flight, flush metrics).
+//! * [`client`] — the closed-loop deterministic load generator behind
+//!   `jprof client`.
+//! * [`drill`] — the chaos drill `jprof chaos` runs against the two
+//!   transport fault sites (`serve-slow-read`, `serve-conn-drop`),
+//!   asserting the ledger balances and no request is double-counted.
+//!
+//! [`SessionSpec`]: jnativeprof::session::SessionSpec
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod drill;
+pub mod http;
+pub mod server;
+pub mod spec;
+
+pub use client::{run_client, ClientConfig, ClientReport};
+pub use drill::{chaos_drill, DrillReport};
+pub use http::ServeError;
+pub use server::{ServeConfig, Server};
+pub use spec::RunSpec;

@@ -1,0 +1,552 @@
+//! The daemon: acceptor, connection threads, worker pool, and the
+//! endpoint routing over them.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! accept → read_request (deadline, drain-aware)
+//!        → [serve-slow-read fault?] → 408
+//!        → route:
+//!            GET  /healthz        → 200 ok
+//!            GET  /v1/metrics     → Prometheus text
+//!            GET  /v1/cache/stats → cache counters JSON
+//!            POST /v1/shutdown    → begin graceful drain
+//!            POST /v1/run         → cache-first lookup
+//!                                   → hit: row from the result plane
+//!                                   → miss: bounded queue → worker pool
+//!                                     (full → 429, deadline → 504)
+//!        → [serve-conn-drop fault?] → close unwritten
+//!        → write response, account exactly once, keep-alive
+//! ```
+//!
+//! # Determinism boundary
+//!
+//! A run's row bytes are a pure function of its identity (workload,
+//! agent, size — the same [`SessionSpec`] the batch driver uses), so a
+//! served `POST /v1/run` body is byte-identical to the batch row, cold or
+//! warm. Wall-clock only exists on the *other* side of the boundary: the
+//! `serve_latency_micros` histogram and the client's own timings, which
+//! never feed artifact bytes.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use jnativeprof::cell::{cell_row_json, decode_cell_entry, encode_cell_entry, CellQuantities};
+use jnativeprof::harness::HarnessError;
+use jnativeprof::session::SessionSpec;
+use jvmsim_cache::{CacheStore, Plane};
+use jvmsim_faults::{FaultInjector, FaultPlan, FaultSite};
+use jvmsim_metrics::{
+    render_prometheus, CounterId, HistogramId, MetricsEntry, MetricsRegistry, MetricsSnapshot,
+};
+
+use crate::admission::{AdmissionError, AdmissionQueue, Job};
+use crate::http::{read_request, Request, Response, ServeError, READ_POLL};
+use crate::spec::RunSpec;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker pool size (floored at 1).
+    pub jobs: usize,
+    /// Admission queue capacity (floored at 1).
+    pub queue: usize,
+    /// Per-request deadline: read + queue wait + execution. Elapsing it
+    /// answers `408` (mid-read) or `504` (queued/running).
+    pub deadline: Duration,
+    /// Content-addressed store consulted before any run is scheduled and
+    /// filled after every clean run.
+    pub cache: Option<CacheStore>,
+    /// Serve-plane fault plan (transport faults only — injected faults
+    /// never reach the [`SessionSpec`] runs, so they cannot change row
+    /// bytes). Inert by default.
+    pub faults: FaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: 2,
+            queue: 16,
+            deadline: Duration::from_secs(30),
+            cache: None,
+            faults: FaultPlan::new(0),
+        }
+    }
+}
+
+/// How one request ended — the exclusive outcome classes of the admission
+/// ledger: `accepted == served + shed + timeout + dropped + errors`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Outcome {
+    /// Answered 2xx. `hit` marks a cache-served run row.
+    Served { hit: bool },
+    /// Load-shed with `429` (queue full).
+    Shed,
+    /// Deadline elapsed: `408` mid-read, `504` queued/running.
+    Timeout,
+    /// Connection dropped before the response was written.
+    Dropped,
+    /// Any other 4xx/5xx.
+    Error,
+}
+
+/// Tracks live connection threads so a drain can wait for them.
+struct ConnGauge {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl ConnGauge {
+    fn new() -> ConnGauge {
+        ConnGauge {
+            count: Mutex::new(0),
+            zero: Condvar::new(),
+        }
+    }
+
+    fn enter(&self) {
+        *self.count.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+    }
+
+    fn leave(&self) {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        *n = n.saturating_sub(1);
+        if *n == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    fn wait_zero(&self) {
+        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
+        while *n > 0 {
+            n = self.zero.wait(n).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    registry: MetricsRegistry,
+    /// Per-run registries absorbed here after each executed run.
+    run_metrics: Mutex<MetricsSnapshot>,
+    queue: AdmissionQueue,
+    cache: Option<CacheStore>,
+    injector: Arc<FaultInjector>,
+    draining: AtomicBool,
+    deadline: Duration,
+    conns: ConnGauge,
+}
+
+impl Shared {
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.queue.close();
+    }
+
+    /// The single accounting point: every request increments `accepted`
+    /// and exactly one outcome class, plus the wall-latency histogram.
+    fn account(&self, outcome: Outcome, started: Instant) {
+        let shard = self.registry.global();
+        shard.incr(CounterId::ServeAccepted);
+        match outcome {
+            Outcome::Served { hit } => {
+                shard.incr(CounterId::ServeServed);
+                if hit {
+                    shard.incr(CounterId::ServeHits);
+                }
+            }
+            Outcome::Shed => shard.incr(CounterId::ServeShed),
+            Outcome::Timeout => shard.incr(CounterId::ServeTimeout),
+            Outcome::Dropped => shard.incr(CounterId::ServeDropped),
+            Outcome::Error => shard.incr(CounterId::ServeErrors),
+        }
+        shard.observe(
+            HistogramId::ServeLatencyMicros,
+            u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+    }
+
+    /// The two metric entries `/v1/metrics` exposes: the serve plane's own
+    /// counters and the absorbed per-run registries.
+    fn metric_entries(&self) -> Vec<MetricsEntry> {
+        let runs = self
+            .run_metrics
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        vec![
+            MetricsEntry {
+                benchmark: "serve".to_owned(),
+                agent: "server".to_owned(),
+                snapshot: self.registry.snapshot(),
+            },
+            MetricsEntry {
+                benchmark: "runs".to_owned(),
+                agent: "all".to_owned(),
+                snapshot: runs,
+            },
+        ]
+    }
+}
+
+/// A running daemon. Dropping it without [`Server::shutdown`] leaks the
+/// listener until process exit; the binaries always drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start: acceptor thread + `jobs` workers.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures (address in use, bad address).
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let registry = MetricsRegistry::new();
+        // Cache hit/miss accounting lands in the server's own registry.
+        let cache = config
+            .cache
+            .map(|store| store.with_metrics(registry.global()));
+        let shared = Arc::new(Shared {
+            registry,
+            run_metrics: Mutex::new(MetricsSnapshot::default()),
+            queue: AdmissionQueue::new(config.queue),
+            cache,
+            injector: Arc::new(FaultInjector::new(config.faults)),
+            draining: AtomicBool::new(false),
+            deadline: config.deadline,
+            conns: ConnGauge::new(),
+        });
+        let workers = (0..config.jobs.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (the actual port when `:0` was requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Has a drain been triggered (locally or via `POST /v1/shutdown`)?
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.shared.is_draining()
+    }
+
+    /// Begin the graceful drain without waiting: stop accepting, refuse
+    /// new work, let queued and running requests finish.
+    pub fn trigger_shutdown(&self) {
+        self.shared.begin_drain();
+    }
+
+    /// The server-side metric entries (serve ledger + absorbed runs).
+    #[must_use]
+    pub fn metric_entries(&self) -> Vec<MetricsEntry> {
+        self.shared.metric_entries()
+    }
+
+    /// The serve-plane injector's `(site, consulted, injected)` tallies.
+    #[must_use]
+    pub fn fault_summary(&self) -> Vec<(FaultSite, u64, u64)> {
+        self.shared.injector.summary()
+    }
+
+    /// Drain gracefully and join every thread: stop accepting, finish all
+    /// queued and in-flight requests, close idle connections. Returns the
+    /// final metric entries (the "flush" of the drain path).
+    pub fn shutdown(mut self) -> Vec<MetricsEntry> {
+        self.shared.begin_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.conns.wait_zero();
+        self.shared.metric_entries()
+    }
+
+    /// Block until a drain is triggered (e.g. by `POST /v1/shutdown`),
+    /// then finish it as [`Server::shutdown`] does.
+    pub fn wait(self) -> Vec<MetricsEntry> {
+        while !self.shared.is_draining() {
+            std::thread::sleep(READ_POLL);
+        }
+        self.shutdown()
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.is_draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nonblocking(false);
+                let shared = Arc::clone(shared);
+                shared.conns.enter();
+                let spawned = std::thread::Builder::new()
+                    .name("serve-conn".to_owned())
+                    .spawn(move || {
+                        handle_connection(&shared, stream);
+                        shared.conns.leave();
+                    });
+                if spawned.is_err() {
+                    // Spawn failure: the gauge entry must not leak.
+                    // (The connection is dropped unanswered.)
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
+        return;
+    }
+    loop {
+        let started = Instant::now();
+        let request = read_request(&mut stream, shared.deadline, &|| shared.is_draining());
+        let (response, outcome) = match request {
+            Ok(request) => {
+                // Injected slow read: the request "never finished arriving"
+                // within the deadline — same outcome class as a real stall.
+                if shared.injector.inject(FaultSite::ServeSlowRead).is_some() {
+                    (
+                        Response::text(408, "injected slow read\n").closing(),
+                        Outcome::Timeout,
+                    )
+                } else {
+                    route(shared, &request, started)
+                }
+            }
+            Err(error) => {
+                let Some(status) = error.status() else {
+                    // Clean close, transport failure, or drain on an idle
+                    // connection: no request to account, just hang up.
+                    return;
+                };
+                if matches!(error, ServeError::Draining) {
+                    // Drain with no request bytes read: close silently.
+                    return;
+                }
+                let outcome = match error {
+                    ServeError::ReadTimeout => Outcome::Timeout,
+                    _ => Outcome::Error,
+                };
+                (
+                    Response::text(status, format!("{error}\n")).closing(),
+                    outcome,
+                )
+            }
+        };
+        // Close after the response once draining (finish in-flight, then
+        // wind the connection down).
+        let response = if shared.is_draining() {
+            response.closing()
+        } else {
+            response
+        };
+        // Injected connection drop: the response is computed but the peer
+        // never sees it. A real failed write lands in the same outcome
+        // class; either way the request is accounted exactly once.
+        let written = shared.injector.inject(FaultSite::ServeConnDrop).is_none()
+            && response.write(&mut stream).is_ok();
+        let final_outcome = if written { outcome } else { Outcome::Dropped };
+        shared.account(final_outcome, started);
+        if matches!(final_outcome, Outcome::Dropped) || response.close {
+            return;
+        }
+    }
+}
+
+fn route(shared: &Arc<Shared>, request: &Request, started: Instant) -> (Response, Outcome) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (Response::text(200, "ok\n"), Outcome::Served { hit: false }),
+        ("GET", "/v1/metrics") => (
+            Response::text(200, render_prometheus(&shared.metric_entries())),
+            Outcome::Served { hit: false },
+        ),
+        ("GET", "/v1/cache/stats") => {
+            let body = match &shared.cache {
+                None => "{\"enabled\":false}\n".to_owned(),
+                Some(store) => {
+                    let s = store.stats();
+                    format!(
+                        "{{\"enabled\":true,\"hits\":{},\"misses\":{},\"stores\":{},\
+                         \"quarantined\":{},\"bytes_read\":{},\"bytes_written\":{}}}\n",
+                        s.hits, s.misses, s.stores, s.quarantined, s.bytes_read, s.bytes_written
+                    )
+                }
+            };
+            (Response::json(200, body), Outcome::Served { hit: false })
+        }
+        ("POST", "/v1/shutdown") => {
+            shared.begin_drain();
+            (
+                Response::json(200, "{\"draining\":true}\n").closing(),
+                Outcome::Served { hit: false },
+            )
+        }
+        ("POST", "/v1/run") => handle_run(shared, &request.body, started),
+        (
+            "GET" | "POST",
+            "/healthz" | "/v1/metrics" | "/v1/cache/stats" | "/v1/shutdown" | "/v1/run",
+        ) => (Response::text(405, "method not allowed\n"), Outcome::Error),
+        _ => (Response::text(404, "not found\n"), Outcome::Error),
+    }
+}
+
+fn error_json(error: &HarnessError) -> String {
+    format!(
+        "{{\"error\":\"{}\",\"exit_code\":{}}}\n",
+        error.to_string().replace('\\', "\\\\").replace('"', "\\\""),
+        error.exit_code()
+    )
+}
+
+fn handle_run(shared: &Arc<Shared>, body: &[u8], started: Instant) -> (Response, Outcome) {
+    let spec = match RunSpec::from_json(body).and_then(|r| r.to_session_spec()) {
+        Ok(spec) => spec,
+        Err(error) => return (Response::json(400, error_json(&error)), Outcome::Error),
+    };
+    // Cache-first: a warm identity never touches the queue. Every hit is
+    // digest-verified by the store; a verified frame whose payload does
+    // not decode is quarantined and falls through to a fresh run.
+    if let Some(store) = &shared.cache {
+        if let Ok(key) = spec.with_session(|s| s.result_key()) {
+            if let Some(bytes) = store.lookup(Plane::CellResult, &key) {
+                match decode_cell_entry(&bytes) {
+                    Some((cell, _sites)) => {
+                        let row =
+                            cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell);
+                        return (Response::json(200, row), Outcome::Served { hit: true });
+                    }
+                    None => store.quarantine(Plane::CellResult, &key),
+                }
+            }
+        }
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let abandoned = Arc::new(AtomicBool::new(false));
+    let job = Job {
+        spec,
+        reply: reply_tx,
+        abandoned: Arc::clone(&abandoned),
+    };
+    match shared.queue.try_enqueue(job) {
+        Err(AdmissionError::Full) => {
+            let mut response = Response::json(429, "{\"error\":\"queue full\"}\n");
+            response.retry_after = Some(1);
+            return (response, Outcome::Shed);
+        }
+        Err(AdmissionError::Closed) => {
+            return (
+                Response::json(503, "{\"error\":\"draining\"}\n").closing(),
+                Outcome::Error,
+            );
+        }
+        Ok(()) => {}
+    }
+    let remaining = shared.deadline.saturating_sub(started.elapsed());
+    match reply_rx.recv_timeout(remaining) {
+        Ok(Ok(row)) => (Response::json(200, row), Outcome::Served { hit: false }),
+        Ok(Err(error)) => (Response::json(500, error_json(&error)), Outcome::Error),
+        Err(_) => {
+            // Deadline or a dead worker pool: either way the requester is
+            // done waiting. Mark the job so an unstarted execution is
+            // skipped; a started one finishes harmlessly into a dropped
+            // channel (and still warms the cache).
+            abandoned.store(true, Ordering::Release);
+            (
+                Response::json(504, "{\"error\":\"deadline elapsed\"}\n").closing(),
+                Outcome::Timeout,
+            )
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(job) = shared.queue.dequeue() {
+        if job.is_abandoned() {
+            continue;
+        }
+        let result = execute_job(shared, &job.spec);
+        // A failed send means the requester timed out mid-run; the row
+        // (if any) is already in the cache for the retry.
+        let _ = job.reply.send(result);
+    }
+}
+
+/// Execute one spec through the Session API and render its canonical row.
+/// This is the only place the serve plane runs workloads; the fault
+/// injector is deliberately *not* attached to the session, so transport
+/// chaos can never perturb row bytes.
+fn execute_job(shared: &Arc<Shared>, spec: &SessionSpec) -> Result<String, HarnessError> {
+    let registry = MetricsRegistry::new();
+    let run = spec.with_session(|mut session| {
+        session = session.metrics(registry.clone());
+        if let Some(store) = &shared.cache {
+            session = session.cache(store.clone());
+        }
+        session.run()
+    })??;
+    let cell = CellQuantities::from_run(&run);
+    if let Some(store) = &shared.cache {
+        if let Ok(key) = spec.with_session(|s| s.result_key()) {
+            // Site tallies are empty off the chaos path — exactly what the
+            // batch driver stores for a fault-free cell, so serve-written
+            // and suite-written entries are interchangeable.
+            let _ = store.store(Plane::CellResult, &key, &encode_cell_entry(&cell, &[]));
+        }
+    }
+    shared
+        .run_metrics
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .absorb(&registry.snapshot());
+    Ok(cell_row_json(
+        &spec.workload,
+        spec.agent.label(),
+        spec.size.0,
+        &cell,
+    ))
+}

@@ -1,0 +1,301 @@
+//! The `POST /v1/run` request body: a flat JSON object naming a run.
+//!
+//! The workspace has no serde (hand-rolled JSON everywhere), so this is a
+//! small strict parser for exactly the shape the endpoint accepts:
+//! `{"workload": "compress", "agent": "ipa", "size": 1}` — string or
+//! unsigned-integer values only, unknown keys rejected so a typo'd field
+//! can never be silently ignored.
+
+use jnativeprof::harness::HarnessError;
+use jnativeprof::session::SessionSpec;
+
+/// A parsed (but not yet validated) run request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Workload name.
+    pub workload: String,
+    /// Agent label (`original` / `spa` / `ipa`; default `original`).
+    pub agent: String,
+    /// Problem size (default 1).
+    pub size: u32,
+}
+
+impl RunSpec {
+    /// Parse a request body.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Usage`] describing the first problem found —
+    /// non-UTF-8, not a flat object, unknown key, bad value type, or a
+    /// missing `workload`.
+    pub fn from_json(body: &[u8]) -> Result<RunSpec, HarnessError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| HarnessError::Usage("run spec must be utf-8 JSON".to_owned()))?;
+        let fields = parse_flat_object(text).map_err(HarnessError::Usage)?;
+        let mut workload = None;
+        let mut agent = None;
+        let mut size = None;
+        for (key, value) in fields {
+            match key.as_str() {
+                "workload" => workload = Some(value.string("workload")?),
+                "agent" => agent = Some(value.string("agent")?),
+                "size" => size = Some(value.size("size")?),
+                other => {
+                    return Err(HarnessError::Usage(format!(
+                        "unknown run spec key '{other}'"
+                    )))
+                }
+            }
+        }
+        Ok(RunSpec {
+            workload: workload
+                .ok_or_else(|| HarnessError::Usage("run spec missing 'workload'".to_owned()))?,
+            agent: agent.unwrap_or_else(|| "original".to_owned()),
+            size: size.unwrap_or(1),
+        })
+    }
+
+    /// Validate into a runnable [`SessionSpec`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionSpec::parse`].
+    pub fn to_session_spec(&self) -> Result<SessionSpec, HarnessError> {
+        SessionSpec::parse(&self.workload, &self.agent, self.size)
+    }
+
+    /// Render as the canonical request body (what `jprof client` sends).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workload\":\"{}\",\"agent\":\"{}\",\"size\":{}}}",
+            escape(&self.workload),
+            escape(&self.agent),
+            self.size
+        )
+    }
+}
+
+/// One parsed JSON value: the two types a run spec can hold.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JsonValue {
+    Str(String),
+    Num(u64),
+}
+
+impl JsonValue {
+    fn string(self, key: &str) -> Result<String, HarnessError> {
+        match self {
+            JsonValue::Str(s) => Ok(s),
+            JsonValue::Num(_) => Err(HarnessError::Usage(format!("'{key}' must be a string"))),
+        }
+    }
+
+    fn size(self, key: &str) -> Result<u32, HarnessError> {
+        match self {
+            JsonValue::Num(n) => {
+                u32::try_from(n).map_err(|_| HarnessError::Usage(format!("'{key}' out of range")))
+            }
+            JsonValue::Str(_) => Err(HarnessError::Usage(format!("'{key}' must be a number"))),
+        }
+    }
+}
+
+/// Parse a flat JSON object of string/unsigned-number values, strictly:
+/// no nesting, no trailing content, no duplicate-silently-wins.
+fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser {
+        chars: text.char_indices().peekable(),
+        text,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields: Vec<(String, JsonValue)> = Vec::new();
+    p.skip_ws();
+    if p.eat('}') {
+        p.skip_ws();
+        return p.finish(fields);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        if fields.iter().any(|(k, _)| *k == key) {
+            return Err(format!("duplicate key '{key}'"));
+        }
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.value()?;
+        fields.push((key, value));
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        p.skip_ws();
+        return p.finish(fields);
+    }
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    text: &'a str,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((_, c)) => Err(format!("expected '{want}', found '{c}'")),
+            None => Err(format!("expected '{want}', found end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".to_owned()),
+                Some((_, '"')) => return Ok(out),
+                Some((_, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let (_, c) = self
+                                .chars
+                                .next()
+                                .ok_or_else(|| "truncated \\u escape".to_owned())?;
+                            code = code * 16
+                                + c.to_digit(16).ok_or_else(|| "bad \\u escape".to_owned())?;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| "bad \\u codepoint".to_owned())?,
+                        );
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.chars.peek() {
+            Some((_, '"')) => self.string().map(JsonValue::Str),
+            Some((start, c)) if c.is_ascii_digit() => {
+                let start = *start;
+                let mut end = start;
+                while let Some((i, c)) = self.chars.peek() {
+                    if c.is_ascii_digit() {
+                        end = *i + 1;
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.text[start..end]
+                    .parse::<u64>()
+                    .map(JsonValue::Num)
+                    .map_err(|_| "number out of range".to_owned())
+            }
+            Some((_, c)) => Err(format!("unsupported value starting with '{c}'")),
+            None => Err("expected a value, found end of input".to_owned()),
+        }
+    }
+
+    fn finish(
+        mut self,
+        fields: Vec<(String, JsonValue)>,
+    ) -> Result<Vec<(String, JsonValue)>, String> {
+        match self.chars.next() {
+            None => Ok(fields),
+            Some((_, c)) => Err(format!("trailing content starting with '{c}'")),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_and_defaulted_specs() {
+        let full =
+            RunSpec::from_json(br#"{"workload": "compress", "agent": "ipa", "size": 10}"#).unwrap();
+        assert_eq!(full.workload, "compress");
+        assert_eq!(full.agent, "ipa");
+        assert_eq!(full.size, 10);
+        let spec = full.to_session_spec().unwrap();
+        assert_eq!(spec.agent.label(), "IPA");
+
+        let minimal = RunSpec::from_json(br#"{"workload":"db"}"#).unwrap();
+        assert_eq!(minimal.agent, "original");
+        assert_eq!(minimal.size, 1);
+    }
+
+    #[test]
+    fn round_trips_through_to_json() {
+        let spec = RunSpec {
+            workload: "mtrt".to_owned(),
+            agent: "spa".to_owned(),
+            size: 100,
+        };
+        assert_eq!(RunSpec::from_json(spec.to_json().as_bytes()).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        for (body, what) in [
+            (&b"not json"[..], "garbage"),
+            (b"{\"workload\":\"x\"", "unterminated object"),
+            (b"{\"workload\":\"x\"} extra", "trailing content"),
+            (b"{\"wrkload\":\"x\"}", "unknown key"),
+            (b"{\"workload\":1}", "wrong type"),
+            (b"{\"size\":\"big\"}", "wrong type"),
+            (b"{\"workload\":\"x\",\"workload\":\"y\"}", "duplicate"),
+            (b"{}", "missing workload"),
+            (b"{\"workload\":{\"nested\":1}}", "nesting"),
+        ] {
+            let got = RunSpec::from_json(body);
+            assert!(
+                matches!(got, Err(HarnessError::Usage(_))),
+                "{what}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_workload_is_a_usage_error() {
+        let spec = RunSpec::from_json(br#"{"workload":"nope"}"#).unwrap();
+        assert!(matches!(
+            spec.to_session_spec(),
+            Err(HarnessError::Usage(_))
+        ));
+    }
+}

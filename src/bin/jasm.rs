@@ -9,22 +9,29 @@
 //! `run`/`profile` load the bootstrap library (`java/lang/*`, `java/io/*`)
 //! so assembly programs can call the native JDK analogs; the entry method
 //! must be static and take only integer parameters.
+//!
+//! Exit codes follow the shared failure classes
+//! ([`HarnessError::exit_code`]), so scripts distinguish a typo'd command
+//! line (`2`) from a failed assembly (`2`), a broken archive (`3`), a VM
+//! error (`5`), or an escaped exception (`6`) without parsing stderr —
+//! the same contract `jprof` honours.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use jnativeprof::classfile::jasm;
+use jnativeprof::harness::HarnessError;
 use jnativeprof::instr::Archive;
 use jnativeprof::vm::{builtins, Value, Vm};
 use jvmsim_jvmti::Agent;
 use nativeprof::IpaAgent;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage:\n  jasm build <in.jasm> <out.jvma>\n  jasm run <in.jasm> <class> <method> [int args…]\n  jasm profile <in.jasm> <class> <method> [int args…]"
-    );
-    ExitCode::FAILURE
-}
+const USAGE: &str = "\
+usage:
+  jasm build <in.jasm> <out.jvma>
+  jasm run <in.jasm> <class> <method> [int args…]
+  jasm profile <in.jasm> <class> <method> [int args…]
+";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,39 +39,55 @@ fn main() -> ExitCode {
         Some("build") => build(&args[1..]),
         Some("run") => execute(&args[1..], false),
         Some("profile") => execute(&args[1..], true),
-        _ => return usage(),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(HarnessError::Usage(format!(
+            "unknown subcommand {other:?}\n{USAGE}"
+        ))),
+        None => Err(HarnessError::Usage(format!("no subcommand\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("jasm: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn assemble(path: &str) -> Result<Vec<jnativeprof::classfile::ClassFile>, String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    jasm::parse(&source).map_err(|e| e.to_string())
+fn assemble(path: &str) -> Result<Vec<jnativeprof::classfile::ClassFile>, HarnessError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| HarnessError::Artifact(format!("{path}: {e}")))?;
+    // A source that does not assemble is bad input, not a harness fault.
+    jasm::parse(&source).map_err(|e| HarnessError::Usage(format!("{path}: {e}")))
 }
 
-fn build(args: &[String]) -> Result<(), String> {
+fn build(args: &[String]) -> Result<(), HarnessError> {
     let [input, output] = args else {
-        return Err("build needs <in.jasm> <out.jvma>".into());
+        return Err(HarnessError::Usage(format!(
+            "build needs <in.jasm> <out.jvma>\n{USAGE}"
+        )));
     };
     let classes = assemble(input)?;
     let mut archive = Archive::new();
     for class in &classes {
-        archive.insert_class(class).map_err(|e| e.to_string())?;
+        archive
+            .insert_class(class)
+            .map_err(|e| HarnessError::Instrument(e.to_string()))?;
     }
-    std::fs::write(output, archive.to_bytes()).map_err(|e| format!("{output}: {e}"))?;
+    std::fs::write(output, archive.to_bytes())
+        .map_err(|e| HarnessError::Artifact(format!("{output}: {e}")))?;
     println!("{output}: {} classes assembled", classes.len());
     Ok(())
 }
 
-fn execute(args: &[String], profile: bool) -> Result<(), String> {
+fn execute(args: &[String], profile: bool) -> Result<(), HarnessError> {
     let [input, class, method, int_args @ ..] = args else {
-        return Err("run needs <in.jasm> <class> <method> [int args…]".into());
+        return Err(HarnessError::Usage(format!(
+            "run needs <in.jasm> <class> <method> [int args…]\n{USAGE}"
+        )));
     };
     let classes = assemble(input)?;
     let values: Vec<Value> = int_args
@@ -72,7 +95,7 @@ fn execute(args: &[String], profile: bool) -> Result<(), String> {
         .map(|a| {
             a.parse::<i64>()
                 .map(Value::Int)
-                .map_err(|e| format!("{a}: {e}"))
+                .map_err(|e| HarnessError::Usage(format!("{a}: {e}")))
         })
         .collect::<Result<_, _>>()?;
     let descriptor = format!("({})I", "I".repeat(values.len()));
@@ -83,18 +106,20 @@ fn execute(args: &[String], profile: bool) -> Result<(), String> {
         for (name, bytes) in builtins::boot_archive() {
             archive
                 .insert_bytes(name, bytes)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| HarnessError::Instrument(e.to_string()))?;
         }
         for c in &classes {
-            archive.insert_class(c).map_err(|e| e.to_string())?;
+            archive
+                .insert_class(c)
+                .map_err(|e| HarnessError::Instrument(e.to_string()))?;
         }
         let ipa = IpaAgent::new();
         ipa.instrument_archive(&mut archive)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| HarnessError::Instrument(e.to_string()))?;
         vm.add_archive(archive);
         vm.register_native_library(builtins::libjava(), true);
         jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| HarnessError::Attach(e.to_string()))?;
         Some(ipa)
     } else {
         builtins::install(&mut vm);
@@ -107,13 +132,13 @@ fn execute(args: &[String], profile: bool) -> Result<(), String> {
     let pcl = vm.pcl();
     let outcome = vm
         .run(class, method, &descriptor, values)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| HarnessError::Vm(e.to_string()))?;
     let failed = match &outcome.main {
         Ok(v) => {
             println!("result: {v}");
             None
         }
-        Err(e) => Some(format!("uncaught exception: {e}")),
+        Err(e) => Some(HarnessError::Escaped(format!("uncaught exception: {e}"))),
     };
     println!(
         "cycles: {}  (virtual {:.6} s)   invocations: {}   native calls: {}",

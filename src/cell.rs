@@ -1,0 +1,315 @@
+//! The shared cell-row model: one (workload, agent, size) cell's
+//! deterministic quantities, its cache-entry codec, and its canonical
+//! JSON row rendering.
+//!
+//! Three consumers must agree on these bytes exactly:
+//!
+//! * the suite driver, which memoizes completed rows on the cache's
+//!   cell-result plane and assembles the Table I/II artifacts;
+//! * `jprof run`, which renders one cell row to stdout or a file;
+//! * `jvmsim-serve`, whose `POST /v1/run` response must be byte-identical
+//!   to the batch driver's row for the same run identity, cold or warm.
+//!
+//! Keeping the codec and the row renderer here — in the umbrella crate,
+//! below all three — makes that agreement structural rather than a test
+//! assertion: there is exactly one implementation to diverge from.
+
+use jvmsim_faults::FaultSite;
+
+use crate::session::RunOutcome;
+
+/// Everything the tables (and a served run response) need from one
+/// (workload, agent) cell: virtual seconds, the behavioural checksum,
+/// total cycles, and — for IPA — the Table II profile triple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellQuantities {
+    /// Virtual wall-clock seconds (total cycles at the PCL clock rate).
+    pub seconds: f64,
+    /// The workload checksum (behavioural-equivalence witness).
+    pub checksum: i64,
+    /// Total cycles charged across all threads.
+    pub total_cycles: u64,
+    /// `(percent_native, jni_calls, native_method_calls)` when IPA ran.
+    pub profile: Option<(f64, u64, u64)>,
+}
+
+impl CellQuantities {
+    /// Extract the cell quantities from a completed run. The profile is
+    /// kept only for IPA runs — SPA reports one too, but Table II (and
+    /// the row schema) attribute native time to IPA alone.
+    #[must_use]
+    pub fn from_run(run: &RunOutcome) -> CellQuantities {
+        CellQuantities {
+            seconds: run.seconds,
+            checksum: run.checksum,
+            total_cycles: run.outcome.total_cycles,
+            profile: run
+                .profile
+                .as_ref()
+                .filter(|_| run.agent == "IPA")
+                .map(|p| (p.percent_native(), p.jni_calls, p.native_method_calls)),
+        }
+    }
+}
+
+/// Per-site `(site, consulted, injected)` fault-schedule tally, stored
+/// alongside a memoized cell so warm chaos reports still balance.
+pub type SiteTally = (FaultSite, u64, u64);
+
+/// Payload layout version for memoized cell rows. Bumping it orphans old
+/// entries (their payloads stop decoding, so they are quarantined and
+/// recomputed) without touching the cache's own framing.
+pub const CELL_ENTRY_VERSION: u32 = 1;
+
+/// Serialize a completed cell for the result plane: everything the table
+/// assembler reads, exactly — floats as IEEE bits so a decoded row
+/// formats byte-identically to the live one — plus the chaos injector's
+/// per-site schedule so warm chaos reports still balance.
+#[must_use]
+pub fn encode_cell_entry(outcome: &CellQuantities, sites: &[SiteTally]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + sites.len() * 17);
+    out.extend_from_slice(&CELL_ENTRY_VERSION.to_le_bytes());
+    out.extend_from_slice(&outcome.seconds.to_bits().to_le_bytes());
+    out.extend_from_slice(&outcome.checksum.to_le_bytes());
+    out.extend_from_slice(&outcome.total_cycles.to_le_bytes());
+    match outcome.profile {
+        None => out.push(0),
+        Some((pct_native, jni_calls, native_method_calls)) => {
+            out.push(1);
+            out.extend_from_slice(&pct_native.to_bits().to_le_bytes());
+            out.extend_from_slice(&jni_calls.to_le_bytes());
+            out.extend_from_slice(&native_method_calls.to_le_bytes());
+        }
+    }
+    out.extend_from_slice(&(sites.len() as u32).to_le_bytes());
+    for &(site, consulted, injected) in sites {
+        out.push(site.index() as u8);
+        out.extend_from_slice(&consulted.to_le_bytes());
+        out.extend_from_slice(&injected.to_le_bytes());
+    }
+    out
+}
+
+/// Strict inverse of [`encode_cell_entry`]. `None` on any malformed shape
+/// (wrong version, truncation, trailing bytes, unknown fault site) — the
+/// caller quarantines the entry and recomputes.
+#[must_use]
+pub fn decode_cell_entry(bytes: &[u8]) -> Option<(CellQuantities, Vec<SiteTally>)> {
+    struct Cursor<'a>(&'a [u8]);
+    impl Cursor<'_> {
+        fn take<const N: usize>(&mut self) -> Option<[u8; N]> {
+            let (head, tail) = self.0.split_at_checked(N)?;
+            self.0 = tail;
+            head.try_into().ok()
+        }
+        fn u8(&mut self) -> Option<u8> {
+            self.take::<1>().map(|b| b[0])
+        }
+        fn u32(&mut self) -> Option<u32> {
+            self.take::<4>().map(u32::from_le_bytes)
+        }
+        fn u64(&mut self) -> Option<u64> {
+            self.take::<8>().map(u64::from_le_bytes)
+        }
+    }
+    let mut c = Cursor(bytes);
+    if c.u32()? != CELL_ENTRY_VERSION {
+        return None;
+    }
+    let seconds = f64::from_bits(c.u64()?);
+    let checksum = i64::from_le_bytes(c.take::<8>()?);
+    let total_cycles = c.u64()?;
+    let profile = match c.u8()? {
+        0 => None,
+        1 => Some((f64::from_bits(c.u64()?), c.u64()?, c.u64()?)),
+        _ => return None,
+    };
+    let site_count = c.u32()? as usize;
+    let mut sites = Vec::with_capacity(site_count.min(FaultSite::COUNT));
+    for _ in 0..site_count {
+        let site = *FaultSite::ALL.get(c.u8()? as usize)?;
+        sites.push((site, c.u64()?, c.u64()?));
+    }
+    if !c.0.is_empty() {
+        return None;
+    }
+    Some((
+        CellQuantities {
+            seconds,
+            checksum,
+            total_cycles,
+            profile,
+        },
+        sites,
+    ))
+}
+
+/// Column names of the canonical cell row, in rendering order.
+pub const CELL_ROW_COLUMNS: [&str; 9] = [
+    "benchmark",
+    "agent",
+    "size",
+    "seconds",
+    "checksum",
+    "total_cycles",
+    "pct_native",
+    "jni_calls",
+    "native_method_calls",
+];
+
+/// Render one cell as the canonical JSON row: a single-object array in
+/// the same shape `Table::to_json` gives a one-row table (all values as
+/// JSON strings, floats in fixed six-decimal formatting, profile columns
+/// empty for non-IPA cells, `\n`-terminated). Every transport — batch
+/// file, stdout, HTTP response body — emits exactly these bytes for the
+/// same run identity.
+#[must_use]
+pub fn cell_row_json(benchmark: &str, agent: &str, size: u32, cell: &CellQuantities) -> String {
+    let (pct_native, jni_calls, native_method_calls) = match cell.profile {
+        Some((pct, jni, native)) => (format!("{pct:.6}"), jni.to_string(), native.to_string()),
+        None => (String::new(), String::new(), String::new()),
+    };
+    let values = [
+        benchmark.to_owned(),
+        agent.to_owned(),
+        size.to_string(),
+        format!("{:.6}", cell.seconds),
+        cell.checksum.to_string(),
+        cell.total_cycles.to_string(),
+        pct_native,
+        jni_calls,
+        native_method_calls,
+    ];
+    let mut out = String::from("[\n  {");
+    for (i, (column, value)) in CELL_ROW_COLUMNS.iter().zip(&values).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(column);
+        out.push_str("\":\"");
+        out.push_str(&json_escape(value));
+        out.push('"');
+    }
+    out.push_str("}\n]\n");
+    out
+}
+
+/// Minimal JSON string escaping for row values (benchmark names and
+/// rendered numbers never need more than this, but a hostile workload
+/// name must not break the framing).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_entry_codec_round_trips() {
+        let with_profile = CellQuantities {
+            seconds: 1.234_567_891_2,
+            checksum: -42,
+            total_cycles: 987_654_321,
+            profile: Some((4.539_999_9, 3, 7)),
+        };
+        let sites: Vec<_> = FaultSite::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i as u64 * 11, i as u64 * 3))
+            .collect();
+        let bytes = encode_cell_entry(&with_profile, &sites);
+        let (decoded, decoded_sites) = decode_cell_entry(&bytes).unwrap();
+        assert_eq!(decoded.seconds.to_bits(), with_profile.seconds.to_bits());
+        assert_eq!(decoded.checksum, with_profile.checksum);
+        assert_eq!(decoded.total_cycles, with_profile.total_cycles);
+        assert_eq!(
+            decoded.profile.unwrap().0.to_bits(),
+            with_profile.profile.unwrap().0.to_bits()
+        );
+        assert_eq!(decoded_sites, sites);
+
+        let bare = CellQuantities {
+            seconds: 0.5,
+            checksum: 9,
+            total_cycles: 10,
+            profile: None,
+        };
+        let bytes = encode_cell_entry(&bare, &[]);
+        let (decoded, decoded_sites) = decode_cell_entry(&bytes).unwrap();
+        assert!(decoded.profile.is_none());
+        assert!(decoded_sites.is_empty());
+        assert_eq!(decoded.checksum, 9);
+    }
+
+    #[test]
+    fn malformed_cell_entries_rejected() {
+        let bytes = encode_cell_entry(
+            &CellQuantities {
+                seconds: 1.0,
+                checksum: 1,
+                total_cycles: 2,
+                profile: Some((1.0, 2, 3)),
+            },
+            &[(FaultSite::ALL[0], 5, 1)],
+        );
+        // Every truncation fails closed.
+        for len in 0..bytes.len() {
+            assert!(decode_cell_entry(&bytes[..len]).is_none(), "len {len}");
+        }
+        // Trailing garbage fails closed.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_cell_entry(&long).is_none());
+        // Wrong version fails closed.
+        let mut versioned = bytes.clone();
+        versioned[0] ^= 0xFF;
+        assert!(decode_cell_entry(&versioned).is_none());
+        // Unknown fault site index fails closed.
+        let mut bad_site = bytes;
+        let site_pos = 4 + 8 + 8 + 8 + 1 + 24 + 4;
+        bad_site[site_pos] = FaultSite::COUNT as u8;
+        assert!(decode_cell_entry(&bad_site).is_none());
+    }
+
+    #[test]
+    fn row_json_shape_and_escaping() {
+        let ipa = CellQuantities {
+            seconds: 1.5,
+            checksum: 7,
+            total_cycles: 1000,
+            profile: Some((4.54, 3, 9)),
+        };
+        let row = cell_row_json("compress", "IPA", 1, &ipa);
+        assert_eq!(
+            row,
+            "[\n  {\"benchmark\":\"compress\",\"agent\":\"IPA\",\"size\":\"1\",\
+             \"seconds\":\"1.500000\",\"checksum\":\"7\",\"total_cycles\":\"1000\",\
+             \"pct_native\":\"4.540000\",\"jni_calls\":\"3\",\
+             \"native_method_calls\":\"9\"}\n]\n"
+        );
+        let original = CellQuantities {
+            profile: None,
+            ..ipa
+        };
+        let row = cell_row_json("a\"b", "original", 10, &original);
+        assert!(row.contains("\"benchmark\":\"a\\\"b\""));
+        assert!(row.contains("\"pct_native\":\"\""));
+        assert!(row.ends_with("}\n]\n"));
+    }
+}

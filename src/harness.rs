@@ -3,26 +3,20 @@
 //!
 //! The run entry points live in [`crate::session`]: build a
 //! [`Session`](crate::session::Session), name the planes you want (agent,
-//! trace, faults, metrics, cache), and call `run()`. The free functions
-//! here ([`run`], [`run_traced`], [`try_run_traced`], [`try_run_metered`])
-//! are deprecated shims over that builder, kept so the historical
-//! positional API keeps compiling.
+//! trace, faults, metrics, cache), and call `run()`. The historical
+//! positional free functions (`run` → `run_traced` → `try_run_traced` →
+//! `try_run_metered`) lived here as deprecated shims for one release and
+//! are gone; this module keeps the shared vocabulary — [`AgentChoice`],
+//! [`HarnessError`] with its stable exit codes, and the paper's overhead
+//! formulas.
 
-use std::sync::Arc;
-
-use jvmsim_faults::FaultInjector;
-use jvmsim_metrics::{Bucket, MetricsRegistry};
-use jvmsim_vm::TraceSink;
+use jvmsim_metrics::Bucket;
 use nativeprof::IpaConfig;
-use workloads::{ProblemSize, Workload};
 
-use crate::session::Session;
-
-/// Typed failure taxonomy for a harness run — the graceful-degradation
-/// alternative to the panicking [`run`]/[`run_traced`] entry points, used
-/// by the suite driver to quarantine failing cells instead of dying, and
-/// by `jprof` as its single exit-code path (see
-/// [`HarnessError::exit_code`]).
+/// Typed failure taxonomy for a harness run — used by the suite driver to
+/// quarantine failing cells instead of dying, by the serve daemon to map
+/// run failures onto HTTP statuses, and by `jprof` as its single
+/// exit-code path (see [`HarnessError::exit_code`]).
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub enum HarnessError {
@@ -111,6 +105,19 @@ impl AgentChoice {
         }
     }
 
+    /// Parse a label back into a choice (ASCII-case-insensitive, so run
+    /// specs can say `ipa` or `IPA`). `None` for anything else — callers
+    /// turn that into their own usage error.
+    #[must_use]
+    pub fn parse(label: &str) -> Option<AgentChoice> {
+        match label.to_ascii_lowercase().as_str() {
+            "original" | "none" => Some(AgentChoice::None),
+            "spa" => Some(AgentChoice::Spa),
+            "ipa" => Some(AgentChoice::ipa()),
+            _ => None,
+        }
+    }
+
     /// The attribution bucket this agent's machinery charges into.
     pub fn bucket(&self) -> Bucket {
         match self {
@@ -119,114 +126,6 @@ impl AgentChoice {
             AgentChoice::Ipa(_) => Bucket::IpaProbe,
         }
     }
-}
-
-/// Result of one harness run.
-#[deprecated(since = "0.2.0", note = "renamed to `session::RunOutcome`")]
-pub type HarnessRun = crate::session::RunOutcome;
-
-/// Run `workload` at `size` under `agent`.
-///
-/// # Panics
-///
-/// Panics on linkage errors or escaped exceptions — harness programs are
-/// expected to be self-contained (failure injection is tested at the VM
-/// layer).
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::Session::new(..).agent(..).run()`"
-)]
-pub fn run(
-    workload: &dyn Workload,
-    size: ProblemSize,
-    agent: AgentChoice,
-) -> crate::session::RunOutcome {
-    match Session::new(workload, size).agent(agent).run() {
-        Ok(run) => run,
-        Err(e) => panic!("{}: {e}", workload.name()),
-    }
-}
-
-/// [`run`], with an optional transition-trace sink.
-///
-/// # Panics
-///
-/// As [`run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::Session::new(..).agent(..).trace(..).run()`"
-)]
-pub fn run_traced(
-    workload: &dyn Workload,
-    size: ProblemSize,
-    agent: AgentChoice,
-    trace: Option<Arc<dyn TraceSink>>,
-) -> crate::session::RunOutcome {
-    let mut session = Session::new(workload, size).agent(agent);
-    if let Some(trace) = trace {
-        session = session.trace(trace);
-    }
-    match session.run() {
-        Ok(run) => run,
-        Err(e) => panic!("{}: {e}", workload.name()),
-    }
-}
-
-/// Fallible [`run_traced`] with an optional [`FaultInjector`].
-///
-/// # Errors
-///
-/// As [`Session::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::Session::new(..).agent(..).trace(..).faults(..).run()`"
-)]
-pub fn try_run_traced(
-    workload: &dyn Workload,
-    size: ProblemSize,
-    agent: AgentChoice,
-    trace: Option<Arc<dyn TraceSink>>,
-    faults: Option<Arc<FaultInjector>>,
-) -> Result<crate::session::RunOutcome, HarnessError> {
-    let mut session = Session::new(workload, size).agent(agent);
-    if let Some(trace) = trace {
-        session = session.trace(trace);
-    }
-    if let Some(faults) = faults {
-        session = session.faults(faults);
-    }
-    session.run()
-}
-
-/// Fallible [`run_traced`] with optional fault and metrics planes — the
-/// historical kitchen-sink entry point, superseded by the named builder.
-///
-/// # Errors
-///
-/// As [`Session::run`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `session::Session::new(..).agent(..).trace(..).faults(..).metrics(..).run()`"
-)]
-pub fn try_run_metered(
-    workload: &dyn Workload,
-    size: ProblemSize,
-    agent: AgentChoice,
-    trace: Option<Arc<dyn TraceSink>>,
-    faults: Option<Arc<FaultInjector>>,
-    metrics: Option<MetricsRegistry>,
-) -> Result<crate::session::RunOutcome, HarnessError> {
-    let mut session = Session::new(workload, size).agent(agent);
-    if let Some(trace) = trace {
-        session = session.trace(trace);
-    }
-    if let Some(faults) = faults {
-        session = session.faults(faults);
-    }
-    if let Some(metrics) = metrics {
-        session = session.metrics(metrics);
-    }
-    session.run()
 }
 
 /// Overhead of `with` relative to `baseline`, as the paper computes it:
@@ -344,10 +243,34 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_still_run() {
+    fn agent_choice_parse_round_trips() {
+        assert!(matches!(
+            AgentChoice::parse("original"),
+            Some(AgentChoice::None)
+        ));
+        assert!(matches!(
+            AgentChoice::parse("none"),
+            Some(AgentChoice::None)
+        ));
+        assert!(matches!(AgentChoice::parse("spa"), Some(AgentChoice::Spa)));
+        assert!(matches!(AgentChoice::parse("SPA"), Some(AgentChoice::Spa)));
+        assert!(matches!(
+            AgentChoice::parse("IPA"),
+            Some(AgentChoice::Ipa(_))
+        ));
+        assert!(AgentChoice::parse("jit").is_none());
+        for choice in [AgentChoice::None, AgentChoice::Spa, AgentChoice::ipa()] {
+            let back = AgentChoice::parse(choice.label()).unwrap();
+            assert_eq!(back.label(), choice.label());
+        }
+    }
+
+    #[test]
+    fn run_outcome_throughput() {
         let w = by_name("jbb").unwrap();
-        #[allow(deprecated)]
-        let r = run(w.as_ref(), workloads::ProblemSize(1), AgentChoice::None);
+        let r = crate::session::Session::new(w.as_ref(), workloads::ProblemSize(1))
+            .run()
+            .unwrap();
         let tx = r.checksum.max(0) as u64;
         assert!(tx > 0);
         let thr = r.throughput(tx);

@@ -38,9 +38,84 @@ use jvmsim_pcl::Pcl;
 use jvmsim_vm::cost::CostModel;
 use jvmsim_vm::{builtins, TraceSink, Value, Vm};
 use nativeprof::{InstrumentationMode, IpaAgent, NativeProfile, SpaAgent};
-use workloads::{ProblemSize, Workload, WorkloadProgram};
+use workloads::{by_name, ProblemSize, Workload, WorkloadProgram};
 
 use crate::harness::{AgentChoice, HarnessError};
+
+/// An owned, `Send` description of one run: workload name, agent, size.
+///
+/// A [`Session`] borrows its `&dyn Workload`, so it cannot cross a thread
+/// boundary — but a serve-plane request or a queued batch job must. A
+/// `SessionSpec` is the owned form that travels: validate it once with
+/// [`SessionSpec::parse`], hand it to a worker, and let the worker
+/// materialize a borrowing `Session` via [`SessionSpec::with_session`].
+#[derive(Debug, Clone)]
+pub struct SessionSpec {
+    /// Workload name (resolvable via `workloads::by_name`).
+    pub workload: String,
+    /// Agent to attach.
+    pub agent: AgentChoice,
+    /// Problem size.
+    pub size: ProblemSize,
+}
+
+impl SessionSpec {
+    /// A spec from already-validated parts.
+    #[must_use]
+    pub fn new(workload: impl Into<String>, agent: AgentChoice, size: ProblemSize) -> SessionSpec {
+        SessionSpec {
+            workload: workload.into(),
+            agent,
+            size,
+        }
+    }
+
+    /// Parse and validate textual fields — the single place run requests
+    /// (CLI flags, HTTP bodies) become a runnable identity.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Usage`] naming the offending field: unknown
+    /// workload, unknown agent label, or a zero size.
+    pub fn parse(workload: &str, agent: &str, size: u32) -> Result<SessionSpec, HarnessError> {
+        if by_name(workload).is_none() {
+            return Err(HarnessError::Usage(format!(
+                "unknown workload '{workload}'"
+            )));
+        }
+        let agent = AgentChoice::parse(agent)
+            .ok_or_else(|| HarnessError::Usage(format!("unknown agent '{agent}'")))?;
+        if size == 0 {
+            return Err(HarnessError::Usage("size must be >= 1".to_owned()));
+        }
+        Ok(SessionSpec::new(workload, agent, ProblemSize(size)))
+    }
+
+    /// Resolve the workload and hand a configured [`Session`] (agent and
+    /// size applied, optional planes untouched) to `f`. The workload box
+    /// lives for the duration of the call, which is what lets an owned
+    /// spec drive the borrowing builder.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Vm`] if the workload name no longer resolves (a
+    /// spec constructed via [`SessionSpec::parse`] cannot hit this).
+    pub fn with_session<R>(&self, f: impl FnOnce(Session<'_>) -> R) -> Result<R, HarnessError> {
+        let workload = by_name(&self.workload)
+            .ok_or_else(|| HarnessError::Vm(format!("unknown workload {}", self.workload)))?;
+        let session = Session::new(workload.as_ref(), self.size).agent(self.agent.clone());
+        Ok(f(session))
+    }
+
+    /// Execute the spec with no optional planes.
+    ///
+    /// # Errors
+    ///
+    /// As [`Session::run`].
+    pub fn run(&self) -> Result<RunOutcome, HarnessError> {
+        self.with_session(|session| session.run())?
+    }
+}
 
 /// Result of one [`Session`] run.
 #[derive(Debug)]
@@ -404,19 +479,21 @@ mod tests {
     }
 
     #[test]
-    fn session_matches_the_legacy_entry_points() {
+    fn session_runs_are_deterministic() {
         let w = by_name("compress").unwrap();
-        let new = Session::new(w.as_ref(), ProblemSize::S1)
-            .agent(AgentChoice::ipa())
-            .run()
-            .unwrap();
-        #[allow(deprecated)]
-        let old = crate::harness::run(w.as_ref(), ProblemSize::S1, AgentChoice::ipa());
-        assert_eq!(new.checksum, old.checksum);
-        assert_eq!(new.seconds, old.seconds);
-        assert_eq!(new.outcome.total_cycles, old.outcome.total_cycles);
-        assert_eq!(new.agent, "IPA");
-        assert_eq!(new.instr_cache_hit, None, "no cache configured");
+        let run = || {
+            Session::new(w.as_ref(), ProblemSize::S1)
+                .agent(AgentChoice::ipa())
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+        assert_eq!(a.outcome.total_cycles, b.outcome.total_cycles);
+        assert_eq!(a.agent, "IPA");
+        assert_eq!(a.instr_cache_hit, None, "no cache configured");
     }
 
     #[test]
@@ -467,6 +544,39 @@ mod tests {
         assert_eq!(store.quarantined_files(), 1);
         // The recomputed entry serves the third run.
         assert_eq!(session().run().unwrap().instr_cache_hit, Some(true));
+    }
+
+    #[test]
+    fn session_spec_validates_and_matches_direct_runs() {
+        assert!(matches!(
+            SessionSpec::parse("nope", "ipa", 1),
+            Err(HarnessError::Usage(_))
+        ));
+        assert!(matches!(
+            SessionSpec::parse("compress", "jit", 1),
+            Err(HarnessError::Usage(_))
+        ));
+        assert!(matches!(
+            SessionSpec::parse("compress", "ipa", 0),
+            Err(HarnessError::Usage(_))
+        ));
+        let spec = SessionSpec::parse("compress", "IPA", 1).unwrap();
+        assert_eq!(spec.agent.label(), "IPA");
+        let via_spec = spec.run().unwrap();
+        let w = by_name("compress").unwrap();
+        let direct = Session::new(w.as_ref(), ProblemSize::S1)
+            .agent(AgentChoice::ipa())
+            .run()
+            .unwrap();
+        assert_eq!(via_spec.checksum, direct.checksum);
+        assert_eq!(via_spec.seconds.to_bits(), direct.seconds.to_bits());
+        // The spec's key equals the borrowing session's key: a served
+        // request and a batch cell share one cache identity.
+        let spec_key = spec.with_session(|s| s.result_key()).unwrap();
+        let direct_key = Session::new(w.as_ref(), ProblemSize::S1)
+            .agent(AgentChoice::ipa())
+            .result_key();
+        assert_eq!(spec_key, direct_key);
     }
 
     #[test]
