@@ -1,0 +1,37 @@
+//! # nativeprof-agents — the third axis of the profiling matrix
+//!
+//! The paper's SPA/IPA agents measure one resource dimension: native vs
+//! bytecode *time*. Its portable-instrumentation methodology generalizes,
+//! and this crate hosts the two highest-value next dimensions as
+//! deterministic agents on the same JVMTI plane:
+//!
+//! * [`AllocAgent`] (**ALLOC**) — an object-centric allocation-site
+//!   profiler in the style of DJXPerf: every object allocation is
+//!   delivered through the `Allocation` event (the `SampledObjectAlloc`
+//!   analog, undownsampled) and attributed to its interned
+//!   `(class, method, bci)` allocation site, accumulating per-site object
+//!   counts, modeled bytes, and lifetimes priced against the end-of-run
+//!   PCL tick.
+//! * [`LockAgent`] (**LOCK**) — a contention profiler over the raw-monitor
+//!   plane: per-monitor acquisition counts, contended entries (entry by a
+//!   thread other than the previous owner), and modeled blocked cycles
+//!   charged to the waiting thread's PCL clock.
+//!
+//! Both agents follow the house rules the previous agents established:
+//! every probe runs inside a self-timing [`ProbeKind`] span so its cost is
+//! measured (not estimated) into the agent's own attribution bucket;
+//! bookkeeping is charged honestly via the cost model; fault sites
+//! (`alloc-site-overflow`, `monitor-ledger-corrupt`) divert records into
+//! counted bins so the chaos invariants stay checkable; and every report
+//! is a pure function of the deterministic run.
+//!
+//! [`ProbeKind`]: jvmsim_jvmti::ProbeKind
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod alloc;
+mod lock;
+
+pub use alloc::{AllocAgent, AllocReport, AllocSiteRow, MAX_ALLOC_SITES};
+pub use lock::{LockAgent, LockReport};

@@ -1,0 +1,227 @@
+//! End-to-end tests for the ALLOC and LOCK agents against hand-built
+//! workloads with hand-computed expected profiles.
+
+use std::sync::Arc;
+
+use jvmsim_classfile::builder::ClassBuilder;
+use jvmsim_classfile::{ArrayKind, FieldFlags, MethodFlags};
+use jvmsim_faults::{FaultInjector, FaultPlan, FaultSite};
+use jvmsim_jvmti::Agent;
+use jvmsim_vm::{builtins, Vm};
+use nativeprof_agents::{AllocAgent, LockAgent};
+
+const ST: MethodFlags = MethodFlags::STATIC;
+
+/// A fixed allocation workload with sites whose counts and bytes are
+/// computable by hand from the 64-bit heap layout model:
+///
+/// * `t/Box` has two instance fields → each instance is 16 + 2×8 = 32 B;
+/// * `make()V` allocates one `t/Box` at bci 0 and is called three times;
+/// * `main()I` allocates a 4-element int array (16 + 4×8 = 48 B) at bci 1
+///   and the string literal `"hi"` (24 + 2 = 26 B) at bci 3; the second
+///   `ldc "hi"` hits the intern table and must NOT count.
+fn alloc_workload() -> Vm {
+    let mut boxc = ClassBuilder::new("t/Box");
+    boxc.field("a", "I", FieldFlags::PUBLIC)
+        .unwrap()
+        .field("b", "I", FieldFlags::PUBLIC)
+        .unwrap();
+
+    let mut cb = ClassBuilder::new("t/Alloc");
+    let mut m = cb.method("make", "()V", ST);
+    m.new_obj("t/Box").pop().ret_void();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "()I", ST);
+    m.iconst(4)
+        .newarray(ArrayKind::Int)
+        .pop()
+        .ldc_str("hi")
+        .pop()
+        .ldc_str("hi")
+        .pop()
+        .invokestatic("t/Alloc", "make", "()V")
+        .invokestatic("t/Alloc", "make", "()V")
+        .invokestatic("t/Alloc", "make", "()V")
+        .iconst(0)
+        .ireturn();
+    m.finish().unwrap();
+
+    let mut vm = Vm::new();
+    vm.add_classfile(&boxc.finish().unwrap());
+    vm.add_classfile(&cb.finish().unwrap());
+    vm
+}
+
+#[test]
+fn alloc_agent_attributes_sites_by_hand_computed_counts_and_bytes() {
+    let mut vm = alloc_workload();
+    let agent = AllocAgent::new();
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("t/Alloc", "main", "()I", vec![]).unwrap();
+    assert!(outcome.main.is_ok(), "{:?}", outcome.main);
+
+    let report = agent.report();
+    assert_eq!(report.check(), Vec::<String>::new());
+    assert_eq!(report.total_objects, 5, "{report}");
+    assert_eq!(report.total_bytes, 48 + 26 + 3 * 32, "{report}");
+    assert_eq!(report.overflow_objects, 0);
+    assert_eq!(report.overflow_bytes, 0);
+
+    // BTreeMap order: (class, method, bci) — "main" sorts before "make".
+    let rows: Vec<(&str, &str, u32, u64, u64)> = report
+        .sites
+        .iter()
+        .map(|s| {
+            (
+                s.class.as_str(),
+                s.method.as_str(),
+                s.bci,
+                s.objects,
+                s.bytes,
+            )
+        })
+        .collect();
+    assert_eq!(
+        rows,
+        vec![
+            ("t/Alloc", "main", 1, 1, 48), // newarray int ×4
+            ("t/Alloc", "main", 3, 1, 26), // ldc "hi" intern miss only
+            ("t/Alloc", "make", 0, 3, 96), // 3 × new t/Box (32 B each)
+        ],
+        "{report}"
+    );
+
+    // Lifetimes are priced against the death tick; every object was
+    // allocated strictly after tick 0, so each site's summed lifetime is
+    // positive and below objects × death_tick.
+    assert!(report.death_tick > 0);
+    for s in &report.sites {
+        assert!(s.lifetime_cycles > 0, "{report}");
+        assert!(s.lifetime_cycles < s.objects * report.death_tick, "{report}");
+    }
+}
+
+#[test]
+fn alloc_site_overflow_fault_routes_records_to_the_counted_bin() {
+    let mut vm = alloc_workload();
+    // Rate 1.0: every consultation of the overflow site injects, so every
+    // record diverts to the overflow bin — and the ledger must still
+    // balance (`total == Σ sites + overflow` with zero sites).
+    let plan = FaultPlan::new(7).with_rate(FaultSite::AllocSiteOverflow, 1_000_000);
+    vm.set_fault_injector(Arc::new(FaultInjector::new(plan)));
+    let agent = AllocAgent::new();
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("t/Alloc", "main", "()I", vec![]).unwrap();
+    assert!(outcome.main.is_ok(), "{:?}", outcome.main);
+
+    let report = agent.report();
+    assert_eq!(report.check(), Vec::<String>::new());
+    assert!(report.sites.is_empty(), "{report}");
+    assert_eq!(report.overflow_objects, report.total_objects);
+    assert_eq!(report.overflow_bytes, report.total_bytes);
+    assert_eq!(report.total_objects, 5);
+}
+
+/// Two threads: main, plus one worker spawned via `java/lang/Threads`.
+/// Run-to-completion scheduling makes the monitor traffic on the agent's
+/// own totals monitor exactly `[main end][worker start][worker end]`.
+fn spawn_workload() -> Vm {
+    let mut cb = ClassBuilder::new("t/Spawn");
+    let mut m = cb.method("work", "(I)V", ST);
+    m.ret_void();
+    m.finish().unwrap();
+    let mut m = cb.method("main", "()V", ST);
+    m.ldc_str("w").ldc_str("t/Spawn").ldc_str("work").iconst(0);
+    m.invokestatic(
+        "java/lang/Threads",
+        "start",
+        "(Ljava/lang/String;Ljava/lang/String;Ljava/lang/String;I)V",
+    );
+    m.ret_void();
+    m.finish().unwrap();
+
+    let mut vm = Vm::new();
+    builtins::install(&mut vm);
+    vm.add_classfile(&cb.finish().unwrap());
+    vm
+}
+
+#[test]
+fn lock_agent_charges_blocked_cycles_matching_the_pcl_oracle() {
+    let mut vm = spawn_workload();
+    let agent = LockAgent::new();
+    let env = jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("t/Spawn", "main", "()V", vec![]).unwrap();
+    assert!(outcome.main.is_ok(), "{:?}", outcome.main);
+    assert_eq!(outcome.threads.len(), 2);
+
+    let report = agent.report();
+    assert_eq!(report.check(), Vec::<String>::new());
+
+    // The totals monitor is the only raw monitor in a LOCK run. Entries:
+    // main's ThreadEnd (no ThreadStart for the primordial thread), then
+    // the worker's ThreadStart and ThreadEnd.
+    assert_eq!(report.monitors().len(), 1, "{report}");
+    let m = &report.monitors()[0];
+    assert_eq!(m.name, "LOCK totals");
+    assert_eq!(m.entries, 3, "{report}");
+    // One ownership handoff (main → worker); the worker's second entry
+    // re-acquires its own monitor and is uncontended.
+    assert_eq!(m.contended, 1, "{report}");
+    assert_eq!(m.discarded, 0);
+
+    // PCL oracle: the blocked time modeled for the contended entry is the
+    // previous owner's hold duration. Main held the monitor exactly for
+    // its totals update, which charges `agent_logic` cycles between the
+    // post-acquire timestamp and the release — so the worker is charged
+    // exactly that many cycles.
+    let oracle = env.costs().agent_logic;
+    assert_eq!(m.blocked_cycles, oracle, "{report}");
+
+    // Double ledger: the same cycles appear on the waiting thread's side,
+    // charged to the worker (thread index 1), none to main.
+    assert_eq!(report.snapshot.per_thread_blocked, vec![0, oracle]);
+    assert_eq!(report.total_blocked_cycles(), oracle);
+}
+
+#[test]
+fn monitor_ledger_corrupt_fault_discards_but_keeps_the_ledger_balanced() {
+    let mut vm = spawn_workload();
+    let plan = FaultPlan::new(11).with_rate(FaultSite::MonitorLedgerCorrupt, 1_000_000);
+    vm.set_fault_injector(Arc::new(FaultInjector::new(plan)));
+    let agent = LockAgent::new();
+    jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+    let outcome = vm.run("t/Spawn", "main", "()V", vec![]).unwrap();
+    assert!(outcome.main.is_ok(), "{:?}", outcome.main);
+
+    let report = agent.report();
+    assert_eq!(report.check(), Vec::<String>::new());
+    let m = &report.monitors()[0];
+    // The one contended entry was diverted: recorded contention drops to
+    // zero, the discard is counted, and no blocked cycles are charged.
+    assert_eq!(m.entries, 3, "{report}");
+    assert_eq!(m.contended, 0, "{report}");
+    assert_eq!(m.discarded, 1, "{report}");
+    assert_eq!(report.total_blocked_cycles(), 0);
+}
+
+#[test]
+fn agent_reports_are_byte_identical_across_runs() {
+    let run = |alloc: bool| -> String {
+        if alloc {
+            let mut vm = alloc_workload();
+            let agent = AllocAgent::new();
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+            vm.run("t/Alloc", "main", "()I", vec![]).unwrap();
+            agent.report().to_string()
+        } else {
+            let mut vm = spawn_workload();
+            let agent = LockAgent::new();
+            jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>).unwrap();
+            vm.run("t/Spawn", "main", "()V", vec![]).unwrap();
+            agent.report().to_string()
+        }
+    };
+    assert_eq!(run(true), run(true));
+    assert_eq!(run(false), run(false));
+}

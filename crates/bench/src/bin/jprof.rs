@@ -4,8 +4,8 @@
 //! jprof trace --workload compress --agent ipa --out trace.json
 //!             [--size N] [--capacity N] [--flame out.folded]
 //!             [--events-csv events.csv] [--cache-dir DIR] [--no-cache 1]
-//! jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json]
-//!             [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
+//! jprof suite [--jobs N] [--size N] [--agents a,b,...] [--out-dir DIR]
+//!             [--json] [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
 //! jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
 //!             [--cache-dir DIR] [--no-cache 1]
 //! jprof report [--jobs N] [--size N] [--format table|prom|json]
@@ -24,8 +24,12 @@
 //! attached and exports Chrome `trace_event` JSON (open in Perfetto or
 //! `chrome://tracing`), optionally also collapsed flamegraph stacks and a
 //! raw event CSV. `suite` runs the full workload × agent matrix on
-//! `--jobs` worker threads and writes the Table I / Table II artifacts;
-//! any job count produces byte-identical artifacts. `chaos` re-runs the
+//! `--jobs` worker threads and writes the Table I / Table II artifacts
+//! plus the agent-axis table (ALLOC allocation-site totals, LOCK monitor
+//! contention); any job count produces byte-identical artifacts.
+//! `--agents a,b,...` restricts the matrix to a subset of the agent axis
+//! (`original`, `spa`, `ipa`, `alloc`, `lock`); an unknown name is a
+//! usage error (exit 2). `chaos` re-runs the
 //! matrix under `--seeds` deterministic fault schedules and fails only if
 //! an accounting invariant breaks — injected failures are expected and
 //! reported. `report` runs the matrix with per-cell metric registries and
@@ -71,8 +75,8 @@ use jvmsim_serve::{chaos_drill, run_client, ClientConfig, ServeConfig, Server};
 use jvmsim_trace::{export, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use nativeprof_bench::{
-    render_overhead_attribution, render_table1, render_table2, run_chaos, run_suite,
-    table1_artifact, table2_artifact, SuiteConfig,
+    agents_artifact, render_agents, render_overhead_attribution, render_table1, render_table2,
+    run_chaos, run_suite, table1_artifact, table2_artifact, SuiteConfig,
 };
 use workloads::{by_name, jvm98_suite, ProblemSize};
 
@@ -81,8 +85,8 @@ usage:
   jprof trace --workload NAME --agent ipa [--size N] [--capacity N]
               [--out trace.json] [--flame out.folded] [--events-csv FILE]
               [--cache-dir DIR] [--no-cache 1]
-  jprof suite [--jobs N] [--size N] [--out-dir DIR] [--json] [--metrics PATH]
-              [--cache-dir DIR] [--no-cache 1]
+  jprof suite [--jobs N] [--size N] [--agents a,b,...] [--out-dir DIR]
+              [--json] [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
   jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
               [--cache-dir DIR] [--no-cache 1]
   jprof report [--jobs N] [--size N] [--format table|prom|json] [--out FILE]
@@ -304,6 +308,7 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
         &[
             "--jobs",
             "--size",
+            "--agents",
             "--out-dir",
             "--json",
             "--metrics",
@@ -315,7 +320,25 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
     let json = flags.truthy("--json");
     let cache = flags.cache()?;
+    // `--agents` narrows the matrix to a subset of the agent axis; an
+    // unknown name exits through the typed usage error (exit code 2) with
+    // the full valid set in the message.
+    let agents = flags
+        .get("--agents")
+        .map(|list| {
+            list.split(',')
+                .map(|name| {
+                    name.trim()
+                        .parse::<AgentChoice>()
+                        .map_err(|e| HarnessError::Usage(e.to_string()))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .transpose()?;
     let mut config = SuiteConfig::with_size(size).jobs(jobs);
+    if let Some(agents) = agents {
+        config = config.agents(agents);
+    }
     if let Some(store) = &cache {
         config = config.cache(store.clone());
     }
@@ -330,6 +353,10 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
     print!("{}", render_table1(&suite.table1, suite.jbb));
     println!();
     print!("{}", render_table2(&suite.table2));
+    if !suite.agent_rows.is_empty() {
+        println!();
+        print!("{}", render_agents(&suite.agent_rows));
+    }
     for failure in &suite.failures {
         eprintln!("quarantined cell: {failure}");
     }
@@ -338,13 +365,16 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
             .map_err(|e| HarnessError::Artifact(format!("creating {dir}: {e}")))?;
         let t1 = table1_artifact(&suite.table1, suite.jbb);
         let t2 = table2_artifact(&suite.table2);
+        let ag = agents_artifact(&suite.agent_rows);
         write_file(&format!("{dir}/table1.csv"), &t1.to_csv())?;
         write_file(&format!("{dir}/table2.csv"), &t2.to_csv())?;
+        write_file(&format!("{dir}/agents.csv"), &ag.to_csv())?;
         if json {
             write_file(&format!("{dir}/table1.json"), &t1.to_json())?;
             write_file(&format!("{dir}/table2.json"), &t2.to_json())?;
+            write_file(&format!("{dir}/agents.json"), &ag.to_json())?;
         }
-        eprintln!("wrote Table I/II artifacts under {dir}/");
+        eprintln!("wrote Table I/II and agent-axis artifacts under {dir}/");
     }
     if let Some(path) = flags.get("--metrics") {
         write_metrics(path, &suite.metrics)?;

@@ -1,7 +1,8 @@
 //! The parallel suite driver behind `jprof suite` and the table binaries.
 //!
-//! The workload × agent matrix (8 workloads × {original, SPA, IPA} = 24
-//! cells) is embarrassingly parallel: every cell is one self-contained,
+//! The workload × agent matrix (8 workloads × {original, SPA, IPA, ALLOC,
+//! LOCK} = 40 cells) is embarrassingly parallel: every cell is one
+//! self-contained,
 //! deterministic simulator run (its own `Vm`, own PCL registry, own green
 //! threads). Worker OS threads pull cells from a shared index counter and
 //! run them; results are stored by cell index and assembled in a fixed
@@ -49,7 +50,7 @@ use jvmsim_trace::TraceRecorder;
 use jvmsim_vm::{MethodId, ThreadId, TraceEventKind, TraceSink};
 use workloads::{by_name, jvm98_suite, ProblemSize};
 
-use crate::{MeasuredOverheadRow, MeasuredProfileRow};
+use crate::{MeasuredAgentRow, MeasuredOverheadRow, MeasuredProfileRow};
 
 /// Agent column of the matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,16 +58,26 @@ enum AgentCol {
     Original,
     Spa,
     Ipa,
+    Alloc,
+    Lock,
 }
 
 impl AgentCol {
-    const ALL: [AgentCol; 3] = [AgentCol::Original, AgentCol::Spa, AgentCol::Ipa];
+    const ALL: [AgentCol; 5] = [
+        AgentCol::Original,
+        AgentCol::Spa,
+        AgentCol::Ipa,
+        AgentCol::Alloc,
+        AgentCol::Lock,
+    ];
 
     fn choice(self) -> AgentChoice {
         match self {
             AgentCol::Original => AgentChoice::None,
             AgentCol::Spa => AgentChoice::Spa,
             AgentCol::Ipa => AgentChoice::ipa(),
+            AgentCol::Alloc => AgentChoice::Alloc,
+            AgentCol::Lock => AgentChoice::Lock,
         }
     }
 
@@ -75,6 +86,8 @@ impl AgentCol {
             AgentCol::Original => "original",
             AgentCol::Spa => "SPA",
             AgentCol::Ipa => "IPA",
+            AgentCol::Alloc => "ALLOC",
+            AgentCol::Lock => "LOCK",
         }
     }
 
@@ -84,6 +97,8 @@ impl AgentCol {
             AgentCol::Original => "original",
             AgentCol::Spa => "spa",
             AgentCol::Ipa => "ipa",
+            AgentCol::Alloc => "alloc",
+            AgentCol::Lock => "lock",
         }
     }
 }
@@ -124,6 +139,11 @@ pub struct SuiteConfig {
     /// assembles byte-identical table artifacts (runs are deterministic,
     /// and every hit re-verifies the stored digest before it is served).
     pub cache: Option<CacheStore>,
+    /// Agent-axis subset: when set, only the matching columns of the
+    /// matrix run (matched by [`AgentChoice::label`]). Table I/II rows
+    /// whose inputs were filtered out are simply absent — the assembler
+    /// already degrades to partial matrices. `None` runs the full axis.
+    pub agents: Option<Vec<AgentChoice>>,
 }
 
 impl SuiteConfig {
@@ -137,6 +157,7 @@ impl SuiteConfig {
             retries: 0,
             chaos: None,
             cache: None,
+            agents: None,
         }
     }
 
@@ -173,6 +194,14 @@ impl SuiteConfig {
     pub fn cache(self, store: CacheStore) -> Self {
         SuiteConfig {
             cache: Some(store),
+            ..self
+        }
+    }
+
+    /// Same configuration restricted to the given agent columns.
+    pub fn agents(self, agents: Vec<AgentChoice>) -> Self {
+        SuiteConfig {
+            agents: Some(agents),
             ..self
         }
     }
@@ -259,6 +288,11 @@ pub struct SuiteResult {
     pub jbb: (f64, f64, f64, f64, f64),
     /// Table II rows, Table II order (JVM98 then `jbb`).
     pub table2: Vec<MeasuredProfileRow>,
+    /// Agent-axis rows (ALLOC site totals, LOCK contention totals), one
+    /// per workload that ran at least one of the two agents, Table II
+    /// order. A checksum mismatch against the original baseline drops the
+    /// offending triple and records a [`CellFailure`], like Table I.
+    pub agent_rows: Vec<MeasuredAgentRow>,
     /// Cells that failed after all retries, with explicit reasons. Empty
     /// on a healthy run.
     pub failures: Vec<CellFailure>,
@@ -457,8 +491,22 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>, cache: Option<&CacheStore>)
         session.run()
     }));
 
+    let mut violations = Vec::new();
     let result = match run {
-        Ok(Ok(run)) => Ok(CellQuantities::from_run(&run)),
+        Ok(Ok(run)) => {
+            // Agent-ledger invariants must hold on every run, faulted or
+            // not: contended + discarded ≤ entries, the allocation object
+            // and byte ledgers balance against the overflow bin, and
+            // per-thread blocked cycles sum to the per-monitor totals. A
+            // break here is an agent bug, never an injected fault.
+            if let Some(report) = &run.alloc {
+                violations.extend(report.check());
+            }
+            if let Some(report) = &run.lock {
+                violations.extend(report.check());
+            }
+            Ok(CellQuantities::from_run(&run))
+        }
         Ok(Err(e)) => Err(CellFailureKind::Harness(e.to_string())),
         Err(payload) => Err(CellFailureKind::Panicked(panic_message(payload))),
     };
@@ -472,7 +520,6 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>, cache: Option<&CacheStore>)
         Err(_) => metrics.global().incr(CounterId::CellsQuarantined),
     }
 
-    let mut violations = Vec::new();
     let mut sites = Vec::new();
     if let Some((injector, ledger, recorder)) = &chaos {
         // Invariant 1: every J2N_Begin matched by a J2N_End, every
@@ -599,22 +646,30 @@ fn run_cell_guarded(cell: Cell, chaos_seed: Option<u64>, config: &SuiteConfig) -
 // Matrix construction, parallel execution, and partial assembly.
 
 fn build_cells(config: &SuiteConfig, jvm98: &[&'static str]) -> Vec<Cell> {
+    let selected = |col: AgentCol| match &config.agents {
+        None => true,
+        Some(agents) => agents.iter().any(|a| a.label() == col.label()),
+    };
     let mut cells = Vec::new();
     for &workload in jvm98 {
         for agent in AgentCol::ALL {
-            cells.push(Cell {
-                workload,
-                agent,
-                size: config.size,
-            });
+            if selected(agent) {
+                cells.push(Cell {
+                    workload,
+                    agent,
+                    size: config.size,
+                });
+            }
         }
     }
     for agent in AgentCol::ALL {
-        cells.push(Cell {
-            workload: "jbb",
-            agent,
-            size: config.jbb_size,
-        });
+        if selected(agent) {
+            cells.push(Cell {
+                workload: "jbb",
+                agent,
+                size: config.jbb_size,
+            });
+        }
     }
     cells
 }
@@ -673,6 +728,17 @@ fn assemble(cells: &[Cell], execs: &[CellExecution], jvm98: &[&'static str]) -> 
             agent: cell.agent.metric_label().to_owned(),
             snapshot: exec.snapshot.clone(),
         });
+        // Agent-ledger invariant breaks surface even on the plain
+        // measurement path (chaos mode additionally fails the run on
+        // them); the cell's row still assembles.
+        for v in &exec.violations {
+            failures.push(CellFailure {
+                workload: cell.workload.to_owned(),
+                agent: cell.agent.label(),
+                attempts: exec.attempts,
+                kind: CellFailureKind::Harness(format!("invariant: {v}")),
+            });
+        }
     }
     let outcome = |workload: &str, agent: AgentCol| -> Option<&CellQuantities> {
         let i = cells
@@ -758,10 +824,48 @@ fn assemble(cells: &[Cell], execs: &[CellExecution], jvm98: &[&'static str]) -> 
         });
     }
 
+    let mut agent_rows = Vec::new();
+    for name in jvm98.iter().copied().chain(["jbb"]) {
+        let base = outcome(name, AgentCol::Original);
+        // An agent column is kept only when it did not perturb the
+        // workload; without a baseline cell the checksum is unverifiable
+        // and the triple is reported as-is (the filter may have excluded
+        // the original column on purpose).
+        let mut checked = |agent: AgentCol| -> Option<&CellQuantities> {
+            let with = outcome(name, agent)?;
+            if let Some(base) = base {
+                if with.checksum != base.checksum {
+                    failures.push(CellFailure {
+                        workload: name.to_owned(),
+                        agent: agent.label(),
+                        attempts: 1,
+                        kind: CellFailureKind::ChecksumMismatch {
+                            original: base.checksum,
+                            with_agent: with.checksum,
+                        },
+                    });
+                    return None;
+                }
+            }
+            Some(with)
+        };
+        let alloc = checked(AgentCol::Alloc).and_then(|o| o.alloc);
+        let lock = checked(AgentCol::Lock).and_then(|o| o.lock);
+        if alloc.is_none() && lock.is_none() {
+            continue;
+        }
+        agent_rows.push(MeasuredAgentRow {
+            name: name.to_owned(),
+            alloc,
+            lock,
+        });
+    }
+
     SuiteResult {
         table1,
         jbb,
         table2,
+        agent_rows,
         failures,
         metrics,
     }
@@ -943,6 +1047,7 @@ pub fn run_chaos(config: SuiteConfig, seeds: u64) -> ChaosReport {
         for artifact in [
             table1_artifact(&suite.table1, suite.jbb).to_csv(),
             table2_artifact(&suite.table2).to_csv(),
+            agents_artifact(&suite.agent_rows).to_csv(),
         ] {
             if exporter.inject(FaultSite::ExporterWrite).is_some() {
                 report.degraded_exports += 1;
@@ -996,6 +1101,39 @@ pub fn table1_artifact(rows: &[MeasuredOverheadRow], jbb: (f64, f64, f64, f64, f
     t
 }
 
+/// Agent-axis quantities as a [`Table`]: the ALLOC and LOCK triples per
+/// workload, with empty cells for an agent that did not run (mirroring
+/// the `cell_row_json` convention for absent agent columns).
+pub fn agents_artifact(rows: &[MeasuredAgentRow]) -> Table {
+    let mut t = Table::new([
+        "benchmark",
+        "alloc_sites",
+        "alloc_objects",
+        "alloc_bytes",
+        "lock_entries",
+        "lock_contended",
+        "lock_blocked_cycles",
+    ]);
+    let triple = |v: Option<(u64, u64, u64)>| match v {
+        Some((a, b, c)) => [a.to_string(), b.to_string(), c.to_string()],
+        None => [String::new(), String::new(), String::new()],
+    };
+    for r in rows {
+        let [a_sites, a_objects, a_bytes] = triple(r.alloc);
+        let [l_entries, l_contended, l_blocked] = triple(r.lock);
+        t.push_row([
+            r.name.clone(),
+            a_sites,
+            a_objects,
+            a_bytes,
+            l_entries,
+            l_contended,
+            l_blocked,
+        ]);
+    }
+    t
+}
+
 /// Table II quantities as a [`Table`].
 pub fn table2_artifact(rows: &[MeasuredProfileRow]) -> Table {
     let mut t = Table::new([
@@ -1035,6 +1173,7 @@ mod tests {
         assert_eq!(c.retries, 0);
         assert!(c.chaos.is_none());
         assert!(c.cache.is_none());
+        assert!(c.agents.is_none());
         // Tiny sizes floor at the JBB minimum scale.
         assert_eq!(
             SuiteConfig::with_size(ProblemSize::S1).jbb_size,
@@ -1093,5 +1232,48 @@ mod tests {
             t2.to_csv(),
             "benchmark,pct_native,jni_calls,native_method_calls\ncompress,4.540000,3,7\n"
         );
+    }
+
+    #[test]
+    fn agents_artifact_renders_absent_columns_as_empty_cells() {
+        let rows = vec![
+            MeasuredAgentRow {
+                name: "compress".into(),
+                alloc: Some((3, 120, 4096)),
+                lock: Some((9, 2, 550)),
+            },
+            MeasuredAgentRow {
+                name: "db".into(),
+                alloc: Some((1, 5, 80)),
+                lock: None,
+            },
+        ];
+        assert_eq!(
+            agents_artifact(&rows).to_csv(),
+            "benchmark,alloc_sites,alloc_objects,alloc_bytes,\
+             lock_entries,lock_contended,lock_blocked_cycles\n\
+             compress,3,120,4096,9,2,550\n\
+             db,1,5,80,,,\n"
+        );
+    }
+
+    #[test]
+    fn agent_filter_selects_matrix_columns() {
+        let all = build_cells(&SuiteConfig::with_size(ProblemSize::S1), &["compress"]);
+        assert_eq!(all.len(), 2 * AgentCol::ALL.len());
+        let some = build_cells(
+            &SuiteConfig::with_size(ProblemSize::S1)
+                .agents(vec![AgentChoice::Alloc, AgentChoice::Lock]),
+            &["compress"],
+        );
+        assert_eq!(some.len(), 4); // {compress, jbb} × {ALLOC, LOCK}
+        assert!(some
+            .iter()
+            .all(|c| matches!(c.agent, AgentCol::Alloc | AgentCol::Lock)));
+        let none = build_cells(
+            &SuiteConfig::with_size(ProblemSize::S1).agents(Vec::new()),
+            &["compress"],
+        );
+        assert!(none.is_empty());
     }
 }

@@ -13,8 +13,9 @@
 pub mod driver;
 
 pub use driver::{
-    run_chaos, run_suite, run_suite_with_workloads, table1_artifact, table2_artifact, CellFailure,
-    CellFailureKind, ChaosReport, ChaosSpec, SuiteConfig, SuiteResult,
+    agents_artifact, run_chaos, run_suite, run_suite_with_workloads, table1_artifact,
+    table2_artifact, CellFailure, CellFailureKind, ChaosReport, ChaosSpec, SuiteConfig,
+    SuiteResult,
 };
 
 use jnativeprof::harness::{self, overhead_percent, throughput_overhead_percent, AgentChoice};
@@ -189,6 +190,17 @@ pub struct MeasuredProfileRow {
     pub native_method_calls: u64,
 }
 
+/// One agent-axis row: the ALLOC and LOCK summary triples for a workload.
+#[derive(Debug, Clone)]
+pub struct MeasuredAgentRow {
+    /// Benchmark name.
+    pub name: String,
+    /// `(sites, total_objects, total_bytes)` when the ALLOC cell ran.
+    pub alloc: Option<(u64, u64, u64)>,
+    /// `(entries, contended, blocked_cycles)` when the LOCK cell ran.
+    pub lock: Option<(u64, u64, u64)>,
+}
+
 /// Measure one JVM98 workload under all three configurations.
 pub fn measure_overheads(name: &str, size: ProblemSize) -> MeasuredOverheadRow {
     let workload = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
@@ -321,13 +333,15 @@ pub fn render_overhead_attribution(entries: &[MetricsEntry]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>7} {:>11} {:>10}",
+        "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>13} {:>13} {:>7} {:>11} {:>10}",
         "benchmark",
         "agent",
         "total_cycles",
         "workload",
         "ipa_probe",
         "spa_probe",
+        "alloc_probe",
+        "lock_probe",
         "trace",
         "harness",
         "overhead"
@@ -342,16 +356,55 @@ pub fn render_overhead_attribution(entries: &[MetricsEntry]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>7} {:>11} {:>9.2}%",
+            "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>13} {:>13} {:>7} {:>11} {:>9.2}%",
             e.benchmark,
             e.agent,
             s.total_cycles(),
             workload,
             s.bucket_cycles(Bucket::IpaProbe),
             s.bucket_cycles(Bucket::SpaProbe),
+            s.bucket_cycles(Bucket::AllocProbe),
+            s.bucket_cycles(Bucket::LockProbe),
             s.bucket_cycles(Bucket::Trace),
             s.bucket_cycles(Bucket::Harness),
             overhead_pct,
+        );
+    }
+    out
+}
+
+/// Render the agent-axis table: ALLOC site totals and LOCK contention
+/// totals per workload, `-` for an agent that did not run.
+pub fn render_agents(rows: &[MeasuredAgentRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "AGENT AXIS: ALLOCATION SITES (ALLOC) AND MONITOR CONTENTION (LOCK)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>11} {:>13} {:>13} {:>12} {:>12} {:>16}",
+        "benchmark",
+        "alloc sites",
+        "alloc objects",
+        "alloc bytes",
+        "lock entries",
+        "contended",
+        "blocked cycles"
+    );
+    let col = |v: Option<u64>| v.map_or_else(|| "-".to_owned(), |n| n.to_string());
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>11} {:>13} {:>13} {:>12} {:>12} {:>16}",
+            row.name,
+            col(row.alloc.map(|a| a.0)),
+            col(row.alloc.map(|a| a.1)),
+            col(row.alloc.map(|a| a.2)),
+            col(row.lock.map(|l| l.0)),
+            col(row.lock.map(|l| l.1)),
+            col(row.lock.map(|l| l.2)),
         );
     }
     out

@@ -17,7 +17,9 @@ use jnativeprof::harness::AgentChoice;
 use jnativeprof::session::Session;
 use jvmsim_cache::{CacheStore, Plane};
 use jvmsim_metrics::CounterId;
-use nativeprof_bench::{run_chaos, run_suite, table1_artifact, table2_artifact, SuiteConfig};
+use nativeprof_bench::{
+    agents_artifact, run_chaos, run_suite, table1_artifact, table2_artifact, SuiteConfig,
+};
 use workloads::{by_name, ProblemSize};
 
 fn scratch(tag: &str) -> std::path::PathBuf {
@@ -32,10 +34,11 @@ fn scratch(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-fn artifacts(suite: &nativeprof_bench::SuiteResult) -> (String, String) {
+fn artifacts(suite: &nativeprof_bench::SuiteResult) -> (String, String, String) {
     (
         table1_artifact(&suite.table1, suite.jbb).to_csv(),
         table2_artifact(&suite.table2).to_csv(),
+        agents_artifact(&suite.agent_rows).to_csv(),
     )
 }
 
@@ -51,26 +54,26 @@ fn warm_suite_is_byte_identical_to_cold_with_pinned_hit_counters() {
 
     let cold = run_suite(config());
     assert!(cold.failures.is_empty(), "{:?}", cold.failures);
-    // Cold run: nothing hits. Every consultation misses: 24 cells (7
-    // JVM98 workloads × 3 agents + jbb × 3) miss their result entry, and
+    // Cold run: nothing hits. Every consultation misses: 40 cells (7
+    // JVM98 workloads × 5 agents + jbb × 5) miss their result entry, and
     // the 8 IPA cells also miss (then fill) the instrumentation plane.
     assert_eq!(cache_counter(&cold, CounterId::CacheHits), 0);
-    assert_eq!(cache_counter(&cold, CounterId::CacheMisses), 24 + 8);
+    assert_eq!(cache_counter(&cold, CounterId::CacheMisses), 40 + 8);
 
-    // Warm run, different job count: all 24 cells hit the result plane
+    // Warm run, different job count: all 40 cells hit the result plane
     // (and never reach the instrumentation plane — no session is built).
     let warm = run_suite(config().jobs(4));
     assert!(warm.failures.is_empty(), "{:?}", warm.failures);
-    assert_eq!(cache_counter(&warm, CounterId::CacheHits), 24);
+    assert_eq!(cache_counter(&warm, CounterId::CacheHits), 40);
     assert_eq!(cache_counter(&warm, CounterId::CacheMisses), 0);
     assert_eq!(cache_counter(&warm, CounterId::CacheQuarantined), 0);
     assert_eq!(artifacts(&cold), artifacts(&warm), "warm ≠ cold artifacts");
 
     // The store-level stats (cumulative over both runs) agree.
     let stats = store.stats();
-    assert_eq!(stats.hits, 24);
-    assert_eq!(stats.misses, 24 + 8);
-    assert_eq!(stats.stores, 24 + 8, "24 rows + 8 IPA instrumentations");
+    assert_eq!(stats.hits, 40);
+    assert_eq!(stats.misses, 40 + 8);
+    assert_eq!(stats.stores, 40 + 8, "40 rows + 8 IPA instrumentations");
     assert!(stats.bytes_written > 0);
     assert!(stats.bytes_read > 0);
     assert_eq!(stats.quarantined, 0);
@@ -94,7 +97,7 @@ fn corrupted_result_entry_recomputes_and_quarantines() {
         std::fs::write(&path, &bytes).unwrap();
         poisoned += 1;
     }
-    assert_eq!(poisoned, 24, "24 memoized cells");
+    assert_eq!(poisoned, 40, "40 memoized cells");
 
     // The warm run must not serve a single poisoned entry: every cell
     // verifies, quarantines, recomputes live, and re-stores — and the
@@ -103,13 +106,13 @@ fn corrupted_result_entry_recomputes_and_quarantines() {
     let recomputed = run_suite(config());
     assert!(recomputed.failures.is_empty(), "{:?}", recomputed.failures);
     assert_eq!(cache_counter(&recomputed, CounterId::CacheHits), 8);
-    assert_eq!(cache_counter(&recomputed, CounterId::CacheQuarantined), 24);
+    assert_eq!(cache_counter(&recomputed, CounterId::CacheQuarantined), 40);
     assert_eq!(artifacts(&cold), artifacts(&recomputed));
-    assert_eq!(store.quarantined_files(), 24);
+    assert_eq!(store.quarantined_files(), 40);
 
     // The re-stored entries serve the next run.
     let warm = run_suite(config());
-    assert_eq!(cache_counter(&warm, CounterId::CacheHits), 24);
+    assert_eq!(cache_counter(&warm, CounterId::CacheHits), 40);
     assert_eq!(artifacts(&cold), artifacts(&warm));
 }
 

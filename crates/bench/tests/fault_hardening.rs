@@ -31,13 +31,13 @@ fn crashy_workload_is_quarantined_without_touching_other_rows() {
     let baseline = run_suite(config.clone());
     assert!(baseline.failures.is_empty(), "{:?}", baseline.failures);
 
-    // Append the deliberately panicking workload: 3 extra cells, all of
-    // which must fail, while the original 24 complete untouched.
+    // Append the deliberately panicking workload: 5 extra cells, all of
+    // which must fail, while the original 40 complete untouched.
     let mut names = jvm98_names();
     names.push("crashy");
     let with_crashy = run_suite_with_workloads(config, &names);
 
-    assert_eq!(with_crashy.failures.len(), 3, "{:?}", with_crashy.failures);
+    assert_eq!(with_crashy.failures.len(), 5, "{:?}", with_crashy.failures);
     for failure in &with_crashy.failures {
         assert_eq!(failure.workload, "crashy");
         assert!(
@@ -60,13 +60,13 @@ fn crashy_workload_is_quarantined_without_touching_other_rows() {
 fn crashy_cells_retry_the_configured_number_of_times() {
     let config = SuiteConfig::with_size(ProblemSize::S1).retries(2);
     let with_crashy = run_suite_with_workloads(config, &["crashy"]);
-    // 3 crashy cells + 3 jbb cells; crashy fails after 1 + 2 retries.
+    // 5 crashy cells + 5 jbb cells; crashy fails after 1 + 2 retries.
     let crashy: Vec<_> = with_crashy
         .failures
         .iter()
         .filter(|f| f.workload == "crashy")
         .collect();
-    assert_eq!(crashy.len(), 3);
+    assert_eq!(crashy.len(), 5);
     for failure in crashy {
         assert_eq!(failure.attempts, 3, "{failure}");
     }
@@ -123,7 +123,7 @@ fn chaos_holds_invariants_and_is_deterministic() {
     let config = SuiteConfig::with_size(ProblemSize::S1).jobs(4);
     let first = run_chaos(config.clone(), 2);
     assert!(first.passed(), "{}", first.render());
-    assert_eq!(first.cells, 48);
+    assert_eq!(first.cells, 80); // 2 seeds × 40 cells
     assert!(first.injected() > 0, "chaos injected nothing");
     assert!(
         !first.failures.is_empty(),

@@ -38,8 +38,9 @@ use jvmsim_metrics::{CounterId, MetricsShard};
 
 /// Bumped whenever the entry layout or any key-derivation rule changes;
 /// mixed into every [`KeyHasher`], so a new scheme simply never sees old
-/// entries (invalidation by construction, no migration code).
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+/// entries (invalidation by construction, no migration code). Version 2:
+/// the agent axis widened the memoized cell row with ALLOC/LOCK columns.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Entry file magic: `JVCE` (JVmsim Cache Entry).
 const ENTRY_MAGIC: [u8; 4] = *b"JVCE";
@@ -120,8 +121,14 @@ impl KeyHasher {
     /// A hasher for the given key domain (e.g. `"instr-archive"`).
     #[must_use]
     pub fn new(domain: &str) -> KeyHasher {
+        KeyHasher::with_version(domain, CACHE_SCHEMA_VERSION)
+    }
+
+    /// A hasher pinned to an explicit schema version — how tests fabricate
+    /// pre-bump keys to prove old entries go quietly dark.
+    fn with_version(domain: &str, version: u32) -> KeyHasher {
         let mut k = KeyHasher { h: Sha256::new() };
-        k.h.update(&CACHE_SCHEMA_VERSION.to_le_bytes());
+        k.h.update(&version.to_le_bytes());
         k.absorb(domain.as_bytes());
         k
     }
@@ -606,6 +613,41 @@ mod tests {
         let mut b = KeyHasher::new("d");
         b.field_str("a", "bc");
         assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn schema_version_bump_orphans_old_entries_without_quarantine() {
+        let store = CacheStore::open(scratch("schema")).unwrap();
+        // Fabricate a pre-bump entry exactly as the previous schema wrote
+        // it: key derived with the old version, header carrying it too.
+        let old_version = CACHE_SCHEMA_VERSION - 1;
+        let mut k1 = KeyHasher::with_version("cell-result", old_version);
+        k1.field_str("workload", "compress");
+        let old_key = k1.finish();
+        let payload = b"pre-bump row bytes";
+        let mut entry = Vec::new();
+        entry.extend_from_slice(&ENTRY_MAGIC);
+        entry.extend_from_slice(&old_version.to_le_bytes());
+        entry.push(Plane::CellResult.tag());
+        entry.extend_from_slice(&old_key.digest().0);
+        entry.extend_from_slice(&Digest::of(payload).0);
+        entry.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        entry.extend_from_slice(payload);
+        std::fs::write(store.entry_path(Plane::CellResult, &old_key), &entry).unwrap();
+
+        // The same logical identity under the current schema derives a
+        // different key, so the lookup is a clean miss: the stale entry
+        // is never opened, so nothing is served and nothing is
+        // quarantined — version bumps must not masquerade as corruption.
+        let mut k2 = KeyHasher::new("cell-result");
+        k2.field_str("workload", "compress");
+        let new_key = k2.finish();
+        assert_ne!(old_key, new_key);
+        assert_eq!(store.lookup(Plane::CellResult, &new_key), None);
+        let s = store.stats();
+        assert_eq!((s.hits, s.quarantined), (0, 0));
+        assert_eq!(s.misses, 1);
+        assert!(store.entry_path(Plane::CellResult, &old_key).exists());
     }
 
     #[test]

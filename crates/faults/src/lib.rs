@@ -85,11 +85,19 @@ pub enum FaultSite {
     /// request must still be accounted (accepted + dropped) and never
     /// double-executed or double-counted.
     ServeConnDrop,
+    /// The ALLOC agent's allocation-site table refuses a new site as if
+    /// full; the record must be routed to the overflow bin so
+    /// `total_objects == Σ site objects + overflow` still balances.
+    AllocSiteOverflow,
+    /// A LOCK-agent contention record is dropped as if the monitor ledger
+    /// were corrupted; the agent must count the discard so
+    /// `observed == recorded + discarded` and `contended ≤ entries` hold.
+    MonitorLedgerCorrupt,
 }
 
 impl FaultSite {
     /// Number of distinct sites.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every site, in a fixed order (indexing matches [`FaultSite::index`]).
     ///
@@ -108,6 +116,8 @@ impl FaultSite {
         FaultSite::CacheCorrupt,
         FaultSite::ServeSlowRead,
         FaultSite::ServeConnDrop,
+        FaultSite::AllocSiteOverflow,
+        FaultSite::MonitorLedgerCorrupt,
     ];
 
     /// Stable index of this site into rate/counter arrays.
@@ -125,6 +135,8 @@ impl FaultSite {
             FaultSite::CacheCorrupt => 8,
             FaultSite::ServeSlowRead => 9,
             FaultSite::ServeConnDrop => 10,
+            FaultSite::AllocSiteOverflow => 11,
+            FaultSite::MonitorLedgerCorrupt => 12,
         }
     }
 
@@ -143,6 +155,8 @@ impl FaultSite {
             FaultSite::CacheCorrupt => "cache-corrupt",
             FaultSite::ServeSlowRead => "serve-slow-read",
             FaultSite::ServeConnDrop => "serve-conn-drop",
+            FaultSite::AllocSiteOverflow => "alloc-site-overflow",
+            FaultSite::MonitorLedgerCorrupt => "monitor-ledger-corrupt",
         }
     }
 
@@ -209,6 +223,8 @@ impl FaultPlan {
             .with_rate(FaultSite::CacheCorrupt, 150_000)
             .with_rate(FaultSite::ServeSlowRead, 60_000)
             .with_rate(FaultSite::ServeConnDrop, 60_000)
+            .with_rate(FaultSite::AllocSiteOverflow, 20_000)
+            .with_rate(FaultSite::MonitorLedgerCorrupt, 20_000)
     }
 
     /// True if every rate is zero (the plan can never inject).

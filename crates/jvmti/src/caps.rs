@@ -25,6 +25,12 @@ pub struct Capabilities {
     pub can_intercept_jni_calls: bool,
     /// Receive `ClassFileLoadHook` events (dynamic instrumentation path).
     pub can_generate_class_file_load_hook: bool,
+    /// Receive `Allocation` events (the ALLOC agent's object-centric
+    /// allocation hook — the `SampledObjectAlloc` analog, undownsampled).
+    pub can_generate_allocation_events: bool,
+    /// Observe the raw-monitor plane through the monitor ledger (the LOCK
+    /// agent's contention bookkeeping).
+    pub can_observe_raw_monitors: bool,
 }
 
 impl Capabilities {
@@ -52,6 +58,22 @@ impl Capabilities {
         }
     }
 
+    /// What the ALLOC agent requests: allocation events only.
+    pub fn alloc() -> Self {
+        Capabilities {
+            can_generate_allocation_events: true,
+            ..Self::default()
+        }
+    }
+
+    /// What the LOCK agent requests: raw-monitor observation only.
+    pub fn lock() -> Self {
+        Capabilities {
+            can_observe_raw_monitors: true,
+            ..Self::default()
+        }
+    }
+
     /// Union of two capability sets.
     #[must_use]
     pub fn with(self, other: Capabilities) -> Capabilities {
@@ -65,6 +87,10 @@ impl Capabilities {
             can_intercept_jni_calls: self.can_intercept_jni_calls || other.can_intercept_jni_calls,
             can_generate_class_file_load_hook: self.can_generate_class_file_load_hook
                 || other.can_generate_class_file_load_hook,
+            can_generate_allocation_events: self.can_generate_allocation_events
+                || other.can_generate_allocation_events,
+            can_observe_raw_monitors: self.can_observe_raw_monitors
+                || other.can_observe_raw_monitors,
         }
     }
 }
@@ -88,17 +114,21 @@ pub enum EventType {
     /// Classfile about to be linked; agent may rewrite it. Requires
     /// [`Capabilities::can_generate_class_file_load_hook`].
     ClassFileLoadHook,
+    /// An object was allocated (instance, array, or string). Requires
+    /// [`Capabilities::can_generate_allocation_events`].
+    Allocation,
 }
 
 impl EventType {
     /// All event kinds.
-    pub const ALL: [EventType; 6] = [
+    pub const ALL: [EventType; 7] = [
         EventType::ThreadStart,
         EventType::ThreadEnd,
         EventType::MethodEntry,
         EventType::MethodExit,
         EventType::VmDeath,
         EventType::ClassFileLoadHook,
+        EventType::Allocation,
     ];
 
     /// The capability gate for this event, if any.
@@ -107,6 +137,7 @@ impl EventType {
             EventType::MethodEntry => caps.can_generate_method_entry_events,
             EventType::MethodExit => caps.can_generate_method_exit_events,
             EventType::ClassFileLoadHook => caps.can_generate_class_file_load_hook,
+            EventType::Allocation => caps.can_generate_allocation_events,
             _ => true,
         }
     }
@@ -121,6 +152,7 @@ impl fmt::Display for EventType {
             EventType::MethodExit => "MethodExit",
             EventType::VmDeath => "VMDeath",
             EventType::ClassFileLoadHook => "ClassFileLoadHook",
+            EventType::Allocation => "Allocation",
         };
         f.write_str(s)
     }
@@ -158,6 +190,10 @@ mod tests {
         assert!(!EventType::MethodExit.required_capability(none));
         assert!(!EventType::ClassFileLoadHook.required_capability(none));
         assert!(EventType::MethodEntry.required_capability(Capabilities::spa()));
+        assert!(!EventType::Allocation.required_capability(none));
+        assert!(EventType::Allocation.required_capability(Capabilities::alloc()));
+        assert!(Capabilities::lock().can_observe_raw_monitors);
+        assert!(!Capabilities::lock().can_generate_allocation_events);
     }
 
     #[test]

@@ -10,11 +10,11 @@ use jvmsim_metrics::{Bucket, BucketGuard, CounterId, HistogramId, MetricsRegistr
 use jvmsim_pcl::{Pcl, Timestamp};
 use jvmsim_vm::cost::CostModel;
 use jvmsim_vm::jni::{JniCallKey, JniEntryFn};
-use jvmsim_vm::{EventMask, MethodView, NativeLibrary, ThreadId, Vm, VmEventSink};
+use jvmsim_vm::{AllocationView, EventMask, MethodView, NativeLibrary, ThreadId, Vm, VmEventSink};
 
 use crate::caps::{Capabilities, EventType};
 use crate::error::JvmtiError;
-use crate::monitor::RawMonitor;
+use crate::monitor::{MonitorLedger, RawMonitor};
 use crate::tls::ThreadLocalStorage;
 
 /// A JVMTI environment — the handle an agent keeps after load.
@@ -34,6 +34,9 @@ pub struct JvmtiEnv {
     /// The VM's metrics registry, if one was installed before attach —
     /// probe spans attribute their cost through it.
     metrics: Option<MetricsRegistry>,
+    /// The raw-monitor observation plane (disabled unless the LOCK agent
+    /// enabled it; every monitor this env creates registers here).
+    monitors: Arc<MonitorLedger>,
 }
 
 impl std::fmt::Debug for JvmtiEnv {
@@ -57,6 +60,7 @@ impl JvmtiEnv {
             granted: Arc::new(RwLock::new(Capabilities::none())),
             faults,
             metrics,
+            monitors: Arc::new(MonitorLedger::new()),
         }
     }
 
@@ -133,6 +137,26 @@ impl JvmtiEnv {
         ProbeSpan { state }
     }
 
+    /// Consult the fault-injection plane at `site` — agents own their
+    /// fault sites (the ALLOC site-table overflow, the LOCK ledger
+    /// corruption) and consult them exactly like the VM consults its own.
+    #[inline]
+    pub fn fault(&self, site: FaultSite) -> Option<u64> {
+        self.faults.inject(site)
+    }
+
+    /// Sum of every thread's cycle counter — the end-of-run tick the ALLOC
+    /// agent prices lifetimes against (≥ any single thread's clock).
+    pub fn total_cycles(&self) -> u64 {
+        self.pcl.total_cycles()
+    }
+
+    /// The raw-monitor observation plane shared by every monitor this env
+    /// creates.
+    pub fn monitor_ledger(&self) -> &Arc<MonitorLedger> {
+        &self.monitors
+    }
+
     /// Allocate a thread-local storage map for agent data.
     pub fn create_tls<T>(&self) -> ThreadLocalStorage<T> {
         ThreadLocalStorage::new(self.clone())
@@ -152,6 +176,10 @@ pub enum ProbeKind {
     Ipa,
     /// An SPA probe (`MethodEntry`/`MethodExit` body).
     Spa,
+    /// An ALLOC allocation-event probe (site-table bookkeeping).
+    Alloc,
+    /// A LOCK contention probe (monitor-ledger bookkeeping + modeled wait).
+    Lock,
 }
 
 impl ProbeKind {
@@ -159,6 +187,8 @@ impl ProbeKind {
         match self {
             ProbeKind::Ipa => Bucket::IpaProbe,
             ProbeKind::Spa => Bucket::SpaProbe,
+            ProbeKind::Alloc => Bucket::AllocProbe,
+            ProbeKind::Lock => Bucket::LockProbe,
         }
     }
 
@@ -166,6 +196,8 @@ impl ProbeKind {
         match self {
             ProbeKind::Ipa => CounterId::IpaProbes,
             ProbeKind::Spa => CounterId::SpaProbes,
+            ProbeKind::Alloc => CounterId::AllocProbes,
+            ProbeKind::Lock => CounterId::LockProbes,
         }
     }
 
@@ -173,6 +205,8 @@ impl ProbeKind {
         match self {
             ProbeKind::Ipa => HistogramId::IpaProbeCycles,
             ProbeKind::Spa => HistogramId::SpaProbeCycles,
+            ProbeKind::Alloc => HistogramId::AllocProbeCycles,
+            ProbeKind::Lock => HistogramId::LockProbeCycles,
         }
     }
 }
@@ -297,6 +331,24 @@ impl<'vm> AgentHost<'vm> {
         Ok(())
     }
 
+    /// Enable the raw-monitor observation plane: every `RawMonitorEnter`
+    /// from now on is recorded in the [`MonitorLedger`] (the LOCK agent's
+    /// data source).
+    ///
+    /// # Errors
+    ///
+    /// [`JvmtiError::MustPossessCapability`] without
+    /// `can_observe_raw_monitors`.
+    pub fn observe_raw_monitors(&mut self) -> Result<(), JvmtiError> {
+        if !self.env.capabilities().can_observe_raw_monitors {
+            return Err(JvmtiError::MustPossessCapability(
+                "can_observe_raw_monitors".into(),
+            ));
+        }
+        self.env.monitors.enable();
+        Ok(())
+    }
+
     /// `AddToBootstrapClassLoaderSearch` — the `-Xbootclasspath/p:` analog
     /// used to feed statically instrumented classes (including the rewritten
     /// `rt.jar`) to the VM.
@@ -352,6 +404,8 @@ pub trait Agent: Send + Sync + 'static {
     fn class_file_load_hook(&self, _class_name: &str, _bytes: &[u8]) -> Option<Vec<u8>> {
         None
     }
+    /// `Allocation`: `thread` allocated one object.
+    fn allocation(&self, _thread: ThreadId, _alloc: AllocationView<'_>) {}
 }
 
 /// Adapter delivering VM events to the agent, filtered by what it enabled.
@@ -393,6 +447,11 @@ impl VmEventSink for AgentSink {
             None
         }
     }
+    fn allocation(&self, thread: ThreadId, alloc: AllocationView<'_>) {
+        if self.enabled.contains(&EventType::Allocation) {
+            self.agent.allocation(thread, alloc);
+        }
+    }
 }
 
 /// Attach `agent` to `vm`: run `Agent_OnLoad`, install the event sink, and
@@ -430,6 +489,7 @@ pub fn attach(vm: &mut Vm, agent: Arc<dyn Agent>) -> Result<JvmtiEnv, JvmtiError
             || enabled.contains(&EventType::MethodExit),
         vm_death: enabled.contains(&EventType::VmDeath),
         class_file_load_hook: enabled.contains(&EventType::ClassFileLoadHook),
+        alloc_events: enabled.contains(&EventType::Allocation),
     };
     vm.set_event_sink(Arc::new(AgentSink { agent, enabled }));
     vm.set_event_mask(mask);

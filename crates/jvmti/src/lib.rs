@@ -28,5 +28,5 @@ pub mod tls;
 pub use caps::{Capabilities, EventType};
 pub use env::{attach, Agent, AgentHost, JvmtiEnv, ProbeKind, ProbeSpan};
 pub use error::JvmtiError;
-pub use monitor::RawMonitor;
+pub use monitor::{LedgerSnapshot, MonitorGuard, MonitorLedger, MonitorRow, RawMonitor};
 pub use tls::ThreadLocalStorage;

@@ -1,16 +1,215 @@
-//! Raw monitors (§II-B c).
+//! Raw monitors (§II-B c) and the LOCK agent's monitor ledger.
 //!
 //! "A raw monitor is a synchronization aid. We use a raw monitor to
 //! synchronize access to global data, i.e., the overall profiling
 //! statistics, which are updated upon thread termination."
+//!
+//! The [`MonitorLedger`] is the contention-observation plane the LOCK
+//! agent enables (gated on `can_observe_raw_monitors`): every raw monitor
+//! registers itself at creation, and while the ledger is enabled each
+//! `RawMonitorEnter` records an acquisition, detects contention (the
+//! entering thread differs from the monitor's previous owner), and charges
+//! the modeled blocked cycles — the previous owner's last hold duration —
+//! to the waiting thread's PCL clock inside a LOCK probe span. Disabled
+//! (the default), the ledger costs one atomic load per enter, so SPA/IPA
+//! runs are byte-identical to the pre-ledger VM.
 
-use std::sync::Arc;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, MutexGuard};
 
-use jvmsim_vm::ThreadId;
+use jvmsim_faults::FaultSite;
+use jvmsim_pcl::Timestamp;
+use jvmsim_vm::{ThreadId, TraceEventKind, TraceSink};
 
-use crate::env::JvmtiEnv;
+use crate::env::{JvmtiEnv, ProbeKind};
+
+/// Per-monitor contention statistics, as reported by
+/// [`MonitorLedger::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorRow {
+    /// The monitor's name (diagnostics; assigned at creation).
+    pub name: String,
+    /// Total acquisitions (`RawMonitorEnter` calls, charged or not).
+    pub entries: u64,
+    /// Acquisitions that found the monitor last held by a different
+    /// thread — the deterministic contention model. Always ≤ `entries`.
+    pub contended: u64,
+    /// Modeled cycles threads spent blocked on this monitor (sum of the
+    /// previous owner's hold duration over every contended entry).
+    pub blocked_cycles: u64,
+    /// Contention records diverted by the `monitor-ledger-corrupt` fault
+    /// site: observed but deliberately not recorded.
+    pub discarded: u64,
+}
+
+/// A snapshot of the whole ledger (what the LOCK agent's report renders).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    /// Every registered monitor, in creation order.
+    pub monitors: Vec<MonitorRow>,
+    /// Blocked cycles charged per thread index — the other side of the
+    /// double-entry ledger: `Σ per_thread_blocked == Σ monitors.blocked`.
+    pub per_thread_blocked: Vec<u64>,
+}
+
+impl LedgerSnapshot {
+    /// Total acquisitions across all monitors.
+    pub fn total_entries(&self) -> u64 {
+        self.monitors.iter().map(|m| m.entries).sum()
+    }
+
+    /// Total contended (recorded) acquisitions.
+    pub fn total_contended(&self) -> u64 {
+        self.monitors.iter().map(|m| m.contended).sum()
+    }
+
+    /// Total blocked cycles charged (per-monitor side).
+    pub fn total_blocked(&self) -> u64 {
+        self.monitors.iter().map(|m| m.blocked_cycles).sum()
+    }
+
+    /// Total discarded contention records (fault plane).
+    pub fn total_discarded(&self) -> u64 {
+        self.monitors.iter().map(|m| m.discarded).sum()
+    }
+}
+
+#[derive(Debug, Default)]
+struct MonitorState {
+    name: String,
+    entries: u64,
+    contended: u64,
+    blocked_cycles: u64,
+    discarded: u64,
+    last_owner: Option<usize>,
+    last_hold_cycles: u64,
+}
+
+#[derive(Debug, Default)]
+struct LedgerInner {
+    monitors: Vec<MonitorState>,
+    per_thread_blocked: Vec<u64>,
+}
+
+/// The raw-monitor observation plane (see module docs). One per
+/// [`JvmtiEnv`] family; shared by every monitor the env creates.
+#[derive(Default)]
+pub struct MonitorLedger {
+    enabled: AtomicBool,
+    trace: OnceLock<Arc<dyn TraceSink>>,
+    inner: Mutex<LedgerInner>,
+}
+
+impl std::fmt::Debug for MonitorLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorLedger")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl MonitorLedger {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Is contention bookkeeping on?
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn enable(&self) {
+        self.enabled.store(true, Ordering::Relaxed);
+    }
+
+    /// Adopt a trace sink: contended entries emit `MonitorContend` events.
+    /// First caller wins (the ledger outlives any one agent).
+    pub fn set_trace(&self, trace: Arc<dyn TraceSink>) {
+        let _ = self.trace.set(trace);
+    }
+
+    /// Register a monitor, returning its stable id (creation order).
+    pub(crate) fn register(&self, name: &str) -> usize {
+        let mut g = self.inner.lock();
+        let id = g.monitors.len();
+        g.monitors.push(MonitorState {
+            name: name.to_owned(),
+            ..MonitorState::default()
+        });
+        id
+    }
+
+    /// Record one `RawMonitorEnter` by `thread` on monitor `id`; called
+    /// only while enabled. Charges modeled blocked cycles to the waiting
+    /// thread inside a LOCK probe span, so the wait lands in the
+    /// `lock_probe` attribution bucket.
+    fn note_enter(&self, env: &JvmtiEnv, id: usize, thread: ThreadId) {
+        let blocked = {
+            let mut g = self.inner.lock();
+            let s = &mut g.monitors[id];
+            s.entries += 1;
+            let contended = s.last_owner.is_some_and(|o| o != thread.index());
+            if !contended {
+                None
+            } else if env.fault(FaultSite::MonitorLedgerCorrupt).is_some() {
+                // Fault plane: the record is diverted, never silently lost
+                // — `observed == recorded + discarded` stays balanced, and
+                // the wait is not charged (a discarded record must not
+                // perturb the clock it failed to account).
+                s.discarded += 1;
+                None
+            } else {
+                s.contended += 1;
+                let blocked = s.last_hold_cycles;
+                s.blocked_cycles += blocked;
+                if thread.index() >= g.per_thread_blocked.len() {
+                    g.per_thread_blocked.resize(thread.index() + 1, 0);
+                }
+                g.per_thread_blocked[thread.index()] += blocked;
+                Some(blocked)
+            }
+        };
+        if let Some(blocked) = blocked {
+            let _span = env.probe_span(thread, ProbeKind::Lock);
+            env.charge(thread, blocked);
+            if let Some(trace) = self.trace.get() {
+                let now = env.timestamp_unaccounted(thread);
+                trace.record(thread, TraceEventKind::MonitorContend, now.cycles(), None);
+            }
+        }
+    }
+
+    /// Record a release: `thread` held monitor `id` for `held_cycles`.
+    fn note_release(&self, id: usize, thread: ThreadId, held_cycles: u64) {
+        let mut g = self.inner.lock();
+        let s = &mut g.monitors[id];
+        s.last_owner = Some(thread.index());
+        s.last_hold_cycles = held_cycles;
+    }
+
+    /// Snapshot every monitor and the per-thread blocked ledger.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        let g = self.inner.lock();
+        LedgerSnapshot {
+            monitors: g
+                .monitors
+                .iter()
+                .map(|s| MonitorRow {
+                    name: s.name.clone(),
+                    entries: s.entries,
+                    contended: s.contended,
+                    blocked_cycles: s.blocked_cycles,
+                    discarded: s.discarded,
+                })
+                .collect(),
+            per_thread_blocked: g.per_thread_blocked.clone(),
+        }
+    }
+}
 
 /// A JVMTI raw monitor protecting a value of type `T`.
 ///
@@ -19,6 +218,7 @@ use crate::env::JvmtiEnv;
 pub struct RawMonitor<T> {
     name: String,
     env: JvmtiEnv,
+    id: usize,
     data: Arc<Mutex<T>>,
 }
 
@@ -35,6 +235,7 @@ impl<T> Clone for RawMonitor<T> {
         RawMonitor {
             name: self.name.clone(),
             env: self.env.clone(),
+            id: self.id,
             data: Arc::clone(&self.data),
         }
     }
@@ -42,9 +243,11 @@ impl<T> Clone for RawMonitor<T> {
 
 impl<T> RawMonitor<T> {
     pub(crate) fn new(name: String, env: JvmtiEnv, initial: T) -> Self {
+        let id = env.monitor_ledger().register(&name);
         RawMonitor {
             name,
             env,
+            id,
             data: Arc::new(Mutex::new(initial)),
         }
     }
@@ -56,14 +259,80 @@ impl<T> RawMonitor<T> {
 
     /// `RawMonitorEnter` on behalf of `thread`; the guard is
     /// `RawMonitorExit`.
-    pub fn enter(&self, thread: ThreadId) -> MutexGuard<'_, T> {
+    pub fn enter(&self, thread: ThreadId) -> MonitorGuard<'_, T> {
         self.env.charge(thread, self.env.costs().raw_monitor);
-        self.data.lock()
+        let ledger = self.env.monitor_ledger();
+        let release = if ledger.is_enabled() {
+            // Contention is observed *before* acquiring, like a real
+            // monitor: the entering thread sees the previous owner.
+            ledger.note_enter(&self.env, self.id, thread);
+            Some(ReleaseNote {
+                ledger: Arc::clone(ledger),
+                env: self.env.clone(),
+                id: self.id,
+                thread,
+                entered: Timestamp::default(),
+            })
+        } else {
+            None
+        };
+        let guard = self.data.lock();
+        let release = release.map(|mut r| {
+            // Hold time starts once the lock is held, on the owner's clock.
+            r.entered = self.env.timestamp_unaccounted(thread);
+            r
+        });
+        MonitorGuard { release, guard }
     }
 
     /// Lock without charging any thread — for post-run report extraction,
-    /// when no benchmark thread is executing.
-    pub fn enter_unaccounted(&self) -> MutexGuard<'_, T> {
-        self.data.lock()
+    /// when no benchmark thread is executing. Invisible to the ledger.
+    pub fn enter_unaccounted(&self) -> MonitorGuard<'_, T> {
+        MonitorGuard {
+            release: None,
+            guard: self.data.lock(),
+        }
+    }
+}
+
+struct ReleaseNote {
+    ledger: Arc<MonitorLedger>,
+    env: JvmtiEnv,
+    id: usize,
+    thread: ThreadId,
+    entered: Timestamp,
+}
+
+/// RAII guard for one raw-monitor acquisition (`RawMonitorExit` on drop).
+/// Dereferences to the protected data; when the ledger is enabled, drop
+/// records the hold duration that prices the *next* contended entry.
+#[must_use = "the monitor is held only while the guard is alive"]
+pub struct MonitorGuard<'a, T> {
+    // Declared before `guard` so the release note (which reads the clock
+    // and locks the ledger) runs while the monitor is still held.
+    release: Option<ReleaseNote>,
+    guard: MutexGuard<'a, T>,
+}
+
+impl<T> Deref for MonitorGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for MonitorGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T> Drop for MonitorGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.release.take() {
+            let now = r.env.timestamp_unaccounted(r.thread);
+            r.ledger
+                .note_release(r.id, r.thread, now.cycles_since(r.entered));
+        }
     }
 }

@@ -51,11 +51,17 @@ pub enum Bucket {
     /// Launcher machinery: the JNI `Call*Method*` charge the harness pays
     /// to enter each thread's initial method.
     Harness,
+    /// ALLOC agent machinery: allocation-event delivery and the agent's
+    /// site-table bookkeeping.
+    AllocProbe,
+    /// LOCK agent machinery: monitor-ledger bookkeeping plus the modeled
+    /// blocked cycles charged to waiting threads.
+    LockProbe,
 }
 
 impl Bucket {
     /// Number of buckets (array sizing).
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 7;
 
     /// Every bucket, in dense-index order.
     pub const ALL: [Bucket; Bucket::COUNT] = [
@@ -64,6 +70,8 @@ impl Bucket {
         Bucket::SpaProbe,
         Bucket::Trace,
         Bucket::Harness,
+        Bucket::AllocProbe,
+        Bucket::LockProbe,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -74,6 +82,8 @@ impl Bucket {
             Bucket::SpaProbe => 2,
             Bucket::Trace => 3,
             Bucket::Harness => 4,
+            Bucket::AllocProbe => 5,
+            Bucket::LockProbe => 6,
         }
     }
 
@@ -85,6 +95,8 @@ impl Bucket {
             Bucket::SpaProbe => "spa_probe",
             Bucket::Trace => "trace",
             Bucket::Harness => "harness",
+            Bucket::AllocProbe => "alloc_probe",
+            Bucket::LockProbe => "lock_probe",
         }
     }
 
@@ -148,11 +160,15 @@ pub enum CounterId {
     ServeErrors,
     /// Serve-plane run requests answered from the cell-result cache.
     ServeHits,
+    /// ALLOC probe executions (allocation-event callbacks).
+    AllocProbes,
+    /// LOCK probe executions (instrumented raw-monitor entries).
+    LockProbes,
 }
 
 impl CounterId {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 25;
+    pub const COUNT: usize = 27;
 
     /// Every counter, in dense-index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -181,6 +197,8 @@ impl CounterId {
         CounterId::ServeDropped,
         CounterId::ServeErrors,
         CounterId::ServeHits,
+        CounterId::AllocProbes,
+        CounterId::LockProbes,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -211,6 +229,8 @@ impl CounterId {
             CounterId::ServeDropped => 22,
             CounterId::ServeErrors => 23,
             CounterId::ServeHits => 24,
+            CounterId::AllocProbes => 25,
+            CounterId::LockProbes => 26,
         }
     }
 
@@ -242,6 +262,8 @@ impl CounterId {
             CounterId::ServeDropped => "serve_dropped",
             CounterId::ServeErrors => "serve_errors",
             CounterId::ServeHits => "serve_hits",
+            CounterId::AllocProbes => "alloc_probes",
+            CounterId::LockProbes => "lock_probes",
         }
     }
 }
@@ -292,11 +314,15 @@ pub enum HistogramId {
     /// This is the only wall-clock quantity in the registry; it exists for
     /// operators and never feeds artifact bytes.
     ServeLatencyMicros,
+    /// Self-timed cycles of one ALLOC probe body.
+    AllocProbeCycles,
+    /// Self-timed cycles of one LOCK probe body.
+    LockProbeCycles,
 }
 
 impl HistogramId {
     /// Number of histograms (array sizing).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
 
     /// Every histogram, in dense-index order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
@@ -304,6 +330,8 @@ impl HistogramId {
         HistogramId::SpaProbeCycles,
         HistogramId::CellCycles,
         HistogramId::ServeLatencyMicros,
+        HistogramId::AllocProbeCycles,
+        HistogramId::LockProbeCycles,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -313,6 +341,8 @@ impl HistogramId {
             HistogramId::SpaProbeCycles => 1,
             HistogramId::CellCycles => 2,
             HistogramId::ServeLatencyMicros => 3,
+            HistogramId::AllocProbeCycles => 4,
+            HistogramId::LockProbeCycles => 5,
         }
     }
 
@@ -323,6 +353,8 @@ impl HistogramId {
             HistogramId::SpaProbeCycles => "spa_probe_cycles",
             HistogramId::CellCycles => "cell_cycles",
             HistogramId::ServeLatencyMicros => "serve_latency_micros",
+            HistogramId::AllocProbeCycles => "alloc_probe_cycles",
+            HistogramId::LockProbeCycles => "lock_probe_cycles",
         }
     }
 }

@@ -37,7 +37,7 @@ const WORKLOADS: [&str; 8] = [
 ];
 
 /// Agent labels the generator cycles through.
-const AGENTS: [&str; 3] = ["original", "spa", "ipa"];
+const AGENTS: [&str; 5] = ["original", "spa", "ipa", "alloc", "lock"];
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]

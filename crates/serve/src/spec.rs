@@ -14,7 +14,11 @@ use jnativeprof::session::SessionSpec;
 pub struct RunSpec {
     /// Workload name.
     pub workload: String,
-    /// Agent label (`original` / `spa` / `ipa`; default `original`).
+    /// Agent label (`original` / `spa` / `ipa` / `alloc` / `lock`;
+    /// default `original`). Validation happens in [`Self::to_session_spec`]
+    /// through the shared [`AgentChoice`](jnativeprof::harness::AgentChoice)
+    /// parser, so an unknown label gets the same typed message here as on
+    /// every CLI front end.
     pub agent: String,
     /// Problem size (default 1).
     pub size: u32,

@@ -265,7 +265,7 @@ fn run_spec_equivalence_holds_for_every_agent() {
     // The determinism boundary in one assertion: for each agent, the
     // SessionSpec the daemon executes and the one the batch driver
     // executes share a cell-result identity.
-    for agent in ["original", "spa", "ipa"] {
+    for agent in ["original", "spa", "ipa", "alloc", "lock"] {
         let spec = RunSpec {
             workload: "compress".to_owned(),
             agent: agent.to_owned(),

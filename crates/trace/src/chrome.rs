@@ -73,6 +73,10 @@ fn push_event(out: &mut String, event: &TraceEvent, clock_hz: u64) {
             r#"{{"name":"{}","cat":"thread","ph":"i","s":"t","ts":{ts:.3},"pid":1,"tid":{tid}}}"#,
             event.kind.label()
         ),
+        TraceEventKind::AllocSite | TraceEventKind::MonitorContend => format!(
+            r#"{{"name":"{}","cat":"agent","ph":"i","s":"t","ts":{ts:.3},"pid":1,"tid":{tid}}}"#,
+            event.kind.label()
+        ),
     };
     out.push_str(&record);
 }
@@ -123,6 +127,8 @@ pub fn chrome_trace_json(snapshot: &TraceSnapshot, clock_hz: u64) -> Result<Stri
         TraceEventKind::MethodCompile,
         TraceEventKind::ThreadStart,
         TraceEventKind::ThreadEnd,
+        TraceEventKind::AllocSite,
+        TraceEventKind::MonitorContend,
     ] {
         let _ = write!(out, ",\"{}\":{}", kind.label(), snapshot.count(kind));
     }

@@ -54,9 +54,13 @@ pub fn collapsed_stacks(snapshot: &TraceSnapshot) -> String {
                         stack.pop();
                     }
                 }
+                // Instants (no duration, no frame change): JIT compiles,
+                // thread lifecycle, and the agents' point events.
                 TraceEventKind::MethodCompile
                 | TraceEventKind::ThreadStart
-                | TraceEventKind::ThreadEnd => {}
+                | TraceEventKind::ThreadEnd
+                | TraceEventKind::AllocSite
+                | TraceEventKind::MonitorContend => {}
             }
         }
     }

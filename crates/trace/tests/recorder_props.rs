@@ -24,6 +24,8 @@ const KINDS: [TraceEventKind; TraceEventKind::COUNT] = [
     TraceEventKind::MethodCompile,
     TraceEventKind::ThreadStart,
     TraceEventKind::ThreadEnd,
+    TraceEventKind::AllocSite,
+    TraceEventKind::MonitorContend,
 ];
 
 /// Replay a generated `(thread, kind, cycle-delta)` stream into a

@@ -300,8 +300,7 @@ pub fn libjava() -> NativeLibrary {
         let a = string_arg(env, args, 0)?;
         let b = string_arg(env, args, 1)?;
         env.work(30 + (a.len() + b.len()) as u64 / 4);
-        let r = env.vm().heap_mut().alloc_string(format!("{a}{b}"));
-        env.vm().stats.allocations += 1;
+        let r = env.alloc_string_at(format!("{a}{b}"), "java/lang/String", "concat");
         Ok(Value::Ref(r))
     });
     lib.register_method("java/lang/String", "hashCode", |env, args| {
@@ -327,8 +326,7 @@ pub fn libjava() -> NativeLibrary {
             ));
         }
         let sub = s[f..t].to_owned();
-        let r = env.vm().heap_mut().alloc_string(sub);
-        env.vm().stats.allocations += 1;
+        let r = env.alloc_string_at(sub, "java/lang/String", "substring");
         Ok(Value::Ref(r))
     });
     lib.register_method("java/lang/String", "intern", |env, args| {
@@ -340,8 +338,7 @@ pub fn libjava() -> NativeLibrary {
     lib.register_method("java/lang/String", "valueOf", |env, args| {
         let v = args[0].as_int();
         env.work(35);
-        let r = env.vm().heap_mut().alloc_string(v.to_string());
-        env.vm().stats.allocations += 1;
+        let r = env.alloc_string_at(v.to_string(), "java/lang/String", "valueOf");
         Ok(Value::Ref(r))
     });
 

@@ -66,6 +66,9 @@ pub struct EventMask {
     /// `ClassFileLoadHook` (lets the sink rewrite classfile bytes before
     /// they are linked — the dynamic-instrumentation path of §IV).
     pub class_file_load_hook: bool,
+    /// `Allocation` (the ALLOC agent's object-allocation hook; off for
+    /// every other agent so the allocation fast path stays one branch).
+    pub alloc_events: bool,
 }
 
 impl EventMask {
@@ -81,8 +84,27 @@ impl EventMask {
             method_events: true,
             vm_death: true,
             class_file_load_hook: true,
+            alloc_events: true,
         }
     }
+}
+
+/// One object allocation, as seen by the ALLOC agent's hook — the analogue
+/// of JVMTI's `SampledObjectAlloc` payload, plus the *allocation site*
+/// (class, method, bci) DJXPerf-style object-centric profilers key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocationView<'a> {
+    /// Internal name of the allocated object's class (or a synthetic label
+    /// like `"long[]"` for arrays and `"java/lang/String"` for strings).
+    pub class_name: &'a str,
+    /// Modeled size of the allocation in bytes (see `HeapObject::model_bytes`).
+    pub bytes: u64,
+    /// Internal name of the class whose code performed the allocation.
+    pub site_class: &'a str,
+    /// Name of the method performing the allocation.
+    pub site_method: &'a str,
+    /// Bytecode index of the allocating instruction (0 for native sites).
+    pub bci: u32,
 }
 
 /// Receiver of VM events. All methods have empty defaults so sinks override
@@ -107,6 +129,9 @@ pub trait VmEventSink: Send + Sync {
     fn class_file_load(&self, _class_name: &str, _bytes: &[u8]) -> Option<Vec<u8>> {
         None
     }
+    /// `thread` allocated one object (dispatched only when
+    /// [`EventMask::alloc_events`] is set).
+    fn allocation(&self, _thread: ThreadId, _alloc: AllocationView<'_>) {}
 }
 
 /// A sink that ignores every event (useful as a baseline and in tests).
@@ -138,11 +163,15 @@ pub enum TraceEventKind {
     ThreadStart,
     /// A VM thread finished its initial method.
     ThreadEnd,
+    /// The ALLOC agent recorded an object allocation at a site.
+    AllocSite,
+    /// The LOCK agent observed a contended raw-monitor entry.
+    MonitorContend,
 }
 
 impl TraceEventKind {
     /// Number of distinct kinds (for per-kind counter arrays).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// Dense index of this kind in `[0, COUNT)`.
     pub fn index(self) -> usize {
@@ -154,6 +183,8 @@ impl TraceEventKind {
             TraceEventKind::MethodCompile => 4,
             TraceEventKind::ThreadStart => 5,
             TraceEventKind::ThreadEnd => 6,
+            TraceEventKind::AllocSite => 7,
+            TraceEventKind::MonitorContend => 8,
         }
     }
 
@@ -167,6 +198,8 @@ impl TraceEventKind {
             TraceEventKind::MethodCompile => "method_compile",
             TraceEventKind::ThreadStart => "thread_start",
             TraceEventKind::ThreadEnd => "thread_end",
+            TraceEventKind::AllocSite => "alloc_site",
+            TraceEventKind::MonitorContend => "monitor_contend",
         }
     }
 }
@@ -232,6 +265,8 @@ mod tests {
             MethodCompile,
             ThreadStart,
             ThreadEnd,
+            AllocSite,
+            MonitorContend,
         ];
         assert_eq!(kinds.len(), TraceEventKind::COUNT);
         let mut seen_idx = [false; TraceEventKind::COUNT];

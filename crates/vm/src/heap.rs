@@ -31,6 +31,21 @@ pub enum HeapObject {
 }
 
 impl HeapObject {
+    /// Modeled footprint of this object in bytes — the size the ALLOC
+    /// agent attributes to an allocation site. The model is the usual
+    /// 64-bit layout: a 16-byte object header plus 8 bytes per field or
+    /// array slot; strings carry a 24-byte header plus their UTF-8 length.
+    /// Deterministic by construction (pure function of shape).
+    pub fn model_bytes(&self) -> u64 {
+        match self {
+            HeapObject::Instance { fields, .. } => 16 + 8 * fields.len() as u64,
+            HeapObject::IntArray(v) => 16 + 8 * v.len() as u64,
+            HeapObject::FloatArray(v) => 16 + 8 * v.len() as u64,
+            HeapObject::RefArray(v) => 16 + 8 * v.len() as u64,
+            HeapObject::Str(s) => 24 + s.len() as u64,
+        }
+    }
+
     /// Array length, if this is an array.
     pub fn array_len(&self) -> Option<usize> {
         match self {
@@ -193,6 +208,18 @@ mod tests {
         // Non-interned allocation is distinct even for equal content.
         let d = h.alloc_string("x");
         assert_ne!(a, d);
+    }
+
+    #[test]
+    fn model_bytes_follows_the_64_bit_layout() {
+        let mut h = Heap::new();
+        let class = ClassId::for_test(0);
+        let inst = h.alloc_instance(class, vec![Value::Int(0), Value::Null]);
+        assert_eq!(h.get(inst).model_bytes(), 16 + 2 * 8);
+        let arr = h.alloc_int_array(5);
+        assert_eq!(h.get(arr).model_bytes(), 16 + 5 * 8);
+        let s = h.alloc_string("abc");
+        assert_eq!(h.get(s).model_bytes(), 24 + 3);
     }
 
     #[test]

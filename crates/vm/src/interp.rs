@@ -599,7 +599,14 @@ impl Vm {
                         Some(&r) => r,
                         None => {
                             let s = self.registry.get(cur).strings[&cp.0].clone();
+                            let before = self.heap().len();
                             let r = self.heap_mut().intern_string(&s);
+                            // Interning only allocates on a miss; an
+                            // already-interned literal is not an event.
+                            if self.alloc_events_on() && self.heap().len() > before {
+                                let (sc, sm) = self.site_of(mid);
+                                self.fire_allocation(thread, r, &sc, &sm, pc);
+                            }
                             self.ldc_cache.insert(key, r);
                             r
                         }
@@ -817,6 +824,10 @@ impl Vm {
                     self.stats.allocations += 1;
                     let defaults = self.registry.get(cid).field_defaults();
                     let obj = self.heap_mut().alloc_instance(cid, defaults);
+                    if self.alloc_events_on() {
+                        let (sc, sm) = self.site_of(mid);
+                        self.fire_allocation(thread, obj, &sc, &sm, pc);
+                    }
                     stack.push(Value::Ref(obj));
                 }
                 Insn::GetField(cp) | Insn::PutField(cp) => {
@@ -881,6 +892,10 @@ impl Vm {
                         ArrayKind::Float => self.heap_mut().alloc_float_array(len),
                         ArrayKind::Ref => self.heap_mut().alloc_ref_array(len),
                     };
+                    if self.alloc_events_on() {
+                        let (sc, sm) = self.site_of(mid);
+                        self.fire_allocation(thread, r, &sc, &sm, pc);
+                    }
                     stack.push(Value::Ref(r));
                 }
                 Insn::IALoad | Insn::FALoad | Insn::AALoad => {

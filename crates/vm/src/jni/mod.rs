@@ -325,12 +325,39 @@ impl<'a> JniEnv<'a> {
     pub fn new_int_array(&mut self, len: usize) -> ObjRef {
         let cost = self.vm.cost().alloc_array(len);
         self.vm.charge(self.thread, cost);
-        self.vm.heap_mut().alloc_int_array(len)
+        let r = self.vm.heap_mut().alloc_int_array(len);
+        self.vm
+            .fire_allocation(self.thread, r, "<jni>", "NewIntArray", 0);
+        r
     }
 
     /// Allocate and intern a string.
     pub fn new_string(&mut self, s: &str) -> ObjRef {
-        self.vm.heap_mut().intern_string(s)
+        let before = self.vm.heap().len();
+        let r = self.vm.heap_mut().intern_string(s);
+        // Interning allocates only on a miss.
+        if self.vm.heap().len() > before {
+            self.vm
+                .fire_allocation(self.thread, r, "<jni>", "NewString", 0);
+        }
+        r
+    }
+
+    /// Allocate a fresh (non-interned) string, attributing the allocation
+    /// to the synthetic native site `(site_class, site_method)` — what the
+    /// built-in `java/lang/String` natives use so the ALLOC agent sees
+    /// their allocations like any bytecode site's.
+    pub fn alloc_string_at(
+        &mut self,
+        s: impl Into<String>,
+        site_class: &str,
+        site_method: &str,
+    ) -> ObjRef {
+        let r = self.vm.heap_mut().alloc_string(s);
+        self.vm.stats.allocations += 1;
+        self.vm
+            .fire_allocation(self.thread, r, site_class, site_method, 0);
+        r
     }
 
     /// Read a string's contents.

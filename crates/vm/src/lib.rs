@@ -60,7 +60,8 @@ mod vm;
 pub use cost::CostModel;
 pub use error::VmError;
 pub use events::{
-    EventMask, MethodView, NullSink, ThreadId, TraceEventKind, TraceSink, VmEventSink,
+    AllocationView, EventMask, MethodView, NullSink, ThreadId, TraceEventKind, TraceSink,
+    VmEventSink,
 };
 pub use jni::{JniEnv, NativeLibrary};
 pub use klass::{ClassId, MethodId};

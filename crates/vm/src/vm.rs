@@ -13,7 +13,9 @@ use jvmsim_pcl::{ClockHandle, Pcl};
 
 use crate::cost::CostModel;
 use crate::error::VmError;
-use crate::events::{EventMask, SampleSink, ThreadId, TraceEventKind, TraceSink, VmEventSink};
+use crate::events::{
+    AllocationView, EventMask, SampleSink, ThreadId, TraceEventKind, TraceSink, VmEventSink,
+};
 use crate::heap::{Heap, HeapObject};
 use crate::jni::{JniFunctionTable, NativeFn, NativeLibrary};
 use crate::klass::{ClassId, ClassRegistry, MethodId};
@@ -668,6 +670,70 @@ impl Vm {
         }
     }
 
+    /// Whether allocation events are enabled — call sites check this one
+    /// branch before assembling site labels, so every non-ALLOC run
+    /// allocates exactly as before.
+    #[inline]
+    pub(crate) fn alloc_events_on(&self) -> bool {
+        self.mask.alloc_events && self.sink.is_some()
+    }
+
+    /// `(class name, method name)` of `mid`, owned — the allocation-site
+    /// key the ALLOC agent interns.
+    pub(crate) fn site_of(&self, mid: MethodId) -> (String, String) {
+        let rc = self.registry.get(mid.class);
+        (
+            rc.name.clone(),
+            rc.methods[mid.index as usize].name().to_owned(),
+        )
+    }
+
+    /// Dispatch one allocation event for the freshly allocated `obj`,
+    /// attributed to the site `(site_class, site_method, bci)`. Dispatch
+    /// follows the same shape as every other JVMTI event: counted in
+    /// `events_dispatched`, scoped to the agent's attribution bucket, and
+    /// charged one `event_dispatch` on the allocating thread.
+    pub(crate) fn fire_allocation(
+        &mut self,
+        thread: ThreadId,
+        obj: ObjRef,
+        site_class: &str,
+        site_method: &str,
+        bci: u32,
+    ) {
+        if !self.alloc_events_on() {
+            return;
+        }
+        let Some(sink) = self.sink.clone() else {
+            return;
+        };
+        let (class_name, bytes) = {
+            let o = self.heap.get(obj);
+            let label = match o {
+                HeapObject::Instance { class, .. } => self.registry.get(*class).name.clone(),
+                HeapObject::IntArray(_) => "long[]".to_owned(),
+                HeapObject::FloatArray(_) => "double[]".to_owned(),
+                HeapObject::RefArray(_) => "java/lang/Object[]".to_owned(),
+                HeapObject::Str(_) => "java/lang/String".to_owned(),
+            };
+            (label, o.model_bytes())
+        };
+        self.stats.events_dispatched += 1;
+        let _agent = self.agent_scope(thread);
+        self.metric_incr(thread, CounterId::JvmtiEvents);
+        self.charge(thread, self.cost.event_dispatch);
+        sink.allocation(
+            thread,
+            AllocationView {
+                class_name: &class_name,
+                bytes,
+                site_class,
+                site_method,
+                bci,
+            },
+        );
+    }
+
     fn fire_vm_death(&mut self) {
         if self.vm_dead {
             return;
@@ -808,7 +874,6 @@ impl Vm {
     /// of `java/lang/RuntimeException` (so agent/native code can always
     /// throw).
     pub fn throw_new(&mut self, thread: ThreadId, class: &str, message: &str) -> JThrow {
-        let _ = thread;
         let id = match self.registry.id_of(class) {
             Some(id) => id,
             None => match self.ensure_loaded(class) {
@@ -833,6 +898,9 @@ impl Vm {
                 fields[slot] = Value::Ref(msg_ref);
             }
         }
+        // Exception objects are allocations too: attributed to a synthetic
+        // `<throw>` site on the thrown class (no bytecode site exists).
+        self.fire_allocation(thread, obj, class, "<throw>", 0);
         JThrow::new(obj)
     }
 

@@ -3,12 +3,15 @@
 //! ```sh
 //! jasm build <in.jasm> <out.jvma>            # assemble to an archive
 //! jasm run <in.jasm> <class> <method> [int…] # assemble + execute
-//! jasm profile <in.jasm> <class> <method> [int…]  # … under IPA
+//! jasm profile [--agent LABEL] <in.jasm> <class> <method> [int…]
 //! ```
 //!
 //! `run`/`profile` load the bootstrap library (`java/lang/*`, `java/io/*`)
 //! so assembly programs can call the native JDK analogs; the entry method
-//! must be static and take only integer parameters.
+//! must be static and take only integer parameters. `profile` defaults to
+//! IPA; `--agent` accepts any label the shared [`AgentChoice`] parser
+//! knows (`original`, `spa`, `ipa`, `alloc`, `lock`) and prints that
+//! agent's report after the run.
 //!
 //! Exit codes follow the shared failure classes
 //! ([`HarnessError::exit_code`]), so scripts distinguish a typo'd command
@@ -20,17 +23,19 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use jnativeprof::classfile::jasm;
-use jnativeprof::harness::HarnessError;
+use jnativeprof::harness::{AgentChoice, HarnessError};
 use jnativeprof::instr::Archive;
 use jnativeprof::vm::{builtins, Value, Vm};
 use jvmsim_jvmti::Agent;
 use nativeprof::IpaAgent;
+use nativeprof::SpaAgent;
+use nativeprof_agents::{AllocAgent, LockAgent};
 
 const USAGE: &str = "\
 usage:
   jasm build <in.jasm> <out.jvma>
   jasm run <in.jasm> <class> <method> [int args…]
-  jasm profile <in.jasm> <class> <method> [int args…]
+  jasm profile [--agent LABEL] <in.jasm> <class> <method> [int args…]
 ";
 
 fn main() -> ExitCode {
@@ -83,7 +88,31 @@ fn build(args: &[String]) -> Result<(), HarnessError> {
     Ok(())
 }
 
+/// Which agent `profile` attached, kept alive until the report prints.
+enum Attached {
+    None,
+    Spa(Arc<SpaAgent>),
+    Ipa(Arc<IpaAgent>),
+    Alloc(Arc<AllocAgent>),
+    Lock(Arc<LockAgent>),
+}
+
 fn execute(args: &[String], profile: bool) -> Result<(), HarnessError> {
+    // `profile` accepts an optional leading `--agent LABEL`; parsing goes
+    // through the shared `FromStr` so jasm, jprof, and the serve spec all
+    // reject unknown labels with the same typed message.
+    let (agent, args) = match args {
+        [flag, label, rest @ ..] if profile && flag == "--agent" => {
+            let choice: AgentChoice = label
+                .parse()
+                .map_err(|e: jnativeprof::harness::ParseAgentError| {
+                    HarnessError::Usage(e.to_string())
+                })?;
+            (choice, rest)
+        }
+        _ if profile => (AgentChoice::ipa(), args),
+        _ => (AgentChoice::None, args),
+    };
     let [input, class, method, int_args @ ..] = args else {
         return Err(HarnessError::Usage(format!(
             "run needs <in.jasm> <class> <method> [int args…]\n{USAGE}"
@@ -101,7 +130,8 @@ fn execute(args: &[String], profile: bool) -> Result<(), HarnessError> {
     let descriptor = format!("({})I", "I".repeat(values.len()));
 
     let mut vm = Vm::new();
-    let ipa = if profile {
+    let attached = if let AgentChoice::Ipa(_) = &agent {
+        // IPA rewrites the archive, so the boot library rides in it too.
         let mut archive = Archive::new();
         for (name, bytes) in builtins::boot_archive() {
             archive
@@ -120,13 +150,34 @@ fn execute(args: &[String], profile: bool) -> Result<(), HarnessError> {
         vm.register_native_library(builtins::libjava(), true);
         jvmsim_jvmti::attach(&mut vm, Arc::clone(&ipa) as Arc<dyn Agent>)
             .map_err(|e| HarnessError::Attach(e.to_string()))?;
-        Some(ipa)
+        Attached::Ipa(ipa)
     } else {
         builtins::install(&mut vm);
         for c in &classes {
             vm.add_classfile(c);
         }
-        None
+        match &agent {
+            AgentChoice::None => Attached::None,
+            AgentChoice::Spa => {
+                let spa = SpaAgent::new();
+                jvmsim_jvmti::attach(&mut vm, Arc::clone(&spa) as Arc<dyn Agent>)
+                    .map_err(|e| HarnessError::Attach(e.to_string()))?;
+                Attached::Spa(spa)
+            }
+            AgentChoice::Alloc => {
+                let alloc = AllocAgent::new();
+                jvmsim_jvmti::attach(&mut vm, Arc::clone(&alloc) as Arc<dyn Agent>)
+                    .map_err(|e| HarnessError::Attach(e.to_string()))?;
+                Attached::Alloc(alloc)
+            }
+            AgentChoice::Lock => {
+                let lock = LockAgent::new();
+                jvmsim_jvmti::attach(&mut vm, Arc::clone(&lock) as Arc<dyn Agent>)
+                    .map_err(|e| HarnessError::Attach(e.to_string()))?;
+                Attached::Lock(lock)
+            }
+            AgentChoice::Ipa(_) => unreachable!("handled above"),
+        }
     };
 
     let pcl = vm.pcl();
@@ -147,8 +198,12 @@ fn execute(args: &[String], profile: bool) -> Result<(), HarnessError> {
         outcome.stats.invocations,
         outcome.stats.native_calls
     );
-    if let Some(ipa) = ipa {
-        print!("{}", ipa.report());
+    match attached {
+        Attached::None => {}
+        Attached::Spa(spa) => print!("{}", spa.report()),
+        Attached::Ipa(ipa) => print!("{}", ipa.report()),
+        Attached::Alloc(alloc) => print!("{}", alloc.report()),
+        Attached::Lock(lock) => print!("{}", lock.report()),
     }
     // Exit nonzero on an uncaught exception, like `java` does.
     failed.map_or(Ok(()), Err)

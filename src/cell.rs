@@ -20,7 +20,8 @@ use crate::session::RunOutcome;
 
 /// Everything the tables (and a served run response) need from one
 /// (workload, agent) cell: virtual seconds, the behavioural checksum,
-/// total cycles, and — for IPA — the Table II profile triple.
+/// total cycles, and the agent-specific triple — Table II's profile for
+/// IPA, the site summary for ALLOC, the contention summary for LOCK.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellQuantities {
     /// Virtual wall-clock seconds (total cycles at the PCL clock rate).
@@ -31,12 +32,17 @@ pub struct CellQuantities {
     pub total_cycles: u64,
     /// `(percent_native, jni_calls, native_method_calls)` when IPA ran.
     pub profile: Option<(f64, u64, u64)>,
+    /// `(sites, total_objects, total_bytes)` when ALLOC ran.
+    pub alloc: Option<(u64, u64, u64)>,
+    /// `(entries, contended, blocked_cycles)` when LOCK ran.
+    pub lock: Option<(u64, u64, u64)>,
 }
 
 impl CellQuantities {
-    /// Extract the cell quantities from a completed run. The profile is
-    /// kept only for IPA runs — SPA reports one too, but Table II (and
-    /// the row schema) attribute native time to IPA alone.
+    /// Extract the cell quantities from a completed run. The native-time
+    /// profile is kept only for IPA runs — SPA reports one too, but
+    /// Table II (and the row schema) attribute native time to IPA alone.
+    /// The ALLOC and LOCK triples ride on whichever of those agents ran.
     #[must_use]
     pub fn from_run(run: &RunOutcome) -> CellQuantities {
         CellQuantities {
@@ -48,6 +54,17 @@ impl CellQuantities {
                 .as_ref()
                 .filter(|_| run.agent == "IPA")
                 .map(|p| (p.percent_native(), p.jni_calls, p.native_method_calls)),
+            alloc: run
+                .alloc
+                .as_ref()
+                .map(|a| (a.sites.len() as u64, a.total_objects, a.total_bytes)),
+            lock: run.lock.as_ref().map(|l| {
+                (
+                    l.total_entries(),
+                    l.total_contended(),
+                    l.total_blocked_cycles(),
+                )
+            }),
         }
     }
 }
@@ -58,8 +75,9 @@ pub type SiteTally = (FaultSite, u64, u64);
 
 /// Payload layout version for memoized cell rows. Bumping it orphans old
 /// entries (their payloads stop decoding, so they are quarantined and
-/// recomputed) without touching the cache's own framing.
-pub const CELL_ENTRY_VERSION: u32 = 1;
+/// recomputed) without touching the cache's own framing. Version 2 added
+/// the ALLOC and LOCK triples.
+pub const CELL_ENTRY_VERSION: u32 = 2;
 
 /// Serialize a completed cell for the result plane: everything the table
 /// assembler reads, exactly — floats as IEEE bits so a decoded row
@@ -79,6 +97,17 @@ pub fn encode_cell_entry(outcome: &CellQuantities, sites: &[SiteTally]) -> Vec<u
             out.extend_from_slice(&pct_native.to_bits().to_le_bytes());
             out.extend_from_slice(&jni_calls.to_le_bytes());
             out.extend_from_slice(&native_method_calls.to_le_bytes());
+        }
+    }
+    for triple in [outcome.alloc, outcome.lock] {
+        match triple {
+            None => out.push(0),
+            Some((a, b, c)) => {
+                out.push(1);
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
         }
     }
     out.extend_from_slice(&(sites.len() as u32).to_le_bytes());
@@ -124,6 +153,13 @@ pub fn decode_cell_entry(bytes: &[u8]) -> Option<(CellQuantities, Vec<SiteTally>
         1 => Some((f64::from_bits(c.u64()?), c.u64()?, c.u64()?)),
         _ => return None,
     };
+    let u64_triple = |c: &mut Cursor<'_>| match c.u8()? {
+        0 => Some(None),
+        1 => Some(Some((c.u64()?, c.u64()?, c.u64()?))),
+        _ => None,
+    };
+    let alloc = u64_triple(&mut c)?;
+    let lock = u64_triple(&mut c)?;
     let site_count = c.u32()? as usize;
     let mut sites = Vec::with_capacity(site_count.min(FaultSite::COUNT));
     for _ in 0..site_count {
@@ -139,13 +175,15 @@ pub fn decode_cell_entry(bytes: &[u8]) -> Option<(CellQuantities, Vec<SiteTally>
             checksum,
             total_cycles,
             profile,
+            alloc,
+            lock,
         },
         sites,
     ))
 }
 
 /// Column names of the canonical cell row, in rendering order.
-pub const CELL_ROW_COLUMNS: [&str; 9] = [
+pub const CELL_ROW_COLUMNS: [&str; 15] = [
     "benchmark",
     "agent",
     "size",
@@ -155,20 +193,32 @@ pub const CELL_ROW_COLUMNS: [&str; 9] = [
     "pct_native",
     "jni_calls",
     "native_method_calls",
+    "alloc_sites",
+    "alloc_objects",
+    "alloc_bytes",
+    "lock_entries",
+    "lock_contended",
+    "lock_blocked_cycles",
 ];
 
 /// Render one cell as the canonical JSON row: a single-object array in
 /// the same shape `Table::to_json` gives a one-row table (all values as
-/// JSON strings, floats in fixed six-decimal formatting, profile columns
-/// empty for non-IPA cells, `\n`-terminated). Every transport — batch
-/// file, stdout, HTTP response body — emits exactly these bytes for the
-/// same run identity.
+/// JSON strings, floats in fixed six-decimal formatting, agent-specific
+/// columns empty for cells whose agent did not produce them,
+/// `\n`-terminated). Every transport — batch file, stdout, HTTP response
+/// body — emits exactly these bytes for the same run identity.
 #[must_use]
 pub fn cell_row_json(benchmark: &str, agent: &str, size: u32, cell: &CellQuantities) -> String {
     let (pct_native, jni_calls, native_method_calls) = match cell.profile {
         Some((pct, jni, native)) => (format!("{pct:.6}"), jni.to_string(), native.to_string()),
         None => (String::new(), String::new(), String::new()),
     };
+    let triple = |t: Option<(u64, u64, u64)>| match t {
+        Some((a, b, c)) => (a.to_string(), b.to_string(), c.to_string()),
+        None => (String::new(), String::new(), String::new()),
+    };
+    let (alloc_sites, alloc_objects, alloc_bytes) = triple(cell.alloc);
+    let (lock_entries, lock_contended, lock_blocked) = triple(cell.lock);
     let values = [
         benchmark.to_owned(),
         agent.to_owned(),
@@ -179,6 +229,12 @@ pub fn cell_row_json(benchmark: &str, agent: &str, size: u32, cell: &CellQuantit
         pct_native,
         jni_calls,
         native_method_calls,
+        alloc_sites,
+        alloc_objects,
+        alloc_bytes,
+        lock_entries,
+        lock_contended,
+        lock_blocked,
     ];
     let mut out = String::from("[\n  {");
     for (i, (column, value)) in CELL_ROW_COLUMNS.iter().zip(&values).enumerate() {
@@ -227,6 +283,8 @@ mod tests {
             checksum: -42,
             total_cycles: 987_654_321,
             profile: Some((4.539_999_9, 3, 7)),
+            alloc: Some((12, 345, 6789)),
+            lock: Some((21, 10, 55_000)),
         };
         let sites: Vec<_> = FaultSite::ALL
             .iter()
@@ -242,6 +300,8 @@ mod tests {
             decoded.profile.unwrap().0.to_bits(),
             with_profile.profile.unwrap().0.to_bits()
         );
+        assert_eq!(decoded.alloc, with_profile.alloc);
+        assert_eq!(decoded.lock, with_profile.lock);
         assert_eq!(decoded_sites, sites);
 
         let bare = CellQuantities {
@@ -249,10 +309,14 @@ mod tests {
             checksum: 9,
             total_cycles: 10,
             profile: None,
+            alloc: None,
+            lock: None,
         };
         let bytes = encode_cell_entry(&bare, &[]);
         let (decoded, decoded_sites) = decode_cell_entry(&bytes).unwrap();
         assert!(decoded.profile.is_none());
+        assert!(decoded.alloc.is_none());
+        assert!(decoded.lock.is_none());
         assert!(decoded_sites.is_empty());
         assert_eq!(decoded.checksum, 9);
     }
@@ -265,6 +329,8 @@ mod tests {
                 checksum: 1,
                 total_cycles: 2,
                 profile: Some((1.0, 2, 3)),
+                alloc: None,
+                lock: None,
             },
             &[(FaultSite::ALL[0], 5, 1)],
         );
@@ -282,7 +348,9 @@ mod tests {
         assert!(decode_cell_entry(&versioned).is_none());
         // Unknown fault site index fails closed.
         let mut bad_site = bytes;
-        let site_pos = 4 + 8 + 8 + 8 + 1 + 24 + 4;
+        // version + seconds + checksum + cycles + profile(tag+triple) +
+        // alloc tag + lock tag + site count.
+        let site_pos = 4 + 8 + 8 + 8 + (1 + 24) + 1 + 1 + 4;
         bad_site[site_pos] = FaultSite::COUNT as u8;
         assert!(decode_cell_entry(&bad_site).is_none());
     }
@@ -294,6 +362,8 @@ mod tests {
             checksum: 7,
             total_cycles: 1000,
             profile: Some((4.54, 3, 9)),
+            alloc: None,
+            lock: None,
         };
         let row = cell_row_json("compress", "IPA", 1, &ipa);
         assert_eq!(
@@ -301,8 +371,30 @@ mod tests {
             "[\n  {\"benchmark\":\"compress\",\"agent\":\"IPA\",\"size\":\"1\",\
              \"seconds\":\"1.500000\",\"checksum\":\"7\",\"total_cycles\":\"1000\",\
              \"pct_native\":\"4.540000\",\"jni_calls\":\"3\",\
-             \"native_method_calls\":\"9\"}\n]\n"
+             \"native_method_calls\":\"9\",\"alloc_sites\":\"\",\
+             \"alloc_objects\":\"\",\"alloc_bytes\":\"\",\"lock_entries\":\"\",\
+             \"lock_contended\":\"\",\"lock_blocked_cycles\":\"\"}\n]\n"
         );
+        let alloc = CellQuantities {
+            profile: None,
+            alloc: Some((3, 5, 170)),
+            ..ipa.clone()
+        };
+        let row = cell_row_json("compress", "ALLOC", 1, &alloc);
+        assert!(row.contains("\"alloc_sites\":\"3\""));
+        assert!(row.contains("\"alloc_objects\":\"5\""));
+        assert!(row.contains("\"alloc_bytes\":\"170\""));
+        assert!(row.contains("\"lock_entries\":\"\""));
+        let lock = CellQuantities {
+            profile: None,
+            lock: Some((21, 10, 55_000)),
+            ..ipa.clone()
+        };
+        let row = cell_row_json("jbb", "LOCK", 1, &lock);
+        assert!(row.contains("\"lock_entries\":\"21\""));
+        assert!(row.contains("\"lock_contended\":\"10\""));
+        assert!(row.contains("\"lock_blocked_cycles\":\"55000\""));
+        assert!(row.contains("\"alloc_sites\":\"\""));
         let original = CellQuantities {
             profile: None,
             ..ipa

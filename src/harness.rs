@@ -88,6 +88,49 @@ pub enum AgentChoice {
     Spa,
     /// The Improved Profiling Agent (§IV) with the given configuration.
     Ipa(IpaConfig),
+    /// The object-centric allocation-site profiler.
+    Alloc,
+    /// The raw-monitor contention profiler.
+    Lock,
+}
+
+/// The label did not name a known agent. Displays the offending label and
+/// the full valid set, so every front end (CLI flags, suite specs, HTTP
+/// bodies) reports the same actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAgentError {
+    got: String,
+}
+
+impl std::fmt::Display for ParseAgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown agent '{}' (valid: original, spa, ipa, alloc, lock)",
+            self.got
+        )
+    }
+}
+
+impl std::error::Error for ParseAgentError {}
+
+impl std::str::FromStr for AgentChoice {
+    type Err = ParseAgentError;
+
+    /// ASCII-case-insensitive, so run specs can say `ipa` or `IPA`; the
+    /// one parser every front end shares.
+    fn from_str(label: &str) -> Result<AgentChoice, ParseAgentError> {
+        match label.to_ascii_lowercase().as_str() {
+            "original" | "none" => Ok(AgentChoice::None),
+            "spa" => Ok(AgentChoice::Spa),
+            "ipa" => Ok(AgentChoice::ipa()),
+            "alloc" => Ok(AgentChoice::Alloc),
+            "lock" => Ok(AgentChoice::Lock),
+            _ => Err(ParseAgentError {
+                got: label.to_owned(),
+            }),
+        }
+    }
 }
 
 impl AgentChoice {
@@ -102,20 +145,16 @@ impl AgentChoice {
             AgentChoice::None => "original",
             AgentChoice::Spa => "SPA",
             AgentChoice::Ipa(_) => "IPA",
+            AgentChoice::Alloc => "ALLOC",
+            AgentChoice::Lock => "LOCK",
         }
     }
 
-    /// Parse a label back into a choice (ASCII-case-insensitive, so run
-    /// specs can say `ipa` or `IPA`). `None` for anything else — callers
-    /// turn that into their own usage error.
+    /// Parse a label back into a choice. `None` for anything unknown —
+    /// callers that want the typed message use [`str::parse`] directly.
     #[must_use]
     pub fn parse(label: &str) -> Option<AgentChoice> {
-        match label.to_ascii_lowercase().as_str() {
-            "original" | "none" => Some(AgentChoice::None),
-            "spa" => Some(AgentChoice::Spa),
-            "ipa" => Some(AgentChoice::ipa()),
-            _ => None,
-        }
+        label.parse().ok()
     }
 
     /// The attribution bucket this agent's machinery charges into.
@@ -124,6 +163,8 @@ impl AgentChoice {
             AgentChoice::None => Bucket::Workload,
             AgentChoice::Spa => Bucket::SpaProbe,
             AgentChoice::Ipa(_) => Bucket::IpaProbe,
+            AgentChoice::Alloc => Bucket::AllocProbe,
+            AgentChoice::Lock => Bucket::LockProbe,
         }
     }
 }
@@ -198,6 +239,8 @@ mod tests {
                 vm.run("h/T", "f", "()I", vec![]).unwrap()
             },
             profile: None,
+            alloc: None,
+            lock: None,
             seconds,
             checksum: 0,
             pcl: jvmsim_pcl::Pcl::new(),
@@ -216,9 +259,13 @@ mod tests {
         assert_eq!(AgentChoice::None.label(), "original");
         assert_eq!(AgentChoice::Spa.label(), "SPA");
         assert_eq!(AgentChoice::ipa().label(), "IPA");
+        assert_eq!(AgentChoice::Alloc.label(), "ALLOC");
+        assert_eq!(AgentChoice::Lock.label(), "LOCK");
         assert_eq!(AgentChoice::None.bucket(), Bucket::Workload);
         assert_eq!(AgentChoice::Spa.bucket(), Bucket::SpaProbe);
         assert_eq!(AgentChoice::ipa().bucket(), Bucket::IpaProbe);
+        assert_eq!(AgentChoice::Alloc.bucket(), Bucket::AllocProbe);
+        assert_eq!(AgentChoice::Lock.bucket(), Bucket::LockProbe);
     }
 
     #[test]
@@ -258,8 +305,28 @@ mod tests {
             AgentChoice::parse("IPA"),
             Some(AgentChoice::Ipa(_))
         ));
+        assert!(matches!(
+            AgentChoice::parse("alloc"),
+            Some(AgentChoice::Alloc)
+        ));
+        assert!(matches!(
+            AgentChoice::parse("LOCK"),
+            Some(AgentChoice::Lock)
+        ));
         assert!(AgentChoice::parse("jit").is_none());
-        for choice in [AgentChoice::None, AgentChoice::Spa, AgentChoice::ipa()] {
+        // The typed error names the bad label and the full valid set.
+        let err = "jit".parse::<AgentChoice>().unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "unknown agent 'jit' (valid: original, spa, ipa, alloc, lock)"
+        );
+        for choice in [
+            AgentChoice::None,
+            AgentChoice::Spa,
+            AgentChoice::ipa(),
+            AgentChoice::Alloc,
+            AgentChoice::Lock,
+        ] {
             let back = AgentChoice::parse(choice.label()).unwrap();
             assert_eq!(back.label(), choice.label());
         }

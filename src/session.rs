@@ -38,6 +38,7 @@ use jvmsim_pcl::Pcl;
 use jvmsim_vm::cost::CostModel;
 use jvmsim_vm::{builtins, TraceSink, Value, Vm};
 use nativeprof::{InstrumentationMode, IpaAgent, NativeProfile, SpaAgent};
+use nativeprof_agents::{AllocAgent, AllocReport, LockAgent, LockReport};
 use workloads::{by_name, ProblemSize, Workload, WorkloadProgram};
 
 use crate::harness::{AgentChoice, HarnessError};
@@ -83,8 +84,9 @@ impl SessionSpec {
                 "unknown workload '{workload}'"
             )));
         }
-        let agent = AgentChoice::parse(agent)
-            .ok_or_else(|| HarnessError::Usage(format!("unknown agent '{agent}'")))?;
+        let agent: AgentChoice = agent
+            .parse()
+            .map_err(|e: crate::harness::ParseAgentError| HarnessError::Usage(e.to_string()))?;
         if size == 0 {
             return Err(HarnessError::Usage("size must be >= 1".to_owned()));
         }
@@ -126,8 +128,12 @@ pub struct RunOutcome {
     pub agent: &'static str,
     /// Raw VM outcome (per-thread cycles, ground-truth stats).
     pub outcome: jvmsim_vm::RunOutcome,
-    /// The agent's profile, if one was attached.
+    /// The agent's native/bytecode time profile, if SPA or IPA ran.
     pub profile: Option<NativeProfile>,
+    /// The allocation-site profile, if the ALLOC agent ran.
+    pub alloc: Option<AllocReport>,
+    /// The monitor-contention profile, if the LOCK agent ran.
+    pub lock: Option<LockReport>,
     /// Virtual wall-clock seconds (total cycles at the PCL clock rate).
     pub seconds: f64,
     /// The workload checksum (for behavioural-equivalence checks).
@@ -370,6 +376,20 @@ impl<'w> Session<'w> {
                     .map_err(|e| HarnessError::Attach(format!("IPA: {e}")))?;
                 Some(ProfileSource::Ipa(ipa))
             }
+            AgentChoice::Alloc => {
+                vm.add_archive(encode_program_archive(&program));
+                let agent = AllocAgent::new();
+                jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>)
+                    .map_err(|e| HarnessError::Attach(format!("ALLOC: {e}")))?;
+                Some(ProfileSource::Alloc(agent))
+            }
+            AgentChoice::Lock => {
+                vm.add_archive(encode_program_archive(&program));
+                let agent = LockAgent::new();
+                jvmsim_jvmti::attach(&mut vm, Arc::clone(&agent) as Arc<dyn Agent>)
+                    .map_err(|e| HarnessError::Attach(format!("LOCK: {e}")))?;
+                Some(ProfileSource::Lock(agent))
+            }
         };
         // Native libraries: the JDK's plus the workload's.
         vm.register_native_library(builtins::libjava(), true);
@@ -392,15 +412,21 @@ impl<'w> Session<'w> {
             other => return Err(HarnessError::BadChecksum(format!("{other:?}"))),
         };
         let seconds = pcl.cycles_to_seconds(outcome.total_cycles);
-        let profile = profile_source.map(|p| match p {
-            ProfileSource::Spa(a) => a.report(),
-            ProfileSource::Ipa(a) => a.report(),
-        });
+        let (mut profile, mut alloc, mut lock) = (None, None, None);
+        match profile_source {
+            Some(ProfileSource::Spa(a)) => profile = Some(a.report()),
+            Some(ProfileSource::Ipa(a)) => profile = Some(a.report()),
+            Some(ProfileSource::Alloc(a)) => alloc = Some(a.report()),
+            Some(ProfileSource::Lock(a)) => lock = Some(a.report()),
+            None => {}
+        }
         Ok(RunOutcome {
             workload: self.workload.name().to_owned(),
             agent: label,
             outcome,
             profile,
+            alloc,
+            lock,
             seconds,
             checksum,
             pcl,
@@ -412,6 +438,8 @@ impl<'w> Session<'w> {
 enum ProfileSource {
     Spa(Arc<SpaAgent>),
     Ipa(Arc<IpaAgent>),
+    Alloc(Arc<AllocAgent>),
+    Lock(Arc<LockAgent>),
 }
 
 /// Encode a workload program (plus the boot library) into one archive —
