@@ -97,7 +97,10 @@ fn alloc_agent_attributes_sites_by_hand_computed_counts_and_bytes() {
     assert!(report.death_tick > 0);
     for s in &report.sites {
         assert!(s.lifetime_cycles > 0, "{report}");
-        assert!(s.lifetime_cycles < s.objects * report.death_tick, "{report}");
+        assert!(
+            s.lifetime_cycles < s.objects * report.death_tick,
+            "{report}"
+        );
     }
 }
 

@@ -17,6 +17,9 @@
 //!              [--shutdown 1]
 //! jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
 //!           [--cache-dir DIR] [--no-cache 1]
+//! jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
+//!               [--workloads a,b,...] [--eviction-limit BYTES]
+//!               [--fault-ppm N] [--cache-dir DIR] [--rows DIR]
 //! jprof list
 //! ```
 //!
@@ -49,6 +52,15 @@
 //! cell and prints that same canonical row — the batch-side anchor the
 //! CI serve job `cmp`s served responses against.
 //!
+//! `cluster` runs the kill/rejoin drill: `--peers` in-process daemons
+//! behind a consistent-hash ring serve the workload × agent matrix three
+//! times — healthy, with `--kill` seeded member crashes mid-pass, and
+//! after the dead members rejoin with wiped stores — asserting every
+//! served row is byte-identical to the batch driver's, no row is
+//! computed twice while the fleet is healthy, every member's admission
+//! ledger balances on every life, and stores stay under
+//! `--eviction-limit`. A violated invariant exits `9` (degraded).
+//!
 //! `--cache-dir DIR` opens a content-addressed cache there: `trace`
 //! memoizes static instrumentation, `suite` and `chaos` additionally
 //! memoize completed cell rows (and `serve`/`run` both planes), so a warm
@@ -70,6 +82,7 @@ use jnativeprof::cell::{cell_row_json, decode_cell_entry, encode_cell_entry, Cel
 use jnativeprof::harness::{AgentChoice, HarnessError};
 use jnativeprof::session::{Session, SessionSpec};
 use jvmsim_cache::{CacheStore, Plane};
+use jvmsim_cluster::{cluster_drill, ClusterDrillConfig};
 use jvmsim_metrics::{render_json, render_prometheus, MetricsEntry};
 use jvmsim_serve::{chaos_drill, run_client, ClientConfig, ServeConfig, Server};
 use jvmsim_trace::{export, TraceRecorder};
@@ -96,6 +109,9 @@ usage:
                [--size N] [--rows DIR] [--cache-stats 1] [--shutdown 1]
   jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
             [--cache-dir DIR] [--no-cache 1]
+  jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
+                [--workloads a,b,...] [--eviction-limit BYTES]
+                [--fault-ppm N] [--cache-dir DIR] [--rows DIR]
   jprof list
 ";
 
@@ -109,6 +125,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("client") => cmd_client(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
+        Some("cluster") => cmd_cluster(&args[1..]),
         Some("list") => cmd_list(),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");
@@ -511,10 +528,12 @@ fn cmd_serve(args: &[String]) -> Result<(), HarnessError> {
         deadline: Duration::from_millis(flags.get_parsed("--deadline-ms")?.unwrap_or(30_000)),
         cache: flags.cache()?,
         faults: jvmsim_faults::FaultPlan::new(0),
+        peers: None,
     };
     let metrics_path = flags.get("--metrics");
+    let addr = config.addr.clone();
     let server = Server::start(config)
-        .map_err(|e| HarnessError::Artifact(format!("binding serve socket: {e}")))?;
+        .map_err(|e| HarnessError::Bind(format!("cannot bind {addr}: {e}")))?;
     eprintln!(
         "serving on {} (POST /v1/run, GET /v1/metrics, GET /v1/cache/stats, \
          GET /healthz; POST /v1/shutdown to drain)",
@@ -628,6 +647,59 @@ fn cmd_run(args: &[String]) -> Result<(), HarnessError> {
         None => print!("{row}"),
     }
     Ok(())
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), HarnessError> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--peers",
+            "--kill",
+            "--seed",
+            "--size",
+            "--workloads",
+            "--eviction-limit",
+            "--fault-ppm",
+            "--cache-dir",
+            "--rows",
+        ],
+    )?;
+    let defaults = ClusterDrillConfig::default();
+    let config = ClusterDrillConfig {
+        peers: flags.get_parsed("--peers")?.unwrap_or(3),
+        kill: flags.get_parsed("--kill")?.unwrap_or(1),
+        seed: flags.get_parsed("--seed")?.unwrap_or(0),
+        size: flags.get_parsed("--size")?.unwrap_or(1),
+        workloads: flags
+            .get("--workloads")
+            .map(|list| list.split(',').map(str::to_owned).collect()),
+        eviction_limit: flags
+            .get_parsed("--eviction-limit")?
+            .unwrap_or(defaults.eviction_limit),
+        cache_root: flags.get("--cache-dir").map(Into::into),
+        rows_dir: flags.get("--rows").map(Into::into),
+        peer_fault_ppm: flags
+            .get_parsed("--fault-ppm")?
+            .unwrap_or(defaults.peer_fault_ppm),
+    };
+    eprintln!(
+        "cluster: {} peer(s), killing {} mid-pass, seed {}, size {} …",
+        config.peers, config.kill, config.seed, config.size
+    );
+    let report = cluster_drill(&config)
+        .map_err(|e| HarnessError::Degraded(format!("cluster drill setup failed: {e}")))?;
+    // The summary is a diagnostic like the chaos narrative: retries and
+    // failover timing depend on when the health sweep catches a corpse,
+    // so the counts are not byte-stable — keep them off stdout.
+    eprint!("{}", report.render_summary());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(HarnessError::Degraded(format!(
+            "{} cluster invariant violation(s)",
+            report.violations.len()
+        )))
+    }
 }
 
 fn cmd_list() -> Result<(), HarnessError> {

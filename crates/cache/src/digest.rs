@@ -106,6 +106,23 @@ impl Digest {
         s
     }
 
+    /// Parse the 64-char lower/upper-hex rendering back into a digest —
+    /// how the peer-fetch transport turns a `GET /v1/cell/<hex>` path
+    /// segment back into a store address. `None` on any other shape.
+    #[must_use]
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char).to_digit(16)?;
+            let lo = (pair[1] as char).to_digit(16)?;
+            out[i] = u8::try_from(hi * 16 + lo).ok()?;
+        }
+        Some(Digest(out))
+    }
+
     /// Digest of `bytes` in one shot.
     #[must_use]
     pub fn of(bytes: &[u8]) -> Digest {
@@ -301,5 +318,9 @@ mod tests {
         assert_eq!(d.to_hex().len(), 64);
         assert!(d.to_hex().chars().all(|c| c.is_ascii_hexdigit()));
         assert_eq!(format!("{d}"), d.to_hex());
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(Digest::from_hex(&d.to_hex().to_uppercase()), Some(d));
+        assert_eq!(Digest::from_hex(&d.to_hex()[..63]), None, "short");
+        assert_eq!(Digest::from_hex(&format!("{}z", &d.to_hex()[..63])), None);
     }
 }

@@ -94,6 +94,16 @@ impl std::fmt::Display for Plane {
 pub struct CacheKey(Digest);
 
 impl CacheKey {
+    /// Re-wrap an already-derived digest as a key. The normal path is
+    /// [`KeyHasher`]; this exists for transports (peer fetch) that carry
+    /// a key's digest over the wire and need to address the same entry
+    /// on the receiving store. Lookups still digest-verify the payload,
+    /// so a fabricated key can at worst miss.
+    #[must_use]
+    pub fn from_digest(digest: Digest) -> CacheKey {
+        CacheKey(digest)
+    }
+
     /// The underlying digest.
     #[must_use]
     pub fn digest(&self) -> Digest {
@@ -179,7 +189,8 @@ const S_STORES: usize = 2;
 const S_QUARANTINED: usize = 3;
 const S_BYTES_READ: usize = 4;
 const S_BYTES_WRITTEN: usize = 5;
-const S_COUNT: usize = 6;
+const S_EVICTED: usize = 6;
+const S_COUNT: usize = 7;
 
 /// A point-in-time snapshot of one store's counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -196,6 +207,8 @@ pub struct CacheStats {
     pub bytes_read: u64,
     /// Payload bytes written into the cache.
     pub bytes_written: u64,
+    /// Entries removed by bounded-store compaction.
+    pub evicted: u64,
 }
 
 #[derive(Debug)]
@@ -218,6 +231,7 @@ pub struct CacheStore {
     inner: Arc<StoreInner>,
     faults: Option<Arc<FaultInjector>>,
     metrics: Option<Arc<MetricsShard>>,
+    eviction_limit: Option<u64>,
 }
 
 impl CacheStore {
@@ -240,6 +254,7 @@ impl CacheStore {
             }),
             faults: None,
             metrics: None,
+            eviction_limit: None,
         })
     }
 
@@ -257,6 +272,7 @@ impl CacheStore {
             inner: Arc::clone(&self.inner),
             faults: Some(faults),
             metrics: self.metrics.clone(),
+            eviction_limit: self.eviction_limit,
         }
     }
 
@@ -269,7 +285,29 @@ impl CacheStore {
             inner: Arc::clone(&self.inner),
             faults: self.faults.clone(),
             metrics: Some(shard),
+            eviction_limit: self.eviction_limit,
         }
+    }
+
+    /// A handle that bounds each plane to `bytes` of entry files: after
+    /// every store, the written plane is compacted (see
+    /// [`CacheStore::compact_plane`]) until it fits. Shares directory and
+    /// stats with `self`; a long-lived fleet member opens its store
+    /// through this so it can never grow without limit.
+    #[must_use]
+    pub fn with_eviction_limit(&self, bytes: u64) -> CacheStore {
+        CacheStore {
+            inner: Arc::clone(&self.inner),
+            faults: self.faults.clone(),
+            metrics: self.metrics.clone(),
+            eviction_limit: Some(bytes),
+        }
+    }
+
+    /// The eviction bound in force on this handle, if any.
+    #[must_use]
+    pub fn eviction_limit(&self) -> Option<u64> {
+        self.eviction_limit
     }
 
     /// Where `key`'s entry lives (or would live) on `plane`. Exposed so
@@ -359,7 +397,60 @@ impl CacheStore {
             payload.len() as u64,
         );
         self.count(S_STORES, 1, CounterId::CacheBytes, 0);
+        if let Some(limit) = self.eviction_limit {
+            // Bound the plane we just grew, but never evict the entry this
+            // store produced — a limit smaller than one entry must not
+            // turn every store into an immediate self-eviction loop.
+            self.compact_plane_excluding(plane, limit, Some(key));
+        }
         Ok(())
+    }
+
+    /// Total bytes of entry files currently on `plane`.
+    #[must_use]
+    pub fn plane_size(&self, plane: Plane) -> u64 {
+        plane_entries(&self.inner.root.join(plane.dir_name()))
+            .iter()
+            .map(|(_, size)| size)
+            .sum()
+    }
+
+    /// Compact `plane` down to at most `limit` bytes of entry files,
+    /// deleting entries in digest (file-name) order — deterministic for a
+    /// given store contents, and uniform over keys since names are
+    /// content digests. Returns the number of entries evicted. Eviction
+    /// is pure capacity management: an evicted identity is a future cache
+    /// miss and recompute, never a correctness event.
+    pub fn compact_plane(&self, plane: Plane, limit: u64) -> u64 {
+        self.compact_plane_excluding(plane, limit, None)
+    }
+
+    fn compact_plane_excluding(&self, plane: Plane, limit: u64, keep: Option<&CacheKey>) -> u64 {
+        let dir = self.inner.root.join(plane.dir_name());
+        let mut entries = plane_entries(&dir);
+        let mut total: u64 = entries.iter().map(|(_, size)| size).sum();
+        if total <= limit {
+            return 0;
+        }
+        entries.sort();
+        let kept = keep.map(CacheKey::file_name);
+        let mut evicted = 0u64;
+        for (name, size) in entries {
+            if total <= limit {
+                break;
+            }
+            if Some(&name) == kept.as_ref() {
+                continue;
+            }
+            if std::fs::remove_file(dir.join(&name)).is_ok() {
+                total = total.saturating_sub(size);
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.count(S_EVICTED, evicted, CounterId::ClusterEvictions, evicted);
+        }
+        evicted
     }
 
     /// Quarantine `key`'s entry on `plane` without serving it — for
@@ -403,6 +494,7 @@ impl CacheStore {
             quarantined: load(S_QUARANTINED),
             bytes_read: load(S_BYTES_READ),
             bytes_written: load(S_BYTES_WRITTEN),
+            evicted: load(S_EVICTED),
         }
     }
 
@@ -417,6 +509,24 @@ impl CacheStore {
             }
         }
     }
+}
+
+/// `(file name, size)` of every `.jvc` entry in a plane directory.
+/// Temp files and quarantine debris are invisible to sizing and eviction.
+fn plane_entries(dir: &Path) -> Vec<(String, u64)> {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    rd.filter_map(Result::ok)
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            if !name.ends_with(".jvc") {
+                return None;
+            }
+            let size = e.metadata().ok()?.len();
+            Some((name, size))
+        })
+        .collect()
 }
 
 /// Verify an entry against the requested `(plane, key)`; returns the
@@ -648,6 +758,85 @@ mod tests {
         assert_eq!((s.hits, s.quarantined), (0, 0));
         assert_eq!(s.misses, 1);
         assert!(store.entry_path(Plane::CellResult, &old_key).exists());
+    }
+
+    #[test]
+    fn eviction_bounds_plane_size_and_keeps_latest_store() {
+        let store = CacheStore::open(scratch("evict")).unwrap();
+        // Entry file = 81-byte header + payload; 400 bytes holds two
+        // 100-byte-payload entries but not three.
+        let bounded = store.with_eviction_limit(400);
+        assert_eq!(bounded.eviction_limit(), Some(400));
+        let payload = [7u8; 100];
+        for name in ["a", "b", "c", "d"] {
+            bounded
+                .store(Plane::CellResult, &key(name), &payload)
+                .unwrap();
+            assert!(
+                bounded.plane_size(Plane::CellResult) <= 400,
+                "plane grew past the bound after storing {name}"
+            );
+            // The entry just written always survives its own compaction.
+            assert!(
+                bounded.lookup(Plane::CellResult, &key(name)).is_some(),
+                "store of {name} self-evicted"
+            );
+        }
+        let s = store.stats();
+        assert!(s.evicted >= 2, "expected evictions, saw {}", s.evicted);
+        assert_eq!(s.quarantined, 0, "eviction must not look like corruption");
+        // An evicted identity is a plain miss: recompute-and-store works.
+        let survivors = ["a", "b", "c", "d"]
+            .iter()
+            .filter(|n| bounded.lookup(Plane::CellResult, &key(n)).is_some())
+            .count();
+        assert!(survivors <= 2, "bound admits at most two entries");
+        // The unbounded handle shares the directory but never compacts.
+        store.store(Plane::CellResult, &key("e"), &payload).unwrap();
+        store.store(Plane::CellResult, &key("f"), &payload).unwrap();
+        assert!(store.plane_size(Plane::CellResult) > 400);
+        // Explicit compaction brings it back under.
+        store.compact_plane(Plane::CellResult, 400);
+        assert!(store.plane_size(Plane::CellResult) <= 400);
+    }
+
+    #[test]
+    fn eviction_order_is_deterministic() {
+        let run = || {
+            let store = CacheStore::open(scratch("evict-det")).unwrap();
+            let payload = [1u8; 64];
+            for name in ["w", "x", "y", "z"] {
+                store
+                    .store(Plane::Instrumentation, &key(name), &payload)
+                    .unwrap();
+            }
+            store.compact_plane(Plane::Instrumentation, 300);
+            let mut alive: Vec<&str> = ["w", "x", "y", "z"]
+                .into_iter()
+                .filter(|n| store.lookup(Plane::Instrumentation, &key(n)).is_some())
+                .collect();
+            alive.sort_unstable();
+            alive
+        };
+        assert_eq!(run(), run(), "same contents must evict the same keys");
+    }
+
+    #[test]
+    fn eviction_mirrors_into_metrics() {
+        let registry = jvmsim_metrics::MetricsRegistry::new();
+        let store = CacheStore::open(scratch("evict-metrics"))
+            .unwrap()
+            .with_metrics(registry.global())
+            .with_eviction_limit(200);
+        let payload = [2u8; 80];
+        for name in ["p", "q", "r"] {
+            store
+                .store(Plane::CellResult, &key(name), &payload)
+                .unwrap();
+        }
+        let evicted = registry.snapshot().counter(CounterId::ClusterEvictions);
+        assert_eq!(evicted, store.stats().evicted);
+        assert!(evicted >= 1, "limit 200 cannot hold two 161-byte entries");
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! The fleet: N in-process `jvmsim-serve` daemons behind one consistent
+//! hash ring, with health-check quarantine, kill/rejoin, and per-member
+//! admission-ledger accounting that survives member death.
+//!
+//! Failure detection is deliberately *observational*: killing a member
+//! does not touch the routing state — the next health sweep (or a failed
+//! request prompting one) discovers the corpse, withdraws it from the
+//! peer directory, and quarantines it, exactly as a supervisor that
+//! cannot see inside the process would. Routing then fails over along
+//! the ring (counted in `cluster_failovers`), and the dead member's keys
+//! land on successors whose peer-fetch tier keeps recomputes to the
+//! minimum the failure actually forces.
+
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use jvmsim_cache::CacheStore;
+use jvmsim_faults::{splitmix64, FaultPlan, FaultSite};
+use jvmsim_metrics::{CounterId, MetricsEntry, MetricsRegistry};
+use jvmsim_serve::client::http_request;
+use jvmsim_serve::{PeerDirectory, PeerView, RetryPolicy, ServeConfig, Server};
+
+use crate::ring::{HashRing, DEFAULT_VNODES};
+
+/// Fleet configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Member count (floored at 1).
+    pub peers: usize,
+    /// Seed for every deterministic decision: member fault plans, retry
+    /// jitter, and the drill's kill schedule.
+    pub seed: u64,
+    /// Root directory; member `i`'s store lives in `<root>/peer-<i>`.
+    pub cache_root: PathBuf,
+    /// Per-plane store bound handed to every member's cache (bytes).
+    pub eviction_limit: u64,
+    /// Worker threads per member.
+    pub jobs: usize,
+    /// Admission queue capacity per member.
+    pub queue: usize,
+    /// Per-request deadline on every member.
+    pub deadline: Duration,
+    /// Injection rate (ppm) for the `peer-conn-drop` and
+    /// `peer-slow-read` sites on every member — 0 for a quiet fleet.
+    pub peer_fault_ppm: u32,
+    /// Virtual nodes per member on the ring.
+    pub vnodes: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            peers: 3,
+            seed: 0,
+            cache_root: std::env::temp_dir().join("jvmsim-cluster"),
+            eviction_limit: 256 * 1024,
+            jobs: 2,
+            queue: 8,
+            deadline: Duration::from_secs(120),
+            peer_fault_ppm: 0,
+            vnodes: DEFAULT_VNODES,
+        }
+    }
+}
+
+/// One member's admission ledger plus the cluster counters, frozen from
+/// a metrics snapshot. Sums across lives via [`LedgerTotals::absorb`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LedgerTotals {
+    /// Requests admitted (the ledger's left-hand side).
+    pub accepted: u64,
+    /// Answered 2xx.
+    pub served: u64,
+    /// Load-shed 429.
+    pub shed: u64,
+    /// 408/504 deadline outcomes.
+    pub timeout: u64,
+    /// Connection dropped before the response was written.
+    pub dropped: u64,
+    /// Other 4xx/5xx.
+    pub errors: u64,
+    /// Rows actually computed through a worker.
+    pub runs_executed: u64,
+    /// Local misses satisfied by a peer's store.
+    pub peer_hits: u64,
+    /// Peer walks exhausted into a local recompute.
+    pub peer_misses: u64,
+    /// Extra peer-fetch attempts after the first.
+    pub retries: u64,
+    /// Entries evicted by store compaction.
+    pub evictions: u64,
+}
+
+impl LedgerTotals {
+    /// Extract the serve-plane counters from a member's metric entries
+    /// (the first entry is the server's own registry).
+    #[must_use]
+    pub fn from_entries(entries: &[MetricsEntry]) -> LedgerTotals {
+        let Some(entry) = entries.first() else {
+            return LedgerTotals::default();
+        };
+        let c = |id| entry.snapshot.counter(id);
+        LedgerTotals {
+            accepted: c(CounterId::ServeAccepted),
+            served: c(CounterId::ServeServed),
+            shed: c(CounterId::ServeShed),
+            timeout: c(CounterId::ServeTimeout),
+            dropped: c(CounterId::ServeDropped),
+            errors: c(CounterId::ServeErrors),
+            runs_executed: c(CounterId::ServeRunsExecuted),
+            peer_hits: c(CounterId::ClusterPeerHits),
+            peer_misses: c(CounterId::ClusterPeerMisses),
+            retries: c(CounterId::ClusterRetries),
+            evictions: c(CounterId::ClusterEvictions),
+        }
+    }
+
+    /// Does the admission ledger balance? (`accepted` equals the sum of
+    /// the five exclusive outcome classes.)
+    #[must_use]
+    pub fn balanced(&self) -> bool {
+        self.accepted == self.served + self.shed + self.timeout + self.dropped + self.errors
+    }
+
+    /// Add another life's totals into this one.
+    pub fn absorb(&mut self, other: &LedgerTotals) {
+        self.accepted += other.accepted;
+        self.served += other.served;
+        self.shed += other.shed;
+        self.timeout += other.timeout;
+        self.dropped += other.dropped;
+        self.errors += other.errors;
+        self.runs_executed += other.runs_executed;
+        self.peer_hits += other.peer_hits;
+        self.peer_misses += other.peer_misses;
+        self.retries += other.retries;
+        self.evictions += other.evictions;
+    }
+}
+
+/// One fleet slot across its lives.
+struct Member {
+    dir: PathBuf,
+    server: Option<Server>,
+    store: Option<CacheStore>,
+    /// Health-sweep verdict; quarantined members are skipped by routing.
+    quarantined: bool,
+    /// Times this slot has (re)started.
+    generation: u32,
+    /// Accumulated totals from finished lives.
+    retired: LedgerTotals,
+    /// Ledger balance verdict captured at each death.
+    death_ledgers_balanced: Vec<bool>,
+}
+
+/// A running fleet.
+pub struct Cluster {
+    config: ClusterConfig,
+    directory: Arc<PeerDirectory>,
+    ring: HashRing,
+    members: Vec<Member>,
+    /// Fleet-level counters (`cluster_failovers`).
+    registry: MetricsRegistry,
+}
+
+impl Cluster {
+    /// Start `config.peers` members, each on an ephemeral port with its
+    /// own store under `cache_root`, and publish them all in the shared
+    /// peer directory.
+    ///
+    /// # Errors
+    ///
+    /// Store-open or bind failures, with the member index named.
+    pub fn start(config: ClusterConfig) -> Result<Cluster, String> {
+        let peers = config.peers.max(1);
+        let directory = Arc::new(PeerDirectory::new(peers));
+        let ring = HashRing::new(peers, config.vnodes.max(1));
+        let mut cluster = Cluster {
+            members: (0..peers)
+                .map(|i| Member {
+                    dir: config.cache_root.join(format!("peer-{i}")),
+                    server: None,
+                    store: None,
+                    quarantined: false,
+                    generation: 0,
+                    retired: LedgerTotals::default(),
+                    death_ledgers_balanced: Vec::new(),
+                })
+                .collect(),
+            config,
+            directory,
+            ring,
+            registry: MetricsRegistry::new(),
+        };
+        for i in 0..peers {
+            cluster.start_member(i, false)?;
+        }
+        Ok(cluster)
+    }
+
+    /// Member count (fixed).
+    #[must_use]
+    pub fn peers(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The shared membership directory (what every member's peer-fetch
+    /// tier consults).
+    #[must_use]
+    pub fn directory(&self) -> &Arc<PeerDirectory> {
+        &self.directory
+    }
+
+    /// Published address of member `i`, if any.
+    #[must_use]
+    pub fn addr_of(&self, i: usize) -> Option<SocketAddr> {
+        self.directory.get(i)
+    }
+
+    /// Is member `i` currently quarantined by the health sweep?
+    #[must_use]
+    pub fn is_quarantined(&self, i: usize) -> bool {
+        self.members.get(i).is_none_or(|m| m.quarantined)
+    }
+
+    /// How many times member `i` has (re)started.
+    #[must_use]
+    pub fn generation(&self, i: usize) -> u32 {
+        self.members.get(i).map_or(0, |m| m.generation)
+    }
+
+    /// Fleet-level failover count.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.registry
+            .snapshot()
+            .counter(CounterId::ClusterFailovers)
+    }
+
+    fn start_member(&mut self, i: usize, wipe: bool) -> Result<(), String> {
+        let member = &mut self.members[i];
+        if wipe && member.dir.exists() {
+            std::fs::remove_dir_all(&member.dir)
+                .map_err(|e| format!("member {i}: wiping {}: {e}", member.dir.display()))?;
+        }
+        let store = CacheStore::open(&member.dir)
+            .map_err(|e| format!("member {i}: opening store: {e}"))?
+            .with_eviction_limit(self.config.eviction_limit);
+        let seed = self.config.seed;
+        let faults = FaultPlan::new(splitmix64(seed ^ (i as u64 + 1)))
+            .with_rate(FaultSite::PeerConnDrop, self.config.peer_fault_ppm)
+            .with_rate(FaultSite::PeerSlowRead, self.config.peer_fault_ppm);
+        let serve_config = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: self.config.jobs,
+            queue: self.config.queue,
+            deadline: self.config.deadline,
+            cache: Some(store.clone()),
+            faults,
+            peers: Some(PeerView {
+                directory: Arc::clone(&self.directory),
+                self_index: i,
+                policy: RetryPolicy {
+                    seed: splitmix64(seed ^ 0xFEE7 ^ (i as u64)),
+                    base_ms: 5,
+                    cap_ms: 40,
+                    attempts: 2,
+                    timeout: Duration::from_secs(1),
+                },
+            }),
+        };
+        let server = Server::start(serve_config).map_err(|e| format!("member {i}: bind: {e}"))?;
+        self.directory.set(i, server.local_addr());
+        let member = &mut self.members[i];
+        member.server = Some(server);
+        member.store = Some(store);
+        member.quarantined = false;
+        member.generation += 1;
+        Ok(())
+    }
+
+    /// Kill member `i`: drain its daemon and capture its final ledger.
+    /// The directory slot is *not* withdrawn — discovering the death is
+    /// the health sweep's job. Returns the life's final totals.
+    ///
+    /// # Errors
+    ///
+    /// `i` out of range or already dead.
+    pub fn kill(&mut self, i: usize) -> Result<LedgerTotals, String> {
+        let member = self
+            .members
+            .get_mut(i)
+            .ok_or_else(|| format!("no member {i}"))?;
+        let server = member
+            .server
+            .take()
+            .ok_or_else(|| format!("member {i} is already dead"))?;
+        let totals = LedgerTotals::from_entries(&server.shutdown());
+        member.death_ledgers_balanced.push(totals.balanced());
+        member.retired.absorb(&totals);
+        Ok(totals)
+    }
+
+    /// Restart a dead member on a fresh port (same slot, next
+    /// generation). `wipe` empties its store first — a replacement node
+    /// that lost its disk, the case that exercises the peer-fetch tier
+    /// hardest. Publishes the new address and lifts the quarantine.
+    ///
+    /// # Errors
+    ///
+    /// Member still alive, or start failures.
+    pub fn rejoin(&mut self, i: usize, wipe: bool) -> Result<(), String> {
+        if self.members.get(i).is_none_or(|m| m.server.is_some()) {
+            return Err(format!("member {i} is not dead"));
+        }
+        self.start_member(i, wipe)
+    }
+
+    /// Probe every directory slot with `GET /healthz` and quarantine the
+    /// members that fail (withdrawing them from the directory so peer
+    /// fetches stop trying them). Returns the per-member live verdicts.
+    pub fn health_sweep(&mut self) -> Vec<bool> {
+        let verdicts: Vec<bool> = (0..self.members.len())
+            .map(|i| self.directory.get(i).is_some_and(probe_health))
+            .collect();
+        for (i, &live) in verdicts.iter().enumerate() {
+            if live {
+                self.members[i].quarantined = false;
+            } else {
+                self.directory.clear(i);
+                self.members[i].quarantined = true;
+            }
+        }
+        verdicts
+    }
+
+    /// Route `key` to the first live (non-quarantined) member in ring
+    /// order, counting skipped members in `cluster_failovers`. `None`
+    /// when the whole fleet is quarantined.
+    #[must_use]
+    pub fn route(&self, key: u64) -> Option<usize> {
+        let (member, failovers) = self
+            .ring
+            .route_live(key, |m| !self.members[m].quarantined)?;
+        self.registry
+            .global()
+            .add(CounterId::ClusterFailovers, failovers);
+        Some(member)
+    }
+
+    /// Member `i`'s totals across every life, including the current one.
+    #[must_use]
+    pub fn member_totals(&self, i: usize) -> LedgerTotals {
+        let Some(member) = self.members.get(i) else {
+            return LedgerTotals::default();
+        };
+        let mut totals = member.retired;
+        if let Some(server) = &member.server {
+            totals.absorb(&LedgerTotals::from_entries(&server.metric_entries()));
+        }
+        totals
+    }
+
+    /// Sum of [`Cluster::member_totals`] over the fleet.
+    #[must_use]
+    pub fn fleet_totals(&self) -> LedgerTotals {
+        let mut totals = LedgerTotals::default();
+        for i in 0..self.members.len() {
+            totals.absorb(&self.member_totals(i));
+        }
+        totals
+    }
+
+    /// Were all of member `i`'s captured death ledgers balanced?
+    #[must_use]
+    pub fn death_ledgers_balanced(&self, i: usize) -> bool {
+        self.members
+            .get(i)
+            .is_none_or(|m| m.death_ledgers_balanced.iter().all(|&b| b))
+    }
+
+    /// Result-plane store size (bytes) per member, by slot.
+    #[must_use]
+    pub fn store_sizes(&self) -> Vec<u64> {
+        self.members
+            .iter()
+            .map(|m| {
+                m.store
+                    .as_ref()
+                    .map_or(0, |s| s.plane_size(jvmsim_cache::Plane::CellResult))
+            })
+            .collect()
+    }
+
+    /// Drain every live member, capturing final ledgers like
+    /// [`Cluster::kill`]. Returns each member's all-lives totals.
+    pub fn shutdown_all(&mut self) -> Vec<LedgerTotals> {
+        for i in 0..self.members.len() {
+            if self.members[i].server.is_some() {
+                let _ = self.kill(i);
+            }
+        }
+        (0..self.members.len())
+            .map(|i| self.member_totals(i))
+            .collect()
+    }
+}
+
+/// One `GET /healthz` probe with a short budget.
+fn probe_health(addr: SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+        return false;
+    };
+    matches!(
+        http_request(&mut stream, "GET", "/healthz", None),
+        Ok((200, _))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_totals_balance_and_absorb() {
+        let mut a = LedgerTotals {
+            accepted: 5,
+            served: 3,
+            errors: 2,
+            ..LedgerTotals::default()
+        };
+        assert!(a.balanced());
+        let b = LedgerTotals {
+            accepted: 2,
+            timeout: 1,
+            dropped: 1,
+            runs_executed: 4,
+            ..LedgerTotals::default()
+        };
+        assert!(b.balanced());
+        a.absorb(&b);
+        assert!(a.balanced());
+        assert_eq!(a.accepted, 7);
+        assert_eq!(a.runs_executed, 4);
+        let broken = LedgerTotals {
+            accepted: 1,
+            ..LedgerTotals::default()
+        };
+        assert!(!broken.balanced());
+    }
+
+    #[test]
+    fn from_entries_survives_emptiness() {
+        assert_eq!(LedgerTotals::from_entries(&[]), LedgerTotals::default());
+    }
+}

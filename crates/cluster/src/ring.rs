@@ -1,0 +1,167 @@
+//! Consistent-hash routing of run identity onto fleet members.
+//!
+//! Each member owns [`points`](HashRing) on a 64-bit ring — `vnodes`
+//! virtual nodes hashed from `(member, replica)` with [`splitmix64`] —
+//! and a key routes to the owner of its successor point. Virtual nodes
+//! smooth the key distribution; successor-walk failover means a dead
+//! member's share spills onto the next live owners without moving any
+//! other key (the property that keeps a kill from invalidating every
+//! member's warm cache at once).
+//!
+//! The shard key is the existing run identity: the first eight bytes of
+//! the [`SessionSpec`] result digest (see [`key_of`]), so routing is a
+//! pure function of the same bytes that address the result cache.
+//!
+//! [`SessionSpec`]: jnativeprof::session::SessionSpec
+
+use std::collections::BTreeMap;
+
+use jvmsim_faults::splitmix64;
+
+/// Virtual nodes per member when the caller has no opinion.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Per-operand salts so member and replica indices decorrelate.
+const MEMBER_SALT: u64 = 0xA24B_AED4_963E_E407;
+const REPLICA_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The ring: point → owning member, plus the member count.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    points: BTreeMap<u64, usize>,
+    members: usize,
+}
+
+impl HashRing {
+    /// A ring over `members` members with `vnodes` virtual nodes each
+    /// (floored at 1). Construction is pure: the same `(members,
+    /// vnodes)` always yields the same ring.
+    #[must_use]
+    pub fn new(members: usize, vnodes: usize) -> HashRing {
+        let mut points = BTreeMap::new();
+        for m in 0..members {
+            for v in 0..vnodes.max(1) {
+                let point = splitmix64(
+                    splitmix64((m as u64 + 1).wrapping_mul(MEMBER_SALT))
+                        ^ (v as u64 + 1).wrapping_mul(REPLICA_SALT),
+                );
+                points.insert(point, m);
+            }
+        }
+        HashRing { points, members }
+    }
+
+    /// Member count the ring was built for.
+    #[must_use]
+    pub fn members(&self) -> usize {
+        self.members
+    }
+
+    /// The home member for `key`: the owner of the first point at or
+    /// after it, wrapping. `None` only for an empty ring.
+    #[must_use]
+    pub fn route(&self, key: u64) -> Option<usize> {
+        self.points
+            .range(key..)
+            .next()
+            .or_else(|| self.points.iter().next())
+            .map(|(_, &m)| m)
+    }
+
+    /// The first *live* member in successor order from `key`'s home,
+    /// with the number of distinct dead members skipped to reach it
+    /// (the failover count). `None` when no member is live.
+    #[must_use]
+    pub fn route_live(&self, key: u64, is_live: impl Fn(usize) -> bool) -> Option<(usize, u64)> {
+        let mut seen = vec![false; self.members];
+        let mut failovers = 0u64;
+        for (_, &m) in self.points.range(key..).chain(self.points.range(..key)) {
+            if seen[m] {
+                continue;
+            }
+            seen[m] = true;
+            if is_live(m) {
+                return Some((m, failovers));
+            }
+            failovers += 1;
+        }
+        None
+    }
+}
+
+/// The shard key of a result digest: its first eight bytes, big-endian —
+/// uniform because the digest is, and stable because the digest already
+/// names the run identity.
+#[must_use]
+pub fn key_of(digest: &[u8; 32]) -> u64 {
+    u64::from_be_bytes(digest[..8].try_into().unwrap_or([0; 8]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let a = HashRing::new(3, DEFAULT_VNODES);
+        let b = HashRing::new(3, DEFAULT_VNODES);
+        for k in (0..1000u64).map(splitmix64) {
+            let m = a.route(k);
+            assert_eq!(m, b.route(k));
+            assert!(m.unwrap() < 3);
+        }
+        assert_eq!(HashRing::new(0, 8).route(1), None);
+    }
+
+    #[test]
+    fn virtual_nodes_spread_the_keyspace() {
+        let ring = HashRing::new(3, DEFAULT_VNODES);
+        let mut counts = [0usize; 3];
+        for k in (0..3000u64).map(|i| splitmix64(i ^ 0xABCD)) {
+            counts[ring.route(k).unwrap()] += 1;
+        }
+        for (m, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 3000 / 10,
+                "member {m} owns {c}/3000 keys — ring badly unbalanced: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_skips_dead_members_and_counts_them() {
+        let ring = HashRing::new(3, DEFAULT_VNODES);
+        for k in (0..200u64).map(|i| splitmix64(i ^ 0x5A5A)) {
+            let home = ring.route(k).unwrap();
+            let (alive, failovers) = ring.route_live(k, |m| m != home).unwrap();
+            assert_ne!(alive, home);
+            assert_eq!(failovers, 1, "exactly the home member was skipped");
+            // All dead: nowhere to go.
+            assert_eq!(ring.route_live(k, |_| false), None);
+            // None dead: home wins with zero failovers.
+            assert_eq!(ring.route_live(k, |_| true), Some((home, 0)));
+        }
+    }
+
+    #[test]
+    fn only_the_dead_members_share_moves() {
+        // Kill member 2: every key homed on 0 or 1 must route unchanged.
+        let ring = HashRing::new(3, DEFAULT_VNODES);
+        for k in (0..500u64).map(|i| splitmix64(i ^ 0x77)) {
+            let home = ring.route(k).unwrap();
+            let (rerouted, _) = ring.route_live(k, |m| m != 2).unwrap();
+            if home != 2 {
+                assert_eq!(rerouted, home, "live members' keys must not move");
+            }
+        }
+    }
+
+    #[test]
+    fn key_of_uses_the_digest_prefix() {
+        let mut digest = [0u8; 32];
+        digest[0] = 0x12;
+        digest[7] = 0x34;
+        digest[8] = 0xFF; // beyond the prefix: ignored
+        assert_eq!(key_of(&digest), 0x1200_0000_0000_0034);
+    }
+}

@@ -1,0 +1,62 @@
+//! End-to-end kill/rejoin drill on a small matrix: a 2-member fleet,
+//! one seeded kill, one wiped rejoin, every invariant checked.
+
+use jvmsim_cluster::{cluster_drill, ClusterDrillConfig};
+
+#[test]
+fn small_fleet_survives_a_kill_and_a_wiped_rejoin() {
+    let root = std::env::temp_dir().join(format!("jvmsim-cluster-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let config = ClusterDrillConfig {
+        peers: 2,
+        kill: 1,
+        seed: 7,
+        size: 1,
+        workloads: Some(vec!["db".to_owned(), "jess".to_owned()]),
+        cache_root: Some(root.clone()),
+        // Quiet peer transport: this test gates on the exactly-once and
+        // byte-identity invariants, not on fault-site survival (the
+        // seeded-chaos path is exercised by the `jprof cluster` drill).
+        peer_fault_ppm: 0,
+        ..ClusterDrillConfig::default()
+    };
+    let report = cluster_drill(&config).expect("drill setup");
+    let _ = std::fs::remove_dir_all(&root);
+
+    assert!(
+        report.is_clean(),
+        "drill violations: {:#?}\n{}",
+        report.violations,
+        report.render_summary()
+    );
+    assert_eq!(report.cells, 10, "2 workloads x 5 agents");
+    assert_eq!(report.killed.len(), 1, "exactly one member must die");
+    // Healthy pass: every cell computed exactly once fleet-wide.
+    assert_eq!(report.runs_after_pass[0], 10);
+    // A single kill plus a wiped rejoin can force at most one recompute
+    // per cell: pass 2 recomputes what the death rerouted, pass 3
+    // recomputes only entries whose sole copy died with the wiped disk
+    // (cells the victim served from its own cache before the kill).
+    let kill_recomputes = report.runs_after_pass[1] - report.runs_after_pass[0];
+    let rejoin_recomputes = report.runs_after_pass[2] - report.runs_after_pass[1];
+    assert!(
+        kill_recomputes + rejoin_recomputes <= report.cells as u64,
+        "one failure cost more than one recompute per cell: {report:#?}"
+    );
+    // Everything the survivor recomputed in pass 2 must come back to the
+    // wiped rejoiner over the peer tier, not as fresh runs.
+    assert_eq!(
+        report.peer_hits, kill_recomputes,
+        "rejoin must refill the survivor-held entries from peers"
+    );
+    assert!(report.peer_hits > 0, "rejoin never touched the peer tier");
+    assert!(report.failovers > 0, "the kill never forced a failover");
+    assert_eq!(report.byte_mismatches, 0);
+    for (i, &bytes) in report.store_bytes.iter().enumerate() {
+        assert!(
+            bytes <= report.eviction_limit,
+            "member {i} store {bytes} over bound {}",
+            report.eviction_limit
+        );
+    }
+}

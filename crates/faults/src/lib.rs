@@ -93,11 +93,25 @@ pub enum FaultSite {
     /// were corrupted; the agent must count the discard so
     /// `observed == recorded + discarded` and `contended ≤ entries` hold.
     MonitorLedgerCorrupt,
+    /// A cluster peer-fetch connection drops before the entry arrives; the
+    /// fetching node must fall through its retry budget to the next tier
+    /// (another peer, then local recompute) without ever serving a partial
+    /// entry.
+    PeerConnDrop,
+    /// A cluster peer-fetch read stalls past its per-attempt timeout; the
+    /// seeded backoff policy must retry or degrade, never hang the
+    /// requesting worker.
+    PeerSlowRead,
+    /// A fleet member crashes outright mid-run; the cluster drill kills the
+    /// daemon at this consultation, and routing must fail over to the
+    /// consistent-hash successor while every surviving ledger stays
+    /// balanced.
+    MemberCrash,
 }
 
 impl FaultSite {
     /// Number of distinct sites.
-    pub const COUNT: usize = 13;
+    pub const COUNT: usize = 16;
 
     /// Every site, in a fixed order (indexing matches [`FaultSite::index`]).
     ///
@@ -118,6 +132,9 @@ impl FaultSite {
         FaultSite::ServeConnDrop,
         FaultSite::AllocSiteOverflow,
         FaultSite::MonitorLedgerCorrupt,
+        FaultSite::PeerConnDrop,
+        FaultSite::PeerSlowRead,
+        FaultSite::MemberCrash,
     ];
 
     /// Stable index of this site into rate/counter arrays.
@@ -137,6 +154,9 @@ impl FaultSite {
             FaultSite::ServeConnDrop => 10,
             FaultSite::AllocSiteOverflow => 11,
             FaultSite::MonitorLedgerCorrupt => 12,
+            FaultSite::PeerConnDrop => 13,
+            FaultSite::PeerSlowRead => 14,
+            FaultSite::MemberCrash => 15,
         }
     }
 
@@ -157,6 +177,9 @@ impl FaultSite {
             FaultSite::ServeConnDrop => "serve-conn-drop",
             FaultSite::AllocSiteOverflow => "alloc-site-overflow",
             FaultSite::MonitorLedgerCorrupt => "monitor-ledger-corrupt",
+            FaultSite::PeerConnDrop => "peer-conn-drop",
+            FaultSite::PeerSlowRead => "peer-slow-read",
+            FaultSite::MemberCrash => "member-crash",
         }
     }
 
@@ -225,6 +248,9 @@ impl FaultPlan {
             .with_rate(FaultSite::ServeConnDrop, 60_000)
             .with_rate(FaultSite::AllocSiteOverflow, 20_000)
             .with_rate(FaultSite::MonitorLedgerCorrupt, 20_000)
+            .with_rate(FaultSite::PeerConnDrop, 60_000)
+            .with_rate(FaultSite::PeerSlowRead, 60_000)
+            .with_rate(FaultSite::MemberCrash, 40_000)
     }
 
     /// True if every rate is zero (the plan can never inject).

@@ -164,11 +164,29 @@ pub enum CounterId {
     AllocProbes,
     /// LOCK probe executions (instrumented raw-monitor entries).
     LockProbes,
+    /// Serve-plane run requests executed through a worker (cache misses
+    /// that actually computed a row). Summed across a fleet this counts
+    /// rows computed, so a healthy cluster run asserts it equals the
+    /// matrix size exactly — zero double-computes.
+    ServeRunsExecuted,
+    /// Cluster peer-fetch attempts that returned a verified cell entry.
+    ClusterPeerHits,
+    /// Cluster peer-fetch rounds that exhausted every peer and degraded
+    /// to local recompute.
+    ClusterPeerMisses,
+    /// Cluster peer-fetch retries (attempts beyond the first per peer),
+    /// driven by the seeded backoff policy.
+    ClusterRetries,
+    /// Cluster requests routed past a quarantined owner to its
+    /// consistent-hash successor.
+    ClusterFailovers,
+    /// Cache entries evicted by bounded-store compaction.
+    ClusterEvictions,
 }
 
 impl CounterId {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 27;
+    pub const COUNT: usize = 33;
 
     /// Every counter, in dense-index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -199,6 +217,12 @@ impl CounterId {
         CounterId::ServeHits,
         CounterId::AllocProbes,
         CounterId::LockProbes,
+        CounterId::ServeRunsExecuted,
+        CounterId::ClusterPeerHits,
+        CounterId::ClusterPeerMisses,
+        CounterId::ClusterRetries,
+        CounterId::ClusterFailovers,
+        CounterId::ClusterEvictions,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -231,6 +255,12 @@ impl CounterId {
             CounterId::ServeHits => 24,
             CounterId::AllocProbes => 25,
             CounterId::LockProbes => 26,
+            CounterId::ServeRunsExecuted => 27,
+            CounterId::ClusterPeerHits => 28,
+            CounterId::ClusterPeerMisses => 29,
+            CounterId::ClusterRetries => 30,
+            CounterId::ClusterFailovers => 31,
+            CounterId::ClusterEvictions => 32,
         }
     }
 
@@ -264,6 +294,12 @@ impl CounterId {
             CounterId::ServeHits => "serve_hits",
             CounterId::AllocProbes => "alloc_probes",
             CounterId::LockProbes => "lock_probes",
+            CounterId::ServeRunsExecuted => "serve_runs_executed",
+            CounterId::ClusterPeerHits => "cluster_peer_hits",
+            CounterId::ClusterPeerMisses => "cluster_peer_misses",
+            CounterId::ClusterRetries => "cluster_retries",
+            CounterId::ClusterFailovers => "cluster_failovers",
+            CounterId::ClusterEvictions => "cluster_evictions",
         }
     }
 }
@@ -630,12 +666,25 @@ impl HistogramSnapshot {
 }
 
 /// Frozen registry contents: plain data, `Eq`, and mergeable.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     counters: [u64; CounterId::COUNT],
     gauges: [u64; GaugeId::COUNT],
     bucket_cycles: [u64; Bucket::COUNT],
     histograms: [HistogramSnapshot; HistogramId::COUNT],
+}
+
+// Manual impl: `derive(Default)` caps arrays at 32 elements and
+// `CounterId::COUNT` has outgrown that.
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counters: [0; CounterId::COUNT],
+            gauges: [0; GaugeId::COUNT],
+            bucket_cycles: [0; Bucket::COUNT],
+            histograms: Default::default(),
+        }
+    }
 }
 
 impl MetricsSnapshot {

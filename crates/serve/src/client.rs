@@ -88,6 +88,9 @@ pub type LatencyHistogram = [u64; 65];
 pub struct ClientReport {
     /// `(endpoint, status) -> count`, summed over all connections.
     pub status_counts: BTreeMap<(String, u16), u64>,
+    /// Requests deferred on a `429 Retry-After`: the client slept a
+    /// seeded backoff and retried instead of hammering the daemon.
+    pub deferred: u64,
     /// Requests that died below HTTP (connect/read/write failures).
     pub transport_errors: u64,
     /// Per-endpoint wall-latency histograms (non-deterministic; printed
@@ -114,6 +117,7 @@ impl ClientReport {
         for (key, count) in other.status_counts {
             *self.status_counts.entry(key).or_insert(0) += count;
         }
+        self.deferred += other.deferred;
         self.transport_errors += other.transport_errors;
         for (endpoint, hist) in other.latency {
             let mine = self.latency.entry(endpoint).or_insert([0u64; 65]);
@@ -134,13 +138,15 @@ impl ClientReport {
     }
 
     /// The deterministic summary (stdout): one sorted line per
-    /// `(endpoint, status)` pair plus the transport-error count.
+    /// `(endpoint, status)` pair plus the deferred and transport-error
+    /// counts.
     #[must_use]
     pub fn render_summary(&self) -> String {
         let mut out = String::new();
         for ((endpoint, status), count) in &self.status_counts {
             out.push_str(&format!("client {endpoint} {status} {count}\n"));
         }
+        out.push_str(&format!("client deferred {}\n", self.deferred));
         out.push_str(&format!(
             "client transport_errors {}\n",
             self.transport_errors
@@ -226,6 +232,21 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
+    http_request_full(stream, method, path, body).map(|(status, body, _)| (status, body))
+}
+
+/// [`http_request`] plus the parsed `Retry-After` header (seconds), so
+/// callers can honor the daemon's shed hint instead of retrying hot.
+///
+/// # Errors
+///
+/// Same transport/parse failures as [`http_request`].
+pub fn http_request_full(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String, Option<u64>), String> {
     let body = body.unwrap_or("");
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: jvmsim\r\nContent-Length: {}\r\n\r\n{body}",
@@ -237,7 +258,7 @@ pub fn http_request(
     read_response(stream)
 }
 
-fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
+fn read_response(stream: &mut TcpStream) -> Result<(u16, String, Option<u64>), String> {
     stream
         .set_read_timeout(Some(READ_POLL))
         .map_err(|e| format!("set timeout: {e}"))?;
@@ -258,6 +279,7 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("bad status line '{status_line}'"))?;
     let mut content_length = 0usize;
+    let mut retry_after = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -265,6 +287,8 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
                     .trim()
                     .parse()
                     .map_err(|_| "bad content-length".to_owned())?;
+            } else if name.eq_ignore_ascii_case("retry-after") {
+                retry_after = value.trim().parse().ok();
             }
         }
     }
@@ -276,7 +300,7 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String), String> {
         .map_err(|_| "non-utf8 body".to_owned())?;
     // Anything past the body would be an unrequested pipelined response.
     buf.truncate(body_start + content_length);
-    Ok((status, body))
+    Ok((status, body, retry_after))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -345,6 +369,18 @@ pub fn run_client(config: &ClientConfig) -> Result<ClientReport, String> {
     Ok(report)
 }
 
+/// The seeded sleep before retrying a `429 Retry-After` deferral: the
+/// daemon's hint (capped at 2s) jittered into `[hint/2, hint]` by the
+/// same `(seed, conn, idx)` stream that picks specs — deterministic, so
+/// two clients with the same flags defer for the same durations.
+#[must_use]
+pub fn deferred_backoff(seed: u64, conn: usize, idx: usize, retry_after_secs: u64) -> Duration {
+    let base = retry_after_secs.saturating_mul(1000).clamp(1, 2000);
+    let h = splitmix64(seed ^ ((conn as u64) << 32) ^ (idx as u64) ^ 0xDEFE_44ED_BACC_0FF5);
+    let low = base / 2;
+    Duration::from_millis(low + h % (base - low + 1))
+}
+
 fn connection_loop(config: &ClientConfig, conn: usize) -> ClientReport {
     let mut report = ClientReport::default();
     let mut stream = None;
@@ -357,36 +393,50 @@ fn connection_loop(config: &ClientConfig, conn: usize) -> ClientReport {
             let spec = pick_spec(config.seed, conn, idx, config.size);
             ("/v1/run", "POST", Some(spec.to_json()), Some(spec))
         };
-        let started = Instant::now();
-        // Reconnect lazily: the first request, and after any drop.
-        let s = match &mut stream {
-            Some(s) => s,
-            None => match connect_with_retry(&config.addr, Duration::from_secs(10)) {
-                Ok(s) => stream.insert(s),
+        // One deferred retry per slot: a 429 with Retry-After sleeps the
+        // seeded backoff and reissues instead of retrying hot.
+        let mut deferred_once = false;
+        loop {
+            let started = Instant::now();
+            // Reconnect lazily: the first request, and after any drop.
+            let s = match &mut stream {
+                Some(s) => s,
+                None => match connect_with_retry(&config.addr, Duration::from_secs(10)) {
+                    Ok(s) => stream.insert(s),
+                    Err(_) => {
+                        report.transport_errors += 1;
+                        break;
+                    }
+                },
+            };
+            match http_request_full(s, method, endpoint, body.as_deref()) {
+                Ok((status, response_body, retry_after)) => {
+                    report.record(endpoint, status, started.elapsed());
+                    if status == 200 {
+                        if let (Some(dir), Some(spec)) = (&config.rows_dir, &spec) {
+                            let name =
+                                format!("run-{}-{}-{}.json", spec.workload, spec.agent, spec.size);
+                            let _ = std::fs::write(dir.join(name), response_body.as_bytes());
+                        }
+                    } else {
+                        // Error responses close or may close; start fresh.
+                        stream = None;
+                    }
+                    if status == 429 && !deferred_once {
+                        if let Some(secs) = retry_after {
+                            deferred_once = true;
+                            report.deferred += 1;
+                            std::thread::sleep(deferred_backoff(config.seed, conn, idx, secs));
+                            continue;
+                        }
+                    }
+                }
                 Err(_) => {
                     report.transport_errors += 1;
-                    continue;
-                }
-            },
-        };
-        match http_request(s, method, endpoint, body.as_deref()) {
-            Ok((status, response_body)) => {
-                report.record(endpoint, status, started.elapsed());
-                if status == 200 {
-                    if let (Some(dir), Some(spec)) = (&config.rows_dir, &spec) {
-                        let name =
-                            format!("run-{}-{}-{}.json", spec.workload, spec.agent, spec.size);
-                        let _ = std::fs::write(dir.join(name), response_body.as_bytes());
-                    }
-                } else {
-                    // Error responses close or may close; start fresh.
                     stream = None;
                 }
             }
-            Err(_) => {
-                report.transport_errors += 1;
-                stream = None;
-            }
+            break;
         }
     }
     report
@@ -423,11 +473,43 @@ mod tests {
         report.record("/v1/run", 200, Duration::from_micros(9));
         report.record("/v1/run", 429, Duration::from_micros(1));
         report.record("/healthz", 200, Duration::from_micros(2));
+        report.deferred = 1;
         assert_eq!(
             report.render_summary(),
-            "client /healthz 200 1\nclient /v1/run 200 2\nclient /v1/run 429 1\nclient transport_errors 0\n"
+            "client /healthz 200 1\nclient /v1/run 200 2\nclient /v1/run 429 1\nclient deferred 1\nclient transport_errors 0\n"
         );
         let latency = report.render_latency();
         assert!(latency.contains("latency /v1/run:"), "{latency}");
+    }
+
+    #[test]
+    fn deferred_backoff_is_deterministic_and_honors_the_hint() {
+        for (conn, idx, secs) in [(0usize, 0usize, 1u64), (1, 7, 1), (3, 2, 5)] {
+            let a = deferred_backoff(42, conn, idx, secs);
+            assert_eq!(a, deferred_backoff(42, conn, idx, secs));
+            let base = (secs * 1000).clamp(1, 2000);
+            let ms = u64::try_from(a.as_millis()).unwrap();
+            assert!(
+                ms >= base / 2 && ms <= base,
+                "backoff {ms}ms outside [{}, {base}]",
+                base / 2
+            );
+        }
+        // Different seeds defer differently somewhere in the stream.
+        assert!((0..8).any(|i| deferred_backoff(1, 0, i, 2) != deferred_backoff(2, 0, i, 2)));
+    }
+
+    #[test]
+    fn merge_sums_deferred_counts() {
+        let mut a = ClientReport {
+            deferred: 2,
+            ..ClientReport::default()
+        };
+        let b = ClientReport {
+            deferred: 3,
+            ..ClientReport::default()
+        };
+        a.merge(b);
+        assert_eq!(a.deferred, 5);
     }
 }

@@ -198,10 +198,13 @@ impl Response {
 /// Read one request off a keep-alive connection, polling `is_draining`
 /// and the `deadline` while blocked.
 ///
-/// The stream must have a read timeout of [`READ_POLL`] installed (the
-/// connection loop sets it once); each poll tick re-checks the drain flag
-/// and the per-request read deadline, so a stalled peer costs at most one
-/// tick after the deadline and a drain never waits on an idle connection.
+/// Generic over [`Read`] so the parser can be driven by arbitrary byte
+/// sources (the fuzz tests feed it adversarial chunkings); the daemon
+/// passes a [`TcpStream`] with a read timeout of [`READ_POLL`] installed
+/// (the connection loop sets it once). Each poll tick (`WouldBlock`)
+/// re-checks the drain flag and the per-request read deadline, so a
+/// stalled peer costs at most one tick after the deadline and a drain
+/// never waits on an idle connection.
 ///
 /// # Errors
 ///
@@ -210,8 +213,8 @@ impl Response {
 /// * [`ServeError::ReadTimeout`] — deadline elapsed mid-request.
 /// * [`ServeError::Malformed`] / size variants — parse failures.
 /// * [`ServeError::Io`] — transport failure.
-pub fn read_request(
-    stream: &mut TcpStream,
+pub fn read_request<R: Read>(
+    stream: &mut R,
     deadline: Duration,
     is_draining: &dyn Fn() -> bool,
 ) -> Result<Request, ServeError> {

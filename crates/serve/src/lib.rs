@@ -17,6 +17,9 @@
 //!   per-request deadlines (`504`), exactly-once outcome accounting
 //!   (`accepted == served + shed + timeout + dropped + errors`), and
 //!   graceful drain (stop accepting, finish in-flight, flush metrics).
+//! * [`peer`] — the fleet tier: the shared membership directory, the
+//!   seeded retry/backoff policy, and the `GET /v1/cell/<hex>` fetch a
+//!   member tries on a local miss before degrading to recompute.
 //! * [`client`] — the closed-loop deterministic load generator behind
 //!   `jprof client`.
 //! * [`drill`] — the chaos drill `jprof chaos` runs against the two
@@ -32,11 +35,13 @@ pub mod admission;
 pub mod client;
 pub mod drill;
 pub mod http;
+pub mod peer;
 pub mod server;
 pub mod spec;
 
-pub use client::{run_client, ClientConfig, ClientReport};
+pub use client::{deferred_backoff, http_request_full, run_client, ClientConfig, ClientReport};
 pub use drill::{chaos_drill, DrillReport};
 pub use http::ServeError;
+pub use peer::{PeerDirectory, PeerView, RetryPolicy};
 pub use server::{ServeConfig, Server};
 pub use spec::RunSpec;

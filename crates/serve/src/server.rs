@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 use jnativeprof::cell::{cell_row_json, decode_cell_entry, encode_cell_entry, CellQuantities};
 use jnativeprof::harness::HarnessError;
 use jnativeprof::session::SessionSpec;
-use jvmsim_cache::{CacheStore, Plane};
+use jvmsim_cache::{CacheKey, CacheStore, Digest, Plane};
 use jvmsim_faults::{FaultInjector, FaultPlan, FaultSite};
 use jvmsim_metrics::{
     render_prometheus, CounterId, HistogramId, MetricsEntry, MetricsRegistry, MetricsSnapshot,
@@ -46,6 +46,7 @@ use jvmsim_metrics::{
 
 use crate::admission::{AdmissionError, AdmissionQueue, Job};
 use crate::http::{read_request, Request, Response, ServeError, READ_POLL};
+use crate::peer::{hex_encode, PeerView};
 use crate::spec::RunSpec;
 
 /// Server configuration.
@@ -67,6 +68,10 @@ pub struct ServeConfig {
     /// never reach the [`SessionSpec`] runs, so they cannot change row
     /// bytes). Inert by default.
     pub faults: FaultPlan,
+    /// Fleet membership view for the peer-fetch cache tier. `None` (the
+    /// default) keeps the daemon single-node: a local miss goes straight
+    /// to the worker pool.
+    pub peers: Option<PeerView>,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +83,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(30),
             cache: None,
             faults: FaultPlan::new(0),
+            peers: None,
         }
     }
 }
@@ -139,6 +145,7 @@ struct Shared {
     run_metrics: Mutex<MetricsSnapshot>,
     queue: AdmissionQueue,
     cache: Option<CacheStore>,
+    peers: Option<PeerView>,
     injector: Arc<FaultInjector>,
     draining: AtomicBool,
     deadline: Duration,
@@ -230,6 +237,7 @@ impl Server {
             run_metrics: Mutex::new(MetricsSnapshot::default()),
             queue: AdmissionQueue::new(config.queue),
             cache,
+            peers: config.peers,
             injector: Arc::new(FaultInjector::new(config.faults)),
             draining: AtomicBool::new(false),
             deadline: config.deadline,
@@ -355,7 +363,18 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                         Outcome::Timeout,
                     )
                 } else {
-                    route(shared, &request, started)
+                    let (response, outcome) = route(shared, &request, started);
+                    // Honor the client's `Connection: close` so one-shot
+                    // callers (the peer-fetch tier) see EOF, not a
+                    // keep-alive connection idling to their read timeout.
+                    if request
+                        .header("connection")
+                        .is_some_and(|v| v.trim().eq_ignore_ascii_case("close"))
+                    {
+                        (response.closing(), outcome)
+                    } else {
+                        (response, outcome)
+                    }
                 }
             }
             Err(error) => {
@@ -427,11 +446,38 @@ fn route(shared: &Arc<Shared>, request: &Request, started: Instant) -> (Response
             )
         }
         ("POST", "/v1/run") => handle_run(shared, &request.body, started),
+        ("GET", path) if path.starts_with("/v1/cell/") => handle_cell(shared, path),
         (
             "GET" | "POST",
             "/healthz" | "/v1/metrics" | "/v1/cache/stats" | "/v1/shutdown" | "/v1/run",
         ) => (Response::text(405, "method not allowed\n"), Outcome::Error),
+        (_, path) if path.starts_with("/v1/cell/") => {
+            (Response::text(405, "method not allowed\n"), Outcome::Error)
+        }
         _ => (Response::text(404, "not found\n"), Outcome::Error),
+    }
+}
+
+/// `GET /v1/cell/<hex-key>`: the peer-fetch supply side. Answers the
+/// hex-encoded cell-result entry for the given key digest, `404` when
+/// the local store does not hold it. The store digest-verifies the
+/// payload on lookup, so a peer can never export a torn entry.
+fn handle_cell(shared: &Arc<Shared>, path: &str) -> (Response, Outcome) {
+    let hex = path.strip_prefix("/v1/cell/").unwrap_or("");
+    let Some(digest) = Digest::from_hex(hex) else {
+        return (Response::text(400, "bad cell key\n"), Outcome::Error);
+    };
+    let key = CacheKey::from_digest(digest);
+    match shared
+        .cache
+        .as_ref()
+        .and_then(|store| store.lookup(Plane::CellResult, &key))
+    {
+        Some(bytes) => (
+            Response::text(200, format!("{}\n", hex_encode(&bytes))),
+            Outcome::Served { hit: false },
+        ),
+        None => (Response::text(404, "absent\n"), Outcome::Error),
     }
 }
 
@@ -461,6 +507,27 @@ fn handle_run(shared: &Arc<Shared>, body: &[u8], started: Instant) -> (Response,
                         return (Response::json(200, row), Outcome::Served { hit: true });
                     }
                     None => store.quarantine(Plane::CellResult, &key),
+                }
+            }
+            // Tier two: before paying for a recompute, ask the fleet.
+            // A peer that already owns this identity hands the entry
+            // over; it is decode-validated here, stored locally, and
+            // served as a hit. Exhausting every peer degrades to the
+            // worker pool below.
+            if let Some(view) = &shared.peers {
+                let shard = shared.registry.global();
+                let fetched = view.fetch_entry(&key.digest().to_hex(), &shared.injector, &shard);
+                match fetched.as_deref().and_then(decode_cell_entry) {
+                    Some((cell, _sites)) => {
+                        shard.incr(CounterId::ClusterPeerHits);
+                        if let Some(bytes) = &fetched {
+                            let _ = store.store(Plane::CellResult, &key, bytes);
+                        }
+                        let row =
+                            cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell);
+                        return (Response::json(200, row), Outcome::Served { hit: true });
+                    }
+                    None => shard.incr(CounterId::ClusterPeerMisses),
                 }
             }
         }
@@ -529,6 +596,10 @@ fn execute_job(shared: &Arc<Shared>, spec: &SessionSpec) -> Result<String, Harne
         }
         session.run()
     })??;
+    // The fleet's zero-double-compute audit: this is the only line that
+    // turns a spec into a row, so summing `serve_runs_executed` across
+    // members counts real computes exactly.
+    shared.registry.global().incr(CounterId::ServeRunsExecuted);
     let cell = CellQuantities::from_run(&run);
     if let Some(store) = &shared.cache {
         if let Ok(key) = spec.with_session(|s| s.result_key()) {

@@ -1,0 +1,150 @@
+//! Parser robustness for the hand-rolled HTTP/1.1 layer: for any byte
+//! soup, any truncation of a valid request, and any adversarial split
+//! of the stream into read chunks (with `WouldBlock` stalls woven in),
+//! `read_request` must return — `Ok` or a typed `ServeError` — and
+//! never panic. This is the contract the connection loop relies on: a
+//! hostile peer costs bounded memory and a status code, not a thread.
+
+use std::io::{self, Read};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use jvmsim_serve::http::{read_request, Request, ServeError, MAX_HEADER_BYTES};
+
+/// A `Read` that replays `data` in caller-chosen chunk sizes, yielding
+/// `WouldBlock` between chunks when asked — the exact shapes a slow or
+/// malicious peer can produce on a real socket.
+struct SplitReader {
+    data: Vec<u8>,
+    pos: usize,
+    /// Chunk sizes consumed round-robin (0 ⇒ a `WouldBlock` stall).
+    chunks: Vec<usize>,
+    next_chunk: usize,
+}
+
+impl SplitReader {
+    fn new(data: Vec<u8>, chunks: Vec<usize>) -> SplitReader {
+        SplitReader {
+            data,
+            pos: 0,
+            chunks,
+            next_chunk: 0,
+        }
+    }
+}
+
+impl Read for SplitReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0); // EOF forever after.
+        }
+        let chunk = if self.chunks.is_empty() {
+            self.data.len()
+        } else {
+            let c = self.chunks[self.next_chunk % self.chunks.len()];
+            self.next_chunk += 1;
+            c
+        };
+        if chunk == 0 {
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "stall"));
+        }
+        let n = chunk.min(self.data.len() - self.pos).min(buf.len()).max(1);
+        let n = n.min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Drive the parser over `data` with the given chunking. The deadline is
+/// tiny so a stall-heavy chunking terminates as `ReadTimeout`/`Closed`
+/// instead of spinning the test.
+fn parse(data: Vec<u8>, chunks: Vec<usize>) -> Result<Request, ServeError> {
+    let mut reader = SplitReader::new(data, chunks);
+    read_request(&mut reader, Duration::from_millis(0), &|| false)
+}
+
+/// A canonical valid request the structured properties perturb.
+fn valid_request() -> Vec<u8> {
+    b"POST /v1/run HTTP/1.1\r\nHost: fuzz\r\nContent-Length: 11\r\n\r\nhello world".to_vec()
+}
+
+#[test]
+fn valid_request_parses_whole_or_split() {
+    let whole = parse(valid_request(), vec![]).expect("valid request parses");
+    assert_eq!(whole.method, "POST");
+    assert_eq!(whole.path, "/v1/run");
+    assert_eq!(whole.body, b"hello world");
+    let byte_at_a_time = parse(valid_request(), vec![1]).expect("split request parses");
+    assert_eq!(whole, byte_at_a_time);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        data in prop::collection::vec(any::<u8>(), 0..512),
+        chunks in prop::collection::vec(0usize..17, 0..8),
+    ) {
+        // Ok or Err are both fine; returning at all is the property.
+        let _ = parse(data, chunks);
+    }
+
+    #[test]
+    fn truncated_valid_request_never_panics_and_never_lies(
+        cut in 0usize..64,
+        chunks in prop::collection::vec(0usize..9, 0..6),
+    ) {
+        let full = valid_request();
+        let cut = cut % full.len(); // every strict prefix
+        let got = parse(full[..cut].to_vec(), chunks);
+        prop_assert!(
+            got.is_err(),
+            "a strict prefix must not parse as a complete request: {got:?}"
+        );
+    }
+
+    #[test]
+    fn any_split_of_a_valid_request_parses_identically(
+        chunks in prop::collection::vec(0usize..33, 1..8),
+    ) {
+        let want = parse(valid_request(), vec![]).expect("whole request parses");
+        // Stalls hit the 0ms deadline, which is a legal refusal — but a
+        // successful parse must be byte-identical to the unsplit one.
+        match parse(valid_request(), chunks) {
+            Ok(got) => prop_assert_eq!(got, want),
+            Err(e) => prop_assert!(
+                matches!(e, ServeError::ReadTimeout | ServeError::Closed),
+                "split parse may only fail by deadline, got {:?}", e
+            ),
+        }
+    }
+
+    #[test]
+    fn oversized_header_blocks_fail_closed(extra in 0usize..2048) {
+        // A request line plus one header padded past MAX_HEADER_BYTES
+        // with no terminating blank line: the parser must refuse with
+        // HeadersTooLarge, not buffer without bound.
+        let mut data = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        data.resize(MAX_HEADER_BYTES + 1 + extra, b'a');
+        prop_assert_eq!(parse(data, vec![4096]), Err(ServeError::HeadersTooLarge));
+    }
+
+    #[test]
+    fn garbage_request_lines_are_malformed_not_fatal(
+        line in prop::collection::vec(0x20u8..0x7f, 0..48),
+    ) {
+        let mut data = line.clone();
+        data.extend_from_slice(b"\r\n\r\n");
+        if let Err(e) = parse(data, vec![7]) {
+            prop_assert!(
+                e.status().is_some() || matches!(e, ServeError::Closed),
+                "unexpected error class {:?}", e
+            );
+        }
+        // An Ok here means the printable soup happened to be a valid
+        // request line — fine; the property is no panic and a typed error.
+    }
+}

@@ -103,11 +103,12 @@ fn execute(args: &[String], profile: bool) -> Result<(), HarnessError> {
     // reject unknown labels with the same typed message.
     let (agent, args) = match args {
         [flag, label, rest @ ..] if profile && flag == "--agent" => {
-            let choice: AgentChoice = label
-                .parse()
-                .map_err(|e: jnativeprof::harness::ParseAgentError| {
-                    HarnessError::Usage(e.to_string())
-                })?;
+            let choice: AgentChoice =
+                label
+                    .parse()
+                    .map_err(|e: jnativeprof::harness::ParseAgentError| {
+                        HarnessError::Usage(e.to_string())
+                    })?;
             (choice, rest)
         }
         _ if profile => (AgentChoice::ipa(), args),

@@ -35,6 +35,11 @@ pub enum HarnessError {
     Usage(String),
     /// An artifact could not be written or rendered.
     Artifact(String),
+    /// A daemon could not bind its listen socket (address in use, bad
+    /// address, no permission). Distinct from [`HarnessError::Artifact`]
+    /// so supervisors can tell "port taken, back off and retry" from
+    /// "disk problem" without parsing stderr.
+    Bind(String),
     /// The run completed but degraded: cells were quarantined, invariants
     /// broke, or two views of the same data disagreed.
     Degraded(String),
@@ -57,6 +62,7 @@ impl HarnessError {
             HarnessError::BadChecksum(_) => 7,
             HarnessError::Artifact(_) => 8,
             HarnessError::Degraded(_) => 9,
+            HarnessError::Bind(_) => 10,
         }
     }
 }
@@ -71,6 +77,7 @@ impl std::fmt::Display for HarnessError {
             HarnessError::BadChecksum(e) => write!(f, "entry method returned {e}, expected int"),
             HarnessError::Usage(e) => write!(f, "{e}"),
             HarnessError::Artifact(e) => write!(f, "artifact error: {e}"),
+            HarnessError::Bind(e) => write!(f, "bind failed: {e}"),
             HarnessError::Degraded(e) => write!(f, "{e}"),
         }
     }
@@ -279,6 +286,7 @@ mod tests {
             HarnessError::Usage(String::new()),
             HarnessError::Artifact(String::new()),
             HarnessError::Degraded(String::new()),
+            HarnessError::Bind(String::new()),
         ];
         let mut codes: Vec<u8> = variants.iter().map(HarnessError::exit_code).collect();
         codes.sort_unstable();
