@@ -12,14 +12,16 @@
 //!              [--out FILE]
 //! jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
 //!             [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
+//!             [--spans 1] [--span-seed S] [--span-capacity N]
 //! jprof client [--addr HOST:PORT] [--connections N] [--requests M]
 //!              [--seed S] [--size N] [--rows DIR] [--cache-stats 1]
-//!              [--shutdown 1]
+//!              [--shutdown 1] [--spans-out FILE]
 //! jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
 //!           [--cache-dir DIR] [--no-cache 1]
 //! jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
 //!               [--workloads a,b,...] [--eviction-limit BYTES]
 //!               [--fault-ppm N] [--cache-dir DIR] [--rows DIR]
+//!               [--spans 1] [--trace FILE]
 //! jprof list
 //! ```
 //!
@@ -50,7 +52,16 @@
 //! deterministic load generator; its status-count summary goes to stdout
 //! and its wall-latency histograms to stderr. `run` executes a single
 //! cell and prints that same canonical row — the batch-side anchor the
-//! CI serve job `cmp`s served responses against.
+//! CI serve job `cmp`s served responses against. `serve --spans 1` opens
+//! a deterministic root span per request with child spans per lifecycle
+//! stage (timed in modeled PCL cycles so the children partition the root
+//! exactly) and publishes the ring at `GET /v1/spans` (JSON) and
+//! `/v1/spans/bin` (binary); `client --spans-out FILE` scrapes that ring
+//! after the load run, and the client's per-stage latency table (built
+//! from the `X-Jvmsim-Span` response annotations, deferred-429 waits
+//! included) joins the stdout summary. `cluster --spans 1` traces the
+//! whole drill — `--trace FILE` additionally exports the stitched fleet
+//! trace as Chrome `trace_event` JSON.
 //!
 //! `cluster` runs the kill/rejoin drill: `--peers` in-process daemons
 //! behind a consistent-hash ring serve the workload × agent matrix three
@@ -84,7 +95,7 @@ use jnativeprof::session::{Session, SessionSpec};
 use jvmsim_cache::{CacheStore, Plane};
 use jvmsim_cluster::{cluster_drill, ClusterDrillConfig};
 use jvmsim_metrics::{render_json, render_prometheus, MetricsEntry};
-use jvmsim_serve::{chaos_drill, run_client, ClientConfig, ServeConfig, Server};
+use jvmsim_serve::{chaos_drill, run_client, ClientConfig, ServeConfig, Server, SpanConfig};
 use jvmsim_trace::{export, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use nativeprof_bench::{
@@ -105,13 +116,16 @@ usage:
   jprof report [--jobs N] [--size N] [--format table|prom|json] [--out FILE]
   jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
               [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
+              [--spans 1] [--span-seed S] [--span-capacity N]
   jprof client [--addr HOST:PORT] [--connections N] [--requests M] [--seed S]
                [--size N] [--rows DIR] [--cache-stats 1] [--shutdown 1]
+               [--spans-out FILE]
   jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
             [--cache-dir DIR] [--no-cache 1]
   jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
                 [--workloads a,b,...] [--eviction-limit BYTES]
                 [--fault-ppm N] [--cache-dir DIR] [--rows DIR]
+                [--spans 1] [--trace FILE]
   jprof list
 ";
 
@@ -519,8 +533,18 @@ fn cmd_serve(args: &[String]) -> Result<(), HarnessError> {
             "--metrics",
             "--cache-dir",
             "--no-cache",
+            "--spans",
+            "--span-seed",
+            "--span-capacity",
         ],
     )?;
+    let spans = flags.truthy("--spans").then(|| {
+        Ok::<SpanConfig, HarnessError>(SpanConfig {
+            seed: flags.get_parsed("--span-seed")?.unwrap_or(0),
+            capacity: flags.get_parsed("--span-capacity")?.unwrap_or(4096),
+            member: 0,
+        })
+    });
     let config = ServeConfig {
         addr: flags.get("--addr").unwrap_or("127.0.0.1:8126").to_owned(),
         jobs: flags.get_parsed("--jobs")?.unwrap_or(2),
@@ -529,6 +553,7 @@ fn cmd_serve(args: &[String]) -> Result<(), HarnessError> {
         cache: flags.cache()?,
         faults: jvmsim_faults::FaultPlan::new(0),
         peers: None,
+        spans: spans.transpose()?,
     };
     let metrics_path = flags.get("--metrics");
     let addr = config.addr.clone();
@@ -536,7 +561,7 @@ fn cmd_serve(args: &[String]) -> Result<(), HarnessError> {
         .map_err(|e| HarnessError::Bind(format!("cannot bind {addr}: {e}")))?;
     eprintln!(
         "serving on {} (POST /v1/run, GET /v1/metrics, GET /v1/cache/stats, \
-         GET /healthz; POST /v1/shutdown to drain)",
+         GET /v1/spans, GET /healthz; POST /v1/shutdown to drain)",
         server.local_addr()
     );
     // Block until a drain is requested over HTTP, then finish in-flight
@@ -562,6 +587,7 @@ fn cmd_client(args: &[String]) -> Result<(), HarnessError> {
             "--rows",
             "--cache-stats",
             "--shutdown",
+            "--spans-out",
         ],
     )?;
     let config = ClientConfig {
@@ -572,13 +598,16 @@ fn cmd_client(args: &[String]) -> Result<(), HarnessError> {
         size: flags.get_parsed("--size")?.unwrap_or(1),
         rows_dir: flags.get("--rows").map(std::path::PathBuf::from),
         fetch_cache_stats: flags.truthy("--cache-stats"),
+        spans_out: flags.get("--spans-out").map(std::path::PathBuf::from),
         send_shutdown: flags.truthy("--shutdown"),
     };
     let report =
         run_client(&config).map_err(|e| HarnessError::Artifact(format!("load run: {e}")))?;
     // Deterministic summary on stdout; wall-clock histograms on stderr so
-    // redirected output stays reproducible.
+    // redirected output stays reproducible. The stage table renders only
+    // when the daemon traced (its cycles are modeled, not wall-clock).
     print!("{}", report.render_summary());
+    print!("{}", report.render_stages());
     eprint!("{}", report.render_latency());
     if let Some(stats) = &report.cache_stats {
         println!("cache-stats {stats}");
@@ -662,6 +691,8 @@ fn cmd_cluster(args: &[String]) -> Result<(), HarnessError> {
             "--fault-ppm",
             "--cache-dir",
             "--rows",
+            "--spans",
+            "--trace",
         ],
     )?;
     let defaults = ClusterDrillConfig::default();
@@ -681,6 +712,8 @@ fn cmd_cluster(args: &[String]) -> Result<(), HarnessError> {
         peer_fault_ppm: flags
             .get_parsed("--fault-ppm")?
             .unwrap_or(defaults.peer_fault_ppm),
+        spans: flags.truthy("--spans") || flags.get("--trace").is_some(),
+        trace_out: flags.get("--trace").map(Into::into),
     };
     eprintln!(
         "cluster: {} peer(s), killing {} mid-pass, seed {}, size {} …",

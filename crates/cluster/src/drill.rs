@@ -29,8 +29,13 @@ use std::time::Duration;
 use jnativeprof::cell::{cell_row_json, CellQuantities};
 use jnativeprof::session::SessionSpec;
 use jvmsim_faults::{splitmix64, FaultInjector, FaultPlan, FaultSite};
+use jvmsim_pcl::PAPER_CLOCK_HZ;
 use jvmsim_serve::client::{connect_with_retry, http_request};
 use jvmsim_serve::RunSpec;
+use jvmsim_spans::{
+    decode_spans, encode_spans, partition_violations, stitched_traces, StageLatencyTable,
+};
+use jvmsim_trace::{ChromeSpanExporter, SpanExporter};
 
 use crate::fleet::{Cluster, ClusterConfig};
 use crate::ring::key_of;
@@ -76,6 +81,13 @@ pub struct ClusterDrillConfig {
     /// Injection rate (ppm) for the peer transport fault sites on every
     /// member.
     pub peer_fault_ppm: u32,
+    /// Trace every request: per-member span planes, fleet-wide partition
+    /// and stitching checks, the per-stage latency table, and the wire
+    /// codec cross-check.
+    pub spans: bool,
+    /// When set (and `spans` is on), export the fleet's spans as Chrome
+    /// `trace_event` JSON here after the drill.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for ClusterDrillConfig {
@@ -90,6 +102,8 @@ impl Default for ClusterDrillConfig {
             cache_root: None,
             rows_dir: None,
             peer_fault_ppm: 50_000,
+            spans: false,
+            trace_out: None,
         }
     }
 }
@@ -121,6 +135,20 @@ pub struct ClusterDrillReport {
     pub store_bytes: Vec<u64>,
     /// The configured store bound.
     pub eviction_limit: u64,
+    /// Were span planes open? (The span fields below are meaningful only
+    /// when they were.)
+    pub spans_enabled: bool,
+    /// Spans surviving in the fleet's rings (retired lives included).
+    pub spans_total: u64,
+    /// Spans the fleet dropped (ring eviction or injected saturation).
+    pub spans_dropped: u64,
+    /// Roots whose children failed to tile them exactly (must be 0).
+    pub span_partition_violations: usize,
+    /// Traces with spans on two or more members (peer-fetch hops
+    /// stitched across the fleet).
+    pub stitched_traces: usize,
+    /// Fleet-wide per-stage latency table.
+    pub stage_table: StageLatencyTable,
     /// Invariant breaks, each described (empty ⇔ clean).
     pub violations: Vec<String>,
 }
@@ -156,6 +184,16 @@ impl ClusterDrillReport {
             "cluster store_bytes {:?} limit {}\n",
             self.store_bytes, self.eviction_limit
         ));
+        if self.spans_enabled {
+            out.push_str(&format!(
+                "cluster spans total {} dropped {} partition_violations {} stitched_traces {}\n",
+                self.spans_total,
+                self.spans_dropped,
+                self.span_partition_violations,
+                self.stitched_traces
+            ));
+            out.push_str(&self.stage_table.render("cluster"));
+        }
         for violation in &self.violations {
             out.push_str(&format!("cluster VIOLATION {violation}\n"));
         }
@@ -221,8 +259,10 @@ pub fn cluster_drill(config: &ClusterDrillConfig) -> Result<ClusterDrillReport, 
         cache_root: cache_root.clone(),
         eviction_limit: config.eviction_limit,
         peer_fault_ppm: config.peer_fault_ppm,
+        spans: config.spans,
         ..ClusterConfig::default()
     })?;
+    report.spans_enabled = config.spans;
 
     if let Some(dir) = &config.rows_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
@@ -248,6 +288,13 @@ pub fn cluster_drill(config: &ClusterDrillConfig) -> Result<ClusterDrillReport, 
             "healthy pass computed {after1} rows for {} cells (double-compute or lost run)",
             cells.len()
         ));
+    }
+    if config.spans {
+        // The wire-codec cross-check: what member 0 serves on
+        // `GET /v1/spans/bin` must decode to exactly its in-process ring.
+        // The driver is sequential, so nothing lands between the scrape
+        // and the snapshot.
+        check_span_codec(&cluster, &mut report);
     }
 
     // Pass 2: the seeded crash schedule. Before each request the drill
@@ -325,6 +372,47 @@ pub fn cluster_drill(config: &ClusterDrillConfig) -> Result<ClusterDrillReport, 
         report
             .violations
             .push("members died but routing never failed over".to_owned());
+    }
+
+    if config.spans {
+        // Every member is dead by now, so the fleet view is all retired
+        // rings — the complete span record of the drill.
+        let (appended, dropped, spans) = cluster.fleet_spans();
+        report.spans_total = spans.len() as u64;
+        report.spans_dropped = dropped;
+        if appended != spans.len() as u64 + dropped {
+            report.violations.push(format!(
+                "span accounting leak: appended {appended} != surviving {} + dropped {dropped}",
+                spans.len()
+            ));
+        }
+        let partition = partition_violations(&spans);
+        report.span_partition_violations = partition.len();
+        for violation in partition {
+            report
+                .violations
+                .push(format!("span partition: {violation}"));
+        }
+        report.stitched_traces = stitched_traces(&spans);
+        if report.peers >= 2 && report.stitched_traces == 0 {
+            report
+                .violations
+                .push("no trace stitched across members despite a multi-member fleet".to_owned());
+        }
+        report.stage_table.observe_all(&spans);
+        if let Some(path) = &config.trace_out {
+            let exporter = ChromeSpanExporter {
+                clock_hz: PAPER_CLOCK_HZ,
+            };
+            let mut out = Vec::new();
+            if let Err(e) = exporter.export(&spans, &mut out) {
+                report.violations.push(format!("chrome span export: {e}"));
+            } else if let Err(e) = std::fs::write(path, &out) {
+                report
+                    .violations
+                    .push(format!("write {}: {e}", path.display()));
+            }
+        }
     }
 
     if ephemeral_root {
@@ -408,6 +496,57 @@ fn request_and_check(
 fn send_run(addr: SocketAddr, body: &str) -> Result<(u16, String), String> {
     let mut stream = connect_with_retry(&addr.to_string(), Duration::from_millis(500))?;
     http_request(&mut stream, "POST", "/v1/run", Some(body))
+}
+
+/// Scrape member 0's `GET /v1/spans/bin`, decode the wire codec, and
+/// require byte-exact agreement with the in-process ring — the check
+/// that keeps the binary format honest against a live producer.
+fn check_span_codec(cluster: &Cluster, report: &mut ClusterDrillReport) {
+    let fail = |report: &mut ClusterDrillReport, what: &str| {
+        report.violations.push(format!("span codec: {what}"));
+    };
+    let Some(snap) = cluster.member_spans(0) else {
+        return fail(report, "member 0 has no span plane");
+    };
+    let Some(addr) = cluster.addr_of(0) else {
+        return fail(report, "member 0 has no published address");
+    };
+    let scraped = connect_with_retry(&addr.to_string(), Duration::from_millis(500))
+        .and_then(|mut s| http_request(&mut s, "GET", "/v1/spans/bin", None));
+    let bytes = match scraped {
+        Ok((200, body)) => match decode_hex(body.trim()) {
+            Some(bytes) => bytes,
+            None => return fail(report, "scrape body is not hex"),
+        },
+        Ok((status, _)) => return fail(report, &format!("scrape answered {status}")),
+        Err(e) => return fail(report, &format!("scrape failed: {e}")),
+    };
+    if bytes != encode_spans(&snap.records) {
+        return fail(report, "wire bytes differ from the in-process encoding");
+    }
+    match decode_spans(&bytes) {
+        Some(decoded) if decoded == snap.records => {}
+        Some(_) => fail(report, "decoded records differ from the in-process ring"),
+        None => fail(report, "wire bytes fail to decode"),
+    }
+}
+
+/// Strict lowercase-hex decode (the spans endpoint emits lowercase).
+fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    fn nibble(b: u8) -> Option<u8> {
+        match b {
+            b'0'..=b'9' => Some(b - b'0'),
+            b'a'..=b'f' => Some(b - b'a' + 10),
+            _ => None,
+        }
+    }
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    s.chunks(2)
+        .map(|pair| Some(nibble(pair[0])? << 4 | nibble(pair[1])?))
+        .collect()
 }
 
 /// The batch oracle for one cell (no cache, no transport).

@@ -20,7 +20,8 @@ use jvmsim_cache::CacheStore;
 use jvmsim_faults::{splitmix64, FaultPlan, FaultSite};
 use jvmsim_metrics::{CounterId, MetricsEntry, MetricsRegistry};
 use jvmsim_serve::client::http_request;
-use jvmsim_serve::{PeerDirectory, PeerView, RetryPolicy, ServeConfig, Server};
+use jvmsim_serve::{PeerDirectory, PeerView, RetryPolicy, ServeConfig, Server, SpanConfig};
+use jvmsim_spans::{sort_ordinal, SpanRecord};
 
 use crate::ring::{HashRing, DEFAULT_VNODES};
 
@@ -47,6 +48,11 @@ pub struct ClusterConfig {
     pub peer_fault_ppm: u32,
     /// Virtual nodes per member on the ring.
     pub vnodes: usize,
+    /// Open a request span plane on every member. Each life gets its own
+    /// span seed (mixed from the fleet seed, the slot, and the
+    /// generation) so a rejoined member never reissues a dead life's
+    /// trace ids.
+    pub spans: bool,
 }
 
 impl Default for ClusterConfig {
@@ -61,9 +67,13 @@ impl Default for ClusterConfig {
             deadline: Duration::from_secs(120),
             peer_fault_ppm: 0,
             vnodes: DEFAULT_VNODES,
+            spans: false,
         }
     }
 }
+
+/// Seed-stream salt for per-member span planes.
+const SPAN_SEED_SALT: u64 = 0x5BA2_5EED_7ACE_1D5E;
 
 /// One member's admission ledger plus the cluster counters, frozen from
 /// a metrics snapshot. Sums across lives via [`LedgerTotals::absorb`].
@@ -153,6 +163,13 @@ struct Member {
     retired: LedgerTotals,
     /// Ledger balance verdict captured at each death.
     death_ledgers_balanced: Vec<bool>,
+    /// Spans captured from finished lives (the ring is drained at each
+    /// kill, so a death loses accounting for nothing).
+    retired_spans: Vec<SpanRecord>,
+    /// Span append/drop totals from finished lives.
+    retired_spans_appended: u64,
+    /// See [`Member::retired_spans_appended`].
+    retired_spans_dropped: u64,
 }
 
 /// A running fleet.
@@ -187,6 +204,9 @@ impl Cluster {
                     generation: 0,
                     retired: LedgerTotals::default(),
                     death_ledgers_balanced: Vec::new(),
+                    retired_spans: Vec::new(),
+                    retired_spans_appended: 0,
+                    retired_spans_dropped: 0,
                 })
                 .collect(),
             config,
@@ -240,6 +260,19 @@ impl Cluster {
     }
 
     fn start_member(&mut self, i: usize, wipe: bool) -> Result<(), String> {
+        let spans = self.config.spans.then(|| SpanConfig {
+            // Each life draws from its own id stream: mixing the
+            // generation in means a rejoined member cannot collide with
+            // trace ids its previous life already exported.
+            seed: splitmix64(
+                self.config.seed
+                    ^ SPAN_SEED_SALT
+                    ^ ((i as u64) << 8)
+                    ^ u64::from(self.members[i].generation),
+            ),
+            member: i as u32,
+            ..SpanConfig::default()
+        });
         let member = &mut self.members[i];
         if wipe && member.dir.exists() {
             std::fs::remove_dir_all(&member.dir)
@@ -270,6 +303,7 @@ impl Cluster {
                     timeout: Duration::from_secs(1),
                 },
             }),
+            spans,
         };
         let server = Server::start(serve_config).map_err(|e| format!("member {i}: bind: {e}"))?;
         self.directory.set(i, server.local_addr());
@@ -297,6 +331,11 @@ impl Cluster {
             .server
             .take()
             .ok_or_else(|| format!("member {i} is already dead"))?;
+        if let Some(snap) = server.spans_snapshot() {
+            member.retired_spans.extend(snap.records);
+            member.retired_spans_appended += snap.appended;
+            member.retired_spans_dropped += snap.dropped;
+        }
         let totals = LedgerTotals::from_entries(&server.shutdown());
         member.death_ledgers_balanced.push(totals.balanced());
         member.retired.absorb(&totals);
@@ -371,6 +410,37 @@ impl Cluster {
             totals.absorb(&self.member_totals(i));
         }
         totals
+    }
+
+    /// Member `i`'s current-life span snapshot, when it is alive and
+    /// tracing.
+    #[must_use]
+    pub fn member_spans(&self, i: usize) -> Option<jvmsim_serve::SpansSnapshot> {
+        self.members
+            .get(i)
+            .and_then(|m| m.server.as_ref())
+            .and_then(Server::spans_snapshot)
+    }
+
+    /// Every span the fleet has recorded — retired lives plus live
+    /// rings — in ordinal order, with the fleet-wide append/drop totals.
+    /// Returns `(appended, dropped, spans)`.
+    #[must_use]
+    pub fn fleet_spans(&self) -> (u64, u64, Vec<SpanRecord>) {
+        let (mut appended, mut dropped) = (0u64, 0u64);
+        let mut spans = Vec::new();
+        for (i, member) in self.members.iter().enumerate() {
+            appended += member.retired_spans_appended;
+            dropped += member.retired_spans_dropped;
+            spans.extend_from_slice(&member.retired_spans);
+            if let Some(snap) = self.member_spans(i) {
+                appended += snap.appended;
+                dropped += snap.dropped;
+                spans.extend(snap.records);
+            }
+        }
+        sort_ordinal(&mut spans);
+        (appended, dropped, spans)
     }
 
     /// Were all of member `i`'s captured death ledgers balanced?

@@ -60,3 +60,53 @@ fn small_fleet_survives_a_kill_and_a_wiped_rejoin() {
         );
     }
 }
+
+#[test]
+fn traced_drill_partitions_every_root_and_stitches_the_fleet() {
+    let root = std::env::temp_dir().join(format!("jvmsim-cluster-spans-it-{}", std::process::id()));
+    let trace_path = root.join("fleet-trace.json");
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create drill root");
+    let config = ClusterDrillConfig {
+        peers: 2,
+        kill: 1,
+        seed: 11,
+        size: 1,
+        workloads: Some(vec!["db".to_owned(), "jess".to_owned()]),
+        cache_root: Some(root.join("stores")),
+        peer_fault_ppm: 0,
+        spans: true,
+        trace_out: Some(trace_path.clone()),
+        ..ClusterDrillConfig::default()
+    };
+    let report = cluster_drill(&config).expect("drill setup");
+    let trace = std::fs::read_to_string(&trace_path);
+    let _ = std::fs::remove_dir_all(&root);
+
+    assert!(
+        report.is_clean(),
+        "drill violations: {:#?}\n{}",
+        report.violations,
+        report.render_summary()
+    );
+    assert!(report.spans_enabled);
+    assert!(report.spans_total > 0, "a traced drill must record spans");
+    assert_eq!(report.span_partition_violations, 0);
+    // Cold pass-1 misses walk the peer tier, and the peer's /v1/cell
+    // answer is traced under the propagated context — so a 2-member
+    // fleet must stitch at least one trace.
+    assert!(
+        report.stitched_traces >= 1,
+        "no trace crossed the fleet: {}",
+        report.render_summary()
+    );
+    let summary = report.render_summary();
+    assert!(summary.contains("partition_violations 0"), "{summary}");
+    assert!(summary.contains("cluster stage recompute"), "{summary}");
+    let trace = trace.expect("chrome trace written");
+    assert!(trace.contains("\"traceEvents\""), "not a chrome trace");
+    assert!(
+        trace.contains("\"name\":\"member-1\""),
+        "missing fleet lane"
+    );
+}

@@ -107,11 +107,16 @@ pub enum FaultSite {
     /// consistent-hash successor while every surviving ledger stays
     /// balanced.
     MemberCrash,
+    /// The span plane's collection ring refuses a request's span batch as
+    /// if saturated; the plane must count every dropped record so
+    /// `appended + dropped` still covers all finished spans and drill
+    /// invariants are checked only over survivors.
+    SpanBufferSaturation,
 }
 
 impl FaultSite {
     /// Number of distinct sites.
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 17;
 
     /// Every site, in a fixed order (indexing matches [`FaultSite::index`]).
     ///
@@ -135,6 +140,7 @@ impl FaultSite {
         FaultSite::PeerConnDrop,
         FaultSite::PeerSlowRead,
         FaultSite::MemberCrash,
+        FaultSite::SpanBufferSaturation,
     ];
 
     /// Stable index of this site into rate/counter arrays.
@@ -157,6 +163,7 @@ impl FaultSite {
             FaultSite::PeerConnDrop => 13,
             FaultSite::PeerSlowRead => 14,
             FaultSite::MemberCrash => 15,
+            FaultSite::SpanBufferSaturation => 16,
         }
     }
 
@@ -180,6 +187,7 @@ impl FaultSite {
             FaultSite::PeerConnDrop => "peer-conn-drop",
             FaultSite::PeerSlowRead => "peer-slow-read",
             FaultSite::MemberCrash => "member-crash",
+            FaultSite::SpanBufferSaturation => "span-buffer-saturation",
         }
     }
 
@@ -251,6 +259,7 @@ impl FaultPlan {
             .with_rate(FaultSite::PeerConnDrop, 60_000)
             .with_rate(FaultSite::PeerSlowRead, 60_000)
             .with_rate(FaultSite::MemberCrash, 40_000)
+            .with_rate(FaultSite::SpanBufferSaturation, 20_000)
     }
 
     /// True if every rate is zero (the plan can never inject).

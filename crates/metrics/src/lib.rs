@@ -311,20 +311,28 @@ pub enum GaugeId {
     Threads,
     /// Trace-ring capacity in slots.
     TraceCapacity,
+    /// Deepest the serve-plane admission queue ever got (jobs queued at
+    /// the moment of a successful enqueue, high-water mark).
+    ServeQueueDepthHighwater,
 }
 
 impl GaugeId {
     /// Number of gauges (array sizing).
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
 
     /// Every gauge, in dense-index order.
-    pub const ALL: [GaugeId; GaugeId::COUNT] = [GaugeId::Threads, GaugeId::TraceCapacity];
+    pub const ALL: [GaugeId; GaugeId::COUNT] = [
+        GaugeId::Threads,
+        GaugeId::TraceCapacity,
+        GaugeId::ServeQueueDepthHighwater,
+    ];
 
     /// Dense index in `[0, COUNT)`.
     pub fn index(self) -> usize {
         match self {
             GaugeId::Threads => 0,
             GaugeId::TraceCapacity => 1,
+            GaugeId::ServeQueueDepthHighwater => 2,
         }
     }
 
@@ -333,6 +341,7 @@ impl GaugeId {
         match self {
             GaugeId::Threads => "threads",
             GaugeId::TraceCapacity => "trace_capacity",
+            GaugeId::ServeQueueDepthHighwater => "serve_queue_depth_highwater",
         }
     }
 }
@@ -354,11 +363,15 @@ pub enum HistogramId {
     AllocProbeCycles,
     /// Self-timed cycles of one LOCK probe body.
     LockProbeCycles,
+    /// Modeled cycles a served request spent waiting in the admission
+    /// queue (the span plane's `queue_wait` stage, one observation per
+    /// admitted request).
+    ServeQueueWaitCycles,
 }
 
 impl HistogramId {
     /// Number of histograms (array sizing).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every histogram, in dense-index order.
     pub const ALL: [HistogramId; HistogramId::COUNT] = [
@@ -368,6 +381,7 @@ impl HistogramId {
         HistogramId::ServeLatencyMicros,
         HistogramId::AllocProbeCycles,
         HistogramId::LockProbeCycles,
+        HistogramId::ServeQueueWaitCycles,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -379,6 +393,7 @@ impl HistogramId {
             HistogramId::ServeLatencyMicros => 3,
             HistogramId::AllocProbeCycles => 4,
             HistogramId::LockProbeCycles => 5,
+            HistogramId::ServeQueueWaitCycles => 6,
         }
     }
 
@@ -391,6 +406,7 @@ impl HistogramId {
             HistogramId::ServeLatencyMicros => "serve_latency_micros",
             HistogramId::AllocProbeCycles => "alloc_probe_cycles",
             HistogramId::LockProbeCycles => "lock_probe_cycles",
+            HistogramId::ServeQueueWaitCycles => "serve_queue_wait_cycles",
         }
     }
 }

@@ -23,8 +23,9 @@ use jnativeprof::session::SessionSpec;
 pub struct Job {
     /// The validated spec to execute.
     pub spec: SessionSpec,
-    /// Where the worker sends the rendered row (or the run failure).
-    pub reply: mpsc::Sender<Result<String, HarnessError>>,
+    /// Where the worker sends the rendered row and the run's total PCL
+    /// cycles (the span plane's `recompute` stage), or the run failure.
+    pub reply: mpsc::Sender<Result<(String, u64), HarnessError>>,
     /// Set by the connection thread when its deadline fires; a worker
     /// seeing it skips execution entirely, so a request the client
     /// already gave up on is never run (and never double-counted).
@@ -74,14 +75,16 @@ impl AdmissionQueue {
         }
     }
 
-    /// Admit `job`, or refuse it without blocking.
+    /// Admit `job`, or refuse it without blocking. On success, returns
+    /// the number of jobs that were already queued ahead of it — the
+    /// depth the span plane prices its `queue_wait` stage from.
     ///
     /// # Errors
     ///
     /// [`AdmissionError::Full`] at capacity, [`AdmissionError::Closed`]
     /// once draining began. The job is dropped either way (its reply
     /// sender with it, which the requester observes as a disconnect).
-    pub fn try_enqueue(&self, job: Job) -> Result<(), AdmissionError> {
+    pub fn try_enqueue(&self, job: Job) -> Result<usize, AdmissionError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
             return Err(AdmissionError::Closed);
@@ -89,10 +92,11 @@ impl AdmissionQueue {
         if state.jobs.len() >= self.capacity {
             return Err(AdmissionError::Full);
         }
+        let ahead = state.jobs.len();
         state.jobs.push_back(job);
         drop(state);
         self.available.notify_one();
-        Ok(())
+        Ok(ahead)
     }
 
     /// Block until a job is available. `None` once the queue is closed
@@ -145,7 +149,9 @@ mod tests {
     use super::*;
     use workloads::ProblemSize;
 
-    fn job() -> (Job, mpsc::Receiver<Result<String, HarnessError>>) {
+    type ReplyRx = mpsc::Receiver<Result<(String, u64), HarnessError>>;
+
+    fn job() -> (Job, ReplyRx) {
         let (tx, rx) = mpsc::channel();
         (
             Job {
@@ -167,8 +173,8 @@ mod tests {
         let (a, _ra) = job();
         let (b, _rb) = job();
         let (c, _rc) = job();
-        q.try_enqueue(a).unwrap();
-        q.try_enqueue(b).unwrap();
+        assert_eq!(q.try_enqueue(a).unwrap(), 0);
+        assert_eq!(q.try_enqueue(b).unwrap(), 1);
         assert_eq!(q.try_enqueue(c).unwrap_err(), AdmissionError::Full);
         assert_eq!(q.len(), 2);
         q.close();

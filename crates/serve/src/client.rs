@@ -20,6 +20,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use jvmsim_faults::splitmix64;
+use jvmsim_spans::{ms_to_cycles, parse_annotation, SpanStage, StageLatencyTable};
 
 use crate::http::READ_POLL;
 use crate::spec::RunSpec;
@@ -59,6 +60,9 @@ pub struct ClientConfig {
     /// Fetch `GET /v1/cache/stats` after the run and include it in the
     /// report.
     pub fetch_cache_stats: bool,
+    /// When set, scrape `GET /v1/spans` after the run and save the body
+    /// here verbatim (the CI jobs-equality comparison reads these).
+    pub spans_out: Option<PathBuf>,
     /// Send `POST /v1/shutdown` after the run (and the stats fetch).
     pub send_shutdown: bool,
 }
@@ -73,6 +77,7 @@ impl Default for ClientConfig {
             size: 1,
             rows_dir: None,
             fetch_cache_stats: false,
+            spans_out: None,
             send_shutdown: false,
         }
     }
@@ -96,6 +101,11 @@ pub struct ClientReport {
     /// Per-endpoint wall-latency histograms (non-deterministic; printed
     /// to stderr only).
     pub latency: BTreeMap<String, LatencyHistogram>,
+    /// Per-stage cycle histograms built from the daemon's `X-Jvmsim-Span`
+    /// response annotations, plus the client's own `deferred_wait` stage.
+    /// Empty when the daemon serves without tracing. Deterministic under
+    /// sequential load (the cycles are modeled, not measured).
+    pub stages: StageLatencyTable,
     /// `GET /v1/cache/stats` body, when requested.
     pub cache_stats: Option<String>,
 }
@@ -119,6 +129,7 @@ impl ClientReport {
         }
         self.deferred += other.deferred;
         self.transport_errors += other.transport_errors;
+        self.stages.merge(&other.stages);
         for (endpoint, hist) in other.latency {
             let mine = self.latency.entry(endpoint).or_insert([0u64; 65]);
             for (m, h) in mine.iter_mut().zip(hist.iter()) {
@@ -152,6 +163,14 @@ impl ClientReport {
             self.transport_errors
         ));
         out
+    }
+
+    /// The per-stage latency table: one line per observed stage with
+    /// count, mean, p50 and p99 in modeled cycles. Empty (no lines) when
+    /// the daemon served without tracing.
+    #[must_use]
+    pub fn render_stages(&self) -> String {
+        self.stages.render("client")
     }
 
     /// The wall-latency histograms (stderr): nonzero log2 buckets per
@@ -232,11 +251,12 @@ pub fn http_request(
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
-    http_request_full(stream, method, path, body).map(|(status, body, _)| (status, body))
+    http_request_full(stream, method, path, body).map(|(status, body, _, _)| (status, body))
 }
 
-/// [`http_request`] plus the parsed `Retry-After` header (seconds), so
-/// callers can honor the daemon's shed hint instead of retrying hot.
+/// [`http_request`] plus the parsed `Retry-After` header (seconds) and
+/// the raw `X-Jvmsim-Span` annotation, so callers can honor the daemon's
+/// shed hint and attribute per-stage latency.
 ///
 /// # Errors
 ///
@@ -246,7 +266,7 @@ pub fn http_request_full(
     method: &str,
     path: &str,
     body: Option<&str>,
-) -> Result<(u16, String, Option<u64>), String> {
+) -> Result<(u16, String, Option<u64>, Option<String>), String> {
     let body = body.unwrap_or("");
     let request = format!(
         "{method} {path} HTTP/1.1\r\nHost: jvmsim\r\nContent-Length: {}\r\n\r\n{body}",
@@ -258,7 +278,9 @@ pub fn http_request_full(
     read_response(stream)
 }
 
-fn read_response(stream: &mut TcpStream) -> Result<(u16, String, Option<u64>), String> {
+fn read_response(
+    stream: &mut TcpStream,
+) -> Result<(u16, String, Option<u64>, Option<String>), String> {
     stream
         .set_read_timeout(Some(READ_POLL))
         .map_err(|e| format!("set timeout: {e}"))?;
@@ -280,6 +302,7 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String, Option<u64>), S
         .ok_or_else(|| format!("bad status line '{status_line}'"))?;
     let mut content_length = 0usize;
     let mut retry_after = None;
+    let mut span = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
@@ -289,6 +312,8 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String, Option<u64>), S
                     .map_err(|_| "bad content-length".to_owned())?;
             } else if name.eq_ignore_ascii_case("retry-after") {
                 retry_after = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("x-jvmsim-span") {
+                span = Some(value.trim().to_owned());
             }
         }
     }
@@ -300,7 +325,7 @@ fn read_response(stream: &mut TcpStream) -> Result<(u16, String, Option<u64>), S
         .map_err(|_| "non-utf8 body".to_owned())?;
     // Anything past the body would be an unrequested pipelined response.
     buf.truncate(body_start + content_length);
-    Ok((status, body, retry_after))
+    Ok((status, body, retry_after, span))
 }
 
 fn find_header_end(buf: &[u8]) -> Option<usize> {
@@ -361,6 +386,17 @@ pub fn run_client(config: &ClientConfig) -> Result<ClientReport, String> {
             }
         }
     }
+    if let Some(path) = &config.spans_out {
+        let mut stream = connect_with_retry(&config.addr, Duration::from_secs(5))
+            .map_err(|e| format!("spans scrape: {e}"))?;
+        let (status, body) = http_request(&mut stream, "GET", "/v1/spans", None)
+            .map_err(|e| format!("spans scrape: {e}"))?;
+        if status != 200 {
+            return Err(format!("spans scrape: status {status}"));
+        }
+        std::fs::write(path, body.as_bytes())
+            .map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
     if config.send_shutdown {
         if let Ok(mut stream) = connect_with_retry(&config.addr, Duration::from_secs(5)) {
             let _ = http_request(&mut stream, "POST", "/v1/shutdown", None);
@@ -410,8 +446,13 @@ fn connection_loop(config: &ClientConfig, conn: usize) -> ClientReport {
                 },
             };
             match http_request_full(s, method, endpoint, body.as_deref()) {
-                Ok((status, response_body, retry_after)) => {
+                Ok((status, response_body, retry_after, span)) => {
                     report.record(endpoint, status, started.elapsed());
+                    if let Some((_, stages)) = span.as_deref().and_then(parse_annotation) {
+                        for (stage, cycles) in stages {
+                            report.stages.observe(stage, cycles);
+                        }
+                    }
                     if status == 200 {
                         if let (Some(dir), Some(spec)) = (&config.rows_dir, &spec) {
                             let name =
@@ -426,7 +467,15 @@ fn connection_loop(config: &ClientConfig, conn: usize) -> ClientReport {
                         if let Some(secs) = retry_after {
                             deferred_once = true;
                             report.deferred += 1;
-                            std::thread::sleep(deferred_backoff(config.seed, conn, idx, secs));
+                            let wait = deferred_backoff(config.seed, conn, idx, secs);
+                            // The deferral is a client-side stage: attribute
+                            // the seeded sleep in the same cycle domain as
+                            // the daemon's stages.
+                            report.stages.observe(
+                                SpanStage::DeferredWait,
+                                ms_to_cycles(u64::try_from(wait.as_millis()).unwrap_or(u64::MAX)),
+                            );
+                            std::thread::sleep(wait);
                             continue;
                         }
                     }

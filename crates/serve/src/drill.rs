@@ -75,6 +75,7 @@ pub fn chaos_drill(seed: u64) -> Result<DrillReport, String> {
             .with_rate(FaultSite::ServeSlowRead, DRILL_RATE_PPM)
             .with_rate(FaultSite::ServeConnDrop, DRILL_RATE_PPM),
         peers: None,
+        spans: None,
     };
     let server = Server::start(config).map_err(|e| format!("bind: {e}"))?;
     let addr = server.local_addr().to_string();

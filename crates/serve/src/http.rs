@@ -111,6 +111,10 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Retry-After` seconds (load-shedding responses).
     pub retry_after: Option<u32>,
+    /// `X-Jvmsim-Span` value: the request's trace id and per-stage cycle
+    /// breakdown, so a client builds its stage table without scraping
+    /// the span ring. `None` when the request was not traced.
+    pub span: Option<String>,
     /// Send `Connection: close` and drop the connection after writing.
     pub close: bool,
 }
@@ -124,6 +128,7 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             retry_after: None,
+            span: None,
             close: false,
         }
     }
@@ -181,6 +186,9 @@ impl Response {
         let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
         if let Some(secs) = self.retry_after {
             let _ = write!(head, "Retry-After: {secs}\r\n");
+        }
+        if let Some(span) = &self.span {
+            let _ = write!(head, "X-Jvmsim-Span: {span}\r\n");
         }
         let _ = write!(
             head,

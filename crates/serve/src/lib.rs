@@ -43,5 +43,5 @@ pub use client::{deferred_backoff, http_request_full, run_client, ClientConfig, 
 pub use drill::{chaos_drill, DrillReport};
 pub use http::ServeError;
 pub use peer::{PeerDirectory, PeerView, RetryPolicy};
-pub use server::{ServeConfig, Server};
+pub use server::{ServeConfig, Server, SpanConfig, SpansSnapshot};
 pub use spec::RunSpec;

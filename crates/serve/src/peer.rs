@@ -163,19 +163,40 @@ enum Attempt {
     Failed,
 }
 
+/// One wire attempt's record, handed back so the span plane can open one
+/// `peer_fetch` child per attempt with its backoff and payload priced in.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchAttempt {
+    /// Directory slot attempted.
+    pub peer: usize,
+    /// 1-based attempt number against that peer.
+    pub attempt: u32,
+    /// Backoff slept before this attempt (0 for first tries).
+    pub backoff_ms: u64,
+    /// Bytes the attempt brought home (0 unless it found the entry).
+    pub payload_bytes: usize,
+    /// Did this attempt find the entry?
+    pub found: bool,
+}
+
 impl PeerView {
     /// Fetch the cell entry for `key_hex` from the fleet, walking peers
     /// from `self_index + 1` onward (deterministic order) with up to
     /// `policy.attempts` tries per peer. Consults the `peer-conn-drop`
     /// and `peer-slow-read` fault sites before each wire attempt and
-    /// counts every retry in `cluster_retries`. Returns the raw entry
-    /// payload, or `None` when every peer is exhausted (the caller then
-    /// degrades to a local recompute).
+    /// counts every retry in `cluster_retries`. Each wire attempt is
+    /// appended to `attempts` (span attribution) and, when `traceparent`
+    /// is given, carries it so the answering peer's span joins this
+    /// request's trace. Returns the raw entry payload, or `None` when
+    /// every peer is exhausted (the caller then degrades to a local
+    /// recompute).
     pub(crate) fn fetch_entry(
         &self,
         key_hex: &str,
         injector: &FaultInjector,
         shard: &MetricsShard,
+        traceparent: Option<&str>,
+        attempts: &mut Vec<FetchAttempt>,
     ) -> Option<Vec<u8>> {
         let n = self.directory.len();
         for off in 1..=n.saturating_sub(1) {
@@ -184,19 +205,37 @@ impl PeerView {
                 continue;
             };
             for attempt in 1..=self.policy.attempts.max(1) {
-                if attempt > 1 {
+                let backoff_ms = if attempt > 1 {
                     shard.incr(CounterId::ClusterRetries);
-                    std::thread::sleep(self.policy.backoff(idx, attempt));
-                }
+                    let backoff = self.policy.backoff(idx, attempt);
+                    std::thread::sleep(backoff);
+                    u64::try_from(backoff.as_millis()).unwrap_or(u64::MAX)
+                } else {
+                    0
+                };
+                let mut record = FetchAttempt {
+                    peer: idx,
+                    attempt,
+                    backoff_ms,
+                    payload_bytes: 0,
+                    found: false,
+                };
                 // Injected transport faults stand in for the real thing:
                 // a dropped connection or a stalled read both burn this
                 // attempt and fall into the same retry path.
                 if injector.inject(FaultSite::PeerConnDrop).is_some()
                     || injector.inject(FaultSite::PeerSlowRead).is_some()
                 {
+                    attempts.push(record);
                     continue;
                 }
-                match fetch_once(addr, key_hex, self.policy.timeout) {
+                let outcome = fetch_once(addr, key_hex, self.policy.timeout, traceparent);
+                if let Attempt::Found(bytes) = &outcome {
+                    record.payload_bytes = bytes.len();
+                    record.found = true;
+                }
+                attempts.push(record);
+                match outcome {
                     Attempt::Found(bytes) => return Some(bytes),
                     Attempt::Absent => break,
                     Attempt::Failed => {}
@@ -208,8 +247,14 @@ impl PeerView {
 }
 
 /// One wire attempt: `GET /v1/cell/<hex>` with `Connection: close`,
-/// bounded by `timeout` on connect and read.
-fn fetch_once(addr: SocketAddr, key_hex: &str, timeout: Duration) -> Attempt {
+/// bounded by `timeout` on connect and read. A `traceparent` value rides
+/// along so the peer's span stitches into the requester's trace.
+fn fetch_once(
+    addr: SocketAddr,
+    key_hex: &str,
+    timeout: Duration,
+    traceparent: Option<&str>,
+) -> Attempt {
     let Ok(mut stream) = TcpStream::connect_timeout(&addr, timeout) else {
         return Attempt::Failed;
     };
@@ -218,7 +263,11 @@ fn fetch_once(addr: SocketAddr, key_hex: &str, timeout: Duration) -> Attempt {
     {
         return Attempt::Failed;
     }
-    let request = format!("GET /v1/cell/{key_hex} HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let trace_header = traceparent
+        .map(|t| format!("traceparent: {t}\r\n"))
+        .unwrap_or_default();
+    let request =
+        format!("GET /v1/cell/{key_hex} HTTP/1.1\r\n{trace_header}Connection: close\r\n\r\n");
     if stream.write_all(request.as_bytes()).is_err() {
         return Attempt::Failed;
     }
@@ -387,7 +436,12 @@ mod tests {
         };
         let injector = FaultInjector::new(jvmsim_faults::FaultPlan::new(0));
         let registry = jvmsim_metrics::MetricsRegistry::new();
-        assert_eq!(view.fetch_entry("00", &injector, &registry.global()), None);
+        let mut attempts = Vec::new();
+        assert_eq!(
+            view.fetch_entry("00", &injector, &registry.global(), None, &mut attempts),
+            None
+        );
+        assert!(attempts.is_empty(), "no publishable peer, no wire attempt");
     }
 
     #[test]

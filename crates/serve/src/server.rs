@@ -8,8 +8,10 @@
 //!        → [serve-slow-read fault?] → 408
 //!        → route:
 //!            GET  /healthz        → 200 ok
-//!            GET  /v1/metrics     → Prometheus text
+//!            GET  /v1/metrics     → Prometheus text (+ span exemplars)
 //!            GET  /v1/cache/stats → cache counters JSON
+//!            GET  /v1/spans       → ordinal-sorted span ring (JSON)
+//!            GET  /v1/spans/bin   → same snapshot, binary codec (hex)
 //!            POST /v1/shutdown    → begin graceful drain
 //!            POST /v1/run         → cache-first lookup
 //!                                   → hit: row from the result plane
@@ -27,10 +29,21 @@
 //! warm. Wall-clock only exists on the *other* side of the boundary: the
 //! `serve_latency_micros` histogram and the client's own timings, which
 //! never feed artifact bytes.
+//!
+//! # Tracing
+//!
+//! With [`ServeConfig::spans`] set, every `POST /v1/run` and
+//! `GET /v1/cell/…` request opens a root span whose children price each
+//! lifecycle stage in deterministic PCL cycles (the `recompute` stage is
+//! the run's own `total_cycles`; everything else is a pure cost model
+//! over request identity), so sibling stages partition the root exactly
+//! and the whole ring is byte-reproducible at any `--jobs` count. Probe
+//! and scrape endpoints stay untraced so span output is independent of
+//! scrape cadence.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,7 +54,13 @@ use jnativeprof::session::SessionSpec;
 use jvmsim_cache::{CacheKey, CacheStore, Digest, Plane};
 use jvmsim_faults::{FaultInjector, FaultPlan, FaultSite};
 use jvmsim_metrics::{
-    render_prometheus, CounterId, HistogramId, MetricsEntry, MetricsRegistry, MetricsSnapshot,
+    render_prometheus, CounterId, GaugeId, HistogramId, MetricsEntry, MetricsRegistry,
+    MetricsSnapshot,
+};
+use jvmsim_spans::{
+    accept_cost, admission_cost, cache_lookup_cost, encode_spans, peer_attempt_cost,
+    queue_wait_cost, render_annotation, render_exemplars, render_spans_json, response_write_cost,
+    row_encode_cost, SpanBuilder, SpanPlane, SpanRecord, SpanStage,
 };
 
 use crate::admission::{AdmissionError, AdmissionQueue, Job};
@@ -72,6 +91,45 @@ pub struct ServeConfig {
     /// default) keeps the daemon single-node: a local miss goes straight
     /// to the worker pool.
     pub peers: Option<PeerView>,
+    /// Span-plane configuration; `None` (the default) disables tracing
+    /// entirely (no ring, no per-request records, no annotations).
+    pub spans: Option<SpanConfig>,
+}
+
+/// Configuration of the deterministic span plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanConfig {
+    /// Trace-id seed; a fleet derives one per member from its drill seed
+    /// so members never collide on trace ids.
+    pub seed: u64,
+    /// Ring capacity in spans (oldest evicted first, drops counted).
+    pub capacity: usize,
+    /// Fleet slot stamped on every record (0 for single-node daemons).
+    pub member: u32,
+}
+
+impl Default for SpanConfig {
+    fn default() -> SpanConfig {
+        SpanConfig {
+            seed: 0,
+            capacity: 4096,
+            member: 0,
+        }
+    }
+}
+
+/// A snapshot of one daemon's span plane, preserved across shutdowns and
+/// kills by the cluster orchestrator.
+#[derive(Debug, Clone)]
+pub struct SpansSnapshot {
+    /// Fleet slot the plane was stamped with.
+    pub member: u32,
+    /// Spans appended over the plane's lifetime.
+    pub appended: u64,
+    /// Spans dropped (ring eviction + injected saturation).
+    pub dropped: u64,
+    /// Ordinal-sorted surviving records.
+    pub records: Vec<SpanRecord>,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +142,7 @@ impl Default for ServeConfig {
             cache: None,
             faults: FaultPlan::new(0),
             peers: None,
+            spans: None,
         }
     }
 }
@@ -146,6 +205,9 @@ struct Shared {
     queue: AdmissionQueue,
     cache: Option<CacheStore>,
     peers: Option<PeerView>,
+    spans: Option<SpanPlane>,
+    /// Connection ordinal source: accept order, never reused.
+    conn_seq: AtomicU64,
     injector: Arc<FaultInjector>,
     draining: AtomicBool,
     deadline: Duration,
@@ -238,6 +300,10 @@ impl Server {
             queue: AdmissionQueue::new(config.queue),
             cache,
             peers: config.peers,
+            spans: config
+                .spans
+                .map(|s| SpanPlane::new(s.seed, s.member, s.capacity)),
+            conn_seq: AtomicU64::new(0),
             injector: Arc::new(FaultInjector::new(config.faults)),
             draining: AtomicBool::new(false),
             deadline: config.deadline,
@@ -295,6 +361,20 @@ impl Server {
         self.shared.injector.summary()
     }
 
+    /// A snapshot of the span plane (`None` when tracing is off).
+    /// Callable at any point in the daemon's life — the cluster snapshots
+    /// a member's spans just before killing it, so a trace survives the
+    /// daemon that recorded it.
+    #[must_use]
+    pub fn spans_snapshot(&self) -> Option<SpansSnapshot> {
+        self.shared.spans.as_ref().map(|plane| SpansSnapshot {
+            member: plane.member(),
+            appended: plane.appended(),
+            dropped: plane.dropped(),
+            records: plane.snapshot(),
+        })
+    }
+
     /// Drain gracefully and join every thread: stop accepting, finish all
     /// queued and in-flight requests, close idle connections. Returns the
     /// final metric entries (the "flush" of the drain path).
@@ -327,10 +407,14 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 let _ = stream.set_nonblocking(false);
                 let shared = Arc::clone(shared);
                 shared.conns.enter();
+                // The connection ordinal is assigned at accept, in accept
+                // order — one half of every trace id minted on this
+                // connection.
+                let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
                 let spawned = std::thread::Builder::new()
                     .name("serve-conn".to_owned())
                     .spawn(move || {
-                        handle_connection(&shared, stream);
+                        handle_connection(&shared, stream, conn);
                         shared.conns.leave();
                     });
                 if spawned.is_err() {
@@ -346,24 +430,34 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     }
 }
 
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn: u64) {
     if stream.set_read_timeout(Some(READ_POLL)).is_err() {
         return;
     }
+    let mut req_seq: u64 = 0;
     loop {
         let started = Instant::now();
         let request = read_request(&mut stream, shared.deadline, &|| shared.is_draining());
+        let mut span: Option<SpanBuilder> = None;
         let (response, outcome) = match request {
             Ok(request) => {
+                // The request ordinal on this connection — the other half
+                // of the trace id; only parsed requests consume one.
+                let req = req_seq;
+                req_seq += 1;
+                span = open_span(shared, conn, req, &request);
                 // Injected slow read: the request "never finished arriving"
                 // within the deadline — same outcome class as a real stall.
                 if shared.injector.inject(FaultSite::ServeSlowRead).is_some() {
+                    // No lifecycle stage ever ran, so the injected timeout
+                    // stays untraced (just as a real torn read would).
+                    span = None;
                     (
                         Response::text(408, "injected slow read\n").closing(),
                         Outcome::Timeout,
                     )
                 } else {
-                    let (response, outcome) = route(shared, &request, started);
+                    let (response, outcome) = route(shared, &request, started, span.as_mut());
                     // Honor the client's `Connection: close` so one-shot
                     // callers (the peer-fetch tier) see EOF, not a
                     // keep-alive connection idling to their read timeout.
@@ -404,6 +498,10 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         } else {
             response
         };
+        // Seal the span: price the response write (known before the write
+        // happens — the cost model only needs the body length), annotate
+        // the response, and land the records in the ring.
+        let response = finish_span(shared, span, response);
         // Injected connection drop: the response is computed but the peer
         // never sees it. A real failed write lands in the same outcome
         // class; either way the request is accounted exactly once.
@@ -417,13 +515,94 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
-fn route(shared: &Arc<Shared>, request: &Request, started: Instant) -> (Response, Outcome) {
+/// Open the root span for a traced request. Only the request-serving
+/// endpoints (`POST /v1/run` and the peer supply side `GET /v1/cell/…`)
+/// are traced: probes and scrapes record nothing, so span output never
+/// depends on scrape cadence. The `traceparent` header, when present and
+/// well-formed, stitches this span into the sender's trace.
+fn open_span(shared: &Arc<Shared>, conn: u64, req: u64, request: &Request) -> Option<SpanBuilder> {
+    let plane = shared.spans.as_ref()?;
+    let traced = (request.method == "POST" && request.path == "/v1/run")
+        || (request.method == "GET" && request.path.starts_with("/v1/cell/"));
+    if !traced {
+        return None;
+    }
+    let mut span = SpanBuilder::begin(
+        plane.seed(),
+        plane.member(),
+        conn,
+        req,
+        request.header("traceparent"),
+    );
+    let wire_bytes = request.path.len() + request.body.len();
+    span.stage(
+        SpanStage::Accept,
+        accept_cost(wire_bytes),
+        wire_bytes as u64,
+    );
+    Some(span)
+}
+
+/// Close a request's span: price the response write, stamp the
+/// annotation header, push the records.
+fn finish_span(
+    shared: &Arc<Shared>,
+    span: Option<SpanBuilder>,
+    mut response: Response,
+) -> Response {
+    let Some(mut span) = span else {
+        return response;
+    };
+    span.stage(
+        SpanStage::ResponseWrite,
+        response_write_cost(response.body.len()),
+        response.body.len() as u64,
+    );
+    let records = span.finish(response.status);
+    response.span = Some(render_annotation(&records));
+    if let Some(plane) = &shared.spans {
+        plane.push(records, &shared.injector);
+    }
+    response
+}
+
+fn route(
+    shared: &Arc<Shared>,
+    request: &Request,
+    started: Instant,
+    span: Option<&mut SpanBuilder>,
+) -> (Response, Outcome) {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => (Response::text(200, "ok\n"), Outcome::Served { hit: false }),
-        ("GET", "/v1/metrics") => (
-            Response::text(200, render_prometheus(&shared.metric_entries())),
-            Outcome::Served { hit: false },
-        ),
+        ("GET", "/v1/metrics") => {
+            let mut body = render_prometheus(&shared.metric_entries());
+            if let Some(plane) = &shared.spans {
+                body.push_str(&render_exemplars(&plane.snapshot()));
+            }
+            (Response::text(200, body), Outcome::Served { hit: false })
+        }
+        ("GET", "/v1/spans") => {
+            let body = match &shared.spans {
+                None => "{\"enabled\":false}\n".to_owned(),
+                Some(plane) => render_spans_json(
+                    plane.member(),
+                    plane.appended(),
+                    plane.dropped(),
+                    &plane.snapshot(),
+                ),
+            };
+            (Response::json(200, body), Outcome::Served { hit: false })
+        }
+        ("GET", "/v1/spans/bin") => match &shared.spans {
+            None => (Response::text(404, "spans disabled\n"), Outcome::Error),
+            Some(plane) => (
+                Response::text(
+                    200,
+                    format!("{}\n", hex_encode(&encode_spans(&plane.snapshot()))),
+                ),
+                Outcome::Served { hit: false },
+            ),
+        },
         ("GET", "/v1/cache/stats") => {
             let body = match &shared.cache {
                 None => "{\"enabled\":false}\n".to_owned(),
@@ -445,11 +624,12 @@ fn route(shared: &Arc<Shared>, request: &Request, started: Instant) -> (Response
                 Outcome::Served { hit: false },
             )
         }
-        ("POST", "/v1/run") => handle_run(shared, &request.body, started),
-        ("GET", path) if path.starts_with("/v1/cell/") => handle_cell(shared, path),
+        ("POST", "/v1/run") => handle_run(shared, &request.body, started, span),
+        ("GET", path) if path.starts_with("/v1/cell/") => handle_cell(shared, path, span),
         (
             "GET" | "POST",
-            "/healthz" | "/v1/metrics" | "/v1/cache/stats" | "/v1/shutdown" | "/v1/run",
+            "/healthz" | "/v1/metrics" | "/v1/cache/stats" | "/v1/shutdown" | "/v1/run"
+            | "/v1/spans" | "/v1/spans/bin",
         ) => (Response::text(405, "method not allowed\n"), Outcome::Error),
         (_, path) if path.starts_with("/v1/cell/") => {
             (Response::text(405, "method not allowed\n"), Outcome::Error)
@@ -462,17 +642,28 @@ fn route(shared: &Arc<Shared>, request: &Request, started: Instant) -> (Response
 /// hex-encoded cell-result entry for the given key digest, `404` when
 /// the local store does not hold it. The store digest-verifies the
 /// payload on lookup, so a peer can never export a torn entry.
-fn handle_cell(shared: &Arc<Shared>, path: &str) -> (Response, Outcome) {
+fn handle_cell(
+    shared: &Arc<Shared>,
+    path: &str,
+    span: Option<&mut SpanBuilder>,
+) -> (Response, Outcome) {
     let hex = path.strip_prefix("/v1/cell/").unwrap_or("");
     let Some(digest) = Digest::from_hex(hex) else {
         return (Response::text(400, "bad cell key\n"), Outcome::Error);
     };
     let key = CacheKey::from_digest(digest);
-    match shared
+    let looked_up = shared
         .cache
         .as_ref()
-        .and_then(|store| store.lookup(Plane::CellResult, &key))
-    {
+        .and_then(|store| store.lookup(Plane::CellResult, &key));
+    if let Some(span) = span {
+        span.stage(
+            SpanStage::CacheLookup,
+            cache_lookup_cost(looked_up.as_deref().map(<[u8]>::len)),
+            looked_up.as_deref().map_or(0, |b| b.len() as u64),
+        );
+    }
+    match looked_up {
         Some(bytes) => (
             Response::text(200, format!("{}\n", hex_encode(&bytes))),
             Outcome::Served { hit: false },
@@ -489,21 +680,51 @@ fn error_json(error: &HarnessError) -> String {
     )
 }
 
-fn handle_run(shared: &Arc<Shared>, body: &[u8], started: Instant) -> (Response, Outcome) {
+fn handle_run(
+    shared: &Arc<Shared>,
+    body: &[u8],
+    started: Instant,
+    mut span: Option<&mut SpanBuilder>,
+) -> (Response, Outcome) {
     let spec = match RunSpec::from_json(body).and_then(|r| r.to_session_spec()) {
-        Ok(spec) => spec,
-        Err(error) => return (Response::json(400, error_json(&error)), Outcome::Error),
+        Ok(spec) => {
+            if let Some(s) = span.as_deref_mut() {
+                s.stage(SpanStage::Admission, admission_cost(), 0);
+            }
+            spec
+        }
+        Err(error) => {
+            if let Some(s) = span.as_deref_mut() {
+                s.stage(SpanStage::Admission, admission_cost(), 1);
+            }
+            return (Response::json(400, error_json(&error)), Outcome::Error);
+        }
     };
     // Cache-first: a warm identity never touches the queue. Every hit is
     // digest-verified by the store; a verified frame whose payload does
     // not decode is quarantined and falls through to a fresh run.
     if let Some(store) = &shared.cache {
         if let Ok(key) = spec.with_session(|s| s.result_key()) {
-            if let Some(bytes) = store.lookup(Plane::CellResult, &key) {
+            let looked_up = store.lookup(Plane::CellResult, &key);
+            if let Some(s) = span.as_deref_mut() {
+                s.stage(
+                    SpanStage::CacheLookup,
+                    cache_lookup_cost(looked_up.as_deref().map(<[u8]>::len)),
+                    looked_up.as_deref().map_or(0, |b| b.len() as u64),
+                );
+            }
+            if let Some(bytes) = looked_up {
                 match decode_cell_entry(&bytes) {
                     Some((cell, _sites)) => {
                         let row =
                             cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell);
+                        if let Some(s) = span.as_deref_mut() {
+                            s.stage(
+                                SpanStage::RowEncode,
+                                row_encode_cost(row.len()),
+                                row.len() as u64,
+                            );
+                        }
                         return (Response::json(200, row), Outcome::Served { hit: true });
                     }
                     None => store.quarantine(Plane::CellResult, &key),
@@ -513,10 +734,32 @@ fn handle_run(shared: &Arc<Shared>, body: &[u8], started: Instant) -> (Response,
             // A peer that already owns this identity hands the entry
             // over; it is decode-validated here, stored locally, and
             // served as a hit. Exhausting every peer degrades to the
-            // worker pool below.
+            // worker pool below. The outgoing traceparent carries this
+            // request's root span, so the answering peer's span joins
+            // this trace — the fleet stitch.
             if let Some(view) = &shared.peers {
                 let shard = shared.registry.global();
-                let fetched = view.fetch_entry(&key.digest().to_hex(), &shared.injector, &shard);
+                let traceparent = span.as_deref().map(SpanBuilder::traceparent);
+                let mut attempts = Vec::new();
+                let fetched = view.fetch_entry(
+                    &key.digest().to_hex(),
+                    &shared.injector,
+                    &shard,
+                    traceparent.as_deref(),
+                    &mut attempts,
+                );
+                if let Some(s) = span.as_deref_mut() {
+                    for a in &attempts {
+                        let detail = ((a.peer as u64) << 32)
+                            | u64::from(a.attempt)
+                            | (u64::from(a.found) << 63);
+                        s.stage(
+                            SpanStage::PeerFetch,
+                            peer_attempt_cost(a.backoff_ms, a.payload_bytes),
+                            detail,
+                        );
+                    }
+                }
                 match fetched.as_deref().and_then(decode_cell_entry) {
                     Some((cell, _sites)) => {
                         shard.incr(CounterId::ClusterPeerHits);
@@ -525,6 +768,13 @@ fn handle_run(shared: &Arc<Shared>, body: &[u8], started: Instant) -> (Response,
                         }
                         let row =
                             cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell);
+                        if let Some(s) = span.as_deref_mut() {
+                            s.stage(
+                                SpanStage::RowEncode,
+                                row_encode_cost(row.len()),
+                                row.len() as u64,
+                            );
+                        }
                         return (Response::json(200, row), Outcome::Served { hit: true });
                     }
                     None => shard.incr(CounterId::ClusterPeerMisses),
@@ -551,11 +801,34 @@ fn handle_run(shared: &Arc<Shared>, body: &[u8], started: Instant) -> (Response,
                 Outcome::Error,
             );
         }
-        Ok(()) => {}
+        Ok(ahead) => {
+            // Queue wait is priced per job ahead at enqueue: 0 under
+            // sequential load, which is exactly what keeps drill spans
+            // `--jobs` invariant. The depth gauge counts this job too.
+            let wait = queue_wait_cost(ahead);
+            let shard = shared.registry.global();
+            shard.gauge_max(GaugeId::ServeQueueDepthHighwater, ahead as u64 + 1);
+            shard.observe(HistogramId::ServeQueueWaitCycles, wait);
+            if let Some(s) = span.as_deref_mut() {
+                s.stage(SpanStage::QueueWait, wait, ahead as u64);
+            }
+        }
     }
     let remaining = shared.deadline.saturating_sub(started.elapsed());
     match reply_rx.recv_timeout(remaining) {
-        Ok(Ok(row)) => (Response::json(200, row), Outcome::Served { hit: false }),
+        Ok(Ok((row, cycles))) => {
+            if let Some(s) = span {
+                // The one genuinely measured stage: the run's own PCL
+                // total, itself a pure function of the spec.
+                s.stage(SpanStage::Recompute, cycles, 0);
+                s.stage(
+                    SpanStage::RowEncode,
+                    row_encode_cost(row.len()),
+                    row.len() as u64,
+                );
+            }
+            (Response::json(200, row), Outcome::Served { hit: false })
+        }
         Ok(Err(error)) => (Response::json(500, error_json(&error)), Outcome::Error),
         Err(_) => {
             // Deadline or a dead worker pool: either way the requester is
@@ -587,7 +860,7 @@ fn worker_loop(shared: &Arc<Shared>) {
 /// This is the only place the serve plane runs workloads; the fault
 /// injector is deliberately *not* attached to the session, so transport
 /// chaos can never perturb row bytes.
-fn execute_job(shared: &Arc<Shared>, spec: &SessionSpec) -> Result<String, HarnessError> {
+fn execute_job(shared: &Arc<Shared>, spec: &SessionSpec) -> Result<(String, u64), HarnessError> {
     let registry = MetricsRegistry::new();
     let run = spec.with_session(|mut session| {
         session = session.metrics(registry.clone());
@@ -614,10 +887,10 @@ fn execute_job(shared: &Arc<Shared>, spec: &SessionSpec) -> Result<String, Harne
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .absorb(&registry.snapshot());
-    Ok(cell_row_json(
-        &spec.workload,
-        spec.agent.label(),
-        spec.size.0,
-        &cell,
+    // The row plus the run's total cycles — the span plane's `recompute`
+    // stage, and like the row itself a pure function of the spec.
+    Ok((
+        cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell),
+        cell.total_cycles,
     ))
 }

@@ -1,0 +1,104 @@
+//! End-to-end tracing over the full workload × agent matrix: a traced
+//! daemon serves all 40 cells and every request's child spans must
+//! partition its root exactly — the invariant is asserted both from the
+//! response annotations (the client view) and from the daemon's span
+//! ring (the fleet view).
+
+use std::time::Duration;
+
+use jvmsim_cache::CacheStore;
+use jvmsim_serve::client::connect_with_retry;
+use jvmsim_serve::{http_request_full, RunSpec, ServeConfig, Server, SpanConfig};
+use jvmsim_spans::{parse_annotation, partition_violations, SpanStage};
+
+const WORKLOADS: [&str; 8] = [
+    "compress",
+    "jess",
+    "db",
+    "javac",
+    "mpegaudio",
+    "mtrt",
+    "jack",
+    "jbb",
+];
+
+const AGENTS: [&str; 5] = ["original", "spa", "ipa", "alloc", "lock"];
+
+#[test]
+fn every_cell_of_the_matrix_partitions_its_root_exactly() {
+    let tmp = std::env::temp_dir().join(format!("jvmsim-spans-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let server = Server::start(ServeConfig {
+        cache: Some(CacheStore::open(&tmp).expect("open cache")),
+        spans: Some(SpanConfig {
+            seed: 7,
+            capacity: 8192,
+            member: 0,
+        }),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+
+    let mut stream = connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
+    let mut cells = 0u64;
+    for workload in WORKLOADS {
+        for agent in AGENTS {
+            let spec = RunSpec {
+                workload: workload.to_owned(),
+                agent: agent.to_owned(),
+                size: 1,
+            };
+            let (status, body, _, span) =
+                http_request_full(&mut stream, "POST", "/v1/run", Some(&spec.to_json()))
+                    .expect("run request");
+            assert_eq!(status, 200, "{workload}/{agent}: {body}");
+            let span = span.unwrap_or_else(|| panic!("{workload}/{agent}: no span annotation"));
+            let (_, stages) = parse_annotation(&span)
+                .unwrap_or_else(|| panic!("{workload}/{agent}: bad annotation {span:?}"));
+            // The annotation repeats the invariant: root == Σ stages.
+            let root: u64 = stages
+                .iter()
+                .filter(|(s, _)| *s == SpanStage::Root)
+                .map(|(_, c)| *c)
+                .sum();
+            let children: u64 = stages
+                .iter()
+                .filter(|(s, _)| *s != SpanStage::Root)
+                .map(|(_, c)| *c)
+                .sum();
+            assert_eq!(
+                root, children,
+                "{workload}/{agent}: annotation does not partition: {span:?}"
+            );
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 40);
+
+    let snap = server.spans_snapshot().expect("tracing is on");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    assert_eq!(snap.dropped, 0, "ring must hold the whole matrix");
+    assert_eq!(snap.appended, snap.records.len() as u64);
+    let roots = snap
+        .records
+        .iter()
+        .filter(|r| r.stage == SpanStage::Root)
+        .count();
+    assert_eq!(roots, 40, "one root span per matrix cell");
+    let violations = partition_violations(&snap.records);
+    assert!(
+        violations.is_empty(),
+        "partition violations: {violations:#?}"
+    );
+    // Every cell recomputed exactly once (cold store): 40 recompute
+    // stages carrying the genuine PCL cycles.
+    let recomputes = snap
+        .records
+        .iter()
+        .filter(|r| r.stage == SpanStage::Recompute)
+        .count();
+    assert_eq!(recomputes, 40);
+}

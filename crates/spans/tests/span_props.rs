@@ -1,0 +1,112 @@
+//! Property tests over the span plane's two wire surfaces: the binary
+//! codec must round-trip any record set bit-exactly and fail *closed*
+//! (never panic, never return garbage) on truncated or mutated bytes,
+//! and the `traceparent` parser must treat any malformed header as
+//! absent rather than fatal.
+
+use proptest::prelude::*;
+
+use jvmsim_spans::{
+    decode_spans, encode_spans, parse_annotation, parse_traceparent, render_traceparent,
+    SpanBuilder, SpanRecord, SpanStage, TraceId,
+};
+
+fn arb_stage() -> impl Strategy<Value = SpanStage> {
+    (0usize..SpanStage::COUNT).prop_map(|i| SpanStage::from_index(i).unwrap())
+}
+
+/// Structurally arbitrary records: the codec must round-trip anything,
+/// including sets that violate the partition invariant.
+fn arb_record() -> impl Strategy<Value = SpanRecord> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+        arb_stage(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((trace_hi, trace_lo, span_id, parent_span), (member, conn, req), stage, rest)| {
+                SpanRecord {
+                    trace_hi,
+                    trace_lo,
+                    span_id,
+                    parent_span,
+                    member,
+                    conn,
+                    req,
+                    stage,
+                    start_cycles: rest.0,
+                    duration_cycles: rest.1,
+                    detail: rest.2,
+                }
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn codec_round_trips_any_record_set(records in proptest::collection::vec(arb_record(), 0..48)) {
+        let bytes = encode_spans(&records);
+        prop_assert_eq!(decode_spans(&bytes), Some(records));
+    }
+
+    #[test]
+    fn truncation_never_panics_and_never_decodes(
+        records in proptest::collection::vec(arb_record(), 1..16),
+        cut in 0usize..4096,
+    ) {
+        let bytes = encode_spans(&records);
+        let cut = cut % bytes.len(); // every strict prefix
+        // Every strict prefix must be rejected: the codec carries an
+        // exact count and a strict cursor, so a partial write can never
+        // pass for a complete export.
+        prop_assert_eq!(decode_spans(&bytes[..cut]), None);
+    }
+
+    #[test]
+    fn mutation_never_panics(
+        records in proptest::collection::vec(arb_record(), 1..16),
+        pos in 0usize..4096,
+        xor in 1u32..256,
+    ) {
+        let mut bytes = encode_spans(&records);
+        let pos = pos % bytes.len();
+        #[allow(clippy::cast_possible_truncation)]
+        let xor = xor as u8;
+        bytes[pos] ^= xor;
+        // Fail closed or reject — either way, no panic. A flip inside a
+        // record payload still decodes (payload bytes are unconstrained
+        // except the stage discriminant); header or count damage must not.
+        let _ = decode_spans(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_spans(&bytes);
+    }
+
+    #[test]
+    fn malformed_traceparent_is_ignored_not_fatal(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Any parse outcome is fine; what matters is no panic, and that
+        // a builder handed the header still opens a usable root span.
+        let header = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_traceparent(&header);
+        let mut builder = SpanBuilder::begin(7, 0, 1, 2, Some(&header));
+        builder.stage(SpanStage::Accept, 10, 0);
+        let records = builder.finish(200);
+        prop_assert_eq!(records[0].stage, SpanStage::Root);
+        prop_assert!(records[0].trace_hi != 0 || records[0].trace_lo != 0);
+    }
+
+    #[test]
+    fn well_formed_traceparent_round_trips(hi in any::<u64>(), lo in any::<u64>(), parent in any::<u64>()) {
+        let trace = TraceId { hi, lo: if hi == 0 && lo == 0 { 1 } else { lo } };
+        let header = render_traceparent(trace, parent);
+        prop_assert_eq!(parse_traceparent(&header), Some((trace, parent)));
+    }
+
+    #[test]
+    fn malformed_annotations_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = parse_annotation(&String::from_utf8_lossy(&bytes));
+    }
+}
