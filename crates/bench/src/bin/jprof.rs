@@ -11,11 +11,13 @@
 //! jprof report [--jobs N] [--size N] [--format table|prom|json]
 //!              [--out FILE]
 //! jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
-//!             [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
-//!             [--spans 1] [--span-seed S] [--span-capacity N]
+//!             [--idle-ms N] [--metrics PATH] [--cache-dir DIR]
+//!             [--no-cache 1] [--spans 1] [--span-seed S] [--span-capacity N]
 //! jprof client [--addr HOST:PORT] [--connections N] [--requests M]
 //!              [--seed S] [--size N] [--rows DIR] [--cache-stats 1]
 //!              [--shutdown 1] [--spans-out FILE]
+//!              [--open-loop 1] [--hold-ms N] [--run-every N]
+//!              [--connect-burst N]
 //! jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
 //!           [--cache-dir DIR] [--no-cache 1]
 //! jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
@@ -50,7 +52,12 @@
 //! cell-row bytes the batch driver writes (cache-first when `--cache-dir`
 //! is shared with batch runs). `client` is the matching closed-loop
 //! deterministic load generator; its status-count summary goes to stdout
-//! and its wall-latency histograms to stderr. `run` executes a single
+//! and its wall-latency histograms to stderr. `client --open-loop 1`
+//! instead holds `--connections` keep-alive connections open at once
+//! (every `--run-every`-th one issuing `--requests` requests) for
+//! `--hold-ms`, reporting held counts on stdout and p50/p99 wall latency
+//! on stderr — the C10k validation mode against the readiness event
+//! loop. `run` executes a single
 //! cell and prints that same canonical row — the batch-side anchor the
 //! CI serve job `cmp`s served responses against. `serve --spans 1` opens
 //! a deterministic root span per request with child spans per lifecycle
@@ -95,7 +102,10 @@ use jnativeprof::session::{Session, SessionSpec};
 use jvmsim_cache::{CacheStore, Plane};
 use jvmsim_cluster::{cluster_drill, ClusterDrillConfig};
 use jvmsim_metrics::{render_json, render_prometheus, MetricsEntry};
-use jvmsim_serve::{chaos_drill, run_client, ClientConfig, ServeConfig, Server, SpanConfig};
+use jvmsim_serve::{
+    chaos_drill, run_client, run_open_loop, ClientConfig, OpenLoopConfig, ServeConfig, Server,
+    SpanConfig,
+};
 use jvmsim_trace::{export, TraceRecorder};
 use jvmsim_vm::{TraceEventKind, TraceSink};
 use nativeprof_bench::{
@@ -115,11 +125,12 @@ usage:
               [--cache-dir DIR] [--no-cache 1]
   jprof report [--jobs N] [--size N] [--format table|prom|json] [--out FILE]
   jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
-              [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
+              [--idle-ms N] [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
               [--spans 1] [--span-seed S] [--span-capacity N]
   jprof client [--addr HOST:PORT] [--connections N] [--requests M] [--seed S]
                [--size N] [--rows DIR] [--cache-stats 1] [--shutdown 1]
-               [--spans-out FILE]
+               [--spans-out FILE] [--open-loop 1] [--hold-ms N]
+               [--run-every N] [--connect-burst N]
   jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
             [--cache-dir DIR] [--no-cache 1]
   jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
@@ -530,6 +541,7 @@ fn cmd_serve(args: &[String]) -> Result<(), HarnessError> {
             "--jobs",
             "--queue",
             "--deadline-ms",
+            "--idle-ms",
             "--metrics",
             "--cache-dir",
             "--no-cache",
@@ -550,6 +562,7 @@ fn cmd_serve(args: &[String]) -> Result<(), HarnessError> {
         jobs: flags.get_parsed("--jobs")?.unwrap_or(2),
         queue: flags.get_parsed("--queue")?.unwrap_or(16),
         deadline: Duration::from_millis(flags.get_parsed("--deadline-ms")?.unwrap_or(30_000)),
+        idle: flags.get_parsed("--idle-ms")?.map(Duration::from_millis),
         cache: flags.cache()?,
         faults: jvmsim_faults::FaultPlan::new(0),
         peers: None,
@@ -588,8 +601,40 @@ fn cmd_client(args: &[String]) -> Result<(), HarnessError> {
             "--cache-stats",
             "--shutdown",
             "--spans-out",
+            "--open-loop",
+            "--hold-ms",
+            "--run-every",
+            "--connect-burst",
         ],
     )?;
+    if flags.truthy("--open-loop") {
+        let defaults = OpenLoopConfig::default();
+        let config = OpenLoopConfig {
+            addr: flags.get("--addr").unwrap_or("127.0.0.1:8126").to_owned(),
+            connections: flags
+                .get_parsed("--connections")?
+                .unwrap_or(defaults.connections),
+            hold: flags
+                .get_parsed("--hold-ms")?
+                .map_or(defaults.hold, Duration::from_millis),
+            run_every: flags
+                .get_parsed("--run-every")?
+                .unwrap_or(defaults.run_every),
+            requests: flags.get_parsed("--requests")?.unwrap_or(defaults.requests),
+            connect_burst: flags
+                .get_parsed("--connect-burst")?
+                .unwrap_or(defaults.connect_burst),
+            seed: flags.get_parsed("--seed")?.unwrap_or(0),
+            size: flags.get_parsed("--size")?.unwrap_or(1),
+            rows_dir: flags.get("--rows").map(std::path::PathBuf::from),
+            send_shutdown: flags.truthy("--shutdown"),
+        };
+        let report = run_open_loop(&config)
+            .map_err(|e| HarnessError::Artifact(format!("open loop: {e}")))?;
+        print!("{}", report.render_summary());
+        eprint!("{}", report.render_latency());
+        return Ok(());
+    }
     let config = ClientConfig {
         addr: flags.get("--addr").unwrap_or("127.0.0.1:8126").to_owned(),
         connections: flags.get_parsed("--connections")?.unwrap_or(2),

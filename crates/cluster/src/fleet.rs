@@ -290,6 +290,7 @@ impl Cluster {
             jobs: self.config.jobs,
             queue: self.config.queue,
             deadline: self.config.deadline,
+            idle: None,
             cache: Some(store.clone()),
             faults,
             peers: Some(PeerView {

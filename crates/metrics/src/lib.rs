@@ -182,11 +182,14 @@ pub enum CounterId {
     ClusterFailovers,
     /// Cache entries evicted by bounded-store compaction.
     ClusterEvictions,
+    /// Serve-plane connections accepted by the event loop over the
+    /// daemon's lifetime (keep-alive connections count once).
+    ServeConnsAccepted,
 }
 
 impl CounterId {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 33;
+    pub const COUNT: usize = 34;
 
     /// Every counter, in dense-index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -223,6 +226,7 @@ impl CounterId {
         CounterId::ClusterRetries,
         CounterId::ClusterFailovers,
         CounterId::ClusterEvictions,
+        CounterId::ServeConnsAccepted,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -261,6 +265,7 @@ impl CounterId {
             CounterId::ClusterRetries => 30,
             CounterId::ClusterFailovers => 31,
             CounterId::ClusterEvictions => 32,
+            CounterId::ServeConnsAccepted => 33,
         }
     }
 
@@ -300,6 +305,7 @@ impl CounterId {
             CounterId::ClusterRetries => "cluster_retries",
             CounterId::ClusterFailovers => "cluster_failovers",
             CounterId::ClusterEvictions => "cluster_evictions",
+            CounterId::ServeConnsAccepted => "serve_conns_accepted",
         }
     }
 }
@@ -314,17 +320,21 @@ pub enum GaugeId {
     /// Deepest the serve-plane admission queue ever got (jobs queued at
     /// the moment of a successful enqueue, high-water mark).
     ServeQueueDepthHighwater,
+    /// Most connections the event loop ever held open at once
+    /// (high-water mark) — the C10k headline number.
+    ServeOpenConnsHighwater,
 }
 
 impl GaugeId {
     /// Number of gauges (array sizing).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every gauge, in dense-index order.
     pub const ALL: [GaugeId; GaugeId::COUNT] = [
         GaugeId::Threads,
         GaugeId::TraceCapacity,
         GaugeId::ServeQueueDepthHighwater,
+        GaugeId::ServeOpenConnsHighwater,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -333,6 +343,7 @@ impl GaugeId {
             GaugeId::Threads => 0,
             GaugeId::TraceCapacity => 1,
             GaugeId::ServeQueueDepthHighwater => 2,
+            GaugeId::ServeOpenConnsHighwater => 3,
         }
     }
 
@@ -342,6 +353,7 @@ impl GaugeId {
             GaugeId::Threads => "threads",
             GaugeId::TraceCapacity => "trace_capacity",
             GaugeId::ServeQueueDepthHighwater => "serve_queue_depth_highwater",
+            GaugeId::ServeOpenConnsHighwater => "serve_open_conns_highwater",
         }
     }
 }

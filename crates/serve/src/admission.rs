@@ -1,32 +1,46 @@
-//! The admission controller: a bounded queue between connection threads
-//! and the fixed worker pool.
+//! The admission controller: a bounded queue into the worker pool, and a
+//! completion board back out of it.
 //!
-//! Connection threads never execute runs; they [`try_enqueue`] a
-//! [`Job`] and wait on its reply channel under the request deadline.
-//! A full queue sheds the request immediately (the caller answers
+//! The event loop never executes runs; it [`try_enqueue`]s a [`Job`]
+//! carrying a routing token and moves on to the next readiness event. A
+//! full queue sheds the request immediately (the caller answers
 //! `429 Retry-After`) — the queue is the *only* buffer, so a traffic
 //! spike costs `capacity` queued specs, never unbounded memory. On
 //! drain the queue closes: already-queued jobs still execute (finish
 //! in-flight), new arrivals are refused.
 //!
+//! A worker finishing a job does not own a reply channel; it posts a
+//! [`Completion`] onto the shared [`CompletionBoard`] and nudges the
+//! loop's [`Notifier`]. The loop drains the board on its next wakeup and
+//! routes each completion back to its connection by token — a token with
+//! no connection (deadline fired, peer hung up) is simply dropped; the
+//! row is already in the cache for the retry.
+//!
 //! [`try_enqueue`]: AdmissionQueue::try_enqueue
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use jnativeprof::harness::HarnessError;
 use jnativeprof::session::SessionSpec;
+use polling::Notifier;
+
+use crate::peer::FetchAttempt;
 
 /// One queued run request.
 #[derive(Debug)]
 pub struct Job {
     /// The validated spec to execute.
     pub spec: SessionSpec,
-    /// Where the worker sends the rendered row and the run's total PCL
-    /// cycles (the span plane's `recompute` stage), or the run failure.
-    pub reply: mpsc::Sender<Result<(String, u64), HarnessError>>,
-    /// Set by the connection thread when its deadline fires; a worker
+    /// Routing token: the loop maps the eventual [`Completion`] back to
+    /// the waiting connection through it. Tokens are minted from one
+    /// monotonic counter and never reused.
+    pub token: u64,
+    /// The requester's root-span context, carried to the peer-fetch tier
+    /// so an answering peer's span joins this request's trace.
+    pub traceparent: Option<String>,
+    /// Set by the loop when the request's deadline fires; a worker
     /// seeing it skips execution entirely, so a request the client
     /// already gave up on is never run (and never double-counted).
     pub abandoned: Arc<AtomicBool>,
@@ -37,6 +51,65 @@ impl Job {
     #[must_use]
     pub fn is_abandoned(&self) -> bool {
         self.abandoned.load(Ordering::Acquire)
+    }
+}
+
+/// What a finished job hands back to the loop.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// The canonical row JSON — byte-identical to the batch artifact.
+    pub row: String,
+    /// The run's total PCL cycles (the span plane's `recompute` stage);
+    /// meaningless when `hit` (nothing was recomputed).
+    pub cycles: u64,
+    /// Was the row supplied by a peer's cache instead of a recompute?
+    pub hit: bool,
+    /// Every peer-fetch wire attempt, for span attribution.
+    pub attempts: Vec<FetchAttempt>,
+}
+
+/// One finished job: the token it was queued under plus its result.
+#[derive(Debug)]
+pub struct Completion {
+    /// Routing token of the originating [`Job`].
+    pub token: u64,
+    /// The row (or harness failure) the worker produced.
+    pub result: Result<JobOutput, HarnessError>,
+}
+
+/// Where workers post finished jobs for the loop to collect.
+///
+/// A plain mutex-guarded vector plus the loop's [`Notifier`]: posting is
+/// O(1) and wakes the loop exactly when there is something to route,
+/// with no per-job channel allocation.
+pub struct CompletionBoard {
+    completed: Mutex<Vec<Completion>>,
+    notifier: Notifier,
+}
+
+impl CompletionBoard {
+    /// A board that wakes `notifier` on every post.
+    #[must_use]
+    pub fn new(notifier: Notifier) -> CompletionBoard {
+        CompletionBoard {
+            completed: Mutex::new(Vec::new()),
+            notifier,
+        }
+    }
+
+    /// Post one finished job and wake the loop.
+    pub fn post(&self, completion: Completion) {
+        self.completed
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(completion);
+        self.notifier.notify();
+    }
+
+    /// Take everything posted since the last drain (loop thread only).
+    #[must_use]
+    pub fn drain(&self) -> Vec<Completion> {
+        std::mem::take(&mut self.completed.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -82,8 +155,7 @@ impl AdmissionQueue {
     /// # Errors
     ///
     /// [`AdmissionError::Full`] at capacity, [`AdmissionError::Closed`]
-    /// once draining began. The job is dropped either way (its reply
-    /// sender with it, which the requester observes as a disconnect).
+    /// once draining began. The job is dropped either way.
     pub fn try_enqueue(&self, job: Job) -> Result<usize, AdmissionError> {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         if state.closed {
@@ -149,40 +221,31 @@ mod tests {
     use super::*;
     use workloads::ProblemSize;
 
-    type ReplyRx = mpsc::Receiver<Result<(String, u64), HarnessError>>;
-
-    fn job() -> (Job, ReplyRx) {
-        let (tx, rx) = mpsc::channel();
-        (
-            Job {
-                spec: SessionSpec::new(
-                    "compress",
-                    jnativeprof::harness::AgentChoice::None,
-                    ProblemSize::S1,
-                ),
-                reply: tx,
-                abandoned: Arc::new(AtomicBool::new(false)),
-            },
-            rx,
-        )
+    fn job(token: u64) -> Job {
+        Job {
+            spec: SessionSpec::new(
+                "compress",
+                jnativeprof::harness::AgentChoice::None,
+                ProblemSize::S1,
+            ),
+            token,
+            traceparent: None,
+            abandoned: Arc::new(AtomicBool::new(false)),
+        }
     }
 
     #[test]
     fn sheds_at_capacity_and_refuses_after_close() {
         let q = AdmissionQueue::new(2);
-        let (a, _ra) = job();
-        let (b, _rb) = job();
-        let (c, _rc) = job();
-        assert_eq!(q.try_enqueue(a).unwrap(), 0);
-        assert_eq!(q.try_enqueue(b).unwrap(), 1);
-        assert_eq!(q.try_enqueue(c).unwrap_err(), AdmissionError::Full);
+        assert_eq!(q.try_enqueue(job(0)).unwrap(), 0);
+        assert_eq!(q.try_enqueue(job(1)).unwrap(), 1);
+        assert_eq!(q.try_enqueue(job(2)).unwrap_err(), AdmissionError::Full);
         assert_eq!(q.len(), 2);
         q.close();
-        let (d, _rd) = job();
-        assert_eq!(q.try_enqueue(d).unwrap_err(), AdmissionError::Closed);
+        assert_eq!(q.try_enqueue(job(3)).unwrap_err(), AdmissionError::Closed);
         // Queued-before-close jobs still drain, then the pool exit signal.
-        assert!(q.dequeue().is_some());
-        assert!(q.dequeue().is_some());
+        assert_eq!(q.dequeue().map(|j| j.token), Some(0));
+        assert_eq!(q.dequeue().map(|j| j.token), Some(1));
         assert!(q.dequeue().is_none());
     }
 
@@ -196,8 +259,7 @@ mod tests {
             (first, second)
         });
         std::thread::sleep(std::time::Duration::from_millis(50));
-        let (a, _ra) = job();
-        q.try_enqueue(a).unwrap();
+        q.try_enqueue(job(0)).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(50));
         q.close();
         let (first, second) = consumer.join().unwrap();
@@ -207,9 +269,44 @@ mod tests {
 
     #[test]
     fn abandoned_flag_is_visible_to_workers() {
-        let (j, _r) = job();
+        let j = job(0);
         assert!(!j.is_abandoned());
         j.abandoned.store(true, Ordering::Release);
         assert!(j.is_abandoned());
+    }
+
+    #[test]
+    fn board_collects_posts_and_wakes_the_notifier() {
+        let poller = polling::Poller::new().unwrap();
+        let board = Arc::new(CompletionBoard::new(poller.notifier()));
+        let poster = {
+            let board = Arc::clone(&board);
+            std::thread::spawn(move || {
+                board.post(Completion {
+                    token: 41,
+                    result: Err(HarnessError::Vm("x".to_owned())),
+                });
+                board.post(Completion {
+                    token: 42,
+                    result: Ok(JobOutput {
+                        row: "{}".to_owned(),
+                        cycles: 7,
+                        hit: false,
+                        attempts: Vec::new(),
+                    }),
+                });
+            })
+        };
+        // The notifier must wake a blocked wait even with no fd events.
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(std::time::Duration::from_secs(5)))
+            .unwrap();
+        poster.join().unwrap();
+        let drained = board.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].token, 41);
+        assert!(drained[1].result.is_ok());
+        assert!(board.drain().is_empty(), "drain empties the board");
     }
 }

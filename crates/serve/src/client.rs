@@ -22,8 +22,8 @@ use std::time::{Duration, Instant};
 use jvmsim_faults::splitmix64;
 use jvmsim_spans::{ms_to_cycles, parse_annotation, SpanStage, StageLatencyTable};
 
-use crate::http::READ_POLL;
-use crate::spec::RunSpec;
+use crate::http::{ParsedResponse, ResponseParser, READ_POLL};
+use crate::spec::{ApiError, RunSpec};
 
 /// Workloads the generator draws from (the SPECjvm98-shaped set).
 const WORKLOADS: [&str; 8] = [
@@ -278,6 +278,9 @@ pub fn http_request_full(
     read_response(stream)
 }
 
+/// The one response-decode path every caller in this crate shares:
+/// `/v1/run`, `/v1/spans`, the drill, and the open-loop mode all land
+/// here, and the framing rules are the shared [`ResponseParser`]'s.
 fn read_response(
     stream: &mut TcpStream,
 ) -> Result<(u16, String, Option<u64>, Option<String>), String> {
@@ -285,74 +288,39 @@ fn read_response(
         .set_read_timeout(Some(READ_POLL))
         .map_err(|e| format!("set timeout: {e}"))?;
     let deadline = Instant::now() + Duration::from_secs(120);
-    let mut buf: Vec<u8> = Vec::new();
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        fill(stream, &mut buf, deadline)?;
-    };
-    let head = std::str::from_utf8(&buf[..header_end]).map_err(|_| "non-utf8 head".to_owned())?;
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().ok_or("empty response")?;
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("bad status line '{status_line}'"))?;
-    let mut content_length = 0usize;
-    let mut retry_after = None;
-    let mut span = None;
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| "bad content-length".to_owned())?;
-            } else if name.eq_ignore_ascii_case("retry-after") {
-                retry_after = value.trim().parse().ok();
-            } else if name.eq_ignore_ascii_case("x-jvmsim-span") {
-                span = Some(value.trim().to_owned());
-            }
-        }
-    }
-    let body_start = header_end + 4;
-    while buf.len() < body_start + content_length {
-        fill(stream, &mut buf, deadline)?;
-    }
-    let body = String::from_utf8(buf[body_start..body_start + content_length].to_vec())
-        .map_err(|_| "non-utf8 body".to_owned())?;
-    // Anything past the body would be an unrequested pipelined response.
-    buf.truncate(body_start + content_length);
-    Ok((status, body, retry_after, span))
-}
-
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-fn fill(stream: &mut TcpStream, buf: &mut Vec<u8>, deadline: Instant) -> Result<(), String> {
+    let mut parser = ResponseParser::new();
     let mut chunk = [0u8; 4096];
     loop {
+        if let Some(parsed) = parser.try_next(false)? {
+            return convert(parsed);
+        }
         if Instant::now() >= deadline {
             return Err("response deadline elapsed".to_owned());
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-response".to_owned()),
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                return Ok(());
+            Ok(0) => {
+                // EOF completes an unframed body; a torn framed body is
+                // a transport failure, never a silent truncation.
+                return match parser.try_next(true)? {
+                    Some(parsed) => convert(parsed),
+                    None => Err("connection closed mid-response".to_owned()),
+                };
             }
+            Ok(n) => parser.push(&chunk[..n]),
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
             Err(e) => return Err(format!("read: {e}")),
         }
     }
+    // A dropped parser discards any pipelined surplus — the client never
+    // requested it, so it must not leak into the next decode.
+}
+
+/// Flatten a [`ParsedResponse`] into the tuple shape the call sites use.
+fn convert(parsed: ParsedResponse) -> Result<(u16, String, Option<u64>, Option<String>), String> {
+    let body = String::from_utf8(parsed.body).map_err(|_| "non-utf8 body".to_owned())?;
+    Ok((parsed.status, body, parsed.retry_after, parsed.span))
 }
 
 /// Run the closed-loop load and aggregate every connection's report.
@@ -464,7 +432,15 @@ fn connection_loop(config: &ClientConfig, conn: usize) -> ClientReport {
                         stream = None;
                     }
                     if status == 429 && !deferred_once {
-                        if let Some(secs) = retry_after {
+                        // The shed hint rides both the Retry-After header
+                        // and the typed error envelope; honor either, so
+                        // a proxy that strips headers still defers.
+                        let hint = retry_after.or_else(|| {
+                            ApiError::decode(status, response_body.as_bytes())
+                                .and_then(|e| e.retry_after)
+                                .map(u64::from)
+                        });
+                        if let Some(secs) = hint {
                             deferred_once = true;
                             report.deferred += 1;
                             let wait = deferred_backoff(config.seed, conn, idx, secs);
@@ -489,6 +465,259 @@ fn connection_loop(config: &ClientConfig, conn: usize) -> ClientReport {
         }
     }
     report
+}
+
+/// Open-loop (C10k) configuration: hold `connections` keep-alive
+/// connections against the daemon at once while a deterministic subset
+/// issues requests. Unlike the closed loop, offered concurrency is fixed
+/// by flag, not by service latency — the point is to prove the readiness
+/// event loop holds ten thousand idle sockets while a small worker pool
+/// keeps serving, and to measure tail latency while it does.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Daemon address, `host:port`.
+    pub addr: String,
+    /// Connections to open and hold concurrently.
+    pub connections: usize,
+    /// How long to keep the full set open after the request phase (idle
+    /// connections just sit in the daemon's event loop).
+    pub hold: Duration,
+    /// Every `run_every`-th connection is *active* and issues requests;
+    /// `0` means every connection idles.
+    pub run_every: usize,
+    /// Requests each active connection issues.
+    pub requests: usize,
+    /// Connections opened per burst before a 1ms breather, pacing the
+    /// SYN backlog so the accept loop keeps up.
+    pub connect_burst: usize,
+    /// Seed for the deterministic request mix.
+    pub seed: u64,
+    /// Problem size every generated run spec uses.
+    pub size: u32,
+    /// When set, each distinct `POST /v1/run` 200 body is saved here (same
+    /// naming as the closed loop) for byte-comparison against batch rows.
+    pub rows_dir: Option<PathBuf>,
+    /// Send `POST /v1/shutdown` after the hold expires.
+    pub send_shutdown: bool,
+}
+
+impl Default for OpenLoopConfig {
+    fn default() -> OpenLoopConfig {
+        OpenLoopConfig {
+            addr: "127.0.0.1:8126".to_owned(),
+            connections: 10_000,
+            hold: Duration::from_secs(2),
+            run_every: 100,
+            requests: 4,
+            connect_burst: 256,
+            seed: 0,
+            size: 1,
+            rows_dir: None,
+            send_shutdown: false,
+        }
+    }
+}
+
+/// What one open-loop run observed.
+#[derive(Debug)]
+pub struct OpenLoopReport {
+    /// Connections the run was asked to hold.
+    pub target: usize,
+    /// Connections actually held concurrently at the peak.
+    pub held: usize,
+    /// Connections that never established within the connect budget.
+    pub connect_failures: u64,
+    /// `(endpoint, status) -> count` over the active subset.
+    pub status_counts: BTreeMap<(String, u16), u64>,
+    /// Requests that died below HTTP.
+    pub transport_errors: u64,
+    /// Raw per-request wall latencies in microseconds (insertion order).
+    pub samples_micros: Vec<u64>,
+    /// The same samples bucketed into the log2 histogram shape the
+    /// closed loop uses.
+    pub latency: LatencyHistogram,
+}
+
+impl Default for OpenLoopReport {
+    fn default() -> OpenLoopReport {
+        OpenLoopReport {
+            target: 0,
+            held: 0,
+            connect_failures: 0,
+            status_counts: BTreeMap::new(),
+            transport_errors: 0,
+            samples_micros: Vec::new(),
+            latency: [0u64; 65],
+        }
+    }
+}
+
+impl OpenLoopReport {
+    fn record(&mut self, endpoint: &str, status: u16, elapsed: Duration) {
+        *self
+            .status_counts
+            .entry((endpoint.to_owned(), status))
+            .or_insert(0) += 1;
+        let micros = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        self.samples_micros.push(micros);
+        self.latency[latency_bucket(micros)] += 1;
+    }
+
+    /// `(p50, p99)` over the recorded samples, in microseconds.
+    #[must_use]
+    pub fn percentiles(&self) -> (u64, u64) {
+        let mut sorted = self.samples_micros.clone();
+        sorted.sort_unstable();
+        (
+            percentile_micros(&sorted, 50),
+            percentile_micros(&sorted, 99),
+        )
+    }
+
+    /// The deterministic summary (stdout): target/held/connect-failure
+    /// lines, then the same sorted `(endpoint, status)` lines as the
+    /// closed loop, then transport errors.
+    #[must_use]
+    pub fn render_summary(&self) -> String {
+        let mut out = format!(
+            "client open_loop target {}\nclient open_loop held {}\nclient open_loop connect_failures {}\n",
+            self.target, self.held, self.connect_failures
+        );
+        for ((endpoint, status), count) in &self.status_counts {
+            out.push_str(&format!("client {endpoint} {status} {count}\n"));
+        }
+        out.push_str(&format!(
+            "client transport_errors {}\n",
+            self.transport_errors
+        ));
+        out
+    }
+
+    /// The wall-latency view (stderr): p50/p99 plus the nonzero log2
+    /// buckets. Non-deterministic; never feeds artifact bytes.
+    #[must_use]
+    pub fn render_latency(&self) -> String {
+        let (p50, p99) = self.percentiles();
+        let mut out = format!(
+            "open_loop latency_us p50={p50} p99={p99} samples={}\nlatency open_loop:",
+            self.samples_micros.len()
+        );
+        for (i, count) in self.latency.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            if i == 0 {
+                out.push_str(&format!(" [0us]={count}"));
+            } else {
+                out.push_str(&format!(" [2^{}us,2^{i}us)={count}", i - 1));
+            }
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// The `pct`-th percentile of an ascending-sorted sample set (nearest
+/// rank on `(len - 1) * pct / 100`); `0` when empty.
+#[must_use]
+pub fn percentile_micros(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() - 1) * usize::try_from(pct.min(100)).unwrap_or(100) / 100;
+    sorted[rank]
+}
+
+/// Run the open loop: connect the full set in paced bursts, drive the
+/// active subset through the shared request path, then hold everything
+/// open until `hold` expires.
+///
+/// # Errors
+///
+/// Only setup failures (an unwritable `rows_dir`); connect and request
+/// failures are *counted*, not fatal.
+pub fn run_open_loop(config: &OpenLoopConfig) -> Result<OpenLoopReport, String> {
+    if let Some(dir) = &config.rows_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let mut report = OpenLoopReport {
+        target: config.connections,
+        ..OpenLoopReport::default()
+    };
+    let mut held: Vec<TcpStream> = Vec::with_capacity(config.connections);
+    let burst = config.connect_burst.max(1);
+    while held.len() + usize::try_from(report.connect_failures).unwrap_or(usize::MAX)
+        < config.connections
+    {
+        let missing =
+            config.connections - held.len() - usize::try_from(report.connect_failures).unwrap_or(0);
+        for _ in 0..burst.min(missing) {
+            match connect_with_retry(&config.addr, Duration::from_secs(10)) {
+                Ok(stream) => held.push(stream),
+                Err(_) => report.connect_failures += 1,
+            }
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    report.held = held.len();
+    let hold_until = Instant::now() + config.hold;
+    if config.run_every > 0 && config.requests > 0 {
+        for slot in (0..held.len()).step_by(config.run_every) {
+            for idx in 0..config.requests {
+                // Mostly runs with a sprinkle of health probes, same
+                // seeded mix discipline as the closed loop.
+                let h = splitmix64(config.seed ^ ((slot as u64) << 32) ^ idx as u64);
+                let (endpoint, method, body, spec) = if h % 8 == 7 {
+                    ("/healthz", "GET", None, None)
+                } else {
+                    let spec = pick_spec(config.seed, slot, idx, config.size);
+                    ("/v1/run", "POST", Some(spec.to_json()), Some(spec))
+                };
+                let started = Instant::now();
+                match http_request_full(&mut held[slot], method, endpoint, body.as_deref()) {
+                    Ok((status, response_body, _, _)) => {
+                        report.record(endpoint, status, started.elapsed());
+                        if status == 200 {
+                            if let (Some(dir), Some(spec)) = (&config.rows_dir, &spec) {
+                                let name = format!(
+                                    "run-{}-{}-{}.json",
+                                    spec.workload, spec.agent, spec.size
+                                );
+                                let _ = std::fs::write(dir.join(name), response_body.as_bytes());
+                            }
+                        } else if let Ok(fresh) =
+                            connect_with_retry(&config.addr, Duration::from_secs(10))
+                        {
+                            // Error envelopes close (or may close) the
+                            // stream; replace it so the held count stays
+                            // at target for the rest of the run.
+                            held[slot] = fresh;
+                        }
+                    }
+                    Err(_) => {
+                        report.transport_errors += 1;
+                        if let Ok(fresh) = connect_with_retry(&config.addr, Duration::from_secs(10))
+                        {
+                            held[slot] = fresh;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The hold phase: every connection — active and idle — stays open so
+    // the daemon's event loop carries the full set at once.
+    let remaining = hold_until.saturating_duration_since(Instant::now());
+    if !remaining.is_zero() {
+        std::thread::sleep(remaining);
+    }
+    drop(held);
+    if config.send_shutdown {
+        if let Ok(mut stream) = connect_with_retry(&config.addr, Duration::from_secs(5)) {
+            let _ = http_request(&mut stream, "POST", "/v1/shutdown", None);
+        }
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -546,6 +775,72 @@ mod tests {
         }
         // Different seeds defer differently somewhere in the stream.
         assert!((0..8).any(|i| deferred_backoff(1, 0, i, 2) != deferred_backoff(2, 0, i, 2)));
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank_on_sorted_samples() {
+        assert_eq!(percentile_micros(&[], 99), 0);
+        assert_eq!(percentile_micros(&[7], 50), 7);
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_micros(&sorted, 0), 1);
+        assert_eq!(percentile_micros(&sorted, 50), 50);
+        assert_eq!(percentile_micros(&sorted, 99), 99);
+        assert_eq!(percentile_micros(&sorted, 100), 100);
+        // Out-of-range percentiles clamp instead of indexing out.
+        assert_eq!(percentile_micros(&sorted, 250), 100);
+    }
+
+    #[test]
+    fn open_loop_summary_is_sorted_and_carries_held_counts() {
+        let mut report = OpenLoopReport {
+            target: 4,
+            held: 4,
+            ..OpenLoopReport::default()
+        };
+        report.record("/v1/run", 200, Duration::from_micros(8));
+        report.record("/healthz", 200, Duration::from_micros(2));
+        assert_eq!(
+            report.render_summary(),
+            "client open_loop target 4\nclient open_loop held 4\n\
+             client open_loop connect_failures 0\nclient /healthz 200 1\n\
+             client /v1/run 200 1\nclient transport_errors 0\n"
+        );
+        let (p50, p99) = report.percentiles();
+        assert!(p50 <= p99);
+        assert!(report.render_latency().contains("samples=2"));
+    }
+
+    #[test]
+    fn open_loop_holds_a_small_fleet_against_a_live_daemon() {
+        use crate::server::{ServeConfig, Server};
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            jobs: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind");
+        let report = run_open_loop(&OpenLoopConfig {
+            addr: server.local_addr().to_string(),
+            connections: 48,
+            hold: Duration::from_millis(50),
+            run_every: 8,
+            requests: 2,
+            connect_burst: 16,
+            seed: 3,
+            ..OpenLoopConfig::default()
+        })
+        .expect("open loop");
+        assert_eq!(report.held, 48, "all connections must establish");
+        assert_eq!(report.connect_failures, 0);
+        assert_eq!(report.transport_errors, 0, "{:?}", report.status_counts);
+        let answered: u64 = report.status_counts.values().sum();
+        assert_eq!(answered, 12, "6 active conns x 2 requests");
+        assert_eq!(report.samples_micros.len(), 12);
+        let entries = server.shutdown();
+        let highwater = entries[0]
+            .snapshot
+            .gauge(jvmsim_metrics::GaugeId::ServeOpenConnsHighwater);
+        assert!(highwater >= 48, "highwater {highwater} must see the fleet");
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub fn chaos_drill(seed: u64) -> Result<DrillReport, String> {
         jobs: 2,
         queue: 8,
         deadline: Duration::from_secs(30),
+        idle: None,
         cache: None,
         faults: FaultPlan::new(seed)
             .with_rate(FaultSite::ServeSlowRead, DRILL_RATE_PPM)

@@ -1,5 +1,5 @@
-//! A minimal hand-rolled HTTP/1.1 layer: request parsing, fixed-length
-//! (chunked-free) responses, keep-alive, and read deadlines.
+//! A minimal hand-rolled HTTP/1.1 layer: incremental request parsing,
+//! fixed-length (chunked-free) responses, keep-alive, and read deadlines.
 //!
 //! This is deliberately the smallest slice of HTTP the daemon needs —
 //! `Content-Length` bodies only, no transfer encodings, no continuations
@@ -7,6 +7,24 @@
 //! the header block is capped at [`MAX_HEADER_BYTES`] and the body at
 //! [`MAX_BODY_BYTES`], both answered with a typed [`ServeError`] rather
 //! than unbounded buffering.
+//!
+//! The core types are *sans-io* push parsers, so the same state machines
+//! serve every transport style in the crate:
+//!
+//! * [`RequestParser`] — feed it bytes as they arrive ([`push`]), take
+//!   complete requests out ([`try_next`]). The event-loop server drives
+//!   it from nonblocking reads; pipelined bytes beyond one request stay
+//!   buffered as the start of the next.
+//! * [`ResponseParser`] — the one response-decode path shared by the
+//!   load-gen client and the peer-fetch tier (`Content-Length` framing
+//!   with an at-EOF fallback for unframed bodies).
+//! * [`read_request`] — the blocking convenience wrapper over
+//!   [`RequestParser`] (generic over [`Read`]; the fuzz suite drives it
+//!   with adversarial chunkings), preserving the strict one-request
+//!   framing the sequential call sites expect.
+//!
+//! [`push`]: RequestParser::push
+//! [`try_next`]: RequestParser::try_next
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -76,7 +94,7 @@ impl std::fmt::Display for ServeError {
 impl std::error::Error for ServeError {}
 
 /// One parsed request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Request {
     /// Uppercase method token (`GET`, `POST`, …).
     pub method: String,
@@ -168,14 +186,12 @@ impl Response {
         }
     }
 
-    /// Serialize and write the response.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::Io`] if the socket write fails (peer gone).
-    pub fn write(&self, stream: &mut TcpStream) -> Result<(), ServeError> {
+    /// Serialize to the exact wire bytes (status line, headers, body) —
+    /// what the event loop queues on a connection's out-buffer.
+    #[must_use]
+    pub fn render(&self) -> Vec<u8> {
         use std::fmt::Write as _;
-        let mut head = String::with_capacity(160);
+        let mut head = String::with_capacity(160 + self.body.len());
         let _ = write!(
             head,
             "HTTP/1.1 {} {}\r\n",
@@ -195,74 +211,133 @@ impl Response {
             "Connection: {}\r\n\r\n",
             if self.close { "close" } else { "keep-alive" }
         );
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Serialize and write the response.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket write fails (peer gone).
+    pub fn write(&self, stream: &mut TcpStream) -> Result<(), ServeError> {
         stream
-            .write_all(head.as_bytes())
-            .and_then(|()| stream.write_all(&self.body))
+            .write_all(&self.render())
             .and_then(|()| stream.flush())
             .map_err(|e| ServeError::Io(e.to_string()))
     }
 }
 
-/// Read one request off a keep-alive connection, polling `is_draining`
-/// and the `deadline` while blocked.
+/// Incremental, pipelining-capable HTTP/1.1 request parser.
 ///
-/// Generic over [`Read`] so the parser can be driven by arbitrary byte
-/// sources (the fuzz tests feed it adversarial chunkings); the daemon
-/// passes a [`TcpStream`] with a read timeout of [`READ_POLL`] installed
-/// (the connection loop sets it once). Each poll tick (`WouldBlock`)
-/// re-checks the drain flag and the per-request read deadline, so a
-/// stalled peer costs at most one tick after the deadline and a drain
-/// never waits on an idle connection.
-///
-/// # Errors
-///
-/// * [`ServeError::Closed`] — clean close before any byte of a request.
-/// * [`ServeError::Draining`] — drain began before any byte of a request.
-/// * [`ServeError::ReadTimeout`] — deadline elapsed mid-request.
-/// * [`ServeError::Malformed`] / size variants — parse failures.
-/// * [`ServeError::Io`] — transport failure.
-pub fn read_request<R: Read>(
-    stream: &mut R,
-    deadline: Duration,
-    is_draining: &dyn Fn() -> bool,
-) -> Result<Request, ServeError> {
-    let start = Instant::now();
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    // Phase 1: the header block.
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
-            break pos;
-        }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(ServeError::HeadersTooLarge);
-        }
-        match stream.read(&mut chunk) {
-            Ok(0) => {
-                return if buf.is_empty() {
-                    Err(ServeError::Closed)
-                } else {
-                    Err(ServeError::Malformed("eof mid-headers".into()))
-                };
-            }
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if buf.is_empty() && is_draining() {
-                    return Err(ServeError::Draining);
+/// Push bytes in as they arrive; take complete [`Request`]s out. Bytes
+/// beyond one complete request stay buffered as the start of the next —
+/// the event-loop server's keep-alive framing. All the limits of
+/// [`read_request`] apply incrementally: an over-long header block or
+/// declared body fails as soon as it is detectable, never after
+/// unbounded buffering. Errors are terminal — the caller answers the
+/// mapped status and closes.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// `\r\n\r\n` scan resume point (avoids re-scanning on every push).
+    scanned: usize,
+    /// Parsed head waiting on `content_length` body bytes.
+    pending: Option<(Request, usize)>,
+    /// Total complete requests produced (framing diagnostics).
+    parsed: u64,
+}
+
+impl RequestParser {
+    /// An empty parser.
+    #[must_use]
+    pub fn new() -> RequestParser {
+        RequestParser::default()
+    }
+
+    /// Feed bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered toward the next (incomplete) request.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() + self.pending.as_ref().map_or(0, |(r, _)| r.body.len())
+    }
+
+    /// Has this parser consumed any bytes of an in-progress request?
+    /// Distinguishes an idle keep-alive connection (clean close / drain
+    /// allowed) from one mid-request (deadline applies).
+    #[must_use]
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty() || self.pending.is_some()
+    }
+
+    /// Complete requests produced so far.
+    #[must_use]
+    pub fn parsed(&self) -> u64 {
+        self.parsed
+    }
+
+    /// Is a complete head buffered, awaiting its body? (Separates an
+    /// `eof mid-headers` diagnosis from `eof mid-body`.)
+    #[must_use]
+    pub fn awaiting_body(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Try to complete one request from the buffered bytes.
+    ///
+    /// Returns `Ok(None)` while more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// The same taxonomy as [`read_request`]: malformed head, size-limit
+    /// violations. Terminal for the connection.
+    pub fn try_next(&mut self) -> Result<Option<Request>, ServeError> {
+        if self.pending.is_none() {
+            let Some(header_end) = self.find_header_end() else {
+                if self.buf.len() > MAX_HEADER_BYTES {
+                    return Err(ServeError::HeadersTooLarge);
                 }
-                if start.elapsed() >= deadline {
-                    return if buf.is_empty() {
-                        Err(ServeError::Closed)
-                    } else {
-                        Err(ServeError::ReadTimeout)
-                    };
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(ServeError::Io(e.to_string())),
+                return Ok(None);
+            };
+            let (request, content_length) = parse_head(&self.buf[..header_end])?;
+            self.buf.drain(..header_end + 4);
+            self.scanned = 0;
+            self.pending = Some((request, content_length));
         }
-    };
-    let head = std::str::from_utf8(&buf[..header_end])
+        let Some((_, content_length)) = self.pending.as_ref() else {
+            return Ok(None);
+        };
+        if self.buf.len() < *content_length {
+            return Ok(None);
+        }
+        let (mut request, content_length) = self.pending.take().unwrap_or_default();
+        request.body = self.buf.drain(..content_length).collect();
+        self.parsed += 1;
+        Ok(Some(request))
+    }
+
+    fn find_header_end(&mut self) -> Option<usize> {
+        let from = self.scanned.saturating_sub(3);
+        let found = self.buf[from..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + from);
+        if found.is_none() {
+            self.scanned = self.buf.len();
+        }
+        found
+    }
+}
+
+/// Parse a request head (everything before the `\r\n\r\n`): request
+/// line, headers, and the validated `Content-Length`.
+fn parse_head(head: &[u8]) -> Result<(Request, usize), ServeError> {
+    let head = std::str::from_utf8(head)
         .map_err(|_| ServeError::Malformed("non-utf8 header block".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
@@ -297,36 +372,216 @@ pub fn read_request<R: Read>(
     if content_length > MAX_BODY_BYTES {
         return Err(ServeError::BodyTooLarge);
     }
-    // Phase 2: the body.
-    let body_start = header_end + 4;
-    let mut body: Vec<u8> = buf[body_start.min(buf.len())..].to_vec();
-    while body.len() < content_length {
+    Ok((
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            headers,
+            body: Vec::new(),
+        },
+        content_length,
+    ))
+}
+
+/// One decoded response off the wire — the shared client/peer view.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body bytes (exactly `Content-Length` when framed, everything to
+    /// EOF otherwise).
+    pub body: Vec<u8>,
+    /// Parsed `Retry-After` seconds, when present.
+    pub retry_after: Option<u64>,
+    /// Raw `X-Jvmsim-Span` annotation, when present.
+    pub span: Option<String>,
+    /// Did the sender announce `Connection: close`?
+    pub close: bool,
+}
+
+/// Incremental HTTP/1.1 *response* parser — the one decode path every
+/// client in this crate uses (`jprof client`, the open-loop C10k mode,
+/// and the peer-fetch tier). `Content-Length` frames the body when
+/// present; an unframed body is complete only at EOF. Bytes beyond a
+/// framed response stay buffered for the next one (keep-alive safe).
+#[derive(Debug, Default)]
+pub struct ResponseParser {
+    buf: Vec<u8>,
+    scanned: usize,
+    /// Parsed head waiting on its body: `(response, framed_length)`.
+    pending: Option<(ParsedResponse, Option<usize>)>,
+}
+
+impl ResponseParser {
+    /// An empty parser.
+    #[must_use]
+    pub fn new() -> ResponseParser {
+        ResponseParser::default()
+    }
+
+    /// Feed bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered toward the next (incomplete) response.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is a response partially buffered (head seen or bytes pending)?
+    #[must_use]
+    pub fn mid_response(&self) -> bool {
+        !self.buf.is_empty() || self.pending.is_some()
+    }
+
+    /// Try to complete one response. `at_eof` marks the transport
+    /// closed: an unframed body is then complete as-is, while a framed
+    /// body that is still short stays incomplete (torn responses are
+    /// never silently truncated to look whole).
+    ///
+    /// # Errors
+    ///
+    /// A description of the malformation (bad status line, bad
+    /// `Content-Length`, non-utf8 head).
+    pub fn try_next(&mut self, at_eof: bool) -> Result<Option<ParsedResponse>, String> {
+        if self.pending.is_none() {
+            let Some(header_end) = self.find_header_end() else {
+                return Ok(None);
+            };
+            let head = std::str::from_utf8(&self.buf[..header_end])
+                .map_err(|_| "non-utf8 head".to_owned())?;
+            let mut lines = head.split("\r\n");
+            let status_line = lines.next().unwrap_or_default();
+            let status: u16 = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| format!("bad status line '{status_line}'"))?;
+            let mut parsed = ParsedResponse {
+                status,
+                ..ParsedResponse::default()
+            };
+            let mut framed = None;
+            for line in lines {
+                let Some((name, value)) = line.split_once(':') else {
+                    continue;
+                };
+                if name.eq_ignore_ascii_case("content-length") {
+                    framed = Some(
+                        value
+                            .trim()
+                            .parse::<usize>()
+                            .map_err(|_| "bad content-length".to_owned())?,
+                    );
+                } else if name.eq_ignore_ascii_case("retry-after") {
+                    parsed.retry_after = value.trim().parse().ok();
+                } else if name.eq_ignore_ascii_case("x-jvmsim-span") {
+                    parsed.span = Some(value.trim().to_owned());
+                } else if name.eq_ignore_ascii_case("connection") {
+                    parsed.close = value.trim().eq_ignore_ascii_case("close");
+                }
+            }
+            self.buf.drain(..header_end + 4);
+            self.scanned = 0;
+            self.pending = Some((parsed, framed));
+        }
+        let Some((_, framed)) = self.pending.as_ref().map(|(p, f)| (p, *f)) else {
+            return Ok(None);
+        };
+        match framed {
+            Some(len) if self.buf.len() >= len => {
+                let (mut parsed, _) = self.pending.take().unwrap_or_default();
+                parsed.body = self.buf.drain(..len).collect();
+                Ok(Some(parsed))
+            }
+            Some(_) => Ok(None),
+            None if at_eof => {
+                let (mut parsed, _) = self.pending.take().unwrap_or_default();
+                parsed.body = std::mem::take(&mut self.buf);
+                self.scanned = 0;
+                Ok(Some(parsed))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn find_header_end(&mut self) -> Option<usize> {
+        let from = self.scanned.saturating_sub(3);
+        let found = self.buf[from..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|p| p + from);
+        if found.is_none() {
+            self.scanned = self.buf.len();
+        }
+        found
+    }
+}
+
+/// Read one request off a keep-alive connection, polling `is_draining`
+/// and the `deadline` while blocked.
+///
+/// Generic over [`Read`] so the parser can be driven by arbitrary byte
+/// sources (the fuzz tests feed it adversarial chunkings); the daemon
+/// passes a [`TcpStream`] with a read timeout of [`READ_POLL`] installed
+/// (the connection loop sets it once). Each poll tick (`WouldBlock`)
+/// re-checks the drain flag and the per-request read deadline, so a
+/// stalled peer costs at most one tick after the deadline and a drain
+/// never waits on an idle connection.
+///
+/// # Errors
+///
+/// * [`ServeError::Closed`] — clean close before any byte of a request.
+/// * [`ServeError::Draining`] — drain began before any byte of a request.
+/// * [`ServeError::ReadTimeout`] — deadline elapsed mid-request.
+/// * [`ServeError::Malformed`] / size variants — parse failures.
+/// * [`ServeError::Io`] — transport failure.
+pub fn read_request<R: Read>(
+    stream: &mut R,
+    deadline: Duration,
+    is_draining: &dyn Fn() -> bool,
+) -> Result<Request, ServeError> {
+    let start = Instant::now();
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(request) = parser.try_next()? {
+            if parser.buffered() > 0 {
+                // Pipelined extra bytes would desynchronise the strict
+                // one-request-per-read framing this wrapper promises.
+                return Err(ServeError::Malformed("bytes beyond content-length".into()));
+            }
+            return Ok(request);
+        }
         match stream.read(&mut chunk) {
-            Ok(0) => return Err(ServeError::Malformed("eof mid-body".into())),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Ok(0) => {
+                return Err(if parser.awaiting_body() {
+                    ServeError::Malformed("eof mid-body".into())
+                } else if parser.mid_request() {
+                    ServeError::Malformed("eof mid-headers".into())
+                } else {
+                    ServeError::Closed
+                });
+            }
+            Ok(n) => parser.push(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if !parser.mid_request() && is_draining() {
+                    return Err(ServeError::Draining);
+                }
                 if start.elapsed() >= deadline {
-                    return Err(ServeError::ReadTimeout);
+                    return Err(if parser.mid_request() {
+                        ServeError::ReadTimeout
+                    } else {
+                        ServeError::Closed
+                    });
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
             Err(e) => return Err(ServeError::Io(e.to_string())),
         }
     }
-    if body.len() > content_length {
-        // Pipelined extra bytes would desynchronise the keep-alive framing.
-        return Err(ServeError::Malformed("bytes beyond content-length".into()));
-    }
-    Ok(Request {
-        method: method.to_owned(),
-        path: path.to_owned(),
-        headers,
-        body,
-    })
-}
-
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 #[cfg(test)]
@@ -405,6 +660,112 @@ mod tests {
         assert_eq!(ServeError::BodyTooLarge.status(), Some(413));
         assert_eq!(ServeError::ReadTimeout.status(), Some(408));
         assert_eq!(ServeError::Draining.status(), Some(503));
+    }
+
+    #[test]
+    fn request_parser_handles_byte_at_a_time_delivery() {
+        let raw = b"POST /v1/run HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let mut parser = RequestParser::new();
+        for (i, b) in raw.iter().enumerate() {
+            parser.push(std::slice::from_ref(b));
+            let got = parser.try_next().unwrap();
+            if i + 1 < raw.len() {
+                assert!(got.is_none(), "complete at byte {i}");
+                assert!(parser.mid_request());
+            } else {
+                let req = got.expect("complete at final byte");
+                assert_eq!(req.path, "/v1/run");
+                assert_eq!(req.body, b"abcd");
+            }
+        }
+        assert!(!parser.mid_request());
+        assert_eq!(parser.parsed(), 1);
+    }
+
+    #[test]
+    fn request_parser_keeps_pipelined_bytes_for_the_next_request() {
+        let mut parser = RequestParser::new();
+        parser.push(b"GET /healthz HTTP/1.1\r\n\r\nGET /v1/metrics HTTP/1.1\r\n\r\n");
+        let first = parser.try_next().unwrap().unwrap();
+        assert_eq!(first.path, "/healthz");
+        let second = parser.try_next().unwrap().unwrap();
+        assert_eq!(second.path, "/v1/metrics");
+        assert!(parser.try_next().unwrap().is_none());
+        assert_eq!(parser.parsed(), 2);
+    }
+
+    #[test]
+    fn request_parser_enforces_limits_incrementally() {
+        let mut parser = RequestParser::new();
+        parser.push(b"GET / HTTP/1.1\r\nx: ");
+        parser.push(&vec![b'a'; MAX_HEADER_BYTES + 8]);
+        assert_eq!(parser.try_next(), Err(ServeError::HeadersTooLarge));
+
+        let mut parser = RequestParser::new();
+        parser.push(
+            format!(
+                "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                MAX_BODY_BYTES + 1
+            )
+            .as_bytes(),
+        );
+        assert_eq!(parser.try_next(), Err(ServeError::BodyTooLarge));
+    }
+
+    #[test]
+    fn response_parser_round_trips_rendered_responses() {
+        let mut resp = Response::json(200, "{\"ok\":true}");
+        resp.span = Some("trace=t1".into());
+        let mut wire = resp.render();
+        wire.extend_from_slice(&Response::text(404, "not found\n").closing().render());
+
+        let mut parser = ResponseParser::new();
+        // Adversarial chunking: three-byte slices.
+        for chunk in wire.chunks(3) {
+            parser.push(chunk);
+        }
+        let first = parser.try_next(false).unwrap().unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, b"{\"ok\":true}");
+        assert_eq!(first.span.as_deref(), Some("trace=t1"));
+        assert!(!first.close);
+        let second = parser.try_next(false).unwrap().unwrap();
+        assert_eq!(second.status, 404);
+        assert_eq!(second.body, b"not found\n");
+        assert!(second.close);
+        assert!(!parser.mid_response());
+    }
+
+    #[test]
+    fn response_parser_unframed_body_completes_only_at_eof() {
+        let mut parser = ResponseParser::new();
+        parser.push(b"HTTP/1.1 200 OK\r\n\r\npartial");
+        assert!(parser.try_next(false).unwrap().is_none());
+        parser.push(b" body");
+        let got = parser.try_next(true).unwrap().unwrap();
+        assert_eq!(got.status, 200);
+        assert_eq!(got.body, b"partial body");
+    }
+
+    #[test]
+    fn response_parser_never_truncates_a_torn_framed_body() {
+        let mut parser = ResponseParser::new();
+        parser.push(b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc");
+        assert!(parser.try_next(true).unwrap().is_none());
+        assert!(parser.mid_response());
+    }
+
+    #[test]
+    fn response_parser_rejects_garbage() {
+        let mut parser = ResponseParser::new();
+        parser.push(b"NOT HTTP\r\n\r\n");
+        assert!(parser
+            .try_next(false)
+            .unwrap_err()
+            .contains("bad status line"));
+        let mut parser = ResponseParser::new();
+        parser.push(b"HTTP/1.1 200 OK\r\nContent-Length: huge\r\n\r\n");
+        assert_eq!(parser.try_next(false).unwrap_err(), "bad content-length");
     }
 
     #[test]

@@ -23,6 +23,8 @@ use std::time::Duration;
 use jvmsim_faults::{splitmix64, FaultInjector, FaultSite};
 use jvmsim_metrics::{CounterId, MetricsShard};
 
+use crate::http::ResponseParser;
+
 /// Per-operand salts for backoff jitter, so `(peer, attempt)` pairs
 /// decorrelate (same shape as the fault plane's per-site salts).
 const PEER_SALT: u64 = 0xD6E8_FEB8_6659_FD93;
@@ -165,8 +167,10 @@ enum Attempt {
 
 /// One wire attempt's record, handed back so the span plane can open one
 /// `peer_fetch` child per attempt with its backoff and payload priced in.
+/// Public because it rides in [`JobOutput`](crate::admission::JobOutput)
+/// from the worker tier back to the event loop.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct FetchAttempt {
+pub struct FetchAttempt {
     /// Directory slot attempted.
     pub peer: usize,
     /// 1-based attempt number against that peer.
@@ -271,65 +275,37 @@ fn fetch_once(
     if stream.write_all(request.as_bytes()).is_err() {
         return Attempt::Failed;
     }
-    // Read until the response is complete by its own framing
-    // (`Content-Length`), falling back to EOF for unframed bodies — so a
-    // keep-alive server and a closing server both work.
-    let mut raw = Vec::new();
+    // Decode through the shared [`ResponseParser`] so the peer tier obeys
+    // the same framing rules as every other client in this crate: a
+    // `Content-Length` frames the body, an unframed body is complete only
+    // at EOF, and a torn framed body is never silently truncated.
+    let mut parser = ResponseParser::new();
     let mut buf = [0u8; 4096];
-    let (status, body) = loop {
+    let parsed = loop {
         match stream.read(&mut buf) {
-            Ok(0) => match parse_response(&raw, true) {
-                Some(complete) => break complete,
-                None => return Attempt::Failed,
+            Ok(0) => match parser.try_next(true) {
+                Ok(Some(complete)) => break complete,
+                Ok(None) | Err(_) => return Attempt::Failed,
             },
             Ok(n) => {
-                raw.extend_from_slice(&buf[..n]);
-                if let Some(complete) = parse_response(&raw, false) {
-                    break complete;
+                parser.push(&buf[..n]);
+                match parser.try_next(false) {
+                    Ok(Some(complete)) => break complete,
+                    Ok(None) => {}
+                    Err(_) => return Attempt::Failed,
                 }
             }
             Err(_) => return Attempt::Failed,
         }
     };
-    match status {
-        200 => match hex_decode(std::str::from_utf8(&body).unwrap_or("").trim()) {
+    match parsed.status {
+        200 => match hex_decode(std::str::from_utf8(&parsed.body).unwrap_or("").trim()) {
             Some(bytes) => Attempt::Found(bytes),
             None => Attempt::Failed,
         },
         404 => Attempt::Absent,
         _ => Attempt::Failed,
     }
-}
-
-/// Minimal response parse: status code plus the body after the header
-/// block, framed by `Content-Length` when present. Returns `None` while
-/// the response is still incomplete — a short body is only accepted as
-/// final at EOF (`at_eof`) when no length was declared, never when the
-/// declared length says bytes are missing.
-fn parse_response(raw: &[u8], at_eof: bool) -> Option<(u16, Vec<u8>)> {
-    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n")? + 4;
-    let head = std::str::from_utf8(&raw[..head_end]).ok()?;
-    let mut lines = head.split("\r\n");
-    let status: u16 = lines.next()?.split_whitespace().nth(1)?.parse().ok()?;
-    let mut body = raw[head_end..].to_vec();
-    let mut framed = false;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else {
-            continue;
-        };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            let len: usize = value.trim().parse().ok()?;
-            if body.len() < len {
-                return None;
-            }
-            body.truncate(len);
-            framed = true;
-        }
-    }
-    if !framed && !at_eof {
-        return None;
-    }
-    Some((status, body))
 }
 
 /// Lower-case hex rendering of arbitrary bytes — the `GET /v1/cell`
@@ -445,19 +421,26 @@ mod tests {
     }
 
     #[test]
-    fn parse_response_handles_content_length_and_truncation() {
-        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nabcdEXTRA";
-        let (status, body) = parse_response(raw, false).unwrap();
-        assert_eq!(status, 200);
-        assert_eq!(body, b"abcd");
+    fn shared_parser_preserves_peer_framing_semantics() {
+        // The peer tier rides the shared ResponseParser; these are the
+        // framing behaviors fetch_once depends on.
+        let mut parser = ResponseParser::new();
+        parser.push(b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nabcdEXTRA");
+        let parsed = parser.try_next(false).unwrap().unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.body, b"abcd");
         // Shorter than advertised: never final, even at EOF.
-        let torn = b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nabcd";
-        assert!(parse_response(torn, false).is_none());
-        assert!(parse_response(torn, true).is_none());
+        let mut torn = ResponseParser::new();
+        torn.push(b"HTTP/1.1 200 OK\r\nContent-Length: 9\r\n\r\nabcd");
+        assert_eq!(torn.try_next(false).unwrap(), None);
+        assert_eq!(torn.try_next(true).unwrap(), None);
         // Unframed bodies are only complete once the peer hangs up.
-        let unframed = b"HTTP/1.1 200 OK\r\n\r\nabcd";
-        assert!(parse_response(unframed, false).is_none());
-        assert_eq!(parse_response(unframed, true).unwrap().1, b"abcd");
-        assert!(parse_response(b"garbage", true).is_none());
+        let mut unframed = ResponseParser::new();
+        unframed.push(b"HTTP/1.1 200 OK\r\n\r\nabcd");
+        assert_eq!(unframed.try_next(false).unwrap(), None);
+        assert_eq!(unframed.try_next(true).unwrap().unwrap().body, b"abcd");
+        let mut garbage = ResponseParser::new();
+        garbage.push(b"garbage");
+        assert_eq!(garbage.try_next(true).unwrap(), None);
     }
 }

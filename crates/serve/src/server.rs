@@ -1,24 +1,34 @@
-//! The daemon: acceptor, connection threads, worker pool, and the
-//! endpoint routing over them.
+//! The daemon: one readiness event loop, a fixed worker pool, and the
+//! typed endpoint routing over them.
+//!
+//! # Architecture
+//!
+//! A single loop thread owns every socket. It blocks in
+//! [`polling::Poller::wait`] (epoll on Linux, `poll(2)` elsewhere) and
+//! on each wakeup drains three sources: worker completions off the
+//! [`CompletionBoard`], socket readiness events, and expired
+//! [`TimerWheel`] deadline candidates. Nothing CPU-bound runs on the
+//! loop — a validated `POST /v1/run` miss is handed to the worker pool
+//! as a [`Job`] carrying a routing token, and the worker posts a
+//! [`Completion`] back to the board (waking the loop via its notifier)
+//! when the run finishes. One loop thread therefore holds tens of
+//! thousands of keep-alive connections with a worker pool sized to the
+//! CPUs.
 //!
 //! # Request lifecycle
 //!
 //! ```text
-//! accept → read_request (deadline, drain-aware)
-//!        → [serve-slow-read fault?] → 408
-//!        → route:
-//!            GET  /healthz        → 200 ok
-//!            GET  /v1/metrics     → Prometheus text (+ span exemplars)
-//!            GET  /v1/cache/stats → cache counters JSON
-//!            GET  /v1/spans       → ordinal-sorted span ring (JSON)
-//!            GET  /v1/spans/bin   → same snapshot, binary codec (hex)
-//!            POST /v1/shutdown    → begin graceful drain
-//!            POST /v1/run         → cache-first lookup
-//!                                   → hit: row from the result plane
-//!                                   → miss: bounded queue → worker pool
-//!                                     (full → 429, deadline → 504)
-//!        → [serve-conn-drop fault?] → close unwritten
-//!        → write response, account exactly once, keep-alive
+//! accept → Idle ──bytes──▶ Reading ──parsed──▶ ApiRequest::parse
+//!   [serve-slow-read fault?] → 408 envelope
+//!   probes/scrapes/cell     → answered on the loop
+//!   POST /v1/run            → cache-first lookup on the loop
+//!       hit  → row from the result plane
+//!       miss → bounded queue → Dispatched (socket deregistered)
+//!              worker: peer-fetch tier, else execute
+//!              (full → 429, drain → 503, deadline → 504)
+//!   → [serve-conn-drop fault?] → close unwritten
+//!   → Writing (partial writes resume on writability)
+//!   → account exactly once at write resolution → Idle (keep-alive)
 //! ```
 //!
 //! # Determinism boundary
@@ -26,9 +36,11 @@
 //! A run's row bytes are a pure function of its identity (workload,
 //! agent, size — the same [`SessionSpec`] the batch driver uses), so a
 //! served `POST /v1/run` body is byte-identical to the batch row, cold or
-//! warm. Wall-clock only exists on the *other* side of the boundary: the
-//! `serve_latency_micros` histogram and the client's own timings, which
-//! never feed artifact bytes.
+//! warm, at any `--jobs` count. Error bodies are typed
+//! [`ApiError`] envelopes whose bytes carry no addresses or timings, so
+//! they are equally `--jobs`-invariant. Wall-clock only exists on the
+//! *other* side of the boundary: the `serve_latency_micros` histogram
+//! and the client's own timings, which never feed artifact bytes.
 //!
 //! # Tracing
 //!
@@ -41,10 +53,12 @@
 //! and scrape endpoints stay untraced so span output is independent of
 //! scrape cadence.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -62,11 +76,20 @@ use jvmsim_spans::{
     queue_wait_cost, render_annotation, render_exemplars, render_spans_json, response_write_cost,
     row_encode_cost, SpanBuilder, SpanPlane, SpanRecord, SpanStage,
 };
+use polling::{Event, Notifier, Poller};
 
-use crate::admission::{AdmissionError, AdmissionQueue, Job};
-use crate::http::{read_request, Request, Response, ServeError, READ_POLL};
+use crate::admission::{
+    AdmissionError, AdmissionQueue, Completion, CompletionBoard, Job, JobOutput,
+};
+use crate::conn::{Conn, Phase, ReadOutcome, WriteOutcome};
+use crate::http::{Request, Response, ServeError, READ_POLL};
 use crate::peer::{hex_encode, PeerView};
-use crate::spec::RunSpec;
+use crate::spec::{ApiError, ApiRequest, ApiResponse, OutcomeClass};
+use crate::timer::TimerWheel;
+
+/// Poller key of the listening socket (connection slots count up from
+/// zero and can never reach it; `usize::MAX` is the notifier's).
+const LISTENER_KEY: usize = usize::MAX - 1;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -80,6 +103,11 @@ pub struct ServeConfig {
     /// Per-request deadline: read + queue wait + execution. Elapsing it
     /// answers `408` (mid-read) or `504` (queued/running).
     pub deadline: Duration,
+    /// Keep-alive idle cutoff: a connection with no request bytes for
+    /// this long is closed silently (never accounted — no request ever
+    /// arrived). `None` inherits [`ServeConfig::deadline`], the
+    /// pre-async behavior where one clock bounded both.
+    pub idle: Option<Duration>,
     /// Content-addressed store consulted before any run is scheduled and
     /// filled after every clean run.
     pub cache: Option<CacheStore>,
@@ -139,6 +167,7 @@ impl Default for ServeConfig {
             jobs: 2,
             queue: 16,
             deadline: Duration::from_secs(30),
+            idle: None,
             cache: None,
             faults: FaultPlan::new(0),
             peers: None,
@@ -147,71 +176,27 @@ impl Default for ServeConfig {
     }
 }
 
-/// How one request ended — the exclusive outcome classes of the admission
-/// ledger: `accepted == served + shed + timeout + dropped + errors`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Outcome {
-    /// Answered 2xx. `hit` marks a cache-served run row.
-    Served { hit: bool },
-    /// Load-shed with `429` (queue full).
-    Shed,
-    /// Deadline elapsed: `408` mid-read, `504` queued/running.
-    Timeout,
-    /// Connection dropped before the response was written.
-    Dropped,
-    /// Any other 4xx/5xx.
-    Error,
-}
-
-/// Tracks live connection threads so a drain can wait for them.
-struct ConnGauge {
-    count: Mutex<usize>,
-    zero: Condvar,
-}
-
-impl ConnGauge {
-    fn new() -> ConnGauge {
-        ConnGauge {
-            count: Mutex::new(0),
-            zero: Condvar::new(),
-        }
-    }
-
-    fn enter(&self) {
-        *self.count.lock().unwrap_or_else(|e| e.into_inner()) += 1;
-    }
-
-    fn leave(&self) {
-        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
-        *n = n.saturating_sub(1);
-        if *n == 0 {
-            self.zero.notify_all();
-        }
-    }
-
-    fn wait_zero(&self) {
-        let mut n = self.count.lock().unwrap_or_else(|e| e.into_inner());
-        while *n > 0 {
-            n = self.zero.wait(n).unwrap_or_else(|e| e.into_inner());
-        }
-    }
-}
-
-/// State shared by the acceptor, connection threads, and workers.
+/// State shared by the event loop and the workers.
 struct Shared {
     registry: MetricsRegistry,
     /// Per-run registries absorbed here after each executed run.
     run_metrics: Mutex<MetricsSnapshot>,
     queue: AdmissionQueue,
+    /// Where workers post finished jobs for the loop to route.
+    board: CompletionBoard,
     cache: Option<CacheStore>,
     peers: Option<PeerView>,
     spans: Option<SpanPlane>,
     /// Connection ordinal source: accept order, never reused.
     conn_seq: AtomicU64,
+    /// Job token source: monotonic, never reused.
+    token_seq: AtomicU64,
     injector: Arc<FaultInjector>,
     draining: AtomicBool,
     deadline: Duration,
-    conns: ConnGauge,
+    idle: Duration,
+    /// Wakes the loop from any thread (drain trigger, completions).
+    notifier: Notifier,
 }
 
 impl Shared {
@@ -222,24 +207,25 @@ impl Shared {
     fn begin_drain(&self) {
         self.draining.store(true, Ordering::Release);
         self.queue.close();
+        self.notifier.notify();
     }
 
     /// The single accounting point: every request increments `accepted`
     /// and exactly one outcome class, plus the wall-latency histogram.
-    fn account(&self, outcome: Outcome, started: Instant) {
+    fn account(&self, outcome: OutcomeClass, started: Instant) {
         let shard = self.registry.global();
         shard.incr(CounterId::ServeAccepted);
         match outcome {
-            Outcome::Served { hit } => {
+            OutcomeClass::Served { hit } => {
                 shard.incr(CounterId::ServeServed);
                 if hit {
                     shard.incr(CounterId::ServeHits);
                 }
             }
-            Outcome::Shed => shard.incr(CounterId::ServeShed),
-            Outcome::Timeout => shard.incr(CounterId::ServeTimeout),
-            Outcome::Dropped => shard.incr(CounterId::ServeDropped),
-            Outcome::Error => shard.incr(CounterId::ServeErrors),
+            OutcomeClass::Shed => shard.incr(CounterId::ServeShed),
+            OutcomeClass::Timeout => shard.incr(CounterId::ServeTimeout),
+            OutcomeClass::Dropped => shard.incr(CounterId::ServeDropped),
+            OutcomeClass::Error => shard.incr(CounterId::ServeErrors),
         }
         shard.observe(
             HistogramId::ServeLatencyMicros,
@@ -275,20 +261,24 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
-    acceptor: Option<JoinHandle<()>>,
+    event_loop: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind and start: acceptor thread + `jobs` workers.
+    /// Bind and start: the event-loop thread + `jobs` workers.
     ///
     /// # Errors
     ///
-    /// Bind failures (address in use, bad address).
+    /// Bind failures (address in use, bad address) or fd exhaustion
+    /// creating the poller.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), Event::readable(LISTENER_KEY))?;
+        let notifier = poller.notifier();
         let registry = MetricsRegistry::new();
         // Cache hit/miss accounting lands in the server's own registry.
         let cache = config
@@ -298,16 +288,19 @@ impl Server {
             registry,
             run_metrics: Mutex::new(MetricsSnapshot::default()),
             queue: AdmissionQueue::new(config.queue),
+            board: CompletionBoard::new(notifier.clone()),
             cache,
             peers: config.peers,
             spans: config
                 .spans
                 .map(|s| SpanPlane::new(s.seed, s.member, s.capacity)),
             conn_seq: AtomicU64::new(0),
+            token_seq: AtomicU64::new(0),
             injector: Arc::new(FaultInjector::new(config.faults)),
             draining: AtomicBool::new(false),
             deadline: config.deadline,
-            conns: ConnGauge::new(),
+            idle: config.idle.unwrap_or(config.deadline),
+            notifier,
         });
         let workers = (0..config.jobs.max(1))
             .map(|i| {
@@ -317,16 +310,16 @@ impl Server {
                     .spawn(move || worker_loop(&shared))
             })
             .collect::<io::Result<Vec<_>>>()?;
-        let acceptor = {
+        let event_loop = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
-                .name("serve-acceptor".to_owned())
-                .spawn(move || accept_loop(&listener, &shared))?
+                .name("serve-loop".to_owned())
+                .spawn(move || EventLoop::new(shared, poller, listener).run())?
         };
         Ok(Server {
             shared,
             local_addr,
-            acceptor: Some(acceptor),
+            event_loop: Some(event_loop),
             workers,
         })
     }
@@ -380,13 +373,12 @@ impl Server {
     /// final metric entries (the "flush" of the drain path).
     pub fn shutdown(mut self) -> Vec<MetricsEntry> {
         self.shared.begin_drain();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(event_loop) = self.event_loop.take() {
+            let _ = event_loop.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
-        self.shared.conns.wait_zero();
         self.shared.metric_entries()
     }
 
@@ -400,118 +392,703 @@ impl Server {
     }
 }
 
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
-    while !shared.is_draining() {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _ = stream.set_nonblocking(false);
-                let shared = Arc::clone(shared);
-                shared.conns.enter();
-                // The connection ordinal is assigned at accept, in accept
-                // order — one half of every trace id minted on this
-                // connection.
-                let conn = shared.conn_seq.fetch_add(1, Ordering::Relaxed);
-                let spawned = std::thread::Builder::new()
-                    .name("serve-conn".to_owned())
-                    .spawn(move || {
-                        handle_connection(&shared, stream, conn);
-                        shared.conns.leave();
-                    });
-                if spawned.is_err() {
-                    // Spawn failure: the gauge entry must not leak.
-                    // (The connection is dropped unanswered.)
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
+/// The loop thread's whole world: the poller, the listener, the
+/// connection slab, the token routing table, and the deadline wheel.
+struct EventLoop {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: TcpListener,
+    /// Slot-addressed connections; a slot index is its poller key.
+    conns: Vec<Option<Conn>>,
+    /// Recycled slot indices.
+    free: Vec<usize>,
+    /// Dispatched-job token → owning slot.
+    tokens: HashMap<u64, usize>,
+    wheel: TimerWheel,
+    accepting: bool,
+    live: usize,
 }
 
-fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn: u64) {
-    if stream.set_read_timeout(Some(READ_POLL)).is_err() {
-        return;
+impl EventLoop {
+    fn new(shared: Arc<Shared>, poller: Poller, listener: TcpListener) -> EventLoop {
+        EventLoop {
+            shared,
+            poller,
+            listener,
+            conns: Vec::new(),
+            free: Vec::new(),
+            tokens: HashMap::new(),
+            wheel: TimerWheel::new(READ_POLL, 256),
+            accepting: true,
+            live: 0,
+        }
     }
-    let mut req_seq: u64 = 0;
-    loop {
-        let started = Instant::now();
-        let request = read_request(&mut stream, shared.deadline, &|| shared.is_draining());
-        let mut span: Option<SpanBuilder> = None;
-        let (response, outcome) = match request {
-            Ok(request) => {
-                // The request ordinal on this connection — the other half
-                // of the trace id; only parsed requests consume one.
-                let req = req_seq;
-                req_seq += 1;
-                span = open_span(shared, conn, req, &request);
-                // Injected slow read: the request "never finished arriving"
-                // within the deadline — same outcome class as a real stall.
-                if shared.injector.inject(FaultSite::ServeSlowRead).is_some() {
-                    // No lifecycle stage ever ran, so the injected timeout
-                    // stays untraced (just as a real torn read would).
-                    span = None;
-                    (
-                        Response::text(408, "injected slow read\n").closing(),
-                        Outcome::Timeout,
-                    )
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.is_draining() {
+                self.wind_down();
+                if self.live == 0 {
+                    break;
+                }
+            }
+            let timeout = self.wheel.next_timeout(Instant::now());
+            let _ = self.poller.wait(&mut events, timeout);
+            // Completions first: they free slots and queue capacity
+            // before new work is admitted this wakeup.
+            for completion in self.shared.board.drain() {
+                self.route_completion(completion);
+            }
+            for event in events.drain(..) {
+                if event.key == LISTENER_KEY {
+                    self.accept_ready();
                 } else {
-                    let (response, outcome) = route(shared, &request, started, span.as_mut());
-                    // Honor the client's `Connection: close` so one-shot
-                    // callers (the peer-fetch tier) see EOF, not a
-                    // keep-alive connection idling to their read timeout.
-                    if request
-                        .header("connection")
-                        .is_some_and(|v| v.trim().eq_ignore_ascii_case("close"))
-                    {
-                        (response.closing(), outcome)
-                    } else {
-                        (response, outcome)
+                    self.dispatch_event(event);
+                }
+            }
+            let now = Instant::now();
+            for slot in self.wheel.expired(now) {
+                self.check_deadline(slot, now);
+            }
+        }
+        if self.accepting {
+            let _ = self.poller.delete(self.listener.as_raw_fd());
+        }
+    }
+
+    /// Drain housekeeping: stop accepting, close idle keep-alive
+    /// connections silently (no request in them to account).
+    fn wind_down(&mut self) {
+        if self.accepting {
+            let _ = self.poller.delete(self.listener.as_raw_fd());
+            self.accepting = false;
+        }
+        for slot in 0..self.conns.len() {
+            let idle_empty = matches!(
+                self.conns[slot].as_ref(),
+                Some(c) if c.phase == Phase::Idle && !c.parser.mid_request()
+            );
+            if idle_empty {
+                self.close_silent(slot);
+            }
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        while self.accepting {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.admit(stream),
+                // WouldBlock drains the backlog; any other accept error is
+                // transient — the listener stays registered, so the next
+                // readiness event retries.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn admit(&mut self, stream: TcpStream) {
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        // The connection ordinal is assigned at accept, in accept order —
+        // one half of every trace id minted on this connection.
+        let ordinal = self.shared.conn_seq.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shared.registry.global();
+        shard.incr(CounterId::ServeConnsAccepted);
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        let now = Instant::now();
+        let mut conn = Conn::new(stream, ordinal, now);
+        if self
+            .poller
+            .add(conn.stream.as_raw_fd(), Event::readable(slot))
+            .is_err()
+        {
+            self.free.push(slot);
+            return;
+        }
+        conn.registered = true;
+        self.conns[slot] = Some(conn);
+        self.live += 1;
+        shard.gauge_max(GaugeId::ServeOpenConnsHighwater, self.live as u64);
+        self.wheel.schedule(slot, now + self.shared.idle);
+    }
+
+    fn dispatch_event(&mut self, event: Event) {
+        let Some(phase) = self
+            .conns
+            .get(event.key)
+            .and_then(Option::as_ref)
+            .map(|c| c.phase)
+        else {
+            return;
+        };
+        match phase {
+            Phase::Idle | Phase::Reading if event.readable => self.drive_readable(event.key),
+            Phase::Writing if event.writable => {
+                self.try_flush(event.key);
+                self.pump(event.key);
+            }
+            _ => {}
+        }
+    }
+
+    /// Readable readiness: drain the socket into the parser, then run as
+    /// many complete requests as arrived.
+    fn drive_readable(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_mut() else {
+            return;
+        };
+        match conn.fill() {
+            // Transport failure with no response queued: nothing was
+            // promised, nothing is accounted (exactly the old conn-thread
+            // behavior for a torn read).
+            ReadOutcome::Failed => self.close_silent(slot),
+            ReadOutcome::Progress => self.pump(slot),
+            ReadOutcome::Eof => {
+                conn.peer_gone = true;
+                self.pump(slot);
+            }
+        }
+    }
+
+    /// Advance the connection: parse-and-serve until blocked, then apply
+    /// EOF consequences.
+    fn pump(&mut self, slot: usize) {
+        self.advance(slot);
+        self.reap_eof(slot);
+    }
+
+    /// Parse-and-serve loop: each complete buffered request is processed
+    /// in order (strictly serial per connection — pipelined bytes wait in
+    /// the parser until the current response resolves).
+    fn advance(&mut self, slot: usize) {
+        loop {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if !matches!(conn.phase, Phase::Idle | Phase::Reading) {
+                return;
+            }
+            match conn.parser.try_next() {
+                Err(error) => {
+                    // Framing failure: the byte stream can no longer be
+                    // trusted to start a next request; answer and close.
+                    match ApiError::from_serve_error(&error) {
+                        Some(envelope) => {
+                            self.respond(slot, None, ApiResponse::Error(envelope));
+                        }
+                        None => self.close_silent(slot),
+                    }
+                    return;
+                }
+                Ok(Some(request)) => self.process(slot, &request),
+                Ok(None) => {
+                    let was_idle = conn.phase == Phase::Idle;
+                    let mid = conn.parser.mid_request();
+                    conn.phase = if mid { Phase::Reading } else { Phase::Idle };
+                    if was_idle && mid {
+                        // The request clock now races the full deadline,
+                        // not the idle cutoff: arm a candidate at the new
+                        // due time (matters when idle > deadline).
+                        let due = conn.started + self.shared.deadline;
+                        self.wheel.schedule(slot, due);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Apply EOF consequences once the parser has been given every byte:
+    /// a clean between-requests EOF closes silently; bytes of an
+    /// incomplete request answer the same `400` the blocking reader gave.
+    fn reap_eof(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].as_ref() else {
+            return;
+        };
+        if !conn.peer_gone {
+            return;
+        }
+        match conn.phase {
+            Phase::Idle if !conn.parser.mid_request() => self.close_silent(slot),
+            Phase::Idle | Phase::Reading => {
+                let message = if conn.parser.awaiting_body() {
+                    "eof mid-body"
+                } else {
+                    "eof mid-headers"
+                };
+                let error = ServeError::Malformed(message.to_owned());
+                match ApiError::from_serve_error(&error) {
+                    Some(envelope) => self.respond(slot, None, ApiResponse::Error(envelope)),
+                    None => self.close_silent(slot),
+                }
+            }
+            // A response (or dispatched job) is in flight: the write half
+            // may outlive the read half, so the write path decides.
+            Phase::Dispatched { .. } | Phase::Writing => {}
+        }
+    }
+
+    /// One parsed request: open its span, consult the slow-read fault,
+    /// route through the typed API surface.
+    fn process(&mut self, slot: usize, request: &Request) {
+        let shared = Arc::clone(&self.shared);
+        let mut span = {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            // The request ordinal on this connection — the other half of
+            // the trace id; only parsed requests consume one.
+            let req = conn.req_seq;
+            conn.req_seq += 1;
+            // Honor the client's `Connection: close` so one-shot callers
+            // (the peer-fetch tier) see EOF, not a keep-alive connection
+            // idling to their read timeout.
+            conn.close_requested = request
+                .header("connection")
+                .is_some_and(|v| v.trim().eq_ignore_ascii_case("close"));
+            open_span(&shared, conn.ordinal, req, request)
+        };
+        // Injected slow read: the request "never finished arriving"
+        // within the deadline — same outcome class as a real stall. No
+        // lifecycle stage ever ran, so it stays untraced (just as a real
+        // torn read would).
+        if shared.injector.inject(FaultSite::ServeSlowRead).is_some() {
+            self.respond(
+                slot,
+                None,
+                ApiResponse::Error(ApiError::injected_slow_read()),
+            );
+            return;
+        }
+        let parsed = ApiRequest::parse(request);
+        if request.method == "POST" && request.path == "/v1/run" {
+            if let Some(s) = span.as_mut() {
+                s.stage(
+                    SpanStage::Admission,
+                    admission_cost(),
+                    u64::from(parsed.is_err()),
+                );
+            }
+        }
+        match parsed {
+            Err(error) => self.respond(slot, span, ApiResponse::Error(error)),
+            Ok(ApiRequest::Health) => self.respond(slot, span, ApiResponse::Health),
+            Ok(ApiRequest::Metrics) => {
+                let mut body = render_prometheus(&shared.metric_entries());
+                if let Some(plane) = &shared.spans {
+                    body.push_str(&render_exemplars(&plane.snapshot()));
+                }
+                self.respond(slot, span, ApiResponse::Metrics(body));
+            }
+            Ok(ApiRequest::Spans) => {
+                let body = match &shared.spans {
+                    None => "{\"enabled\":false}\n".to_owned(),
+                    Some(plane) => render_spans_json(
+                        plane.member(),
+                        plane.appended(),
+                        plane.dropped(),
+                        &plane.snapshot(),
+                    ),
+                };
+                self.respond(slot, span, ApiResponse::Spans(body));
+            }
+            Ok(ApiRequest::SpansBin) => {
+                let api = match &shared.spans {
+                    None => ApiResponse::Error(ApiError::spans_disabled()),
+                    Some(plane) => {
+                        ApiResponse::SpansBin(hex_encode(&encode_spans(&plane.snapshot())))
+                    }
+                };
+                self.respond(slot, span, api);
+            }
+            Ok(ApiRequest::CacheStats) => {
+                let body = match &shared.cache {
+                    None => "{\"enabled\":false}\n".to_owned(),
+                    Some(store) => {
+                        let s = store.stats();
+                        format!(
+                            "{{\"enabled\":true,\"hits\":{},\"misses\":{},\"stores\":{},\
+                             \"quarantined\":{},\"bytes_read\":{},\"bytes_written\":{}}}\n",
+                            s.hits,
+                            s.misses,
+                            s.stores,
+                            s.quarantined,
+                            s.bytes_read,
+                            s.bytes_written
+                        )
+                    }
+                };
+                self.respond(slot, span, ApiResponse::CacheStats(body));
+            }
+            Ok(ApiRequest::Shutdown) => {
+                shared.begin_drain();
+                self.respond(slot, span, ApiResponse::Draining);
+            }
+            Ok(ApiRequest::Cell(digest)) => self.handle_cell(slot, span, digest),
+            Ok(ApiRequest::Run(spec)) => self.handle_run(slot, span, spec),
+        }
+    }
+
+    /// `GET /v1/cell/<hex-key>`: the peer-fetch supply side. Answers the
+    /// hex-encoded cell-result entry for the given key digest, `404` when
+    /// the local store does not hold it. The store digest-verifies the
+    /// payload on lookup, so a peer can never export a torn entry.
+    fn handle_cell(&mut self, slot: usize, mut span: Option<SpanBuilder>, digest: Digest) {
+        let key = CacheKey::from_digest(digest);
+        let looked_up = self
+            .shared
+            .cache
+            .as_ref()
+            .and_then(|store| store.lookup(Plane::CellResult, &key));
+        if let Some(s) = span.as_mut() {
+            s.stage(
+                SpanStage::CacheLookup,
+                cache_lookup_cost(looked_up.as_deref().map(<[u8]>::len)),
+                looked_up.as_deref().map_or(0, |b| b.len() as u64),
+            );
+        }
+        let api = match looked_up {
+            Some(bytes) => ApiResponse::Cell(hex_encode(&bytes)),
+            None => ApiResponse::Error(ApiError::absent()),
+        };
+        self.respond(slot, span, api);
+    }
+
+    /// `POST /v1/run`: cache-first on the loop, then hand the miss to the
+    /// worker pool and move the connection to `Dispatched`.
+    fn handle_run(&mut self, slot: usize, mut span: Option<SpanBuilder>, spec: SessionSpec) {
+        let shared = Arc::clone(&self.shared);
+        // Cache-first: a warm identity never touches the queue. Every hit
+        // is digest-verified by the store; a verified frame whose payload
+        // does not decode is quarantined and falls through to a fresh run.
+        if let Some(store) = &shared.cache {
+            if let Ok(key) = spec.with_session(|s| s.result_key()) {
+                let looked_up = store.lookup(Plane::CellResult, &key);
+                if let Some(s) = span.as_mut() {
+                    s.stage(
+                        SpanStage::CacheLookup,
+                        cache_lookup_cost(looked_up.as_deref().map(<[u8]>::len)),
+                        looked_up.as_deref().map_or(0, |b| b.len() as u64),
+                    );
+                }
+                if let Some(bytes) = looked_up {
+                    match decode_cell_entry(&bytes) {
+                        Some((cell, _sites)) => {
+                            let row = cell_row_json(
+                                &spec.workload,
+                                spec.agent.label(),
+                                spec.size.0,
+                                &cell,
+                            );
+                            if let Some(s) = span.as_mut() {
+                                s.stage(
+                                    SpanStage::RowEncode,
+                                    row_encode_cost(row.len()),
+                                    row.len() as u64,
+                                );
+                            }
+                            self.respond(slot, span, ApiResponse::Row { row, hit: true });
+                            return;
+                        }
+                        None => store.quarantine(Plane::CellResult, &key),
                     }
                 }
             }
-            Err(error) => {
-                let Some(status) = error.status() else {
-                    // Clean close, transport failure, or drain on an idle
-                    // connection: no request to account, just hang up.
-                    return;
-                };
-                if matches!(error, ServeError::Draining) {
-                    // Drain with no request bytes read: close silently.
-                    return;
-                }
-                let outcome = match error {
-                    ServeError::ReadTimeout => Outcome::Timeout,
-                    _ => Outcome::Error,
-                };
-                (
-                    Response::text(status, format!("{error}\n")).closing(),
-                    outcome,
-                )
-            }
+        }
+        // Miss: dispatch. The peer-fetch tier now runs inside the job
+        // (fetch-or-recompute), so the loop never blocks on a peer's
+        // socket. The outgoing traceparent carries this request's root
+        // span — the fleet stitch.
+        let token = shared.token_seq.fetch_add(1, Ordering::Relaxed);
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let traceparent = span.as_ref().map(SpanBuilder::traceparent);
+        let job = Job {
+            spec,
+            token,
+            traceparent,
+            abandoned: Arc::clone(&abandoned),
         };
+        match shared.queue.try_enqueue(job) {
+            Err(AdmissionError::Full) => {
+                self.respond(slot, span, ApiResponse::Error(ApiError::queue_full()));
+            }
+            Err(AdmissionError::Closed) => {
+                self.respond(slot, span, ApiResponse::Error(ApiError::draining()));
+            }
+            Ok(ahead) => {
+                // Queue wait is priced per job ahead at enqueue: 0 under
+                // sequential load, which is exactly what keeps drill spans
+                // `--jobs` invariant. The depth gauge counts this job too.
+                let wait = queue_wait_cost(ahead);
+                let shard = shared.registry.global();
+                shard.gauge_max(GaugeId::ServeQueueDepthHighwater, ahead as u64 + 1);
+                shard.observe(HistogramId::ServeQueueWaitCycles, wait);
+                if let Some(s) = span.as_mut() {
+                    s.stage(SpanStage::QueueWait, wait, ahead as u64);
+                }
+                let Some(conn) = self.conns[slot].as_mut() else {
+                    abandoned.store(true, Ordering::Release);
+                    return;
+                };
+                conn.phase = Phase::Dispatched { token };
+                conn.span = span;
+                conn.abandoned = Some(abandoned);
+                let due = conn.started + shared.deadline;
+                self.tokens.insert(token, slot);
+                self.wheel.schedule(slot, due);
+                // Deregister while in flight: level-triggered readiness on
+                // a half-closed socket would busy-wake the loop otherwise.
+                self.update_interest(slot);
+            }
+        }
+    }
+
+    /// Route one worker completion back to its connection (if it is still
+    /// waiting) and price the job's span stages.
+    fn route_completion(&mut self, completion: Completion) {
+        let Some(slot) = self.tokens.remove(&completion.token) else {
+            return;
+        };
+        let waiting = matches!(
+            self.conns[slot].as_ref().map(|c| c.phase),
+            Some(Phase::Dispatched { token }) if token == completion.token
+        );
+        if !waiting {
+            return;
+        }
+        let mut span = self.conns[slot].as_mut().and_then(|conn| conn.span.take());
+        let api = match completion.result {
+            Ok(output) => {
+                if let Some(s) = span.as_mut() {
+                    for a in &output.attempts {
+                        let detail = ((a.peer as u64) << 32)
+                            | u64::from(a.attempt)
+                            | (u64::from(a.found) << 63);
+                        s.stage(
+                            SpanStage::PeerFetch,
+                            peer_attempt_cost(a.backoff_ms, a.payload_bytes),
+                            detail,
+                        );
+                    }
+                    if !output.hit {
+                        // The one genuinely measured stage: the run's own
+                        // PCL total, itself a pure function of the spec.
+                        s.stage(SpanStage::Recompute, output.cycles, 0);
+                    }
+                    s.stage(
+                        SpanStage::RowEncode,
+                        row_encode_cost(output.row.len()),
+                        output.row.len() as u64,
+                    );
+                }
+                ApiResponse::Row {
+                    row: output.row,
+                    hit: output.hit,
+                }
+            }
+            Err(error) => ApiResponse::Error(ApiError::from_harness(500, &error)),
+        };
+        self.respond(slot, span, api);
+        self.pump(slot);
+    }
+
+    /// A fired timer candidate. Dueness is lazily re-checked against the
+    /// connection's actual clock — stale candidates re-arm, due ones act.
+    fn check_deadline(&mut self, slot: usize, now: Instant) {
+        let (due, phase) = {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                return;
+            };
+            let due = match conn.phase {
+                Phase::Idle => conn.started + self.shared.idle,
+                _ => conn.started + self.shared.deadline,
+            };
+            (due, conn.phase)
+        };
+        if now < due {
+            self.wheel.schedule(slot, due);
+            return;
+        }
+        match phase {
+            // Idle cutoff: no request in it, nothing to account.
+            Phase::Idle => self.close_silent(slot),
+            Phase::Reading => {
+                // The request never finished arriving: the same `408` the
+                // blocking reader's deadline produced. Untraced, like
+                // every torn read.
+                match ApiError::from_serve_error(&ServeError::ReadTimeout) {
+                    Some(envelope) => self.respond(slot, None, ApiResponse::Error(envelope)),
+                    None => self.close_silent(slot),
+                }
+            }
+            Phase::Dispatched { token } => {
+                // Deadline while queued or running: mark the job so an
+                // unstarted execution is skipped; a started one finishes
+                // harmlessly into a dropped token (and still warms the
+                // cache).
+                self.tokens.remove(&token);
+                let span = self.conns[slot].as_mut().and_then(|conn| {
+                    if let Some(flag) = conn.abandoned.take() {
+                        flag.store(true, Ordering::Release);
+                    }
+                    conn.span.take()
+                });
+                self.respond(slot, span, ApiResponse::Error(ApiError::deadline()));
+            }
+            Phase::Writing => {
+                // The peer stopped draining its response past the
+                // deadline: the queued response is lost.
+                if let Some(conn) = self.conns[slot].as_ref() {
+                    self.shared.account(OutcomeClass::Dropped, conn.started);
+                }
+                self.close_silent(slot);
+            }
+        }
+    }
+
+    /// Turn a typed response into wire bytes on the connection: honor
+    /// `Connection: close` and the drain, seal the span, consult the
+    /// conn-drop fault, book the outcome for the write to resolve.
+    fn respond(&mut self, slot: usize, span: Option<SpanBuilder>, api: ApiResponse) {
+        let shared = Arc::clone(&self.shared);
+        let (mut response, outcome) = api.into_parts();
+        {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                return;
+            };
+            if conn.close_requested {
+                response = response.closing();
+            }
+        }
         // Close after the response once draining (finish in-flight, then
         // wind the connection down).
-        let response = if shared.is_draining() {
-            response.closing()
-        } else {
-            response
-        };
+        if shared.is_draining() {
+            response = response.closing();
+        }
         // Seal the span: price the response write (known before the write
         // happens — the cost model only needs the body length), annotate
         // the response, and land the records in the ring.
-        let response = finish_span(shared, span, response);
+        let response = finish_span(&shared, span, response);
         // Injected connection drop: the response is computed but the peer
         // never sees it. A real failed write lands in the same outcome
         // class; either way the request is accounted exactly once.
-        let written = shared.injector.inject(FaultSite::ServeConnDrop).is_none()
-            && response.write(&mut stream).is_ok();
-        let final_outcome = if written { outcome } else { Outcome::Dropped };
-        shared.account(final_outcome, started);
-        if matches!(final_outcome, Outcome::Dropped) || response.close {
+        if shared.injector.inject(FaultSite::ServeConnDrop).is_some() {
+            if let Some(conn) = self.conns[slot].as_ref() {
+                shared.account(OutcomeClass::Dropped, conn.started);
+            }
+            self.close_silent(slot);
             return;
         }
+        if let Some(conn) = self.conns[slot].as_mut() {
+            conn.outcome = Some(outcome);
+            conn.close_after_write = response.close;
+            conn.phase = Phase::Writing;
+            conn.queue_write(response.render());
+        }
+        self.try_flush(slot);
+    }
+
+    /// Push queued response bytes; on full write, account the request
+    /// exactly once and return to keep-alive `Idle` (or close).
+    fn try_flush(&mut self, slot: usize) {
+        let flushed = {
+            let Some(conn) = self.conns[slot].as_mut() else {
+                return;
+            };
+            if conn.phase != Phase::Writing {
+                return;
+            }
+            conn.flush()
+        };
+        match flushed {
+            WriteOutcome::Blocked => self.update_interest(slot),
+            WriteOutcome::Failed => {
+                // Torn write: the peer never saw the response.
+                if let Some(conn) = self.conns[slot].as_ref() {
+                    self.shared.account(OutcomeClass::Dropped, conn.started);
+                }
+                self.close_silent(slot);
+            }
+            WriteOutcome::Done => {
+                let close = {
+                    let Some(conn) = self.conns[slot].as_mut() else {
+                        return;
+                    };
+                    let outcome = conn.outcome.take().unwrap_or(OutcomeClass::Error);
+                    self.shared.account(outcome, conn.started);
+                    conn.close_after_write
+                };
+                if close {
+                    self.close_silent(slot);
+                    return;
+                }
+                let now = Instant::now();
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    conn.finish_request(now);
+                }
+                self.wheel.schedule(slot, now + self.shared.idle);
+                self.update_interest(slot);
+            }
+        }
+    }
+
+    /// Reconcile the poller registration with the connection's phase
+    /// interest (readable / writable / deregistered while dispatched).
+    fn update_interest(&mut self, slot: usize) {
+        let (fd, want, registered) = {
+            let Some(conn) = self.conns[slot].as_ref() else {
+                return;
+            };
+            (
+                conn.stream.as_raw_fd(),
+                conn.interest(slot),
+                conn.registered,
+            )
+        };
+        let engaged = want.readable || want.writable;
+        let ok = match (registered, engaged) {
+            (true, true) => self.poller.modify(fd, want).is_ok(),
+            (false, true) => self.poller.add(fd, want).is_ok(),
+            (true, false) => {
+                let _ = self.poller.delete(fd);
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    conn.registered = false;
+                }
+                return;
+            }
+            (false, false) => return,
+        };
+        if ok {
+            if let Some(conn) = self.conns[slot].as_mut() {
+                conn.registered = true;
+            }
+        } else {
+            self.close_silent(slot);
+        }
+    }
+
+    /// Tear a connection down without touching the ledger (the caller
+    /// accounts first when there is anything to account).
+    fn close_silent(&mut self, slot: usize) {
+        let Some(conn) = self.conns[slot].take() else {
+            return;
+        };
+        if conn.registered {
+            let _ = self.poller.delete(conn.stream.as_raw_fd());
+        }
+        if let Phase::Dispatched { token } = conn.phase {
+            self.tokens.remove(&token);
+            if let Some(flag) = &conn.abandoned {
+                flag.store(true, Ordering::Release);
+            }
+        }
+        self.free.push(slot);
+        self.live -= 1;
     }
 }
 
@@ -566,301 +1143,61 @@ fn finish_span(
     response
 }
 
-fn route(
-    shared: &Arc<Shared>,
-    request: &Request,
-    started: Instant,
-    span: Option<&mut SpanBuilder>,
-) -> (Response, Outcome) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (Response::text(200, "ok\n"), Outcome::Served { hit: false }),
-        ("GET", "/v1/metrics") => {
-            let mut body = render_prometheus(&shared.metric_entries());
-            if let Some(plane) = &shared.spans {
-                body.push_str(&render_exemplars(&plane.snapshot()));
-            }
-            (Response::text(200, body), Outcome::Served { hit: false })
-        }
-        ("GET", "/v1/spans") => {
-            let body = match &shared.spans {
-                None => "{\"enabled\":false}\n".to_owned(),
-                Some(plane) => render_spans_json(
-                    plane.member(),
-                    plane.appended(),
-                    plane.dropped(),
-                    &plane.snapshot(),
-                ),
-            };
-            (Response::json(200, body), Outcome::Served { hit: false })
-        }
-        ("GET", "/v1/spans/bin") => match &shared.spans {
-            None => (Response::text(404, "spans disabled\n"), Outcome::Error),
-            Some(plane) => (
-                Response::text(
-                    200,
-                    format!("{}\n", hex_encode(&encode_spans(&plane.snapshot()))),
-                ),
-                Outcome::Served { hit: false },
-            ),
-        },
-        ("GET", "/v1/cache/stats") => {
-            let body = match &shared.cache {
-                None => "{\"enabled\":false}\n".to_owned(),
-                Some(store) => {
-                    let s = store.stats();
-                    format!(
-                        "{{\"enabled\":true,\"hits\":{},\"misses\":{},\"stores\":{},\
-                         \"quarantined\":{},\"bytes_read\":{},\"bytes_written\":{}}}\n",
-                        s.hits, s.misses, s.stores, s.quarantined, s.bytes_read, s.bytes_written
-                    )
-                }
-            };
-            (Response::json(200, body), Outcome::Served { hit: false })
-        }
-        ("POST", "/v1/shutdown") => {
-            shared.begin_drain();
-            (
-                Response::json(200, "{\"draining\":true}\n").closing(),
-                Outcome::Served { hit: false },
-            )
-        }
-        ("POST", "/v1/run") => handle_run(shared, &request.body, started, span),
-        ("GET", path) if path.starts_with("/v1/cell/") => handle_cell(shared, path, span),
-        (
-            "GET" | "POST",
-            "/healthz" | "/v1/metrics" | "/v1/cache/stats" | "/v1/shutdown" | "/v1/run"
-            | "/v1/spans" | "/v1/spans/bin",
-        ) => (Response::text(405, "method not allowed\n"), Outcome::Error),
-        (_, path) if path.starts_with("/v1/cell/") => {
-            (Response::text(405, "method not allowed\n"), Outcome::Error)
-        }
-        _ => (Response::text(404, "not found\n"), Outcome::Error),
-    }
-}
-
-/// `GET /v1/cell/<hex-key>`: the peer-fetch supply side. Answers the
-/// hex-encoded cell-result entry for the given key digest, `404` when
-/// the local store does not hold it. The store digest-verifies the
-/// payload on lookup, so a peer can never export a torn entry.
-fn handle_cell(
-    shared: &Arc<Shared>,
-    path: &str,
-    span: Option<&mut SpanBuilder>,
-) -> (Response, Outcome) {
-    let hex = path.strip_prefix("/v1/cell/").unwrap_or("");
-    let Some(digest) = Digest::from_hex(hex) else {
-        return (Response::text(400, "bad cell key\n"), Outcome::Error);
-    };
-    let key = CacheKey::from_digest(digest);
-    let looked_up = shared
-        .cache
-        .as_ref()
-        .and_then(|store| store.lookup(Plane::CellResult, &key));
-    if let Some(span) = span {
-        span.stage(
-            SpanStage::CacheLookup,
-            cache_lookup_cost(looked_up.as_deref().map(<[u8]>::len)),
-            looked_up.as_deref().map_or(0, |b| b.len() as u64),
-        );
-    }
-    match looked_up {
-        Some(bytes) => (
-            Response::text(200, format!("{}\n", hex_encode(&bytes))),
-            Outcome::Served { hit: false },
-        ),
-        None => (Response::text(404, "absent\n"), Outcome::Error),
-    }
-}
-
-fn error_json(error: &HarnessError) -> String {
-    format!(
-        "{{\"error\":\"{}\",\"exit_code\":{}}}\n",
-        error.to_string().replace('\\', "\\\\").replace('"', "\\\""),
-        error.exit_code()
-    )
-}
-
-fn handle_run(
-    shared: &Arc<Shared>,
-    body: &[u8],
-    started: Instant,
-    mut span: Option<&mut SpanBuilder>,
-) -> (Response, Outcome) {
-    let spec = match RunSpec::from_json(body).and_then(|r| r.to_session_spec()) {
-        Ok(spec) => {
-            if let Some(s) = span.as_deref_mut() {
-                s.stage(SpanStage::Admission, admission_cost(), 0);
-            }
-            spec
-        }
-        Err(error) => {
-            if let Some(s) = span.as_deref_mut() {
-                s.stage(SpanStage::Admission, admission_cost(), 1);
-            }
-            return (Response::json(400, error_json(&error)), Outcome::Error);
-        }
-    };
-    // Cache-first: a warm identity never touches the queue. Every hit is
-    // digest-verified by the store; a verified frame whose payload does
-    // not decode is quarantined and falls through to a fresh run.
-    if let Some(store) = &shared.cache {
-        if let Ok(key) = spec.with_session(|s| s.result_key()) {
-            let looked_up = store.lookup(Plane::CellResult, &key);
-            if let Some(s) = span.as_deref_mut() {
-                s.stage(
-                    SpanStage::CacheLookup,
-                    cache_lookup_cost(looked_up.as_deref().map(<[u8]>::len)),
-                    looked_up.as_deref().map_or(0, |b| b.len() as u64),
-                );
-            }
-            if let Some(bytes) = looked_up {
-                match decode_cell_entry(&bytes) {
-                    Some((cell, _sites)) => {
-                        let row =
-                            cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell);
-                        if let Some(s) = span.as_deref_mut() {
-                            s.stage(
-                                SpanStage::RowEncode,
-                                row_encode_cost(row.len()),
-                                row.len() as u64,
-                            );
-                        }
-                        return (Response::json(200, row), Outcome::Served { hit: true });
-                    }
-                    None => store.quarantine(Plane::CellResult, &key),
-                }
-            }
-            // Tier two: before paying for a recompute, ask the fleet.
-            // A peer that already owns this identity hands the entry
-            // over; it is decode-validated here, stored locally, and
-            // served as a hit. Exhausting every peer degrades to the
-            // worker pool below. The outgoing traceparent carries this
-            // request's root span, so the answering peer's span joins
-            // this trace — the fleet stitch.
-            if let Some(view) = &shared.peers {
-                let shard = shared.registry.global();
-                let traceparent = span.as_deref().map(SpanBuilder::traceparent);
-                let mut attempts = Vec::new();
-                let fetched = view.fetch_entry(
-                    &key.digest().to_hex(),
-                    &shared.injector,
-                    &shard,
-                    traceparent.as_deref(),
-                    &mut attempts,
-                );
-                if let Some(s) = span.as_deref_mut() {
-                    for a in &attempts {
-                        let detail = ((a.peer as u64) << 32)
-                            | u64::from(a.attempt)
-                            | (u64::from(a.found) << 63);
-                        s.stage(
-                            SpanStage::PeerFetch,
-                            peer_attempt_cost(a.backoff_ms, a.payload_bytes),
-                            detail,
-                        );
-                    }
-                }
-                match fetched.as_deref().and_then(decode_cell_entry) {
-                    Some((cell, _sites)) => {
-                        shard.incr(CounterId::ClusterPeerHits);
-                        if let Some(bytes) = &fetched {
-                            let _ = store.store(Plane::CellResult, &key, bytes);
-                        }
-                        let row =
-                            cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell);
-                        if let Some(s) = span.as_deref_mut() {
-                            s.stage(
-                                SpanStage::RowEncode,
-                                row_encode_cost(row.len()),
-                                row.len() as u64,
-                            );
-                        }
-                        return (Response::json(200, row), Outcome::Served { hit: true });
-                    }
-                    None => shard.incr(CounterId::ClusterPeerMisses),
-                }
-            }
-        }
-    }
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let abandoned = Arc::new(AtomicBool::new(false));
-    let job = Job {
-        spec,
-        reply: reply_tx,
-        abandoned: Arc::clone(&abandoned),
-    };
-    match shared.queue.try_enqueue(job) {
-        Err(AdmissionError::Full) => {
-            let mut response = Response::json(429, "{\"error\":\"queue full\"}\n");
-            response.retry_after = Some(1);
-            return (response, Outcome::Shed);
-        }
-        Err(AdmissionError::Closed) => {
-            return (
-                Response::json(503, "{\"error\":\"draining\"}\n").closing(),
-                Outcome::Error,
-            );
-        }
-        Ok(ahead) => {
-            // Queue wait is priced per job ahead at enqueue: 0 under
-            // sequential load, which is exactly what keeps drill spans
-            // `--jobs` invariant. The depth gauge counts this job too.
-            let wait = queue_wait_cost(ahead);
-            let shard = shared.registry.global();
-            shard.gauge_max(GaugeId::ServeQueueDepthHighwater, ahead as u64 + 1);
-            shard.observe(HistogramId::ServeQueueWaitCycles, wait);
-            if let Some(s) = span.as_deref_mut() {
-                s.stage(SpanStage::QueueWait, wait, ahead as u64);
-            }
-        }
-    }
-    let remaining = shared.deadline.saturating_sub(started.elapsed());
-    match reply_rx.recv_timeout(remaining) {
-        Ok(Ok((row, cycles))) => {
-            if let Some(s) = span {
-                // The one genuinely measured stage: the run's own PCL
-                // total, itself a pure function of the spec.
-                s.stage(SpanStage::Recompute, cycles, 0);
-                s.stage(
-                    SpanStage::RowEncode,
-                    row_encode_cost(row.len()),
-                    row.len() as u64,
-                );
-            }
-            (Response::json(200, row), Outcome::Served { hit: false })
-        }
-        Ok(Err(error)) => (Response::json(500, error_json(&error)), Outcome::Error),
-        Err(_) => {
-            // Deadline or a dead worker pool: either way the requester is
-            // done waiting. Mark the job so an unstarted execution is
-            // skipped; a started one finishes harmlessly into a dropped
-            // channel (and still warms the cache).
-            abandoned.store(true, Ordering::Release);
-            (
-                Response::json(504, "{\"error\":\"deadline elapsed\"}\n").closing(),
-                Outcome::Timeout,
-            )
-        }
-    }
-}
-
 fn worker_loop(shared: &Arc<Shared>) {
     while let Some(job) = shared.queue.dequeue() {
         if job.is_abandoned() {
             continue;
         }
-        let result = execute_job(shared, &job.spec);
-        // A failed send means the requester timed out mid-run; the row
+        let result = execute_job(shared, &job);
+        // A dead token means the requester timed out mid-run; the row
         // (if any) is already in the cache for the retry.
-        let _ = job.reply.send(result);
+        shared.board.post(Completion {
+            token: job.token,
+            result,
+        });
     }
 }
 
-/// Execute one spec through the Session API and render its canonical row.
-/// This is the only place the serve plane runs workloads; the fault
-/// injector is deliberately *not* attached to the session, so transport
-/// chaos can never perturb row bytes.
-fn execute_job(shared: &Arc<Shared>, spec: &SessionSpec) -> Result<(String, u64), HarnessError> {
+/// Execute one job: try the peer-fetch tier, else run the spec through
+/// the Session API and render its canonical row. This is the only place
+/// the serve plane runs workloads; the fault injector is deliberately
+/// *not* attached to the session, so transport chaos can never perturb
+/// row bytes.
+fn execute_job(shared: &Arc<Shared>, job: &Job) -> Result<JobOutput, HarnessError> {
+    let spec = &job.spec;
+    let mut attempts = Vec::new();
+    // Tier two: before paying for a recompute, ask the fleet. A peer
+    // that already owns this identity hands the entry over; it is
+    // decode-validated here, stored locally, and served as a hit.
+    // Exhausting every peer degrades to the recompute below.
+    if let (Some(store), Some(view)) = (&shared.cache, &shared.peers) {
+        if let Ok(key) = spec.with_session(|s| s.result_key()) {
+            let shard = shared.registry.global();
+            let fetched = view.fetch_entry(
+                &key.digest().to_hex(),
+                &shared.injector,
+                &shard,
+                job.traceparent.as_deref(),
+                &mut attempts,
+            );
+            match fetched.as_deref().and_then(decode_cell_entry) {
+                Some((cell, _sites)) => {
+                    shard.incr(CounterId::ClusterPeerHits);
+                    if let Some(bytes) = &fetched {
+                        let _ = store.store(Plane::CellResult, &key, bytes);
+                    }
+                    let row = cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell);
+                    return Ok(JobOutput {
+                        row,
+                        cycles: cell.total_cycles,
+                        hit: true,
+                        attempts,
+                    });
+                }
+                None => shard.incr(CounterId::ClusterPeerMisses),
+            }
+        }
+    }
     let registry = MetricsRegistry::new();
     let run = spec.with_session(|mut session| {
         session = session.metrics(registry.clone());
@@ -887,10 +1224,10 @@ fn execute_job(shared: &Arc<Shared>, spec: &SessionSpec) -> Result<(String, u64)
         .lock()
         .unwrap_or_else(|e| e.into_inner())
         .absorb(&registry.snapshot());
-    // The row plus the run's total cycles — the span plane's `recompute`
-    // stage, and like the row itself a pure function of the spec.
-    Ok((
-        cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell),
-        cell.total_cycles,
-    ))
+    Ok(JobOutput {
+        row: cell_row_json(&spec.workload, spec.agent.label(), spec.size.0, &cell),
+        cycles: cell.total_cycles,
+        hit: false,
+        attempts,
+    })
 }

@@ -1,0 +1,220 @@
+//! Integration proofs for the readiness event loop (DESIGN §17): any
+//! interleaving of partial writes, stalls, and keep-alive reuse over one
+//! connection must yield byte-identical responses to single-shot
+//! requests over fresh connections, and every `/v1` error must carry the
+//! typed envelope with bytes independent of the worker-pool width.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use jvmsim_serve::client::connect_with_retry;
+use jvmsim_serve::http::ResponseParser;
+use jvmsim_serve::{ApiError, ServeConfig, Server};
+
+fn start(jobs: usize) -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        jobs,
+        ..ServeConfig::default()
+    })
+    .expect("bind")
+}
+
+/// The shared daemon the interleaving cases hammer. Kept alive for the
+/// whole test binary: per-case startup would dominate the runtime, and
+/// surviving hundreds of adversarial connections on one event loop is
+/// itself part of the property.
+fn shared_addr() -> &'static str {
+    static DAEMON: OnceLock<(Server, String)> = OnceLock::new();
+    let (_, addr) = DAEMON.get_or_init(|| {
+        let server = start(2);
+        let addr = server.local_addr().to_string();
+        (server, addr)
+    });
+    addr
+}
+
+/// One raw HTTP/1.1 request.
+fn raw(method: &str, path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// The fixed request mix: health probes, three runs (one spec repeated,
+/// so responses must be stable across re-execution), and every
+/// keep-alive error class — unknown route (404), wrong method (405),
+/// unparseable body (400), bad cell key (400) — proving the connection
+/// survives typed error envelopes.
+fn mix() -> Vec<Vec<u8>> {
+    let compress = "{\"workload\":\"compress\",\"agent\":\"original\",\"size\":1}";
+    vec![
+        raw("GET", "/healthz", ""),
+        raw("POST", "/v1/run", compress),
+        raw("GET", "/nope", ""),
+        raw(
+            "POST",
+            "/v1/run",
+            "{\"workload\":\"db\",\"agent\":\"spa\",\"size\":1}",
+        ),
+        raw("DELETE", "/healthz", ""),
+        raw("POST", "/v1/run", "not json"),
+        raw("GET", "/v1/cell/00", ""),
+        raw("POST", "/v1/run", compress),
+        raw("GET", "/healthz", ""),
+    ]
+}
+
+/// Pull whatever the (nonblocking) socket has, feed the shared parser,
+/// and surface any completed `(status, body)` pairs. Returns without
+/// blocking when nothing is ready.
+fn drain_ready(stream: &mut TcpStream, parser: &mut ResponseParser, out: &mut Vec<(u16, String)>) {
+    let mut chunk = [0u8; 1024];
+    loop {
+        while let Some(parsed) = parser.try_next(false).expect("well-formed response stream") {
+            out.push((
+                parsed.status,
+                String::from_utf8(parsed.body).expect("utf8 body"),
+            ));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => parser.push(&chunk[..n]),
+            Err(_) => return, // WouldBlock: nothing ready right now.
+        }
+    }
+}
+
+/// The baseline shape: the request alone on a fresh connection, written
+/// in one piece.
+fn single_shot(addr: &str, request: &[u8]) -> (u16, String) {
+    let mut stream = connect_with_retry(addr, Duration::from_secs(5)).expect("connect");
+    stream.set_nonblocking(true).expect("nonblocking");
+    stream.write_all(request).expect("write");
+    let mut parser = ResponseParser::new();
+    let mut out = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while out.is_empty() {
+        assert!(Instant::now() < deadline, "single-shot response timed out");
+        drain_ready(&mut stream, &mut parser, &mut out);
+        if out.is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    out.remove(0)
+}
+
+fn baseline() -> &'static Vec<(u16, String)> {
+    static BASELINE: OnceLock<Vec<(u16, String)>> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let addr = shared_addr();
+        mix().iter().map(|r| single_shot(addr, r)).collect()
+    })
+}
+
+/// Write the whole mix over ONE keep-alive connection in adversarial
+/// chunks (sizes cycle through `chunks`; a `true` stall sleeps mid-
+/// write), draining responses opportunistically, and collect them all.
+fn exchange(addr: &str, chunks: &[usize], stalls: &[bool]) -> Vec<(u16, String)> {
+    let requests = mix();
+    let bytes: Vec<u8> = requests.concat();
+    let mut stream = connect_with_retry(addr, Duration::from_secs(5)).expect("connect");
+    stream.set_nonblocking(true).expect("nonblocking");
+    let mut parser = ResponseParser::new();
+    let mut out = Vec::new();
+    let (mut off, mut step) = (0usize, 0usize);
+    while off < bytes.len() {
+        let len = chunks[step % chunks.len()].max(1);
+        let end = (off + len).min(bytes.len());
+        stream.write_all(&bytes[off..end]).expect("write chunk");
+        if stalls[step % stalls.len()] {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        step += 1;
+        off = end;
+        drain_ready(&mut stream, &mut parser, &mut out);
+    }
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while out.len() < requests.len() {
+        assert!(
+            Instant::now() < deadline,
+            "interleaved exchange stalled at {} of {} responses",
+            out.len(),
+            requests.len()
+        );
+        drain_ready(&mut stream, &mut parser, &mut out);
+        if out.len() < requests.len() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    out
+}
+
+#[test]
+fn pipelined_burst_on_one_connection_matches_single_shot() {
+    // The whole mix in a single write: maximal pipelining.
+    let got = exchange(shared_addr(), &[1 << 20], &[false]);
+    assert_eq!(&got, baseline());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn any_interleaving_of_partial_writes_matches_single_shot(
+        chunks in prop::collection::vec(1usize..64, 1..10),
+        stalls in prop::collection::vec(any::<bool>(), 1..10),
+    ) {
+        let got = exchange(shared_addr(), &chunks, &stalls);
+        prop_assert_eq!(&got, baseline());
+    }
+}
+
+#[test]
+fn error_envelopes_are_byte_identical_for_any_worker_pool_width() {
+    let absent_cell = format!("/v1/cell/{}", "00".repeat(32));
+    let probes = [
+        ("GET", "/nope", ""),
+        ("DELETE", "/healthz", ""),
+        ("POST", "/v1/run", "not json"),
+        (
+            "POST",
+            "/v1/run",
+            "{\"workload\":\"zzz\",\"agent\":\"original\",\"size\":1}",
+        ),
+        ("GET", "/v1/cell/zz", ""),
+        ("GET", absent_cell.as_str(), ""),
+        ("GET", "/v1/spans/bin", ""),
+    ];
+    let collect = |jobs: usize| -> Vec<(u16, String)> {
+        let server = start(jobs);
+        let addr = server.local_addr().to_string();
+        let got = probes
+            .iter()
+            .map(|(method, path, body)| single_shot(&addr, &raw(method, path, body)))
+            .collect();
+        server.shutdown();
+        got
+    };
+    let narrow = collect(1);
+    let wide = collect(4);
+    assert_eq!(narrow, wide, "envelope bytes must not depend on --jobs");
+    for ((method, path, _), (status, body)) in probes.iter().zip(&narrow) {
+        assert!(
+            *status >= 400,
+            "{method} {path} must be an error, got {status}"
+        );
+        let envelope = ApiError::decode(*status, body.as_bytes())
+            .unwrap_or_else(|| panic!("{method} {path} body is not a typed envelope: {body}"));
+        assert!(
+            !envelope.code.is_empty(),
+            "{method} {path} envelope lacks a code"
+        );
+    }
+}

@@ -1,0 +1,701 @@
+//! Offline shim for a readiness-polling API (the `polling` crate's
+//! niche): level-triggered readiness events over raw `epoll(7)` /
+//! `poll(2)` FFI, plus a cross-thread [`Notifier`].
+//!
+//! The build container has no access to crates.io, so the real `polling`
+//! crate cannot be fetched. This shim exposes exactly the surface the
+//! workspace's event loops need, with deliberate divergences:
+//!
+//! * **Level-triggered, not oneshot** — an interest set stays armed
+//!   until [`Poller::modify`]/[`Poller::delete`] changes it, so callers
+//!   never re-arm after every event.
+//! * **Raw-fd API** — registration takes `RawFd` (callers pass
+//!   `stream.as_raw_fd()`); the poller never owns registered fds and a
+//!   caller must [`Poller::delete`] before closing one.
+//! * **Explicit [`Notifier`]** — a cloneable cross-thread wakeup handle
+//!   (pipe-backed) instead of the real crate's `Poller::notify`.
+//! * **Unix only** — Linux uses `epoll`; other unixes fall back to
+//!   `poll(2)` (also available on Linux via
+//!   [`Poller::with_poll_backend`], which keeps the fallback tested).
+//!
+//! All `unsafe` FFI in the workspace lives in this crate; consumers
+//! (`crates/serve`) keep `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Key reserved for the internal wakeup pipe; never surfaced from
+/// [`Poller::wait`] and refused by [`Poller::add`].
+const NOTIFY_KEY: usize = usize::MAX;
+
+#[cfg(unix)]
+mod ffi {
+    #![allow(non_camel_case_types)]
+    use std::os::raw::{c_int, c_ulong, c_void};
+
+    #[repr(C)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: i16,
+        pub revents: i16,
+    }
+
+    pub const POLLIN: i16 = 0x001;
+    pub const POLLOUT: i16 = 0x004;
+    pub const POLLERR: i16 = 0x008;
+    pub const POLLHUP: i16 = 0x010;
+    pub const POLLNVAL: i16 = 0x020;
+
+    extern "C" {
+        pub fn poll(fds: *mut pollfd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+    }
+
+    #[cfg(target_os = "linux")]
+    pub mod epoll {
+        use std::os::raw::c_int;
+
+        pub const EPOLL_CLOEXEC: c_int = 0o200_0000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+
+        // x86-64 packs `epoll_event` (historic kernel ABI); other
+        // architectures use natural alignment.
+        #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+        #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+        #[derive(Clone, Copy)]
+        pub struct epoll_event {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut epoll_event,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    extern "C" {
+        pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    }
+    #[cfg(not(target_os = "linux"))]
+    extern "C" {
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    // Generic-ABI flag values (x86-64 / aarch64 / riscv; the targets this
+    // workspace builds for).
+    pub const O_NONBLOCK: c_int = 0o4000;
+    pub const O_CLOEXEC: c_int = 0o200_0000;
+}
+
+#[cfg(not(unix))]
+compile_error!("the polling shim supports unix targets only");
+
+/// One readiness event: which registration fired and how. Doubles as the
+/// *interest* argument to [`Poller::add`]/[`Poller::modify`] (register
+/// for the directions set `true`). Error/hangup conditions are reported
+/// as both `readable` and `writable` so the caller's next I/O attempt
+/// surfaces the actual error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The key the fd was registered under.
+    pub key: usize,
+    /// Readable (or error/hangup) readiness.
+    pub readable: bool,
+    /// Writable (or error/hangup) readiness.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read-interest only.
+    #[must_use]
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write-interest only.
+    #[must_use]
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Both directions.
+    #[must_use]
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// Neither direction (stay registered, report only errors/hangups —
+    /// and on the poll(2) backend, nothing at all).
+    #[must_use]
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// The internal wakeup pipe: `notify()` writes a byte, the poller drains
+/// it. Both ends are nonblocking — a full pipe means a wake is already
+/// pending, which is all a notifier needs.
+#[derive(Debug)]
+struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        #[cfg(target_os = "linux")]
+        let rc = unsafe { ffi::pipe2(fds.as_mut_ptr(), ffi::O_NONBLOCK | ffi::O_CLOEXEC) };
+        #[cfg(not(target_os = "linux"))]
+        let rc = unsafe {
+            let rc = ffi::pipe(fds.as_mut_ptr());
+            if rc == 0 {
+                // Best-effort O_NONBLOCK on both ends (F_SETFL == 4).
+                for fd in fds {
+                    let _ = ffi::fcntl(fd, 4, ffi::O_NONBLOCK);
+                }
+            }
+            rc
+        };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    fn notify(&self) {
+        let byte = 1u8;
+        // EAGAIN (pipe full) is success: a wake is already pending.
+        let _ = unsafe { ffi::write(self.write_fd, std::ptr::addr_of!(byte).cast(), 1) };
+    }
+
+    fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { ffi::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            ffi::close(self.read_fd);
+            ffi::close(self.write_fd);
+        }
+    }
+}
+
+/// A cloneable cross-thread wakeup handle: [`Notifier::notify`] makes a
+/// concurrent or future [`Poller::wait`] return promptly (possibly with
+/// zero events). Wakes coalesce; they are never counted.
+#[derive(Debug, Clone)]
+pub struct Notifier {
+    pipe: Arc<WakePipe>,
+}
+
+impl Notifier {
+    /// Wake the poller this notifier came from.
+    pub fn notify(&self) {
+        self.pipe.notify();
+    }
+}
+
+#[cfg(target_os = "linux")]
+#[derive(Debug)]
+struct EpollBackend {
+    epfd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    fn new() -> io::Result<EpollBackend> {
+        let epfd = unsafe { ffi::epoll::epoll_create1(ffi::epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollBackend { epfd })
+    }
+
+    fn mask(interest: Event) -> u32 {
+        let mut events = ffi::epoll::EPOLLRDHUP;
+        if interest.readable {
+            events |= ffi::epoll::EPOLLIN;
+        }
+        if interest.writable {
+            events |= ffi::epoll::EPOLLOUT;
+        }
+        events
+    }
+
+    fn ctl(&self, op: std::os::raw::c_int, fd: RawFd, interest: Event) -> io::Result<()> {
+        let mut ev = ffi::epoll::epoll_event {
+            events: EpollBackend::mask(interest),
+            data: interest.key as u64,
+        };
+        let rc = unsafe { ffi::epoll::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        let mut buf = [ffi::epoll::epoll_event { events: 0, data: 0 }; 256];
+        let n = unsafe {
+            ffi::epoll::epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for ev in buf.iter().take(n.max(0) as usize) {
+            let ev = *ev; // copy out of the possibly-packed array slot
+            let bad = ev.events & (ffi::epoll::EPOLLERR | ffi::epoll::EPOLLHUP) != 0;
+            out.push(Event {
+                key: ev.data as usize,
+                readable: bad || ev.events & (ffi::epoll::EPOLLIN | ffi::epoll::EPOLLRDHUP) != 0,
+                writable: bad || ev.events & ffi::epoll::EPOLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollBackend {
+    fn drop(&mut self) {
+        unsafe {
+            ffi::close(self.epfd);
+        }
+    }
+}
+
+/// The portable fallback: interests in a table, one `poll(2)` per wait.
+#[derive(Debug, Default)]
+struct PollBackend {
+    fds: Mutex<HashMap<RawFd, Event>>,
+}
+
+impl PollBackend {
+    fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        let mut pollfds: Vec<ffi::pollfd> = {
+            let fds = self.fds.lock().unwrap_or_else(|e| e.into_inner());
+            fds.iter()
+                .map(|(fd, interest)| {
+                    let mut events = 0i16;
+                    if interest.readable {
+                        events |= ffi::POLLIN;
+                    }
+                    if interest.writable {
+                        events |= ffi::POLLOUT;
+                    }
+                    ffi::pollfd {
+                        fd: *fd,
+                        events,
+                        revents: 0,
+                    }
+                })
+                .collect()
+        };
+        let n = unsafe {
+            ffi::poll(
+                pollfds.as_mut_ptr(),
+                pollfds.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        let fds = self.fds.lock().unwrap_or_else(|e| e.into_inner());
+        for p in &pollfds {
+            if p.revents == 0 {
+                continue;
+            }
+            let Some(interest) = fds.get(&p.fd) else {
+                continue;
+            };
+            let bad = p.revents & (ffi::POLLERR | ffi::POLLHUP | ffi::POLLNVAL) != 0;
+            out.push(Event {
+                key: interest.key,
+                readable: bad || p.revents & ffi::POLLIN != 0,
+                writable: bad || p.revents & ffi::POLLOUT != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollBackend),
+    Poll(PollBackend),
+}
+
+/// A level-triggered readiness poller over a set of registered fds.
+#[derive(Debug)]
+pub struct Poller {
+    backend: Backend,
+    wake: Arc<WakePipe>,
+}
+
+impl Poller {
+    /// A poller on the platform's best backend (`epoll` on Linux,
+    /// `poll(2)` elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Fd exhaustion creating the epoll instance or the wakeup pipe.
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            Poller::from_backend(Backend::Epoll(EpollBackend::new()?))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            Poller::with_poll_backend()
+        }
+    }
+
+    /// A poller on the portable `poll(2)` backend — the fallback every
+    /// unix gets; constructible on Linux too so it stays tested.
+    ///
+    /// # Errors
+    ///
+    /// Fd exhaustion creating the wakeup pipe.
+    pub fn with_poll_backend() -> io::Result<Poller> {
+        Poller::from_backend(Backend::Poll(PollBackend::default()))
+    }
+
+    fn from_backend(backend: Backend) -> io::Result<Poller> {
+        let wake = Arc::new(WakePipe::new()?);
+        let poller = Poller { backend, wake };
+        poller.register(poller.wake.read_fd, Event::readable(NOTIFY_KEY), false)?;
+        Ok(poller)
+    }
+
+    /// A cloneable wakeup handle for other threads.
+    #[must_use]
+    pub fn notifier(&self) -> Notifier {
+        Notifier {
+            pipe: Arc::clone(&self.wake),
+        }
+    }
+
+    /// Register `fd` under `interest.key` for the directions set in
+    /// `interest`. The poller does not own `fd`; [`Poller::delete`] it
+    /// before closing.
+    ///
+    /// # Errors
+    ///
+    /// A reserved or duplicate registration, or kernel refusal.
+    pub fn add(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        self.register(fd, interest, false)
+    }
+
+    /// Replace the interest set of an already-registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Unknown `fd` or kernel refusal.
+    pub fn modify(&self, fd: RawFd, interest: Event) -> io::Result<()> {
+        self.register(fd, interest, true)
+    }
+
+    fn register(&self, fd: RawFd, interest: Event, replace: bool) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY && fd != self.wake.read_fd {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "key usize::MAX is reserved for the notifier",
+            ));
+        }
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epoll) => {
+                let op = if replace {
+                    ffi::epoll::EPOLL_CTL_MOD
+                } else {
+                    ffi::epoll::EPOLL_CTL_ADD
+                };
+                epoll.ctl(op, fd, interest)
+            }
+            Backend::Poll(table) => {
+                let mut fds = table.fds.lock().unwrap_or_else(|e| e.into_inner());
+                if !replace && fds.contains_key(&fd) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        "fd already registered",
+                    ));
+                }
+                fds.insert(fd, interest);
+                Ok(())
+            }
+        }
+    }
+
+    /// Deregister `fd`. Call before closing the fd.
+    ///
+    /// # Errors
+    ///
+    /// Unknown `fd` or kernel refusal.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epoll) => {
+                let mut ev = ffi::epoll::epoll_event { events: 0, data: 0 };
+                let rc = unsafe {
+                    ffi::epoll::epoll_ctl(epoll.epfd, ffi::epoll::EPOLL_CTL_DEL, fd, &mut ev)
+                };
+                if rc != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll(table) => {
+                table
+                    .fds
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Block until at least one registered fd is ready, the `timeout`
+    /// elapses, or a [`Notifier`] fires, appending ready events to
+    /// `events` (cleared first). A notifier wake can return `Ok(0)` with
+    /// no events — that is the signal to check cross-thread state.
+    ///
+    /// # Errors
+    ///
+    /// Kernel-level poll failures (`EINTR` is swallowed and returns
+    /// `Ok(0)`).
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                let micros = d.as_micros();
+                let ms = micros.div_ceil(1000);
+                i32::try_from(ms).unwrap_or(i32::MAX)
+            }
+        };
+        let mut raw: Vec<Event> = Vec::new();
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll(epoll) => epoll.wait(&mut raw, timeout_ms)?,
+            Backend::Poll(table) => table.wait(&mut raw, timeout_ms)?,
+        }
+        for ev in raw {
+            if ev.key == NOTIFY_KEY {
+                self.wake.drain();
+            } else {
+                events.push(ev);
+            }
+        }
+        Ok(events.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    fn pollers() -> Vec<Poller> {
+        let mut all = vec![Poller::new().unwrap()];
+        if cfg!(target_os = "linux") {
+            all.push(Poller::with_poll_backend().unwrap());
+        }
+        all
+    }
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn timeout_elapses_with_no_events() {
+        for poller in pollers() {
+            let mut events = Vec::new();
+            let started = Instant::now();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert_eq!(n, 0);
+            assert!(started.elapsed() >= Duration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn readable_event_fires_and_is_level_triggered() {
+        for poller in pollers() {
+            let (mut client, server) = pair();
+            server.set_nonblocking(true).unwrap();
+            poller.add(server.as_raw_fd(), Event::readable(7)).unwrap();
+            client.write_all(b"x").unwrap();
+            let mut events = Vec::new();
+            for _ in 0..2 {
+                // Unconsumed input must re-report (level-triggered).
+                poller
+                    .wait(&mut events, Some(Duration::from_secs(2)))
+                    .unwrap();
+                assert!(
+                    events.iter().any(|e| e.key == 7 && e.readable),
+                    "expected readable key 7, got {events:?}"
+                );
+            }
+            poller.delete(server.as_raw_fd()).unwrap();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert_eq!(n, 0, "deleted fd must not report");
+            drop(client);
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_modify() {
+        for poller in pollers() {
+            let (_client, server) = pair();
+            poller.add(server.as_raw_fd(), Event::none(3)).unwrap();
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(30)))
+                .unwrap();
+            assert!(
+                events.iter().all(|e| !e.writable || e.key != 3),
+                "no write interest yet: {events:?}"
+            );
+            poller
+                .modify(server.as_raw_fd(), Event::writable(3))
+                .unwrap();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.key == 3 && e.writable),
+                "idle socket must be writable: {events:?}"
+            );
+            poller.delete(server.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn notifier_wakes_a_blocked_wait() {
+        for poller in pollers() {
+            let notifier = poller.notifier();
+            let waker = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                notifier.notify();
+                notifier.notify(); // coalesces, never double-reports
+            });
+            let mut events = Vec::new();
+            let started = Instant::now();
+            let n = poller
+                .wait(&mut events, Some(Duration::from_secs(10)))
+                .unwrap();
+            assert_eq!(n, 0, "a pure wake carries no events");
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "wait must return on notify, not the timeout"
+            );
+            waker.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn hangup_reports_as_ready_for_io() {
+        for poller in pollers() {
+            let (client, server) = pair();
+            server.set_nonblocking(true).unwrap();
+            poller.add(server.as_raw_fd(), Event::readable(9)).unwrap();
+            drop(client);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(2)))
+                .unwrap();
+            assert!(
+                events.iter().any(|e| e.key == 9 && e.readable),
+                "peer hangup must surface as readable (read -> Ok(0)): {events:?}"
+            );
+            let mut buf = [0u8; 8];
+            let mut server = server;
+            assert_eq!(server.read(&mut buf).unwrap(), 0);
+            poller.delete(server.as_raw_fd()).unwrap();
+        }
+    }
+
+    #[test]
+    fn reserved_key_is_refused() {
+        for poller in pollers() {
+            let (_client, server) = pair();
+            let err = poller
+                .add(server.as_raw_fd(), Event::readable(NOTIFY_KEY))
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
+    }
+}
