@@ -4,10 +4,11 @@
 //! jprof trace --workload compress --agent ipa --out trace.json
 //!             [--size N] [--capacity N] [--flame out.folded]
 //!             [--events-csv events.csv] [--cache-dir DIR] [--no-cache 1]
-//! jprof suite [--jobs N] [--size N] [--agents a,b,...] [--out-dir DIR]
-//!             [--json] [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
-//! jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
-//!             [--cache-dir DIR] [--no-cache 1]
+//! jprof suite [--jobs N] [--size N] [--agents a,b,...] [--tiers MODE]
+//!             [--out-dir DIR] [--json] [--metrics PATH] [--cache-dir DIR]
+//!             [--no-cache 1]
+//! jprof chaos [--seeds N] [--jobs N] [--size N] [--tiers MODE]
+//!             [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
 //! jprof report [--jobs N] [--size N] [--format table|prom|json]
 //!              [--out FILE]
 //! jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
@@ -18,8 +19,8 @@
 //!              [--shutdown 1] [--spans-out FILE]
 //!              [--open-loop 1] [--hold-ms N] [--run-every N]
 //!              [--connect-burst N]
-//! jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
-//!           [--cache-dir DIR] [--no-cache 1]
+//! jprof run --workload NAME [--agent LABEL] [--size N] [--tiers MODE]
+//!           [--out FILE] [--cache-dir DIR] [--no-cache 1]
 //! jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
 //!               [--workloads a,b,...] [--eviction-limit BYTES]
 //!               [--fault-ppm N] [--cache-dir DIR] [--rows DIR]
@@ -36,7 +37,11 @@
 //! contention); any job count produces byte-identical artifacts.
 //! `--agents a,b,...` restricts the matrix to a subset of the agent axis
 //! (`original`, `spa`, `ipa`, `alloc`, `lock`); an unknown name is a
-//! usage error (exit 2). `chaos` re-runs the
+//! usage error (exit 2). `--tiers MODE` on `suite`, `chaos`, and `run`
+//! selects the execution-engine scenario axis (`interp-only`, `tiered`,
+//! `full`; default `full`) — the tiered pipeline's per-tier cycle
+//! attribution lands in the five `*_cycles` columns of the cell row, and
+//! an unknown mode is the same typed usage error. `chaos` re-runs the
 //! matrix under `--seeds` deterministic fault schedules and fails only if
 //! an accounting invariant breaks — injected failures are expected and
 //! reported. `report` runs the matrix with per-cell metric registries and
@@ -107,7 +112,7 @@ use jvmsim_serve::{
     SpanConfig,
 };
 use jvmsim_trace::{export, TraceRecorder};
-use jvmsim_vm::{TraceEventKind, TraceSink};
+use jvmsim_vm::{TiersMode, TraceEventKind, TraceSink};
 use nativeprof_bench::{
     agents_artifact, render_agents, render_overhead_attribution, render_table1, render_table2,
     run_chaos, run_suite, table1_artifact, table2_artifact, SuiteConfig,
@@ -119,10 +124,11 @@ usage:
   jprof trace --workload NAME --agent ipa [--size N] [--capacity N]
               [--out trace.json] [--flame out.folded] [--events-csv FILE]
               [--cache-dir DIR] [--no-cache 1]
-  jprof suite [--jobs N] [--size N] [--agents a,b,...] [--out-dir DIR]
-              [--json] [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
-  jprof chaos [--seeds N] [--jobs N] [--size N] [--metrics PATH]
-              [--cache-dir DIR] [--no-cache 1]
+  jprof suite [--jobs N] [--size N] [--agents a,b,...] [--tiers MODE]
+              [--out-dir DIR] [--json] [--metrics PATH] [--cache-dir DIR]
+              [--no-cache 1]
+  jprof chaos [--seeds N] [--jobs N] [--size N] [--tiers MODE]
+              [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
   jprof report [--jobs N] [--size N] [--format table|prom|json] [--out FILE]
   jprof serve [--addr HOST:PORT] [--jobs N] [--queue N] [--deadline-ms N]
               [--idle-ms N] [--metrics PATH] [--cache-dir DIR] [--no-cache 1]
@@ -131,8 +137,8 @@ usage:
                [--size N] [--rows DIR] [--cache-stats 1] [--shutdown 1]
                [--spans-out FILE] [--open-loop 1] [--hold-ms N]
                [--run-every N] [--connect-burst N]
-  jprof run --workload NAME [--agent LABEL] [--size N] [--out FILE]
-            [--cache-dir DIR] [--no-cache 1]
+  jprof run --workload NAME [--agent LABEL] [--size N] [--tiers MODE]
+            [--out FILE] [--cache-dir DIR] [--no-cache 1]
   jprof cluster [--peers N] [--kill K] [--seed S] [--size N]
                 [--workloads a,b,...] [--eviction-limit BYTES]
                 [--fault-ppm N] [--cache-dir DIR] [--rows DIR]
@@ -212,6 +218,16 @@ impl<'a> Flags<'a> {
 
     fn truthy(&self, key: &str) -> bool {
         matches!(self.get(key), Some("true") | Some("1"))
+    }
+
+    /// Resolve `--tiers` into the execution-engine scenario axis; an
+    /// unknown mode exits through the typed usage error (exit code 2)
+    /// with the valid set in the message.
+    fn tiers(&self) -> Result<TiersMode, HarnessError> {
+        self.get("--tiers").map_or(Ok(TiersMode::Full), |v| {
+            v.parse()
+                .map_err(|e: jvmsim_vm::ParseTiersModeError| HarnessError::Usage(e.to_string()))
+        })
     }
 
     /// Resolve `--cache-dir`/`--no-cache` into an opened store.
@@ -351,6 +367,7 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
             "--jobs",
             "--size",
             "--agents",
+            "--tiers",
             "--out-dir",
             "--json",
             "--metrics",
@@ -361,6 +378,7 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
     let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(100));
     let json = flags.truthy("--json");
+    let tiers = flags.tiers()?;
     let cache = flags.cache()?;
     // `--agents` narrows the matrix to a subset of the agent axis; an
     // unknown name exits through the typed usage error (exit code 2) with
@@ -377,7 +395,7 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
                 .collect::<Result<Vec<_>, _>>()
         })
         .transpose()?;
-    let mut config = SuiteConfig::with_size(size).jobs(jobs);
+    let mut config = SuiteConfig::with_size(size).jobs(jobs).tiers(tiers);
     if let Some(agents) = agents {
         config = config.agents(agents);
     }
@@ -385,8 +403,10 @@ fn cmd_suite(args: &[String]) -> Result<(), HarnessError> {
         config = config.cache(store.clone());
     }
     eprintln!(
-        "running the workload × agent matrix at size {} on {} worker(s) …",
-        size.0, config.jobs
+        "running the workload × agent matrix at size {} ({}) on {} worker(s) …",
+        size.0,
+        tiers.label(),
+        config.jobs
     );
     let suite = run_suite(config);
     if let Some(store) = &cache {
@@ -437,6 +457,7 @@ fn cmd_chaos(args: &[String]) -> Result<(), HarnessError> {
             "--seeds",
             "--jobs",
             "--size",
+            "--tiers",
             "--metrics",
             "--cache-dir",
             "--no-cache",
@@ -445,14 +466,17 @@ fn cmd_chaos(args: &[String]) -> Result<(), HarnessError> {
     let seeds: u64 = flags.get_parsed("--seeds")?.unwrap_or(8);
     let jobs: usize = flags.get_parsed("--jobs")?.unwrap_or(1);
     let size = ProblemSize(flags.get_parsed("--size")?.unwrap_or(1));
+    let tiers = flags.tiers()?;
     let cache = flags.cache()?;
-    let mut config = SuiteConfig::with_size(size).jobs(jobs);
+    let mut config = SuiteConfig::with_size(size).jobs(jobs).tiers(tiers);
     if let Some(store) = &cache {
         config = config.cache(store.clone());
     }
     eprintln!(
-        "chaos: running the matrix under {seeds} fault schedule(s) at size {} on {} worker(s) …",
-        size.0, config.jobs
+        "chaos: running the matrix under {seeds} fault schedule(s) at size {} ({}) on {} worker(s) …",
+        size.0,
+        tiers.label(),
+        config.jobs
     );
     let report = run_chaos(config, seeds);
     if let Some(store) = &cache {
@@ -667,6 +691,7 @@ fn cmd_run(args: &[String]) -> Result<(), HarnessError> {
             "--workload",
             "--agent",
             "--size",
+            "--tiers",
             "--out",
             "--cache-dir",
             "--no-cache",
@@ -679,6 +704,7 @@ fn cmd_run(args: &[String]) -> Result<(), HarnessError> {
         name,
         flags.get("--agent").unwrap_or("original"),
         flags.get_parsed("--size")?.unwrap_or(1),
+        flags.get("--tiers").unwrap_or("full"),
     )?;
     let cache = flags.cache()?;
     // Cache-first with the same plane and key the daemon and the suite
@@ -746,9 +772,26 @@ fn cmd_cluster(args: &[String]) -> Result<(), HarnessError> {
         kill: flags.get_parsed("--kill")?.unwrap_or(1),
         seed: flags.get_parsed("--seed")?.unwrap_or(0),
         size: flags.get_parsed("--size")?.unwrap_or(1),
+        // Validate every requested workload up front: a typo must exit
+        // as a usage error before any daemon binds, not surface later as
+        // a per-cell "unknown workload" harness failure deep in a pass.
         workloads: flags
             .get("--workloads")
-            .map(|list| list.split(',').map(str::to_owned).collect()),
+            .map(|list| {
+                list.split(',')
+                    .map(|name| {
+                        let name = name.trim();
+                        if name != "jbb" && by_name(name).is_none() {
+                            return Err(HarnessError::Usage(format!(
+                                "unknown workload {name:?} in --workloads \
+                                 (see `jprof list` for the valid set)"
+                            )));
+                        }
+                        Ok(name.to_owned())
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?,
         eviction_limit: flags
             .get_parsed("--eviction-limit")?
             .unwrap_or(defaults.eviction_limit),

@@ -61,11 +61,11 @@ fn main() {
         ("both low (300, 4)", 300, 4),
         ("both high (2400, 16)", 2_400, 16),
     ] {
-        let cost = CostModel {
+        let mut cost = CostModel {
             event_dispatch,
-            interp_insn,
             ..CostModel::default()
         };
+        cost.tiers.interp_insn = interp_insn;
         let ovh = |w: &dyn Workload| {
             let base = run_cycles(w, size, &cost, false) as f64;
             let spa = run_cycles(w, size, &cost, true) as f64;

@@ -47,7 +47,7 @@ use jvmsim_faults::{
 use jvmsim_metrics::{CounterId, HistogramId, MetricsEntry, MetricsRegistry, MetricsSnapshot};
 use jvmsim_trace::csv::Table;
 use jvmsim_trace::TraceRecorder;
-use jvmsim_vm::{MethodId, ThreadId, TraceEventKind, TraceSink};
+use jvmsim_vm::{MethodId, ThreadId, TiersMode, TraceEventKind, TraceSink};
 use workloads::{by_name, jvm98_suite, ProblemSize};
 
 use crate::{MeasuredAgentRow, MeasuredOverheadRow, MeasuredProfileRow};
@@ -144,6 +144,11 @@ pub struct SuiteConfig {
     /// whose inputs were filtered out are simply absent — the assembler
     /// already degrades to partial matrices. `None` runs the full axis.
     pub agents: Option<Vec<AgentChoice>>,
+    /// Execution-engine scenario axis: the tier ceiling every cell runs
+    /// under (interp-only / tiered / full). Part of each cell's result
+    /// identity, so the same cache serves all three settings without
+    /// cross-contamination.
+    pub tiers: TiersMode,
 }
 
 impl SuiteConfig {
@@ -158,6 +163,7 @@ impl SuiteConfig {
             chaos: None,
             cache: None,
             agents: None,
+            tiers: TiersMode::Full,
         }
     }
 
@@ -205,6 +211,11 @@ impl SuiteConfig {
             ..self
         }
     }
+
+    /// Same configuration under the given tier ceiling.
+    pub fn tiers(self, tiers: TiersMode) -> Self {
+        SuiteConfig { tiers, ..self }
+    }
 }
 
 /// One cell of the matrix.
@@ -213,6 +224,7 @@ struct Cell {
     workload: &'static str,
     agent: AgentCol,
     size: ProblemSize,
+    tiers: TiersMode,
 }
 
 /// Why a cell was quarantined.
@@ -445,7 +457,9 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>, cache: Option<&CacheStore>)
     // failing there with the same error as an uncached run.
     let result_key: Option<CacheKey> = cache.as_ref().and_then(|_| {
         let workload = by_name(cell.workload)?;
-        let mut session = Session::new(workload.as_ref(), cell.size).agent(cell.agent.choice());
+        let mut session = Session::new(workload.as_ref(), cell.size)
+            .agent(cell.agent.choice())
+            .tiers(cell.tiers);
         if let Some((injector, _, _)) = &chaos {
             session = session.faults(Arc::clone(injector));
         }
@@ -476,6 +490,7 @@ fn execute_cell(cell: Cell, chaos_seed: Option<u64>, cache: Option<&CacheStore>)
         })?;
         let mut session = Session::new(workload.as_ref(), cell.size)
             .agent(cell.agent.choice())
+            .tiers(cell.tiers)
             .metrics(metrics.clone());
         if let Some((injector, ledger, recorder)) = &chaos {
             session = session
@@ -658,6 +673,7 @@ fn build_cells(config: &SuiteConfig, jvm98: &[&'static str]) -> Vec<Cell> {
                     workload,
                     agent,
                     size: config.size,
+                    tiers: config.tiers,
                 });
             }
         }
@@ -668,6 +684,7 @@ fn build_cells(config: &SuiteConfig, jvm98: &[&'static str]) -> Vec<Cell> {
                 workload: "jbb",
                 agent,
                 size: config.jbb_size,
+                tiers: config.tiers,
             });
         }
     }
@@ -1174,6 +1191,11 @@ mod tests {
         assert!(c.chaos.is_none());
         assert!(c.cache.is_none());
         assert!(c.agents.is_none());
+        assert_eq!(c.tiers, TiersMode::Full);
+        assert_eq!(
+            c.clone().tiers(TiersMode::InterpOnly).tiers,
+            TiersMode::InterpOnly
+        );
         // Tiny sizes floor at the JBB minimum scale.
         assert_eq!(
             SuiteConfig::with_size(ProblemSize::S1).jbb_size,

@@ -333,7 +333,7 @@ pub fn render_overhead_attribution(entries: &[MetricsEntry]) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>13} {:>13} {:>7} {:>11} {:>10}",
+        "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>13} {:>13} {:>7} {:>11} {:>11} {:>11} {:>10}",
         "benchmark",
         "agent",
         "total_cycles",
@@ -344,6 +344,8 @@ pub fn render_overhead_attribution(entries: &[MetricsEntry]) -> String {
         "lock_probe",
         "trace",
         "harness",
+        "c1_compile",
+        "c2_compile",
         "overhead"
     );
     for e in entries {
@@ -356,7 +358,7 @@ pub fn render_overhead_attribution(entries: &[MetricsEntry]) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>13} {:>13} {:>7} {:>11} {:>9.2}%",
+            "{:<12} {:<9} {:>16} {:>16} {:>13} {:>13} {:>13} {:>13} {:>7} {:>11} {:>11} {:>11} {:>9.2}%",
             e.benchmark,
             e.agent,
             s.total_cycles(),
@@ -367,6 +369,8 @@ pub fn render_overhead_attribution(entries: &[MetricsEntry]) -> String {
             s.bucket_cycles(Bucket::LockProbe),
             s.bucket_cycles(Bucket::Trace),
             s.bucket_cycles(Bucket::Harness),
+            s.bucket_cycles(Bucket::C1Compile),
+            s.bucket_cycles(Bucket::C2Compile),
             overhead_pct,
         );
     }

@@ -125,6 +125,18 @@ fn chaos_holds_invariants_and_is_deterministic() {
     assert!(first.passed(), "{}", first.render());
     assert_eq!(first.cells, 80); // 2 seeds × 40 cells
     assert!(first.injected() > 0, "chaos injected nothing");
+    // The tier pipeline is in the blast radius: the compile-abort site
+    // must be consulted (every promotion attempt) and fire under the
+    // standard chaos plan — the invariant pass above already proved the
+    // half-charged aborts kept every cell's ledger exact.
+    let (_, consulted, injected) = first
+        .sites
+        .iter()
+        .find(|&&(label, _, _)| label == "tier-compile-abort")
+        .copied()
+        .expect("tier-compile-abort site missing from chaos summary");
+    assert!(consulted > 0, "no compile attempts consulted the site");
+    assert!(injected > 0, "chaos never aborted a tier compile");
     assert!(
         !first.failures.is_empty(),
         "chaos rates should fell at least one cell"

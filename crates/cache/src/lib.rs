@@ -40,7 +40,9 @@ use jvmsim_metrics::{CounterId, MetricsShard};
 /// mixed into every [`KeyHasher`], so a new scheme simply never sees old
 /// entries (invalidation by construction, no migration code). Version 2:
 /// the agent axis widened the memoized cell row with ALLOC/LOCK columns.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// Version 3: the tiered execution engine widened the row with per-tier
+/// cycle columns and added the tiers mode to every result identity.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// Entry file magic: `JVCE` (JVmsim Cache Entry).
 const ENTRY_MAGIC: [u8; 4] = *b"JVCE";

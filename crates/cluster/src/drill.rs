@@ -586,6 +586,7 @@ fn build_cells(config: &ClusterDrillConfig) -> Result<Vec<DrillCell>, String> {
                 workload: workload.clone(),
                 agent: agent.to_owned(),
                 size,
+                tiers: "full".to_owned(),
             };
             let body = run_spec.to_json();
             let spec = run_spec

@@ -86,16 +86,19 @@ impl Compensation {
     /// * `N2J_End`: trailing agent logic plus TLS/timestamp of the end
     ///   probe.
     ///
-    /// The wrapper head is priced at **steady-state (JIT-compiled)** cost,
+    /// The wrapper head is priced at **steady-state (C2, top-tier)** cost,
     /// matching the paper's "average execution time of the corresponding
-    /// wrapper": the first `jit_threshold` executions of each wrapper run
-    /// interpreted and are therefore under-compensated (their residual
+    /// wrapper": a wrapper's first executions run interpreted (and briefly
+    /// at C1) and are therefore under-compensated (their residual
     /// overhead lands on the bytecode side — conservative, in that it can
     /// only *understate* the native share, never inflate it).
     pub fn calibrated(cost: &CostModel) -> Self {
         let probe = cost.tls_access + cost.timestamp_read;
         Compensation {
-            j2n_begin: cost.call_overhead_jit + 4 * cost.jit_insn + cost.native_dispatch + probe,
+            j2n_begin: cost.tiers.call_overhead_c2
+                + 4 * cost.tiers.c2_insn
+                + cost.native_dispatch
+                + probe,
             j2n_end: cost.agent_logic + cost.native_dispatch + probe,
             n2j_begin: probe,
             n2j_end: cost.agent_logic + probe,

@@ -112,11 +112,17 @@ pub enum FaultSite {
     /// `appended + dropped` still covers all finished spans and drill
     /// invariants are checked only over survivors.
     SpanBufferSaturation,
+    /// A tier compile (C1 or C2) aborts partway — the compiler thread is
+    /// modeled as bailing out. Half the compile cost has already been
+    /// charged to the compile bucket; the method must stay at its current
+    /// tier with its invocation counter reset, and the bucket ledger must
+    /// still partition `total_cycles` exactly.
+    TierCompileAbort,
 }
 
 impl FaultSite {
     /// Number of distinct sites.
-    pub const COUNT: usize = 17;
+    pub const COUNT: usize = 18;
 
     /// Every site, in a fixed order (indexing matches [`FaultSite::index`]).
     ///
@@ -141,6 +147,7 @@ impl FaultSite {
         FaultSite::PeerSlowRead,
         FaultSite::MemberCrash,
         FaultSite::SpanBufferSaturation,
+        FaultSite::TierCompileAbort,
     ];
 
     /// Stable index of this site into rate/counter arrays.
@@ -164,6 +171,7 @@ impl FaultSite {
             FaultSite::PeerSlowRead => 14,
             FaultSite::MemberCrash => 15,
             FaultSite::SpanBufferSaturation => 16,
+            FaultSite::TierCompileAbort => 17,
         }
     }
 
@@ -188,6 +196,7 @@ impl FaultSite {
             FaultSite::PeerSlowRead => "peer-slow-read",
             FaultSite::MemberCrash => "member-crash",
             FaultSite::SpanBufferSaturation => "span-buffer-saturation",
+            FaultSite::TierCompileAbort => "tier-compile-abort",
         }
     }
 
@@ -260,6 +269,7 @@ impl FaultPlan {
             .with_rate(FaultSite::PeerSlowRead, 60_000)
             .with_rate(FaultSite::MemberCrash, 40_000)
             .with_rate(FaultSite::SpanBufferSaturation, 20_000)
+            .with_rate(FaultSite::TierCompileAbort, 30_000)
     }
 
     /// True if every rate is zero (the plan can never inject).

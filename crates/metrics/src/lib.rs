@@ -57,11 +57,17 @@ pub enum Bucket {
     /// LOCK agent machinery: monitor-ledger bookkeeping plus the modeled
     /// blocked cycles charged to waiting threads.
     LockProbe,
+    /// C1 quick-compiler time: cycles spent producing tier-1 code (and
+    /// half-charged aborted compiles under fault injection).
+    C1Compile,
+    /// C2 optimizing-compiler time: cycles spent producing tier-2 code
+    /// (and half-charged aborted compiles under fault injection).
+    C2Compile,
 }
 
 impl Bucket {
     /// Number of buckets (array sizing).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 9;
 
     /// Every bucket, in dense-index order.
     pub const ALL: [Bucket; Bucket::COUNT] = [
@@ -72,6 +78,8 @@ impl Bucket {
         Bucket::Harness,
         Bucket::AllocProbe,
         Bucket::LockProbe,
+        Bucket::C1Compile,
+        Bucket::C2Compile,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -84,6 +92,8 @@ impl Bucket {
             Bucket::Harness => 4,
             Bucket::AllocProbe => 5,
             Bucket::LockProbe => 6,
+            Bucket::C1Compile => 7,
+            Bucket::C2Compile => 8,
         }
     }
 
@@ -97,6 +107,8 @@ impl Bucket {
             Bucket::Harness => "harness",
             Bucket::AllocProbe => "alloc_probe",
             Bucket::LockProbe => "lock_probe",
+            Bucket::C1Compile => "c1_compile",
+            Bucket::C2Compile => "c2_compile",
         }
     }
 
@@ -185,11 +197,23 @@ pub enum CounterId {
     /// Serve-plane connections accepted by the event loop over the
     /// daemon's lifetime (keep-alive connections count once).
     ServeConnsAccepted,
+    /// Methods promoted to the C1 quick tier (including via OSR).
+    C1Compiles,
+    /// Methods promoted to the C2 optimizing tier (including via OSR).
+    C2Compiles,
+    /// On-stack replacements: promotions triggered by a hot loop
+    /// back-edge inside a running activation.
+    OsrReplacements,
+    /// Deoptimizations: compiled frames demoted back to the interpreter
+    /// by exception unwinding.
+    Deopts,
+    /// Tier compiles aborted by the `tier-compile-abort` fault site.
+    TierCompileAborts,
 }
 
 impl CounterId {
     /// Number of counters (array sizing).
-    pub const COUNT: usize = 34;
+    pub const COUNT: usize = 39;
 
     /// Every counter, in dense-index order.
     pub const ALL: [CounterId; CounterId::COUNT] = [
@@ -227,6 +251,11 @@ impl CounterId {
         CounterId::ClusterFailovers,
         CounterId::ClusterEvictions,
         CounterId::ServeConnsAccepted,
+        CounterId::C1Compiles,
+        CounterId::C2Compiles,
+        CounterId::OsrReplacements,
+        CounterId::Deopts,
+        CounterId::TierCompileAborts,
     ];
 
     /// Dense index in `[0, COUNT)`.
@@ -266,6 +295,11 @@ impl CounterId {
             CounterId::ClusterFailovers => 31,
             CounterId::ClusterEvictions => 32,
             CounterId::ServeConnsAccepted => 33,
+            CounterId::C1Compiles => 34,
+            CounterId::C2Compiles => 35,
+            CounterId::OsrReplacements => 36,
+            CounterId::Deopts => 37,
+            CounterId::TierCompileAborts => 38,
         }
     }
 
@@ -306,6 +340,11 @@ impl CounterId {
             CounterId::ClusterFailovers => "cluster_failovers",
             CounterId::ClusterEvictions => "cluster_evictions",
             CounterId::ServeConnsAccepted => "serve_conns_accepted",
+            CounterId::C1Compiles => "c1_compiles",
+            CounterId::C2Compiles => "c2_compiles",
+            CounterId::OsrReplacements => "osr_replacements",
+            CounterId::Deopts => "deopts",
+            CounterId::TierCompileAborts => "tier_compile_aborts",
         }
     }
 }

@@ -1,0 +1,156 @@
+//! Per-tier cycle cost model.
+//!
+//! Lives in the PCL crate — directly beside the cycle counters it feeds —
+//! so both the VM above and any calibration tooling below can share one
+//! definition. The constants reproduce the measured interpreter-vs-tier
+//! performance ratios from "Repositioning Tiered HotSpot Execution
+//! Performance Relative to the Interpreter": interpreted bytecode runs
+//! roughly 8× slower than C2 code and 4× slower than C1 code, while a C2
+//! compile costs about 4× a C1 compile per bytecode instruction.
+
+use jvmsim_tiers::Tier;
+
+/// Cycle costs of tiered execution: per-instruction rates, invocation
+/// overheads, promotion thresholds, and compile charges. Plain data —
+/// construct with [`TierCostModel::default`] and adjust fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TierCostModel {
+    /// Cycles per interpreted bytecode instruction.
+    pub interp_insn: u64,
+    /// Cycles per C1-compiled bytecode instruction.
+    pub c1_insn: u64,
+    /// Cycles per C2-compiled bytecode instruction.
+    pub c2_insn: u64,
+    /// Extra cycles per invocation of an interpreted callee.
+    pub call_overhead_interp: u64,
+    /// Extra cycles per invocation of a C1-compiled callee.
+    pub call_overhead_c1: u64,
+    /// Extra cycles per invocation of a C2-compiled callee.
+    pub call_overhead_c2: u64,
+    /// Invocations before a method is promoted from the interpreter to C1.
+    pub c1_invocation_threshold: u32,
+    /// Invocations before a method is promoted from C1 to C2.
+    pub c2_invocation_threshold: u32,
+    /// Backward branches in one activation before the running method is
+    /// promoted mid-frame (on-stack replacement).
+    pub osr_backedge_threshold: u32,
+    /// Compile cost, in cycles per bytecode instruction, of a C1 compile.
+    pub c1_compile_per_insn: u64,
+    /// Compile cost, in cycles per bytecode instruction, of a C2 compile.
+    pub c2_compile_per_insn: u64,
+}
+
+impl Default for TierCostModel {
+    fn default() -> Self {
+        TierCostModel {
+            interp_insn: 8,
+            c1_insn: 2,
+            c2_insn: 1,
+            call_overhead_interp: 30,
+            call_overhead_c1: 8,
+            call_overhead_c2: 4,
+            c1_invocation_threshold: 20,
+            c2_invocation_threshold: 200,
+            osr_backedge_threshold: 200,
+            c1_compile_per_insn: 50,
+            c2_compile_per_insn: 200,
+        }
+    }
+}
+
+impl TierCostModel {
+    /// Cycles for one bytecode instruction at `tier`.
+    #[must_use]
+    pub fn insn(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Interp => self.interp_insn,
+            Tier::C1 => self.c1_insn,
+            Tier::C2 => self.c2_insn,
+        }
+    }
+
+    /// Cycles of invocation overhead for a callee running at `tier`.
+    #[must_use]
+    pub fn call_overhead(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Interp => self.call_overhead_interp,
+            Tier::C1 => self.call_overhead_c1,
+            Tier::C2 => self.call_overhead_c2,
+        }
+    }
+
+    /// The invocation count at which a method running at `tier` is
+    /// promoted one step, if that tier promotes at all.
+    #[must_use]
+    pub fn invocation_threshold(&self, tier: Tier) -> Option<u32> {
+        match tier {
+            Tier::Interp => Some(self.c1_invocation_threshold),
+            Tier::C1 => Some(self.c2_invocation_threshold),
+            Tier::C2 => None,
+        }
+    }
+
+    /// Compile cost of producing `tier` code for a method of
+    /// `insn_count` bytecode instructions. Zero for the interpreter.
+    #[must_use]
+    pub fn compile_cost(&self, tier: Tier, insn_count: usize) -> u64 {
+        let per_insn = match tier {
+            Tier::Interp => 0,
+            Tier::C1 => self.c1_compile_per_insn,
+            Tier::C2 => self.c2_compile_per_insn,
+        };
+        per_insn * insn_count as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiers_get_monotonically_faster() {
+        let c = TierCostModel::default();
+        assert!(c.interp_insn > c.c1_insn);
+        assert!(c.c1_insn > c.c2_insn);
+        assert!(c.call_overhead_interp > c.call_overhead_c1);
+        assert!(c.call_overhead_c1 > c.call_overhead_c2);
+        // The paper-level ratio the tables depend on: interpreted code is
+        // several times slower than top-tier code.
+        assert!(c.interp_insn >= 4 * c.c2_insn);
+    }
+
+    #[test]
+    fn compiles_get_monotonically_more_expensive() {
+        let c = TierCostModel::default();
+        assert!(c.c2_compile_per_insn > c.c1_compile_per_insn);
+        assert_eq!(c.compile_cost(Tier::Interp, 100), 0);
+        assert_eq!(c.compile_cost(Tier::C1, 100), 100 * c.c1_compile_per_insn);
+        assert_eq!(c.compile_cost(Tier::C2, 100), 100 * c.c2_compile_per_insn);
+    }
+
+    #[test]
+    fn thresholds_order_the_pipeline() {
+        let c = TierCostModel::default();
+        assert!(c.c2_invocation_threshold > c.c1_invocation_threshold);
+        assert_eq!(
+            c.invocation_threshold(Tier::Interp),
+            Some(c.c1_invocation_threshold)
+        );
+        assert_eq!(
+            c.invocation_threshold(Tier::C1),
+            Some(c.c2_invocation_threshold)
+        );
+        assert_eq!(c.invocation_threshold(Tier::C2), None);
+    }
+
+    #[test]
+    fn selectors_match_fields() {
+        let c = TierCostModel::default();
+        assert_eq!(c.insn(Tier::Interp), c.interp_insn);
+        assert_eq!(c.insn(Tier::C1), c.c1_insn);
+        assert_eq!(c.insn(Tier::C2), c.c2_insn);
+        assert_eq!(c.call_overhead(Tier::Interp), c.call_overhead_interp);
+        assert_eq!(c.call_overhead(Tier::C1), c.call_overhead_c1);
+        assert_eq!(c.call_overhead(Tier::C2), c.call_overhead_c2);
+    }
+}

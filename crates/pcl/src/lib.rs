@@ -29,6 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cost;
+
+pub use cost::TierCostModel;
+
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

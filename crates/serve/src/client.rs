@@ -215,6 +215,7 @@ pub fn pick_spec(seed: u64, conn: usize, idx: usize, size: u32) -> RunSpec {
         workload: WORKLOADS[(h % WORKLOADS.len() as u64) as usize].to_owned(),
         agent: AGENTS[((h >> 8) % AGENTS.len() as u64) as usize].to_owned(),
         size,
+        tiers: "full".to_owned(),
     }
 }
 

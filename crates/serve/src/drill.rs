@@ -84,6 +84,7 @@ pub fn chaos_drill(seed: u64) -> Result<DrillReport, String> {
         workload: "compress".to_owned(),
         agent: "original".to_owned(),
         size: 1,
+        tiers: "full".to_owned(),
     }
     .to_json();
 

@@ -40,6 +40,11 @@ pub struct RunSpec {
     pub agent: String,
     /// Problem size (default 1).
     pub size: u32,
+    /// Tiers mode label (`interp-only` / `tiered` / `full`; default
+    /// `full`). Validated through the shared
+    /// [`TiersMode`](jvmsim_vm::TiersMode) parser in
+    /// [`Self::to_session_spec`].
+    pub tiers: String,
 }
 
 impl RunSpec {
@@ -57,11 +62,13 @@ impl RunSpec {
         let mut workload = None;
         let mut agent = None;
         let mut size = None;
+        let mut tiers = None;
         for (key, value) in fields {
             match key.as_str() {
                 "workload" => workload = Some(value.string("workload")?),
                 "agent" => agent = Some(value.string("agent")?),
                 "size" => size = Some(value.size("size")?),
+                "tiers" => tiers = Some(value.string("tiers")?),
                 other => {
                     return Err(HarnessError::Usage(format!(
                         "unknown run spec key '{other}'"
@@ -74,6 +81,7 @@ impl RunSpec {
                 .ok_or_else(|| HarnessError::Usage("run spec missing 'workload'".to_owned()))?,
             agent: agent.unwrap_or_else(|| "original".to_owned()),
             size: size.unwrap_or(1),
+            tiers: tiers.unwrap_or_else(|| "full".to_owned()),
         })
     }
 
@@ -83,17 +91,18 @@ impl RunSpec {
     ///
     /// As [`SessionSpec::parse`].
     pub fn to_session_spec(&self) -> Result<SessionSpec, HarnessError> {
-        SessionSpec::parse(&self.workload, &self.agent, self.size)
+        SessionSpec::parse(&self.workload, &self.agent, self.size, &self.tiers)
     }
 
     /// Render as the canonical request body (what `jprof client` sends).
     #[must_use]
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"workload\":\"{}\",\"agent\":\"{}\",\"size\":{}}}",
+            "{{\"workload\":\"{}\",\"agent\":\"{}\",\"size\":{},\"tiers\":\"{}\"}}",
             escape(&self.workload),
             escape(&self.agent),
-            self.size
+            self.size,
+            escape(&self.tiers)
         )
     }
 }
@@ -627,17 +636,22 @@ mod tests {
 
     #[test]
     fn parses_full_and_defaulted_specs() {
-        let full =
-            RunSpec::from_json(br#"{"workload": "compress", "agent": "ipa", "size": 10}"#).unwrap();
+        let full = RunSpec::from_json(
+            br#"{"workload": "compress", "agent": "ipa", "size": 10, "tiers": "interp-only"}"#,
+        )
+        .unwrap();
         assert_eq!(full.workload, "compress");
         assert_eq!(full.agent, "ipa");
         assert_eq!(full.size, 10);
+        assert_eq!(full.tiers, "interp-only");
         let spec = full.to_session_spec().unwrap();
         assert_eq!(spec.agent.label(), "IPA");
+        assert_eq!(spec.tiers.label(), "interp-only");
 
         let minimal = RunSpec::from_json(br#"{"workload":"db"}"#).unwrap();
         assert_eq!(minimal.agent, "original");
         assert_eq!(minimal.size, 1);
+        assert_eq!(minimal.tiers, "full");
     }
 
     #[test]
@@ -646,6 +660,7 @@ mod tests {
             workload: "mtrt".to_owned(),
             agent: "spa".to_owned(),
             size: 100,
+            tiers: "tiered".to_owned(),
         };
         assert_eq!(RunSpec::from_json(spec.to_json().as_bytes()).unwrap(), spec);
     }
@@ -674,6 +689,15 @@ mod tests {
     #[test]
     fn unknown_workload_is_a_usage_error() {
         let spec = RunSpec::from_json(br#"{"workload":"nope"}"#).unwrap();
+        assert!(matches!(
+            spec.to_session_spec(),
+            Err(HarnessError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tiers_mode_is_a_usage_error() {
+        let spec = RunSpec::from_json(br#"{"workload":"compress","tiers":"c9"}"#).unwrap();
         assert!(matches!(
             spec.to_session_spec(),
             Err(HarnessError::Usage(_))

@@ -78,11 +78,21 @@ fn served_rows_match_batch_rows_cold_and_warm() {
             workload: "compress".to_owned(),
             agent: "ipa".to_owned(),
             size: 1,
+            tiers: "full".to_owned(),
         },
         RunSpec {
             workload: "db".to_owned(),
             agent: "original".to_owned(),
             size: 1,
+            // Byte-identity must hold on every point of the tier axis,
+            // not just the default.
+            tiers: "tiered".to_owned(),
+        },
+        RunSpec {
+            workload: "db".to_owned(),
+            agent: "original".to_owned(),
+            size: 1,
+            tiers: "interp-only".to_owned(),
         },
     ] {
         let expected = batch_row(&spec);
@@ -113,6 +123,7 @@ fn warm_requests_hit_the_cache_with_pinned_counters() {
         workload: "jess".to_owned(),
         agent: "spa".to_owned(),
         size: 1,
+        tiers: "full".to_owned(),
     };
     // Cold miss, then two warm hits: the counters are exact, not >=.
     for _ in 0..3 {
@@ -176,6 +187,7 @@ fn queue_overflow_sheds_with_429_and_daemon_survives() {
                     workload: "javac".to_owned(),
                     agent: "ipa".to_owned(),
                     size: 20,
+                    tiers: "full".to_owned(),
                 };
                 let mut stream =
                     connect_with_retry(&addr, Duration::from_secs(5)).expect("connect");
@@ -229,6 +241,7 @@ fn graceful_drain_completes_in_flight_requests() {
                 workload: workload.to_owned(),
                 agent: "ipa".to_owned(),
                 size: 20,
+                tiers: "full".to_owned(),
             };
             std::thread::spawn(move || post_run(&addr, &spec))
         })
@@ -270,9 +283,10 @@ fn run_spec_equivalence_holds_for_every_agent() {
             workload: "compress".to_owned(),
             agent: agent.to_owned(),
             size: 1,
+            tiers: "full".to_owned(),
         };
         let a = spec.to_session_spec().expect("valid");
-        let b = SessionSpec::parse("compress", agent, 1).expect("valid");
+        let b = SessionSpec::parse("compress", agent, 1, "full").expect("valid");
         let ka = a.with_session(|s| s.result_key()).expect("key");
         let kb = b.with_session(|s| s.result_key()).expect("key");
         assert_eq!(ka, kb);

@@ -48,6 +48,7 @@ fn every_cell_of_the_matrix_partitions_its_root_exactly() {
                 workload: workload.to_owned(),
                 agent: agent.to_owned(),
                 size: 1,
+                tiers: "full".to_owned(),
             };
             let (status, body, _, span) =
                 http_request_full(&mut stream, "POST", "/v1/run", Some(&spec.to_json()))

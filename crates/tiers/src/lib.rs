@@ -1,0 +1,223 @@
+//! The tiered execution model: execution tiers, promotion modes, and the
+//! `--tiers` scenario axis.
+//!
+//! The simulated JVM executes every bytecode method at one of three
+//! tiers, mirroring HotSpot's tiered compilation pipeline:
+//!
+//! * [`Tier::Interp`] — the template interpreter. Every method starts
+//!   here; per-instruction cost is highest.
+//! * [`Tier::C1`] — the quick client compiler. A method is promoted when
+//!   its invocation counter (or an activation's back-edge counter, via
+//!   on-stack replacement) crosses the C1 threshold. Compilation itself
+//!   charges cycles, attributed to a dedicated `c1_compile` bucket.
+//! * [`Tier::C2`] — the optimizing server compiler. Promotion from C1 at
+//!   a higher invocation count; the compile is an order of magnitude more
+//!   expensive and the generated code an order of magnitude faster than
+//!   interpreted bytecode (the Lambert/Casey interpreter-vs-tier ratios).
+//!
+//! Which promotions are *allowed* is the scenario axis: [`TiersMode`]
+//! selects between a pure interpreter (`-Xint`), a single quick tier
+//! (client mode), and the full pipeline (tiered server mode). The mode is
+//! part of a run's cache identity — two runs at different modes never
+//! share a memoized row.
+//!
+//! This crate is dependency-free plain data so every layer — the PCL cost
+//! model below the VM, the suite driver and HTTP API above it — can name
+//! tiers without depending on the VM itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One execution tier. Ordered: `Interp < C1 < C2`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Tier {
+    /// Interpreted execution (every method's initial tier).
+    #[default]
+    Interp,
+    /// C1-like quick compile: fast to produce, moderately fast code.
+    C1,
+    /// C2-like optimizing compile: expensive to produce, fastest code.
+    C2,
+}
+
+impl Tier {
+    /// All tiers, promotion order.
+    pub const ALL: [Tier; 3] = [Tier::Interp, Tier::C1, Tier::C2];
+
+    /// Dense index (`Interp` = 0, `C1` = 1, `C2` = 2).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable lower-case label (`interp` / `c1` / `c2`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Interp => "interp",
+            Tier::C1 => "c1",
+            Tier::C2 => "c2",
+        }
+    }
+
+    /// The next tier up, if any.
+    #[must_use]
+    pub fn next(self) -> Option<Tier> {
+        match self {
+            Tier::Interp => Some(Tier::C1),
+            Tier::C1 => Some(Tier::C2),
+            Tier::C2 => None,
+        }
+    }
+
+    /// Is this a compiled tier (anything above the interpreter)?
+    #[must_use]
+    pub fn is_compiled(self) -> bool {
+        self != Tier::Interp
+    }
+}
+
+impl fmt::Display for Tier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The `--tiers` scenario axis: which promotions the pipeline performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TiersMode {
+    /// No compilation at all — the `-Xint` ablation. Every method stays
+    /// interpreted forever.
+    InterpOnly,
+    /// Interpreter plus the C1 quick tier only (HotSpot client mode).
+    Tiered,
+    /// The full pipeline: interpreter → C1 → C2 with on-stack
+    /// replacement. The default.
+    #[default]
+    Full,
+}
+
+impl TiersMode {
+    /// All modes, ablation order.
+    pub const ALL: [TiersMode; 3] = [TiersMode::InterpOnly, TiersMode::Tiered, TiersMode::Full];
+
+    /// Stable label, the canonical CLI / JSON spelling
+    /// (`interp-only` / `tiered` / `full`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            TiersMode::InterpOnly => "interp-only",
+            TiersMode::Tiered => "tiered",
+            TiersMode::Full => "full",
+        }
+    }
+
+    /// The highest tier this mode ever promotes a method to.
+    #[must_use]
+    pub fn ceiling(self) -> Tier {
+        match self {
+            TiersMode::InterpOnly => Tier::Interp,
+            TiersMode::Tiered => Tier::C1,
+            TiersMode::Full => Tier::C2,
+        }
+    }
+
+    /// Does this mode allow promoting *from* `tier`?
+    #[must_use]
+    pub fn allows_promotion_from(self, tier: Tier) -> bool {
+        tier < self.ceiling()
+    }
+}
+
+impl fmt::Display for TiersMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error parsing a [`TiersMode`] label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTiersModeError(String);
+
+impl fmt::Display for ParseTiersModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown tiers mode '{}' (expected interp-only, tiered, or full)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseTiersModeError {}
+
+impl FromStr for TiersMode {
+    type Err = ParseTiersModeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "interp-only" | "interp_only" | "interponly" | "interp" | "xint" => {
+                Ok(TiersMode::InterpOnly)
+            }
+            "tiered" | "c1" | "client" => Ok(TiersMode::Tiered),
+            "full" | "c2" | "server" => Ok(TiersMode::Full),
+            other => Err(ParseTiersModeError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_order_and_indices_are_dense() {
+        for (i, t) in Tier::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+        assert!(Tier::Interp < Tier::C1);
+        assert!(Tier::C1 < Tier::C2);
+        assert_eq!(Tier::Interp.next(), Some(Tier::C1));
+        assert_eq!(Tier::C1.next(), Some(Tier::C2));
+        assert_eq!(Tier::C2.next(), None);
+        assert!(!Tier::Interp.is_compiled());
+        assert!(Tier::C1.is_compiled());
+        assert!(Tier::C2.is_compiled());
+    }
+
+    #[test]
+    fn mode_ceilings_gate_promotion() {
+        assert_eq!(TiersMode::InterpOnly.ceiling(), Tier::Interp);
+        assert_eq!(TiersMode::Tiered.ceiling(), Tier::C1);
+        assert_eq!(TiersMode::Full.ceiling(), Tier::C2);
+        assert!(!TiersMode::InterpOnly.allows_promotion_from(Tier::Interp));
+        assert!(TiersMode::Tiered.allows_promotion_from(Tier::Interp));
+        assert!(!TiersMode::Tiered.allows_promotion_from(Tier::C1));
+        assert!(TiersMode::Full.allows_promotion_from(Tier::C1));
+        assert!(!TiersMode::Full.allows_promotion_from(Tier::C2));
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for mode in TiersMode::ALL {
+            assert_eq!(mode.label().parse::<TiersMode>().unwrap(), mode);
+        }
+        assert_eq!(
+            "INTERP-ONLY".parse::<TiersMode>(),
+            Ok(TiersMode::InterpOnly)
+        );
+        assert_eq!(" tiered ".parse::<TiersMode>(), Ok(TiersMode::Tiered));
+        assert_eq!("server".parse::<TiersMode>(), Ok(TiersMode::Full));
+        let err = "jit".parse::<TiersMode>().unwrap_err();
+        assert!(err.to_string().contains("jit"));
+    }
+
+    #[test]
+    fn default_mode_is_full_pipeline() {
+        assert_eq!(TiersMode::default(), TiersMode::Full);
+        assert_eq!(Tier::default(), Tier::Interp);
+    }
+}

@@ -46,9 +46,16 @@ fn cycles_to_us(cycles: u64, clock_hz: u64) -> f64 {
 }
 
 fn method_label(event: &TraceEvent) -> String {
+    let verb = match event.kind {
+        TraceEventKind::TierUpC1 => "tier_up_c1",
+        TraceEventKind::TierUpC2 => "tier_up_c2",
+        TraceEventKind::Osr => "osr",
+        TraceEventKind::Deopt => "deopt",
+        _ => "compile",
+    };
     match event.method {
-        Some(m) => format!("compile class{}.m{}", m.class.index(), m.index),
-        None => "compile".to_owned(),
+        Some(m) => format!("{verb} class{}.m{}", m.class.index(), m.index),
+        None => verb.to_owned(),
     }
 }
 
@@ -65,7 +72,11 @@ fn push_event(out: &mut String, event: &TraceEvent, clock_hz: u64) {
         TraceEventKind::J2nEnd | TraceEventKind::N2jEnd => {
             format!(r#"{{"ph":"E","ts":{ts:.3},"pid":1,"tid":{tid}}}"#)
         }
-        TraceEventKind::MethodCompile => format!(
+        TraceEventKind::MethodCompile
+        | TraceEventKind::TierUpC1
+        | TraceEventKind::TierUpC2
+        | TraceEventKind::Osr
+        | TraceEventKind::Deopt => format!(
             r#"{{"name":"{}","cat":"jit","ph":"i","s":"t","ts":{ts:.3},"pid":1,"tid":{tid}}}"#,
             json_escape(&method_label(event))
         ),
@@ -129,6 +140,10 @@ pub fn chrome_trace_json(snapshot: &TraceSnapshot, clock_hz: u64) -> Result<Stri
         TraceEventKind::ThreadEnd,
         TraceEventKind::AllocSite,
         TraceEventKind::MonitorContend,
+        TraceEventKind::TierUpC1,
+        TraceEventKind::TierUpC2,
+        TraceEventKind::Osr,
+        TraceEventKind::Deopt,
     ] {
         let _ = write!(out, ",\"{}\":{}", kind.label(), snapshot.count(kind));
     }

@@ -54,13 +54,17 @@ pub fn collapsed_stacks(snapshot: &TraceSnapshot) -> String {
                         stack.pop();
                     }
                 }
-                // Instants (no duration, no frame change): JIT compiles,
-                // thread lifecycle, and the agents' point events.
+                // Instants (no duration, no frame change): the compilation
+                // pipeline, thread lifecycle, and the agents' point events.
                 TraceEventKind::MethodCompile
                 | TraceEventKind::ThreadStart
                 | TraceEventKind::ThreadEnd
                 | TraceEventKind::AllocSite
-                | TraceEventKind::MonitorContend => {}
+                | TraceEventKind::MonitorContend
+                | TraceEventKind::TierUpC1
+                | TraceEventKind::TierUpC2
+                | TraceEventKind::Osr
+                | TraceEventKind::Deopt => {}
             }
         }
     }

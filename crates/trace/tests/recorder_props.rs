@@ -26,6 +26,10 @@ const KINDS: [TraceEventKind; TraceEventKind::COUNT] = [
     TraceEventKind::ThreadEnd,
     TraceEventKind::AllocSite,
     TraceEventKind::MonitorContend,
+    TraceEventKind::TierUpC1,
+    TraceEventKind::TierUpC2,
+    TraceEventKind::Osr,
+    TraceEventKind::Deopt,
 ];
 
 /// Replay a generated `(thread, kind, cycle-delta)` stream into a

@@ -167,11 +167,21 @@ pub enum TraceEventKind {
     AllocSite,
     /// The LOCK agent observed a contended raw-monitor entry.
     MonitorContend,
+    /// A method was promoted to the C1 quick tier.
+    TierUpC1,
+    /// A method was promoted to the C2 optimizing tier.
+    TierUpC2,
+    /// An on-stack replacement: a running activation was switched to the
+    /// next tier at a hot loop back-edge.
+    Osr,
+    /// A deoptimization: exception unwinding demoted a compiled method
+    /// back to the interpreter.
+    Deopt,
 }
 
 impl TraceEventKind {
     /// Number of distinct kinds (for per-kind counter arrays).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 13;
 
     /// Dense index of this kind in `[0, COUNT)`.
     pub fn index(self) -> usize {
@@ -185,6 +195,10 @@ impl TraceEventKind {
             TraceEventKind::ThreadEnd => 6,
             TraceEventKind::AllocSite => 7,
             TraceEventKind::MonitorContend => 8,
+            TraceEventKind::TierUpC1 => 9,
+            TraceEventKind::TierUpC2 => 10,
+            TraceEventKind::Osr => 11,
+            TraceEventKind::Deopt => 12,
         }
     }
 
@@ -200,6 +214,10 @@ impl TraceEventKind {
             TraceEventKind::ThreadEnd => "thread_end",
             TraceEventKind::AllocSite => "alloc_site",
             TraceEventKind::MonitorContend => "monitor_contend",
+            TraceEventKind::TierUpC1 => "tier_up_c1",
+            TraceEventKind::TierUpC2 => "tier_up_c2",
+            TraceEventKind::Osr => "osr",
+            TraceEventKind::Deopt => "deopt",
         }
     }
 }
@@ -214,7 +232,9 @@ impl TraceEventKind {
 ///
 /// `cycles` is the emitting thread's PCL virtual-clock reading at the
 /// event; successive events on one thread therefore carry non-decreasing
-/// `cycles`. `method` is set only for [`TraceEventKind::MethodCompile`].
+/// `cycles`. `method` is set only for the compilation-pipeline kinds
+/// ([`TraceEventKind::MethodCompile`], the `TierUp*` pair,
+/// [`TraceEventKind::Osr`] and [`TraceEventKind::Deopt`]).
 pub trait TraceSink: Send + Sync {
     /// Record one event.
     fn record(&self, thread: ThreadId, kind: TraceEventKind, cycles: u64, method: Option<MethodId>);
@@ -267,6 +287,10 @@ mod tests {
             ThreadEnd,
             AllocSite,
             MonitorContend,
+            TierUpC1,
+            TierUpC2,
+            Osr,
+            Deopt,
         ];
         assert_eq!(kinds.len(), TraceEventKind::COUNT);
         let mut seen_idx = [false; TraceEventKind::COUNT];

@@ -8,13 +8,16 @@
 
 use std::sync::Arc;
 
-use jvmsim_classfile::{ArrayKind, Code, Insn};
+use jvmsim_classfile::{ArrayKind, Code, ExceptionHandler, Insn};
 use jvmsim_faults::FaultSite;
+use jvmsim_metrics::{Bucket, CounterId};
+use jvmsim_tiers::Tier;
 
 use crate::events::ThreadId;
 use crate::heap::HeapObject;
 use crate::jni::{mangle, JniCallSpec, JniEnv, NativeFn};
 use crate::klass::{CallSite, ClassId, MethodId};
+use crate::prepared::DispatchMode;
 use crate::throw::JThrow;
 use crate::value::Value;
 use crate::vm::Vm;
@@ -70,22 +73,33 @@ impl Vm {
             self.invoke_native(thread, mid, &args)
         } else {
             let jit_enabled = self.jit_enabled();
-            // Trace the interpreted→compiled promotion. The pre-check runs
-            // only with a tracer installed, keeping the untraced hot path
-            // identical.
-            let was_compiled = self.trace_enabled() && self.registry.is_compiled(mid, jit_enabled);
-            let compiled =
-                self.registry
-                    .note_invocation(mid, self.cost().jit_threshold, jit_enabled);
-            if self.trace_enabled() && compiled && !was_compiled {
-                self.trace_emit(
-                    thread,
-                    crate::events::TraceEventKind::MethodCompile,
-                    Some(mid),
-                );
+            let mode = self.effective_tiers_mode();
+            let count = self.registry.note_invocation(mid);
+            let mut tier = self.registry.effective_tier(mid, jit_enabled);
+            // Promote one tier at a time at the invocation thresholds
+            // (Interp→C1 at the C1 threshold, C1→C2 at the C2 threshold),
+            // capped by the tiers mode's ceiling. `>=` rather than `==`:
+            // a fault-aborted compile resets the counter, and a successful
+            // promotion changes the tier so the lower threshold stops
+            // applying — either way this fires at most once per call.
+            if mode.allows_promotion_from(tier) {
+                if let Some(threshold) = self.cost().tiers.invocation_threshold(tier) {
+                    if count >= threshold {
+                        if let Some(next) = tier.next() {
+                            if self.tier_compile(thread, mid, next, false) {
+                                tier = next;
+                            }
+                        }
+                    }
+                }
             }
-            self.charge(thread, self.cost().call_overhead(compiled));
-            self.execute(thread, mid, compiled, args)
+            let overhead = self.cost().call_overhead(tier);
+            self.charge(thread, overhead);
+            self.note_tier_cycles(tier, overhead);
+            match self.dispatch() {
+                DispatchMode::Switch => self.execute(thread, mid, tier, args),
+                DispatchMode::Threaded => self.execute_threaded(thread, mid, tier, args),
+            }
         };
         if method_events {
             if let Some(sink) = self.sink() {
@@ -97,6 +111,98 @@ impl Vm {
             }
         }
         result
+    }
+
+    // ------------------------------------------------------ tier pipeline
+
+    /// Attribute `cycles` of bytecode-execution time (per-instruction
+    /// charges and call overheads) to `tier`'s ground-truth column.
+    pub(crate) fn note_tier_cycles(&mut self, tier: Tier, cycles: u64) {
+        match tier {
+            Tier::Interp => self.stats.interp_cycles += cycles,
+            Tier::C1 => self.stats.c1_cycles += cycles,
+            Tier::C2 => self.stats.c2_cycles += cycles,
+        }
+    }
+
+    /// Compile `mid` at `target`, charging the compile cost to the calling
+    /// thread under the tier's compile bucket. Returns `false` when the
+    /// fault plane aborts the compile: half the cost is charged (the work
+    /// thrown away), the invocation counter resets so the method must
+    /// re-earn promotion, and the method stays at its current tier.
+    pub(crate) fn tier_compile(
+        &mut self,
+        thread: ThreadId,
+        mid: MethodId,
+        target: Tier,
+        osr: bool,
+    ) -> bool {
+        let insns = self.registry.insn_count(mid);
+        let full = self.cost().tiers.compile_cost(target, insns);
+        let aborted = self.faults_enabled() && self.fault(FaultSite::TierCompileAbort).is_some();
+        let charged = if aborted { full / 2 } else { full };
+        let bucket = match target {
+            Tier::C1 => Bucket::C1Compile,
+            _ => Bucket::C2Compile,
+        };
+        {
+            let shard = self.thread_shard(thread);
+            let _compile = shard.as_ref().map(|s| s.enter(bucket));
+            self.charge(thread, charged);
+        }
+        match target {
+            Tier::C1 => self.stats.c1_compile_cycles += charged,
+            _ => self.stats.c2_compile_cycles += charged,
+        }
+        if aborted {
+            self.stats.tier_compile_aborts += 1;
+            self.metric_incr(thread, CounterId::TierCompileAborts);
+            self.registry.reset_invocations(mid);
+            return false;
+        }
+        let from = self.registry.tier_of(mid);
+        self.registry.set_tier(mid, target);
+        match target {
+            Tier::C1 => {
+                self.stats.c1_compiles += 1;
+                self.metric_incr(thread, CounterId::C1Compiles);
+            }
+            _ => {
+                self.stats.c2_compiles += 1;
+                self.metric_incr(thread, CounterId::C2Compiles);
+            }
+        }
+        // First departure from the interpreter still emits the legacy
+        // MethodCompile event, so single-tier trace consumers keep working.
+        if from == Tier::Interp {
+            self.trace_emit(
+                thread,
+                crate::events::TraceEventKind::MethodCompile,
+                Some(mid),
+            );
+        }
+        let kind = match target {
+            Tier::C1 => crate::events::TraceEventKind::TierUpC1,
+            _ => crate::events::TraceEventKind::TierUpC2,
+        };
+        self.trace_emit(thread, kind, Some(mid));
+        if osr {
+            self.stats.osrs += 1;
+            self.metric_incr(thread, CounterId::OsrReplacements);
+            self.trace_emit(thread, crate::events::TraceEventKind::Osr, Some(mid));
+        }
+        true
+    }
+
+    /// Deoptimize `mid`: an exception is unwinding out of one of its
+    /// compiled activations, so the compiled state is discarded and the
+    /// method returns to the interpreter to re-earn promotion.
+    pub(crate) fn deopt(&mut self, thread: ThreadId, mid: MethodId) {
+        self.registry.set_tier(mid, Tier::Interp);
+        self.registry.reset_invocations(mid);
+        self.stats.deopts += 1;
+        self.metric_incr(thread, CounterId::Deopts);
+        self.trace_emit(thread, crate::events::TraceEventKind::Deopt, Some(mid));
     }
 
     // ----------------------------------------------------------- natives
@@ -302,7 +408,11 @@ impl Vm {
         self.invoke(thread, mid, args)
     }
 
-    fn ensure_loaded_or_throw(&mut self, thread: ThreadId, class: &str) -> Result<ClassId, JThrow> {
+    pub(crate) fn ensure_loaded_or_throw(
+        &mut self,
+        thread: ThreadId,
+        class: &str,
+    ) -> Result<ClassId, JThrow> {
         self.ensure_loaded_on(thread, class)
             .map_err(|e| self.throw_new(thread, "java/lang/NoClassDefFoundError", &e.to_string()))
     }
@@ -328,7 +438,7 @@ impl Vm {
 
     // -------------------------------------------------------- call sites
 
-    fn static_target(
+    pub(crate) fn static_target(
         &mut self,
         thread: ThreadId,
         cur: ClassId,
@@ -359,7 +469,7 @@ impl Vm {
         Ok(entry)
     }
 
-    fn virtual_target(
+    pub(crate) fn virtual_target(
         &mut self,
         thread: ThreadId,
         cur: ClassId,
@@ -390,7 +500,7 @@ impl Vm {
         Ok(entry)
     }
 
-    fn static_field_target(
+    pub(crate) fn static_field_target(
         &mut self,
         thread: ThreadId,
         cur: ClassId,
@@ -418,7 +528,7 @@ impl Vm {
         Ok(hit)
     }
 
-    fn instance_field_slot(
+    pub(crate) fn instance_field_slot(
         &mut self,
         thread: ThreadId,
         cur: ClassId,
@@ -456,9 +566,9 @@ impl Vm {
 
     // -------------------------------------------------------- frame loop
 
-    fn handle_throw(
+    pub(crate) fn handle_throw(
         &mut self,
-        code: &Code,
+        table: &[ExceptionHandler],
         pc: u32,
         t: JThrow,
         stack: &mut Vec<Value>,
@@ -467,7 +577,7 @@ impl Vm {
             HeapObject::Instance { class, .. } => Some(*class),
             _ => None,
         };
-        for h in &code.exception_table {
+        for h in table {
             if pc < h.start || pc >= h.end {
                 continue;
             }
@@ -490,7 +600,7 @@ impl Vm {
         &mut self,
         thread: ThreadId,
         mid: MethodId,
-        compiled: bool,
+        tier: Tier,
         args: Vec<Value>,
     ) -> Result<Value, JThrow> {
         let cur = mid.class;
@@ -499,13 +609,13 @@ impl Vm {
             .expect("bytecode method has code");
         let clock = self.clock_handle(thread);
         let shard = clock.metrics().cloned();
-        let mut insn_cost = self.cost().insn(compiled);
-        // On-stack replacement: a long-running interpreted activation is
-        // compiled mid-run after enough backward branches.
-        let jit_on = self.jit_enabled();
-        let jit_insn = self.cost().jit_insn;
-        let osr_threshold = self.cost().osr_backedge_threshold;
-        let mut osr_pending = jit_on && !compiled;
+        let mut tier = tier;
+        let mut insn_cost = self.cost().insn(tier);
+        // On-stack replacement: a long-running activation below the mode's
+        // tier ceiling is promoted mid-run after enough backward branches.
+        let mode = self.effective_tiers_mode();
+        let osr_threshold = self.cost().tiers.osr_backedge_threshold;
+        let mut osr_pending = mode.allows_promotion_from(tier);
         let mut backedges: u32 = 0;
         // Timer sampling: poll every few instructions (cheap when off).
         let sampling = self.sampler_interval().is_some();
@@ -526,14 +636,14 @@ impl Vm {
                 if osr_pending && target <= pc {
                     backedges += 1;
                     if backedges >= osr_threshold {
-                        osr_pending = false;
-                        insn_cost = jit_insn;
-                        self.registry.mark_compiled(mid);
-                        self.trace_emit(
-                            thread,
-                            crate::events::TraceEventKind::MethodCompile,
-                            Some(mid),
-                        );
+                        backedges = 0;
+                        if let Some(next) = tier.next() {
+                            if self.tier_compile(thread, mid, next, true) {
+                                tier = next;
+                                insn_cost = self.cost().insn(tier);
+                            }
+                        }
+                        osr_pending = mode.allows_promotion_from(tier);
                     }
                 }
                 pc = target;
@@ -544,12 +654,17 @@ impl Vm {
         macro_rules! throw_or_handle {
             ($t:expr) => {{
                 let t = $t;
-                match self.handle_throw(&code, pc, t, &mut stack) {
+                match self.handle_throw(&code.exception_table, pc, t, &mut stack) {
                     Some(h) => {
                         pc = h;
                         continue;
                     }
-                    None => return Err(t),
+                    None => {
+                        if tier.is_compiled() {
+                            self.deopt(thread, mid);
+                        }
+                        return Err(t);
+                    }
                 }
             }};
         }
@@ -568,6 +683,7 @@ impl Vm {
                 shard.incr(jvmsim_metrics::CounterId::InterpInsns);
             }
             clock.charge(insn_cost);
+            self.note_tier_cycles(tier, insn_cost);
             if polling {
                 insns_since_poll += 1;
                 if insns_since_poll >= 32 {

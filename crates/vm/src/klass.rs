@@ -1,4 +1,11 @@
-//! The runtime class registry: linking, layouts and method resolution.
+//! The runtime class registry: linking, layouts, method resolution, and
+//! per-method tier state.
+//!
+//! All class, method, field and descriptor names are interned into a
+//! registry-wide [`Interner`] at link time. Resolution on the interpreter's
+//! hot paths compares [`Sym`] integers instead of hashing `String`s — the
+//! naive per-call `HashMap<String, _>` lookup (the pattern toy JVMs like
+//! Birbe__jvm exhibit) never appears after linking.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -6,13 +13,76 @@ use std::sync::Arc;
 
 use jvmsim_classfile::constpool::Constant;
 use jvmsim_classfile::{ClassFile, Code, MethodInfo, Type};
+use jvmsim_tiers::Tier;
 
 use crate::error::VmError;
 use crate::events::MethodView;
 use crate::value::Value;
 
-/// A pre-resolved method call site (one pool `MethodRef`), parsed once at
-/// link time so the interpreter's hot path does no string work.
+/// An interned string: a dense index into the registry's [`Interner`].
+///
+/// Two `Sym`s from the *same* interner are equal iff their strings are
+/// equal, so symbol comparison and symbol-keyed map lookups do no string
+/// hashing at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Raw interner index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Registry-wide string interner. Strings are interned once at classfile
+/// link time; everything after linking moves [`Sym`]s around.
+#[derive(Debug, Default)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Interner {
+    /// Intern `s`, returning its symbol (inserting on first sight).
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&i) = self.index.get(s) {
+            return Sym(i);
+        }
+        let i = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(s.to_owned());
+        self.index.insert(s.to_owned(), i);
+        Sym(i)
+    }
+
+    /// The symbol for `s` if it was ever interned. Never inserts, so it is
+    /// safe on lookup paths: a string nobody interned cannot name anything.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.index.get(s).copied().map(Sym)
+    }
+
+    /// The string behind `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a symbol from a different interner (VM bug).
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the interner empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A pre-resolved method call site (one pool `MethodRef`), parsed and
+/// interned once at link time so the interpreter's hot path does no
+/// string work.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CallSite {
     /// Referenced class name.
@@ -21,6 +91,12 @@ pub struct CallSite {
     pub name: String,
     /// Method descriptor string.
     pub descriptor: String,
+    /// Interned referenced-class name.
+    pub class_sym: Sym,
+    /// Interned method name.
+    pub name_sym: Sym,
+    /// Interned descriptor.
+    pub desc_sym: Sym,
     /// Declared parameter count (receiver *not* included).
     pub nargs: usize,
     /// Does the callee push a result?
@@ -34,6 +110,8 @@ pub struct FieldSite {
     pub class: String,
     /// Field name.
     pub name: String,
+    /// Interned field name.
+    pub name_sym: Sym,
 }
 
 /// Identifier of a linked class.
@@ -89,29 +167,35 @@ pub struct RuntimeClass {
     pub id: ClassId,
     /// Internal name.
     pub name: String,
+    /// Interned internal name.
+    pub name_sym: Sym,
     /// Superclass, `None` only for the root.
     pub super_id: Option<ClassId>,
     /// Methods, cloned out of the classfile at link time.
     pub methods: Vec<MethodInfo>,
     /// Instance-field layout *including inherited slots* (super first).
     pub instance_layout: Vec<FieldSlot>,
-    /// Field name → slot in `instance_layout` (inherited names included;
-    /// shadowing resolves to the most-derived declaration).
-    pub instance_index: HashMap<String, usize>,
+    /// Interned field name → slot in `instance_layout` (inherited names
+    /// included; shadowing resolves to the most-derived declaration).
+    pub instance_index: HashMap<Sym, usize>,
     /// Static field storage for fields this class declares.
     pub statics: Vec<Value>,
-    /// Static field name → slot in `statics`.
-    pub static_index: HashMap<String, usize>,
-    /// Method `(name, descriptor)` → index in `methods`.
-    method_index: HashMap<(String, String), u16>,
+    /// Interned static field name → slot in `statics`.
+    pub static_index: HashMap<Sym, usize>,
+    /// Interned method `(name, descriptor)` → index in `methods`.
+    method_index: HashMap<(Sym, Sym), u16>,
     /// Has `<clinit>` run (or been scheduled)?
     pub clinit_started: bool,
-    /// Per-method invocation counters (JIT profiling).
+    /// Per-method invocation counters (tier-promotion profiling).
     pub invocations: Vec<u32>,
-    /// Per-method compiled flags.
-    pub compiled: Vec<bool>,
+    /// Per-method execution tier.
+    pub tiers: Vec<Tier>,
     /// Shared method bodies (parallel to `methods`; `None` for natives).
     pub code: Vec<Option<Arc<Code>>>,
+    /// Threaded-engine bodies (parallel to `methods`), filled lazily on
+    /// first execution. A direct slot rather than a map: the lookup is on
+    /// every bytecode invocation's hot path.
+    pub(crate) prepared: Vec<Option<Arc<crate::prepared::PreparedCode>>>,
     /// Pool index → pre-resolved call site, for `invokestatic`/`invokevirtual`.
     pub callsites: HashMap<u16, CallSite>,
     /// Pool index → pre-resolved field reference.
@@ -136,11 +220,9 @@ impl RuntimeClass {
             .collect()
     }
 
-    /// Look up a declared method by name + descriptor.
-    pub fn find_method(&self, name: &str, descriptor: &str) -> Option<u16> {
-        self.method_index
-            .get(&(name.to_owned(), descriptor.to_owned()))
-            .copied()
+    /// Look up a declared method by interned name + descriptor.
+    pub fn find_method_sym(&self, name: Sym, descriptor: Sym) -> Option<u16> {
+        self.method_index.get(&(name, descriptor)).copied()
     }
 }
 
@@ -149,6 +231,7 @@ impl RuntimeClass {
 pub struct ClassRegistry {
     classes: Vec<RuntimeClass>,
     by_name: HashMap<String, ClassId>,
+    interner: Interner,
 }
 
 impl ClassRegistry {
@@ -165,6 +248,16 @@ impl ClassRegistry {
     /// Is the registry empty?
     pub fn is_empty(&self) -> bool {
         self.classes.is_empty()
+    }
+
+    /// The registry-wide string interner.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Intern a string into the registry's interner.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        self.interner.intern(s)
     }
 
     /// Id of a linked class by name.
@@ -197,6 +290,14 @@ impl ClassRegistry {
     /// Panics on a foreign id (VM bug).
     pub fn method(&self, id: MethodId) -> &MethodInfo {
         &self.classes[id.class.index()].methods[id.index as usize]
+    }
+
+    /// Bytecode instruction count of a method (0 for natives) — the size
+    /// input to the tier compile-cost model.
+    pub fn insn_count(&self, id: MethodId) -> usize {
+        self.classes[id.class.index()].code[id.index as usize]
+            .as_ref()
+            .map_or(0, |c| c.insns.len())
     }
 
     /// Build the event-callback view of a method.
@@ -232,7 +333,8 @@ impl ClassRegistry {
                 VmError::BadHierarchy(format!("superclass {s} of {} not linked", class.name()))
             })?),
         };
-        // Instance layout: inherited slots first, then own.
+        // Instance layout: inherited slots first, then own. The symbol
+        // index clones cheaply because the interner is registry-wide.
         let (mut instance_layout, mut instance_index) = match super_id {
             Some(sid) => {
                 let sup = self.get(sid);
@@ -243,13 +345,14 @@ impl ClassRegistry {
         let mut statics = Vec::new();
         let mut static_index = HashMap::new();
         for f in class.fields() {
+            let sym = self.interner.intern(f.name());
             if f.is_static() {
-                static_index.insert(f.name().to_owned(), statics.len());
+                static_index.insert(sym, statics.len());
                 statics.push(Value::default_for(f.ty()));
             } else {
                 // Shadowing: most-derived wins in the name index, but the
                 // inherited slot remains in the layout.
-                instance_index.insert(f.name().to_owned(), instance_layout.len());
+                instance_index.insert(sym, instance_layout.len());
                 instance_layout.push(FieldSlot {
                     name: f.name().to_owned(),
                     ty: f.ty().clone(),
@@ -259,16 +362,16 @@ impl ClassRegistry {
         let methods: Vec<MethodInfo> = class.methods().to_vec();
         let mut method_index = HashMap::new();
         for (i, m) in methods.iter().enumerate() {
-            method_index.insert(
-                (m.name().to_owned(), m.descriptor_string().to_owned()),
-                i as u16,
-            );
+            let name = self.interner.intern(m.name());
+            let desc = self.interner.intern(m.descriptor_string());
+            method_index.insert((name, desc), i as u16);
         }
         let code: Vec<Option<Arc<Code>>> = methods
             .iter()
             .map(|m| m.code.clone().map(Arc::new))
             .collect();
-        // Pre-resolve pool entries the interpreter dereferences.
+        // Pre-resolve pool entries the interpreter dereferences, interning
+        // every name a resolve path will ever compare.
         let mut callsites = HashMap::new();
         let mut fieldsites = HashMap::new();
         let mut classrefs = HashMap::new();
@@ -292,6 +395,9 @@ impl ClassRegistry {
                             callsites.insert(
                                 idx,
                                 CallSite {
+                                    class_sym: self.interner.intern(&r.class),
+                                    name_sym: self.interner.intern(&r.name),
+                                    desc_sym: self.interner.intern(&r.descriptor),
                                     class: r.class,
                                     name: r.name,
                                     nargs: desc.param_slots(),
@@ -307,6 +413,7 @@ impl ClassRegistry {
                         fieldsites.insert(
                             idx,
                             FieldSite {
+                                name_sym: self.interner.intern(&r.name),
                                 class: r.class,
                                 name: r.name,
                             },
@@ -317,9 +424,11 @@ impl ClassRegistry {
         }
         let id = ClassId(u32::try_from(self.classes.len()).expect("too many classes"));
         let n = methods.len();
+        let name_sym = self.interner.intern(class.name());
         self.classes.push(RuntimeClass {
             id,
             name: class.name().to_owned(),
+            name_sym,
             super_id,
             methods,
             instance_layout,
@@ -329,8 +438,9 @@ impl ClassRegistry {
             method_index,
             clinit_started: false,
             invocations: vec![0; n],
-            compiled: vec![false; n],
+            tiers: vec![Tier::Interp; n],
             code,
+            prepared: vec![None; n],
             callsites,
             fieldsites,
             classrefs,
@@ -340,13 +450,28 @@ impl ClassRegistry {
         Ok(id)
     }
 
-    /// Resolve `(name, descriptor)` starting at `class` and walking the
-    /// superclass chain — used for both static and virtual dispatch.
-    pub fn resolve_method(&self, class: ClassId, name: &str, descriptor: &str) -> Option<MethodId> {
+    /// Look up a method declared *directly* on `class` by string name +
+    /// descriptor (no superclass walk). Cold-path convenience over
+    /// [`RuntimeClass::find_method_sym`].
+    pub fn find_method(&self, class: ClassId, name: &str, descriptor: &str) -> Option<u16> {
+        let name = self.interner.lookup(name)?;
+        let desc = self.interner.lookup(descriptor)?;
+        self.get(class).find_method_sym(name, desc)
+    }
+
+    /// Resolve interned `(name, descriptor)` starting at `class` and
+    /// walking the superclass chain — used for both static and virtual
+    /// dispatch. The hot path: integer-keyed map hits, zero string work.
+    pub fn resolve_method_sym(
+        &self,
+        class: ClassId,
+        name: Sym,
+        descriptor: Sym,
+    ) -> Option<MethodId> {
         let mut cur = Some(class);
         while let Some(cid) = cur {
             let rc = self.get(cid);
-            if let Some(index) = rc.find_method(name, descriptor) {
+            if let Some(index) = rc.find_method_sym(name, descriptor) {
                 return Some(MethodId { class: cid, index });
             }
             cur = rc.super_id;
@@ -354,13 +479,22 @@ impl ClassRegistry {
         None
     }
 
-    /// Resolve a static field, walking the superclass chain. Returns the
-    /// declaring class and slot.
-    pub fn resolve_static(&self, class: ClassId, field: &str) -> Option<(ClassId, usize)> {
+    /// Resolve `(name, descriptor)` by string, walking the superclass
+    /// chain. Cold paths only (harness entry, JNI lookups, tests); a name
+    /// that was never interned cannot resolve to anything.
+    pub fn resolve_method(&self, class: ClassId, name: &str, descriptor: &str) -> Option<MethodId> {
+        let name = self.interner.lookup(name)?;
+        let descriptor = self.interner.lookup(descriptor)?;
+        self.resolve_method_sym(class, name, descriptor)
+    }
+
+    /// Resolve a static field by interned name, walking the superclass
+    /// chain. Returns the declaring class and slot.
+    pub fn resolve_static_sym(&self, class: ClassId, field: Sym) -> Option<(ClassId, usize)> {
         let mut cur = Some(class);
         while let Some(cid) = cur {
             let rc = self.get(cid);
-            if let Some(&slot) = rc.static_index.get(field) {
+            if let Some(&slot) = rc.static_index.get(&field) {
                 return Some((cid, slot));
             }
             cur = rc.super_id;
@@ -368,38 +502,68 @@ impl ClassRegistry {
         None
     }
 
-    /// Resolve an instance-field slot for objects whose dynamic class is
-    /// `class` (the index already folds in inheritance and shadowing).
-    pub fn resolve_instance_field(&self, class: ClassId, field: &str) -> Option<usize> {
-        self.get(class).instance_index.get(field).copied()
+    /// Resolve a static field by string name (cold paths and tests).
+    pub fn resolve_static(&self, class: ClassId, field: &str) -> Option<(ClassId, usize)> {
+        let field = self.interner.lookup(field)?;
+        self.resolve_static_sym(class, field)
     }
 
-    /// Record one invocation of `id`; returns `true` if the method is (now)
-    /// compiled. `jit_enabled = false` freezes everything interpreted —
-    /// including methods compiled earlier (HotSpot deoptimises when an agent
-    /// enables method events; we model the steady state).
-    pub fn note_invocation(&mut self, id: MethodId, threshold: u32, jit_enabled: bool) -> bool {
+    /// Resolve an instance-field slot by interned name for objects whose
+    /// dynamic class is `class` (the index already folds in inheritance
+    /// and shadowing).
+    pub fn resolve_instance_field_sym(&self, class: ClassId, field: Sym) -> Option<usize> {
+        self.get(class).instance_index.get(&field).copied()
+    }
+
+    /// Resolve an instance-field slot by string name (cold paths and tests).
+    pub fn resolve_instance_field(&self, class: ClassId, field: &str) -> Option<usize> {
+        let field = self.interner.lookup(field)?;
+        self.resolve_instance_field_sym(class, field)
+    }
+
+    /// Record one invocation of `id`, returning the new saturating count.
+    /// The caller (the tier pipeline in the interpreter) compares the
+    /// count against the active threshold and performs any promotion.
+    pub fn note_invocation(&mut self, id: MethodId) -> u32 {
         let rc = &mut self.classes[id.class.index()];
         let i = id.index as usize;
         let count = rc.invocations[i].saturating_add(1);
         rc.invocations[i] = count;
-        if !jit_enabled {
-            return false;
-        }
-        if !rc.compiled[i] && count >= threshold {
-            rc.compiled[i] = true;
-        }
-        rc.compiled[i]
+        count
     }
 
-    /// Force a method compiled (on-stack replacement promotion).
-    pub fn mark_compiled(&mut self, id: MethodId) {
-        self.classes[id.class.index()].compiled[id.index as usize] = true;
+    /// The method's current tier, ignoring whether compilation is enabled.
+    pub fn tier_of(&self, id: MethodId) -> Tier {
+        self.classes[id.class.index()].tiers[id.index as usize]
     }
 
-    /// Is the method currently compiled (and is the JIT on)?
+    /// The tier the method actually executes at: its recorded tier, or
+    /// `Interp` when compilation is off (`jit_enabled = false` freezes
+    /// everything interpreted — including methods compiled earlier;
+    /// HotSpot deoptimises when an agent enables method events, and we
+    /// model the steady state).
+    pub fn effective_tier(&self, id: MethodId, jit_enabled: bool) -> Tier {
+        if jit_enabled {
+            self.tier_of(id)
+        } else {
+            Tier::Interp
+        }
+    }
+
+    /// Set the method's tier (promotion or demotion).
+    pub fn set_tier(&mut self, id: MethodId, tier: Tier) {
+        self.classes[id.class.index()].tiers[id.index as usize] = tier;
+    }
+
+    /// Reset the method's invocation counter (after a compile, an aborted
+    /// compile, or a deoptimization).
+    pub fn reset_invocations(&mut self, id: MethodId) {
+        self.classes[id.class.index()].invocations[id.index as usize] = 0;
+    }
+
+    /// Is the method currently running compiled code (and is the JIT on)?
     pub fn is_compiled(&self, id: MethodId, jit_enabled: bool) -> bool {
-        jit_enabled && self.classes[id.class.index()].compiled[id.index as usize]
+        self.effective_tier(id, jit_enabled).is_compiled()
     }
 
     /// Iterate over linked class names (diagnostics).
@@ -509,19 +673,75 @@ mod tests {
     }
 
     #[test]
-    fn jit_promotion() {
+    fn interning_is_idempotent_and_symbols_compare_equal() {
+        let mut i = Interner::default();
+        let a1 = i.intern("t/A");
+        let a2 = i.intern("t/A");
+        let b = i.intern("t/B");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(i.lookup("t/A"), Some(a1));
+        assert_eq!(i.lookup("never"), None);
+        assert_eq!(i.resolve(b), "t/B");
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn sym_resolution_matches_string_resolution() {
+        let (mut reg, _) = registry_with_object();
+        let (a, b) = class_ab();
+        reg.define(&a).unwrap();
+        let bid = reg.define(&b).unwrap();
+        let name = reg.interner().lookup("id").unwrap();
+        let desc = reg.interner().lookup("()I").unwrap();
+        assert_eq!(
+            reg.resolve_method_sym(bid, name, desc),
+            reg.resolve_method(bid, "id", "()I")
+        );
+        let x = reg.interner().lookup("x").unwrap();
+        assert_eq!(
+            reg.resolve_instance_field_sym(bid, x),
+            reg.resolve_instance_field(bid, "x")
+        );
+        let s = reg.interner().lookup("s").unwrap();
+        assert_eq!(reg.resolve_static_sym(bid, s), reg.resolve_static(bid, "s"));
+    }
+
+    #[test]
+    fn tier_state_promotes_and_demotes() {
         let (mut reg, _) = registry_with_object();
         let (a, _) = class_ab();
         let aid = reg.define(&a).unwrap();
         let mid = reg.resolve_method(aid, "id", "()I").unwrap();
-        for _ in 0..9 {
-            assert!(!reg.note_invocation(mid, 10, true));
+        assert_eq!(reg.tier_of(mid), Tier::Interp);
+        for want in 1..=9u32 {
+            assert_eq!(reg.note_invocation(mid), want);
         }
-        assert!(reg.note_invocation(mid, 10, true));
+        reg.set_tier(mid, Tier::C1);
+        assert_eq!(reg.tier_of(mid), Tier::C1);
         assert!(reg.is_compiled(mid, true));
         // JIT off hides compiled state.
+        assert_eq!(reg.effective_tier(mid, false), Tier::Interp);
         assert!(!reg.is_compiled(mid, false));
-        assert!(!reg.note_invocation(mid, 10, false));
+        reg.reset_invocations(mid);
+        assert_eq!(reg.note_invocation(mid), 1);
+        reg.set_tier(mid, Tier::Interp);
+        assert_eq!(reg.tier_of(mid), Tier::Interp);
+    }
+
+    #[test]
+    fn insn_count_is_zero_for_natives() {
+        let (mut reg, _) = registry_with_object();
+        let mut c = ClassBuilder::new("t/N");
+        c.native_method("nat", "(I)I", MethodFlags::PUBLIC).unwrap();
+        let mut m = c.method("f", "()I", MethodFlags::PUBLIC);
+        m.iconst(1).ireturn();
+        m.finish().unwrap();
+        let cid = reg.define(&c.finish().unwrap()).unwrap();
+        let nat = reg.resolve_method(cid, "nat", "(I)I").unwrap();
+        let f = reg.resolve_method(cid, "f", "()I").unwrap();
+        assert_eq!(reg.insn_count(nat), 0);
+        assert!(reg.insn_count(f) > 0);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod heap;
 mod interp;
 pub mod jni;
 pub mod klass;
+pub(crate) mod prepared;
 mod throw;
 mod value;
 mod vm;
@@ -64,7 +65,9 @@ pub use events::{
     VmEventSink,
 };
 pub use jni::{JniEnv, NativeLibrary};
-pub use klass::{ClassId, MethodId};
+pub use jvmsim_tiers::{ParseTiersModeError, Tier, TiersMode};
+pub use klass::{ClassId, MethodId, Sym};
+pub use prepared::DispatchMode;
 pub use throw::{ExceptionInfo, JThrow};
 pub use value::{ObjRef, Value};
 pub use vm::{RunOutcome, ThreadOutcome, Vm, VmStats};

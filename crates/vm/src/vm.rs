@@ -10,6 +10,7 @@ use jvmsim_classfile::{codec, ClassFile, FieldFlags, CLINIT};
 use jvmsim_faults::{FaultInjector, FaultSite};
 use jvmsim_metrics::{Bucket, BucketGuard, CounterId, GaugeId, MetricsRegistry, MetricsShard};
 use jvmsim_pcl::{ClockHandle, Pcl};
+use jvmsim_tiers::{Tier, TiersMode};
 
 use crate::cost::CostModel;
 use crate::error::VmError;
@@ -47,6 +48,43 @@ pub struct VmStats {
     pub native_cycles: u64,
     /// Timer samples delivered to an installed sampler.
     pub samples_taken: u64,
+    /// Cycles charged for bytecode executed at the interpreter tier
+    /// (per-instruction charges plus interpreted-callee call overhead;
+    /// allocation, native-dispatch and event charges are accounted
+    /// elsewhere and excluded here).
+    pub interp_cycles: u64,
+    /// Cycles charged for bytecode executed at the C1 tier (same scope as
+    /// `interp_cycles`).
+    pub c1_cycles: u64,
+    /// Cycles charged for bytecode executed at the C2 tier (same scope as
+    /// `interp_cycles`).
+    pub c2_cycles: u64,
+    /// Cycles charged for C1 compiles (full charges, plus the half-charge
+    /// of any fault-aborted compile).
+    pub c1_compile_cycles: u64,
+    /// Cycles charged for C2 compiles (same scope as `c1_compile_cycles`).
+    pub c2_compile_cycles: u64,
+    /// Methods promoted to C1 (invocation threshold or OSR).
+    pub c1_compiles: u64,
+    /// Methods promoted to C2 (invocation threshold or OSR).
+    pub c2_compiles: u64,
+    /// On-stack replacements performed.
+    pub osrs: u64,
+    /// Deoptimizations (compiled frames demoted by exception unwinding).
+    pub deopts: u64,
+    /// Tier compiles aborted by the fault plane.
+    pub tier_compile_aborts: u64,
+}
+
+impl VmStats {
+    /// Cycles charged at `tier`'s execution rate (not compile charges).
+    pub fn tier_cycles(&self, tier: Tier) -> u64 {
+        match tier {
+            Tier::Interp => self.interp_cycles,
+            Tier::C1 => self.c1_cycles,
+            Tier::C2 => self.c2_cycles,
+        }
+    }
 }
 
 /// Per-thread bookkeeping.
@@ -145,6 +183,20 @@ pub struct Vm {
     sampler: Option<(u64, Arc<dyn SampleSink>)>,
     /// User-level JIT switch (`-Xint` analog).
     jit_requested: bool,
+    /// Which tier promotions the pipeline performs (the `--tiers` axis).
+    tiers_mode: TiersMode,
+    /// Interpreter dispatch strategy (identity-neutral: both engines
+    /// charge byte-identical cycles).
+    dispatch: crate::prepared::DispatchMode,
+    /// Inline-cache arena the threaded engine's prepared ops index into
+    /// (the prepared bodies themselves live in per-class slots).
+    pub(crate) ic_arena: Vec<crate::prepared::InlineCache>,
+    /// Recycled `(locals, stack)` buffers for threaded-engine frames —
+    /// the contiguous-stack discipline of a real template interpreter,
+    /// instead of two heap allocations per activation.
+    pub(crate) frame_pool: Vec<(Vec<Value>, Vec<Value>)>,
+    /// Recycled argument vectors for threaded-engine call sites.
+    pub(crate) arg_pool: Vec<Vec<Value>>,
     threads: Vec<ThreadInfo>,
     pending: VecDeque<PendingThread>,
     jni_table: JniFunctionTable,
@@ -208,6 +260,11 @@ impl Vm {
             mask: EventMask::none(),
             sampler: None,
             jit_requested: true,
+            tiers_mode: TiersMode::default(),
+            dispatch: crate::prepared::DispatchMode::default(),
+            ic_arena: Vec::new(),
+            frame_pool: Vec::new(),
+            arg_pool: Vec::new(),
             threads: Vec::new(),
             pending: VecDeque::new(),
             jni_table: JniFunctionTable::new(),
@@ -361,11 +418,6 @@ impl Vm {
         }
     }
 
-    /// Is a trace sink installed? (Lets hot paths skip transition checks.)
-    pub(crate) fn trace_enabled(&self) -> bool {
-        self.trace.is_some()
-    }
-
     /// Enable/disable event categories. Enabling
     /// [`EventMask::method_events`] suppresses JIT compilation while set —
     /// the HotSpot behaviour that ruins SPA (§III).
@@ -499,6 +551,39 @@ impl Vm {
     /// Is JIT compilation effective right now?
     pub fn jit_enabled(&self) -> bool {
         self.jit_requested && !self.mask.method_events
+    }
+
+    /// Select which tier promotions the pipeline performs (the `--tiers`
+    /// scenario axis). Call before running.
+    pub fn set_tiers_mode(&mut self, mode: TiersMode) {
+        self.tiers_mode = mode;
+    }
+
+    /// The configured tiers mode.
+    pub fn tiers_mode(&self) -> TiersMode {
+        self.tiers_mode
+    }
+
+    /// The tiers mode actually in force: the configured mode, collapsed
+    /// to `InterpOnly` whenever compilation is suppressed (`-Xint`, or an
+    /// agent holding method events).
+    pub fn effective_tiers_mode(&self) -> TiersMode {
+        if self.jit_enabled() {
+            self.tiers_mode
+        } else {
+            TiersMode::InterpOnly
+        }
+    }
+
+    /// Select the interpreter dispatch engine (identity-neutral; the
+    /// default is direct-threaded).
+    pub fn set_dispatch(&mut self, dispatch: crate::prepared::DispatchMode) {
+        self.dispatch = dispatch;
+    }
+
+    /// The interpreter dispatch engine in force.
+    pub fn dispatch(&self) -> crate::prepared::DispatchMode {
+        self.dispatch
     }
 
     /// Register a native-method name prefix (JVMTI 1.1 `SetNativeMethodPrefix`).
@@ -841,15 +926,17 @@ impl Vm {
     }
 
     fn run_clinit(&mut self, thread: ThreadId, id: ClassId) -> Result<(), VmError> {
-        let mid = {
+        {
             let rc = self.registry.get_mut(id);
             if rc.clinit_started {
                 return Ok(());
             }
             rc.clinit_started = true;
-            rc.find_method(CLINIT, "()V")
-                .map(|index| MethodId { class: id, index })
-        };
+        }
+        let mid = self
+            .registry
+            .find_method(id, CLINIT, "()V")
+            .map(|index| MethodId { class: id, index });
         if let Some(mid) = mid {
             // An exception escaping <clinit> is fatal for the class; the
             // JVM throws ExceptionInInitializerError. We surface it as a

@@ -18,10 +18,30 @@ use jvmsim_faults::FaultSite;
 
 use crate::session::RunOutcome;
 
+/// Per-tier cycle attribution for one cell: where the execution engine
+/// spent its time (per execution tier) and what tier-up compilation cost.
+/// The five fields are disjoint slices of the run's execution+compile
+/// cycles, so interp-only runs show zeros in the last four columns and
+/// every mode's columns stay mutually comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TierCycles {
+    /// Cycles charged while executing at the interpreter tier.
+    pub interp: u64,
+    /// Cycles charged while executing at the C1 (client) tier.
+    pub c1: u64,
+    /// Cycles charged while executing at the C2 (server) tier.
+    pub c2: u64,
+    /// Cycles charged compiling methods to C1.
+    pub c1_compile: u64,
+    /// Cycles charged compiling methods to C2.
+    pub c2_compile: u64,
+}
+
 /// Everything the tables (and a served run response) need from one
 /// (workload, agent) cell: virtual seconds, the behavioural checksum,
-/// total cycles, and the agent-specific triple — Table II's profile for
-/// IPA, the site summary for ALLOC, the contention summary for LOCK.
+/// total cycles, the per-tier cycle breakdown, and the agent-specific
+/// triple — Table II's profile for IPA, the site summary for ALLOC, the
+/// contention summary for LOCK.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CellQuantities {
     /// Virtual wall-clock seconds (total cycles at the PCL clock rate).
@@ -30,6 +50,8 @@ pub struct CellQuantities {
     pub checksum: i64,
     /// Total cycles charged across all threads.
     pub total_cycles: u64,
+    /// Per-tier execution and compile cycles.
+    pub tiers: TierCycles,
     /// `(percent_native, jni_calls, native_method_calls)` when IPA ran.
     pub profile: Option<(f64, u64, u64)>,
     /// `(sites, total_objects, total_bytes)` when ALLOC ran.
@@ -45,10 +67,18 @@ impl CellQuantities {
     /// The ALLOC and LOCK triples ride on whichever of those agents ran.
     #[must_use]
     pub fn from_run(run: &RunOutcome) -> CellQuantities {
+        let stats = &run.outcome.stats;
         CellQuantities {
             seconds: run.seconds,
             checksum: run.checksum,
             total_cycles: run.outcome.total_cycles,
+            tiers: TierCycles {
+                interp: stats.interp_cycles,
+                c1: stats.c1_cycles,
+                c2: stats.c2_cycles,
+                c1_compile: stats.c1_compile_cycles,
+                c2_compile: stats.c2_compile_cycles,
+            },
             profile: run
                 .profile
                 .as_ref()
@@ -76,8 +106,8 @@ pub type SiteTally = (FaultSite, u64, u64);
 /// Payload layout version for memoized cell rows. Bumping it orphans old
 /// entries (their payloads stop decoding, so they are quarantined and
 /// recomputed) without touching the cache's own framing. Version 2 added
-/// the ALLOC and LOCK triples.
-pub const CELL_ENTRY_VERSION: u32 = 2;
+/// the ALLOC and LOCK triples; version 3 the per-tier cycle quintuple.
+pub const CELL_ENTRY_VERSION: u32 = 3;
 
 /// Serialize a completed cell for the result plane: everything the table
 /// assembler reads, exactly — floats as IEEE bits so a decoded row
@@ -90,6 +120,15 @@ pub fn encode_cell_entry(outcome: &CellQuantities, sites: &[SiteTally]) -> Vec<u
     out.extend_from_slice(&outcome.seconds.to_bits().to_le_bytes());
     out.extend_from_slice(&outcome.checksum.to_le_bytes());
     out.extend_from_slice(&outcome.total_cycles.to_le_bytes());
+    for cycles in [
+        outcome.tiers.interp,
+        outcome.tiers.c1,
+        outcome.tiers.c2,
+        outcome.tiers.c1_compile,
+        outcome.tiers.c2_compile,
+    ] {
+        out.extend_from_slice(&cycles.to_le_bytes());
+    }
     match outcome.profile {
         None => out.push(0),
         Some((pct_native, jni_calls, native_method_calls)) => {
@@ -148,6 +187,13 @@ pub fn decode_cell_entry(bytes: &[u8]) -> Option<(CellQuantities, Vec<SiteTally>
     let seconds = f64::from_bits(c.u64()?);
     let checksum = i64::from_le_bytes(c.take::<8>()?);
     let total_cycles = c.u64()?;
+    let tiers = TierCycles {
+        interp: c.u64()?,
+        c1: c.u64()?,
+        c2: c.u64()?,
+        c1_compile: c.u64()?,
+        c2_compile: c.u64()?,
+    };
     let profile = match c.u8()? {
         0 => None,
         1 => Some((f64::from_bits(c.u64()?), c.u64()?, c.u64()?)),
@@ -174,6 +220,7 @@ pub fn decode_cell_entry(bytes: &[u8]) -> Option<(CellQuantities, Vec<SiteTally>
             seconds,
             checksum,
             total_cycles,
+            tiers,
             profile,
             alloc,
             lock,
@@ -183,13 +230,18 @@ pub fn decode_cell_entry(bytes: &[u8]) -> Option<(CellQuantities, Vec<SiteTally>
 }
 
 /// Column names of the canonical cell row, in rendering order.
-pub const CELL_ROW_COLUMNS: [&str; 15] = [
+pub const CELL_ROW_COLUMNS: [&str; 20] = [
     "benchmark",
     "agent",
     "size",
     "seconds",
     "checksum",
     "total_cycles",
+    "interp_cycles",
+    "c1_cycles",
+    "c2_cycles",
+    "c1_compile_cycles",
+    "c2_compile_cycles",
     "pct_native",
     "jni_calls",
     "native_method_calls",
@@ -226,6 +278,11 @@ pub fn cell_row_json(benchmark: &str, agent: &str, size: u32, cell: &CellQuantit
         format!("{:.6}", cell.seconds),
         cell.checksum.to_string(),
         cell.total_cycles.to_string(),
+        cell.tiers.interp.to_string(),
+        cell.tiers.c1.to_string(),
+        cell.tiers.c2.to_string(),
+        cell.tiers.c1_compile.to_string(),
+        cell.tiers.c2_compile.to_string(),
         pct_native,
         jni_calls,
         native_method_calls,
@@ -282,6 +339,13 @@ mod tests {
             seconds: 1.234_567_891_2,
             checksum: -42,
             total_cycles: 987_654_321,
+            tiers: TierCycles {
+                interp: 900_000_000,
+                c1: 50_000_000,
+                c2: 30_000_000,
+                c1_compile: 4_000_000,
+                c2_compile: 3_654_321,
+            },
             profile: Some((4.539_999_9, 3, 7)),
             alloc: Some((12, 345, 6789)),
             lock: Some((21, 10, 55_000)),
@@ -296,6 +360,7 @@ mod tests {
         assert_eq!(decoded.seconds.to_bits(), with_profile.seconds.to_bits());
         assert_eq!(decoded.checksum, with_profile.checksum);
         assert_eq!(decoded.total_cycles, with_profile.total_cycles);
+        assert_eq!(decoded.tiers, with_profile.tiers);
         assert_eq!(
             decoded.profile.unwrap().0.to_bits(),
             with_profile.profile.unwrap().0.to_bits()
@@ -308,6 +373,7 @@ mod tests {
             seconds: 0.5,
             checksum: 9,
             total_cycles: 10,
+            tiers: TierCycles::default(),
             profile: None,
             alloc: None,
             lock: None,
@@ -328,6 +394,7 @@ mod tests {
                 seconds: 1.0,
                 checksum: 1,
                 total_cycles: 2,
+                tiers: TierCycles::default(),
                 profile: Some((1.0, 2, 3)),
                 alloc: None,
                 lock: None,
@@ -348,9 +415,9 @@ mod tests {
         assert!(decode_cell_entry(&versioned).is_none());
         // Unknown fault site index fails closed.
         let mut bad_site = bytes;
-        // version + seconds + checksum + cycles + profile(tag+triple) +
-        // alloc tag + lock tag + site count.
-        let site_pos = 4 + 8 + 8 + 8 + (1 + 24) + 1 + 1 + 4;
+        // version + seconds + checksum + cycles + tier quintuple +
+        // profile(tag+triple) + alloc tag + lock tag + site count.
+        let site_pos = 4 + 8 + 8 + 8 + 40 + (1 + 24) + 1 + 1 + 4;
         bad_site[site_pos] = FaultSite::COUNT as u8;
         assert!(decode_cell_entry(&bad_site).is_none());
     }
@@ -361,6 +428,13 @@ mod tests {
             seconds: 1.5,
             checksum: 7,
             total_cycles: 1000,
+            tiers: TierCycles {
+                interp: 600,
+                c1: 200,
+                c2: 100,
+                c1_compile: 60,
+                c2_compile: 40,
+            },
             profile: Some((4.54, 3, 9)),
             alloc: None,
             lock: None,
@@ -370,6 +444,8 @@ mod tests {
             row,
             "[\n  {\"benchmark\":\"compress\",\"agent\":\"IPA\",\"size\":\"1\",\
              \"seconds\":\"1.500000\",\"checksum\":\"7\",\"total_cycles\":\"1000\",\
+             \"interp_cycles\":\"600\",\"c1_cycles\":\"200\",\"c2_cycles\":\"100\",\
+             \"c1_compile_cycles\":\"60\",\"c2_compile_cycles\":\"40\",\
              \"pct_native\":\"4.540000\",\"jni_calls\":\"3\",\
              \"native_method_calls\":\"9\",\"alloc_sites\":\"\",\
              \"alloc_objects\":\"\",\"alloc_bytes\":\"\",\"lock_entries\":\"\",\

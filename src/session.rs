@@ -36,7 +36,7 @@ use jvmsim_jvmti::Agent;
 use jvmsim_metrics::MetricsRegistry;
 use jvmsim_pcl::Pcl;
 use jvmsim_vm::cost::CostModel;
-use jvmsim_vm::{builtins, TraceSink, Value, Vm};
+use jvmsim_vm::{builtins, DispatchMode, TiersMode, TraceSink, Value, Vm};
 use nativeprof::{InstrumentationMode, IpaAgent, NativeProfile, SpaAgent};
 use nativeprof_agents::{AllocAgent, AllocReport, LockAgent, LockReport};
 use workloads::{by_name, ProblemSize, Workload, WorkloadProgram};
@@ -58,17 +58,28 @@ pub struct SessionSpec {
     pub agent: AgentChoice,
     /// Problem size.
     pub size: ProblemSize,
+    /// Tier pipeline ceiling (the `--tiers` axis).
+    pub tiers: TiersMode,
 }
 
 impl SessionSpec {
-    /// A spec from already-validated parts.
+    /// A spec from already-validated parts, at the default (full) tier
+    /// pipeline.
     #[must_use]
     pub fn new(workload: impl Into<String>, agent: AgentChoice, size: ProblemSize) -> SessionSpec {
         SessionSpec {
             workload: workload.into(),
             agent,
             size,
+            tiers: TiersMode::default(),
         }
+    }
+
+    /// The same spec with `tiers` selected.
+    #[must_use]
+    pub fn with_tiers(mut self, tiers: TiersMode) -> SessionSpec {
+        self.tiers = tiers;
+        self
     }
 
     /// Parse and validate textual fields — the single place run requests
@@ -77,8 +88,14 @@ impl SessionSpec {
     /// # Errors
     ///
     /// [`HarnessError::Usage`] naming the offending field: unknown
-    /// workload, unknown agent label, or a zero size.
-    pub fn parse(workload: &str, agent: &str, size: u32) -> Result<SessionSpec, HarnessError> {
+    /// workload, unknown agent label, a zero size, or an unknown tiers
+    /// mode.
+    pub fn parse(
+        workload: &str,
+        agent: &str,
+        size: u32,
+        tiers: &str,
+    ) -> Result<SessionSpec, HarnessError> {
         if by_name(workload).is_none() {
             return Err(HarnessError::Usage(format!(
                 "unknown workload '{workload}'"
@@ -90,7 +107,10 @@ impl SessionSpec {
         if size == 0 {
             return Err(HarnessError::Usage("size must be >= 1".to_owned()));
         }
-        Ok(SessionSpec::new(workload, agent, ProblemSize(size)))
+        let tiers: TiersMode = tiers
+            .parse()
+            .map_err(|e: jvmsim_vm::ParseTiersModeError| HarnessError::Usage(e.to_string()))?;
+        Ok(SessionSpec::new(workload, agent, ProblemSize(size)).with_tiers(tiers))
     }
 
     /// Resolve the workload and hand a configured [`Session`] (agent and
@@ -105,7 +125,9 @@ impl SessionSpec {
     pub fn with_session<R>(&self, f: impl FnOnce(Session<'_>) -> R) -> Result<R, HarnessError> {
         let workload = by_name(&self.workload)
             .ok_or_else(|| HarnessError::Vm(format!("unknown workload {}", self.workload)))?;
-        let session = Session::new(workload.as_ref(), self.size).agent(self.agent.clone());
+        let session = Session::new(workload.as_ref(), self.size)
+            .agent(self.agent.clone())
+            .tiers(self.tiers);
         Ok(f(session))
     }
 
@@ -167,6 +189,8 @@ pub struct Session<'w> {
     workload: &'w dyn Workload,
     size: ProblemSize,
     agent: AgentChoice,
+    tiers: TiersMode,
+    dispatch: DispatchMode,
     trace: Option<Arc<dyn TraceSink>>,
     faults: Option<Arc<FaultInjector>>,
     metrics: Option<MetricsRegistry>,
@@ -179,6 +203,8 @@ impl std::fmt::Debug for Session<'_> {
             .field("workload", &self.workload.name())
             .field("size", &self.size)
             .field("agent", &self.agent.label())
+            .field("tiers", &self.tiers.label())
+            .field("dispatch", &self.dispatch.label())
             .field("trace", &self.trace.is_some())
             .field("faults", &self.faults.is_some())
             .field("metrics", &self.metrics.is_some())
@@ -196,6 +222,8 @@ impl<'w> Session<'w> {
             workload,
             size,
             agent: AgentChoice::None,
+            tiers: TiersMode::default(),
+            dispatch: DispatchMode::default(),
             trace: None,
             faults: None,
             metrics: None,
@@ -207,6 +235,23 @@ impl<'w> Session<'w> {
     #[must_use]
     pub fn agent(mut self, agent: AgentChoice) -> Self {
         self.agent = agent;
+        self
+    }
+
+    /// Cap the tier pipeline (the `--tiers` axis): interpreter only,
+    /// interp→C1, or the full interp→C1→C2 pipeline.
+    #[must_use]
+    pub fn tiers(mut self, tiers: TiersMode) -> Self {
+        self.tiers = tiers;
+        self
+    }
+
+    /// Select the interpreter dispatch engine. Identity-neutral — the
+    /// switch and threaded engines produce byte-identical runs — so it is
+    /// excluded from [`Session::result_key`], like trace sinks.
+    #[must_use]
+    pub fn dispatch(mut self, dispatch: DispatchMode) -> Self {
+        self.dispatch = dispatch;
         self
     }
 
@@ -265,6 +310,7 @@ impl<'w> Session<'w> {
         k.field_str("workload", self.workload.name());
         k.field_u64("size", self.size.0 as u64);
         k.field_str("agent", self.agent.label());
+        k.field_str("tiers", self.tiers.label());
         if let AgentChoice::Ipa(config) = &self.agent {
             k.field_u64(
                 "ipa_mode",
@@ -308,6 +354,8 @@ impl<'w> Session<'w> {
     pub fn run(self) -> Result<RunOutcome, HarnessError> {
         let program = self.workload.program();
         let mut vm = Vm::new();
+        vm.set_tiers_mode(self.tiers);
+        vm.set_dispatch(self.dispatch);
         if let Some(metrics) = &self.metrics {
             metrics.set_agent_bucket(self.agent.bucket());
             vm.set_metrics(metrics.clone());
@@ -462,15 +510,26 @@ pub(crate) fn encode_program_archive(program: &WorkloadProgram) -> Archive {
 /// serve results cached under the old one.
 fn absorb_cost_model(k: &mut KeyHasher, c: &CostModel) {
     for (name, v) in [
-        ("interp_insn", c.interp_insn),
-        ("jit_insn", c.jit_insn),
-        ("jit_threshold", u64::from(c.jit_threshold)),
+        ("interp_insn", c.tiers.interp_insn),
+        ("c1_insn", c.tiers.c1_insn),
+        ("c2_insn", c.tiers.c2_insn),
+        ("call_overhead_interp", c.tiers.call_overhead_interp),
+        ("call_overhead_c1", c.tiers.call_overhead_c1),
+        ("call_overhead_c2", c.tiers.call_overhead_c2),
+        (
+            "c1_invocation_threshold",
+            u64::from(c.tiers.c1_invocation_threshold),
+        ),
+        (
+            "c2_invocation_threshold",
+            u64::from(c.tiers.c2_invocation_threshold),
+        ),
         (
             "osr_backedge_threshold",
-            u64::from(c.osr_backedge_threshold),
+            u64::from(c.tiers.osr_backedge_threshold),
         ),
-        ("call_overhead_interp", c.call_overhead_interp),
-        ("call_overhead_jit", c.call_overhead_jit),
+        ("c1_compile_per_insn", c.tiers.c1_compile_per_insn),
+        ("c2_compile_per_insn", c.tiers.c2_compile_per_insn),
         ("alloc_object", c.alloc_object),
         ("alloc_array_base", c.alloc_array_base),
         ("alloc_array_per_8", c.alloc_array_per_8),
@@ -577,18 +636,22 @@ mod tests {
     #[test]
     fn session_spec_validates_and_matches_direct_runs() {
         assert!(matches!(
-            SessionSpec::parse("nope", "ipa", 1),
+            SessionSpec::parse("nope", "ipa", 1, "full"),
             Err(HarnessError::Usage(_))
         ));
         assert!(matches!(
-            SessionSpec::parse("compress", "jit", 1),
+            SessionSpec::parse("compress", "jit", 1, "full"),
             Err(HarnessError::Usage(_))
         ));
         assert!(matches!(
-            SessionSpec::parse("compress", "ipa", 0),
+            SessionSpec::parse("compress", "ipa", 0, "full"),
             Err(HarnessError::Usage(_))
         ));
-        let spec = SessionSpec::parse("compress", "IPA", 1).unwrap();
+        assert!(matches!(
+            SessionSpec::parse("compress", "ipa", 1, "c9"),
+            Err(HarnessError::Usage(_))
+        ));
+        let spec = SessionSpec::parse("compress", "IPA", 1, "full").unwrap();
         assert_eq!(spec.agent.label(), "IPA");
         let via_spec = spec.run().unwrap();
         let w = by_name("compress").unwrap();
